@@ -1,0 +1,390 @@
+//! Clusters (Definition 1 of the paper).
+//!
+//! A cluster is a connected subgraph — processes, channels and (possibly) embedded
+//! interfaces — that communicates with its surroundings only through **input and output
+//! ports**. Clustering adds no functionality; it is the structuring concept that makes a
+//! function variant an exchangeable unit: changing a system's variant corresponds to
+//! exchanging clusters behind an [`crate::Interface`].
+//!
+//! The degree restrictions of Definition 1 (out-degree of input ports and in-degree of
+//! output ports is at most one) are honoured by binding every port to exactly one
+//! embedded process.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use spi_model::{Interval, LatencyAnalysis, ProcessId, SpiGraph, TagSet};
+
+use crate::error::VariantError;
+use crate::Result;
+
+/// Direction of a cluster or interface port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDirection {
+    /// Data flows from the surrounding system into the cluster.
+    Input,
+    /// Data flows from the cluster into the surrounding system.
+    Output,
+}
+
+impl fmt::Display for PortDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortDirection::Input => write!(f, "input"),
+            PortDirection::Output => write!(f, "output"),
+        }
+    }
+}
+
+/// A port of a cluster: the point where an external channel is attached when the cluster
+/// is instantiated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Port {
+    name: String,
+    direction: PortDirection,
+    /// Embedded process that reads (input port) or writes (output port) the external
+    /// channel once the cluster is instantiated.
+    process: ProcessId,
+    /// Tokens consumed/produced at this port per execution of the bound process.
+    rate: Interval,
+    /// Tags attached to tokens produced at this port (output ports only).
+    tags: TagSet,
+}
+
+impl Port {
+    /// Port name (unique within the cluster).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Port direction.
+    pub fn direction(&self) -> PortDirection {
+        self.direction
+    }
+
+    /// The embedded process bound to the port.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// Tokens transferred at this port per execution of the bound process.
+    pub fn rate(&self) -> Interval {
+        self.rate
+    }
+
+    /// Tags attached to tokens produced at this port.
+    pub fn tags(&self) -> &TagSet {
+        &self.tags
+    }
+}
+
+/// A cluster: an exchangeable subgraph with ports (Definition 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    name: String,
+    graph: SpiGraph,
+    ports: Vec<Port>,
+}
+
+impl Cluster {
+    /// Wraps an SPI graph into a cluster with no ports yet.
+    pub fn new(name: impl Into<String>, graph: SpiGraph) -> Self {
+        Cluster {
+            name: name.into(),
+            graph,
+            ports: Vec::new(),
+        }
+    }
+
+    /// Cluster name (unique within its interface).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The embedded SPI graph.
+    pub fn graph(&self) -> &SpiGraph {
+        &self.graph
+    }
+
+    /// Mutable access to the embedded SPI graph.
+    pub fn graph_mut(&mut self) -> &mut SpiGraph {
+        &mut self.graph
+    }
+
+    /// Adds an input port bound to the embedded process named `process`, consuming
+    /// `rate` tokens from the external channel per execution of that process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariantError::DuplicatePort`] if the port name is taken or
+    /// [`VariantError::UnknownPortProcess`] if the process does not exist.
+    pub fn add_input_port(
+        &mut self,
+        name: impl Into<String>,
+        process: impl AsRef<str>,
+        rate: Interval,
+    ) -> Result<()> {
+        self.add_port(name.into(), PortDirection::Input, process.as_ref(), rate, TagSet::new())
+    }
+
+    /// Adds an output port bound to the embedded process named `process`, producing
+    /// `rate` untagged tokens on the external channel per execution of that process.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_input_port`](Self::add_input_port).
+    pub fn add_output_port(
+        &mut self,
+        name: impl Into<String>,
+        process: impl AsRef<str>,
+        rate: Interval,
+    ) -> Result<()> {
+        self.add_port(name.into(), PortDirection::Output, process.as_ref(), rate, TagSet::new())
+    }
+
+    /// Adds an output port whose produced tokens carry `tags`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_input_port`](Self::add_input_port).
+    pub fn add_tagged_output_port(
+        &mut self,
+        name: impl Into<String>,
+        process: impl AsRef<str>,
+        rate: Interval,
+        tags: TagSet,
+    ) -> Result<()> {
+        self.add_port(name.into(), PortDirection::Output, process.as_ref(), rate, tags)
+    }
+
+    fn add_port(
+        &mut self,
+        name: String,
+        direction: PortDirection,
+        process: &str,
+        rate: Interval,
+        tags: TagSet,
+    ) -> Result<()> {
+        if self.ports.iter().any(|p| p.name == name) {
+            return Err(VariantError::DuplicatePort(name));
+        }
+        let process_id = self
+            .graph
+            .process_by_name(process)
+            .ok_or_else(|| VariantError::UnknownPortProcess {
+                cluster: self.name.clone(),
+                process: process.to_string(),
+            })?
+            .id();
+        self.ports.push(Port {
+            name,
+            direction,
+            process: process_id,
+            rate,
+            tags,
+        });
+        Ok(())
+    }
+
+    /// All ports in declaration order.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Input ports in declaration order.
+    pub fn input_ports(&self) -> impl Iterator<Item = &Port> {
+        self.ports
+            .iter()
+            .filter(|p| p.direction == PortDirection::Input)
+    }
+
+    /// Output ports in declaration order.
+    pub fn output_ports(&self) -> impl Iterator<Item = &Port> {
+        self.ports
+            .iter()
+            .filter(|p| p.direction == PortDirection::Output)
+    }
+
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Ordered list of input port names — one half of the cluster's signature.
+    pub fn input_signature(&self) -> Vec<&str> {
+        self.input_ports().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Ordered list of output port names — the other half of the signature.
+    pub fn output_signature(&self) -> Vec<&str> {
+        self.output_ports().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Number of embedded processes.
+    pub fn process_count(&self) -> usize {
+        self.graph.process_count()
+    }
+
+    /// Number of embedded channels.
+    pub fn channel_count(&self) -> usize {
+        self.graph.channel_count()
+    }
+
+    /// Validates the cluster: the embedded graph must validate and every port binding
+    /// must reference an existing process.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<()> {
+        self.graph.validate()?;
+        for port in &self.ports {
+            if self.graph.process(port.process).is_none() {
+                return Err(VariantError::UnknownPortProcess {
+                    cluster: self.name.clone(),
+                    process: port.process.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Estimated execution latency of the cluster: the interval hull over the end-to-end
+    /// latencies from every input-port process to every output-port process. When no
+    /// such path exists (e.g. a source-only cluster), the conservative fallback is the
+    /// interval sum of all embedded process latency hulls.
+    ///
+    /// This is the latency used by parameter extraction (Section 4 of the paper) when a
+    /// cluster is abstracted into one process mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an embedded process has no modes.
+    pub fn latency_estimate(&self) -> Result<Interval> {
+        let analysis = LatencyAnalysis::new(&self.graph);
+        let mut hull: Option<Interval> = None;
+        for input in self.input_ports() {
+            for output in self.output_ports() {
+                if let Ok(interval) = analysis.end_to_end(input.process, output.process) {
+                    hull = Some(match hull {
+                        None => interval,
+                        Some(h) => h.hull(interval),
+                    });
+                }
+            }
+        }
+        if let Some(hull) = hull {
+            return Ok(hull);
+        }
+        // Fallback: sum of all process latencies (conservative for a sequential cluster).
+        let mut total = Interval::zero();
+        for process in self.graph.processes() {
+            total = total.add(process.latency_hull().map_err(VariantError::Model)?);
+        }
+        Ok(total)
+    }
+}
+
+impl fmt::Display for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cluster `{}` ({} processes, {} channels, {} ports)",
+            self.name,
+            self.process_count(),
+            self.channel_count(),
+            self.ports.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_model::{ChannelKind, GraphBuilder};
+
+    fn two_stage_cluster() -> Cluster {
+        // i -> A -> c -> B -> o
+        let mut b = GraphBuilder::new("variant1");
+        let a = b.process("A").latency(Interval::point(2)).build().unwrap();
+        let z = b.process("B").latency(Interval::new(1, 3).unwrap()).build().unwrap();
+        let c = b.channel("c", ChannelKind::Queue).unwrap();
+        b.connect_output(a, c, Interval::point(1)).unwrap();
+        b.connect_input(c, z, Interval::point(1)).unwrap();
+        let graph = b.finish().unwrap();
+        let mut cluster = Cluster::new("variant1", graph);
+        cluster
+            .add_input_port("i", "A", Interval::point(1))
+            .unwrap();
+        cluster
+            .add_output_port("o", "B", Interval::point(1))
+            .unwrap();
+        cluster
+    }
+
+    #[test]
+    fn ports_are_bound_to_processes() {
+        let cluster = two_stage_cluster();
+        assert_eq!(cluster.ports().len(), 2);
+        let i = cluster.port("i").unwrap();
+        assert_eq!(i.direction(), PortDirection::Input);
+        assert_eq!(
+            cluster.graph().process(i.process()).unwrap().name(),
+            "A"
+        );
+        assert_eq!(cluster.input_signature(), vec!["i"]);
+        assert_eq!(cluster.output_signature(), vec!["o"]);
+    }
+
+    #[test]
+    fn duplicate_port_names_rejected() {
+        let mut cluster = two_stage_cluster();
+        let err = cluster
+            .add_input_port("i", "A", Interval::point(1))
+            .unwrap_err();
+        assert!(matches!(err, VariantError::DuplicatePort(_)));
+    }
+
+    #[test]
+    fn unknown_port_process_rejected() {
+        let mut cluster = two_stage_cluster();
+        let err = cluster
+            .add_output_port("o2", "Missing", Interval::point(1))
+            .unwrap_err();
+        assert!(matches!(err, VariantError::UnknownPortProcess { .. }));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_cluster() {
+        assert!(two_stage_cluster().validate().is_ok());
+    }
+
+    #[test]
+    fn latency_estimate_uses_port_to_port_path() {
+        let cluster = two_stage_cluster();
+        // A (2) + B ([1,3]) = [3, 5]
+        assert_eq!(
+            cluster.latency_estimate().unwrap(),
+            Interval::new(3, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn latency_estimate_falls_back_to_sum_without_ports() {
+        let mut b = GraphBuilder::new("portless");
+        b.process("solo").latency(Interval::point(4)).build().unwrap();
+        let cluster = Cluster::new("portless", b.finish().unwrap());
+        assert_eq!(cluster.latency_estimate().unwrap(), Interval::point(4));
+    }
+
+    #[test]
+    fn tagged_output_port_carries_tags() {
+        let mut cluster = two_stage_cluster();
+        cluster
+            .add_tagged_output_port("confirm", "B", Interval::point(1), TagSet::singleton("done"))
+            .unwrap();
+        let port = cluster.port("confirm").unwrap();
+        assert_eq!(port.tags().len(), 1);
+        assert_eq!(port.rate(), Interval::point(1));
+    }
+}

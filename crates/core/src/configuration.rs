@@ -1,0 +1,344 @@
+//! Configurations (Definition 4 of the paper).
+//!
+//! When an interface with its clusters is abstracted into a single SPI process, the
+//! process's modes are partitioned into **configurations** — one configuration per
+//! function variant — because all modes within one configuration were extracted from the
+//! same cluster. Two consecutive executions whose modes belong to different
+//! configurations require a **reconfiguration step** whose latency is added to the
+//! execution latency; the `conf_cur` parameter records the current configuration.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use spi_model::{ModeId, Process, ProcessId, TimeValue};
+
+use crate::error::VariantError;
+use crate::Result;
+
+/// One configuration: the set of modes extracted from one cluster, plus the latency of
+/// (re)configuring the process with this configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Configuration {
+    name: String,
+    modes: BTreeSet<ModeId>,
+    reconfiguration_latency: TimeValue,
+}
+
+impl Configuration {
+    /// Creates a configuration from the modes extracted from one cluster.
+    pub fn new(
+        name: impl Into<String>,
+        modes: impl IntoIterator<Item = ModeId>,
+        reconfiguration_latency: TimeValue,
+    ) -> Self {
+        Configuration {
+            name: name.into(),
+            modes: modes.into_iter().collect(),
+            reconfiguration_latency,
+        }
+    }
+
+    /// Configuration name (usually the originating cluster's name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The modes belonging to this configuration.
+    pub fn modes(&self) -> impl Iterator<Item = ModeId> + '_ {
+        self.modes.iter().copied()
+    }
+
+    /// Returns `true` if `mode` belongs to this configuration.
+    pub fn contains(&self, mode: ModeId) -> bool {
+        self.modes.contains(&mode)
+    }
+
+    /// Number of modes in the configuration.
+    pub fn mode_count(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// The latency `t_conf` of configuring the process with this configuration.
+    pub fn reconfiguration_latency(&self) -> TimeValue {
+        self.reconfiguration_latency
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conf `{}` ({} modes, t_conf = {})",
+            self.name,
+            self.modes.len(),
+            self.reconfiguration_latency
+        )
+    }
+}
+
+/// The configuration set `CONF` of a process (Definition 4), plus the `conf_cur`
+/// parameter.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigurationSet {
+    configurations: Vec<Configuration>,
+    current: Option<usize>,
+}
+
+impl ConfigurationSet {
+    /// Creates an empty configuration set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a configuration and returns `self` for chaining.
+    pub fn with_configuration(mut self, configuration: Configuration) -> Self {
+        self.configurations.push(configuration);
+        self
+    }
+
+    /// Adds a configuration.
+    pub fn push(&mut self, configuration: Configuration) {
+        self.configurations.push(configuration);
+    }
+
+    /// The configurations in insertion order.
+    pub fn configurations(&self) -> &[Configuration] {
+        &self.configurations
+    }
+
+    /// Number of configurations (= number of function variants of the process).
+    pub fn len(&self) -> usize {
+        self.configurations.len()
+    }
+
+    /// Returns `true` if no configurations are defined.
+    pub fn is_empty(&self) -> bool {
+        self.configurations.is_empty()
+    }
+
+    /// Looks up a configuration by name.
+    pub fn configuration(&self, name: &str) -> Option<&Configuration> {
+        self.configurations.iter().find(|c| c.name() == name)
+    }
+
+    /// Index of the configuration containing `mode`, if any.
+    pub fn configuration_of_mode(&self, mode: ModeId) -> Option<usize> {
+        self.configurations.iter().position(|c| c.contains(mode))
+    }
+
+    /// The `conf_cur` parameter: index of the current configuration.
+    pub fn current(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// The current configuration, if any.
+    pub fn current_configuration(&self) -> Option<&Configuration> {
+        self.current.and_then(|i| self.configurations.get(i))
+    }
+
+    /// Updates `conf_cur`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds; use indices obtained from this set.
+    pub fn set_current(&mut self, index: usize) {
+        assert!(
+            index < self.configurations.len(),
+            "configuration index {index} out of bounds"
+        );
+        self.current = Some(index);
+    }
+
+    /// Clears `conf_cur` (e.g. after the process was torn down).
+    pub fn clear_current(&mut self) {
+        self.current = None;
+    }
+
+    /// Determines whether executing `next` after `previous` requires a reconfiguration
+    /// step, and if so returns `(from, to, latency)` where `latency` is the
+    /// reconfiguration latency of the newly selected configuration.
+    ///
+    /// A `previous` of `None` models the very first execution: the initial configuration
+    /// step is also reported (with `from == None` mapped to the same configuration
+    /// index), mirroring the configuration latency of Definition 3.
+    pub fn reconfiguration(
+        &self,
+        previous: Option<ModeId>,
+        next: ModeId,
+    ) -> Option<(Option<usize>, usize, TimeValue)> {
+        let to = self.configuration_of_mode(next)?;
+        match previous.and_then(|m| self.configuration_of_mode(m)) {
+            Some(from) if from == to => None,
+            from => Some((from, to, self.configurations[to].reconfiguration_latency())),
+        }
+    }
+
+    /// Validates the set against the process it annotates:
+    ///
+    /// * every referenced mode exists on the process;
+    /// * configurations are pairwise disjoint (a mode belongs to exactly one variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariantError::InvalidConfigurationSet`] describing the violation.
+    pub fn validate_against(&self, process: &Process) -> Result<()> {
+        let mut seen: BTreeMap<ModeId, &str> = BTreeMap::new();
+        for configuration in &self.configurations {
+            for mode in configuration.modes() {
+                if process.mode(mode).is_none() {
+                    return Err(VariantError::InvalidConfigurationSet {
+                        process: process.id(),
+                        detail: format!(
+                            "configuration `{}` references unknown mode {mode}",
+                            configuration.name()
+                        ),
+                    });
+                }
+                if let Some(other) = seen.insert(mode, configuration.name()) {
+                    return Err(VariantError::InvalidConfigurationSet {
+                        process: process.id(),
+                        detail: format!(
+                            "mode {mode} belongs to both `{other}` and `{}`",
+                            configuration.name()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if every mode of `process` belongs to some configuration.
+    pub fn covers_all_modes(&self, process: &Process) -> bool {
+        process
+            .modes()
+            .iter()
+            .all(|m| self.configuration_of_mode(m.id()).is_some())
+    }
+}
+
+impl fmt::Display for ConfigurationSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (index, configuration) in self.configurations.iter().enumerate() {
+            let marker = if self.current == Some(index) {
+                " (current)"
+            } else {
+                ""
+            };
+            writeln!(f, "{configuration}{marker}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-process configuration annotations of a system (the side table produced by
+/// interface abstraction and consumed by the simulator and the synthesis layer).
+pub type ConfigurationMap = BTreeMap<ProcessId, ConfigurationSet>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_model::{Interval, ProcessId};
+
+    fn process_with_modes(n: u32) -> Process {
+        let mut p = Process::new(ProcessId::new(0), "PVar");
+        for i in 0..n {
+            p.add_mode_with(format!("m{i}"), Interval::point(1), |_| {});
+        }
+        p
+    }
+
+    fn set_two_variants() -> ConfigurationSet {
+        ConfigurationSet::new()
+            .with_configuration(Configuration::new(
+                "conf1",
+                [ModeId::new(0), ModeId::new(1)],
+                10,
+            ))
+            .with_configuration(Configuration::new("conf2", [ModeId::new(2)], 25))
+    }
+
+    #[test]
+    fn configuration_of_mode_partitions() {
+        let set = set_two_variants();
+        assert_eq!(set.configuration_of_mode(ModeId::new(1)), Some(0));
+        assert_eq!(set.configuration_of_mode(ModeId::new(2)), Some(1));
+        assert_eq!(set.configuration_of_mode(ModeId::new(9)), None);
+    }
+
+    #[test]
+    fn reconfiguration_within_same_configuration_is_free() {
+        let set = set_two_variants();
+        assert_eq!(
+            set.reconfiguration(Some(ModeId::new(0)), ModeId::new(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn reconfiguration_across_configurations_costs_target_latency() {
+        let set = set_two_variants();
+        assert_eq!(
+            set.reconfiguration(Some(ModeId::new(0)), ModeId::new(2)),
+            Some((Some(0), 1, 25))
+        );
+        assert_eq!(
+            set.reconfiguration(Some(ModeId::new(2)), ModeId::new(1)),
+            Some((Some(1), 0, 10))
+        );
+    }
+
+    #[test]
+    fn first_execution_reports_initial_configuration() {
+        let set = set_two_variants();
+        assert_eq!(
+            set.reconfiguration(None, ModeId::new(2)),
+            Some((None, 1, 25))
+        );
+    }
+
+    #[test]
+    fn validate_accepts_partition() {
+        let set = set_two_variants();
+        let process = process_with_modes(3);
+        assert!(set.validate_against(&process).is_ok());
+        assert!(set.covers_all_modes(&process));
+        let larger = process_with_modes(4);
+        assert!(!set.covers_all_modes(&larger));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_mode() {
+        let set = set_two_variants();
+        let process = process_with_modes(2); // mode 2 missing
+        let err = set.validate_against(&process).unwrap_err();
+        assert!(matches!(err, VariantError::InvalidConfigurationSet { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_configurations() {
+        let set = ConfigurationSet::new()
+            .with_configuration(Configuration::new("a", [ModeId::new(0)], 1))
+            .with_configuration(Configuration::new("b", [ModeId::new(0)], 2));
+        let err = set.validate_against(&process_with_modes(1)).unwrap_err();
+        assert!(matches!(err, VariantError::InvalidConfigurationSet { .. }));
+    }
+
+    #[test]
+    fn current_configuration_tracking() {
+        let mut set = set_two_variants();
+        assert_eq!(set.current(), None);
+        set.set_current(1);
+        assert_eq!(set.current_configuration().unwrap().name(), "conf2");
+        set.clear_current();
+        assert_eq!(set.current(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_current_panics_out_of_bounds() {
+        let mut set = set_two_variants();
+        set.set_current(5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Error type of the variants layer.
+
+use std::fmt;
+
+use spi_model::{ModelError, ProcessId};
+
+/// Error raised while building, validating or transforming a variant representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VariantError {
+    /// An error bubbled up from the underlying SPI model layer.
+    Model(ModelError),
+    /// A cluster port refers to a process that does not exist inside the cluster.
+    UnknownPortProcess {
+        /// Cluster name.
+        cluster: String,
+        /// Name of the missing process.
+        process: String,
+    },
+    /// A port name is used twice on the same cluster or interface.
+    DuplicatePort(String),
+    /// A cluster with the same name is already associated with the interface.
+    DuplicateCluster(String),
+    /// A cluster does not match the port signature of the interface it is added to.
+    SignatureMismatch {
+        /// Interface name.
+        interface: String,
+        /// Offending cluster name.
+        cluster: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A referenced interface attachment does not exist.
+    UnknownAttachment(usize),
+    /// A referenced interface, cluster, port or channel name could not be resolved.
+    UnknownName(String),
+    /// An interface port is not bound to a channel of the common graph.
+    UnboundPort {
+        /// Interface name.
+        interface: String,
+        /// Port name.
+        port: String,
+    },
+    /// A variant choice does not select a cluster for every interface.
+    IncompleteChoice(String),
+    /// A configuration set does not partition the process's modes.
+    InvalidConfigurationSet {
+        /// Process the configuration set is attached to.
+        process: ProcessId,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A selection rule references a cluster that the interface does not provide.
+    UnknownClusterInRule {
+        /// Rule name.
+        rule: String,
+        /// Cluster name the rule maps to.
+        cluster: String,
+    },
+    /// Generic validation failure with a human-readable explanation.
+    Validation(String),
+}
+
+impl fmt::Display for VariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariantError::Model(e) => write!(f, "model error: {e}"),
+            VariantError::UnknownPortProcess { cluster, process } => write!(
+                f,
+                "cluster `{cluster}` binds a port to unknown process `{process}`"
+            ),
+            VariantError::DuplicatePort(name) => write!(f, "duplicate port name `{name}`"),
+            VariantError::DuplicateCluster(name) => {
+                write!(f, "duplicate cluster name `{name}`")
+            }
+            VariantError::SignatureMismatch {
+                interface,
+                cluster,
+                detail,
+            } => write!(
+                f,
+                "cluster `{cluster}` does not match interface `{interface}`: {detail}"
+            ),
+            VariantError::UnknownAttachment(idx) => {
+                write!(f, "unknown interface attachment #{idx}")
+            }
+            VariantError::UnknownName(name) => write!(f, "unknown name `{name}`"),
+            VariantError::UnboundPort { interface, port } => write!(
+                f,
+                "port `{port}` of interface `{interface}` is not bound to a channel"
+            ),
+            VariantError::IncompleteChoice(interface) => write!(
+                f,
+                "variant choice does not select a cluster for interface `{interface}`"
+            ),
+            VariantError::InvalidConfigurationSet { process, detail } => {
+                write!(f, "invalid configuration set on process {process}: {detail}")
+            }
+            VariantError::UnknownClusterInRule { rule, cluster } => write!(
+                f,
+                "selection rule `{rule}` maps to unknown cluster `{cluster}`"
+            ),
+            VariantError::Validation(msg) => write!(f, "validation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VariantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VariantError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for VariantError {
+    fn from(e: ModelError) -> Self {
+        VariantError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_error_converts_and_exposes_source() {
+        let err: VariantError = ModelError::CyclicGraph.into();
+        assert!(matches!(err, VariantError::Model(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn display_messages_are_specific() {
+        let err = VariantError::SignatureMismatch {
+            interface: "if1".into(),
+            cluster: "c2".into(),
+            detail: "missing output port `o`".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("if1") && text.contains("c2") && text.contains("`o`"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VariantError>();
+    }
+}

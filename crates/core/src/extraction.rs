@@ -1,0 +1,491 @@
+//! Parameter extraction: abstracting an interface and its clusters into one process
+//! with configurations (Section 4 of the paper).
+//!
+//! For dynamic variant selection the paper proposes to abstract clusters to processes
+//! and to reuse the process-mode machinery: the set of clusters is mapped to a set of
+//! process modes, the cluster selection function becomes part of the activation
+//! function, and the originating cluster of each mode is recorded in a
+//! [`ConfigurationSet`] so that reconfiguration steps can be detected and their latency
+//! accounted for.
+//!
+//! The extraction of process parameters (latency, consumption/production rates,
+//! activation rules) from the cluster contents can be done at different levels of
+//! detail; this module offers two [`ExtractionPolicy`] levels:
+//!
+//! * [`Coarse`](ExtractionPolicy::Coarse) — one mode per cluster; the latency is the
+//!   cluster's port-to-port latency hull.
+//! * [`PerEntryMode`](ExtractionPolicy::PerEntryMode) — one mode per mode of the
+//!   cluster's entry process (the process bound to its first input port), so that a
+//!   single cluster may map to several modes, as in the paper's video example.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use spi_model::{
+    ActivationFunction, ActivationRule, Interval, LatencyAnalysis, Predicate, ProcessId,
+    ProductionSpec, SpiGraph,
+};
+
+use crate::cluster::Cluster;
+use crate::configuration::{Configuration, ConfigurationMap, ConfigurationSet};
+use crate::error::VariantError;
+use crate::system::{AttachmentId, VariantSystem};
+use crate::Result;
+
+/// How much detail the extraction keeps when mapping a cluster to process modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExtractionPolicy {
+    /// One extracted mode per cluster (coarsest abstraction).
+    #[default]
+    Coarse,
+    /// One extracted mode per mode of the cluster's entry process (the process bound to
+    /// the cluster's first input port). Falls back to [`Coarse`](Self::Coarse) for
+    /// clusters without input ports.
+    PerEntryMode,
+}
+
+impl fmt::Display for ExtractionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractionPolicy::Coarse => write!(f, "coarse"),
+            ExtractionPolicy::PerEntryMode => write!(f, "per-entry-mode"),
+        }
+    }
+}
+
+/// Result of abstracting one interface of a [`VariantSystem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbstractedSystem {
+    /// The common graph with the interface replaced by a single process.
+    pub graph: SpiGraph,
+    /// The abstracted process (named `"{interface}_var"`).
+    pub process: ProcessId,
+    /// Configuration annotations: one entry for the abstracted process.
+    pub configurations: ConfigurationMap,
+}
+
+impl AbstractedSystem {
+    /// The configuration set of the abstracted process.
+    pub fn configuration_set(&self) -> &ConfigurationSet {
+        self.configurations
+            .get(&self.process)
+            .expect("abstracted process always has a configuration set")
+    }
+}
+
+/// One extracted mode before it is added to the abstracted process.
+struct ExtractedMode {
+    name: String,
+    latency: Interval,
+}
+
+fn extract_modes(cluster: &Cluster, policy: ExtractionPolicy) -> Result<Vec<ExtractedMode>> {
+    match policy {
+        ExtractionPolicy::Coarse => Ok(vec![ExtractedMode {
+            name: cluster.name().to_string(),
+            latency: cluster.latency_estimate()?,
+        }]),
+        ExtractionPolicy::PerEntryMode => {
+            let Some(entry_port) = cluster.input_ports().next() else {
+                return extract_modes(cluster, ExtractionPolicy::Coarse);
+            };
+            let entry = cluster
+                .graph()
+                .process(entry_port.process())
+                .ok_or_else(|| VariantError::UnknownPortProcess {
+                    cluster: cluster.name().to_string(),
+                    process: entry_port.process().to_string(),
+                })?;
+            // Latency of the rest of the cluster (from the entry's successors to the
+            // output ports), added to each entry-mode latency.
+            let analysis = LatencyAnalysis::new(cluster.graph());
+            let mut remainder: Option<Interval> = None;
+            for successor in cluster.graph().successors(entry.id()) {
+                for output in cluster.output_ports() {
+                    if let Ok(interval) = analysis.end_to_end(successor, output.process()) {
+                        remainder = Some(match remainder {
+                            None => interval,
+                            Some(r) => r.hull(interval),
+                        });
+                    }
+                }
+            }
+            let remainder = remainder.unwrap_or_else(Interval::zero);
+            Ok(entry
+                .modes()
+                .iter()
+                .map(|mode| ExtractedMode {
+                    name: format!("{}.{}", cluster.name(), mode.name()),
+                    latency: mode.latency().add(remainder),
+                })
+                .collect())
+        }
+    }
+}
+
+impl VariantSystem {
+    /// Replaces the interface of `attachment` by a single process `"{interface}_var"`
+    /// whose modes are extracted from the interface's clusters, together with the
+    /// configuration set recording which modes belong to which variant.
+    ///
+    /// The activation function of the abstracted process follows the paper's pattern
+    ///
+    /// ```text
+    /// a1 : (CIn.num >= x) && (CV.num >= 1) && ('V1' in CV.tag) -> conf1 mode
+    /// a2 : (CIn.num >= y) && (CV.num >= 1) && ('V2' in CV.tag) -> conf2 mode
+    /// ```
+    ///
+    /// where the token requirements `x`, `y` come from the per-port rates of the
+    /// respective cluster and the tag conditions come from the interface's cluster
+    /// selection function. Channels referenced by selection rules become additional
+    /// inputs of the abstracted process.
+    ///
+    /// Other attachments are left untouched; call this method repeatedly (re-wrapping
+    /// the result) to abstract several interfaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the attachment does not exist, a port is unbound, a
+    /// referenced channel is missing, or the resulting graph fails validation.
+    pub fn abstract_interface(
+        &self,
+        attachment: AttachmentId,
+        policy: ExtractionPolicy,
+    ) -> Result<AbstractedSystem> {
+        let attachment_ref = self
+            .attachment(attachment)
+            .ok_or(VariantError::UnknownAttachment(attachment.index()))?;
+        let interface = attachment_ref.interface();
+        let mut graph = self.common().clone();
+        let pvar = graph.new_process(format!("{}_var", interface.name()))?;
+
+        // Wire the abstracted process to the attachment channels.
+        let mut input_channels: BTreeMap<String, spi_model::ChannelId> = BTreeMap::new();
+        let mut output_channels: BTreeMap<String, spi_model::ChannelId> = BTreeMap::new();
+        for port in interface.input_ports() {
+            let name = attachment_ref
+                .input_binding(port)
+                .ok_or_else(|| VariantError::UnboundPort {
+                    interface: interface.name().to_string(),
+                    port: port.clone(),
+                })?;
+            let id = graph
+                .channel_by_name(name)
+                .ok_or_else(|| VariantError::UnknownName(name.to_string()))?
+                .id();
+            graph.set_reader(id, pvar)?;
+            input_channels.insert(port.clone(), id);
+        }
+        for port in interface.output_ports() {
+            let name = attachment_ref
+                .output_binding(port)
+                .ok_or_else(|| VariantError::UnboundPort {
+                    interface: interface.name().to_string(),
+                    port: port.clone(),
+                })?;
+            let id = graph
+                .channel_by_name(name)
+                .ok_or_else(|| VariantError::UnknownName(name.to_string()))?
+                .id();
+            graph.set_writer(id, pvar)?;
+            output_channels.insert(port.clone(), id);
+        }
+
+        // Channels referenced by the selection function become inputs of the process
+        // (they carry the variant-selection tokens, e.g. CV in Figure 3).
+        let mut selection_channels: BTreeMap<String, spi_model::ChannelId> = BTreeMap::new();
+        if let Some(selection) = interface.selection() {
+            for name in selection.referenced_channels() {
+                let id = graph
+                    .channel_by_name(name)
+                    .ok_or_else(|| VariantError::UnknownName(name.to_string()))?
+                    .id();
+                if graph.reader_of(id) != Some(pvar) {
+                    graph.set_reader(id, pvar)?;
+                }
+                selection_channels.insert(name.to_string(), id);
+            }
+        }
+
+        // Extract modes cluster by cluster and build the configuration set plus the
+        // activation function.
+        let mut configuration_set = ConfigurationSet::new();
+        let mut activation = ActivationFunction::new();
+        for cluster in interface.clusters() {
+            let extracted = extract_modes(cluster, policy)?;
+            let mut mode_ids = Vec::new();
+            for em in extracted {
+                let process = graph.process_mut(pvar).expect("abstracted process exists");
+                let mode_id = process.add_mode_with(em.name.clone(), em.latency, |mode| {
+                    for (port_name, channel) in &input_channels {
+                        if let Some(port) = cluster.port(port_name) {
+                            mode.set_consumption(*channel, port.rate());
+                        }
+                    }
+                    for (port_name, channel) in &output_channels {
+                        if let Some(port) = cluster.port(port_name) {
+                            mode.set_production(
+                                *channel,
+                                ProductionSpec::tagged(port.rate(), port.tags().clone()),
+                            );
+                        }
+                    }
+                });
+                mode_ids.push(mode_id);
+
+                // Activation rule: token requirements on the data inputs plus the
+                // selection predicate for this cluster.
+                let mut predicate = Predicate::All(Vec::new());
+                for (port_name, channel) in &input_channels {
+                    if let Some(port) = cluster.port(port_name) {
+                        if port.rate().lo() > 0 {
+                            predicate =
+                                predicate.and(Predicate::min_tokens(*channel, port.rate().lo()));
+                        }
+                    }
+                }
+                if let Some(selection) = interface.selection() {
+                    if let Some(rule) = selection
+                        .rules()
+                        .iter()
+                        .find(|rule| rule.cluster() == cluster.name())
+                    {
+                        let channel = selection_channels
+                            .get(rule.channel())
+                            .copied()
+                            .ok_or_else(|| VariantError::UnknownName(rule.channel().to_string()))?;
+                        predicate = predicate.and(rule.predicate(channel));
+                    }
+                }
+                activation.push(ActivationRule::new(
+                    format!("a_{}", em.name),
+                    predicate,
+                    mode_id,
+                ));
+            }
+            let latency = interface
+                .selection()
+                .map(|s| s.configuration_latency(cluster.name()))
+                .unwrap_or(0);
+            configuration_set.push(Configuration::new(cluster.name(), mode_ids, latency));
+        }
+
+        let process = graph.process_mut(pvar).expect("abstracted process exists");
+        process.set_activation(activation);
+        configuration_set.validate_against(process)?;
+
+        graph.validate()?;
+        let mut configurations = ConfigurationMap::new();
+        configurations.insert(pvar, configuration_set);
+        Ok(AbstractedSystem {
+            graph,
+            process: pvar,
+            configurations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::interface::Interface;
+    use crate::selection::{ClusterSelection, SelectionRule};
+    use crate::space::VariantChoice;
+    use crate::variant::VariantType;
+    use spi_model::activation::ChannelSnapshot;
+    use spi_model::{ChannelKind, GraphBuilder, Tag};
+
+    /// Figure 3 style system: PUser writes the selection token on CV; the interface sits
+    /// between CIn and COut.
+    fn figure3_system(per_mode: bool) -> VariantSystem {
+        let mut b = GraphBuilder::new("figure3");
+        let user = b.process("PUser").latency(Interval::point(1)).build().unwrap();
+        let source = b.process("PSrc").latency(Interval::point(1)).build().unwrap();
+        let sink = b.process("PSink").latency(Interval::point(1)).build().unwrap();
+        let cv = b.channel("CV", ChannelKind::Register).unwrap();
+        let cin = b.channel("CIn", ChannelKind::Queue).unwrap();
+        let cout = b.channel("COut", ChannelKind::Queue).unwrap();
+        b.connect_output_tagged(user, cv, Interval::point(1), spi_model::TagSet::singleton("V1"))
+            .unwrap();
+        b.connect_output(source, cin, Interval::point(1)).unwrap();
+        b.connect_input(cout, sink, Interval::point(1)).unwrap();
+        let common = b.finish().unwrap();
+
+        let make_cluster = |name: &str, modes: &[(u64, u64)], consume: u64| {
+            let mut cb = GraphBuilder::new(name);
+            let mut pb = cb.process("P");
+            for (index, (lo, hi)) in modes.iter().enumerate() {
+                pb = pb.mode(spi_model::ModeSpec::new(
+                    format!("m{index}"),
+                    Interval::new(*lo, *hi).unwrap(),
+                ));
+            }
+            pb.build().unwrap();
+            let graph = cb.finish().unwrap();
+            let mut cluster = Cluster::new(name, graph);
+            cluster
+                .add_input_port("i", "P", Interval::point(consume))
+                .unwrap();
+            cluster.add_output_port("o", "P", Interval::point(1)).unwrap();
+            cluster
+        };
+
+        let mut interface = Interface::new("interface1");
+        interface.add_input_port("i");
+        interface.add_output_port("o");
+        let modes1: &[(u64, u64)] = if per_mode { &[(2, 2), (4, 4)] } else { &[(2, 2)] };
+        let modes2: &[(u64, u64)] = if per_mode {
+            &[(5, 5), (6, 6), (7, 7)]
+        } else {
+            &[(5, 5)]
+        };
+        interface.add_cluster(make_cluster("cluster1", modes1, 1)).unwrap();
+        interface.add_cluster(make_cluster("cluster2", modes2, 3)).unwrap();
+
+        let mut system = VariantSystem::new(common);
+        let att = system
+            .attach_interface(interface, VariantType::Dynamic)
+            .unwrap();
+        system.bind_input(att, "i", "CIn").unwrap();
+        system.bind_output(att, "o", "COut").unwrap();
+        system
+            .set_selection(
+                att,
+                ClusterSelection::new()
+                    .with_rule(SelectionRule::tag_equals("rho1", "CV", "V1", "cluster1"))
+                    .with_rule(SelectionRule::tag_equals("rho2", "CV", "V2", "cluster2"))
+                    .with_configuration_latency("cluster1", 10)
+                    .with_configuration_latency("cluster2", 25),
+            )
+            .unwrap();
+        system.validate().unwrap();
+        system
+    }
+
+    #[test]
+    fn coarse_abstraction_has_one_mode_per_cluster() {
+        let system = figure3_system(false);
+        let att = system.attachment_by_name("interface1").unwrap();
+        let abstracted = system
+            .abstract_interface(att, ExtractionPolicy::Coarse)
+            .unwrap();
+        let process = abstracted.graph.process(abstracted.process).unwrap();
+        assert_eq!(process.name(), "interface1_var");
+        assert_eq!(process.mode_count(), 2);
+        let set = abstracted.configuration_set();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.configuration("cluster1").unwrap().mode_count(), 1);
+        assert_eq!(
+            set.configuration("cluster1").unwrap().reconfiguration_latency(),
+            10
+        );
+        assert_eq!(
+            set.configuration("cluster2").unwrap().reconfiguration_latency(),
+            25
+        );
+        assert!(abstracted.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn per_entry_mode_maps_one_cluster_to_several_modes() {
+        // Mirrors the paper's example: "the extraction process results in two process
+        // modes for cluster 1 and three modes for cluster 2".
+        let system = figure3_system(true);
+        let att = system.attachment_by_name("interface1").unwrap();
+        let abstracted = system
+            .abstract_interface(att, ExtractionPolicy::PerEntryMode)
+            .unwrap();
+        let process = abstracted.graph.process(abstracted.process).unwrap();
+        assert_eq!(process.mode_count(), 2 + 3);
+        let set = abstracted.configuration_set();
+        assert_eq!(set.configuration("cluster1").unwrap().mode_count(), 2);
+        assert_eq!(set.configuration("cluster2").unwrap().mode_count(), 3);
+    }
+
+    #[test]
+    fn activation_follows_selection_tag_and_token_requirements() {
+        let system = figure3_system(false);
+        let att = system.attachment_by_name("interface1").unwrap();
+        let abstracted = system
+            .abstract_interface(att, ExtractionPolicy::Coarse)
+            .unwrap();
+        let graph = &abstracted.graph;
+        let process = graph.process(abstracted.process).unwrap();
+        let cin = graph.channel_by_name("CIn").unwrap().id();
+        let cv = graph.channel_by_name("CV").unwrap().id();
+
+        // 'V1' on CV and one token on CIn activates the cluster1 mode (x = 1).
+        let mut view = ChannelSnapshot::new();
+        view.set(cin, 1, vec![]);
+        view.set(cv, 1, vec![Tag::new("V1")]);
+        let mode = process.activation().select(&view).unwrap();
+        assert_eq!(
+            abstracted.configuration_set().configuration_of_mode(mode),
+            Some(0)
+        );
+
+        // 'V2' needs three tokens on CIn (y = 3): with one token nothing activates.
+        view.set(cv, 1, vec![Tag::new("V2")]);
+        assert_eq!(process.activation().select(&view), None);
+        view.set(cin, 3, vec![]);
+        let mode = process.activation().select(&view).unwrap();
+        assert_eq!(
+            abstracted.configuration_set().configuration_of_mode(mode),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn abstracted_process_reads_selection_channel() {
+        let system = figure3_system(false);
+        let att = system.attachment_by_name("interface1").unwrap();
+        let abstracted = system
+            .abstract_interface(att, ExtractionPolicy::Coarse)
+            .unwrap();
+        let cv = abstracted.graph.channel_by_name("CV").unwrap().id();
+        assert_eq!(abstracted.graph.reader_of(cv), Some(abstracted.process));
+    }
+
+    #[test]
+    fn coarse_latency_matches_cluster_estimate() {
+        let system = figure3_system(false);
+        let att = system.attachment_by_name("interface1").unwrap();
+        let abstracted = system
+            .abstract_interface(att, ExtractionPolicy::Coarse)
+            .unwrap();
+        let process = abstracted.graph.process(abstracted.process).unwrap();
+        // cluster1: latency 2, cluster2: latency 5 — hull per mode, not merged.
+        let latencies: Vec<Interval> = process.modes().iter().map(|m| m.latency()).collect();
+        assert!(latencies.contains(&Interval::point(2)));
+        assert!(latencies.contains(&Interval::point(5)));
+    }
+
+    #[test]
+    fn abstraction_and_flattening_describe_the_same_variants() {
+        let system = figure3_system(false);
+        // Flattening still works on the same system.
+        let flat = system
+            .flatten(&VariantChoice::new().with("interface1", "cluster2"))
+            .unwrap();
+        assert!(flat.process_by_name("interface1/cluster2/P").is_some());
+        // And abstraction yields exactly as many configurations as there are variants.
+        let att = system.attachment_by_name("interface1").unwrap();
+        let abstracted = system
+            .abstract_interface(att, ExtractionPolicy::Coarse)
+            .unwrap();
+        assert_eq!(
+            abstracted.configuration_set().len(),
+            system.interface(att).unwrap().cluster_count()
+        );
+    }
+
+    #[test]
+    fn unknown_attachment_is_rejected() {
+        let system = figure3_system(false);
+        let err = system
+            .abstract_interface(AttachmentId::from_raw(9), ExtractionPolicy::Coarse)
+            .unwrap_err();
+        assert!(matches!(err, VariantError::UnknownAttachment(9)));
+    }
+}

@@ -1,0 +1,303 @@
+//! Interfaces (Definition 2 of the paper).
+//!
+//! An interface is a port signature together with the set of clusters associated with
+//! it. Each associated cluster represents exactly one function variant; all clusters
+//! must match the interface's input and output ports, otherwise they could not be
+//! exchanged for one another.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::cluster::Cluster;
+use crate::error::VariantError;
+use crate::selection::ClusterSelection;
+use crate::Result;
+
+/// An interface: a socket for mutually exclusive function variants (Definition 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interface {
+    name: String,
+    input_ports: Vec<String>,
+    output_ports: Vec<String>,
+    clusters: Vec<Cluster>,
+    selection: Option<ClusterSelection>,
+    /// Index of the currently selected cluster (the `cur` parameter of Definition 3).
+    current: Option<usize>,
+}
+
+impl Interface {
+    /// Creates an interface with no ports or clusters yet.
+    pub fn new(name: impl Into<String>) -> Self {
+        Interface {
+            name: name.into(),
+            input_ports: Vec::new(),
+            output_ports: Vec::new(),
+            clusters: Vec::new(),
+            selection: None,
+            current: None,
+        }
+    }
+
+    /// Interface name (unique within a [`crate::VariantSystem`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares an input port.
+    pub fn add_input_port(&mut self, name: impl Into<String>) -> &mut Self {
+        self.input_ports.push(name.into());
+        self
+    }
+
+    /// Declares an output port.
+    pub fn add_output_port(&mut self, name: impl Into<String>) -> &mut Self {
+        self.output_ports.push(name.into());
+        self
+    }
+
+    /// Input port names in declaration order.
+    pub fn input_ports(&self) -> &[String] {
+        &self.input_ports
+    }
+
+    /// Output port names in declaration order.
+    pub fn output_ports(&self) -> &[String] {
+        &self.output_ports
+    }
+
+    /// Associates a cluster (one function variant) with the interface.
+    ///
+    /// # Errors
+    ///
+    /// * [`VariantError::DuplicateCluster`] if a cluster with the same name exists;
+    /// * [`VariantError::SignatureMismatch`] if the cluster's ports do not match the
+    ///   interface's ports (Definition 2 requires an exact match).
+    pub fn add_cluster(&mut self, cluster: Cluster) -> Result<()> {
+        if self.clusters.iter().any(|c| c.name() == cluster.name()) {
+            return Err(VariantError::DuplicateCluster(cluster.name().to_string()));
+        }
+        self.check_signature(&cluster)?;
+        self.clusters.push(cluster);
+        Ok(())
+    }
+
+    fn check_signature(&self, cluster: &Cluster) -> Result<()> {
+        let mismatch = |detail: String| {
+            Err(VariantError::SignatureMismatch {
+                interface: self.name.clone(),
+                cluster: cluster.name().to_string(),
+                detail,
+            })
+        };
+        for port in &self.input_ports {
+            match cluster.port(port) {
+                None => return mismatch(format!("missing input port `{port}`")),
+                Some(p) if p.direction() != crate::PortDirection::Input => {
+                    return mismatch(format!("port `{port}` has the wrong direction"))
+                }
+                Some(_) => {}
+            }
+        }
+        for port in &self.output_ports {
+            match cluster.port(port) {
+                None => return mismatch(format!("missing output port `{port}`")),
+                Some(p) if p.direction() != crate::PortDirection::Output => {
+                    return mismatch(format!("port `{port}` has the wrong direction"))
+                }
+                Some(_) => {}
+            }
+        }
+        let expected = self.input_ports.len() + self.output_ports.len();
+        if cluster.ports().len() != expected {
+            return mismatch(format!(
+                "cluster has {} ports, interface declares {expected}",
+                cluster.ports().len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// The associated clusters in association order.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Number of associated clusters (= number of function variants).
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Looks up a cluster by name.
+    pub fn cluster(&self, name: &str) -> Option<&Cluster> {
+        self.clusters.iter().find(|c| c.name() == name)
+    }
+
+    /// Index of a cluster by name.
+    pub fn cluster_index(&self, name: &str) -> Option<usize> {
+        self.clusters.iter().position(|c| c.name() == name)
+    }
+
+    /// Attaches the cluster selection function (Definition 3).
+    pub fn set_selection(&mut self, selection: ClusterSelection) {
+        self.selection = Some(selection);
+    }
+
+    /// The cluster selection function, if any.
+    pub fn selection(&self) -> Option<&ClusterSelection> {
+        self.selection.as_ref()
+    }
+
+    /// The `cur` parameter: index of the currently selected cluster, if any.
+    pub fn current(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// The currently selected cluster, if any.
+    pub fn current_cluster(&self) -> Option<&Cluster> {
+        self.current.and_then(|i| self.clusters.get(i))
+    }
+
+    /// Records a selection (updates the `cur` parameter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariantError::UnknownName`] if no cluster with that name exists.
+    pub fn select(&mut self, cluster: &str) -> Result<usize> {
+        let index = self
+            .cluster_index(cluster)
+            .ok_or_else(|| VariantError::UnknownName(cluster.to_string()))?;
+        self.current = Some(index);
+        Ok(index)
+    }
+
+    /// Validates the interface: all clusters validate, and the selection function (if
+    /// present) only references associated clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<()> {
+        for cluster in &self.clusters {
+            cluster.validate()?;
+            self.check_signature(cluster)?;
+        }
+        if let Some(selection) = &self.selection {
+            for rule in selection.rules() {
+                if self.cluster(rule.cluster()).is_none() {
+                    return Err(VariantError::UnknownClusterInRule {
+                        rule: rule.name().to_string(),
+                        cluster: rule.cluster().to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Interface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interface `{}` ({} in, {} out, {} variants)",
+            self.name,
+            self.input_ports.len(),
+            self.output_ports.len(),
+            self.clusters.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::SelectionRule;
+    use spi_model::{GraphBuilder, Interval};
+
+    fn simple_cluster(name: &str, latency: u64) -> Cluster {
+        let mut b = GraphBuilder::new(name);
+        b.process("P").latency(Interval::point(latency)).build().unwrap();
+        let mut cluster = Cluster::new(name, b.finish().unwrap());
+        cluster.add_input_port("i", "P", Interval::point(1)).unwrap();
+        cluster.add_output_port("o", "P", Interval::point(1)).unwrap();
+        cluster
+    }
+
+    fn interface_with_two_variants() -> Interface {
+        let mut interface = Interface::new("interface1");
+        interface.add_input_port("i");
+        interface.add_output_port("o");
+        interface.add_cluster(simple_cluster("cluster1", 2)).unwrap();
+        interface.add_cluster(simple_cluster("cluster2", 5)).unwrap();
+        interface
+    }
+
+    #[test]
+    fn clusters_with_matching_signature_are_accepted() {
+        let interface = interface_with_two_variants();
+        assert_eq!(interface.cluster_count(), 2);
+        assert!(interface.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_cluster_names_rejected() {
+        let mut interface = interface_with_two_variants();
+        let err = interface.add_cluster(simple_cluster("cluster1", 9)).unwrap_err();
+        assert!(matches!(err, VariantError::DuplicateCluster(_)));
+    }
+
+    #[test]
+    fn signature_mismatch_is_rejected() {
+        let mut interface = Interface::new("if");
+        interface.add_input_port("i");
+        interface.add_output_port("o");
+        interface.add_output_port("o2");
+        let err = interface.add_cluster(simple_cluster("c", 1)).unwrap_err();
+        assert!(matches!(err, VariantError::SignatureMismatch { .. }));
+    }
+
+    #[test]
+    fn extra_ports_on_cluster_are_rejected() {
+        let mut interface = Interface::new("if");
+        interface.add_input_port("i");
+        // Cluster has ports i and o, interface only declares i.
+        let err = interface.add_cluster(simple_cluster("c", 1)).unwrap_err();
+        assert!(matches!(err, VariantError::SignatureMismatch { .. }));
+    }
+
+    #[test]
+    fn wrong_direction_is_rejected() {
+        let mut interface = Interface::new("if");
+        // Interface declares `o` as an *input* port, the cluster has it as output.
+        interface.add_input_port("o");
+        interface.add_input_port("i");
+        let err = interface.add_cluster(simple_cluster("c", 1)).unwrap_err();
+        assert!(matches!(err, VariantError::SignatureMismatch { .. }));
+    }
+
+    #[test]
+    fn select_updates_cur_parameter() {
+        let mut interface = interface_with_two_variants();
+        assert_eq!(interface.current(), None);
+        let index = interface.select("cluster2").unwrap();
+        assert_eq!(index, 1);
+        assert_eq!(interface.current(), Some(1));
+        assert_eq!(interface.current_cluster().unwrap().name(), "cluster2");
+        assert!(matches!(
+            interface.select("nope"),
+            Err(VariantError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn selection_rules_must_reference_known_clusters() {
+        let mut interface = interface_with_two_variants();
+        interface.set_selection(
+            ClusterSelection::new()
+                .with_rule(SelectionRule::tag_equals("rho1", "CV", "V1", "cluster1"))
+                .with_rule(SelectionRule::tag_equals("rho9", "CV", "V9", "ghost")),
+        );
+        let err = interface.validate().unwrap_err();
+        assert!(matches!(err, VariantError::UnknownClusterInRule { .. }));
+    }
+}

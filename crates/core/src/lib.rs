@@ -1,0 +1,110 @@
+//! # spi-variants
+//!
+//! The primary contribution of *"Representation of Function Variants for Embedded System
+//! Optimization and Synthesis"* (Richter, Ziegenbein, Ernst, Thiele, Teich — DAC 1999):
+//! a coherent representation of **function variants** and their **selection mechanisms**
+//! on top of the SPI process-network model provided by [`spi_model`].
+//!
+//! Many embedded systems share a fixed core function and differ only in mutually
+//! exclusive **function variants** (multi-standard TV sets, emission-law dependent
+//! engine controllers, protocol stacks). This crate adds four constructs to the SPI
+//! model, following the paper's Definitions 1–4:
+//!
+//! | Construct | Type | Paper |
+//! |---|---|---|
+//! | Cluster | [`Cluster`] | Def. 1 — an exchangeable, connected subgraph with ports |
+//! | Interface | [`Interface`] | Def. 2 — a port signature plus the set of associated clusters (one per variant) |
+//! | Cluster selection | [`ClusterSelection`] | Def. 3 — tag-predicate rules, configuration latency, `cur` parameter |
+//! | Configurations | [`ConfigurationSet`] | Def. 4 — partition of an abstracted process's modes by originating cluster, with reconfiguration latency |
+//!
+//! The top-level type is [`VariantSystem`]: a common SPI graph plus interfaces attached
+//! to it. From a [`VariantSystem`] you can
+//!
+//! * **flatten** it into one plain [`spi_model::SpiGraph`] per variant combination
+//!   ([`VariantSystem::flatten`], [`VariantSpace`]), the representation used by
+//!   per-application synthesis and by production/run-time variant selection;
+//! * **abstract** an interface into a single process with [`ConfigurationSet`]s
+//!   ([`VariantSystem::abstract_interface`]), the representation used for dynamic
+//!   variant selection and reconfigurable architectures;
+//! * validate the representation (port matching, selection rules, configuration
+//!   partitions) and reason about reconfiguration with [`ReconfigurationTracker`].
+//!
+//! # Example
+//!
+//! A run-time variant selection in the style of Figure 3 of the paper:
+//!
+//! ```rust
+//! use spi_model::{ChannelKind, GraphBuilder, Interval};
+//! use spi_variants::{Cluster, Interface, VariantSystem, VariantType, SelectionRule, ClusterSelection};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Common part: the user process writing the variant-selection token on CV.
+//! let mut common = GraphBuilder::new("figure3");
+//! let user = common.process("PUser").latency(Interval::point(1)).build()?;
+//! let cv = common.channel("CV", ChannelKind::Register)?;
+//! let cin = common.channel("CIn", ChannelKind::Queue)?;
+//! let cout = common.channel("COut", ChannelKind::Queue)?;
+//! common.connect_output(user, cv, Interval::point(1))?;
+//! let common = common.finish()?;
+//!
+//! // Two variants of the processing chain behind interface 1.
+//! let cluster = |name: &str, latency: u64| -> Result<Cluster, Box<dyn std::error::Error>> {
+//!     let mut b = GraphBuilder::new(name);
+//!     let p = b.process("P").latency(Interval::point(latency)).build()?;
+//!     let g = b.finish()?;
+//!     let mut c = Cluster::new(name, g);
+//!     c.add_input_port("i", "P", Interval::point(1))?;
+//!     c.add_output_port("o", "P", Interval::point(1))?;
+//!     Ok(c)
+//! };
+//!
+//! let mut interface = Interface::new("interface1");
+//! interface.add_input_port("i");
+//! interface.add_output_port("o");
+//! interface.add_cluster(cluster("cluster1", 2)?)?;
+//! interface.add_cluster(cluster("cluster2", 5)?)?;
+//!
+//! let mut system = VariantSystem::new(common);
+//! let att = system.attach_interface(interface, VariantType::RunTime)?;
+//! system.bind_input(att, "i", "CIn")?;
+//! system.bind_output(att, "o", "COut")?;
+//! system.set_selection(att, ClusterSelection::new()
+//!     .with_rule(SelectionRule::tag_equals("rho1", "CV", "V1", "cluster1"))
+//!     .with_rule(SelectionRule::tag_equals("rho2", "CV", "V2", "cluster2")))?;
+//! system.validate()?;
+//!
+//! // Deriving the two applications: one flat SPI graph per variant.
+//! assert_eq!(system.variant_space().count(), 2);
+//! let app1 = system.flatten(&system.variant_space().choices()[0])?;
+//! assert!(app1.process_by_name("interface1/cluster1/P").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod configuration;
+pub mod error;
+pub mod extraction;
+pub mod interface;
+pub mod reconfiguration;
+pub mod selection;
+pub mod space;
+pub mod system;
+pub mod variant;
+
+pub use cluster::{Cluster, Port, PortDirection};
+pub use configuration::{Configuration, ConfigurationMap, ConfigurationSet};
+pub use error::VariantError;
+pub use extraction::{AbstractedSystem, ExtractionPolicy};
+pub use interface::Interface;
+pub use reconfiguration::{ReconfigurationEvent, ReconfigurationTracker};
+pub use selection::{ClusterSelection, SelectionRule};
+pub use space::{VariantChoice, VariantSpace};
+pub use system::{AttachmentId, VariantSystem};
+pub use variant::VariantType;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, VariantError>;

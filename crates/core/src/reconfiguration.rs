@@ -1,0 +1,192 @@
+//! Operational reconfiguration semantics.
+//!
+//! Section 4 of the paper describes what happens when the modes of two consecutive
+//! executions of an abstracted process were extracted from different clusters: a
+//! reconfiguration step is inserted, the old configuration is destroyed (including all
+//! internal buffers), `conf_cur` is updated, and the reconfiguration latency is added to
+//! the execution latency of that execution. [`ReconfigurationTracker`] implements this
+//! bookkeeping over a [`ConfigurationMap`]; the simulator drives it and the synthesis
+//! layer uses its accounting to budget reconfiguration overhead.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use spi_model::{ModeId, ProcessId, TimeValue};
+
+use crate::configuration::ConfigurationMap;
+
+/// A reconfiguration observed between two consecutive executions of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigurationEvent {
+    /// The reconfigured process.
+    pub process: ProcessId,
+    /// Index of the configuration that was active before (`None` for the initial
+    /// configuration step).
+    pub from: Option<usize>,
+    /// Index of the newly selected configuration.
+    pub to: usize,
+    /// Latency of the reconfiguration step, added to the execution latency.
+    pub latency: TimeValue,
+    /// Whether internal state (buffered data of the replaced cluster) is lost. This is
+    /// `true` for every proper reconfiguration, `false` for the initial configuration.
+    pub state_lost: bool,
+}
+
+impl fmt::Display for ReconfigurationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.from {
+            Some(from) => write!(
+                f,
+                "{}: reconfigure conf{} -> conf{} (t_conf = {})",
+                self.process, from, self.to, self.latency
+            ),
+            None => write!(
+                f,
+                "{}: initial configuration conf{} (t_conf = {})",
+                self.process, self.to, self.latency
+            ),
+        }
+    }
+}
+
+/// Tracks `conf_cur` per process and reports reconfiguration steps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReconfigurationTracker {
+    configurations: ConfigurationMap,
+    last_mode: std::collections::BTreeMap<ProcessId, ModeId>,
+    events: Vec<ReconfigurationEvent>,
+}
+
+impl ReconfigurationTracker {
+    /// Creates a tracker over the configuration annotations of a system.
+    pub fn new(configurations: ConfigurationMap) -> Self {
+        ReconfigurationTracker {
+            configurations,
+            last_mode: std::collections::BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The configuration annotations the tracker operates on.
+    pub fn configurations(&self) -> &ConfigurationMap {
+        &self.configurations
+    }
+
+    /// Records that `process` is about to execute in `mode` and returns the
+    /// reconfiguration step required before that execution, if any.
+    ///
+    /// Processes without configuration annotations never reconfigure.
+    pub fn observe(&mut self, process: ProcessId, mode: ModeId) -> Option<ReconfigurationEvent> {
+        let set = self.configurations.get_mut(&process)?;
+        let previous = self.last_mode.insert(process, mode);
+        let (from, to, latency) = set.reconfiguration(previous, mode)?;
+        set.set_current(to);
+        let event = ReconfigurationEvent {
+            process,
+            from,
+            to,
+            latency,
+            state_lost: from.is_some(),
+        };
+        self.events.push(event);
+        Some(event)
+    }
+
+    /// The current configuration index of a process, if it has been configured.
+    pub fn current(&self, process: ProcessId) -> Option<usize> {
+        self.configurations.get(&process)?.current()
+    }
+
+    /// All reconfiguration events observed so far, in order.
+    pub fn events(&self) -> &[ReconfigurationEvent] {
+        &self.events
+    }
+
+    /// Number of *proper* reconfigurations (excluding initial configuration steps).
+    pub fn reconfiguration_count(&self) -> usize {
+        self.events.iter().filter(|e| e.state_lost).count()
+    }
+
+    /// Total latency spent in configuration and reconfiguration steps.
+    pub fn total_latency(&self) -> TimeValue {
+        self.events.iter().map(|e| e.latency).sum()
+    }
+
+    /// Forgets all history (e.g. when restarting a simulation) but keeps the
+    /// configuration definitions.
+    pub fn reset(&mut self) {
+        self.last_mode.clear();
+        self.events.clear();
+        for set in self.configurations.values_mut() {
+            set.clear_current();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configuration::{Configuration, ConfigurationSet};
+
+    fn tracker() -> (ReconfigurationTracker, ProcessId) {
+        let process = ProcessId::new(7);
+        let set = ConfigurationSet::new()
+            .with_configuration(Configuration::new("conf1", [ModeId::new(0), ModeId::new(1)], 10))
+            .with_configuration(Configuration::new("conf2", [ModeId::new(2)], 25));
+        let mut map = ConfigurationMap::new();
+        map.insert(process, set);
+        (ReconfigurationTracker::new(map), process)
+    }
+
+    #[test]
+    fn initial_configuration_is_reported_without_state_loss() {
+        let (mut tracker, p) = tracker();
+        let event = tracker.observe(p, ModeId::new(0)).unwrap();
+        assert_eq!(event.from, None);
+        assert_eq!(event.to, 0);
+        assert_eq!(event.latency, 10);
+        assert!(!event.state_lost);
+        assert_eq!(tracker.current(p), Some(0));
+    }
+
+    #[test]
+    fn executions_within_a_configuration_do_not_reconfigure() {
+        let (mut tracker, p) = tracker();
+        tracker.observe(p, ModeId::new(0));
+        assert_eq!(tracker.observe(p, ModeId::new(1)), None);
+        assert_eq!(tracker.reconfiguration_count(), 0);
+        assert_eq!(tracker.total_latency(), 10);
+    }
+
+    #[test]
+    fn switching_variants_costs_the_target_latency_and_loses_state() {
+        let (mut tracker, p) = tracker();
+        tracker.observe(p, ModeId::new(0));
+        let event = tracker.observe(p, ModeId::new(2)).unwrap();
+        assert_eq!((event.from, event.to, event.latency), (Some(0), 1, 25));
+        assert!(event.state_lost);
+        let back = tracker.observe(p, ModeId::new(1)).unwrap();
+        assert_eq!((back.from, back.to, back.latency), (Some(1), 0, 10));
+        assert_eq!(tracker.reconfiguration_count(), 2);
+        assert_eq!(tracker.total_latency(), 10 + 25 + 10);
+    }
+
+    #[test]
+    fn unannotated_processes_never_reconfigure() {
+        let (mut tracker, _) = tracker();
+        assert_eq!(tracker.observe(ProcessId::new(99), ModeId::new(0)), None);
+    }
+
+    #[test]
+    fn reset_clears_history_and_current() {
+        let (mut tracker, p) = tracker();
+        tracker.observe(p, ModeId::new(0));
+        tracker.observe(p, ModeId::new(2));
+        tracker.reset();
+        assert!(tracker.events().is_empty());
+        assert_eq!(tracker.current(p), None);
+        // After a reset the next observation is an initial configuration again.
+        let event = tracker.observe(p, ModeId::new(2)).unwrap();
+        assert_eq!(event.from, None);
+    }
+}

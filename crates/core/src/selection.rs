@@ -1,0 +1,315 @@
+//! Cluster selection functions (Definition 3 of the paper).
+//!
+//! Associated with an interface there may be a **cluster selection function**: a finite
+//! set of rules, each mapping an input-token predicate (over the tag sets of the first
+//! available tokens on channels of the surrounding system) to one dedicated cluster.
+//! Additionally, each (interface, cluster) pair carries a **configuration latency**
+//! `t_conf` — the time needed to configure the interface with that cluster — and the
+//! interface keeps a `cur` parameter recording the currently selected cluster (stored on
+//! [`crate::Interface`]).
+//!
+//! The paper's Figure 3 example:
+//!
+//! ```text
+//! rho1 : 'V1' in CV.tag  ->  cluster1
+//! rho2 : 'V2' in CV.tag  ->  cluster2
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use spi_model::{ChannelId, ChannelView, Predicate, Tag, TimeValue};
+
+/// A single selection rule: predicate → cluster name.
+///
+/// Rules reference channels of the *surrounding* graph by name; the name is resolved
+/// against the common graph when the rule is evaluated or compiled into a
+/// [`Predicate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectionRule {
+    name: String,
+    channel: String,
+    min_tokens: u64,
+    required_tag: Option<Tag>,
+    cluster: String,
+}
+
+impl SelectionRule {
+    /// Rule requiring the first visible token on `channel` to carry `tag`
+    /// (the form used throughout the paper).
+    pub fn tag_equals(
+        name: impl Into<String>,
+        channel: impl Into<String>,
+        tag: impl Into<Tag>,
+        cluster: impl Into<String>,
+    ) -> Self {
+        SelectionRule {
+            name: name.into(),
+            channel: channel.into(),
+            min_tokens: 1,
+            required_tag: Some(tag.into()),
+            cluster: cluster.into(),
+        }
+    }
+
+    /// Rule requiring only token availability on `channel` (no tag condition).
+    pub fn token_present(
+        name: impl Into<String>,
+        channel: impl Into<String>,
+        cluster: impl Into<String>,
+    ) -> Self {
+        SelectionRule {
+            name: name.into(),
+            channel: channel.into(),
+            min_tokens: 1,
+            required_tag: None,
+            cluster: cluster.into(),
+        }
+    }
+
+    /// Sets the minimum number of available tokens required (defaults to one).
+    pub fn with_min_tokens(mut self, min_tokens: u64) -> Self {
+        self.min_tokens = min_tokens;
+        self
+    }
+
+    /// Rule name (e.g. `rho1`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Name of the channel inspected by the predicate.
+    pub fn channel(&self) -> &str {
+        &self.channel
+    }
+
+    /// Minimum number of tokens that must be available.
+    pub fn min_tokens(&self) -> u64 {
+        self.min_tokens
+    }
+
+    /// Tag that the first visible token must carry, if any.
+    pub fn required_tag(&self) -> Option<&Tag> {
+        self.required_tag.as_ref()
+    }
+
+    /// Name of the cluster selected when the predicate holds.
+    pub fn cluster(&self) -> &str {
+        &self.cluster
+    }
+
+    /// Compiles the rule's predicate against a resolved channel id.
+    pub fn predicate(&self, channel: ChannelId) -> Predicate {
+        let mut predicate = Predicate::min_tokens(channel, self.min_tokens);
+        if let Some(tag) = &self.required_tag {
+            predicate = predicate.and(Predicate::HasTag {
+                channel,
+                tag: tag.clone(),
+            });
+        }
+        predicate
+    }
+
+    /// Evaluates the rule against channel state, given the resolved channel id.
+    pub fn matches<V: ChannelView + ?Sized>(&self, channel: ChannelId, view: &V) -> bool {
+        self.predicate(channel).eval(view)
+    }
+}
+
+impl fmt::Display for SelectionRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.required_tag {
+            Some(tag) => write!(
+                f,
+                "{}: {} in {}.tag -> {}",
+                self.name, tag, self.channel, self.cluster
+            ),
+            None => write!(
+                f,
+                "{}: {}.num >= {} -> {}",
+                self.name, self.channel, self.min_tokens, self.cluster
+            ),
+        }
+    }
+}
+
+/// The cluster selection function of an interface (Definition 3).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSelection {
+    rules: Vec<SelectionRule>,
+    /// Configuration latency `t_conf` per cluster name.
+    configuration_latencies: BTreeMap<String, TimeValue>,
+    /// Latency assumed for clusters without an explicit entry.
+    default_latency: TimeValue,
+}
+
+impl ClusterSelection {
+    /// Creates an empty selection function.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a rule; rules are evaluated in insertion order.
+    pub fn with_rule(mut self, rule: SelectionRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Sets the configuration latency `t_conf` for one cluster.
+    pub fn with_configuration_latency(
+        mut self,
+        cluster: impl Into<String>,
+        latency: TimeValue,
+    ) -> Self {
+        self.configuration_latencies.insert(cluster.into(), latency);
+        self
+    }
+
+    /// Sets the latency assumed for clusters without an explicit entry.
+    pub fn with_default_latency(mut self, latency: TimeValue) -> Self {
+        self.default_latency = latency;
+        self
+    }
+
+    /// The rules in evaluation order.
+    pub fn rules(&self) -> &[SelectionRule] {
+        &self.rules
+    }
+
+    /// Returns `true` if no rules were declared.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Configuration latency `t_conf` for the given cluster.
+    pub fn configuration_latency(&self, cluster: &str) -> TimeValue {
+        self.configuration_latencies
+            .get(cluster)
+            .copied()
+            .unwrap_or(self.default_latency)
+    }
+
+    /// Channel names referenced by the rules (deduplicated, sorted).
+    pub fn referenced_channels(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.rules.iter().map(|r| r.channel.as_str()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Evaluates the selection function: the first rule whose predicate holds selects
+    /// the cluster. `resolve` maps a channel name to its id in the surrounding graph.
+    ///
+    /// Returns `None` if no rule is enabled or a referenced channel cannot be resolved
+    /// (the paper assumes correct models, so this simply means "no selection yet").
+    pub fn select<'a, V, F>(&'a self, view: &V, mut resolve: F) -> Option<&'a str>
+    where
+        V: ChannelView + ?Sized,
+        F: FnMut(&str) -> Option<ChannelId>,
+    {
+        self.rules
+            .iter()
+            .find(|rule| {
+                resolve(&rule.channel)
+                    .map(|channel| rule.matches(channel, view))
+                    .unwrap_or(false)
+            })
+            .map(|rule| rule.cluster.as_str())
+    }
+}
+
+impl fmt::Display for ClusterSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        for (cluster, latency) in &self.configuration_latencies {
+            writeln!(f, "t_conf({cluster}) = {latency}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_model::activation::ChannelSnapshot;
+
+    fn figure3_selection() -> ClusterSelection {
+        ClusterSelection::new()
+            .with_rule(SelectionRule::tag_equals("rho1", "CV", "V1", "cluster1"))
+            .with_rule(SelectionRule::tag_equals("rho2", "CV", "V2", "cluster2"))
+            .with_configuration_latency("cluster1", 10)
+            .with_configuration_latency("cluster2", 25)
+    }
+
+    #[test]
+    fn tag_rule_selects_matching_cluster() {
+        let selection = figure3_selection();
+        let cv = ChannelId::new(3);
+        let mut view = ChannelSnapshot::new();
+        view.set(cv, 1, vec![Tag::new("V2")]);
+        let resolve = |name: &str| (name == "CV").then_some(cv);
+        assert_eq!(selection.select(&view, resolve), Some("cluster2"));
+    }
+
+    #[test]
+    fn no_token_means_no_selection() {
+        let selection = figure3_selection();
+        let cv = ChannelId::new(3);
+        let view = ChannelSnapshot::new();
+        assert_eq!(selection.select(&view, |_| Some(cv)), None);
+    }
+
+    #[test]
+    fn unresolvable_channel_means_no_selection() {
+        let selection = figure3_selection();
+        let mut view = ChannelSnapshot::new();
+        view.set(ChannelId::new(3), 1, vec![Tag::new("V1")]);
+        assert_eq!(selection.select(&view, |_| None), None);
+    }
+
+    #[test]
+    fn configuration_latency_lookup_with_default() {
+        let selection = figure3_selection().with_default_latency(7);
+        assert_eq!(selection.configuration_latency("cluster1"), 10);
+        assert_eq!(selection.configuration_latency("cluster2"), 25);
+        assert_eq!(selection.configuration_latency("unknown"), 7);
+    }
+
+    #[test]
+    fn rule_order_breaks_ambiguity() {
+        // A token carrying both tags matches rho1 first.
+        let selection = figure3_selection();
+        let cv = ChannelId::new(0);
+        let mut view = ChannelSnapshot::new();
+        view.set(cv, 1, vec![Tag::new("V1"), Tag::new("V2")]);
+        assert_eq!(selection.select(&view, |_| Some(cv)), Some("cluster1"));
+    }
+
+    #[test]
+    fn token_present_rule_ignores_tags() {
+        let rule = SelectionRule::token_present("r", "CReq", "any").with_min_tokens(2);
+        let c = ChannelId::new(1);
+        let mut view = ChannelSnapshot::new();
+        view.set(c, 1, vec![]);
+        assert!(!rule.matches(c, &view));
+        view.set(c, 2, vec![]);
+        assert!(rule.matches(c, &view));
+    }
+
+    #[test]
+    fn display_reads_like_the_paper() {
+        let selection = figure3_selection();
+        let text = selection.to_string();
+        assert!(text.contains("rho1: 'V1' in CV.tag -> cluster1"));
+        assert!(text.contains("t_conf(cluster2) = 25"));
+    }
+
+    #[test]
+    fn referenced_channels_deduplicated() {
+        let selection = figure3_selection();
+        assert_eq!(selection.referenced_channels(), vec!["CV"]);
+    }
+}

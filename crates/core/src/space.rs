@@ -1,0 +1,193 @@
+//! The variant space of a system: every combination of cluster choices.
+//!
+//! The variant selections of the different interfaces of a system may be related or
+//! independent (Section 1 of the paper). [`VariantSpace`] enumerates the independent
+//! cross product; related selections can be expressed by filtering the enumeration.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A complete choice: one cluster name per interface name.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VariantChoice {
+    selections: BTreeMap<String, String>,
+}
+
+impl VariantChoice {
+    /// Creates an empty choice.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects `cluster` for `interface`, returning `self` for chaining.
+    pub fn with(mut self, interface: impl Into<String>, cluster: impl Into<String>) -> Self {
+        self.selections.insert(interface.into(), cluster.into());
+        self
+    }
+
+    /// Selects `cluster` for `interface`.
+    pub fn select(&mut self, interface: impl Into<String>, cluster: impl Into<String>) {
+        self.selections.insert(interface.into(), cluster.into());
+    }
+
+    /// The cluster chosen for `interface`, if any.
+    pub fn cluster_for(&self, interface: &str) -> Option<&str> {
+        self.selections.get(interface).map(String::as_str)
+    }
+
+    /// Iterates over `(interface, cluster)` pairs in interface-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.selections
+            .iter()
+            .map(|(i, c)| (i.as_str(), c.as_str()))
+    }
+
+    /// Number of interfaces covered by this choice.
+    pub fn len(&self) -> usize {
+        self.selections.len()
+    }
+
+    /// Returns `true` if the choice covers no interface.
+    pub fn is_empty(&self) -> bool {
+        self.selections.is_empty()
+    }
+}
+
+impl fmt::Display for VariantChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (index, (interface, cluster)) in self.selections.iter().enumerate() {
+            if index > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{interface} = {cluster}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, String)> for VariantChoice {
+    fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
+        VariantChoice {
+            selections: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The cross product of the cluster choices of every interface of a system.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VariantSpace {
+    axes: Vec<(String, Vec<String>)>,
+}
+
+impl VariantSpace {
+    /// Creates a space from `(interface, clusters)` axes.
+    pub fn new(axes: Vec<(String, Vec<String>)>) -> Self {
+        VariantSpace { axes }
+    }
+
+    /// The `(interface, clusters)` axes in attachment order.
+    pub fn axes(&self) -> &[(String, Vec<String>)] {
+        &self.axes
+    }
+
+    /// Number of variant combinations (product of the per-interface counts; an
+    /// interface with no clusters contributes a factor of zero).
+    pub fn count(&self) -> usize {
+        if self.axes.is_empty() {
+            return 0;
+        }
+        self.axes.iter().map(|(_, clusters)| clusters.len()).product()
+    }
+
+    /// Enumerates every combination as a [`VariantChoice`] (lexicographic in axis
+    /// order).
+    pub fn choices(&self) -> Vec<VariantChoice> {
+        let mut result = vec![VariantChoice::new()];
+        for (interface, clusters) in &self.axes {
+            let mut next = Vec::with_capacity(result.len() * clusters.len());
+            for partial in &result {
+                for cluster in clusters {
+                    let mut extended = partial.clone();
+                    extended.select(interface.clone(), cluster.clone());
+                    next.push(extended);
+                }
+            }
+            result = next;
+        }
+        if self.axes.is_empty() {
+            Vec::new()
+        } else {
+            result
+        }
+    }
+}
+
+impl fmt::Display for VariantSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (interface, clusters) in &self.axes {
+            writeln!(f, "{interface}: {}", clusters.join(" | "))?;
+        }
+        write!(f, "total combinations: {}", self.count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> VariantSpace {
+        VariantSpace::new(vec![
+            ("if1".into(), vec!["a".into(), "b".into()]),
+            ("if2".into(), vec!["x".into(), "y".into(), "z".into()]),
+        ])
+    }
+
+    #[test]
+    fn count_is_product_of_axis_sizes() {
+        assert_eq!(space().count(), 6);
+        assert_eq!(VariantSpace::default().count(), 0);
+    }
+
+    #[test]
+    fn choices_enumerate_the_cross_product() {
+        let choices = space().choices();
+        assert_eq!(choices.len(), 6);
+        assert_eq!(choices[0].cluster_for("if1"), Some("a"));
+        assert_eq!(choices[0].cluster_for("if2"), Some("x"));
+        assert_eq!(choices[5].cluster_for("if1"), Some("b"));
+        assert_eq!(choices[5].cluster_for("if2"), Some("z"));
+        // All choices are distinct.
+        let mut unique = choices.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn empty_space_has_no_choices() {
+        assert!(VariantSpace::default().choices().is_empty());
+    }
+
+    #[test]
+    fn axis_with_no_clusters_collapses_the_space() {
+        let space = VariantSpace::new(vec![
+            ("if1".into(), vec!["a".into()]),
+            ("broken".into(), vec![]),
+        ]);
+        assert_eq!(space.count(), 0);
+        assert!(space.choices().is_empty());
+    }
+
+    #[test]
+    fn choice_accessors() {
+        let choice = VariantChoice::new().with("if1", "a").with("if2", "x");
+        assert_eq!(choice.len(), 2);
+        assert!(!choice.is_empty());
+        assert_eq!(choice.cluster_for("if3"), None);
+        assert_eq!(choice.to_string(), "{if1 = a, if2 = x}");
+        let pairs: Vec<_> = choice.iter().collect();
+        assert_eq!(pairs, vec![("if1", "a"), ("if2", "x")]);
+    }
+}

@@ -1,0 +1,676 @@
+//! The complete variant-aware system representation.
+//!
+//! A [`VariantSystem`] is the paper's "complete modelling": one **common part**
+//! (an ordinary SPI graph containing everything that is not variant-dependent) plus a
+//! set of **interface attachments**. Each attachment places an [`Interface`] — and with
+//! it a set of mutually exclusive clusters — into the common graph by binding the
+//! interface's ports to channels of the common graph.
+//!
+//! Two transformations take the representation back to plain SPI graphs:
+//!
+//! * [`VariantSystem::flatten`] replaces every interface by one chosen cluster,
+//!   producing the single-variant system used for per-application synthesis
+//!   (and implicitly for production/run-time variants);
+//! * [`VariantSystem::abstract_interface`] (defined in [`crate::extraction`]) replaces
+//!   an interface by a single process whose modes are partitioned into configurations —
+//!   the representation used for dynamic variants and reconfigurable architectures.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use spi_model::{ChannelId, SpiGraph};
+
+use crate::cluster::{Cluster, PortDirection};
+use crate::error::VariantError;
+use crate::interface::Interface;
+use crate::selection::ClusterSelection;
+use crate::space::{VariantChoice, VariantSpace};
+use crate::variant::VariantType;
+use crate::Result;
+
+/// Identifier of an interface attachment within a [`VariantSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttachmentId(usize);
+
+impl AttachmentId {
+    /// Raw index of the attachment.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Creates an attachment id from a raw index (test helper; ids are normally
+    /// obtained from [`VariantSystem::attach_interface`]).
+    #[cfg(test)]
+    pub(crate) fn from_raw(index: usize) -> Self {
+        AttachmentId(index)
+    }
+}
+
+impl fmt::Display for AttachmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attachment#{}", self.0)
+    }
+}
+
+/// An interface placed into the common graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attachment {
+    interface: Interface,
+    variant_type: VariantType,
+    /// Interface input port name → channel name of the common graph feeding it.
+    input_bindings: BTreeMap<String, String>,
+    /// Interface output port name → channel name of the common graph it writes.
+    output_bindings: BTreeMap<String, String>,
+}
+
+impl Attachment {
+    /// The attached interface.
+    pub fn interface(&self) -> &Interface {
+        &self.interface
+    }
+
+    /// Mutable access to the attached interface.
+    pub fn interface_mut(&mut self) -> &mut Interface {
+        &mut self.interface
+    }
+
+    /// How the variant behind this interface is selected.
+    pub fn variant_type(&self) -> VariantType {
+        self.variant_type
+    }
+
+    /// Channel (by name) bound to the given input port, if bound.
+    pub fn input_binding(&self, port: &str) -> Option<&str> {
+        self.input_bindings.get(port).map(String::as_str)
+    }
+
+    /// Channel (by name) bound to the given output port, if bound.
+    pub fn output_binding(&self, port: &str) -> Option<&str> {
+        self.output_bindings.get(port).map(String::as_str)
+    }
+
+    /// All input bindings as `(port, channel)` pairs.
+    pub fn input_bindings(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.input_bindings
+            .iter()
+            .map(|(p, c)| (p.as_str(), c.as_str()))
+    }
+
+    /// All output bindings as `(port, channel)` pairs.
+    pub fn output_bindings(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.output_bindings
+            .iter()
+            .map(|(p, c)| (p.as_str(), c.as_str()))
+    }
+}
+
+/// A system with function variants: a common SPI graph plus attached interfaces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariantSystem {
+    common: SpiGraph,
+    attachments: Vec<Attachment>,
+}
+
+impl VariantSystem {
+    /// Wraps the common (variant-independent) part of a system.
+    pub fn new(common: SpiGraph) -> Self {
+        VariantSystem {
+            common,
+            attachments: Vec::new(),
+        }
+    }
+
+    /// The common part.
+    pub fn common(&self) -> &SpiGraph {
+        &self.common
+    }
+
+    /// Mutable access to the common part.
+    pub fn common_mut(&mut self) -> &mut SpiGraph {
+        &mut self.common
+    }
+
+    /// Name of the modelled system (the common graph's name).
+    pub fn name(&self) -> &str {
+        self.common.name()
+    }
+
+    /// Attaches an interface (with its clusters) to the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariantError::Validation`] if an interface with the same name is
+    /// already attached.
+    pub fn attach_interface(
+        &mut self,
+        interface: Interface,
+        variant_type: VariantType,
+    ) -> Result<AttachmentId> {
+        if self
+            .attachments
+            .iter()
+            .any(|a| a.interface.name() == interface.name())
+        {
+            return Err(VariantError::Validation(format!(
+                "interface `{}` is already attached",
+                interface.name()
+            )));
+        }
+        self.attachments.push(Attachment {
+            interface,
+            variant_type,
+            input_bindings: BTreeMap::new(),
+            output_bindings: BTreeMap::new(),
+        });
+        Ok(AttachmentId(self.attachments.len() - 1))
+    }
+
+    /// Binds an input port of the attached interface to a channel of the common graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the attachment, the port or the channel does not exist.
+    pub fn bind_input(
+        &mut self,
+        attachment: AttachmentId,
+        port: impl AsRef<str>,
+        channel: impl AsRef<str>,
+    ) -> Result<()> {
+        self.bind(attachment, port.as_ref(), channel.as_ref(), PortDirection::Input)
+    }
+
+    /// Binds an output port of the attached interface to a channel of the common graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the attachment, the port or the channel does not exist.
+    pub fn bind_output(
+        &mut self,
+        attachment: AttachmentId,
+        port: impl AsRef<str>,
+        channel: impl AsRef<str>,
+    ) -> Result<()> {
+        self.bind(attachment, port.as_ref(), channel.as_ref(), PortDirection::Output)
+    }
+
+    fn bind(
+        &mut self,
+        attachment: AttachmentId,
+        port: &str,
+        channel: &str,
+        direction: PortDirection,
+    ) -> Result<()> {
+        if self.common.channel_by_name(channel).is_none() {
+            return Err(VariantError::UnknownName(channel.to_string()));
+        }
+        let attachment = self
+            .attachments
+            .get_mut(attachment.0)
+            .ok_or(VariantError::UnknownAttachment(attachment.0))?;
+        let ports = match direction {
+            PortDirection::Input => attachment.interface.input_ports(),
+            PortDirection::Output => attachment.interface.output_ports(),
+        };
+        if !ports.iter().any(|p| p == port) {
+            return Err(VariantError::UnknownName(port.to_string()));
+        }
+        match direction {
+            PortDirection::Input => attachment
+                .input_bindings
+                .insert(port.to_string(), channel.to_string()),
+            PortDirection::Output => attachment
+                .output_bindings
+                .insert(port.to_string(), channel.to_string()),
+        };
+        Ok(())
+    }
+
+    /// Attaches the cluster selection function to the interface of an attachment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariantError::UnknownAttachment`] for an invalid attachment id.
+    pub fn set_selection(
+        &mut self,
+        attachment: AttachmentId,
+        selection: ClusterSelection,
+    ) -> Result<()> {
+        let attachment = self
+            .attachments
+            .get_mut(attachment.0)
+            .ok_or(VariantError::UnknownAttachment(attachment.0))?;
+        attachment.interface.set_selection(selection);
+        Ok(())
+    }
+
+    /// The attachment with the given id.
+    pub fn attachment(&self, id: AttachmentId) -> Option<&Attachment> {
+        self.attachments.get(id.0)
+    }
+
+    /// Mutable access to an attachment.
+    pub fn attachment_mut(&mut self, id: AttachmentId) -> Option<&mut Attachment> {
+        self.attachments.get_mut(id.0)
+    }
+
+    /// All attachments in attachment order.
+    pub fn attachments(&self) -> &[Attachment] {
+        &self.attachments
+    }
+
+    /// All attachment ids in order.
+    pub fn attachment_ids(&self) -> Vec<AttachmentId> {
+        (0..self.attachments.len()).map(AttachmentId).collect()
+    }
+
+    /// Number of attached interfaces.
+    pub fn attachment_count(&self) -> usize {
+        self.attachments.len()
+    }
+
+    /// Finds an attachment by interface name.
+    pub fn attachment_by_name(&self, interface: &str) -> Option<AttachmentId> {
+        self.attachments
+            .iter()
+            .position(|a| a.interface.name() == interface)
+            .map(AttachmentId)
+    }
+
+    /// The interface of an attachment.
+    pub fn interface(&self, id: AttachmentId) -> Option<&Interface> {
+        self.attachment(id).map(Attachment::interface)
+    }
+
+    /// The variant space spanned by all attached interfaces.
+    pub fn variant_space(&self) -> VariantSpace {
+        VariantSpace::new(
+            self.attachments
+                .iter()
+                .map(|a| {
+                    (
+                        a.interface.name().to_string(),
+                        a.interface
+                            .clusters()
+                            .iter()
+                            .map(|c| c.name().to_string())
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Validates the whole representation.
+    ///
+    /// Checks, in order: the common graph, every interface (clusters, signatures,
+    /// selection rules), that every interface port is bound to an existing channel of
+    /// the common graph, that bound channels are free in the required direction (an
+    /// input-port channel must not already have a reader, an output-port channel must
+    /// not already have a writer), and that selection rules reference channels that
+    /// exist in the common graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<()> {
+        self.common.validate()?;
+        for attachment in &self.attachments {
+            let interface = &attachment.interface;
+            interface.validate()?;
+            for port in interface.input_ports() {
+                let channel = attachment.input_bindings.get(port).ok_or_else(|| {
+                    VariantError::UnboundPort {
+                        interface: interface.name().to_string(),
+                        port: port.clone(),
+                    }
+                })?;
+                let channel = self
+                    .common
+                    .channel_by_name(channel)
+                    .ok_or_else(|| VariantError::UnknownName(channel.clone()))?;
+                if self.common.reader_of(channel.id()).is_some() {
+                    return Err(VariantError::Validation(format!(
+                        "channel `{}` bound to input port `{port}` of `{}` already has a reader",
+                        channel.name(),
+                        interface.name()
+                    )));
+                }
+            }
+            for port in interface.output_ports() {
+                let channel = attachment.output_bindings.get(port).ok_or_else(|| {
+                    VariantError::UnboundPort {
+                        interface: interface.name().to_string(),
+                        port: port.clone(),
+                    }
+                })?;
+                let channel = self
+                    .common
+                    .channel_by_name(channel)
+                    .ok_or_else(|| VariantError::UnknownName(channel.clone()))?;
+                if self.common.writer_of(channel.id()).is_some() {
+                    return Err(VariantError::Validation(format!(
+                        "channel `{}` bound to output port `{port}` of `{}` already has a writer",
+                        channel.name(),
+                        interface.name()
+                    )));
+                }
+            }
+            if let Some(selection) = interface.selection() {
+                for channel in selection.referenced_channels() {
+                    if self.common.channel_by_name(channel).is_none() {
+                        return Err(VariantError::UnknownName(channel.to_string()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves a channel name of the common graph to its id.
+    pub fn resolve_channel(&self, name: &str) -> Option<ChannelId> {
+        self.common.channel_by_name(name).map(|c| c.id())
+    }
+
+    // --- flattening ---------------------------------------------------------------
+
+    /// Produces the single-variant SPI graph obtained by replacing every interface by
+    /// the cluster named in `choice`.
+    ///
+    /// Merged nodes are prefixed with `"{interface}/{cluster}/"` so that names stay
+    /// unique and the provenance of every node remains visible.
+    ///
+    /// # Errors
+    ///
+    /// * [`VariantError::IncompleteChoice`] if `choice` misses an interface;
+    /// * [`VariantError::UnknownName`] if it names a cluster the interface lacks;
+    /// * any validation error of the resulting graph.
+    pub fn flatten(&self, choice: &VariantChoice) -> Result<SpiGraph> {
+        let mut graph = self.common.clone();
+        for attachment in &self.attachments {
+            let interface = &attachment.interface;
+            let cluster_name = choice
+                .cluster_for(interface.name())
+                .ok_or_else(|| VariantError::IncompleteChoice(interface.name().to_string()))?;
+            let cluster = interface
+                .cluster(cluster_name)
+                .ok_or_else(|| VariantError::UnknownName(cluster_name.to_string()))?;
+            Self::splice_cluster(&mut graph, attachment, cluster)?;
+        }
+        graph.validate()?;
+        Ok(graph)
+    }
+
+    /// Flattens every combination of the variant space, pairing each choice with its
+    /// single-variant graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`flatten`](Self::flatten).
+    pub fn flatten_all(&self) -> Result<Vec<(VariantChoice, SpiGraph)>> {
+        self.variant_space()
+            .choices()
+            .into_iter()
+            .map(|choice| self.flatten(&choice).map(|graph| (choice, graph)))
+            .collect()
+    }
+
+    fn splice_cluster(
+        graph: &mut SpiGraph,
+        attachment: &Attachment,
+        cluster: &Cluster,
+    ) -> Result<()> {
+        let prefix = format!("{}/{}/", attachment.interface.name(), cluster.name());
+        let map = graph.merge(cluster.graph(), &prefix)?;
+        for port in cluster.ports() {
+            let binding = match port.direction() {
+                PortDirection::Input => attachment.input_bindings.get(port.name()),
+                PortDirection::Output => attachment.output_bindings.get(port.name()),
+            };
+            let Some(channel_name) = binding else {
+                return Err(VariantError::UnboundPort {
+                    interface: attachment.interface.name().to_string(),
+                    port: port.name().to_string(),
+                });
+            };
+            let channel = graph
+                .channel_by_name(channel_name)
+                .ok_or_else(|| VariantError::UnknownName(channel_name.clone()))?
+                .id();
+            let process = *map
+                .processes
+                .get(&port.process())
+                .ok_or_else(|| VariantError::UnknownName(port.name().to_string()))?;
+            match port.direction() {
+                PortDirection::Input => {
+                    graph.set_reader(channel, process)?;
+                    graph
+                        .process_mut(process)
+                        .expect("process was just merged")
+                        .set_default_consumption(channel, port.rate());
+                }
+                PortDirection::Output => {
+                    graph.set_writer(channel, process)?;
+                    graph
+                        .process_mut(process)
+                        .expect("process was just merged")
+                        .set_default_production(
+                            channel,
+                            spi_model::ProductionSpec::tagged(port.rate(), port.tags().clone()),
+                        );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for VariantSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "variant system `{}`: common part with {} processes / {} channels, {} interfaces",
+            self.name(),
+            self.common.process_count(),
+            self.common.channel_count(),
+            self.attachments.len()
+        )?;
+        for attachment in &self.attachments {
+            writeln!(
+                f,
+                "  {} [{}]",
+                attachment.interface,
+                attachment.variant_type
+            )?;
+        }
+        write!(f, "variant combinations: {}", self.variant_space().count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::SelectionRule;
+    use spi_model::{ChannelKind, GraphBuilder, Interval};
+
+    /// Builds the Figure 2 style system: common processes PA, PB around interface 1
+    /// with two variants.
+    pub(crate) fn figure2_like_system() -> VariantSystem {
+        // Common part: PA -> C_in -> [interface] -> C_mid -> PB.
+        let mut b = GraphBuilder::new("figure2");
+        let pa = b.process("PA").latency(Interval::point(2)).build().unwrap();
+        let pb = b.process("PB").latency(Interval::point(3)).build().unwrap();
+        let c_in = b.channel("C_in", ChannelKind::Queue).unwrap();
+        let c_mid = b.channel("C_mid", ChannelKind::Queue).unwrap();
+        b.connect_output(pa, c_in, Interval::point(1)).unwrap();
+        b.connect_input(c_mid, pb, Interval::point(1)).unwrap();
+        let common = b.finish().unwrap();
+
+        let cluster = |name: &str, stages: u64, latency: u64| {
+            let mut cb = GraphBuilder::new(name);
+            let mut prev = None;
+            for stage in 0..stages {
+                let p = cb
+                    .process(format!("P{stage}"))
+                    .latency(Interval::point(latency))
+                    .build()
+                    .unwrap();
+                if let Some(prev) = prev {
+                    let c = cb
+                        .channel(format!("c{stage}"), ChannelKind::Queue)
+                        .unwrap();
+                    cb.connect_output(prev, c, Interval::point(1)).unwrap();
+                    cb.connect_input(c, p, Interval::point(1)).unwrap();
+                }
+                prev = Some(p);
+            }
+            let graph = cb.finish().unwrap();
+            let mut cluster = Cluster::new(name, graph);
+            cluster.add_input_port("i", "P0", Interval::point(1)).unwrap();
+            cluster
+                .add_output_port("o", format!("P{}", stages - 1).as_str(), Interval::point(1))
+                .unwrap();
+            cluster
+        };
+
+        let mut interface = Interface::new("interface1");
+        interface.add_input_port("i");
+        interface.add_output_port("o");
+        interface.add_cluster(cluster("cluster1", 2, 4)).unwrap();
+        interface.add_cluster(cluster("cluster2", 3, 2)).unwrap();
+
+        let mut system = VariantSystem::new(common);
+        let att = system
+            .attach_interface(interface, VariantType::Production)
+            .unwrap();
+        system.bind_input(att, "i", "C_in").unwrap();
+        system.bind_output(att, "o", "C_mid").unwrap();
+        system
+    }
+
+    #[test]
+    fn attach_and_query() {
+        let system = figure2_like_system();
+        assert_eq!(system.attachment_count(), 1);
+        let id = system.attachment_by_name("interface1").unwrap();
+        assert_eq!(system.interface(id).unwrap().cluster_count(), 2);
+        assert_eq!(system.variant_space().count(), 2);
+        assert!(system.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_interface_rejected() {
+        let mut system = figure2_like_system();
+        let err = system
+            .attach_interface(Interface::new("interface1"), VariantType::Production)
+            .unwrap_err();
+        assert!(matches!(err, VariantError::Validation(_)));
+    }
+
+    #[test]
+    fn binding_unknown_channel_or_port_rejected() {
+        let mut system = figure2_like_system();
+        let id = system.attachment_by_name("interface1").unwrap();
+        assert!(matches!(
+            system.bind_input(id, "i", "missing_channel"),
+            Err(VariantError::UnknownName(_))
+        ));
+        assert!(matches!(
+            system.bind_input(id, "missing_port", "C_in"),
+            Err(VariantError::UnknownName(_))
+        ));
+        assert!(matches!(
+            system.bind_input(AttachmentId(9), "i", "C_in"),
+            Err(VariantError::UnknownAttachment(9))
+        ));
+    }
+
+    #[test]
+    fn validate_requires_all_ports_bound() {
+        let mut system = figure2_like_system();
+        // Re-create without the output binding.
+        let id = system.attachment_by_name("interface1").unwrap();
+        system.attachment_mut(id).unwrap().output_bindings.clear();
+        let err = system.validate().unwrap_err();
+        assert!(matches!(err, VariantError::UnboundPort { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_occupied_channel() {
+        let mut system = figure2_like_system();
+        // Bind the input port to the channel PB already reads.
+        let id = system.attachment_by_name("interface1").unwrap();
+        system.bind_input(id, "i", "C_mid").unwrap();
+        let err = system.validate().unwrap_err();
+        assert!(matches!(err, VariantError::Validation(_)));
+    }
+
+    #[test]
+    fn flatten_produces_single_variant_graphs() {
+        let system = figure2_like_system();
+        let choice = VariantChoice::new().with("interface1", "cluster1");
+        let app1 = system.flatten(&choice).unwrap();
+        // Common processes plus the two cluster processes.
+        assert_eq!(app1.process_count(), 2 + 2);
+        assert!(app1.process_by_name("interface1/cluster1/P0").is_some());
+        // The spliced processes are wired to the attachment channels.
+        let c_in = app1.channel_by_name("C_in").unwrap().id();
+        let reader = app1.reader_of(c_in).unwrap();
+        assert_eq!(app1.process(reader).unwrap().name(), "interface1/cluster1/P0");
+        let c_mid = app1.channel_by_name("C_mid").unwrap().id();
+        assert!(app1.writer_of(c_mid).is_some());
+        assert!(app1.validate().is_ok());
+
+        let choice2 = VariantChoice::new().with("interface1", "cluster2");
+        let app2 = system.flatten(&choice2).unwrap();
+        assert_eq!(app2.process_count(), 2 + 3);
+    }
+
+    #[test]
+    fn flatten_all_enumerates_every_variant() {
+        let system = figure2_like_system();
+        let all = system.flatten_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_ne!(all[0].1.process_count(), all[1].1.process_count());
+    }
+
+    #[test]
+    fn flatten_rejects_incomplete_or_wrong_choice() {
+        let system = figure2_like_system();
+        assert!(matches!(
+            system.flatten(&VariantChoice::new()),
+            Err(VariantError::IncompleteChoice(_))
+        ));
+        assert!(matches!(
+            system.flatten(&VariantChoice::new().with("interface1", "ghost")),
+            Err(VariantError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn selection_rules_are_validated_against_common_channels() {
+        let mut system = figure2_like_system();
+        let id = system.attachment_by_name("interface1").unwrap();
+        system
+            .set_selection(
+                id,
+                ClusterSelection::new().with_rule(SelectionRule::tag_equals(
+                    "rho1",
+                    "no_such_channel",
+                    "V1",
+                    "cluster1",
+                )),
+            )
+            .unwrap();
+        let err = system.validate().unwrap_err();
+        assert!(matches!(err, VariantError::UnknownName(_)));
+    }
+
+    #[test]
+    fn display_summarises_the_system() {
+        let system = figure2_like_system();
+        let text = system.to_string();
+        assert!(text.contains("variant system `figure2`"));
+        assert!(text.contains("variant combinations: 2"));
+    }
+}

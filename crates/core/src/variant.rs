@@ -1,0 +1,85 @@
+//! Variant selection types.
+//!
+//! Function variant selection can occur at different stages of a product's life time
+//! (Section 1 and 4 of the paper). The representation is identical for all three types;
+//! the type determines which transformations make sense (flattening for production
+//! variants, selection-once semantics for run-time variants, abstraction to a process
+//! with configurations for dynamic variants) and how synthesis may exploit mutual
+//! exclusion.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// When and by whom a function variant is selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VariantType {
+    /// Selected by the designer at production time (e.g. by downloading one software
+    /// variant into an EPROM). The final product contains a single variant and no
+    /// selection capability; the selection is not part of the system function.
+    Production,
+    /// Selected once at system start-up (boot switches, flash-stored parameters). The
+    /// selection mechanism is part of the system, but the variant remains fixed during
+    /// operation.
+    RunTime,
+    /// Selected during operation by a higher-level controller (dynamically
+    /// reconfigurable architectures, programmable coprocessors). What appears as a
+    /// variant at the subsystem level is a mode at the controller level; switching
+    /// incurs a reconfiguration latency.
+    Dynamic,
+}
+
+impl VariantType {
+    /// Returns `true` if the variant can change while the system is running.
+    pub fn is_dynamic(self) -> bool {
+        matches!(self, VariantType::Dynamic)
+    }
+
+    /// Returns `true` if the selection mechanism must be part of the implemented system
+    /// (run-time and dynamic variants) as opposed to a pure design-time decision.
+    pub fn needs_selection_mechanism(self) -> bool {
+        !matches!(self, VariantType::Production)
+    }
+
+    /// All variant types, useful for exhaustive sweeps in experiments.
+    pub const ALL: [VariantType; 3] = [
+        VariantType::Production,
+        VariantType::RunTime,
+        VariantType::Dynamic,
+    ];
+}
+
+impl fmt::Display for VariantType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariantType::Production => write!(f, "production"),
+            VariantType::RunTime => write!(f, "run-time"),
+            VariantType::Dynamic => write!(f, "dynamic"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_dynamic_changes_at_run_time() {
+        assert!(!VariantType::Production.is_dynamic());
+        assert!(!VariantType::RunTime.is_dynamic());
+        assert!(VariantType::Dynamic.is_dynamic());
+    }
+
+    #[test]
+    fn production_needs_no_mechanism() {
+        assert!(!VariantType::Production.needs_selection_mechanism());
+        assert!(VariantType::RunTime.needs_selection_mechanism());
+        assert!(VariantType::Dynamic.needs_selection_mechanism());
+    }
+
+    #[test]
+    fn all_lists_every_type_once() {
+        assert_eq!(VariantType::ALL.len(), 3);
+        let display: Vec<String> = VariantType::ALL.iter().map(|v| v.to_string()).collect();
+        assert_eq!(display, vec!["production", "run-time", "dynamic"]);
+    }
+}

@@ -1,0 +1,42 @@
+//! E7: compare the variant-aware flow against the prior-work baselines (serialization
+//! [6] and incremental synthesis [5]) on the Table 1 system and the multi-standard TV
+//! scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use spi_synth::{baseline, strategy, SynthesisProblem};
+use spi_workloads::{table1_problem, tv_problem};
+
+fn run_all(problem: &SynthesisProblem) -> (u64, u64, u64) {
+    let joint = strategy::variant_aware(problem).unwrap().cost.total();
+    let serialized = baseline::serialization(problem).unwrap().cost.total();
+    let order: Vec<&str> = problem
+        .applications()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    let incremental = baseline::incremental(problem, &order).unwrap().cost.total();
+    (joint, serialized, incremental)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(15);
+
+    for (label, problem) in [
+        ("table1", table1_problem().unwrap()),
+        ("tv", tv_problem().unwrap()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("all_flows", label), &problem, |b, p| {
+            b.iter(|| run_all(black_box(p)))
+        });
+        let (joint, serialized, incremental) = run_all(&problem);
+        assert!(joint <= serialized);
+        assert!(joint <= incremental);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

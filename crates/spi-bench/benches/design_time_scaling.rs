@@ -1,0 +1,42 @@
+//! E6: the design-time claim of Section 5 — benchmark the design-time accounting and the
+//! joint optimization as the number of variants per set grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use spi_synth::{design_time, strategy};
+use spi_workloads::{synthetic_problem, SyntheticParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_time_scaling");
+    group.sample_size(15);
+
+    for clusters in [2usize, 4, 8] {
+        let problem = synthetic_problem(&SyntheticParams {
+            clusters_per_interface: clusters,
+            ..Default::default()
+        })
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("design_time_models", clusters),
+            &problem,
+            |b, problem| {
+                b.iter(|| {
+                    (
+                        design_time::independent(black_box(problem)).unwrap(),
+                        design_time::joint(black_box(problem)),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("variant_aware_optimization", clusters),
+            &problem,
+            |b, problem| b.iter(|| strategy::variant_aware(black_box(problem)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

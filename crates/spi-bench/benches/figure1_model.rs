@@ -1,0 +1,38 @@
+//! E2 / Figure 1: benchmark model construction, interval analysis and simulation of the
+//! introductory SPI example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spi_model::{GraphAnalysis, RateConsistency};
+use spi_sim::{SimConfig, Simulator};
+use spi_workloads::figure1;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_model");
+    group.sample_size(30);
+
+    group.bench_function("build", |b| b.iter(|| figure1().unwrap()));
+
+    let graph = figure1().unwrap();
+    group.bench_function("structural_analysis", |b| {
+        b.iter(|| GraphAnalysis::new(black_box(&graph)))
+    });
+    group.bench_function("rate_consistency", |b| {
+        b.iter(|| RateConsistency::analyze(black_box(&graph)))
+    });
+    group.bench_function("simulate_5_firings", |b| {
+        b.iter(|| {
+            Simulator::new(
+                graph.clone(),
+                SimConfig::with_horizon(100).max_executions(5).without_trace(),
+            )
+            .run()
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E3 / Figure 2: benchmark the variant representation itself — building the two-variant
+//! system, flattening it into its applications, and deriving the synthesis problem.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spi_synth::from_variant_system;
+use spi_workloads::{figure2_system, table1_params};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_variants");
+    group.sample_size(30);
+
+    group.bench_function("build_system", |b| b.iter(|| figure2_system().unwrap()));
+
+    let system = figure2_system().unwrap();
+    group.bench_function("validate", |b| b.iter(|| black_box(&system).validate().unwrap()));
+    group.bench_function("flatten_all", |b| {
+        b.iter(|| black_box(&system).flatten_all().unwrap())
+    });
+    group.bench_function("bridge_to_synthesis_problem", |b| {
+        b.iter(|| from_variant_system(black_box(&system), 15, table1_params).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

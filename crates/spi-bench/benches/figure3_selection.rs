@@ -1,0 +1,51 @@
+//! E4 / Figure 3: benchmark run-time variant selection — abstraction of the interface
+//! into a configured process (both extraction policies) and simulation of the selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spi_sim::{SimConfig, Simulator};
+use spi_variants::ExtractionPolicy;
+use spi_workloads::figure3_system;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3_selection");
+    group.sample_size(30);
+
+    let system = figure3_system("V1").unwrap();
+    let attachment = system.attachment_by_name("interface1").unwrap();
+
+    group.bench_function("abstract_coarse", |b| {
+        b.iter(|| {
+            black_box(&system)
+                .abstract_interface(attachment, ExtractionPolicy::Coarse)
+                .unwrap()
+        })
+    });
+    group.bench_function("abstract_per_entry_mode", |b| {
+        b.iter(|| {
+            black_box(&system)
+                .abstract_interface(attachment, ExtractionPolicy::PerEntryMode)
+                .unwrap()
+        })
+    });
+
+    let abstracted = system
+        .abstract_interface(attachment, ExtractionPolicy::Coarse)
+        .unwrap();
+    group.bench_function("simulate_selection", |b| {
+        b.iter(|| {
+            Simulator::new(
+                abstracted.graph.clone(),
+                SimConfig::with_horizon(300).max_executions(10).without_trace(),
+            )
+            .with_configurations(abstracted.configurations.clone())
+            .run()
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E5 / Figure 4: benchmark the reconfigurable video system — steady-state streaming and
+//! the dynamic reconfiguration scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use spi_workloads::{run_video_scenario, video_system, VideoParams, VideoScenario};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_video");
+    group.sample_size(15);
+
+    group.bench_function("build_model", |b| {
+        b.iter(|| video_system(&VideoParams::default()).unwrap())
+    });
+
+    let steady = VideoScenario {
+        requests: vec![],
+        ..Default::default()
+    };
+    group.bench_function("simulate_steady_state_60_frames", |b| {
+        b.iter(|| run_video_scenario(&VideoParams::default(), &steady).unwrap())
+    });
+
+    let dynamic = VideoScenario::default();
+    group.bench_function("simulate_two_reconfigurations", |b| {
+        b.iter(|| run_video_scenario(&VideoParams::default(), &dynamic).unwrap())
+    });
+    group.finish();
+
+    // Sanity: the dynamic run really reconfigures all four (stage, request) pairs.
+    let outcome = run_video_scenario(&VideoParams::default(), &dynamic).unwrap();
+    assert_eq!(outcome.reconfigurations, 4);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

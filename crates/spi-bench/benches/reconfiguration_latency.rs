@@ -1,0 +1,54 @@
+//! E8: reconfiguration semantics — sweep the reconfiguration latency of the video
+//! chain's stages and measure the simulation cost plus the effect on output quality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spi_workloads::{run_video_scenario, VideoParams, VideoScenario};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfiguration_latency");
+    group.sample_size(15);
+
+    for t_conf in [10u64, 60, 120] {
+        let params = VideoParams {
+            p1_reconfiguration: (t_conf, t_conf),
+            p2_reconfiguration: (t_conf, t_conf),
+            ..Default::default()
+        };
+        let scenario = VideoScenario {
+            resume_delay: t_conf * 2 + 20,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("video_with_t_conf", t_conf),
+            &(params, scenario),
+            |b, (params, scenario)| b.iter(|| run_video_scenario(params, scenario).unwrap()),
+        );
+    }
+    group.finish();
+
+    // Sanity: longer reconfiguration windows degrade more frames.
+    let outcome = |t_conf: u64| {
+        run_video_scenario(
+            &VideoParams {
+                p1_reconfiguration: (t_conf, t_conf),
+                p2_reconfiguration: (t_conf, t_conf),
+                ..Default::default()
+            },
+            &VideoScenario {
+                resume_delay: t_conf * 2 + 20,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let fast = outcome(10);
+    let slow = outcome(120);
+    assert!(
+        slow.repeated_frames + slow.dropped_at_input
+            >= fast.repeated_frames + fast.dropped_at_input
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 / Table 1: benchmark the four synthesis flows on the calibrated two-variant
+//! design scenario and verify the reproduced cost figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spi_synth::{baseline, strategy};
+use spi_workloads::table1_problem;
+
+fn bench(c: &mut Criterion) {
+    let problem = table1_problem().expect("table 1 problem builds");
+    let mut group = c.benchmark_group("table1_cost");
+    group.sample_size(20);
+
+    group.bench_function("independent", |b| {
+        b.iter(|| strategy::independent(black_box(&problem)).unwrap())
+    });
+    group.bench_function("superposition", |b| {
+        b.iter(|| strategy::superposition(black_box(&problem)).unwrap())
+    });
+    group.bench_function("variant_aware", |b| {
+        b.iter(|| strategy::variant_aware(black_box(&problem)).unwrap())
+    });
+    group.bench_function("serialization_baseline", |b| {
+        b.iter(|| baseline::serialization(black_box(&problem)).unwrap())
+    });
+    group.bench_function("full_table", |b| {
+        b.iter(|| spi_synth::report::table1(black_box(&problem)).unwrap())
+    });
+    group.finish();
+
+    // Sanity: the reproduced table keeps the paper's cost ordering.
+    let table = spi_synth::report::table1(&problem).unwrap();
+    assert_eq!(table.with_variants().unwrap().total, 41);
+    assert_eq!(table.superposition().unwrap().total, 57);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

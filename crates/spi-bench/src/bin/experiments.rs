@@ -1,0 +1,201 @@
+//! Experiment driver: regenerates every table and figure of the paper in textual form.
+//!
+//! Usage: `cargo run -p spi-bench --bin experiments [-- <experiment>]`
+//! where `<experiment>` is one of `table1`, `figure1`, `figure2`, `figure3`, `figure4`,
+//! `design_time`, `baselines`, `reconfiguration`, or `all` (default).
+
+use spi_bench::{compare_flows, design_time_scaling, reproduce_table1};
+use spi_sim::{SimConfig, Simulator};
+use spi_variants::ExtractionPolicy;
+use spi_workloads::{
+    figure1, figure2_system, figure3_system, run_video_scenario, tv_problem, VideoParams,
+    VideoScenario,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+
+    if all || which == "table1" {
+        table1_experiment()?;
+    }
+    if all || which == "figure1" {
+        figure1_experiment()?;
+    }
+    if all || which == "figure2" {
+        figure2_experiment()?;
+    }
+    if all || which == "figure3" {
+        figure3_experiment()?;
+    }
+    if all || which == "figure4" {
+        figure4_experiment()?;
+    }
+    if all || which == "design_time" {
+        design_time_experiment()?;
+    }
+    if all || which == "baselines" {
+        baselines_experiment()?;
+    }
+    if all || which == "reconfiguration" {
+        reconfiguration_experiment()?;
+    }
+    Ok(())
+}
+
+fn heading(title: &str) {
+    println!("\n==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}
+
+fn table1_experiment() -> Result<(), Box<dyn std::error::Error>> {
+    heading("E1 / Table 1 — System Cost (paper: 34 / 38 / 57 / 41, time 67 / 73 / 140 / 118)");
+    let table = reproduce_table1()?;
+    println!("{table}");
+    Ok(())
+}
+
+fn figure1_experiment() -> Result<(), Box<dyn std::error::Error>> {
+    heading("E2 / Figure 1 — SPI example graph");
+    let graph = figure1()?;
+    println!("{graph}");
+    let p2 = graph.process_by_name("p2").expect("p2 exists");
+    println!(
+        "p2 parameter hulls: latency {}, consumption(c1) {}, production(c2) {}",
+        p2.latency_hull()?,
+        p2.consumption_hull(graph.channel_by_name("c1").unwrap().id()),
+        p2.production_hull(graph.channel_by_name("c2").unwrap().id()),
+    );
+    println!("activation function of p2:\n{}", p2.activation());
+    let report = Simulator::new(graph, SimConfig::with_horizon(100).max_executions(5)).run()?;
+    println!(
+        "simulation: {} executions, makespan {}",
+        report.stats.total_executions(),
+        report.stats.makespan
+    );
+    Ok(())
+}
+
+fn figure2_experiment() -> Result<(), Box<dyn std::error::Error>> {
+    heading("E3 / Figure 2 — system with two function variants");
+    let system = figure2_system()?;
+    println!("{system}\n");
+    for (choice, graph) in system.flatten_all()? {
+        println!(
+            "{choice}: {} processes, {} channels (validates: {})",
+            graph.process_count(),
+            graph.channel_count(),
+            graph.validate().is_ok()
+        );
+    }
+    Ok(())
+}
+
+fn figure3_experiment() -> Result<(), Box<dyn std::error::Error>> {
+    heading("E4 / Figure 3 — run-time variant selection");
+    for selected in ["V1", "V2"] {
+        let system = figure3_system(selected)?;
+        let attachment = system.attachment_by_name("interface1").unwrap();
+        let abstracted = system.abstract_interface(attachment, ExtractionPolicy::Coarse)?;
+        let report = Simulator::new(
+            abstracted.graph.clone(),
+            SimConfig::with_horizon(300).max_executions(10),
+        )
+        .with_configurations(abstracted.configurations.clone())
+        .run()?;
+        println!(
+            "user selects {selected}: abstracted process executed {} times, configuration latency {}",
+            report.stats.executions_of(abstracted.process),
+            report.stats.reconfiguration_latency
+        );
+        println!("{}", abstracted.configuration_set());
+    }
+    Ok(())
+}
+
+fn figure4_experiment() -> Result<(), Box<dyn std::error::Error>> {
+    heading("E5 / Figure 4 — reconfigurable video system");
+    let params = VideoParams::default();
+    for (label, scenario) in [
+        (
+            "steady state (no requests)",
+            VideoScenario {
+                requests: vec![],
+                ..Default::default()
+            },
+        ),
+        ("two reconfiguration requests", VideoScenario::default()),
+    ] {
+        let outcome = run_video_scenario(&params, &scenario)?;
+        println!(
+            "{label}: frames in {}, fresh {}, repeated {}, dropped at input {}, \
+             reconfigurations {}, reconfiguration latency {}",
+            outcome.frames_in,
+            outcome.fresh_frames,
+            outcome.repeated_frames,
+            outcome.dropped_at_input,
+            outcome.reconfigurations,
+            outcome.reconfiguration_latency
+        );
+    }
+    Ok(())
+}
+
+fn design_time_experiment() -> Result<(), Box<dyn std::error::Error>> {
+    heading("E6 / Section 5 — design-time reduction vs. number of variants");
+    println!(
+        "{:>16} {:>14} {:>10} {:>10}",
+        "variants/set", "independent", "joint", "saving %"
+    );
+    for (clusters, independent, joint) in design_time_scaling(&[2, 3, 4, 6, 8, 12])? {
+        println!(
+            "{:>16} {:>14} {:>10} {:>9.1}",
+            clusters,
+            independent,
+            joint,
+            100.0 * (independent - joint) as f64 / independent as f64
+        );
+    }
+    Ok(())
+}
+
+fn baselines_experiment() -> Result<(), Box<dyn std::error::Error>> {
+    heading("E7 — variant-aware synthesis vs. prior-work baselines");
+    for (label, problem) in [
+        ("Table 1 system", spi_workloads::table1_problem()?),
+        ("multi-standard TV", tv_problem()?),
+    ] {
+        println!("\n{label}:");
+        println!("{:<40} {:>8} {:>12}", "flow", "cost", "design time");
+        for (strategy, cost, time) in compare_flows(&problem)? {
+            println!("{strategy:<40} {cost:>8} {time:>12}");
+        }
+    }
+    Ok(())
+}
+
+fn reconfiguration_experiment() -> Result<(), Box<dyn std::error::Error>> {
+    heading("E8 — reconfiguration latency sweep on the video system");
+    println!(
+        "{:>18} {:>8} {:>10} {:>18}",
+        "t_conf (both)", "fresh", "repeated", "dropped at input"
+    );
+    for t_conf in [10u64, 30, 60, 120] {
+        let params = VideoParams {
+            p1_reconfiguration: (t_conf, t_conf),
+            p2_reconfiguration: (t_conf, t_conf),
+            ..Default::default()
+        };
+        let scenario = VideoScenario {
+            resume_delay: t_conf * 2 + 20,
+            ..Default::default()
+        };
+        let outcome = run_video_scenario(&params, &scenario)?;
+        println!(
+            "{:>18} {:>8} {:>10} {:>18}",
+            t_conf, outcome.fresh_frames, outcome.repeated_frames, outcome.dropped_at_input
+        );
+    }
+    Ok(())
+}

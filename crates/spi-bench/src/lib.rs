@@ -1,0 +1,100 @@
+//! # spi-bench
+//!
+//! Benchmark harness and experiment driver for the reproduction. Each Criterion bench
+//! regenerates one table or figure of the paper (see `DESIGN.md` for the
+//! per-experiment index); the `experiments` binary prints the reproduced artefacts in a
+//! paper-comparable textual form and is what `EXPERIMENTS.md` is derived from.
+//!
+//! The library part contains small helpers shared by the benches and the binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use spi_synth::report::{table1, Table1};
+use spi_synth::SynthesisProblem;
+use spi_workloads::WorkloadError;
+
+/// Builds the Table 1 problem and reproduces the table (convenience used by both the
+/// benches and the experiments binary).
+///
+/// # Errors
+///
+/// Propagates workload and synthesis errors.
+pub fn reproduce_table1() -> Result<Table1, WorkloadError> {
+    Ok(table1(&spi_workloads::table1_problem()?)?)
+}
+
+/// The design-time scaling experiment: returns `(variants per set, independent, joint)`
+/// rows for the given sweep.
+///
+/// # Errors
+///
+/// Propagates workload and synthesis errors.
+pub fn design_time_scaling(sweep: &[usize]) -> Result<Vec<(usize, u64, u64)>, WorkloadError> {
+    let mut rows = Vec::new();
+    for &clusters in sweep {
+        let problem = spi_workloads::synthetic_problem(&spi_workloads::SyntheticParams {
+            clusters_per_interface: clusters,
+            ..Default::default()
+        })?;
+        rows.push((
+            clusters,
+            spi_synth::design_time::independent(&problem)?.total,
+            spi_synth::design_time::joint(&problem).total,
+        ));
+    }
+    Ok(rows)
+}
+
+/// Runs the three synthesis flows plus the two baselines on a problem and returns
+/// `(label, total cost, design time)` rows.
+///
+/// # Errors
+///
+/// Propagates synthesis errors.
+pub fn compare_flows(problem: &SynthesisProblem) -> Result<Vec<(String, u64, u64)>, WorkloadError> {
+    let mut rows = Vec::new();
+    for result in spi_synth::strategy::independent(problem)? {
+        rows.push((result.strategy, result.cost.total(), result.design_time));
+    }
+    let order: Vec<&str> = problem
+        .applications()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    for result in [
+        spi_synth::strategy::superposition(problem)?,
+        spi_synth::strategy::variant_aware(problem)?,
+        spi_synth::baseline::serialization(problem)?,
+        spi_synth::baseline::incremental(problem, &order)?,
+    ] {
+        rows.push((result.strategy, result.cost.total(), result.design_time));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduction_has_four_rows() {
+        let table = reproduce_table1().unwrap();
+        assert_eq!(table.rows.len(), 4);
+    }
+
+    #[test]
+    fn design_time_scaling_is_monotone_in_the_gap() {
+        let rows = design_time_scaling(&[2, 4, 8]).unwrap();
+        assert_eq!(rows.len(), 3);
+        let gaps: Vec<u64> = rows.iter().map(|(_, ind, joint)| ind - joint).collect();
+        assert!(gaps[0] < gaps[1] && gaps[1] < gaps[2]);
+    }
+
+    #[test]
+    fn compare_flows_covers_all_strategies() {
+        let rows = compare_flows(&spi_workloads::table1_problem().unwrap()).unwrap();
+        // 2 independent + superposition + variant-aware + 2 baselines.
+        assert_eq!(rows.len(), 6);
+    }
+}

@@ -1,0 +1,481 @@
+//! Activation functions.
+//!
+//! A process's **activation function** is a finite set of rules, each mapping an input
+//! token predicate to a mode. A predicate is evaluated against the number of available
+//! tokens and the tag set of the first visible token on the process's input channels,
+//! exactly as described in Section 2 of the paper:
+//!
+//! ```text
+//! a1 : (c1.num >= 1) && ('a' in c1.tag)  ->  m1
+//! a2 : (c1.num >= 3) && ('b' in c1.tag)  ->  m2
+//! ```
+//!
+//! Predicate evaluation is decoupled from the simulator through the [`ChannelView`]
+//! trait, so the same predicates serve model validation, cluster selection (Def. 3 of
+//! the paper) and simulation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::ids::{ChannelId, ModeId};
+use crate::tag::Tag;
+
+/// Read-only view of channel state needed to evaluate a [`Predicate`].
+///
+/// Implemented by the simulator's channel states; a trivial implementation over a map is
+/// provided for tests via [`ChannelSnapshot`].
+pub trait ChannelView {
+    /// Number of tokens currently available (visible) on the channel.
+    fn available(&self, channel: ChannelId) -> u64;
+    /// Returns `true` if the first visible token on the channel carries the tag.
+    fn first_token_has_tag(&self, channel: ChannelId, tag: &Tag) -> bool;
+}
+
+/// A simple map-backed [`ChannelView`] for tests and static analysis.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelSnapshot {
+    entries: std::collections::BTreeMap<ChannelId, (u64, Vec<Tag>)>,
+}
+
+impl ChannelSnapshot {
+    /// Creates an empty snapshot (all channels empty).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of available tokens and the tags of the first visible token.
+    pub fn set(&mut self, channel: ChannelId, available: u64, first_tags: Vec<Tag>) {
+        self.entries.insert(channel, (available, first_tags));
+    }
+}
+
+impl ChannelView for ChannelSnapshot {
+    fn available(&self, channel: ChannelId) -> u64 {
+        self.entries.get(&channel).map(|(n, _)| *n).unwrap_or(0)
+    }
+
+    fn first_token_has_tag(&self, channel: ChannelId, tag: &Tag) -> bool {
+        self.entries
+            .get(&channel)
+            .map(|(_, tags)| tags.contains(tag))
+            .unwrap_or(false)
+    }
+}
+
+/// An input-token predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (unconditional activation).
+    True,
+    /// Always false (used to disable a rule without removing it).
+    False,
+    /// At least `count` tokens are available on `channel` (`channel.num >= count`).
+    MinTokens {
+        /// Channel whose fill level is inspected.
+        channel: ChannelId,
+        /// Minimum number of tokens required.
+        count: u64,
+    },
+    /// The first visible token on `channel` carries `tag` (`tag ∈ channel.tag`).
+    HasTag {
+        /// Channel whose first visible token is inspected.
+        channel: ChannelId,
+        /// Required tag.
+        tag: Tag,
+    },
+    /// The first visible token on `channel` does not carry `tag`.
+    LacksTag {
+        /// Channel whose first visible token is inspected.
+        channel: ChannelId,
+        /// Tag that must be absent.
+        tag: Tag,
+    },
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Conjunction of all sub-predicates (true when empty).
+    All(Vec<Predicate>),
+    /// Disjunction of the sub-predicates (false when empty).
+    Any(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for `channel.num >= count`.
+    pub fn min_tokens(channel: ChannelId, count: u64) -> Self {
+        Predicate::MinTokens { channel, count }
+    }
+
+    /// Convenience constructor for `tag ∈ channel.tag`.
+    pub fn has_tag(channel: ChannelId, tag: impl Into<Tag>) -> Self {
+        Predicate::HasTag {
+            channel,
+            tag: tag.into(),
+        }
+    }
+
+    /// Conjunction of `self` and `other`.
+    pub fn and(self, other: Predicate) -> Self {
+        match (self, other) {
+            (Predicate::All(mut a), Predicate::All(b)) => {
+                a.extend(b);
+                Predicate::All(a)
+            }
+            (Predicate::All(mut a), b) => {
+                a.push(b);
+                Predicate::All(a)
+            }
+            (a, Predicate::All(mut b)) => {
+                b.insert(0, a);
+                Predicate::All(b)
+            }
+            (a, b) => Predicate::All(vec![a, b]),
+        }
+    }
+
+    /// Disjunction of `self` and `other`.
+    pub fn or(self, other: Predicate) -> Self {
+        match (self, other) {
+            (Predicate::Any(mut a), Predicate::Any(b)) => {
+                a.extend(b);
+                Predicate::Any(a)
+            }
+            (Predicate::Any(mut a), b) => {
+                a.push(b);
+                Predicate::Any(a)
+            }
+            (a, b) => Predicate::Any(vec![a, b]),
+        }
+    }
+
+    /// Evaluates the predicate against a channel state view.
+    pub fn eval<V: ChannelView + ?Sized>(&self, view: &V) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::MinTokens { channel, count } => view.available(*channel) >= *count,
+            Predicate::HasTag { channel, tag } => view.first_token_has_tag(*channel, tag),
+            Predicate::LacksTag { channel, tag } => {
+                view.available(*channel) > 0 && !view.first_token_has_tag(*channel, tag)
+            }
+            Predicate::Not(inner) => !inner.eval(view),
+            Predicate::All(items) => items.iter().all(|p| p.eval(view)),
+            Predicate::Any(items) => items.iter().any(|p| p.eval(view)),
+        }
+    }
+
+    /// All channels referenced by this predicate (used for validation).
+    pub fn referenced_channels(&self) -> Vec<ChannelId> {
+        let mut out = Vec::new();
+        self.collect_channels(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_channels(&self, out: &mut Vec<ChannelId>) {
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::MinTokens { channel, .. }
+            | Predicate::HasTag { channel, .. }
+            | Predicate::LacksTag { channel, .. } => out.push(*channel),
+            Predicate::Not(inner) => inner.collect_channels(out),
+            Predicate::All(items) | Predicate::Any(items) => {
+                for p in items {
+                    p.collect_channels(out);
+                }
+            }
+        }
+    }
+
+    /// Internal: relabel channel references after a graph merge.
+    pub(crate) fn remap_channels(
+        &mut self,
+        map: &std::collections::BTreeMap<ChannelId, ChannelId>,
+    ) {
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::MinTokens { channel, .. }
+            | Predicate::HasTag { channel, .. }
+            | Predicate::LacksTag { channel, .. } => {
+                if let Some(new) = map.get(channel) {
+                    *channel = *new;
+                }
+            }
+            Predicate::Not(inner) => inner.remap_channels(map),
+            Predicate::All(items) | Predicate::Any(items) => {
+                for p in items {
+                    p.remap_channels(map);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
+            Predicate::MinTokens { channel, count } => write!(f, "{channel}.num >= {count}"),
+            Predicate::HasTag { channel, tag } => write!(f, "{tag} in {channel}.tag"),
+            Predicate::LacksTag { channel, tag } => write!(f, "{tag} not in {channel}.tag"),
+            Predicate::Not(inner) => write!(f, "!({inner})"),
+            Predicate::All(items) => {
+                write!(f, "(")?;
+                for (i, p) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Any(items) => {
+                write!(f, "(")?;
+                for (i, p) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A single activation rule: predicate → mode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationRule {
+    /// Rule name (e.g. `a1`).
+    pub name: String,
+    /// Predicate over the process's input channels.
+    pub predicate: Predicate,
+    /// Mode activated when the predicate holds.
+    pub mode: ModeId,
+}
+
+impl ActivationRule {
+    /// Creates a named activation rule.
+    pub fn new(name: impl Into<String>, predicate: Predicate, mode: ModeId) -> Self {
+        ActivationRule {
+            name: name.into(),
+            predicate,
+            mode,
+        }
+    }
+}
+
+impl fmt::Display for ActivationRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> {}", self.name, self.predicate, self.mode)
+    }
+}
+
+/// The activation function of a process: an ordered set of rules.
+///
+/// Rules are evaluated in order; the first rule whose predicate holds selects the mode.
+/// If no rule is enabled the process is not activated (the paper assumes correct models,
+/// so this situation is simply "not activated", not an error).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationFunction {
+    rules: Vec<ActivationRule>,
+}
+
+impl ActivationFunction {
+    /// Creates an empty activation function (the process is never data-activated;
+    /// such processes are typically sources driven by the environment).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an activation function that unconditionally activates the given mode.
+    pub fn always(mode: ModeId) -> Self {
+        ActivationFunction {
+            rules: vec![ActivationRule::new("always", Predicate::True, mode)],
+        }
+    }
+
+    /// Appends a rule; rules are evaluated in insertion order.
+    pub fn push(&mut self, rule: ActivationRule) {
+        self.rules.push(rule);
+    }
+
+    /// Adds a rule and returns `self` for chaining.
+    pub fn with_rule(mut self, rule: ActivationRule) -> Self {
+        self.push(rule);
+        self
+    }
+
+    /// The rules in evaluation order.
+    pub fn rules(&self) -> &[ActivationRule] {
+        &self.rules
+    }
+
+    /// Returns `true` if the function has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluates the function: the first enabled rule selects the mode.
+    pub fn select<V: ChannelView + ?Sized>(&self, view: &V) -> Option<ModeId> {
+        self.rules
+            .iter()
+            .find(|rule| rule.predicate.eval(view))
+            .map(|rule| rule.mode)
+    }
+
+    /// Returns the enabled rule itself (useful for tracing).
+    pub fn select_rule<V: ChannelView + ?Sized>(&self, view: &V) -> Option<&ActivationRule> {
+        self.rules.iter().find(|rule| rule.predicate.eval(view))
+    }
+
+    /// All channels referenced by any rule.
+    pub fn referenced_channels(&self) -> Vec<ChannelId> {
+        let mut out: Vec<ChannelId> = self
+            .rules
+            .iter()
+            .flat_map(|r| r.predicate.referenced_channels())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// All modes referenced by any rule.
+    pub fn referenced_modes(&self) -> Vec<ModeId> {
+        let mut out: Vec<ModeId> = self.rules.iter().map(|r| r.mode).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Internal: relabel channel references after a graph merge.
+    pub(crate) fn remap_channels(
+        &mut self,
+        map: &std::collections::BTreeMap<ChannelId, ChannelId>,
+    ) {
+        for rule in &mut self.rules {
+            rule.predicate.remap_channels(map);
+        }
+    }
+
+}
+
+impl fmt::Display for ActivationFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u32) -> ChannelId {
+        ChannelId::new(n)
+    }
+
+    /// The paper's example rules for process p2:
+    /// a1: c1.num >= 1 && 'a' in c1.tag -> m1
+    /// a2: c1.num >= 3 && 'b' in c1.tag -> m2
+    fn paper_rules() -> ActivationFunction {
+        ActivationFunction::new()
+            .with_rule(ActivationRule::new(
+                "a1",
+                Predicate::min_tokens(c(0), 1).and(Predicate::has_tag(c(0), "a")),
+                ModeId::new(0),
+            ))
+            .with_rule(ActivationRule::new(
+                "a2",
+                Predicate::min_tokens(c(0), 3).and(Predicate::has_tag(c(0), "b")),
+                ModeId::new(1),
+            ))
+    }
+
+    #[test]
+    fn paper_example_selects_m1_on_tag_a() {
+        let af = paper_rules();
+        let mut view = ChannelSnapshot::new();
+        view.set(c(0), 1, vec![Tag::new("a")]);
+        assert_eq!(af.select(&view), Some(ModeId::new(0)));
+    }
+
+    #[test]
+    fn paper_example_selects_m2_on_three_b_tokens() {
+        let af = paper_rules();
+        let mut view = ChannelSnapshot::new();
+        view.set(c(0), 3, vec![Tag::new("b")]);
+        assert_eq!(af.select(&view), Some(ModeId::new(1)));
+    }
+
+    #[test]
+    fn no_rule_enabled_means_not_activated() {
+        let af = paper_rules();
+        let mut view = ChannelSnapshot::new();
+        // Tokens present but untagged: neither rule fires.
+        view.set(c(0), 5, vec![]);
+        assert_eq!(af.select(&view), None);
+        // Tag 'b' present but only 2 tokens: a2 requires 3.
+        view.set(c(0), 2, vec![Tag::new("b")]);
+        assert_eq!(af.select(&view), None);
+    }
+
+    #[test]
+    fn rule_order_breaks_ties() {
+        let af = ActivationFunction::new()
+            .with_rule(ActivationRule::new("r1", Predicate::True, ModeId::new(7)))
+            .with_rule(ActivationRule::new("r2", Predicate::True, ModeId::new(8)));
+        assert_eq!(af.select(&ChannelSnapshot::new()), Some(ModeId::new(7)));
+        assert_eq!(af.select_rule(&ChannelSnapshot::new()).unwrap().name, "r1");
+    }
+
+    #[test]
+    fn lacks_tag_requires_a_token() {
+        let p = Predicate::LacksTag {
+            channel: c(1),
+            tag: Tag::new("x"),
+        };
+        let mut view = ChannelSnapshot::new();
+        assert!(!p.eval(&view), "no token: cannot assert absence of a tag");
+        view.set(c(1), 1, vec![Tag::new("y")]);
+        assert!(p.eval(&view));
+        view.set(c(1), 1, vec![Tag::new("x")]);
+        assert!(!p.eval(&view));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let mut view = ChannelSnapshot::new();
+        view.set(c(0), 2, vec![Tag::new("a")]);
+        let p = Predicate::min_tokens(c(0), 1)
+            .and(Predicate::has_tag(c(0), "a"))
+            .or(Predicate::min_tokens(c(0), 100));
+        assert!(p.eval(&view));
+        assert!(!Predicate::Not(Box::new(p)).eval(&view));
+        assert!(Predicate::All(vec![]).eval(&view), "empty conjunction is true");
+        assert!(!Predicate::Any(vec![]).eval(&view), "empty disjunction is false");
+    }
+
+    #[test]
+    fn referenced_channels_and_modes_are_deduplicated() {
+        let af = paper_rules();
+        assert_eq!(af.referenced_channels(), vec![c(0)]);
+        assert_eq!(af.referenced_modes(), vec![ModeId::new(0), ModeId::new(1)]);
+    }
+
+    #[test]
+    fn display_reads_like_the_paper() {
+        let rule = ActivationRule::new(
+            "a1",
+            Predicate::min_tokens(c(0), 1).and(Predicate::has_tag(c(0), "a")),
+            ModeId::new(0),
+        );
+        let text = rule.to_string();
+        assert!(text.contains("C0.num >= 1"));
+        assert!(text.contains("'a' in C0.tag"));
+        assert!(text.ends_with("-> m0"));
+    }
+}

@@ -1,0 +1,515 @@
+//! Static analyses over SPI graphs.
+//!
+//! These analyses operate purely on the abstract parameters (interval hulls) and the
+//! topology; they are the foundation of the timing-constraint check and of several
+//! synthesis heuristics:
+//!
+//! * [`GraphAnalysis`] — structural facts: topological order, sources/sinks, weakly
+//!   connected components;
+//! * [`LatencyAnalysis`] — best/worst-case end-to-end latency between two processes;
+//! * [`RateConsistency`] — SDF-style balance analysis producing a repetition vector
+//!   when all rates are determinate.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::error::ModelError;
+use crate::graph::SpiGraph;
+use crate::ids::ProcessId;
+use crate::interval::Interval;
+
+/// Structural analysis results for one graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphAnalysis {
+    order: Option<Vec<ProcessId>>,
+    sources: Vec<ProcessId>,
+    sinks: Vec<ProcessId>,
+    components: Vec<Vec<ProcessId>>,
+}
+
+impl GraphAnalysis {
+    /// Analyses the process-level structure of `graph`.
+    pub fn new(graph: &SpiGraph) -> Self {
+        let ids = graph.process_ids();
+        let sources = ids
+            .iter()
+            .copied()
+            .filter(|p| graph.predecessors(*p).is_empty())
+            .collect();
+        let sinks = ids
+            .iter()
+            .copied()
+            .filter(|p| graph.successors(*p).is_empty())
+            .collect();
+        GraphAnalysis {
+            order: topological_order(graph),
+            sources,
+            sinks,
+            components: weak_components(graph),
+        }
+    }
+
+    /// Returns `true` if the process-level dependency graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.order.is_some()
+    }
+
+    /// A topological order of the processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CyclicGraph`] if the graph has a cycle.
+    pub fn topological_order(&self) -> Result<&[ProcessId], ModelError> {
+        self.order.as_deref().ok_or(ModelError::CyclicGraph)
+    }
+
+    /// Processes without predecessors.
+    pub fn sources(&self) -> &[ProcessId] {
+        &self.sources
+    }
+
+    /// Processes without successors.
+    pub fn sinks(&self) -> &[ProcessId] {
+        &self.sinks
+    }
+
+    /// Weakly connected components (each sorted by id).
+    pub fn components(&self) -> &[Vec<ProcessId>] {
+        &self.components
+    }
+
+    /// Number of weakly connected components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+}
+
+fn topological_order(graph: &SpiGraph) -> Option<Vec<ProcessId>> {
+    let ids = graph.process_ids();
+    let mut indegree: BTreeMap<ProcessId, usize> =
+        ids.iter().map(|p| (*p, graph.predecessors(*p).len())).collect();
+    let mut queue: VecDeque<ProcessId> = indegree
+        .iter()
+        .filter(|(_, d)| **d == 0)
+        .map(|(p, _)| *p)
+        .collect();
+    let mut order = Vec::with_capacity(ids.len());
+    while let Some(p) = queue.pop_front() {
+        order.push(p);
+        for succ in graph.successors(p) {
+            let d = indegree.get_mut(&succ).expect("known process");
+            *d -= 1;
+            if *d == 0 {
+                queue.push_back(succ);
+            }
+        }
+    }
+    if order.len() == ids.len() {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+fn weak_components(graph: &SpiGraph) -> Vec<Vec<ProcessId>> {
+    let ids = graph.process_ids();
+    let mut seen: BTreeSet<ProcessId> = BTreeSet::new();
+    let mut components = Vec::new();
+    for start in ids {
+        if seen.contains(&start) {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut stack = vec![start];
+        while let Some(p) = stack.pop() {
+            if !seen.insert(p) {
+                continue;
+            }
+            component.push(p);
+            for n in graph.successors(p).into_iter().chain(graph.predecessors(p)) {
+                if !seen.contains(&n) {
+                    stack.push(n);
+                }
+            }
+        }
+        component.sort();
+        components.push(component);
+    }
+    components
+}
+
+/// Best/worst-case end-to-end latency analysis.
+#[derive(Debug, Clone)]
+pub struct LatencyAnalysis<'g> {
+    graph: &'g SpiGraph,
+}
+
+impl<'g> LatencyAnalysis<'g> {
+    /// Creates the analysis for a graph.
+    pub fn new(graph: &'g SpiGraph) -> Self {
+        LatencyAnalysis { graph }
+    }
+
+    /// Best/worst-case latency accumulated along process paths from `from` to `to`,
+    /// inclusive of both endpoint latencies.
+    ///
+    /// The lower bound is the cheapest path (sum of mode-latency lower bounds), the
+    /// upper bound the most expensive path (sum of upper bounds).
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::UnknownProcess`] if an endpoint does not exist;
+    /// * [`ModelError::CyclicGraph`] if a cycle is reachable between the endpoints;
+    /// * [`ModelError::Validation`] if `to` is not reachable from `from`;
+    /// * [`ModelError::NoModes`] if a process on a path has no modes.
+    pub fn end_to_end(&self, from: ProcessId, to: ProcessId) -> Result<Interval, ModelError> {
+        if self.graph.process(from).is_none() {
+            return Err(ModelError::UnknownProcess(from));
+        }
+        if self.graph.process(to).is_none() {
+            return Err(ModelError::UnknownProcess(to));
+        }
+        let mut memo: BTreeMap<ProcessId, Option<(u64, u64)>> = BTreeMap::new();
+        let mut on_stack: BTreeSet<ProcessId> = BTreeSet::new();
+        let result = self.visit(from, to, &mut memo, &mut on_stack)?;
+        match result {
+            Some((lo, hi)) => Ok(Interval::new(lo, hi).expect("lo <= hi by construction")),
+            None => Err(ModelError::Validation(format!(
+                "process {to} is not reachable from {from}"
+            ))),
+        }
+    }
+
+    fn visit(
+        &self,
+        current: ProcessId,
+        target: ProcessId,
+        memo: &mut BTreeMap<ProcessId, Option<(u64, u64)>>,
+        on_stack: &mut BTreeSet<ProcessId>,
+    ) -> Result<Option<(u64, u64)>, ModelError> {
+        if let Some(cached) = memo.get(&current) {
+            return Ok(*cached);
+        }
+        if !on_stack.insert(current) {
+            return Err(ModelError::CyclicGraph);
+        }
+        let own = self
+            .graph
+            .process(current)
+            .ok_or(ModelError::UnknownProcess(current))?
+            .latency_hull()?;
+        let result = if current == target {
+            Some((own.lo(), own.hi()))
+        } else {
+            let mut best: Option<(u64, u64)> = None;
+            for succ in self.graph.successors(current) {
+                if let Some((lo, hi)) = self.visit(succ, target, memo, on_stack)? {
+                    let candidate = (own.lo().saturating_add(lo), own.hi().saturating_add(hi));
+                    best = Some(match best {
+                        None => candidate,
+                        Some((blo, bhi)) => (blo.min(candidate.0), bhi.max(candidate.1)),
+                    });
+                }
+            }
+            best
+        };
+        on_stack.remove(&current);
+        memo.insert(current, result);
+        Ok(result)
+    }
+}
+
+/// Result of the SDF-style rate-balance analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RateConsistency {
+    /// All rates are determinate and the balance equations have a solution; the map
+    /// gives the smallest positive integer repetition count per process.
+    Consistent {
+        /// Repetition vector (executions per iteration of the whole graph).
+        repetitions: BTreeMap<ProcessId, u64>,
+    },
+    /// All rates are determinate but the balance equations are contradictory.
+    Inconsistent,
+    /// At least one rate is a non-point interval, so balance analysis does not apply.
+    NotApplicable,
+}
+
+impl RateConsistency {
+    /// Runs the analysis on a graph.
+    ///
+    /// Rates are taken as the hull over all modes of each process; if any hull is a
+    /// proper interval the result is [`RateConsistency::NotApplicable`].
+    pub fn analyze(graph: &SpiGraph) -> Self {
+        // Collect per-channel (producer rate, consumer rate) pairs.
+        struct Balance {
+            writer: ProcessId,
+            reader: ProcessId,
+            produced: u64,
+            consumed: u64,
+        }
+        let mut balances = Vec::new();
+        for channel in graph.channels() {
+            let (Some(writer), Some(reader)) =
+                (graph.writer_of(channel.id()), graph.reader_of(channel.id()))
+            else {
+                continue;
+            };
+            let produced = match graph.process(writer) {
+                Some(p) => p.production_hull(channel.id()),
+                None => continue,
+            };
+            let consumed = match graph.process(reader) {
+                Some(p) => p.consumption_hull(channel.id()),
+                None => continue,
+            };
+            if !produced.is_point() || !consumed.is_point() {
+                return RateConsistency::NotApplicable;
+            }
+            if produced.lo() == 0 || consumed.lo() == 0 {
+                // A channel that is never written or never read does not constrain rates.
+                continue;
+            }
+            balances.push(Balance {
+                writer,
+                reader,
+                produced: produced.lo(),
+                consumed: consumed.lo(),
+            });
+        }
+
+        // Propagate rational repetition counts by BFS over the balance constraints.
+        let mut ratios: BTreeMap<ProcessId, Ratio> = BTreeMap::new();
+        for start in graph.process_ids() {
+            if ratios.contains_key(&start) {
+                continue;
+            }
+            ratios.insert(start, Ratio::new(1, 1));
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for b in &balances {
+                    match (ratios.get(&b.writer).copied(), ratios.get(&b.reader).copied()) {
+                        (Some(w), None) => {
+                            // w * produced = r * consumed  =>  r = w * produced / consumed
+                            ratios.insert(b.reader, w.mul(b.produced, b.consumed));
+                            changed = true;
+                        }
+                        (None, Some(r)) => {
+                            ratios.insert(b.writer, r.mul(b.consumed, b.produced));
+                            changed = true;
+                        }
+                        (Some(w), Some(r)) => {
+                            if w.mul(b.produced, 1) != r.mul(b.consumed, 1) {
+                                return RateConsistency::Inconsistent;
+                            }
+                        }
+                        (None, None) => {}
+                    }
+                }
+            }
+        }
+
+        // Scale all ratios to the smallest positive integers.
+        let lcm_den = ratios
+            .values()
+            .map(|r| r.den)
+            .fold(1u64, lcm);
+        let mut repetitions: BTreeMap<ProcessId, u64> = ratios
+            .into_iter()
+            .map(|(p, r)| (p, r.num * (lcm_den / r.den)))
+            .collect();
+        let gcd_all = repetitions.values().copied().fold(0u64, gcd);
+        if gcd_all > 1 {
+            for value in repetitions.values_mut() {
+                *value /= gcd_all;
+            }
+        }
+        RateConsistency::Consistent { repetitions }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    fn new(num: u64, den: u64) -> Self {
+        let g = gcd(num, den).max(1);
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    fn mul(self, num: u64, den: u64) -> Self {
+        Ratio::new(self.num * num, self.den * den)
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        a / gcd(a, b) * b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::channel::ChannelKind;
+
+    fn sdf_chain() -> SpiGraph {
+        // a --2--> c1 --3--> b --1--> c2 --2--> z
+        let mut b = GraphBuilder::new("sdf");
+        let a = b.process("a").latency(Interval::point(1)).build().unwrap();
+        let m = b.process("m").latency(Interval::point(2)).build().unwrap();
+        let z = b.process("z").latency(Interval::point(1)).build().unwrap();
+        let c1 = b.channel("c1", ChannelKind::Queue).unwrap();
+        let c2 = b.channel("c2", ChannelKind::Queue).unwrap();
+        b.connect_output(a, c1, Interval::point(2)).unwrap();
+        b.connect_input(c1, m, Interval::point(3)).unwrap();
+        b.connect_output(m, c2, Interval::point(1)).unwrap();
+        b.connect_input(c2, z, Interval::point(2)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn structural_analysis_of_chain() {
+        let g = sdf_chain();
+        let a = GraphAnalysis::new(&g);
+        assert!(a.is_acyclic());
+        assert_eq!(a.component_count(), 1);
+        assert_eq!(a.sources().len(), 1);
+        assert_eq!(a.sinks().len(), 1);
+        let order = a.topological_order().unwrap();
+        assert_eq!(order.len(), 3);
+        assert_eq!(g.process(order[0]).unwrap().name(), "a");
+        assert_eq!(g.process(order[2]).unwrap().name(), "z");
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = SpiGraph::new("cycle");
+        let p = g.new_process("p").unwrap();
+        let q = g.new_process("q").unwrap();
+        let c1 = g.new_channel("c1", ChannelKind::Queue).unwrap();
+        let c2 = g.new_channel("c2", ChannelKind::Queue).unwrap();
+        g.set_writer(c1, p).unwrap();
+        g.set_reader(c1, q).unwrap();
+        g.set_writer(c2, q).unwrap();
+        g.set_reader(c2, p).unwrap();
+        g.process_mut(p).unwrap().add_mode_with("m", Interval::point(1), |_| {});
+        g.process_mut(q).unwrap().add_mode_with("m", Interval::point(1), |_| {});
+        let a = GraphAnalysis::new(&g);
+        assert!(!a.is_acyclic());
+        assert_eq!(a.topological_order(), Err(ModelError::CyclicGraph));
+        // The target is reached before the back-edge is traversed, so the acyclic
+        // path latency (1 + 1) is still well defined.
+        assert_eq!(
+            LatencyAnalysis::new(&g).end_to_end(p, q),
+            Ok(Interval::point(2))
+        );
+        // A cycle that lies strictly between source and target is reported.
+        let r = g.new_process("r").unwrap();
+        g.process_mut(r).unwrap().add_mode_with("m", Interval::point(1), |_| {});
+        assert_eq!(
+            LatencyAnalysis::new(&g).end_to_end(p, r),
+            Err(ModelError::CyclicGraph)
+        );
+    }
+
+    #[test]
+    fn end_to_end_latency_sums_hulls() {
+        let g = sdf_chain();
+        let a = g.process_by_name("a").unwrap().id();
+        let z = g.process_by_name("z").unwrap().id();
+        assert_eq!(
+            LatencyAnalysis::new(&g).end_to_end(a, z).unwrap(),
+            Interval::point(4)
+        );
+    }
+
+    #[test]
+    fn unreachable_target_is_an_error() {
+        let g = sdf_chain();
+        let a = g.process_by_name("a").unwrap().id();
+        let z = g.process_by_name("z").unwrap().id();
+        let err = LatencyAnalysis::new(&g).end_to_end(z, a).unwrap_err();
+        assert!(matches!(err, ModelError::Validation(_)));
+    }
+
+    #[test]
+    fn rate_consistency_produces_repetition_vector() {
+        let g = sdf_chain();
+        let a = g.process_by_name("a").unwrap().id();
+        let m = g.process_by_name("m").unwrap().id();
+        let z = g.process_by_name("z").unwrap().id();
+        match RateConsistency::analyze(&g) {
+            RateConsistency::Consistent { repetitions } => {
+                // Balance: 2*r_a = 3*r_m and 1*r_m = 2*r_z  =>  r = (3, 2, 1).
+                assert_eq!(repetitions[&a], 3);
+                assert_eq!(repetitions[&m], 2);
+                assert_eq!(repetitions[&z], 1);
+            }
+            other => panic!("expected consistency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interval_rates_are_not_applicable() {
+        let mut b = GraphBuilder::new("intervals");
+        let p = b.process("p").latency(Interval::point(1)).build().unwrap();
+        let q = b.process("q").latency(Interval::point(1)).build().unwrap();
+        let c = b.channel("c", ChannelKind::Queue).unwrap();
+        b.connect_output(p, c, Interval::new(1, 2).unwrap()).unwrap();
+        b.connect_input(c, q, Interval::point(1)).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(RateConsistency::analyze(&g), RateConsistency::NotApplicable);
+    }
+
+    #[test]
+    fn inconsistent_rates_detected() {
+        // Diamond with contradictory rates:
+        // a -1-> c1 -1-> b -2-> c3 -1-> d
+        // a -1-> c2 -1-> e -1-> c4 -1-> d   (d would need two different rates)
+        let mut bld = GraphBuilder::new("inconsistent");
+        let a = bld.process("a").latency(Interval::point(1)).build().unwrap();
+        let b = bld.process("b").latency(Interval::point(1)).build().unwrap();
+        let e = bld.process("e").latency(Interval::point(1)).build().unwrap();
+        let d = bld.process("d").latency(Interval::point(1)).build().unwrap();
+        let c1 = bld.channel("c1", ChannelKind::Queue).unwrap();
+        let c2 = bld.channel("c2", ChannelKind::Queue).unwrap();
+        let c3 = bld.channel("c3", ChannelKind::Queue).unwrap();
+        let c4 = bld.channel("c4", ChannelKind::Queue).unwrap();
+        bld.connect_output(a, c1, Interval::point(1)).unwrap();
+        bld.connect_input(c1, b, Interval::point(1)).unwrap();
+        bld.connect_output(a, c2, Interval::point(1)).unwrap();
+        bld.connect_input(c2, e, Interval::point(1)).unwrap();
+        bld.connect_output(b, c3, Interval::point(2)).unwrap();
+        bld.connect_input(c3, d, Interval::point(1)).unwrap();
+        bld.connect_output(e, c4, Interval::point(1)).unwrap();
+        bld.connect_input(c4, d, Interval::point(1)).unwrap();
+        let g = bld.finish().unwrap();
+        assert_eq!(RateConsistency::analyze(&g), RateConsistency::Inconsistent);
+    }
+
+    #[test]
+    fn disconnected_graphs_have_multiple_components() {
+        let mut b = GraphBuilder::new("two");
+        b.process("x").latency(Interval::point(1)).build().unwrap();
+        b.process("y").latency(Interval::point(1)).build().unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(GraphAnalysis::new(&g).component_count(), 2);
+    }
+}

@@ -1,0 +1,448 @@
+//! Ergonomic construction of SPI graphs.
+//!
+//! [`GraphBuilder`] wraps [`SpiGraph`] with a fluent API that covers the common cases:
+//! single-mode processes described only by a latency, multi-mode processes described by
+//! [`ModeSpec`]s, and convenience connection methods that wire the topology and the data
+//! rates in one call. Processes without an explicit activation function receive a
+//! data-driven default (each mode is activated when its declared consumption is
+//! available) when [`GraphBuilder::finish`] is called.
+
+use std::collections::BTreeSet;
+
+use crate::activation::{ActivationFunction, ActivationRule, Predicate};
+use crate::channel::ChannelKind;
+use crate::error::ModelError;
+use crate::graph::SpiGraph;
+use crate::ids::{ChannelId, ProcessId};
+use crate::interval::Interval;
+use crate::mode::ProductionSpec;
+use crate::tag::TagSet;
+
+/// Declarative description of one process mode used with [`ProcessBuilder::mode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeSpec {
+    name: String,
+    latency: Interval,
+    consumption: Vec<(ChannelId, Interval)>,
+    production: Vec<(ChannelId, Interval, TagSet)>,
+}
+
+impl ModeSpec {
+    /// Creates a mode spec with the given name and latency.
+    pub fn new(name: impl Into<String>, latency: Interval) -> Self {
+        ModeSpec {
+            name: name.into(),
+            latency,
+            consumption: Vec::new(),
+            production: Vec::new(),
+        }
+    }
+
+    /// Declares consumption of `rate` tokens from `channel` per execution.
+    pub fn consume(mut self, channel: ChannelId, rate: impl Into<Interval>) -> Self {
+        self.consumption.push((channel, rate.into()));
+        self
+    }
+
+    /// Declares production of `rate` untagged tokens on `channel` per execution.
+    pub fn produce(mut self, channel: ChannelId, rate: impl Into<Interval>) -> Self {
+        self.production.push((channel, rate.into(), TagSet::new()));
+        self
+    }
+
+    /// Declares production of `rate` tokens on `channel`, each carrying `tags`.
+    pub fn produce_tagged(
+        mut self,
+        channel: ChannelId,
+        rate: impl Into<Interval>,
+        tags: TagSet,
+    ) -> Self {
+        self.production.push((channel, rate.into(), tags));
+        self
+    }
+
+    /// Mode name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mode latency.
+    pub fn latency(&self) -> Interval {
+        self.latency
+    }
+}
+
+/// Builder for a single process, obtained from [`GraphBuilder::process`].
+#[derive(Debug)]
+pub struct ProcessBuilder<'a> {
+    builder: &'a mut GraphBuilder,
+    name: String,
+    default_latency: Option<Interval>,
+    modes: Vec<ModeSpec>,
+    activation: Option<ActivationFunction>,
+    is_virtual: bool,
+}
+
+impl<'a> ProcessBuilder<'a> {
+    /// Declares the process as single-mode with the given execution latency.
+    pub fn latency(mut self, latency: Interval) -> Self {
+        self.default_latency = Some(latency);
+        self
+    }
+
+    /// Adds an explicit mode.
+    pub fn mode(mut self, spec: ModeSpec) -> Self {
+        self.modes.push(spec);
+        self
+    }
+
+    /// Provides an explicit activation function. Mode ids are assigned in the order
+    /// modes were declared, starting at zero.
+    pub fn activation(mut self, activation: ActivationFunction) -> Self {
+        self.activation = Some(activation);
+        self
+    }
+
+    /// Marks the process as part of the environment model.
+    pub fn environment(mut self) -> Self {
+        self.is_virtual = true;
+        self
+    }
+
+    /// Registers the process in the graph and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Validation`] if neither a latency nor any mode was
+    /// declared, or [`ModelError::DuplicateName`] if the name is taken.
+    pub fn build(self) -> Result<ProcessId, ModelError> {
+        if self.default_latency.is_none() && self.modes.is_empty() {
+            return Err(ModelError::Validation(format!(
+                "process `{}` needs a latency or at least one mode",
+                self.name
+            )));
+        }
+        let id = self.builder.graph.new_process(self.name)?;
+        let process = self
+            .builder
+            .graph
+            .process_mut(id)
+            .expect("freshly created process");
+        if let Some(latency) = self.default_latency {
+            process.add_mode_with("m0", latency, |_| {});
+        }
+        for spec in self.modes {
+            process.add_mode_with(spec.name, spec.latency, |mode| {
+                for (channel, rate) in &spec.consumption {
+                    mode.set_consumption(*channel, *rate);
+                }
+                for (channel, rate, tags) in &spec.production {
+                    mode.set_production(*channel, ProductionSpec::tagged(*rate, tags.clone()));
+                }
+            });
+        }
+        if let Some(activation) = self.activation {
+            process.set_activation(activation);
+        } else {
+            self.builder.auto_activation.insert(id);
+        }
+        if self.is_virtual {
+            process.set_virtual(true);
+        }
+        Ok(id)
+    }
+}
+
+/// Fluent builder producing a validated [`SpiGraph`].
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    graph: SpiGraph,
+    auto_activation: BTreeSet<ProcessId>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder {
+            graph: SpiGraph::new(name),
+            auto_activation: BTreeSet::new(),
+        }
+    }
+
+    /// Starts the declaration of a new process.
+    pub fn process(&mut self, name: impl Into<String>) -> ProcessBuilder<'_> {
+        ProcessBuilder {
+            builder: self,
+            name: name.into(),
+            default_latency: None,
+            modes: Vec::new(),
+            activation: None,
+            is_virtual: false,
+        }
+    }
+
+    /// Adds a channel of the given kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateName`] if the name is taken.
+    pub fn channel(
+        &mut self,
+        name: impl Into<String>,
+        kind: ChannelKind,
+    ) -> Result<ChannelId, ModelError> {
+        self.graph.new_channel(name, kind)
+    }
+
+    /// Wires `process -> channel` and records production of `rate` untagged tokens per
+    /// execution on every mode that does not already declare production on `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors (unknown nodes, second writer).
+    pub fn connect_output(
+        &mut self,
+        process: ProcessId,
+        channel: ChannelId,
+        rate: Interval,
+    ) -> Result<(), ModelError> {
+        self.connect_output_tagged(process, channel, rate, TagSet::new())
+    }
+
+    /// Like [`connect_output`](Self::connect_output) but produced tokens carry `tags`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors (unknown nodes, second writer).
+    pub fn connect_output_tagged(
+        &mut self,
+        process: ProcessId,
+        channel: ChannelId,
+        rate: Interval,
+        tags: TagSet,
+    ) -> Result<(), ModelError> {
+        self.graph.set_writer(channel, process)?;
+        let proc = self
+            .graph
+            .process_mut(process)
+            .ok_or(ModelError::UnknownProcess(process))?;
+        for mode in proc.modes_mut() {
+            if mode.production(channel).is_none() {
+                mode.set_production(channel, ProductionSpec::tagged(rate, tags.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Wires `channel -> process` and records consumption of `rate` tokens per execution
+    /// on every mode that does not already declare consumption on `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors (unknown nodes, second reader).
+    pub fn connect_input(
+        &mut self,
+        channel: ChannelId,
+        process: ProcessId,
+        rate: Interval,
+    ) -> Result<(), ModelError> {
+        self.graph.set_reader(channel, process)?;
+        let proc = self
+            .graph
+            .process_mut(process)
+            .ok_or(ModelError::UnknownProcess(process))?;
+        for mode in proc.modes_mut() {
+            if mode.consumption(channel) == Interval::zero() {
+                mode.set_consumption(channel, rate);
+            }
+        }
+        Ok(())
+    }
+
+    /// Wires `process -> channel` without touching mode rates (rates must have been
+    /// declared in the [`ModeSpec`]s).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors (unknown nodes, second writer).
+    pub fn wire_output(
+        &mut self,
+        process: ProcessId,
+        channel: ChannelId,
+    ) -> Result<(), ModelError> {
+        self.graph.set_writer(channel, process)
+    }
+
+    /// Wires `channel -> process` without touching mode rates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors (unknown nodes, second reader).
+    pub fn wire_input(
+        &mut self,
+        channel: ChannelId,
+        process: ProcessId,
+    ) -> Result<(), ModelError> {
+        self.graph.set_reader(channel, process)
+    }
+
+    /// Direct access to the graph under construction (advanced use).
+    pub fn graph_mut(&mut self) -> &mut SpiGraph {
+        &mut self.graph
+    }
+
+    /// Finalizes the graph: synthesizes default data-driven activation functions for
+    /// processes without an explicit one, then validates the whole graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error.
+    pub fn finish(mut self) -> Result<SpiGraph, ModelError> {
+        let auto = std::mem::take(&mut self.auto_activation);
+        for process_id in auto {
+            let process = self
+                .graph
+                .process_mut(process_id)
+                .ok_or(ModelError::UnknownProcess(process_id))?;
+            let mut af = ActivationFunction::new();
+            for mode in process.modes() {
+                let mut predicate = Predicate::All(Vec::new());
+                for (channel, rate) in mode.consumptions() {
+                    if rate.lo() > 0 {
+                        predicate = predicate.and(Predicate::min_tokens(channel, rate.lo()));
+                    }
+                }
+                af.push(ActivationRule::new(
+                    format!("auto_{}", mode.name()),
+                    predicate,
+                    mode.id(),
+                ));
+            }
+            if !af.is_empty() {
+                process.set_activation(af);
+            }
+        }
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ChannelSnapshot;
+    use crate::tag::Tag;
+
+    fn figure1() -> SpiGraph {
+        let mut b = GraphBuilder::new("figure1");
+        let p1 = b.process("p1").latency(Interval::point(1)).build().unwrap();
+        let c1 = b.channel("c1", ChannelKind::Queue).unwrap();
+        let c2 = b.channel("c2", ChannelKind::Queue).unwrap();
+        let p2 = b
+            .process("p2")
+            .mode(
+                ModeSpec::new("m1", Interval::point(3))
+                    .consume(c1, Interval::point(1))
+                    .produce(c2, Interval::point(2)),
+            )
+            .mode(
+                ModeSpec::new("m2", Interval::point(5))
+                    .consume(c1, Interval::point(3))
+                    .produce(c2, Interval::point(5)),
+            )
+            .build()
+            .unwrap();
+        let p3 = b.process("p3").latency(Interval::point(3)).build().unwrap();
+        b.connect_output(p1, c1, Interval::point(2)).unwrap();
+        b.wire_input(c1, p2).unwrap();
+        b.wire_output(p2, c2).unwrap();
+        b.connect_input(c2, p3, Interval::point(1)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn figure1_builds_and_validates() {
+        let g = figure1();
+        assert_eq!(g.process_count(), 3);
+        assert_eq!(g.channel_count(), 2);
+        let p2 = g.process_by_name("p2").unwrap();
+        assert_eq!(p2.mode_count(), 2);
+        assert_eq!(p2.latency_hull().unwrap(), Interval::new(3, 5).unwrap());
+    }
+
+    #[test]
+    fn default_activation_is_data_driven() {
+        let g = figure1();
+        let p2 = g.process_by_name("p2").unwrap();
+        let c1 = g.channel_by_name("c1").unwrap().id();
+        // With one token available, only m1 (consumes 1) can be activated.
+        let mut view = ChannelSnapshot::new();
+        view.set(c1, 1, vec![Tag::new("anything")]);
+        let selected = p2.activation().select(&view).unwrap();
+        assert_eq!(p2.mode(selected).unwrap().name(), "m1");
+        // With three tokens, rule order still prefers m1; both are enabled.
+        view.set(c1, 3, vec![]);
+        assert!(p2.activation().select(&view).is_some());
+    }
+
+    #[test]
+    fn source_process_gets_unconditional_activation() {
+        let g = figure1();
+        let p1 = g.process_by_name("p1").unwrap();
+        let selected = p1.activation().select(&ChannelSnapshot::new());
+        assert_eq!(selected, Some(p1.modes()[0].id()));
+    }
+
+    #[test]
+    fn process_without_latency_or_modes_is_rejected() {
+        let mut b = GraphBuilder::new("bad");
+        let result = b.process("empty").build();
+        assert!(matches!(result, Err(ModelError::Validation(_))));
+    }
+
+    #[test]
+    fn connect_output_tagged_adds_tags() {
+        let mut b = GraphBuilder::new("tags");
+        let p = b.process("src").latency(Interval::point(1)).build().unwrap();
+        let c = b.channel("c", ChannelKind::Queue).unwrap();
+        b.connect_output_tagged(p, c, Interval::point(1), TagSet::singleton("V1"))
+            .unwrap();
+        let g = b.finish().unwrap();
+        let spec = g
+            .process(p)
+            .unwrap()
+            .modes()[0]
+            .production(c)
+            .unwrap()
+            .clone();
+        assert!(spec.tags.contains(&Tag::new("V1")));
+    }
+
+    #[test]
+    fn environment_flag_is_applied() {
+        let mut b = GraphBuilder::new("env");
+        let user = b
+            .process("PUser")
+            .latency(Interval::point(0))
+            .environment()
+            .build()
+            .unwrap();
+        let g = b.finish().unwrap();
+        assert!(g.process(user).unwrap().is_virtual());
+    }
+
+    #[test]
+    fn finish_rejects_inconsistent_rates() {
+        let mut b = GraphBuilder::new("broken");
+        let c_far = ChannelId::new(42);
+        let result = b
+            .process("p")
+            .mode(ModeSpec::new("m", Interval::point(1)).consume(c_far, Interval::point(1)))
+            .build();
+        // The process itself builds; the dangling rate is caught at finish().
+        assert!(result.is_ok());
+        assert!(b.finish().is_err());
+    }
+}

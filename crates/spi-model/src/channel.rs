@@ -1,0 +1,216 @@
+//! Channel nodes.
+//!
+//! Channels transfer data from exactly one sending process to exactly one receiving
+//! process without transformation. SPI distinguishes two kinds:
+//!
+//! * **queues** — FIFO ordered, destructive read, unbounded unless a capacity is given;
+//! * **registers** — destructive write, always hold at most the latest value.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::ids::ChannelId;
+use crate::token::Token;
+
+/// The two channel disciplines of the SPI model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelKind {
+    /// FIFO-ordered queue with destructive read.
+    Queue,
+    /// Register with destructive write; reads are non-destructive and always see the
+    /// most recently written value.
+    Register,
+}
+
+impl fmt::Display for ChannelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelKind::Queue => write!(f, "queue"),
+            ChannelKind::Register => write!(f, "register"),
+        }
+    }
+}
+
+/// A channel node of an SPI graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    id: ChannelId,
+    name: String,
+    kind: ChannelKind,
+    capacity: Option<usize>,
+    initial_tokens: Vec<Token>,
+    is_virtual: bool,
+}
+
+impl Channel {
+    /// Creates a new channel description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::RegisterCapacity`] if a register is given a capacity other
+    /// than one, and [`ModelError::Validation`] if the initial tokens exceed the capacity.
+    pub fn new(
+        id: ChannelId,
+        name: impl Into<String>,
+        kind: ChannelKind,
+    ) -> Result<Self, ModelError> {
+        Ok(Channel {
+            id,
+            name: name.into(),
+            kind,
+            capacity: match kind {
+                ChannelKind::Queue => None,
+                ChannelKind::Register => Some(1),
+            },
+            initial_tokens: Vec::new(),
+            is_virtual: false,
+        })
+    }
+
+    /// Sets a finite capacity (queues only; registers always have capacity one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::RegisterCapacity`] when called on a register with a
+    /// capacity other than one, or [`ModelError::Validation`] for a zero capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Result<Self, ModelError> {
+        if capacity == 0 {
+            return Err(ModelError::Validation(format!(
+                "channel {} capacity must be at least one",
+                self.id
+            )));
+        }
+        if self.kind == ChannelKind::Register && capacity != 1 {
+            return Err(ModelError::RegisterCapacity(self.id));
+        }
+        self.capacity = Some(capacity);
+        Ok(self)
+    }
+
+    /// Sets initial tokens present on the channel before the first execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Validation`] if the tokens exceed the channel capacity.
+    pub fn with_initial_tokens(mut self, tokens: Vec<Token>) -> Result<Self, ModelError> {
+        if let Some(cap) = self.capacity {
+            if tokens.len() > cap {
+                return Err(ModelError::Validation(format!(
+                    "channel {} initial tokens ({}) exceed capacity ({cap})",
+                    self.id,
+                    tokens.len()
+                )));
+            }
+        }
+        self.initial_tokens = tokens;
+        Ok(self)
+    }
+
+    /// Marks the channel as virtual (part of the environment model, not the implementation).
+    pub fn into_virtual(mut self) -> Self {
+        self.is_virtual = true;
+        self
+    }
+
+    /// Channel identifier.
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// Human-readable channel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Channel discipline.
+    pub fn kind(&self) -> ChannelKind {
+        self.kind
+    }
+
+    /// Capacity bound, `None` meaning unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Tokens present before the first execution.
+    pub fn initial_tokens(&self) -> &[Token] {
+        &self.initial_tokens
+    }
+
+    /// Whether the channel belongs to the environment model.
+    pub fn is_virtual(&self) -> bool {
+        self.is_virtual
+    }
+
+    /// Internal: used by graph merging to relabel the channel.
+    pub(crate) fn with_id(mut self, id: ChannelId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Internal: used by graph merging to rename the channel.
+    pub(crate) fn with_name(mut self, name: String) -> Self {
+        self.name = name;
+        self
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} `{}` ({})", self.id, self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_defaults_to_unbounded() {
+        let c = Channel::new(ChannelId::new(0), "c0", ChannelKind::Queue).unwrap();
+        assert_eq!(c.capacity(), None);
+        assert_eq!(c.kind(), ChannelKind::Queue);
+    }
+
+    #[test]
+    fn register_defaults_to_capacity_one() {
+        let c = Channel::new(ChannelId::new(1), "r", ChannelKind::Register).unwrap();
+        assert_eq!(c.capacity(), Some(1));
+    }
+
+    #[test]
+    fn register_rejects_other_capacities() {
+        let c = Channel::new(ChannelId::new(1), "r", ChannelKind::Register).unwrap();
+        assert!(matches!(
+            c.clone().with_capacity(4),
+            Err(ModelError::RegisterCapacity(_))
+        ));
+        assert!(c.with_capacity(1).is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let c = Channel::new(ChannelId::new(2), "q", ChannelKind::Queue).unwrap();
+        assert!(matches!(c.with_capacity(0), Err(ModelError::Validation(_))));
+    }
+
+    #[test]
+    fn initial_tokens_respect_capacity() {
+        let c = Channel::new(ChannelId::new(3), "q", ChannelKind::Queue)
+            .unwrap()
+            .with_capacity(2)
+            .unwrap();
+        let too_many = vec![Token::new(), Token::new(), Token::new()];
+        assert!(c.clone().with_initial_tokens(too_many).is_err());
+        assert!(c.with_initial_tokens(vec![Token::new()]).is_ok());
+    }
+
+    #[test]
+    fn virtual_flag_round_trips() {
+        let c = Channel::new(ChannelId::new(4), "env", ChannelKind::Queue)
+            .unwrap()
+            .into_virtual();
+        assert!(c.is_virtual());
+    }
+}

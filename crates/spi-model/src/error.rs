@@ -1,0 +1,118 @@
+//! Error type shared by all operations of the SPI model crate.
+
+use std::fmt;
+
+use crate::ids::{ChannelId, ModeId, ProcessId};
+
+/// Error raised by model construction, validation and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An interval was constructed with a lower bound greater than the upper bound.
+    InvalidInterval {
+        /// Offending lower bound.
+        lo: u64,
+        /// Offending upper bound.
+        hi: u64,
+    },
+    /// A referenced process does not exist in the graph.
+    UnknownProcess(ProcessId),
+    /// A referenced channel does not exist in the graph.
+    UnknownChannel(ChannelId),
+    /// A referenced mode does not exist on the given process.
+    UnknownMode(ProcessId, ModeId),
+    /// A channel already has a writer attached; channels are point-to-point.
+    ChannelHasWriter(ChannelId),
+    /// A channel already has a reader attached; channels are point-to-point.
+    ChannelHasReader(ChannelId),
+    /// An edge would connect two processes or two channels directly, violating bipartiteness.
+    NotBipartite,
+    /// A duplicate name was used where names must be unique.
+    DuplicateName(String),
+    /// A process declares a rate on a channel that is not connected to it.
+    RateOnUnconnectedChannel {
+        /// Process declaring the rate.
+        process: ProcessId,
+        /// Channel the rate refers to.
+        channel: ChannelId,
+    },
+    /// An activation rule references a channel that is not an input of its process.
+    ActivationOnNonInput {
+        /// Process owning the activation function.
+        process: ProcessId,
+        /// Channel referenced by the predicate.
+        channel: ChannelId,
+    },
+    /// A process has an empty mode set but mode-dependent information was requested.
+    NoModes(ProcessId),
+    /// The graph contains a cycle but the requested analysis requires an acyclic graph.
+    CyclicGraph,
+    /// A register channel was given a capacity other than one.
+    RegisterCapacity(ChannelId),
+    /// Generic validation failure with a human-readable explanation.
+    Validation(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid interval: lower bound {lo} exceeds upper bound {hi}")
+            }
+            ModelError::UnknownProcess(id) => write!(f, "unknown process {id}"),
+            ModelError::UnknownChannel(id) => write!(f, "unknown channel {id}"),
+            ModelError::UnknownMode(p, m) => write!(f, "unknown mode {m} on process {p}"),
+            ModelError::ChannelHasWriter(id) => {
+                write!(f, "channel {id} already has a writer attached")
+            }
+            ModelError::ChannelHasReader(id) => {
+                write!(f, "channel {id} already has a reader attached")
+            }
+            ModelError::NotBipartite => {
+                write!(f, "edge would violate bipartiteness of the process/channel graph")
+            }
+            ModelError::DuplicateName(name) => write!(f, "duplicate node name `{name}`"),
+            ModelError::RateOnUnconnectedChannel { process, channel } => write!(
+                f,
+                "process {process} declares a rate on channel {channel} it is not connected to"
+            ),
+            ModelError::ActivationOnNonInput { process, channel } => write!(
+                f,
+                "activation rule of process {process} references non-input channel {channel}"
+            ),
+            ModelError::NoModes(id) => write!(f, "process {id} has no modes"),
+            ModelError::CyclicGraph => write!(f, "graph is cyclic; analysis requires a DAG"),
+            ModelError::RegisterCapacity(id) => {
+                write!(f, "register channel {id} must have capacity one")
+            }
+            ModelError::Validation(msg) => write!(f, "validation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let err = ModelError::InvalidInterval { lo: 5, hi: 3 };
+        let msg = err.to_string();
+        assert!(msg.contains('5') && msg.contains('3'));
+        assert!(msg.starts_with("invalid interval"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+
+    #[test]
+    fn unknown_process_mentions_id() {
+        let err = ModelError::UnknownProcess(ProcessId::new(7));
+        assert!(err.to_string().contains("P7"));
+    }
+}

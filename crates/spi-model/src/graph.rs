@@ -1,0 +1,655 @@
+//! The SPI model graph.
+//!
+//! A model graph is a directed, bipartite graph of process nodes and channel nodes.
+//! Channels are point-to-point: every channel has at most one writing process and at
+//! most one reading process. [`SpiGraph`] owns the nodes, allocates identifiers, stores
+//! the edge relation and offers validation and merging (the latter is the workhorse of
+//! the variants layer when clusters are spliced into a parent graph).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::channel::{Channel, ChannelKind};
+use crate::error::ModelError;
+use crate::ids::{ChannelId, ProcessId};
+use crate::process::Process;
+
+/// Reference to either kind of node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// A process node.
+    Process(ProcessId),
+    /// A channel node.
+    Channel(ChannelId),
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Process(p) => write!(f, "{p}"),
+            NodeRef::Channel(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Direction of a communication edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeDirection {
+    /// Process writes into channel.
+    ProcessToChannel,
+    /// Channel feeds a process.
+    ChannelToProcess,
+}
+
+/// A communication edge of the bipartite graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// The process endpoint of the edge.
+    pub process: ProcessId,
+    /// The channel endpoint of the edge.
+    pub channel: ChannelId,
+    /// Whether the process writes to or reads from the channel.
+    pub direction: EdgeDirection,
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.direction {
+            EdgeDirection::ProcessToChannel => write!(f, "{} -> {}", self.process, self.channel),
+            EdgeDirection::ChannelToProcess => write!(f, "{} -> {}", self.channel, self.process),
+        }
+    }
+}
+
+/// Identifier remapping produced by [`SpiGraph::merge`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeMap {
+    /// Old process id (in the merged-in graph) to new id (in the receiving graph).
+    pub processes: BTreeMap<ProcessId, ProcessId>,
+    /// Old channel id (in the merged-in graph) to new id (in the receiving graph).
+    pub channels: BTreeMap<ChannelId, ChannelId>,
+}
+
+/// A directed, bipartite SPI model graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpiGraph {
+    name: String,
+    processes: BTreeMap<ProcessId, Process>,
+    channels: BTreeMap<ChannelId, Channel>,
+    writers: BTreeMap<ChannelId, ProcessId>,
+    readers: BTreeMap<ChannelId, ProcessId>,
+    next_process: u32,
+    next_channel: u32,
+}
+
+impl SpiGraph {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        SpiGraph {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Name of the modelled system.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    // --- node management -----------------------------------------------------------
+
+    /// Adds an empty process and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateName`] if a process with the same name exists.
+    pub fn new_process(&mut self, name: impl Into<String>) -> Result<ProcessId, ModelError> {
+        let name = name.into();
+        if self.process_by_name(&name).is_some() {
+            return Err(ModelError::DuplicateName(name));
+        }
+        let id = ProcessId::new(self.next_process);
+        self.next_process += 1;
+        self.processes.insert(id, Process::new(id, name));
+        Ok(id)
+    }
+
+    /// Adds a channel of the given kind and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateName`] if a channel with the same name exists.
+    pub fn new_channel(
+        &mut self,
+        name: impl Into<String>,
+        kind: ChannelKind,
+    ) -> Result<ChannelId, ModelError> {
+        let name = name.into();
+        if self.channel_by_name(&name).is_some() {
+            return Err(ModelError::DuplicateName(name));
+        }
+        let id = ChannelId::new(self.next_channel);
+        self.next_channel += 1;
+        self.channels.insert(id, Channel::new(id, name, kind)?);
+        Ok(id)
+    }
+
+    /// Inserts an already-built channel description, replacing the one created by
+    /// [`new_channel`](Self::new_channel) (used to set capacities or initial tokens).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownChannel`] if the id does not exist.
+    pub fn replace_channel(&mut self, channel: Channel) -> Result<(), ModelError> {
+        let id = channel.id();
+        if !self.channels.contains_key(&id) {
+            return Err(ModelError::UnknownChannel(id));
+        }
+        self.channels.insert(id, channel);
+        Ok(())
+    }
+
+    /// Looks up a process.
+    pub fn process(&self, id: ProcessId) -> Option<&Process> {
+        self.processes.get(&id)
+    }
+
+    /// Mutable access to a process.
+    pub fn process_mut(&mut self, id: ProcessId) -> Option<&mut Process> {
+        self.processes.get_mut(&id)
+    }
+
+    /// Looks up a channel.
+    pub fn channel(&self, id: ChannelId) -> Option<&Channel> {
+        self.channels.get(&id)
+    }
+
+    /// Mutable access to a channel.
+    pub fn channel_mut(&mut self, id: ChannelId) -> Option<&mut Channel> {
+        self.channels.get_mut(&id)
+    }
+
+    /// Finds a process by name.
+    pub fn process_by_name(&self, name: &str) -> Option<&Process> {
+        self.processes.values().find(|p| p.name() == name)
+    }
+
+    /// Finds a channel by name.
+    pub fn channel_by_name(&self, name: &str) -> Option<&Channel> {
+        self.channels.values().find(|c| c.name() == name)
+    }
+
+    /// Iterates over all processes in id order.
+    pub fn processes(&self) -> impl Iterator<Item = &Process> {
+        self.processes.values()
+    }
+
+    /// Iterates over all channels in id order.
+    pub fn channels(&self) -> impl Iterator<Item = &Channel> {
+        self.channels.values()
+    }
+
+    /// All process ids in order.
+    pub fn process_ids(&self) -> Vec<ProcessId> {
+        self.processes.keys().copied().collect()
+    }
+
+    /// All channel ids in order.
+    pub fn channel_ids(&self) -> Vec<ChannelId> {
+        self.channels.keys().copied().collect()
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Removes a process and all edges incident to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownProcess`] if the id does not exist.
+    pub fn remove_process(&mut self, id: ProcessId) -> Result<Process, ModelError> {
+        let process = self
+            .processes
+            .remove(&id)
+            .ok_or(ModelError::UnknownProcess(id))?;
+        self.writers.retain(|_, p| *p != id);
+        self.readers.retain(|_, p| *p != id);
+        Ok(process)
+    }
+
+    /// Removes a channel and all edges incident to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownChannel`] if the id does not exist.
+    pub fn remove_channel(&mut self, id: ChannelId) -> Result<Channel, ModelError> {
+        let channel = self
+            .channels
+            .remove(&id)
+            .ok_or(ModelError::UnknownChannel(id))?;
+        self.writers.remove(&id);
+        self.readers.remove(&id);
+        Ok(channel)
+    }
+
+    // --- edge management -----------------------------------------------------------
+
+    /// Attaches `process` as the writer of `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either node is unknown or the channel already has a writer.
+    pub fn set_writer(&mut self, channel: ChannelId, process: ProcessId) -> Result<(), ModelError> {
+        self.check_nodes(channel, process)?;
+        if self.writers.contains_key(&channel) {
+            return Err(ModelError::ChannelHasWriter(channel));
+        }
+        self.writers.insert(channel, process);
+        Ok(())
+    }
+
+    /// Attaches `process` as the reader of `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either node is unknown or the channel already has a reader.
+    pub fn set_reader(&mut self, channel: ChannelId, process: ProcessId) -> Result<(), ModelError> {
+        self.check_nodes(channel, process)?;
+        if self.readers.contains_key(&channel) {
+            return Err(ModelError::ChannelHasReader(channel));
+        }
+        self.readers.insert(channel, process);
+        Ok(())
+    }
+
+    /// Detaches the writer of a channel, if any, and returns it.
+    pub fn clear_writer(&mut self, channel: ChannelId) -> Option<ProcessId> {
+        self.writers.remove(&channel)
+    }
+
+    /// Detaches the reader of a channel, if any, and returns it.
+    pub fn clear_reader(&mut self, channel: ChannelId) -> Option<ProcessId> {
+        self.readers.remove(&channel)
+    }
+
+    fn check_nodes(&self, channel: ChannelId, process: ProcessId) -> Result<(), ModelError> {
+        if !self.channels.contains_key(&channel) {
+            return Err(ModelError::UnknownChannel(channel));
+        }
+        if !self.processes.contains_key(&process) {
+            return Err(ModelError::UnknownProcess(process));
+        }
+        Ok(())
+    }
+
+    /// Writing process of a channel, if attached.
+    pub fn writer_of(&self, channel: ChannelId) -> Option<ProcessId> {
+        self.writers.get(&channel).copied()
+    }
+
+    /// Reading process of a channel, if attached.
+    pub fn reader_of(&self, channel: ChannelId) -> Option<ProcessId> {
+        self.readers.get(&channel).copied()
+    }
+
+    /// Channels read by a process (its input channels by topology).
+    pub fn inputs_of(&self, process: ProcessId) -> Vec<ChannelId> {
+        self.readers
+            .iter()
+            .filter(|(_, p)| **p == process)
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// Channels written by a process (its output channels by topology).
+    pub fn outputs_of(&self, process: ProcessId) -> Vec<ChannelId> {
+        self.writers
+            .iter()
+            .filter(|(_, p)| **p == process)
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// All edges of the graph.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut edges: Vec<Edge> = self
+            .writers
+            .iter()
+            .map(|(c, p)| Edge {
+                process: *p,
+                channel: *c,
+                direction: EdgeDirection::ProcessToChannel,
+            })
+            .chain(self.readers.iter().map(|(c, p)| Edge {
+                process: *p,
+                channel: *c,
+                direction: EdgeDirection::ChannelToProcess,
+            }))
+            .collect();
+        edges.sort_by_key(|e| (e.channel, e.process, e.direction == EdgeDirection::ChannelToProcess));
+        edges
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.writers.len() + self.readers.len()
+    }
+
+    /// Successor processes of a process (processes reading a channel this process writes).
+    pub fn successors(&self, process: ProcessId) -> Vec<ProcessId> {
+        let mut out: Vec<ProcessId> = self
+            .outputs_of(process)
+            .into_iter()
+            .filter_map(|c| self.reader_of(c))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Predecessor processes of a process (processes writing a channel this process reads).
+    pub fn predecessors(&self, process: ProcessId) -> Vec<ProcessId> {
+        let mut out: Vec<ProcessId> = self
+            .inputs_of(process)
+            .into_iter()
+            .filter_map(|c| self.writer_of(c))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    // --- validation ----------------------------------------------------------------
+
+    /// Validates the whole graph.
+    ///
+    /// Checks performed:
+    /// * every process is internally consistent ([`Process::validate`]);
+    /// * every rate entry of every mode refers to a channel actually connected to the
+    ///   process in the matching direction;
+    /// * every activation predicate refers only to input channels of its process.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for process in self.processes.values() {
+            process.validate()?;
+            let inputs = self.inputs_of(process.id());
+            let outputs = self.outputs_of(process.id());
+            for mode in process.modes() {
+                for (channel, _) in mode.consumptions() {
+                    if !inputs.contains(&channel) {
+                        return Err(ModelError::RateOnUnconnectedChannel {
+                            process: process.id(),
+                            channel,
+                        });
+                    }
+                }
+                for (channel, _) in mode.productions() {
+                    if !outputs.contains(&channel) {
+                        return Err(ModelError::RateOnUnconnectedChannel {
+                            process: process.id(),
+                            channel,
+                        });
+                    }
+                }
+            }
+            for channel in process.activation().referenced_channels() {
+                if !inputs.contains(&channel) {
+                    return Err(ModelError::ActivationOnNonInput {
+                        process: process.id(),
+                        channel,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // --- merging -------------------------------------------------------------------
+
+    /// Copies every node and edge of `other` into `self`, relabelling identifiers and
+    /// prefixing node names with `prefix` (pass an empty string to keep names).
+    ///
+    /// Returns the identifier remapping so callers can rewire ports afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateName`] if a prefixed name collides with an
+    /// existing node name.
+    pub fn merge(&mut self, other: &SpiGraph, prefix: &str) -> Result<MergeMap, ModelError> {
+        let mut map = MergeMap::default();
+
+        // Channels first so processes can have their references rewritten in one pass.
+        for channel in other.channels.values() {
+            let new_name = format!("{prefix}{}", channel.name());
+            if self.channel_by_name(&new_name).is_some() {
+                return Err(ModelError::DuplicateName(new_name));
+            }
+            let id = ChannelId::new(self.next_channel);
+            self.next_channel += 1;
+            self.channels
+                .insert(id, channel.clone().with_id(id).with_name(new_name));
+            map.channels.insert(channel.id(), id);
+        }
+
+        for process in other.processes.values() {
+            let new_name = format!("{prefix}{}", process.name());
+            if self.process_by_name(&new_name).is_some() {
+                return Err(ModelError::DuplicateName(new_name));
+            }
+            let id = ProcessId::new(self.next_process);
+            self.next_process += 1;
+            let mut copied = process.clone().with_id(id).with_name(new_name);
+            copied.remap_channels(&map.channels);
+            self.processes.insert(id, copied);
+            map.processes.insert(process.id(), id);
+        }
+
+        for (channel, process) in &other.writers {
+            let c = map.channels[channel];
+            let p = map.processes[process];
+            self.writers.insert(c, p);
+        }
+        for (channel, process) in &other.readers {
+            let c = map.channels[channel];
+            let p = map.processes[process];
+            self.readers.insert(c, p);
+        }
+
+        Ok(map)
+    }
+}
+
+impl fmt::Display for SpiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "SPI graph `{}`: {} processes, {} channels, {} edges",
+            self.name,
+            self.process_count(),
+            self.channel_count(),
+            self.edge_count()
+        )?;
+        for p in self.processes.values() {
+            writeln!(f, "  {p}")?;
+        }
+        for c in self.channels.values() {
+            let writer = self
+                .writer_of(c.id())
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into());
+            let reader = self
+                .reader_of(c.id())
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into());
+            writeln!(f, "  {c}: {writer} -> {reader}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use crate::mode::ProductionSpec;
+
+    fn chain() -> (SpiGraph, ProcessId, ProcessId, ChannelId) {
+        let mut g = SpiGraph::new("chain");
+        let p1 = g.new_process("p1").unwrap();
+        let p2 = g.new_process("p2").unwrap();
+        let c1 = g.new_channel("c1", ChannelKind::Queue).unwrap();
+        g.set_writer(c1, p1).unwrap();
+        g.set_reader(c1, p2).unwrap();
+        g.process_mut(p1).unwrap().add_mode_with("m0", Interval::point(1), |m| {
+            m.set_production(c1, ProductionSpec::amount(Interval::point(1)));
+        });
+        g.process_mut(p2).unwrap().add_mode_with("m0", Interval::point(2), |m| {
+            m.set_consumption(c1, Interval::point(1));
+        });
+        (g, p1, p2, c1)
+    }
+
+    #[test]
+    fn topology_queries() {
+        let (g, p1, p2, c1) = chain();
+        assert_eq!(g.writer_of(c1), Some(p1));
+        assert_eq!(g.reader_of(c1), Some(p2));
+        assert_eq!(g.outputs_of(p1), vec![c1]);
+        assert_eq!(g.inputs_of(p2), vec![c1]);
+        assert_eq!(g.successors(p1), vec![p2]);
+        assert_eq!(g.predecessors(p2), vec![p1]);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn point_to_point_enforced() {
+        let (mut g, p1, _p2, c1) = chain();
+        let p3 = g.new_process("p3").unwrap();
+        assert_eq!(g.set_writer(c1, p3), Err(ModelError::ChannelHasWriter(c1)));
+        assert_eq!(g.set_reader(c1, p3), Err(ModelError::ChannelHasReader(c1)));
+        // Unknown nodes rejected.
+        assert!(matches!(
+            g.set_writer(ChannelId::new(99), p1),
+            Err(ModelError::UnknownChannel(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = SpiGraph::new("dup");
+        g.new_process("p").unwrap();
+        assert_eq!(
+            g.new_process("p"),
+            Err(ModelError::DuplicateName("p".into()))
+        );
+        g.new_channel("c", ChannelKind::Queue).unwrap();
+        assert_eq!(
+            g.new_channel("c", ChannelKind::Register),
+            Err(ModelError::DuplicateName("c".into()))
+        );
+    }
+
+    #[test]
+    fn validate_accepts_consistent_chain() {
+        let (g, _, _, _) = chain();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_rate_on_unconnected_channel() {
+        let (mut g, p1, _, _) = chain();
+        let orphan = g.new_channel("orphan", ChannelKind::Queue).unwrap();
+        g.process_mut(p1).unwrap().add_mode_with("bad", Interval::point(1), |m| {
+            m.set_production(orphan, ProductionSpec::amount(Interval::point(1)));
+        });
+        assert!(matches!(
+            g.validate(),
+            Err(ModelError::RateOnUnconnectedChannel { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_activation_on_non_input() {
+        let (mut g, p1, _, c1) = chain();
+        use crate::activation::{ActivationFunction, ActivationRule, Predicate};
+        // p1 writes c1 but does not read it; predicating on it is invalid.
+        let af = ActivationFunction::new().with_rule(ActivationRule::new(
+            "bad",
+            Predicate::min_tokens(c1, 1),
+            crate::ids::ModeId::new(0),
+        ));
+        g.process_mut(p1).unwrap().set_activation(af);
+        assert!(matches!(
+            g.validate(),
+            Err(ModelError::ActivationOnNonInput { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_process_clears_edges() {
+        let (mut g, p1, _, c1) = chain();
+        g.remove_process(p1).unwrap();
+        assert_eq!(g.writer_of(c1), None);
+        assert!(g.process(p1).is_none());
+        assert!(matches!(
+            g.remove_process(p1),
+            Err(ModelError::UnknownProcess(_))
+        ));
+    }
+
+    #[test]
+    fn remove_channel_clears_edges() {
+        let (mut g, _, p2, c1) = chain();
+        g.remove_channel(c1).unwrap();
+        assert!(g.inputs_of(p2).is_empty());
+        assert!(matches!(
+            g.remove_channel(c1),
+            Err(ModelError::UnknownChannel(_))
+        ));
+    }
+
+    #[test]
+    fn merge_relabels_and_rewires() {
+        let (mut host, _, _, _) = chain();
+        let (guest, gp1, gp2, gc1) = chain();
+        let map = host.merge(&guest, "v1_").unwrap();
+        assert_eq!(host.process_count(), 4);
+        assert_eq!(host.channel_count(), 2);
+        let new_c = map.channels[&gc1];
+        assert_eq!(host.writer_of(new_c), Some(map.processes[&gp1]));
+        assert_eq!(host.reader_of(new_c), Some(map.processes[&gp2]));
+        // Rates were remapped to the new channel ids, so validation still holds.
+        assert!(host.validate().is_ok());
+        assert!(host.process_by_name("v1_p1").is_some());
+    }
+
+    #[test]
+    fn merge_rejects_name_collision() {
+        let (mut host, _, _, _) = chain();
+        let (guest, _, _, _) = chain();
+        assert!(matches!(
+            host.merge(&guest, ""),
+            Err(ModelError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn display_lists_nodes() {
+        let (g, _, _, _) = chain();
+        let text = g.to_string();
+        assert!(text.contains("`chain`"));
+        assert!(text.contains("p1"));
+        assert!(text.contains("c1"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Strongly-typed identifiers for the entities of an SPI model.
+//!
+//! Each identifier is a small newtype over `u32` ([C-NEWTYPE]): confusing a
+//! [`ProcessId`] with a [`ChannelId`] is a compile-time error. Identifiers are
+//! allocated by [`crate::SpiGraph`] (or the [`crate::GraphBuilder`]) and remain
+//! stable for the lifetime of the graph even when other nodes are removed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            ///
+            /// Normally identifiers are allocated by the graph; this constructor exists
+            /// for deserialization, test fixtures and id-remapping during graph merges.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw numeric index backing this identifier.
+            pub const fn index(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a process node in an SPI graph.
+    ProcessId,
+    "P"
+);
+define_id!(
+    /// Identifier of a channel node in an SPI graph.
+    ChannelId,
+    "C"
+);
+define_id!(
+    /// Identifier of a process mode, unique within its owning process.
+    ModeId,
+    "m"
+);
+define_id!(
+    /// Identifier of a cluster/interface port (used by the variants layer).
+    PortId,
+    "port"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // Would not compile if the newtypes collapsed into the same type.
+        fn takes_process(_: ProcessId) {}
+        fn takes_channel(_: ChannelId) {}
+        takes_process(ProcessId::new(1));
+        takes_channel(ChannelId::new(1));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ProcessId::new(3).to_string(), "P3");
+        assert_eq!(ChannelId::new(0).to_string(), "C0");
+        assert_eq!(ModeId::new(2).to_string(), "m2");
+        assert_eq!(PortId::new(9).to_string(), "port9");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        let mut set = BTreeSet::new();
+        set.insert(ProcessId::new(4));
+        set.insert(ProcessId::new(1));
+        set.insert(ProcessId::new(3));
+        let order: Vec<u32> = set.into_iter().map(u32::from).collect();
+        assert_eq!(order, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn index_roundtrips_through_new() {
+        for raw in [0_u32, 1, 42, u32::MAX] {
+            assert_eq!(ProcessId::new(raw).index(), raw);
+            assert_eq!(ModeId::new(raw).index(), raw);
+        }
+    }
+}

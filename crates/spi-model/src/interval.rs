@@ -1,0 +1,228 @@
+//! Closed integer intervals — the "property intervals" that give the SPI model its name.
+//!
+//! Every behavioural parameter of a process (latency, data consumption, data production)
+//! is represented as a lower and an upper bound. A completely determinate parameter is a
+//! point interval. Intervals support the lattice operations needed by the variants layer
+//! (hull/join for abstracting several modes or clusters into one process, intersection for
+//! refinement) and the arithmetic needed by timing analysis (sum along a path, scaling by
+//! an execution count).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::ModelError;
+
+/// A closed interval `[lo, hi]` over `u64` with `lo <= hi`.
+///
+/// # Example
+///
+/// ```rust
+/// use spi_model::Interval;
+///
+/// # fn main() -> Result<(), spi_model::ModelError> {
+/// let latency = Interval::new(3, 5)?;
+/// assert!(latency.contains(4));
+/// assert_eq!(latency.hull(Interval::point(1)), Interval::new(1, 5)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    lo: u64,
+    hi: u64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInterval`] if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Result<Self, ModelError> {
+        if lo > hi {
+            Err(ModelError::InvalidInterval { lo, hi })
+        } else {
+            Ok(Self { lo, hi })
+        }
+    }
+
+    /// Creates the point interval `[v, v]` (a completely determinate parameter).
+    pub const fn point(v: u64) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// Creates the interval `[0, 0]`.
+    pub const fn zero() -> Self {
+        Self::point(0)
+    }
+
+    /// Lower bound.
+    pub const fn lo(self) -> u64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub const fn hi(self) -> u64 {
+        self.hi
+    }
+
+    /// Returns `true` if the interval is a single point.
+    pub const fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Width of the interval (`hi - lo`); zero for point intervals.
+    pub const fn width(self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// Returns `true` if `v` lies within the interval.
+    pub const fn contains(self, v: u64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Returns `true` if `other` is entirely contained in `self`.
+    pub const fn contains_interval(self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Smallest interval containing both operands (lattice join).
+    ///
+    /// This is the operation used when several modes or clusters are abstracted into a
+    /// single process: the resulting parameter must cover every constituent behaviour.
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Intersection of the two intervals, or `None` if they are disjoint.
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Interval sum `[a.lo + b.lo, a.hi + b.hi]` (saturating), used to accumulate
+    /// latency along a path.
+    pub fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.saturating_add(other.lo),
+            hi: self.hi.saturating_add(other.hi),
+        }
+    }
+
+    /// Adds a scalar offset to both bounds (saturating).
+    pub fn offset(self, delta: u64) -> Interval {
+        Interval {
+            lo: self.lo.saturating_add(delta),
+            hi: self.hi.saturating_add(delta),
+        }
+    }
+
+    /// Scales both bounds by a factor (saturating), used when a parameter is incurred
+    /// once per execution and the execution count is known.
+    pub fn scale(self, factor: u64) -> Interval {
+        Interval {
+            lo: self.lo.saturating_mul(factor),
+            hi: self.hi.saturating_mul(factor),
+        }
+    }
+
+    /// Returns the hull of an iterator of intervals, or `None` for an empty iterator.
+    pub fn hull_all<I: IntoIterator<Item = Interval>>(intervals: I) -> Option<Interval> {
+        intervals.into_iter().reduce(Interval::hull)
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::zero()
+    }
+}
+
+impl From<u64> for Interval {
+    fn from(v: u64) -> Self {
+        Interval::point(v)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_point() {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_inverted_bounds() {
+        assert_eq!(
+            Interval::new(5, 3),
+            Err(ModelError::InvalidInterval { lo: 5, hi: 3 })
+        );
+    }
+
+    #[test]
+    fn point_interval_properties() {
+        let p = Interval::point(7);
+        assert!(p.is_point());
+        assert_eq!(p.width(), 0);
+        assert!(p.contains(7));
+        assert!(!p.contains(8));
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = Interval::new(1, 3).unwrap();
+        let b = Interval::new(2, 5).unwrap();
+        let h = a.hull(b);
+        assert_eq!(h, Interval::new(1, 5).unwrap());
+        assert!(h.contains_interval(a));
+        assert!(h.contains_interval(b));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = Interval::new(1, 2).unwrap();
+        let b = Interval::new(4, 6).unwrap();
+        assert_eq!(a.intersect(b), None);
+        assert_eq!(
+            a.intersect(Interval::new(2, 6).unwrap()),
+            Some(Interval::point(2))
+        );
+    }
+
+    #[test]
+    fn add_and_scale_saturate() {
+        let big = Interval::new(u64::MAX - 1, u64::MAX).unwrap();
+        assert_eq!(big.add(Interval::point(10)).hi(), u64::MAX);
+        assert_eq!(big.scale(3).lo(), u64::MAX);
+    }
+
+    #[test]
+    fn hull_all_of_empty_is_none() {
+        assert_eq!(Interval::hull_all(std::iter::empty()), None);
+        assert_eq!(
+            Interval::hull_all([Interval::point(2), Interval::new(5, 9).unwrap()]),
+            Some(Interval::new(2, 9).unwrap())
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Interval::point(4).to_string(), "4");
+        assert_eq!(Interval::new(3, 5).unwrap().to_string(), "[3, 5]");
+    }
+}

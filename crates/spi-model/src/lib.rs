@@ -1,0 +1,80 @@
+//! # spi-model
+//!
+//! An executable implementation of the **SPI (System Property Intervals) model** of
+//! computation, the communicating-process representation used as the substrate of
+//! *"Representation of Function Variants for Embedded System Optimization and Synthesis"*
+//! (Richter, Ziegenbein, Ernst, Thiele, Teich — DAC 1999) and defined in the companion
+//! papers (Codes/CASHE'98, ICCAD'98).
+//!
+//! A system is a set of concurrent **processes** communicating over unidirectional
+//! **channels** that are either FIFO-ordered queues (destructive read) or registers
+//! (destructive write). Processes are modeled only by their abstract external behaviour:
+//!
+//! * the **amount** of data consumed/produced per execution (as [`Interval`]s),
+//! * the execution **latency** (as an [`Interval`]),
+//! * optional **process modes** capturing parameter correlation ([`ProcessMode`]),
+//! * **virtual mode tags** attached to produced tokens ([`Tag`], [`TagSet`]),
+//! * an **activation function** mapping input-token predicates to modes
+//!   ([`ActivationFunction`], [`Predicate`]).
+//!
+//! The model graph is bipartite: edges connect processes to channels only
+//! ([`SpiGraph`] enforces this and the degree restrictions of the paper).
+//!
+//! # Example
+//!
+//! Building the example of Figure 1 of the paper (`p1 → c1 → p2 → c2 → p3`):
+//!
+//! ```rust
+//! use spi_model::{GraphBuilder, ChannelKind, Interval, ModeSpec};
+//!
+//! # fn main() -> Result<(), spi_model::ModelError> {
+//! let mut b = GraphBuilder::new("figure1");
+//! let p1 = b.process("p1").latency(Interval::point(1)).build()?;
+//! let p2 = b.process("p2").latency(Interval::new(3, 5)?).build()?;
+//! let p3 = b.process("p3").latency(Interval::point(3)).build()?;
+//! let c1 = b.channel("c1", ChannelKind::Queue)?;
+//! let c2 = b.channel("c2", ChannelKind::Queue)?;
+//! b.connect_output(p1, c1, Interval::point(2))?;
+//! b.connect_input(c1, p2, Interval::new(1, 3)?)?;
+//! b.connect_output(p2, c2, Interval::new(2, 5)?)?;
+//! b.connect_input(c2, p3, Interval::point(1))?;
+//! let graph = b.finish()?;
+//! assert_eq!(graph.process_count(), 3);
+//! assert_eq!(graph.channel_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod analysis;
+pub mod builder;
+pub mod channel;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod interval;
+pub mod mode;
+pub mod process;
+pub mod tag;
+pub mod timing;
+pub mod token;
+
+pub use activation::{ActivationFunction, ActivationRule, ChannelView, Predicate};
+pub use analysis::{GraphAnalysis, LatencyAnalysis, RateConsistency};
+pub use builder::{GraphBuilder, ModeSpec, ProcessBuilder};
+pub use channel::{Channel, ChannelKind};
+pub use error::ModelError;
+pub use graph::{Edge, EdgeDirection, NodeRef, SpiGraph};
+pub use ids::{ChannelId, ModeId, PortId, ProcessId};
+pub use interval::Interval;
+pub use mode::{ProcessMode, ProductionSpec};
+pub use process::Process;
+pub use tag::{Tag, TagSet};
+pub use timing::{LatencyConstraint, TimeValue, TimingConstraint, TimingReport};
+pub use token::Token;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

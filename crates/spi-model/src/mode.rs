@@ -1,0 +1,207 @@
+//! Process modes.
+//!
+//! A process may expose a set of **modes**, each representing a subset of its possible
+//! behaviours with strongly correlated parameters: latency, per-input consumption and
+//! per-output production (with the tags added to produced tokens). Without modes, a
+//! process is described only by its parameter hulls and its behaviour stays uncertain.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ids::{ChannelId, ModeId};
+use crate::interval::Interval;
+use crate::tag::TagSet;
+
+/// Production behaviour of a mode on one output channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProductionSpec {
+    /// Number of tokens produced per execution.
+    pub amount: Interval,
+    /// Tags added to every produced token (virtual mode tags).
+    pub tags: TagSet,
+}
+
+impl ProductionSpec {
+    /// Production of a fixed number of untagged tokens.
+    pub fn amount(amount: impl Into<Interval>) -> Self {
+        ProductionSpec {
+            amount: amount.into(),
+            tags: TagSet::new(),
+        }
+    }
+
+    /// Production of a fixed number of tokens, each carrying the given tags.
+    pub fn tagged(amount: impl Into<Interval>, tags: TagSet) -> Self {
+        ProductionSpec {
+            amount: amount.into(),
+            tags,
+        }
+    }
+}
+
+/// One mode of a process (Section 2 of the paper).
+///
+/// The Figure 1 example describes process `p2` with two modes:
+///
+/// | mode | latency | consumes on `c1` | produces on `c2` |
+/// |------|---------|------------------|------------------|
+/// | `m1` | 3 ms    | 1                | 2                |
+/// | `m2` | 5 ms    | 3                | 5                |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessMode {
+    id: ModeId,
+    name: String,
+    latency: Interval,
+    consumption: BTreeMap<ChannelId, Interval>,
+    production: BTreeMap<ChannelId, ProductionSpec>,
+}
+
+impl ProcessMode {
+    /// Creates a mode with the given latency and no communication.
+    pub fn new(id: ModeId, name: impl Into<String>, latency: Interval) -> Self {
+        ProcessMode {
+            id,
+            name: name.into(),
+            latency,
+            consumption: BTreeMap::new(),
+            production: BTreeMap::new(),
+        }
+    }
+
+    /// Mode identifier (unique within the owning process).
+    pub fn id(&self) -> ModeId {
+        self.id
+    }
+
+    /// Mode name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execution latency of the mode.
+    pub fn latency(&self) -> Interval {
+        self.latency
+    }
+
+    /// Sets the number of tokens consumed from `channel` per execution.
+    pub fn set_consumption(&mut self, channel: ChannelId, amount: impl Into<Interval>) {
+        self.consumption.insert(channel, amount.into());
+    }
+
+    /// Sets the production behaviour on `channel` per execution.
+    pub fn set_production(&mut self, channel: ChannelId, spec: ProductionSpec) {
+        self.production.insert(channel, spec);
+    }
+
+    /// Tokens consumed from `channel` per execution (zero if the channel is not read).
+    pub fn consumption(&self, channel: ChannelId) -> Interval {
+        self.consumption
+            .get(&channel)
+            .copied()
+            .unwrap_or_else(Interval::zero)
+    }
+
+    /// Production behaviour on `channel`, if any.
+    pub fn production(&self, channel: ChannelId) -> Option<&ProductionSpec> {
+        self.production.get(&channel)
+    }
+
+    /// All consumption entries.
+    pub fn consumptions(&self) -> impl Iterator<Item = (ChannelId, Interval)> + '_ {
+        self.consumption.iter().map(|(c, i)| (*c, *i))
+    }
+
+    /// All production entries.
+    pub fn productions(&self) -> impl Iterator<Item = (ChannelId, &ProductionSpec)> {
+        self.production.iter().map(|(c, s)| (*c, s))
+    }
+
+    /// Channels read by this mode.
+    pub fn input_channels(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        self.consumption.keys().copied()
+    }
+
+    /// Channels written by this mode.
+    pub fn output_channels(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        self.production.keys().copied()
+    }
+
+    /// Internal: relabel channel references after a graph merge.
+    pub(crate) fn remap_channels(&mut self, map: &BTreeMap<ChannelId, ChannelId>) {
+        self.consumption = self
+            .consumption
+            .iter()
+            .map(|(c, i)| (*map.get(c).unwrap_or(c), *i))
+            .collect();
+        self.production = self
+            .production
+            .iter()
+            .map(|(c, s)| (*map.get(c).unwrap_or(c), s.clone()))
+            .collect();
+    }
+
+    /// Internal: relabel the mode id (used when merging mode sets into configurations).
+    pub(crate) fn with_id(mut self, id: ModeId) -> Self {
+        self.id = id;
+        self
+    }
+}
+
+impl fmt::Display for ProcessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} `{}` latency={}", self.id, self.name, self.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mode() -> ProcessMode {
+        let mut m = ProcessMode::new(ModeId::new(0), "m1", Interval::point(3));
+        m.set_consumption(ChannelId::new(0), Interval::point(1));
+        m.set_production(ChannelId::new(1), ProductionSpec::amount(Interval::point(2)));
+        m
+    }
+
+    #[test]
+    fn consumption_defaults_to_zero() {
+        let m = mode();
+        assert_eq!(m.consumption(ChannelId::new(0)), Interval::point(1));
+        assert_eq!(m.consumption(ChannelId::new(9)), Interval::zero());
+    }
+
+    #[test]
+    fn production_lookup() {
+        let m = mode();
+        assert!(m.production(ChannelId::new(1)).is_some());
+        assert!(m.production(ChannelId::new(0)).is_none());
+    }
+
+    #[test]
+    fn channel_iterators_report_io() {
+        let m = mode();
+        assert_eq!(m.input_channels().collect::<Vec<_>>(), vec![ChannelId::new(0)]);
+        assert_eq!(m.output_channels().collect::<Vec<_>>(), vec![ChannelId::new(1)]);
+    }
+
+    #[test]
+    fn remap_channels_rewrites_references() {
+        let mut m = mode();
+        let mut map = BTreeMap::new();
+        map.insert(ChannelId::new(0), ChannelId::new(10));
+        map.insert(ChannelId::new(1), ChannelId::new(11));
+        m.remap_channels(&map);
+        assert_eq!(m.consumption(ChannelId::new(10)), Interval::point(1));
+        assert!(m.production(ChannelId::new(11)).is_some());
+        assert!(m.production(ChannelId::new(1)).is_none());
+    }
+
+    #[test]
+    fn tagged_production_carries_tags() {
+        let spec = ProductionSpec::tagged(Interval::point(1), TagSet::singleton("V1"));
+        assert_eq!(spec.tags.len(), 1);
+        assert_eq!(spec.amount, Interval::point(1));
+    }
+}

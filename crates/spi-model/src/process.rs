@@ -1,0 +1,340 @@
+//! Process nodes.
+//!
+//! A process maps input data to output data at each execution. Its internal behaviour is
+//! irrelevant at this abstraction level; it is characterised by its modes (parameter
+//! tuples) and its activation function. Parameters queried at the process level are the
+//! interval hulls over all modes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::activation::ActivationFunction;
+use crate::error::ModelError;
+use crate::ids::{ChannelId, ModeId, ProcessId};
+use crate::interval::Interval;
+use crate::mode::ProcessMode;
+
+/// A process node of an SPI graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Process {
+    id: ProcessId,
+    name: String,
+    modes: Vec<ProcessMode>,
+    activation: ActivationFunction,
+    is_virtual: bool,
+    next_mode: u32,
+}
+
+impl Process {
+    /// Creates a process with no modes yet.
+    pub fn new(id: ProcessId, name: impl Into<String>) -> Self {
+        Process {
+            id,
+            name: name.into(),
+            modes: Vec::new(),
+            activation: ActivationFunction::new(),
+            is_virtual: false,
+            next_mode: 0,
+        }
+    }
+
+    /// Process identifier.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Process name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the process belongs to the environment model rather than the system.
+    pub fn is_virtual(&self) -> bool {
+        self.is_virtual
+    }
+
+    /// Marks the process as virtual (environment).
+    pub fn set_virtual(&mut self, is_virtual: bool) {
+        self.is_virtual = is_virtual;
+    }
+
+    /// Allocates a fresh mode id and adds a mode built by the given closure.
+    ///
+    /// The closure receives the allocated [`ModeId`] so rate entries can be added before
+    /// the mode is stored.
+    pub fn add_mode_with(
+        &mut self,
+        name: impl Into<String>,
+        latency: Interval,
+        build: impl FnOnce(&mut ProcessMode),
+    ) -> ModeId {
+        let id = ModeId::new(self.next_mode);
+        self.next_mode += 1;
+        let mut mode = ProcessMode::new(id, name, latency);
+        build(&mut mode);
+        self.modes.push(mode);
+        id
+    }
+
+    /// Adds a fully-built mode, re-labelling it with a fresh id.
+    ///
+    /// Returns the id assigned to the stored mode. This is the entry point used by the
+    /// variants layer when modes extracted from clusters are merged into one process.
+    pub fn push_mode(&mut self, mode: ProcessMode) -> ModeId {
+        let id = ModeId::new(self.next_mode);
+        self.next_mode += 1;
+        self.modes.push(mode.with_id(id));
+        id
+    }
+
+    /// Looks up a mode by id.
+    pub fn mode(&self, id: ModeId) -> Option<&ProcessMode> {
+        self.modes.iter().find(|m| m.id() == id)
+    }
+
+    /// Looks up a mode by name.
+    pub fn mode_by_name(&self, name: &str) -> Option<&ProcessMode> {
+        self.modes.iter().find(|m| m.name() == name)
+    }
+
+    /// All modes of the process.
+    pub fn modes(&self) -> &[ProcessMode] {
+        &self.modes
+    }
+
+    /// Number of modes.
+    pub fn mode_count(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// The activation function of the process.
+    pub fn activation(&self) -> &ActivationFunction {
+        &self.activation
+    }
+
+    /// Replaces the activation function.
+    pub fn set_activation(&mut self, activation: ActivationFunction) {
+        self.activation = activation;
+    }
+
+    /// Interval hull of the execution latency over all modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoModes`] for a process without modes.
+    pub fn latency_hull(&self) -> Result<Interval, ModelError> {
+        Interval::hull_all(self.modes.iter().map(|m| m.latency()))
+            .ok_or(ModelError::NoModes(self.id))
+    }
+
+    /// Interval hull of consumption on `channel` over all modes (zero if never read).
+    pub fn consumption_hull(&self, channel: ChannelId) -> Interval {
+        Interval::hull_all(self.modes.iter().map(|m| m.consumption(channel)))
+            .unwrap_or_else(Interval::zero)
+    }
+
+    /// Interval hull of production on `channel` over all modes (zero if never written).
+    pub fn production_hull(&self, channel: ChannelId) -> Interval {
+        Interval::hull_all(
+            self.modes
+                .iter()
+                .map(|m| m.production(channel).map(|s| s.amount).unwrap_or_else(Interval::zero)),
+        )
+        .unwrap_or_else(Interval::zero)
+    }
+
+    /// Channels read by at least one mode.
+    pub fn input_channels(&self) -> Vec<ChannelId> {
+        let mut out: Vec<ChannelId> = self
+            .modes
+            .iter()
+            .flat_map(|m| m.input_channels().collect::<Vec<_>>())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Channels written by at least one mode.
+    pub fn output_channels(&self) -> Vec<ChannelId> {
+        let mut out: Vec<ChannelId> = self
+            .modes
+            .iter()
+            .flat_map(|m| m.output_channels().collect::<Vec<_>>())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Sets consumption of `rate` tokens from `channel` on every mode that does not yet
+    /// declare consumption on that channel.
+    ///
+    /// This is the operation used when a process is connected to a channel after its
+    /// modes were declared — by [`crate::GraphBuilder::connect_input`] and by the
+    /// variants layer when a cluster port is spliced onto a parent channel.
+    pub fn set_default_consumption(&mut self, channel: ChannelId, rate: Interval) {
+        for mode in &mut self.modes {
+            if mode.consumption(channel) == Interval::zero() {
+                mode.set_consumption(channel, rate);
+            }
+        }
+    }
+
+    /// Sets production `spec` on `channel` for every mode that does not yet declare
+    /// production on that channel. See [`set_default_consumption`](Self::set_default_consumption).
+    pub fn set_default_production(&mut self, channel: ChannelId, spec: crate::mode::ProductionSpec) {
+        for mode in &mut self.modes {
+            if mode.production(channel).is_none() {
+                mode.set_production(channel, spec.clone());
+            }
+        }
+    }
+
+    /// Checks internal consistency: the activation function must only reference existing
+    /// modes. Channel consistency is checked by the graph, which knows the topology.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for mode_id in self.activation.referenced_modes() {
+            if self.mode(mode_id).is_none() {
+                return Err(ModelError::UnknownMode(self.id, mode_id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Internal: relabel the process id (graph merge).
+    pub(crate) fn with_id(mut self, id: ProcessId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Internal: rename the process (graph merge with name prefixing).
+    pub(crate) fn with_name(mut self, name: String) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// Internal: relabel channel references in modes and activation after a graph merge.
+    pub(crate) fn remap_channels(&mut self, map: &BTreeMap<ChannelId, ChannelId>) {
+        for mode in &mut self.modes {
+            mode.remap_channels(map);
+        }
+        self.activation.remap_channels(map);
+    }
+
+    /// Internal mutable access to stored modes (used by extraction to qualify names).
+    pub(crate) fn modes_mut(&mut self) -> &mut Vec<ProcessMode> {
+        &mut self.modes
+    }
+}
+
+impl fmt::Display for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} `{}` ({} modes)", self.id, self.name, self.modes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{ActivationRule, Predicate};
+    use crate::mode::ProductionSpec;
+
+    fn paper_p2() -> Process {
+        // Process p2 from Figure 1: two modes m1 (3ms, 1 in, 2 out) and m2 (5ms, 3 in, 5 out).
+        let mut p = Process::new(ProcessId::new(1), "p2");
+        let c1 = ChannelId::new(0);
+        let c2 = ChannelId::new(1);
+        let m1 = p.add_mode_with("m1", Interval::point(3), |m| {
+            m.set_consumption(c1, Interval::point(1));
+            m.set_production(c2, ProductionSpec::amount(Interval::point(2)));
+        });
+        let m2 = p.add_mode_with("m2", Interval::point(5), |m| {
+            m.set_consumption(c1, Interval::point(3));
+            m.set_production(c2, ProductionSpec::amount(Interval::point(5)));
+        });
+        let af = ActivationFunction::new()
+            .with_rule(ActivationRule::new(
+                "a1",
+                Predicate::min_tokens(c1, 1).and(Predicate::has_tag(c1, "a")),
+                m1,
+            ))
+            .with_rule(ActivationRule::new(
+                "a2",
+                Predicate::min_tokens(c1, 3).and(Predicate::has_tag(c1, "b")),
+                m2,
+            ));
+        p.set_activation(af);
+        p
+    }
+
+    #[test]
+    fn mode_ids_are_sequential_and_unique() {
+        let p = paper_p2();
+        assert_eq!(p.mode_count(), 2);
+        assert_eq!(p.modes()[0].id(), ModeId::new(0));
+        assert_eq!(p.modes()[1].id(), ModeId::new(1));
+    }
+
+    #[test]
+    fn latency_hull_covers_all_modes() {
+        let p = paper_p2();
+        assert_eq!(p.latency_hull().unwrap(), Interval::new(3, 5).unwrap());
+    }
+
+    #[test]
+    fn latency_hull_errors_without_modes() {
+        let p = Process::new(ProcessId::new(9), "empty");
+        assert_eq!(p.latency_hull(), Err(ModelError::NoModes(ProcessId::new(9))));
+    }
+
+    #[test]
+    fn rate_hulls_match_paper_intervals() {
+        let p = paper_p2();
+        // "p2 consumes at least 1 and at most 3 tokens from c1 and produces at least 2
+        //  and at most 5 tokens on c2"
+        assert_eq!(
+            p.consumption_hull(ChannelId::new(0)),
+            Interval::new(1, 3).unwrap()
+        );
+        assert_eq!(
+            p.production_hull(ChannelId::new(1)),
+            Interval::new(2, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn io_channel_lists() {
+        let p = paper_p2();
+        assert_eq!(p.input_channels(), vec![ChannelId::new(0)]);
+        assert_eq!(p.output_channels(), vec![ChannelId::new(1)]);
+    }
+
+    #[test]
+    fn validate_rejects_dangling_mode_reference() {
+        let mut p = Process::new(ProcessId::new(2), "broken");
+        p.add_mode_with("m0", Interval::point(1), |_| {});
+        p.set_activation(ActivationFunction::always(ModeId::new(17)));
+        assert!(matches!(
+            p.validate(),
+            Err(ModelError::UnknownMode(_, m)) if m == ModeId::new(17)
+        ));
+    }
+
+    #[test]
+    fn mode_lookup_by_name() {
+        let p = paper_p2();
+        assert!(p.mode_by_name("m2").is_some());
+        assert!(p.mode_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn push_mode_relabels_id() {
+        let mut p = Process::new(ProcessId::new(3), "q");
+        let foreign = ProcessMode::new(ModeId::new(99), "imported", Interval::point(2));
+        let id = p.push_mode(foreign);
+        assert_eq!(id, ModeId::new(0));
+        assert_eq!(p.mode(id).unwrap().name(), "imported");
+    }
+}

@@ -1,0 +1,179 @@
+//! Virtual mode tags.
+//!
+//! In SPI, communicated data is abstracted to its amount only. To let a receiving process
+//! adapt its behaviour to the *content* of data, the sending process may attach **virtual
+//! mode tags** to produced tokens. Activation rules and cluster-selection rules predicate
+//! on the tag set of the first visible token of a channel.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned, cheaply clonable tag name such as `"a"`, `"V1"` or `"suspend"`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Tag(Arc<str>);
+
+impl Tag {
+    /// Creates a tag from any string-like value.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Tag(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the tag name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'{}'", self.0)
+    }
+}
+
+impl From<&str> for Tag {
+    fn from(s: &str) -> Self {
+        Tag::new(s)
+    }
+}
+
+impl From<String> for Tag {
+    fn from(s: String) -> Self {
+        Tag::new(s)
+    }
+}
+
+impl AsRef<str> for Tag {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// An ordered set of [`Tag`]s carried by a token or produced by a mode.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TagSet(BTreeSet<Tag>);
+
+impl TagSet {
+    /// Creates an empty tag set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a tag set containing a single tag.
+    pub fn singleton(tag: impl Into<Tag>) -> Self {
+        let mut set = Self::new();
+        set.insert(tag);
+        set
+    }
+
+    /// Inserts a tag; returns `true` if it was not present before.
+    pub fn insert(&mut self, tag: impl Into<Tag>) -> bool {
+        self.0.insert(tag.into())
+    }
+
+    /// Removes a tag; returns `true` if it was present.
+    pub fn remove(&mut self, tag: &Tag) -> bool {
+        self.0.remove(tag)
+    }
+
+    /// Returns `true` if the given tag is a member.
+    pub fn contains(&self, tag: &Tag) -> bool {
+        self.0.contains(tag)
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of tags in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Iterates over the tags in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tag> {
+        self.0.iter()
+    }
+
+    /// Set union, used when several producers contribute tags to a merged token.
+    pub fn union(&self, other: &TagSet) -> TagSet {
+        TagSet(self.0.union(&other.0).cloned().collect())
+    }
+}
+
+impl FromIterator<Tag> for TagSet {
+    fn from_iter<I: IntoIterator<Item = Tag>>(iter: I) -> Self {
+        TagSet(iter.into_iter().collect())
+    }
+}
+
+impl<'a> FromIterator<&'a str> for TagSet {
+    fn from_iter<I: IntoIterator<Item = &'a str>>(iter: I) -> Self {
+        TagSet(iter.into_iter().map(Tag::new).collect())
+    }
+}
+
+impl Extend<Tag> for TagSet {
+    fn extend<I: IntoIterator<Item = Tag>>(&mut self, iter: I) {
+        self.0.extend(iter)
+    }
+}
+
+impl fmt::Display for TagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, tag) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{tag}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_compare_by_name() {
+        assert_eq!(Tag::new("a"), Tag::from("a"));
+        assert_ne!(Tag::new("a"), Tag::new("b"));
+    }
+
+    #[test]
+    fn tagset_insert_and_contains() {
+        let mut set = TagSet::new();
+        assert!(set.insert("V1"));
+        assert!(!set.insert("V1"));
+        assert!(set.contains(&Tag::new("V1")));
+        assert!(!set.contains(&Tag::new("V2")));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn tagset_union_is_commutative() {
+        let a: TagSet = ["a", "b"].into_iter().collect();
+        let b: TagSet = ["b", "c"].into_iter().collect();
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b).len(), 3);
+    }
+
+    #[test]
+    fn tagset_display_is_sorted() {
+        let set: TagSet = ["z", "a"].into_iter().collect();
+        assert_eq!(set.to_string(), "{'a', 'z'}");
+    }
+
+    #[test]
+    fn singleton_has_one_member() {
+        let set = TagSet::singleton("resume");
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(&Tag::new("resume")));
+    }
+}

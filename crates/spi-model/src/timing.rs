@@ -1,0 +1,244 @@
+//! Timing constraints and their compliance check.
+//!
+//! The SPI companion papers define timing constraints on paths through the model graph
+//! together with a constructive method to check compliance. This module provides the
+//! constraint vocabulary used by the synthesis layer:
+//!
+//! * **latency constraints** bound the end-to-end latency between two processes,
+//! * **rate constraints** bound how much time may elapse between consecutive
+//!   executions of a process (e.g. a video pipeline must keep up with the frame rate).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::analysis::LatencyAnalysis;
+use crate::error::ModelError;
+use crate::graph::SpiGraph;
+use crate::ids::ProcessId;
+use crate::interval::Interval;
+
+/// Abstract model time. The unit is whatever the model chose (the paper uses
+/// milliseconds); all analyses are unit-agnostic.
+pub type TimeValue = u64;
+
+/// A latency constraint on the path between two processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyConstraint {
+    /// First process of the constrained path.
+    pub from: ProcessId,
+    /// Last process of the constrained path.
+    pub to: ProcessId,
+    /// Maximum admissible worst-case latency.
+    pub max: TimeValue,
+}
+
+/// A timing constraint attached to an SPI model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimingConstraint {
+    /// End-to-end latency bound between two processes.
+    Latency(LatencyConstraint),
+    /// The named process must be able to execute at least once every `period` time units
+    /// (its worst-case latency must not exceed the period).
+    Period {
+        /// Constrained process.
+        process: ProcessId,
+        /// Maximum admissible execution latency / minimum inter-arrival time.
+        period: TimeValue,
+    },
+}
+
+impl TimingConstraint {
+    /// Convenience constructor for a latency constraint.
+    pub fn latency(from: ProcessId, to: ProcessId, max: TimeValue) -> Self {
+        TimingConstraint::Latency(LatencyConstraint { from, to, max })
+    }
+
+    /// Convenience constructor for a period constraint.
+    pub fn period(process: ProcessId, period: TimeValue) -> Self {
+        TimingConstraint::Period { process, period }
+    }
+}
+
+impl fmt::Display for TimingConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingConstraint::Latency(c) => {
+                write!(f, "latency({} -> {}) <= {}", c.from, c.to, c.max)
+            }
+            TimingConstraint::Period { process, period } => {
+                write!(f, "period({process}) <= {period}")
+            }
+        }
+    }
+}
+
+/// Result of checking one constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstraintCheck {
+    /// The constraint that was checked.
+    pub constraint: TimingConstraint,
+    /// The analysed worst-case value (path latency or execution latency).
+    pub worst_case: TimeValue,
+    /// The analysed best-case value.
+    pub best_case: TimeValue,
+    /// Whether the constraint is met.
+    pub satisfied: bool,
+}
+
+/// Compliance report over a set of constraints.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingReport {
+    checks: Vec<ConstraintCheck>,
+}
+
+impl TimingReport {
+    /// Individual constraint results.
+    pub fn checks(&self) -> &[ConstraintCheck] {
+        &self.checks
+    }
+
+    /// Returns `true` if every constraint is satisfied.
+    pub fn all_satisfied(&self) -> bool {
+        self.checks.iter().all(|c| c.satisfied)
+    }
+
+    /// Number of violated constraints.
+    pub fn violations(&self) -> usize {
+        self.checks.iter().filter(|c| !c.satisfied).count()
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for check in &self.checks {
+            writeln!(
+                f,
+                "{}: worst-case {} — {}",
+                check.constraint,
+                check.worst_case,
+                if check.satisfied { "ok" } else { "VIOLATED" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks all constraints against the worst-case latency analysis of `graph`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::CyclicGraph`] if a latency constraint spans a cyclic region of
+/// the graph, or [`ModelError::UnknownProcess`] / [`ModelError::NoModes`] for malformed
+/// constraints.
+pub fn check_constraints(
+    graph: &SpiGraph,
+    constraints: &[TimingConstraint],
+) -> Result<TimingReport, ModelError> {
+    let analysis = LatencyAnalysis::new(graph);
+    let mut report = TimingReport::default();
+    for constraint in constraints {
+        let (interval, max) = match constraint {
+            TimingConstraint::Latency(c) => {
+                let path = analysis.end_to_end(c.from, c.to)?;
+                (path, c.max)
+            }
+            TimingConstraint::Period { process, period } => {
+                let p = graph
+                    .process(*process)
+                    .ok_or(ModelError::UnknownProcess(*process))?;
+                (p.latency_hull()?, *period)
+            }
+        };
+        report.checks.push(ConstraintCheck {
+            constraint: *constraint,
+            worst_case: interval.hi(),
+            best_case: interval.lo(),
+            satisfied: interval.hi() <= max,
+        });
+    }
+    Ok(report)
+}
+
+/// Returns the worst-case end-to-end latency between two processes as an [`Interval`].
+///
+/// This is a convenience wrapper over [`LatencyAnalysis::end_to_end`].
+///
+/// # Errors
+///
+/// See [`LatencyAnalysis::end_to_end`].
+pub fn end_to_end_latency(
+    graph: &SpiGraph,
+    from: ProcessId,
+    to: ProcessId,
+) -> Result<Interval, ModelError> {
+    LatencyAnalysis::new(graph).end_to_end(from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::channel::ChannelKind;
+
+    fn pipeline() -> (SpiGraph, ProcessId, ProcessId, ProcessId) {
+        let mut b = GraphBuilder::new("pipe");
+        let a = b.process("a").latency(Interval::point(1)).build().unwrap();
+        let m = b.process("m").latency(Interval::new(3, 5).unwrap()).build().unwrap();
+        let z = b.process("z").latency(Interval::point(3)).build().unwrap();
+        let c1 = b.channel("c1", ChannelKind::Queue).unwrap();
+        let c2 = b.channel("c2", ChannelKind::Queue).unwrap();
+        b.connect_output(a, c1, Interval::point(1)).unwrap();
+        b.connect_input(c1, m, Interval::point(1)).unwrap();
+        b.connect_output(m, c2, Interval::point(1)).unwrap();
+        b.connect_input(c2, z, Interval::point(1)).unwrap();
+        (b.finish().unwrap(), a, m, z)
+    }
+
+    #[test]
+    fn latency_constraint_satisfied_and_violated() {
+        let (g, a, _, z) = pipeline();
+        // Worst-case path latency is 1 + 5 + 3 = 9.
+        let report =
+            check_constraints(&g, &[TimingConstraint::latency(a, z, 9)]).unwrap();
+        assert!(report.all_satisfied());
+        assert_eq!(report.checks()[0].worst_case, 9);
+        assert_eq!(report.checks()[0].best_case, 7);
+
+        let report =
+            check_constraints(&g, &[TimingConstraint::latency(a, z, 8)]).unwrap();
+        assert!(!report.all_satisfied());
+        assert_eq!(report.violations(), 1);
+    }
+
+    #[test]
+    fn period_constraint_uses_latency_hull() {
+        let (g, _, m, _) = pipeline();
+        let ok = check_constraints(&g, &[TimingConstraint::period(m, 5)]).unwrap();
+        assert!(ok.all_satisfied());
+        let bad = check_constraints(&g, &[TimingConstraint::period(m, 4)]).unwrap();
+        assert!(!bad.all_satisfied());
+    }
+
+    #[test]
+    fn unknown_process_is_reported() {
+        let (g, a, _, _) = pipeline();
+        let err = check_constraints(
+            &g,
+            &[TimingConstraint::period(ProcessId::new(99), 10)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownProcess(_)));
+        let err =
+            check_constraints(&g, &[TimingConstraint::latency(a, ProcessId::new(99), 10)])
+                .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownProcess(_)));
+    }
+
+    #[test]
+    fn report_display_mentions_violations() {
+        let (g, a, _, z) = pipeline();
+        let report =
+            check_constraints(&g, &[TimingConstraint::latency(a, z, 1)]).unwrap();
+        assert!(report.to_string().contains("VIOLATED"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Tokens — the abstract unit of communicated data.
+//!
+//! SPI abstracts data content away; a token only carries a [`TagSet`] of virtual mode
+//! tags (and an optional sequence number that the simulator uses for tracing, e.g. to
+//! identify which video frame a token belongs to in the Figure 4 example).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::tag::{Tag, TagSet};
+
+/// A single data token flowing through a channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Token {
+    tags: TagSet,
+    sequence: Option<u64>,
+}
+
+impl Token {
+    /// Creates a token with no tags.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a token carrying the given tag set.
+    pub fn with_tags(tags: TagSet) -> Self {
+        Token { tags, sequence: None }
+    }
+
+    /// Creates a token carrying a single tag.
+    pub fn tagged(tag: impl Into<Tag>) -> Self {
+        Token {
+            tags: TagSet::singleton(tag),
+            sequence: None,
+        }
+    }
+
+    /// Returns a copy of this token with the given trace sequence number.
+    pub fn with_sequence(mut self, seq: u64) -> Self {
+        self.sequence = Some(seq);
+        self
+    }
+
+    /// The tag set of the token.
+    pub fn tags(&self) -> &TagSet {
+        &self.tags
+    }
+
+    /// Mutable access to the tag set (used by producing processes to add tags).
+    pub fn tags_mut(&mut self) -> &mut TagSet {
+        &mut self.tags
+    }
+
+    /// Returns `true` if the token carries the given tag.
+    pub fn has_tag(&self, tag: &Tag) -> bool {
+        self.tags.contains(tag)
+    }
+
+    /// Adds a tag to the token.
+    pub fn add_tag(&mut self, tag: impl Into<Tag>) {
+        self.tags.insert(tag);
+    }
+
+    /// Optional trace sequence number (e.g. frame index), if assigned.
+    pub fn sequence(&self) -> Option<u64> {
+        self.sequence
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sequence {
+            Some(seq) => write!(f, "token#{seq}{}", self.tags),
+            None => write!(f, "token{}", self.tags),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untagged_token_has_empty_tagset() {
+        let t = Token::new();
+        assert!(t.tags().is_empty());
+        assert!(!t.has_tag(&Tag::new("a")));
+    }
+
+    #[test]
+    fn tagged_constructor_sets_tag() {
+        let t = Token::tagged("V2");
+        assert!(t.has_tag(&Tag::new("V2")));
+        assert_eq!(t.tags().len(), 1);
+    }
+
+    #[test]
+    fn add_tag_accumulates() {
+        let mut t = Token::tagged("a");
+        t.add_tag("b");
+        assert!(t.has_tag(&Tag::new("a")) && t.has_tag(&Tag::new("b")));
+    }
+
+    #[test]
+    fn sequence_number_is_preserved() {
+        let t = Token::new().with_sequence(42);
+        assert_eq!(t.sequence(), Some(42));
+        assert_eq!(t.to_string(), "token#42{}");
+    }
+}

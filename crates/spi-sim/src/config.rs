@@ -1,0 +1,120 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use spi_model::TimeValue;
+
+/// Which bound of an interval parameter the simulator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BoundModel {
+    /// Use the lower bound (optimistic latency, minimal data amounts).
+    Lower,
+    /// Use the upper bound (pessimistic latency, maximal data amounts).
+    #[default]
+    Upper,
+}
+
+impl BoundModel {
+    /// Picks the configured bound from an interval.
+    pub fn pick(self, interval: spi_model::Interval) -> u64 {
+        match self {
+            BoundModel::Lower => interval.lo(),
+            BoundModel::Upper => interval.hi(),
+        }
+    }
+}
+
+/// What happens when a token is produced on a full bounded channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OverflowPolicy {
+    /// Abort the simulation with [`crate::SimError::ChannelOverflow`].
+    #[default]
+    Error,
+    /// Silently drop the newly produced token (counted in the statistics).
+    DropNewest,
+    /// Drop the oldest queued token to make room (counted in the statistics).
+    DropOldest,
+}
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulation stops once the clock would pass this horizon.
+    pub horizon: TimeValue,
+    /// Upper bound on the number of executions of any single process (guards against
+    /// runaway sources in models without environment pacing).
+    pub max_executions_per_process: u64,
+    /// Which latency bound to use for execution times.
+    pub latency_model: BoundModel,
+    /// Which bound to use for consumption/production amounts.
+    pub rate_model: BoundModel,
+    /// Behaviour on bounded-channel overflow.
+    pub overflow_policy: OverflowPolicy,
+    /// Record a full event trace (disable for long benchmark runs).
+    pub record_trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: 100_000,
+            max_executions_per_process: 10_000,
+            latency_model: BoundModel::Upper,
+            rate_model: BoundModel::Lower,
+            overflow_policy: OverflowPolicy::Error,
+            record_trace: true,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Creates the default configuration with the given horizon.
+    pub fn with_horizon(horizon: TimeValue) -> Self {
+        SimConfig {
+            horizon,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the per-process execution cap, returning `self` for chaining.
+    pub fn max_executions(mut self, max: u64) -> Self {
+        self.max_executions_per_process = max;
+        self
+    }
+
+    /// Disables trace recording (keeps only aggregate statistics).
+    pub fn without_trace(mut self) -> Self {
+        self.record_trace = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_model::Interval;
+
+    #[test]
+    fn bound_model_picks_the_right_end() {
+        let i = Interval::new(3, 5).unwrap();
+        assert_eq!(BoundModel::Lower.pick(i), 3);
+        assert_eq!(BoundModel::Upper.pick(i), 5);
+    }
+
+    #[test]
+    fn default_configuration_is_reasonable() {
+        let config = SimConfig::default();
+        assert!(config.horizon > 0);
+        assert!(config.max_executions_per_process > 0);
+        assert_eq!(config.overflow_policy, OverflowPolicy::Error);
+        assert!(config.record_trace);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let config = SimConfig::with_horizon(500).max_executions(3).without_trace();
+        assert_eq!(config.horizon, 500);
+        assert_eq!(config.max_executions_per_process, 3);
+        assert!(!config.record_trace);
+    }
+}

@@ -1,0 +1,686 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine gives the SPI model (and its variant extensions) an operational
+//! semantics: data-driven activation, mode execution with latency, token production with
+//! virtual mode tags, and — when configuration annotations are supplied — reconfiguration
+//! steps whose latency is added to the execution latency of the first execution in the
+//! newly selected configuration, exactly as described in Section 4 of the paper.
+
+use std::collections::BTreeMap;
+
+use spi_model::{ChannelId, ChannelView, ModeId, ProcessId, SpiGraph, TimeValue, Token};
+use spi_variants::{ConfigurationMap, ReconfigurationTracker};
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::state::ChannelStates;
+use crate::trace::{SimReport, SimStats, TraceEvent};
+
+/// An execution in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Running {
+    process: ProcessId,
+    mode: ModeId,
+    finish: TimeValue,
+}
+
+/// A scheduled external stimulus.
+#[derive(Debug, Clone, PartialEq)]
+struct Injection {
+    time: TimeValue,
+    channel: ChannelId,
+    token: Token,
+}
+
+/// Discrete-event simulator for SPI graphs with optional variant configurations.
+///
+/// # Example
+///
+/// ```rust
+/// use spi_model::{ChannelKind, GraphBuilder, Interval};
+/// use spi_sim::{SimConfig, Simulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new("pipeline");
+/// let src = b.process("src").latency(Interval::point(1)).build()?;
+/// let dst = b.process("dst").latency(Interval::point(2)).build()?;
+/// let c = b.channel("c", ChannelKind::Queue)?;
+/// b.connect_output(src, c, Interval::point(1))?;
+/// b.connect_input(c, dst, Interval::point(1))?;
+/// let graph = b.finish()?;
+///
+/// let config = SimConfig::with_horizon(100).max_executions(10);
+/// let report = Simulator::new(graph, config).run()?;
+/// assert!(report.stats.total_executions() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    graph: SpiGraph,
+    config: SimConfig,
+    tracker: Option<ReconfigurationTracker>,
+    injections: Vec<Injection>,
+}
+
+impl Simulator {
+    /// Creates a simulator over a validated graph.
+    pub fn new(graph: SpiGraph, config: SimConfig) -> Self {
+        Simulator {
+            graph,
+            config,
+            tracker: None,
+            injections: Vec::new(),
+        }
+    }
+
+    /// Attaches configuration annotations (from interface abstraction) so that
+    /// reconfiguration steps are simulated and accounted.
+    pub fn with_configurations(mut self, configurations: ConfigurationMap) -> Self {
+        self.tracker = Some(ReconfigurationTracker::new(configurations));
+        self
+    }
+
+    /// The simulated graph.
+    pub fn graph(&self) -> &SpiGraph {
+        &self.graph
+    }
+
+    /// Schedules an external token injection at `time` on `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownChannel`] if the channel does not exist.
+    pub fn inject(
+        &mut self,
+        time: TimeValue,
+        channel: ChannelId,
+        token: Token,
+    ) -> Result<(), SimError> {
+        if self.graph.channel(channel).is_none() {
+            return Err(SimError::UnknownChannel(channel));
+        }
+        self.injections.push(Injection {
+            time,
+            channel,
+            token,
+        });
+        Ok(())
+    }
+
+    /// Schedules an injection on a channel referenced by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if no channel with that name exists.
+    pub fn inject_by_name(
+        &mut self,
+        time: TimeValue,
+        channel: &str,
+        token: Token,
+    ) -> Result<(), SimError> {
+        let id = self
+            .graph
+            .channel_by_name(channel)
+            .ok_or_else(|| SimError::Config(format!("unknown channel name `{channel}`")))?
+            .id();
+        self.inject(time, id, token)
+    }
+
+    /// Runs the simulation to quiescence or the configured horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered (channel overflow with the
+    /// [`OverflowPolicy::Error`] policy, inconsistent token consumption, or invalid
+    /// configuration annotations).
+    pub fn run(&mut self) -> Result<SimReport, SimError> {
+        let mut states = ChannelStates::from_graph(&self.graph);
+        let mut stats = SimStats::default();
+        let mut trace = Vec::new();
+        let mut running: Vec<Running> = Vec::new();
+        let mut executions: BTreeMap<ProcessId, u64> = BTreeMap::new();
+        let mut tracker = self.tracker.clone();
+
+        let mut injections = self.injections.clone();
+        injections.sort_by_key(|i| i.time);
+        let mut next_injection = 0usize;
+
+        let mut now: TimeValue = 0;
+        let mut hit_horizon = false;
+
+        loop {
+            // 1. Deliver due injections.
+            while next_injection < injections.len() && injections[next_injection].time <= now {
+                let injection = &injections[next_injection];
+                let stored = states.push(
+                    injection.channel,
+                    injection.token.clone(),
+                    self.config.overflow_policy,
+                )?;
+                if stored {
+                    if self.config.record_trace {
+                        trace.push(TraceEvent::Injected {
+                            time: now,
+                            channel: injection.channel,
+                        });
+                    }
+                } else {
+                    return Err(SimError::ChannelOverflow {
+                        channel: injection.channel,
+                        producer: ProcessId::new(u32::MAX),
+                        time: now,
+                    });
+                }
+                next_injection += 1;
+            }
+
+            // 2. Apply due completions.
+            let mut completed: Vec<Running> = running
+                .iter()
+                .copied()
+                .filter(|r| r.finish <= now)
+                .collect();
+            completed.sort_by_key(|r| (r.finish, r.process));
+            running.retain(|r| r.finish > now);
+            for done in completed {
+                self.apply_completion(&done, now, &mut states, &mut stats, &mut trace)?;
+            }
+
+            // 3. Start every process that can start at this instant (fixed point, since
+            //    consuming tokens may disable — never enable — other activations at the
+            //    same instant, but completing zero-latency work is handled next round).
+            loop {
+                let mut started_any = false;
+                for process_id in self.graph.process_ids() {
+                    if running.iter().any(|r| r.process == process_id) {
+                        continue;
+                    }
+                    if executions.get(&process_id).copied().unwrap_or(0)
+                        >= self.config.max_executions_per_process
+                    {
+                        continue;
+                    }
+                    let process = self.graph.process(process_id).expect("known process");
+                    if process.mode_count() == 0 {
+                        continue;
+                    }
+                    let Some(mode_id) = process.activation().select(&states) else {
+                        continue;
+                    };
+                    let mode = process
+                        .mode(mode_id)
+                        .expect("activation references existing mode");
+
+                    // Check and perform consumption.
+                    let mut consumption: Vec<(ChannelId, u64)> = Vec::new();
+                    for (channel, rate) in mode.consumptions() {
+                        let amount = self.config.rate_model.pick(rate);
+                        let available = states.available(channel);
+                        if available < amount {
+                            return Err(SimError::InsufficientTokens {
+                                process: process_id,
+                                channel,
+                                required: amount,
+                                available,
+                            });
+                        }
+                        consumption.push((channel, amount));
+                    }
+                    for (channel, amount) in &consumption {
+                        states.consume(*channel, *amount)?;
+                        *stats.tokens_consumed.entry(*channel).or_default() += amount;
+                    }
+
+                    // Reconfiguration step, if this execution switches configurations.
+                    let mut extra_latency = 0;
+                    if let Some(tracker) = tracker.as_mut() {
+                        if let Some(event) = tracker.observe(process_id, mode_id) {
+                            extra_latency = event.latency;
+                            if event.state_lost {
+                                stats.reconfigurations += 1;
+                            }
+                            stats.reconfiguration_latency += event.latency;
+                            if self.config.record_trace {
+                                trace.push(TraceEvent::Reconfigured {
+                                    time: now,
+                                    process: process_id,
+                                    from: event.from,
+                                    to: event.to,
+                                    latency: event.latency,
+                                });
+                            }
+                        }
+                    }
+
+                    let latency = self.config.latency_model.pick(mode.latency()) + extra_latency;
+                    let finish = now.saturating_add(latency);
+                    running.push(Running {
+                        process: process_id,
+                        mode: mode_id,
+                        finish,
+                    });
+                    *executions.entry(process_id).or_default() += 1;
+                    *stats.executions.entry(process_id).or_default() += 1;
+                    *stats
+                        .mode_executions
+                        .entry((process_id, mode_id))
+                        .or_default() += 1;
+                    if self.config.record_trace {
+                        trace.push(TraceEvent::Started {
+                            time: now,
+                            process: process_id,
+                            mode: mode_id,
+                        });
+                    }
+                    stats.makespan = stats.makespan.max(now);
+                    started_any = true;
+                }
+                if !started_any {
+                    break;
+                }
+            }
+
+            // 4. Advance time.
+            if now >= self.config.horizon {
+                hit_horizon = true;
+                break;
+            }
+            let next_completion = running.iter().map(|r| r.finish).min();
+            let next_stimulus = injections.get(next_injection).map(|i| i.time);
+            let next = match (next_completion, next_stimulus) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break, // quiescent
+            };
+            if next > self.config.horizon {
+                hit_horizon = true;
+                now = self.config.horizon;
+                break;
+            }
+            now = next;
+        }
+
+        // Flush completions that are due exactly at the stop time.
+        let mut leftovers: Vec<Running> = running.iter().copied().filter(|r| r.finish <= now).collect();
+        leftovers.sort_by_key(|r| (r.finish, r.process));
+        for done in leftovers {
+            self.apply_completion(&done, done.finish, &mut states, &mut stats, &mut trace)?;
+        }
+
+        stats.dropped_tokens = states.dropped();
+        let final_tokens = self
+            .graph
+            .channel_ids()
+            .into_iter()
+            .map(|c| (c, states.available(c)))
+            .collect();
+        Ok(SimReport {
+            stats,
+            trace,
+            end_time: now,
+            hit_horizon,
+            final_tokens,
+        })
+    }
+
+    fn apply_completion(
+        &self,
+        done: &Running,
+        time: TimeValue,
+        states: &mut ChannelStates,
+        stats: &mut SimStats,
+        trace: &mut Vec<TraceEvent>,
+    ) -> Result<(), SimError> {
+        let process = self.graph.process(done.process).expect("known process");
+        let mode = process.mode(done.mode).expect("known mode");
+        for (channel, spec) in mode.productions() {
+            let amount = self.config.rate_model.pick(spec.amount);
+            for _ in 0..amount {
+                let mut token = Token::with_tags(spec.tags.clone());
+                token = token.with_sequence(stats.produced_on(channel));
+                let stored = states.push(channel, token, self.config.overflow_policy)?;
+                if stored {
+                    *stats.tokens_produced.entry(channel).or_default() += 1;
+                } else {
+                    return Err(SimError::ChannelOverflow {
+                        channel,
+                        producer: done.process,
+                        time,
+                    });
+                }
+            }
+        }
+        if self.config.record_trace {
+            trace.push(TraceEvent::Completed {
+                time,
+                process: done.process,
+                mode: done.mode,
+            });
+        }
+        stats.makespan = stats.makespan.max(time);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BoundModel, OverflowPolicy};
+    use spi_model::{ChannelKind, GraphBuilder, Interval, ModeSpec, TagSet};
+
+    /// src --1--> c --1--> dst, src capped to 3 executions.
+    fn pipeline(max_executions: u64) -> (SpiGraph, ChannelId) {
+        let mut b = GraphBuilder::new("pipe");
+        let src = b.process("src").latency(Interval::point(1)).build().unwrap();
+        let dst = b.process("dst").latency(Interval::point(2)).build().unwrap();
+        let c = b.channel("c", ChannelKind::Queue).unwrap();
+        b.connect_output(src, c, Interval::point(1)).unwrap();
+        b.connect_input(c, dst, Interval::point(1)).unwrap();
+        let graph = b.finish().unwrap();
+        let _ = max_executions;
+        (graph, c)
+    }
+
+    #[test]
+    fn pipeline_executes_and_consumes_everything() {
+        let (graph, c) = pipeline(3);
+        let config = SimConfig::with_horizon(1_000).max_executions(3);
+        let report = Simulator::new(graph.clone(), config).run().unwrap();
+        let src = graph.process_by_name("src").unwrap().id();
+        let dst = graph.process_by_name("dst").unwrap().id();
+        assert_eq!(report.stats.executions_of(src), 3);
+        assert_eq!(report.stats.executions_of(dst), 3);
+        assert_eq!(report.stats.produced_on(c), 3);
+        // All produced tokens were consumed.
+        assert_eq!(report.final_tokens[&c], 0);
+        assert!(!report.trace.is_empty());
+    }
+
+    #[test]
+    fn latency_model_controls_makespan() {
+        let mut b = GraphBuilder::new("latency");
+        let p = b
+            .process("p")
+            .mode(ModeSpec::new("m", Interval::new(3, 9).unwrap()))
+            .build()
+            .unwrap();
+        let _ = p;
+        let graph = b.finish().unwrap();
+        let worst = Simulator::new(
+            graph.clone(),
+            SimConfig::with_horizon(100).max_executions(1),
+        )
+        .run()
+        .unwrap();
+        let mut best_config = SimConfig::with_horizon(100).max_executions(1);
+        best_config.latency_model = BoundModel::Lower;
+        let best = Simulator::new(graph, best_config).run().unwrap();
+        assert_eq!(worst.stats.makespan, 9);
+        assert_eq!(best.stats.makespan, 3);
+    }
+
+    #[test]
+    fn tagged_production_reaches_the_reader() {
+        let mut b = GraphBuilder::new("tags");
+        let src = b.process("src").latency(Interval::point(1)).build().unwrap();
+        let c = b.channel("c", ChannelKind::Queue).unwrap();
+        b.connect_output_tagged(src, c, Interval::point(1), TagSet::singleton("V1"))
+            .unwrap();
+        let graph = b.finish().unwrap();
+        let report = Simulator::new(
+            graph,
+            SimConfig::with_horizon(10).max_executions(1),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(report.stats.produced_on(ChannelId::new(0)), 1);
+    }
+
+    #[test]
+    fn injections_drive_data_dependent_activation() {
+        // A single consumer that only runs when a token arrives on its input.
+        let mut b = GraphBuilder::new("inject");
+        let sink = b.process("sink").latency(Interval::point(2)).build().unwrap();
+        let c = b.channel("c", ChannelKind::Queue).unwrap();
+        b.connect_input(c, sink, Interval::point(1)).unwrap();
+        let graph = b.finish().unwrap();
+        let mut sim = Simulator::new(graph.clone(), SimConfig::with_horizon(100));
+        sim.inject_by_name(5, "c", Token::tagged("go")).unwrap();
+        sim.inject_by_name(20, "c", Token::tagged("go")).unwrap();
+        let report = sim.run().unwrap();
+        let sink = graph.process_by_name("sink").unwrap().id();
+        assert_eq!(report.stats.executions_of(sink), 2);
+        // Second injection at 20, execution latency 2 -> makespan 22.
+        assert_eq!(report.stats.makespan, 22);
+        assert!(!report.hit_horizon);
+    }
+
+    #[test]
+    fn unknown_injection_channel_is_rejected() {
+        let (graph, _) = pipeline(1);
+        let mut sim = Simulator::new(graph, SimConfig::default());
+        assert!(matches!(
+            sim.inject(0, ChannelId::new(99), Token::new()),
+            Err(SimError::UnknownChannel(_))
+        ));
+        assert!(matches!(
+            sim.inject_by_name(0, "ghost", Token::new()),
+            Err(SimError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn horizon_stops_unbounded_sources() {
+        let (graph, _) = pipeline(u64::MAX);
+        let config = SimConfig {
+            horizon: 50,
+            max_executions_per_process: u64::MAX,
+            ..Default::default()
+        };
+        let report = Simulator::new(graph, config).run().unwrap();
+        assert!(report.hit_horizon);
+        assert!(report.stats.makespan <= 50);
+    }
+
+    #[test]
+    fn mode_selection_follows_tags() {
+        // A process with two modes selected by the tag of the first token.
+        let mut b = GraphBuilder::new("modes");
+        let cin = b.channel("cin", ChannelKind::Queue).unwrap();
+        use spi_model::{ActivationFunction, ActivationRule, Predicate};
+        let worker = b
+            .process("worker")
+            .mode(ModeSpec::new("fast", Interval::point(1)).consume(cin, Interval::point(1)))
+            .mode(ModeSpec::new("slow", Interval::point(7)).consume(cin, Interval::point(1)))
+            .activation(
+                ActivationFunction::new()
+                    .with_rule(ActivationRule::new(
+                        "a_fast",
+                        Predicate::min_tokens(cin, 1).and(Predicate::has_tag(cin, "fast")),
+                        spi_model::ModeId::new(0),
+                    ))
+                    .with_rule(ActivationRule::new(
+                        "a_slow",
+                        Predicate::min_tokens(cin, 1).and(Predicate::has_tag(cin, "slow")),
+                        spi_model::ModeId::new(1),
+                    )),
+            )
+            .build()
+            .unwrap();
+        b.wire_input(cin, worker).unwrap();
+        let graph = b.finish().unwrap();
+        let worker_id = graph.process_by_name("worker").unwrap().id();
+
+        let mut sim = Simulator::new(graph, SimConfig::with_horizon(100));
+        sim.inject_by_name(0, "cin", Token::tagged("slow")).unwrap();
+        sim.inject_by_name(10, "cin", Token::tagged("fast")).unwrap();
+        let report = sim.run().unwrap();
+        assert_eq!(report.stats.executions_of(worker_id), 2);
+        assert_eq!(
+            report.stats.mode_executions[&(worker_id, spi_model::ModeId::new(0))],
+            1
+        );
+        assert_eq!(
+            report.stats.mode_executions[&(worker_id, spi_model::ModeId::new(1))],
+            1
+        );
+    }
+
+    #[test]
+    fn untagged_token_never_activates_tag_guarded_process() {
+        let mut b = GraphBuilder::new("guarded");
+        let cin = b.channel("cin", ChannelKind::Queue).unwrap();
+        use spi_model::{ActivationFunction, ActivationRule, Predicate};
+        let worker = b
+            .process("worker")
+            .mode(ModeSpec::new("m", Interval::point(1)).consume(cin, Interval::point(1)))
+            .activation(ActivationFunction::new().with_rule(ActivationRule::new(
+                "a",
+                Predicate::min_tokens(cin, 1).and(Predicate::has_tag(cin, "go")),
+                spi_model::ModeId::new(0),
+            )))
+            .build()
+            .unwrap();
+        b.wire_input(cin, worker).unwrap();
+        let graph = b.finish().unwrap();
+        let worker_id = graph.process_by_name("worker").unwrap().id();
+        let mut sim = Simulator::new(graph, SimConfig::with_horizon(50));
+        sim.inject_by_name(0, "cin", Token::new()).unwrap();
+        let report = sim.run().unwrap();
+        assert_eq!(report.stats.executions_of(worker_id), 0);
+        // The token is still sitting on the channel.
+        assert_eq!(report.final_tokens[&cin], 1);
+    }
+
+    #[test]
+    fn register_overwrites_and_reader_sees_latest() {
+        let mut b = GraphBuilder::new("register");
+        let reg = b.channel("reg", ChannelKind::Register).unwrap();
+        use spi_model::{ActivationFunction, ActivationRule, Predicate};
+        let reader = b
+            .process("reader")
+            .mode(ModeSpec::new("m", Interval::point(1)))
+            .activation(ActivationFunction::new().with_rule(ActivationRule::new(
+                "a",
+                Predicate::has_tag(reg, "latest"),
+                spi_model::ModeId::new(0),
+            )))
+            .build()
+            .unwrap();
+        b.wire_input(reg, reader).unwrap();
+        let graph = b.finish().unwrap();
+        let reader_id = graph.process_by_name("reader").unwrap().id();
+        let mut sim = Simulator::new(graph, SimConfig::with_horizon(20).max_executions(1));
+        sim.inject_by_name(0, "reg", Token::tagged("stale")).unwrap();
+        sim.inject_by_name(1, "reg", Token::tagged("latest")).unwrap();
+        let report = sim.run().unwrap();
+        assert_eq!(report.stats.executions_of(reader_id), 1);
+        // The register still holds its value (non-destructive read).
+        assert_eq!(report.final_tokens[&reg], 1);
+    }
+
+    #[test]
+    fn reconfiguration_latency_is_added_to_execution() {
+        use spi_variants::{Configuration, ConfigurationMap, ConfigurationSet};
+        // One process with two tag-selected modes belonging to two configurations.
+        let mut b = GraphBuilder::new("reconf");
+        let creq = b.channel("creq", ChannelKind::Queue).unwrap();
+        use spi_model::{ActivationFunction, ActivationRule, Predicate};
+        let pvar = b
+            .process("pvar")
+            .mode(ModeSpec::new("v1", Interval::point(2)).consume(creq, Interval::point(1)))
+            .mode(ModeSpec::new("v2", Interval::point(3)).consume(creq, Interval::point(1)))
+            .activation(
+                ActivationFunction::new()
+                    .with_rule(ActivationRule::new(
+                        "a1",
+                        Predicate::min_tokens(creq, 1).and(Predicate::has_tag(creq, "V1")),
+                        spi_model::ModeId::new(0),
+                    ))
+                    .with_rule(ActivationRule::new(
+                        "a2",
+                        Predicate::min_tokens(creq, 1).and(Predicate::has_tag(creq, "V2")),
+                        spi_model::ModeId::new(1),
+                    )),
+            )
+            .build()
+            .unwrap();
+        b.wire_input(creq, pvar).unwrap();
+        let graph = b.finish().unwrap();
+        let pvar_id = graph.process_by_name("pvar").unwrap().id();
+
+        let set = ConfigurationSet::new()
+            .with_configuration(Configuration::new("conf1", [spi_model::ModeId::new(0)], 10))
+            .with_configuration(Configuration::new("conf2", [spi_model::ModeId::new(1)], 25));
+        let mut map = ConfigurationMap::new();
+        map.insert(pvar_id, set);
+
+        let mut sim = Simulator::new(graph, SimConfig::with_horizon(500)).with_configurations(map);
+        sim.inject_by_name(0, "creq", Token::tagged("V1")).unwrap();
+        sim.inject_by_name(100, "creq", Token::tagged("V2")).unwrap();
+        sim.inject_by_name(200, "creq", Token::tagged("V2")).unwrap();
+        let report = sim.run().unwrap();
+
+        // Initial configuration (10) + one reconfiguration (25); the third execution
+        // stays in conf2 and costs nothing extra.
+        assert_eq!(report.stats.reconfigurations, 1);
+        assert_eq!(report.stats.reconfiguration_latency, 10 + 25);
+        // Execution at t=100 runs for 3 + 25 = 28 time units.
+        let completions: Vec<_> = report
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Completed { time, .. } => Some(*time),
+                _ => None,
+            })
+            .collect();
+        assert!(completions.contains(&(0 + 10 + 2)));
+        assert!(completions.contains(&(100 + 25 + 3)));
+        assert!(completions.contains(&(200 + 3)));
+    }
+
+    #[test]
+    fn bounded_channel_overflow_policies() {
+        let mut b = GraphBuilder::new("overflow");
+        let src = b.process("src").latency(Interval::point(1)).build().unwrap();
+        let c = b.channel("c", ChannelKind::Queue).unwrap();
+        b.connect_output(src, c, Interval::point(1)).unwrap();
+        let mut graph = b.finish().unwrap();
+        let bounded = spi_model::Channel::new(c, "c_bounded", ChannelKind::Queue)
+            .unwrap()
+            .with_capacity(2)
+            .unwrap();
+        graph.replace_channel(bounded).unwrap();
+
+        // Error policy aborts once the queue is full.
+        let err = Simulator::new(
+            graph.clone(),
+            SimConfig::with_horizon(100).max_executions(5),
+        )
+        .run()
+        .unwrap_err();
+        assert!(matches!(err, SimError::ChannelOverflow { .. }));
+
+        // Drop policy keeps going and counts the losses.
+        let mut config = SimConfig::with_horizon(100).max_executions(5);
+        config.overflow_policy = OverflowPolicy::DropOldest;
+        let report = Simulator::new(graph, config).run().unwrap();
+        assert_eq!(report.stats.dropped_tokens, 3);
+        assert_eq!(report.final_tokens[&c], 2);
+    }
+
+    #[test]
+    fn quiescence_without_work_ends_immediately() {
+        let mut b = GraphBuilder::new("idle");
+        let cin = b.channel("cin", ChannelKind::Queue).unwrap();
+        let sink = b.process("sink").latency(Interval::point(1)).build().unwrap();
+        b.connect_input(cin, sink, Interval::point(1)).unwrap();
+        let graph = b.finish().unwrap();
+        let report = Simulator::new(graph, SimConfig::with_horizon(100)).run().unwrap();
+        assert_eq!(report.stats.total_executions(), 0);
+        assert_eq!(report.end_time, 0);
+        assert!(!report.hit_horizon);
+    }
+}

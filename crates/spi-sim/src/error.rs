@@ -1,0 +1,105 @@
+//! Error type of the simulator.
+
+use std::fmt;
+
+use spi_model::{ChannelId, ModelError, ProcessId};
+
+/// Error raised while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An error bubbled up from the model layer.
+    Model(ModelError),
+    /// A token was produced on a full bounded channel and the overflow policy is
+    /// [`crate::OverflowPolicy::Error`].
+    ChannelOverflow {
+        /// The channel that overflowed.
+        channel: ChannelId,
+        /// The process that produced the token.
+        producer: ProcessId,
+        /// Simulation time of the overflow.
+        time: u64,
+    },
+    /// A process activated a mode but the declared consumption exceeds the available
+    /// tokens — the model (or its activation function) is inconsistent.
+    InsufficientTokens {
+        /// The consuming process.
+        process: ProcessId,
+        /// The channel with too few tokens.
+        channel: ChannelId,
+        /// Tokens required by the activated mode.
+        required: u64,
+        /// Tokens actually available.
+        available: u64,
+    },
+    /// An injection or query referenced a channel that does not exist.
+    UnknownChannel(ChannelId),
+    /// Generic configuration error with a human-readable explanation.
+    Config(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::ChannelOverflow {
+                channel,
+                producer,
+                time,
+            } => write!(
+                f,
+                "channel {channel} overflowed at time {time} (producer {producer})"
+            ),
+            SimError::InsufficientTokens {
+                process,
+                channel,
+                required,
+                available,
+            } => write!(
+                f,
+                "process {process} activated a mode requiring {required} tokens on {channel} but only {available} are available"
+            ),
+            SimError::UnknownChannel(channel) => write!(f, "unknown channel {channel}"),
+            SimError::Config(msg) => write!(f, "invalid simulation configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let err: SimError = ModelError::CyclicGraph.into();
+        assert!(matches!(err, SimError::Model(_)));
+        let overflow = SimError::ChannelOverflow {
+            channel: ChannelId::new(1),
+            producer: ProcessId::new(2),
+            time: 30,
+        };
+        let text = overflow.to_string();
+        assert!(text.contains("C1") && text.contains("30"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,37 @@
+//! # spi-sim
+//!
+//! A discrete-event simulator for SPI models ([`spi_model`]) extended with function
+//! variants ([`spi_variants`]). The simulator provides the operational semantics that
+//! the DAC'99 paper assumes informally:
+//!
+//! * data-driven **activation**: a process starts when one of its activation rules is
+//!   enabled by the available tokens and their virtual mode tags;
+//! * **mode execution** with interval latencies (worst- or best-case, configurable);
+//! * token **production** with mode tags, FIFO queues (destructive read) and registers
+//!   (destructive write);
+//! * **reconfiguration steps**: when configuration annotations are attached (produced by
+//!   [`spi_variants::VariantSystem::abstract_interface`]), switching between modes of
+//!   different configurations inserts the reconfiguration latency and is accounted in
+//!   the statistics — this is how the reconfigurable video system of Figure 4 is
+//!   exercised end-to-end;
+//! * external **injections** model environment stimuli (user requests, frame arrivals).
+//!
+//! See [`Simulator`] for a complete example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod state;
+pub mod trace;
+
+pub use config::{BoundModel, OverflowPolicy, SimConfig};
+pub use engine::Simulator;
+pub use error::SimError;
+pub use state::{ChannelState, ChannelStates};
+pub use trace::{SimReport, SimStats, TraceEvent};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SimError>;

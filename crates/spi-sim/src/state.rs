@@ -1,0 +1,286 @@
+//! Runtime channel state.
+//!
+//! [`ChannelStates`] holds the token contents of every channel during a simulation and
+//! implements [`spi_model::ChannelView`] so that the activation functions and cluster
+//! selection rules of the model can be evaluated against live state without any
+//! translation.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use spi_model::{ChannelId, ChannelKind, ChannelView, SpiGraph, Tag, Token};
+
+use crate::config::OverflowPolicy;
+use crate::error::SimError;
+
+/// Runtime state of one channel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelState {
+    /// FIFO queue contents (front = first visible token) and optional capacity.
+    Queue {
+        /// Queued tokens, front first.
+        tokens: VecDeque<Token>,
+        /// Capacity bound, if any.
+        capacity: Option<usize>,
+    },
+    /// Register contents (the most recently written token, if any).
+    Register {
+        /// Current register value.
+        token: Option<Token>,
+    },
+}
+
+impl ChannelState {
+    fn for_kind(kind: ChannelKind, capacity: Option<usize>) -> Self {
+        match kind {
+            ChannelKind::Queue => ChannelState::Queue {
+                tokens: VecDeque::new(),
+                capacity,
+            },
+            ChannelKind::Register => ChannelState::Register { token: None },
+        }
+    }
+
+    /// Number of visible tokens.
+    pub fn available(&self) -> u64 {
+        match self {
+            ChannelState::Queue { tokens, .. } => tokens.len() as u64,
+            ChannelState::Register { token } => u64::from(token.is_some()),
+        }
+    }
+
+    /// The first visible token, if any.
+    pub fn first(&self) -> Option<&Token> {
+        match self {
+            ChannelState::Queue { tokens, .. } => tokens.front(),
+            ChannelState::Register { token } => token.as_ref(),
+        }
+    }
+}
+
+/// The state of all channels of a graph during simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChannelStates {
+    states: BTreeMap<ChannelId, ChannelState>,
+    dropped: u64,
+}
+
+impl ChannelStates {
+    /// Initialises channel states from a graph, pre-loading declared initial tokens.
+    pub fn from_graph(graph: &SpiGraph) -> Self {
+        let mut states = BTreeMap::new();
+        for channel in graph.channels() {
+            let mut state = ChannelState::for_kind(channel.kind(), channel.capacity());
+            for token in channel.initial_tokens() {
+                // Initial tokens always fit: Channel validated capacity at build time.
+                match &mut state {
+                    ChannelState::Queue { tokens, .. } => tokens.push_back(token.clone()),
+                    ChannelState::Register { token: slot } => *slot = Some(token.clone()),
+                }
+            }
+            states.insert(channel.id(), state);
+        }
+        ChannelStates { states, dropped: 0 }
+    }
+
+    /// State of one channel.
+    pub fn state(&self, channel: ChannelId) -> Option<&ChannelState> {
+        self.states.get(&channel)
+    }
+
+    /// Total number of tokens dropped due to overflow handling so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Pushes a token onto a channel, honouring the channel discipline and the
+    /// overflow policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownChannel`] for unknown channels. Overflow errors are
+    /// signalled by returning `Ok(false)` so the engine can attach producer/time
+    /// context; `Ok(true)` means the token was stored (or legitimately overwritten for
+    /// registers).
+    pub fn push(
+        &mut self,
+        channel: ChannelId,
+        token: Token,
+        policy: OverflowPolicy,
+    ) -> Result<bool, SimError> {
+        let state = self
+            .states
+            .get_mut(&channel)
+            .ok_or(SimError::UnknownChannel(channel))?;
+        match state {
+            ChannelState::Register { token: slot } => {
+                // Destructive write: the previous value is simply replaced.
+                *slot = Some(token);
+                Ok(true)
+            }
+            ChannelState::Queue { tokens, capacity } => {
+                if let Some(cap) = capacity {
+                    if tokens.len() >= *cap {
+                        return match policy {
+                            OverflowPolicy::Error => Ok(false),
+                            OverflowPolicy::DropNewest => {
+                                self.dropped += 1;
+                                Ok(true)
+                            }
+                            OverflowPolicy::DropOldest => {
+                                tokens.pop_front();
+                                tokens.push_back(token);
+                                self.dropped += 1;
+                                Ok(true)
+                            }
+                        };
+                    }
+                }
+                tokens.push_back(token);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Consumes `count` tokens from a channel (destructive read for queues,
+    /// non-destructive read for registers) and returns the tokens read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownChannel`] for unknown channels. The caller must have
+    /// checked availability; requesting more tokens than available is a logic error
+    /// reported as [`SimError::InsufficientTokens`] by the engine.
+    pub fn consume(&mut self, channel: ChannelId, count: u64) -> Result<Vec<Token>, SimError> {
+        let state = self
+            .states
+            .get_mut(&channel)
+            .ok_or(SimError::UnknownChannel(channel))?;
+        match state {
+            ChannelState::Register { token } => {
+                // Register reads are non-destructive; reading yields the current value.
+                Ok(token.iter().cloned().take(count as usize).collect())
+            }
+            ChannelState::Queue { tokens, .. } => {
+                let take = count.min(tokens.len() as u64);
+                Ok((0..take).filter_map(|_| tokens.pop_front()).collect())
+            }
+        }
+    }
+
+    /// Clears all tokens from a channel and returns how many were discarded (used for
+    /// buffer loss on reconfiguration and by valve processes).
+    pub fn clear(&mut self, channel: ChannelId) -> Result<u64, SimError> {
+        let state = self
+            .states
+            .get_mut(&channel)
+            .ok_or(SimError::UnknownChannel(channel))?;
+        Ok(match state {
+            ChannelState::Register { token } => {
+                let n = u64::from(token.is_some());
+                *token = None;
+                n
+            }
+            ChannelState::Queue { tokens, .. } => {
+                let n = tokens.len() as u64;
+                tokens.clear();
+                n
+            }
+        })
+    }
+}
+
+impl ChannelView for ChannelStates {
+    fn available(&self, channel: ChannelId) -> u64 {
+        self.states.get(&channel).map_or(0, ChannelState::available)
+    }
+
+    fn first_token_has_tag(&self, channel: ChannelId, tag: &Tag) -> bool {
+        self.states
+            .get(&channel)
+            .and_then(ChannelState::first)
+            .map_or(false, |token| token.has_tag(tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_model::{GraphBuilder, Interval};
+
+    fn graph_with_channels() -> (SpiGraph, ChannelId, ChannelId) {
+        let mut b = GraphBuilder::new("channels");
+        let p = b.process("p").latency(Interval::point(1)).build().unwrap();
+        let q = b.channel("q", ChannelKind::Queue).unwrap();
+        let r = b.channel("r", ChannelKind::Register).unwrap();
+        b.connect_output(p, q, Interval::point(1)).unwrap();
+        (b.finish().unwrap(), q, r)
+    }
+
+    #[test]
+    fn queue_fifo_order_and_destructive_read() {
+        let (g, q, _) = graph_with_channels();
+        let mut states = ChannelStates::from_graph(&g);
+        states.push(q, Token::tagged("a"), OverflowPolicy::Error).unwrap();
+        states.push(q, Token::tagged("b"), OverflowPolicy::Error).unwrap();
+        assert_eq!(states.available(q), 2);
+        assert!(states.first_token_has_tag(q, &Tag::new("a")));
+        let read = states.consume(q, 1).unwrap();
+        assert_eq!(read.len(), 1);
+        assert!(read[0].has_tag(&Tag::new("a")));
+        assert!(states.first_token_has_tag(q, &Tag::new("b")));
+    }
+
+    #[test]
+    fn register_destructive_write_nondestructive_read() {
+        let (g, _, r) = graph_with_channels();
+        let mut states = ChannelStates::from_graph(&g);
+        states.push(r, Token::tagged("V1"), OverflowPolicy::Error).unwrap();
+        states.push(r, Token::tagged("V2"), OverflowPolicy::Error).unwrap();
+        // Destructive write: only the latest value is visible.
+        assert_eq!(states.available(r), 1);
+        assert!(states.first_token_has_tag(r, &Tag::new("V2")));
+        // Non-destructive read: the value stays.
+        let read = states.consume(r, 1).unwrap();
+        assert_eq!(read.len(), 1);
+        assert_eq!(states.available(r), 1);
+    }
+
+    #[test]
+    fn clear_discards_tokens() {
+        let (g, q, _) = graph_with_channels();
+        let mut states = ChannelStates::from_graph(&g);
+        states.push(q, Token::new(), OverflowPolicy::Error).unwrap();
+        states.push(q, Token::new(), OverflowPolicy::Error).unwrap();
+        assert_eq!(states.clear(q).unwrap(), 2);
+        assert_eq!(states.available(q), 0);
+    }
+
+    #[test]
+    fn unknown_channel_is_reported() {
+        let (g, _, _) = graph_with_channels();
+        let mut states = ChannelStates::from_graph(&g);
+        let missing = ChannelId::new(99);
+        assert!(matches!(
+            states.push(missing, Token::new(), OverflowPolicy::Error),
+            Err(SimError::UnknownChannel(_))
+        ));
+        assert!(matches!(states.consume(missing, 1), Err(SimError::UnknownChannel(_))));
+        assert_eq!(ChannelView::available(&states, missing), 0);
+    }
+
+    #[test]
+    fn initial_tokens_are_preloaded() {
+        let mut b = GraphBuilder::new("init");
+        let p = b.process("p").latency(Interval::point(1)).build().unwrap();
+        let c = b.channel("c", ChannelKind::Queue).unwrap();
+        b.connect_output(p, c, Interval::point(1)).unwrap();
+        let mut g = b.finish().unwrap();
+        let replaced = spi_model::Channel::new(c, "c2", ChannelKind::Queue)
+            .unwrap()
+            .with_initial_tokens(vec![Token::tagged("init")])
+            .unwrap();
+        g.replace_channel(replaced).unwrap();
+        let states = ChannelStates::from_graph(&g);
+        assert_eq!(states.available(c), 1);
+        assert!(states.first_token_has_tag(c, &Tag::new("init")));
+    }
+}

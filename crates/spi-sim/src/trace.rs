@@ -1,0 +1,237 @@
+//! Event traces and aggregate statistics of a simulation run.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use spi_model::{ChannelId, ModeId, ProcessId, TimeValue};
+
+/// A single trace event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A process started executing in a mode.
+    Started {
+        /// Simulation time of the start.
+        time: TimeValue,
+        /// Executing process.
+        process: ProcessId,
+        /// Activated mode.
+        mode: ModeId,
+    },
+    /// A process completed an execution and produced its output tokens.
+    Completed {
+        /// Simulation time of the completion.
+        time: TimeValue,
+        /// Completing process.
+        process: ProcessId,
+        /// Mode the execution ran in.
+        mode: ModeId,
+    },
+    /// A reconfiguration step was inserted before an execution.
+    Reconfigured {
+        /// Simulation time at which the reconfiguration started.
+        time: TimeValue,
+        /// Reconfigured process.
+        process: ProcessId,
+        /// Previous configuration index, if the process was configured before.
+        from: Option<usize>,
+        /// Newly selected configuration index.
+        to: usize,
+        /// Reconfiguration latency added to the execution.
+        latency: TimeValue,
+    },
+    /// An externally injected token arrived on a channel.
+    Injected {
+        /// Simulation time of the injection.
+        time: TimeValue,
+        /// Target channel.
+        channel: ChannelId,
+    },
+    /// A token was dropped because of the overflow policy.
+    Dropped {
+        /// Simulation time of the drop.
+        time: TimeValue,
+        /// Channel on which the overflow occurred.
+        channel: ChannelId,
+    },
+}
+
+impl TraceEvent {
+    /// Simulation time of the event.
+    pub fn time(&self) -> TimeValue {
+        match self {
+            TraceEvent::Started { time, .. }
+            | TraceEvent::Completed { time, .. }
+            | TraceEvent::Reconfigured { time, .. }
+            | TraceEvent::Injected { time, .. }
+            | TraceEvent::Dropped { time, .. } => *time,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Started { time, process, mode } => {
+                write!(f, "[{time}] {process} starts in {mode}")
+            }
+            TraceEvent::Completed { time, process, mode } => {
+                write!(f, "[{time}] {process} completes {mode}")
+            }
+            TraceEvent::Reconfigured {
+                time,
+                process,
+                from,
+                to,
+                latency,
+            } => match from {
+                Some(from) => write!(
+                    f,
+                    "[{time}] {process} reconfigures conf{from} -> conf{to} (+{latency})"
+                ),
+                None => write!(f, "[{time}] {process} configures conf{to} (+{latency})"),
+            },
+            TraceEvent::Injected { time, channel } => {
+                write!(f, "[{time}] injection on {channel}")
+            }
+            TraceEvent::Dropped { time, channel } => {
+                write!(f, "[{time}] token dropped on {channel}")
+            }
+        }
+    }
+}
+
+/// Aggregate statistics of a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Executions per process.
+    pub executions: BTreeMap<ProcessId, u64>,
+    /// Executions per (process, mode).
+    pub mode_executions: BTreeMap<(ProcessId, ModeId), u64>,
+    /// Tokens produced per channel.
+    pub tokens_produced: BTreeMap<ChannelId, u64>,
+    /// Tokens consumed per channel.
+    pub tokens_consumed: BTreeMap<ChannelId, u64>,
+    /// Number of proper reconfigurations (configuration changes after the first).
+    pub reconfigurations: u64,
+    /// Total time spent in configuration/reconfiguration steps.
+    pub reconfiguration_latency: TimeValue,
+    /// Tokens dropped by the overflow policy.
+    pub dropped_tokens: u64,
+    /// Time of the last event.
+    pub makespan: TimeValue,
+}
+
+impl SimStats {
+    /// Total executions over all processes.
+    pub fn total_executions(&self) -> u64 {
+        self.executions.values().sum()
+    }
+
+    /// Executions of one process.
+    pub fn executions_of(&self, process: ProcessId) -> u64 {
+        self.executions.get(&process).copied().unwrap_or(0)
+    }
+
+    /// Tokens produced on one channel.
+    pub fn produced_on(&self, channel: ChannelId) -> u64 {
+        self.tokens_produced.get(&channel).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "executions: {} total over {} processes, makespan {}",
+            self.total_executions(),
+            self.executions.len(),
+            self.makespan
+        )?;
+        writeln!(
+            f,
+            "reconfigurations: {} (latency {}), dropped tokens: {}",
+            self.reconfigurations, self.reconfiguration_latency, self.dropped_tokens
+        )
+    }
+}
+
+/// The result of a simulation run: statistics plus (optionally) the full trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Aggregate statistics.
+    pub stats: SimStats,
+    /// Ordered event trace (empty when trace recording is disabled).
+    pub trace: Vec<TraceEvent>,
+    /// Simulation time at which the run stopped.
+    pub end_time: TimeValue,
+    /// Whether the run stopped because the horizon was reached (as opposed to quiescence).
+    pub hit_horizon: bool,
+    /// Tokens left on each channel when the run stopped.
+    pub final_tokens: BTreeMap<ChannelId, u64>,
+}
+
+impl SimReport {
+    /// Events of a given process in trace order.
+    pub fn events_of(&self, process: ProcessId) -> Vec<&TraceEvent> {
+        self.trace
+            .iter()
+            .filter(|e| match e {
+                TraceEvent::Started { process: p, .. }
+                | TraceEvent::Completed { process: p, .. }
+                | TraceEvent::Reconfigured { process: p, .. } => *p == process,
+                _ => false,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_time_accessor() {
+        let e = TraceEvent::Started {
+            time: 42,
+            process: ProcessId::new(0),
+            mode: ModeId::new(1),
+        };
+        assert_eq!(e.time(), 42);
+        assert!(e.to_string().contains("[42]"));
+    }
+
+    #[test]
+    fn stats_accessors_default_to_zero() {
+        let stats = SimStats::default();
+        assert_eq!(stats.total_executions(), 0);
+        assert_eq!(stats.executions_of(ProcessId::new(3)), 0);
+        assert_eq!(stats.produced_on(ChannelId::new(1)), 0);
+    }
+
+    #[test]
+    fn report_filters_events_by_process() {
+        let report = SimReport {
+            trace: vec![
+                TraceEvent::Started {
+                    time: 0,
+                    process: ProcessId::new(0),
+                    mode: ModeId::new(0),
+                },
+                TraceEvent::Injected {
+                    time: 1,
+                    channel: ChannelId::new(0),
+                },
+                TraceEvent::Completed {
+                    time: 2,
+                    process: ProcessId::new(1),
+                    mode: ModeId::new(0),
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(report.events_of(ProcessId::new(0)).len(), 1);
+        assert_eq!(report.events_of(ProcessId::new(1)).len(), 1);
+        assert_eq!(report.events_of(ProcessId::new(9)).len(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Baseline synthesis approaches from prior work, reimplemented for comparison.
+//!
+//! The paper positions its representation against two earlier ways of handling multiple
+//! applications/variants:
+//!
+//! * **Serialization** (Kim, Karri, Potkonjak — DAC'97, reference [6]): all variants are
+//!   enumerated and serialized into one large task, so the synthesis cannot exploit the
+//!   mutual exclusion of variants — every variant is assumed to load the processor at
+//!   the same time. Implemented by [`serialization`].
+//! * **Incremental synthesis** (Kavalade, Subrahmanyam — ICCAD'97, reference [5]): the
+//!   applications are synthesized one after another; decisions taken for earlier
+//!   applications are frozen and reused. The result quality depends on the order.
+//!   Implemented by [`incremental`].
+
+use crate::cost::evaluate;
+use crate::design_time;
+use crate::error::SynthError;
+use crate::partition::{optimize, FeasibilityMode, SearchStrategy};
+use crate::problem::{Implementation, Mapping, SynthesisProblem};
+use crate::schedule::check;
+use crate::strategy::SynthesisResult;
+use crate::Result;
+
+/// Serialization baseline: one joint optimization that must treat all variants as
+/// concurrent (no mutual exclusion between variants).
+///
+/// # Errors
+///
+/// Propagates optimizer errors.
+pub fn serialization(problem: &SynthesisProblem) -> Result<SynthesisResult> {
+    let partition = optimize(problem, FeasibilityMode::Serialized, SearchStrategy::Auto)?;
+    // The serialized task is synthesized once, so the decision count matches the joint
+    // flow — the penalty shows up in cost, not in design time.
+    let design_time = design_time::joint(problem);
+    Ok(SynthesisResult {
+        strategy: "serialization [6]".to_string(),
+        mapping: partition.mapping,
+        cost: partition.cost,
+        design_time: design_time.total,
+        feasibility: partition.feasibility,
+    })
+}
+
+/// Incremental baseline: synthesize the applications in `order`, freezing the decisions
+/// of earlier applications.
+///
+/// Pass the applications in the order the designer would tackle them; the result quality
+/// (cost) depends on that order, which is exactly the drawback reported by the authors
+/// of the original approach.
+///
+/// # Errors
+///
+/// Returns [`SynthError::UnknownApplication`] for unknown names, [`SynthError::Infeasible`]
+/// if a later application cannot be made feasible without revisiting frozen decisions,
+/// and propagates evaluation errors.
+pub fn incremental(problem: &SynthesisProblem, order: &[&str]) -> Result<SynthesisResult> {
+    problem.validate()?;
+    if order.is_empty() {
+        return Err(SynthError::Validation(
+            "incremental synthesis needs at least one application in the order".to_string(),
+        ));
+    }
+    let mut fixed = Mapping::new();
+    for application in order {
+        let restricted = problem.restrict_to(application)?;
+        let undecided: Vec<String> = restricted
+            .tasks()
+            .filter(|t| fixed.implementation(&t.name).is_none())
+            .map(|t| t.name.clone())
+            .collect();
+
+        // Exhaustively decide the not-yet-frozen tasks of this application.
+        let mut best: Option<(u64, Mapping)> = None;
+        let combinations = 1u64 << undecided.len();
+        for mask in 0..combinations {
+            let mut candidate = fixed.clone();
+            for (index, name) in undecided.iter().enumerate() {
+                let implementation = if mask & (1 << index) != 0 {
+                    Implementation::Hardware
+                } else {
+                    Implementation::Software
+                };
+                candidate.assign(name.clone(), implementation);
+            }
+            let report = check(&restricted, &candidate)?;
+            if !report.feasible() {
+                continue;
+            }
+            let scope: std::collections::BTreeSet<String> =
+                restricted.tasks().map(|t| t.name.clone()).collect();
+            let cost = evaluate(problem, &candidate, Some(&scope))?.total();
+            if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+                best = Some((cost, candidate));
+            }
+        }
+        let Some((_, winner)) = best else {
+            return Err(SynthError::Infeasible(format!(
+                "application `{application}` cannot be scheduled with the frozen decisions"
+            )));
+        };
+        fixed = winner;
+    }
+
+    // Applications not named in the order keep the frozen decisions only; any remaining
+    // undecided task defaults to hardware so that the architecture stays feasible.
+    for task in problem.tasks() {
+        if fixed.implementation(&task.name).is_none() {
+            fixed.assign(task.name.clone(), Implementation::Hardware);
+        }
+    }
+
+    let cost = evaluate(problem, &fixed, None)?;
+    let feasibility = check(problem, &fixed)?;
+    let design_time = design_time::incremental(problem, order)?;
+    Ok(SynthesisResult {
+        strategy: format!("incremental [5] ({})", order.join(" -> ")),
+        mapping: fixed,
+        cost,
+        design_time: design_time.total,
+        feasibility,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::tests::toy_problem;
+    use crate::strategy::variant_aware;
+
+    #[test]
+    fn serialization_cannot_exploit_mutual_exclusion() {
+        let problem = toy_problem();
+        let serialized = serialization(&problem).unwrap();
+        let joint = variant_aware(&problem).unwrap();
+        // Both clusters end up in hardware because the serialized view believes they
+        // compete for the processor simultaneously.
+        assert_eq!(serialized.cost.total(), 57);
+        assert!(serialized.cost.hardware_tasks.contains(&"cluster1".to_string()));
+        assert!(serialized.cost.hardware_tasks.contains(&"cluster2".to_string()));
+        assert!(serialized.cost.total() > joint.cost.total());
+    }
+
+    #[test]
+    fn incremental_freezes_early_decisions() {
+        let problem = toy_problem();
+        let result = incremental(&problem, &["application1", "application2"]).unwrap();
+        // Application 1 alone prefers cluster1 in hardware; application 2 then has to
+        // add cluster2 in hardware as well because PA/PB stay frozen in software.
+        assert_eq!(result.cost.total(), 57);
+        assert!(result.feasibility.feasible());
+        assert_eq!(result.design_time, 118);
+        assert!(result.cost.total() > variant_aware(&problem).unwrap().cost.total());
+    }
+
+    #[test]
+    fn incremental_order_is_recorded_and_validated() {
+        let problem = toy_problem();
+        let result = incremental(&problem, &["application2", "application1"]).unwrap();
+        assert!(result.strategy.contains("application2 -> application1"));
+        assert!(matches!(
+            incremental(&problem, &[]),
+            Err(SynthError::Validation(_))
+        ));
+        assert!(matches!(
+            incremental(&problem, &["ghost"]),
+            Err(SynthError::UnknownApplication(_))
+        ));
+    }
+
+    #[test]
+    fn partial_order_defaults_remaining_tasks_to_hardware() {
+        let problem = toy_problem();
+        let result = incremental(&problem, &["application1"]).unwrap();
+        // cluster2 was never considered; it is conservatively placed in hardware.
+        assert_eq!(
+            result.mapping.implementation("cluster2"),
+            Some(Implementation::Hardware)
+        );
+        assert!(result.feasibility.feasible());
+    }
+}

@@ -1,0 +1,180 @@
+//! Deriving a synthesis problem from a variant-aware SPI model.
+//!
+//! The paper's point is that the *representation* enables overall optimization; this
+//! module is the link between the representation ([`spi_variants::VariantSystem`]) and
+//! the decision problem ([`SynthesisProblem`]): every non-virtual process of the common
+//! part becomes a task, every cluster of every interface becomes a task, and every
+//! variant combination becomes an application.
+
+use spi_variants::VariantSystem;
+
+use crate::error::SynthError;
+use crate::problem::{ApplicationSpec, SynthesisProblem, TaskSpec};
+use crate::Result;
+
+/// Cost/effort annotation of one task unit, supplied by the caller (estimation is out of
+/// scope of the paper; the workloads crate ships the Table 1 calibration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskParams {
+    /// Software execution time per activation.
+    pub sw_time: u64,
+    /// Activation period.
+    pub period: u64,
+    /// Hardware (ASIC) cost.
+    pub hw_area: u64,
+    /// Synthesis effort for the design-time model.
+    pub synthesis_effort: u64,
+}
+
+/// Derives a [`SynthesisProblem`] from a variant system.
+///
+/// `params` is consulted once per task unit: with the plain process name for common
+/// processes and with `"{interface}/{cluster}"` for variants. Virtual (environment)
+/// processes are skipped — they are not implemented and must not be synthesized.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Validation`] if `params` returns `None` for a task unit, and
+/// propagates variant-space errors.
+pub fn from_variant_system(
+    system: &VariantSystem,
+    processor_cost: u64,
+    mut params: impl FnMut(&str) -> Option<TaskParams>,
+) -> Result<SynthesisProblem> {
+    let mut problem = SynthesisProblem::new(system.name(), processor_cost);
+
+    let mut common_tasks: Vec<String> = Vec::new();
+    for process in system.common().processes() {
+        if process.is_virtual() {
+            continue;
+        }
+        let name = process.name().to_string();
+        let p = params(&name).ok_or_else(|| {
+            SynthError::Validation(format!("no synthesis parameters for task `{name}`"))
+        })?;
+        problem.add_task(TaskSpec::new(
+            &name,
+            p.sw_time,
+            p.period,
+            p.hw_area,
+            p.synthesis_effort,
+        ));
+        common_tasks.push(name);
+    }
+
+    for attachment in system.attachments() {
+        let interface = attachment.interface();
+        for cluster in interface.clusters() {
+            let name = format!("{}/{}", interface.name(), cluster.name());
+            let p = params(&name).ok_or_else(|| {
+                SynthError::Validation(format!("no synthesis parameters for task `{name}`"))
+            })?;
+            problem.add_task(TaskSpec::new(
+                &name,
+                p.sw_time,
+                p.period,
+                p.hw_area,
+                p.synthesis_effort,
+            ));
+        }
+    }
+
+    for (index, choice) in system.variant_space().choices().into_iter().enumerate() {
+        let mut tasks = common_tasks.clone();
+        for (interface, cluster) in choice.iter() {
+            tasks.push(format!("{interface}/{cluster}"));
+        }
+        problem.add_application(ApplicationSpec::new(format!("application{}", index + 1), tasks))?;
+    }
+
+    problem.validate()?;
+    Ok(problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_model::{ChannelKind, GraphBuilder, Interval};
+    use spi_variants::{Cluster, Interface, VariantType};
+
+    fn small_system() -> VariantSystem {
+        let mut b = GraphBuilder::new("bridge");
+        let pa = b.process("PA").latency(Interval::point(2)).build().unwrap();
+        b.process("PEnv")
+            .latency(Interval::point(1))
+            .environment()
+            .build()
+            .unwrap();
+        let cin = b.channel("CIn", ChannelKind::Queue).unwrap();
+        let cout = b.channel("COut", ChannelKind::Queue).unwrap();
+        b.connect_output(pa, cin, Interval::point(1)).unwrap();
+        let _ = cout;
+        let common = b.finish().unwrap();
+
+        let cluster = |name: &str| {
+            let mut cb = GraphBuilder::new(name);
+            cb.process("P").latency(Interval::point(3)).build().unwrap();
+            let mut cluster = Cluster::new(name, cb.finish().unwrap());
+            cluster.add_input_port("i", "P", Interval::point(1)).unwrap();
+            cluster.add_output_port("o", "P", Interval::point(1)).unwrap();
+            cluster
+        };
+        let mut interface = Interface::new("if1");
+        interface.add_input_port("i");
+        interface.add_output_port("o");
+        interface.add_cluster(cluster("v1")).unwrap();
+        interface.add_cluster(cluster("v2")).unwrap();
+
+        let mut system = VariantSystem::new(common);
+        let att = system.attach_interface(interface, VariantType::RunTime).unwrap();
+        system.bind_input(att, "i", "CIn").unwrap();
+        system.bind_output(att, "o", "COut").unwrap();
+        system
+    }
+
+    fn default_params(_: &str) -> Option<TaskParams> {
+        Some(TaskParams {
+            sw_time: 10,
+            period: 100,
+            hw_area: 20,
+            synthesis_effort: 5,
+        })
+    }
+
+    #[test]
+    fn tasks_and_applications_are_derived() {
+        let system = small_system();
+        let problem = from_variant_system(&system, 15, default_params).unwrap();
+        // PA (common, non-virtual) + two clusters; the environment process is skipped.
+        assert_eq!(problem.task_count(), 3);
+        assert!(problem.task("PA").is_some());
+        assert!(problem.task("if1/v1").is_some());
+        assert!(problem.task("PEnv").is_none());
+        assert_eq!(problem.applications().len(), 2);
+        assert_eq!(problem.common_tasks(), vec!["PA"]);
+        assert_eq!(problem.variant_tasks(), vec!["if1/v1", "if1/v2"]);
+    }
+
+    #[test]
+    fn missing_parameters_are_rejected() {
+        let system = small_system();
+        let err = from_variant_system(&system, 15, |name| {
+            (name == "PA").then_some(TaskParams {
+                sw_time: 1,
+                period: 10,
+                hw_area: 1,
+                synthesis_effort: 1,
+            })
+        })
+        .unwrap_err();
+        assert!(matches!(err, SynthError::Validation(_)));
+    }
+
+    #[test]
+    fn derived_problem_is_synthesizable() {
+        let system = small_system();
+        let problem = from_variant_system(&system, 15, default_params).unwrap();
+        let result = crate::strategy::variant_aware(&problem).unwrap();
+        assert!(result.feasibility.feasible());
+    }
+}

@@ -1,0 +1,167 @@
+//! The cost model.
+//!
+//! The paper's Table 1 uses two cost components: the cost of the embedded processor
+//! (incurred once as soon as any task runs in software — mutually exclusive variants
+//! share it) and the cost of the dedicated hardware units (one ASIC per task mapped to
+//! hardware; distinct tasks never share an ASIC).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::SynthError;
+use crate::problem::{Implementation, Mapping, SynthesisProblem};
+use crate::Result;
+
+/// Cost of one implementation decision, broken down by component.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Tasks implemented in software, in name order.
+    pub software_tasks: Vec<String>,
+    /// Tasks implemented in hardware, in name order.
+    pub hardware_tasks: Vec<String>,
+    /// Processor cost (zero if nothing runs in software).
+    pub processor_cost: u64,
+    /// Total cost of the dedicated hardware units.
+    pub hardware_cost: u64,
+}
+
+impl CostBreakdown {
+    /// Total system cost (processor + hardware).
+    pub fn total(&self) -> u64 {
+        self.processor_cost + self.hardware_cost
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SW {{{}}} = {}, HW {{{}}} = {}, total = {}",
+            self.software_tasks.join(", "),
+            self.processor_cost,
+            self.hardware_tasks.join(", "),
+            self.hardware_cost,
+            self.total()
+        )
+    }
+}
+
+/// Evaluates the cost of a mapping over the tasks named in `scope` (or every task of
+/// the problem when `scope` is `None`).
+///
+/// # Errors
+///
+/// Returns [`SynthError::UnknownTask`] if a scoped task does not exist and
+/// [`SynthError::Validation`] if a scoped task has no mapping decision.
+pub fn evaluate(
+    problem: &SynthesisProblem,
+    mapping: &Mapping,
+    scope: Option<&BTreeSet<String>>,
+) -> Result<CostBreakdown> {
+    let mut breakdown = CostBreakdown::default();
+    let names: Vec<String> = match scope {
+        Some(scope) => scope.iter().cloned().collect(),
+        None => problem.tasks().map(|t| t.name.clone()).collect(),
+    };
+    for name in names {
+        let task = problem
+            .task(&name)
+            .ok_or_else(|| SynthError::UnknownTask(name.clone()))?;
+        match mapping.implementation(&name) {
+            Some(Implementation::Software) => breakdown.software_tasks.push(task.name.clone()),
+            Some(Implementation::Hardware) => {
+                breakdown.hardware_tasks.push(task.name.clone());
+                breakdown.hardware_cost += task.hw_area;
+            }
+            None => {
+                return Err(SynthError::Validation(format!(
+                    "task `{name}` has no implementation decision"
+                )))
+            }
+        }
+    }
+    if !breakdown.software_tasks.is_empty() {
+        breakdown.processor_cost = problem.processor_cost;
+    }
+    Ok(breakdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::tests::toy_problem;
+    use crate::problem::{Implementation, Mapping};
+
+    fn mapping_all_sw(problem: &SynthesisProblem) -> Mapping {
+        let mut mapping = Mapping::new();
+        for task in problem.tasks() {
+            mapping.assign(task.name.clone(), Implementation::Software);
+        }
+        mapping
+    }
+
+    #[test]
+    fn all_software_costs_one_processor() {
+        let problem = toy_problem();
+        let cost = evaluate(&problem, &mapping_all_sw(&problem), None).unwrap();
+        assert_eq!(cost.processor_cost, 15);
+        assert_eq!(cost.hardware_cost, 0);
+        assert_eq!(cost.total(), 15);
+        assert_eq!(cost.software_tasks.len(), 4);
+    }
+
+    #[test]
+    fn hardware_tasks_add_their_area() {
+        let problem = toy_problem();
+        let mapping = mapping_all_sw(&problem)
+            .with("cluster1", Implementation::Hardware)
+            .with("cluster2", Implementation::Hardware);
+        let cost = evaluate(&problem, &mapping, None).unwrap();
+        assert_eq!(cost.hardware_cost, 19 + 23);
+        assert_eq!(cost.total(), 15 + 42);
+    }
+
+    #[test]
+    fn all_hardware_needs_no_processor() {
+        let problem = toy_problem();
+        let mut mapping = Mapping::new();
+        for task in problem.tasks() {
+            mapping.assign(task.name.clone(), Implementation::Hardware);
+        }
+        let cost = evaluate(&problem, &mapping, None).unwrap();
+        assert_eq!(cost.processor_cost, 0);
+        assert_eq!(cost.total(), 26 + 30 + 19 + 23);
+    }
+
+    #[test]
+    fn scope_restricts_the_evaluation() {
+        let problem = toy_problem();
+        let mapping = mapping_all_sw(&problem).with("cluster1", Implementation::Hardware);
+        let scope: BTreeSet<String> = ["PA", "PB", "cluster1"].map(String::from).into();
+        let cost = evaluate(&problem, &mapping, Some(&scope)).unwrap();
+        assert_eq!(cost.total(), 15 + 19);
+        assert_eq!(cost.software_tasks, vec!["PA", "PB"]);
+    }
+
+    #[test]
+    fn missing_decision_is_an_error() {
+        let problem = toy_problem();
+        let mapping = Mapping::new().with("PA", Implementation::Software);
+        assert!(matches!(
+            evaluate(&problem, &mapping, None),
+            Err(SynthError::Validation(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_scoped_task_is_an_error() {
+        let problem = toy_problem();
+        let mapping = mapping_all_sw(&problem);
+        let scope: BTreeSet<String> = ["ghost".to_string()].into();
+        assert!(matches!(
+            evaluate(&problem, &mapping, Some(&scope)),
+            Err(SynthError::UnknownTask(_))
+        ));
+    }
+}

@@ -1,0 +1,150 @@
+//! The design-time model.
+//!
+//! Section 5 of the paper argues that a variant-aware representation shortens the
+//! overall design time because a process that occurs in all applications only has to be
+//! considered once instead of `n` times. This module implements that counting argument:
+//! each task carries a `synthesis_effort`, and a synthesis style's design time is the
+//! sum of the efforts of every task it has to consider — counting duplicates whenever a
+//! task is re-synthesized for another application.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SynthError;
+use crate::problem::SynthesisProblem;
+use crate::Result;
+
+/// Design-time accounting for one synthesis style.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignTimeBreakdown {
+    /// Number of task-synthesis decisions made (tasks counted with multiplicity).
+    pub decisions: u64,
+    /// Total design time (sum of task efforts, with multiplicity).
+    pub total: u64,
+}
+
+/// Design time of synthesizing a single application in isolation.
+///
+/// # Errors
+///
+/// Returns [`SynthError::UnknownApplication`] or [`SynthError::UnknownTask`].
+pub fn per_application(problem: &SynthesisProblem, application: &str) -> Result<DesignTimeBreakdown> {
+    let app = problem
+        .application(application)
+        .ok_or_else(|| SynthError::UnknownApplication(application.to_string()))?;
+    let mut breakdown = DesignTimeBreakdown::default();
+    for name in &app.tasks {
+        let task = problem
+            .task(name)
+            .ok_or_else(|| SynthError::UnknownTask(name.clone()))?;
+        breakdown.decisions += 1;
+        breakdown.total += task.synthesis_effort;
+    }
+    Ok(breakdown)
+}
+
+/// Design time of synthesizing every application independently (and of the superposition
+/// flow, which reuses those independent runs): the sum over all applications, so common
+/// tasks are counted once **per application**.
+///
+/// # Errors
+///
+/// Propagates errors from [`per_application`].
+pub fn independent(problem: &SynthesisProblem) -> Result<DesignTimeBreakdown> {
+    let mut breakdown = DesignTimeBreakdown::default();
+    for application in problem.applications() {
+        let app = per_application(problem, &application.name)?;
+        breakdown.decisions += app.decisions;
+        breakdown.total += app.total;
+    }
+    Ok(breakdown)
+}
+
+/// Design time of the variant-aware flow: every distinct task is considered exactly
+/// once, regardless of how many applications contain it.
+pub fn joint(problem: &SynthesisProblem) -> DesignTimeBreakdown {
+    let mut breakdown = DesignTimeBreakdown::default();
+    for task in problem.tasks() {
+        breakdown.decisions += 1;
+        breakdown.total += task.synthesis_effort;
+    }
+    breakdown
+}
+
+/// Design time of an incremental flow ([5] in the paper): the first application is
+/// synthesized completely; each later application only considers the tasks that have not
+/// been synthesized before.
+///
+/// # Errors
+///
+/// Returns [`SynthError::UnknownApplication`] or [`SynthError::UnknownTask`].
+pub fn incremental(problem: &SynthesisProblem, order: &[&str]) -> Result<DesignTimeBreakdown> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut breakdown = DesignTimeBreakdown::default();
+    for application in order {
+        let app = problem
+            .application(application)
+            .ok_or_else(|| SynthError::UnknownApplication(application.to_string()))?;
+        for name in &app.tasks {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            let task = problem
+                .task(name)
+                .ok_or_else(|| SynthError::UnknownTask(name.clone()))?;
+            breakdown.decisions += 1;
+            breakdown.total += task.synthesis_effort;
+        }
+    }
+    Ok(breakdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::tests::toy_problem;
+
+    #[test]
+    fn per_application_matches_table1_time_column() {
+        let problem = toy_problem();
+        assert_eq!(per_application(&problem, "application1").unwrap().total, 67);
+        assert_eq!(per_application(&problem, "application2").unwrap().total, 73);
+        assert!(matches!(
+            per_application(&problem, "ghost"),
+            Err(SynthError::UnknownApplication(_))
+        ));
+    }
+
+    #[test]
+    fn independent_counts_common_tasks_per_application() {
+        let problem = toy_problem();
+        let breakdown = independent(&problem).unwrap();
+        assert_eq!(breakdown.total, 67 + 73);
+        assert_eq!(breakdown.decisions, 6);
+    }
+
+    #[test]
+    fn joint_counts_every_task_once() {
+        let problem = toy_problem();
+        let breakdown = joint(&problem);
+        assert_eq!(breakdown.total, 118);
+        assert_eq!(breakdown.decisions, 4);
+    }
+
+    #[test]
+    fn joint_is_never_slower_than_independent() {
+        let problem = toy_problem();
+        assert!(joint(&problem).total <= independent(&problem).unwrap().total);
+    }
+
+    #[test]
+    fn incremental_depends_only_on_coverage_not_order_for_time() {
+        let problem = toy_problem();
+        let forward = incremental(&problem, &["application1", "application2"]).unwrap();
+        let backward = incremental(&problem, &["application2", "application1"]).unwrap();
+        // Both orders consider each distinct task once, so the design time equals the
+        // joint flow; the *result quality* (not the time) is what depends on the order.
+        assert_eq!(forward.total, 118);
+        assert_eq!(backward.total, 118);
+        assert_eq!(forward.decisions, 4);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type of the synthesis layer.
+
+use std::fmt;
+
+use spi_variants::VariantError;
+
+/// Error raised while building or solving a synthesis problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// A referenced task name does not exist in the problem.
+    UnknownTask(String),
+    /// A referenced application name does not exist in the problem.
+    UnknownApplication(String),
+    /// The problem contains no applications.
+    NoApplications,
+    /// No feasible implementation exists (even the all-hardware mapping violates a
+    /// constraint, or a task has no hardware implementation).
+    Infeasible(String),
+    /// An error bubbled up from the variants layer while deriving the problem from a
+    /// [`spi_variants::VariantSystem`].
+    Variants(VariantError),
+    /// Generic validation failure with a human-readable explanation.
+    Validation(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::UnknownTask(name) => write!(f, "unknown task `{name}`"),
+            SynthError::UnknownApplication(name) => write!(f, "unknown application `{name}`"),
+            SynthError::NoApplications => write!(f, "the synthesis problem has no applications"),
+            SynthError::Infeasible(msg) => write!(f, "no feasible implementation: {msg}"),
+            SynthError::Variants(e) => write!(f, "variants error: {e}"),
+            SynthError::Validation(msg) => write!(f, "validation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::Variants(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VariantError> for SynthError {
+    fn from(e: VariantError) -> Self {
+        SynthError::Variants(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(SynthError::UnknownTask("PA".into()).to_string().contains("PA"));
+        let err: SynthError = VariantError::Validation("x".into()).into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SynthError>();
+    }
+}

@@ -1,0 +1,369 @@
+//! HW/SW partitioning: finding the cheapest feasible mapping.
+//!
+//! The optimizer searches the mapping space (software or hardware per task) for the
+//! cheapest implementation whose schedulability check passes. Two search strategies are
+//! provided: an exhaustive search that is exact for the small systems of the paper, and
+//! a greedy heuristic (with a local-improvement pass) for the larger synthetic systems
+//! used in the scaling experiments. [`optimize`] selects automatically based on the
+//! task count.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{evaluate, CostBreakdown};
+use crate::error::SynthError;
+use crate::problem::{Implementation, Mapping, SynthesisProblem};
+use crate::schedule::{check, check_serialized, FeasibilityReport};
+use crate::Result;
+
+/// Which schedulability view the optimizer must respect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FeasibilityMode {
+    /// Per-application check: mutually exclusive variants share the processor
+    /// (the paper's variant-aware view).
+    #[default]
+    PerApplication,
+    /// Serialized check: all tasks of all variants are assumed concurrent
+    /// (the view a serializing baseline is forced to take).
+    Serialized,
+}
+
+/// Which search algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Enumerate every mapping (exact; exponential in the task count).
+    Exhaustive,
+    /// Greedy repair followed by local improvement (fast; near-optimal in practice).
+    Greedy,
+    /// Exhaustive up to [`EXHAUSTIVE_LIMIT`] tasks, greedy beyond.
+    #[default]
+    Auto,
+}
+
+/// Maximum task count for which [`SearchStrategy::Auto`] still enumerates exhaustively.
+pub const EXHAUSTIVE_LIMIT: usize = 18;
+
+/// Result of a partitioning run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionResult {
+    /// The chosen mapping.
+    pub mapping: Mapping,
+    /// Its cost breakdown.
+    pub cost: CostBreakdown,
+    /// The feasibility report of the chosen mapping.
+    pub feasibility: FeasibilityReport,
+    /// Number of candidate mappings whose cost/feasibility was evaluated.
+    pub evaluated_candidates: u64,
+}
+
+fn feasibility(
+    problem: &SynthesisProblem,
+    mapping: &Mapping,
+    mode: FeasibilityMode,
+) -> Result<FeasibilityReport> {
+    match mode {
+        FeasibilityMode::PerApplication => check(problem, mapping),
+        FeasibilityMode::Serialized => check_serialized(problem, mapping),
+    }
+}
+
+/// Finds the cheapest feasible mapping.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Infeasible`] if not even the all-hardware mapping is feasible
+/// (cannot happen with the utilization-based check, but guards future constraint kinds),
+/// [`SynthError::NoApplications`] for empty problems, or any evaluation error.
+pub fn optimize(
+    problem: &SynthesisProblem,
+    mode: FeasibilityMode,
+    strategy: SearchStrategy,
+) -> Result<PartitionResult> {
+    problem.validate()?;
+    let use_exhaustive = match strategy {
+        SearchStrategy::Exhaustive => true,
+        SearchStrategy::Greedy => false,
+        SearchStrategy::Auto => problem.task_count() <= EXHAUSTIVE_LIMIT,
+    };
+    if use_exhaustive {
+        optimize_exhaustive(problem, mode)
+    } else {
+        optimize_greedy(problem, mode)
+    }
+}
+
+fn task_names(problem: &SynthesisProblem) -> Vec<String> {
+    problem.tasks().map(|t| t.name.clone()).collect()
+}
+
+fn optimize_exhaustive(
+    problem: &SynthesisProblem,
+    mode: FeasibilityMode,
+) -> Result<PartitionResult> {
+    let names = task_names(problem);
+    let n = names.len();
+    assert!(n < 64, "exhaustive search is limited to fewer than 64 tasks");
+    let mut best: Option<PartitionResult> = None;
+    let mut evaluated = 0u64;
+    for mask in 0u64..(1u64 << n) {
+        let mut mapping = Mapping::new();
+        for (index, name) in names.iter().enumerate() {
+            let implementation = if mask & (1 << index) != 0 {
+                Implementation::Hardware
+            } else {
+                Implementation::Software
+            };
+            mapping.assign(name.clone(), implementation);
+        }
+        evaluated += 1;
+        let report = feasibility(problem, &mapping, mode)?;
+        if !report.feasible() {
+            continue;
+        }
+        let cost = evaluate(problem, &mapping, None)?;
+        let better = match &best {
+            None => true,
+            Some(current) => {
+                let key = (cost.total(), cost.hardware_tasks.len(), mask);
+                let current_key = (
+                    current.cost.total(),
+                    current.cost.hardware_tasks.len(),
+                    u64::MAX,
+                );
+                key < current_key
+            }
+        };
+        if better {
+            best = Some(PartitionResult {
+                mapping,
+                cost,
+                feasibility: report,
+                evaluated_candidates: 0,
+            });
+        }
+    }
+    let mut result = best.ok_or_else(|| {
+        SynthError::Infeasible("no mapping satisfies the schedulability constraints".to_string())
+    })?;
+    result.evaluated_candidates = evaluated;
+    Ok(result)
+}
+
+fn optimize_greedy(problem: &SynthesisProblem, mode: FeasibilityMode) -> Result<PartitionResult> {
+    let names = task_names(problem);
+    let mut mapping = Mapping::new();
+    for name in &names {
+        mapping.assign(name.clone(), Implementation::Software);
+    }
+    let mut evaluated = 1u64;
+
+    // Repair: while some application overloads the processor, move the software task
+    // with the highest utilization-per-area ratio (among tasks of overloaded
+    // applications) to hardware.
+    loop {
+        let report = feasibility(problem, &mapping, mode)?;
+        if report.feasible() {
+            break;
+        }
+        let overloaded: Vec<&str> = report
+            .applications
+            .iter()
+            .filter(|a| !a.feasible)
+            .map(|a| a.application.as_str())
+            .collect();
+        let candidates: Vec<&str> = match mode {
+            FeasibilityMode::Serialized => names.iter().map(String::as_str).collect(),
+            FeasibilityMode::PerApplication => problem
+                .applications()
+                .iter()
+                .filter(|a| overloaded.contains(&a.name.as_str()))
+                .flat_map(|a| a.tasks.iter().map(String::as_str))
+                .collect(),
+        };
+        let best_move = candidates
+            .into_iter()
+            .filter(|name| mapping.implementation(name) == Some(Implementation::Software))
+            .filter_map(|name| problem.task(name))
+            .max_by_key(|task| {
+                // Highest utilization relief per unit of hardware cost; scaled to keep
+                // integer arithmetic meaningful.
+                task.utilization_permille() * 1000 / task.hw_area.max(1)
+            });
+        let Some(task) = best_move else {
+            return Err(SynthError::Infeasible(
+                "processor overloaded but no software task left to move".to_string(),
+            ));
+        };
+        mapping.assign(task.name.clone(), Implementation::Hardware);
+        evaluated += 1;
+    }
+
+    // Improvement: move hardware tasks back to software when that stays feasible and
+    // reduces total cost.
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for name in &names {
+            if mapping.implementation(name) != Some(Implementation::Hardware) {
+                continue;
+            }
+            let mut candidate = mapping.clone();
+            candidate.assign(name.clone(), Implementation::Software);
+            evaluated += 1;
+            let report = feasibility(problem, &candidate, mode)?;
+            if !report.feasible() {
+                continue;
+            }
+            let old_cost = evaluate(problem, &mapping, None)?.total();
+            let new_cost = evaluate(problem, &candidate, None)?.total();
+            if new_cost < old_cost {
+                mapping = candidate;
+                improved = true;
+            }
+        }
+    }
+
+    let cost = evaluate(problem, &mapping, None)?;
+    let report = feasibility(problem, &mapping, mode)?;
+    Ok(PartitionResult {
+        mapping,
+        cost,
+        feasibility: report,
+        evaluated_candidates: evaluated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::tests::toy_problem;
+    use crate::problem::{ApplicationSpec, TaskSpec};
+
+    #[test]
+    fn exhaustive_finds_the_paper_optimum() {
+        // Joint (variant-aware) synthesis of the Table 1 system: PA moves to hardware,
+        // both clusters share the processor with PB.
+        let problem = toy_problem();
+        let result = optimize(
+            &problem,
+            FeasibilityMode::PerApplication,
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap();
+        assert_eq!(result.cost.total(), 41);
+        assert_eq!(result.cost.hardware_tasks, vec!["PA"]);
+        assert_eq!(result.cost.software_tasks, vec!["PB", "cluster1", "cluster2"]);
+        assert!(result.feasibility.feasible());
+        assert_eq!(result.evaluated_candidates, 16);
+    }
+
+    #[test]
+    fn per_application_synthesis_matches_table1_rows() {
+        let problem = toy_problem();
+        let app1 = problem.restrict_to("application1").unwrap();
+        let result1 = optimize(&app1, FeasibilityMode::PerApplication, SearchStrategy::Auto).unwrap();
+        assert_eq!(result1.cost.total(), 34);
+        assert_eq!(result1.cost.hardware_tasks, vec!["cluster1"]);
+
+        let app2 = problem.restrict_to("application2").unwrap();
+        let result2 = optimize(&app2, FeasibilityMode::PerApplication, SearchStrategy::Auto).unwrap();
+        assert_eq!(result2.cost.total(), 38);
+        assert_eq!(result2.cost.hardware_tasks, vec!["cluster2"]);
+    }
+
+    #[test]
+    fn serialized_feasibility_forces_more_hardware() {
+        let problem = toy_problem();
+        let serialized = optimize(
+            &problem,
+            FeasibilityMode::Serialized,
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap();
+        let variant_aware = optimize(
+            &problem,
+            FeasibilityMode::PerApplication,
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap();
+        assert!(
+            serialized.cost.total() > variant_aware.cost.total(),
+            "serialization ({}) must cost more than variant-aware synthesis ({})",
+            serialized.cost.total(),
+            variant_aware.cost.total()
+        );
+    }
+
+    #[test]
+    fn greedy_is_feasible_but_may_miss_the_global_optimum() {
+        // The paper's optimum requires the non-local move "put the *common* process PA
+        // into hardware so that both clusters can stay in software". The greedy repair
+        // heuristic instead moves the clusters (the locally best utilization/area
+        // ratio) and ends at the superposition-like architecture. This documents the
+        // gap that motivates the exhaustive search for small systems.
+        let problem = toy_problem();
+        let greedy = optimize(
+            &problem,
+            FeasibilityMode::PerApplication,
+            SearchStrategy::Greedy,
+        )
+        .unwrap();
+        let exact = optimize(
+            &problem,
+            FeasibilityMode::PerApplication,
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap();
+        assert!(greedy.feasibility.feasible());
+        assert!(greedy.cost.total() >= exact.cost.total());
+        assert_eq!(greedy.cost.total(), 57);
+    }
+
+    #[test]
+    fn greedy_handles_larger_systems() {
+        // 24 tasks exceed the exhaustive limit; Auto must still terminate and produce a
+        // feasible mapping.
+        let mut problem = SynthesisProblem::new("large", 50);
+        let mut app_a = Vec::new();
+        let mut app_b = Vec::new();
+        for index in 0..24 {
+            let name = format!("t{index}");
+            problem.add_task(TaskSpec::new(&name, 10 + index % 7, 100, 20 + index, 5));
+            if index % 3 == 0 {
+                app_a.push(name.clone());
+                app_b.push(name.clone());
+            } else if index % 3 == 1 {
+                app_a.push(name.clone());
+            } else {
+                app_b.push(name.clone());
+            }
+        }
+        problem.add_application(ApplicationSpec::new("a", app_a)).unwrap();
+        problem.add_application(ApplicationSpec::new("b", app_b)).unwrap();
+        let result = optimize(&problem, FeasibilityMode::PerApplication, SearchStrategy::Auto).unwrap();
+        assert!(result.feasibility.feasible());
+        assert!(result.evaluated_candidates < 1u64 << 24);
+    }
+
+    #[test]
+    fn infeasible_without_applications() {
+        let problem = SynthesisProblem::new("empty", 1);
+        assert!(matches!(
+            optimize(&problem, FeasibilityMode::PerApplication, SearchStrategy::Auto),
+            Err(SynthError::NoApplications)
+        ));
+    }
+
+    #[test]
+    fn all_hardware_is_always_a_feasible_fallback() {
+        // Tasks so heavy that nothing fits in software.
+        let mut problem = SynthesisProblem::new("heavy", 100);
+        problem.add_task(TaskSpec::new("x", 500, 100, 7, 1));
+        problem.add_task(TaskSpec::new("y", 800, 100, 9, 1));
+        problem
+            .add_application(ApplicationSpec::new("a", ["x".to_string(), "y".to_string()]))
+            .unwrap();
+        let result = optimize(&problem, FeasibilityMode::PerApplication, SearchStrategy::Auto).unwrap();
+        assert_eq!(result.cost.software_tasks.len(), 0);
+        assert_eq!(result.cost.total(), 16);
+    }
+}

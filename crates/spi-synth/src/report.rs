@@ -1,0 +1,172 @@
+//! Table 1 style reporting.
+//!
+//! [`table1`] runs the four synthesis flows of the paper's Section 5 on a
+//! [`SynthesisProblem`] and renders them in the same row/column layout as the paper's
+//! "System Cost" table, so the experiment harness can print a directly comparable
+//! artefact.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::strategy::{independent, superposition, variant_aware};
+use crate::problem::SynthesisProblem;
+use crate::Result;
+
+/// One row of the reproduced Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Row label (application name, "Superposition" or "With variants").
+    pub label: String,
+    /// Tasks implemented in software.
+    pub software: Vec<String>,
+    /// Processor cost.
+    pub software_cost: u64,
+    /// Tasks implemented in hardware.
+    pub hardware: Vec<String>,
+    /// Hardware cost.
+    pub hardware_cost: u64,
+    /// Total system cost.
+    pub total: u64,
+    /// Design time (decision-counting model).
+    pub time: u64,
+}
+
+/// The reproduced Table 1.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Rows in the paper's order: one per application, then superposition, then the
+    /// variant-aware flow.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Looks up a row by label.
+    pub fn row(&self, label: &str) -> Option<&Table1Row> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// The superposition row.
+    pub fn superposition(&self) -> Option<&Table1Row> {
+        self.row("Superposition")
+    }
+
+    /// The variant-aware row.
+    pub fn with_variants(&self) -> Option<&Table1Row> {
+        self.row("With variants")
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} | {:<24} | {:>4} | {:<24} | {:>4} | {:>5} | {:>5}",
+            "", "Software", "", "Hardware", "", "Total", "Time"
+        )?;
+        writeln!(f, "{}", "-".repeat(16 + 24 + 4 + 24 + 4 + 5 + 5 + 20))?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<16} | {:<24} | {:>4} | {:<24} | {:>4} | {:>5} | {:>5}",
+                row.label,
+                row.software.join(", "),
+                row.software_cost,
+                row.hardware.join(", "),
+                row.hardware_cost,
+                row.total,
+                row.time
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the four flows of the paper's evaluation and assembles the reproduced Table 1.
+///
+/// # Errors
+///
+/// Propagates errors from the individual synthesis flows.
+pub fn table1(problem: &SynthesisProblem) -> Result<Table1> {
+    let mut table = Table1::default();
+    for result in independent(problem)? {
+        let label = result
+            .strategy
+            .trim_start_matches("independent(")
+            .trim_end_matches(')')
+            .to_string();
+        table.rows.push(Table1Row {
+            label,
+            software: result.cost.software_tasks.clone(),
+            software_cost: result.cost.processor_cost,
+            hardware: result.cost.hardware_tasks.clone(),
+            hardware_cost: result.cost.hardware_cost,
+            total: result.cost.total(),
+            time: result.design_time,
+        });
+    }
+    for result in [superposition(problem)?, variant_aware(problem)?] {
+        let label = if result.strategy == "superposition" {
+            "Superposition"
+        } else {
+            "With variants"
+        };
+        table.rows.push(Table1Row {
+            label: label.to_string(),
+            software: result.cost.software_tasks.clone(),
+            software_cost: result.cost.processor_cost,
+            hardware: result.cost.hardware_tasks.clone(),
+            hardware_cost: result.cost.hardware_cost,
+            total: result.cost.total(),
+            time: result.design_time,
+        });
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::tests::toy_problem;
+
+    #[test]
+    fn table_has_the_paper_structure() {
+        let table = table1(&toy_problem()).unwrap();
+        assert_eq!(table.rows.len(), 4);
+        assert_eq!(table.rows[0].label, "application1");
+        assert_eq!(table.rows[1].label, "application2");
+        assert!(table.superposition().is_some());
+        assert!(table.with_variants().is_some());
+    }
+
+    #[test]
+    fn totals_follow_the_paper_ordering() {
+        let table = table1(&toy_problem()).unwrap();
+        let app1 = table.rows[0].total;
+        let app2 = table.rows[1].total;
+        let superposition = table.superposition().unwrap();
+        let variants = table.with_variants().unwrap();
+        // Qualitative shape of Table 1: each single application is cheapest, the
+        // superposition is the most expensive, the variant-aware flow sits in between
+        // and beats the superposition on both cost and design time.
+        assert!(app1 < variants.total && app2 < variants.total);
+        assert!(variants.total < superposition.total);
+        assert!(variants.time < superposition.time);
+        // Exact calibrated values.
+        assert_eq!((app1, app2), (34, 38));
+        assert_eq!(superposition.total, 57);
+        assert_eq!(variants.total, 41);
+        assert_eq!((table.rows[0].time, table.rows[1].time), (67, 73));
+        assert_eq!(superposition.time, 140);
+        assert_eq!(variants.time, 118);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let table = table1(&toy_problem()).unwrap();
+        let text = table.to_string();
+        assert!(text.contains("Superposition"));
+        assert!(text.contains("With variants"));
+        assert!(text.contains("41"));
+        assert!(text.contains("118"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Schedulability analysis and static schedule construction.
+//!
+//! The paper's argument for the variant-aware mapping hinges on schedulability: the two
+//! clusters are mutually exclusive at run time, so they may share the processor with
+//! only the common processes — "the available processor performance is not exceeded".
+//! This module makes that argument checkable:
+//!
+//! * [`check`] verifies, per application (i.e. per variant combination), that the
+//!   utilization of its software tasks fits the processor capacity. Because every
+//!   application only contains the clusters of one variant, mutual exclusion is exploited
+//!   exactly as in the paper.
+//! * [`check_serialized`] sums the utilization of *all* tasks of *all* applications as if
+//!   they could run concurrently — the pessimistic view a serializing approach
+//!   ([6] in the paper) is forced to take.
+//! * [`build_schedule`] produces a simple static one-processor schedule of one
+//!   application for inspection and examples.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::SynthError;
+use crate::problem::{Implementation, Mapping, SynthesisProblem};
+use crate::Result;
+
+/// Feasibility of one application under a mapping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApplicationLoad {
+    /// Application name.
+    pub application: String,
+    /// Processor load of the application's software tasks, in permille.
+    pub load_permille: u64,
+    /// Whether the load fits the processor capacity.
+    pub feasible: bool,
+}
+
+/// Feasibility report over all applications.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeasibilityReport {
+    /// Per-application loads.
+    pub applications: Vec<ApplicationLoad>,
+    /// Processor capacity used for the check, in permille.
+    pub capacity_permille: u64,
+}
+
+impl FeasibilityReport {
+    /// Returns `true` if every application fits.
+    pub fn feasible(&self) -> bool {
+        self.applications.iter().all(|a| a.feasible)
+    }
+
+    /// The highest per-application load, in permille.
+    pub fn peak_load_permille(&self) -> u64 {
+        self.applications
+            .iter()
+            .map(|a| a.load_permille)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for FeasibilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for app in &self.applications {
+            writeln!(
+                f,
+                "{}: load {}.{:01} % — {}",
+                app.application,
+                app.load_permille / 10,
+                app.load_permille % 10,
+                if app.feasible { "ok" } else { "OVERLOAD" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks schedulability per application: mutually exclusive variants never load the
+/// processor at the same time.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Validation`] if a task lacks a mapping decision and
+/// [`SynthError::UnknownTask`] if an application references an unknown task.
+pub fn check(problem: &SynthesisProblem, mapping: &Mapping) -> Result<FeasibilityReport> {
+    let mut report = FeasibilityReport {
+        capacity_permille: problem.processor_capacity_permille,
+        ..Default::default()
+    };
+    for application in problem.applications() {
+        let mut load = 0u64;
+        for name in &application.tasks {
+            let task = problem
+                .task(name)
+                .ok_or_else(|| SynthError::UnknownTask(name.clone()))?;
+            match mapping.implementation(name) {
+                Some(Implementation::Software) => load += task.utilization_permille(),
+                Some(Implementation::Hardware) => {}
+                None => {
+                    return Err(SynthError::Validation(format!(
+                        "task `{name}` has no implementation decision"
+                    )))
+                }
+            }
+        }
+        report.applications.push(ApplicationLoad {
+            application: application.name.clone(),
+            load_permille: load,
+            feasible: load <= problem.processor_capacity_permille,
+        });
+    }
+    Ok(report)
+}
+
+/// Checks schedulability as a serializing approach must: all tasks of all applications
+/// are assumed to compete for the processor simultaneously (no mutual exclusion).
+///
+/// # Errors
+///
+/// Same as [`check`].
+pub fn check_serialized(problem: &SynthesisProblem, mapping: &Mapping) -> Result<FeasibilityReport> {
+    let mut load = 0u64;
+    for task in problem.tasks() {
+        match mapping.implementation(&task.name) {
+            Some(Implementation::Software) => load += task.utilization_permille(),
+            Some(Implementation::Hardware) => {}
+            None => {
+                return Err(SynthError::Validation(format!(
+                    "task `{}` has no implementation decision",
+                    task.name
+                )))
+            }
+        }
+    }
+    Ok(FeasibilityReport {
+        applications: vec![ApplicationLoad {
+            application: "serialized".to_string(),
+            load_permille: load,
+            feasible: load <= problem.processor_capacity_permille,
+        }],
+        capacity_permille: problem.processor_capacity_permille,
+    })
+}
+
+/// One entry of a static schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// Scheduled task.
+    pub task: String,
+    /// Resource the task runs on (`"processor"` or `"asic:<task>"`).
+    pub resource: String,
+    /// Start time within one scheduling period.
+    pub start: u64,
+    /// Completion time within one scheduling period.
+    pub end: u64,
+}
+
+/// A static schedule of one application for one period.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Schedule entries in start-time order.
+    pub entries: Vec<ScheduleEntry>,
+    /// Completion time of the last processor task.
+    pub processor_makespan: u64,
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for entry in &self.entries {
+            writeln!(
+                f,
+                "{:>4} .. {:>4}  {:<12} {}",
+                entry.start, entry.end, entry.resource, entry.task
+            )?;
+        }
+        write!(f, "processor makespan: {}", self.processor_makespan)
+    }
+}
+
+/// Builds a simple static schedule of one application: software tasks run back-to-back
+/// on the single processor (in application order), hardware tasks run concurrently on
+/// their dedicated units starting at time zero.
+///
+/// # Errors
+///
+/// Returns [`SynthError::UnknownApplication`], [`SynthError::UnknownTask`] or
+/// [`SynthError::Validation`] (missing decision).
+pub fn build_schedule(
+    problem: &SynthesisProblem,
+    application: &str,
+    mapping: &Mapping,
+) -> Result<Schedule> {
+    let app = problem
+        .application(application)
+        .ok_or_else(|| SynthError::UnknownApplication(application.to_string()))?;
+    let mut schedule = Schedule::default();
+    let mut clock = 0u64;
+    for name in &app.tasks {
+        let task = problem
+            .task(name)
+            .ok_or_else(|| SynthError::UnknownTask(name.clone()))?;
+        match mapping.implementation(name) {
+            Some(Implementation::Software) => {
+                schedule.entries.push(ScheduleEntry {
+                    task: name.clone(),
+                    resource: "processor".to_string(),
+                    start: clock,
+                    end: clock + task.sw_time,
+                });
+                clock += task.sw_time;
+            }
+            Some(Implementation::Hardware) => {
+                // A dedicated unit: conservatively assume the same execution time as
+                // software unless the task is pure hardware (area but zero sw time).
+                schedule.entries.push(ScheduleEntry {
+                    task: name.clone(),
+                    resource: format!("asic:{name}"),
+                    start: 0,
+                    end: task.sw_time,
+                });
+            }
+            None => {
+                return Err(SynthError::Validation(format!(
+                    "task `{name}` has no implementation decision"
+                )))
+            }
+        }
+    }
+    schedule.processor_makespan = clock;
+    schedule.entries.sort_by(|a, b| {
+        (a.start, a.resource.clone(), a.task.clone()).cmp(&(
+            b.start,
+            b.resource.clone(),
+            b.task.clone(),
+        ))
+    });
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::tests::toy_problem;
+
+    fn mapping(hw: &[&str]) -> Mapping {
+        let mut mapping = Mapping::new();
+        for task in toy_problem().tasks() {
+            let implementation = if hw.contains(&task.name.as_str()) {
+                Implementation::Hardware
+            } else {
+                Implementation::Software
+            };
+            mapping.assign(task.name.clone(), implementation);
+        }
+        mapping
+    }
+
+    #[test]
+    fn per_application_check_exploits_mutual_exclusion() {
+        let problem = toy_problem();
+        // Only PA in hardware: each application's software load is PB + its own cluster.
+        let report = check(&problem, &mapping(&["PA"])).unwrap();
+        assert!(report.feasible());
+        assert_eq!(report.applications.len(), 2);
+        assert_eq!(report.applications[0].load_permille, 150 + 700);
+        assert_eq!(report.applications[1].load_permille, 150 + 800);
+        assert_eq!(report.peak_load_permille(), 950);
+    }
+
+    #[test]
+    fn serialized_check_sums_all_variants() {
+        let problem = toy_problem();
+        // The same mapping is infeasible when both variants are assumed concurrent.
+        let report = check_serialized(&problem, &mapping(&["PA"])).unwrap();
+        assert!(!report.feasible());
+        assert_eq!(report.applications[0].load_permille, 150 + 700 + 800);
+    }
+
+    #[test]
+    fn all_software_overloads_each_application() {
+        let problem = toy_problem();
+        let report = check(&problem, &mapping(&[])).unwrap();
+        assert!(!report.feasible());
+        assert!(report.applications.iter().all(|a| !a.feasible));
+    }
+
+    #[test]
+    fn missing_decision_is_reported() {
+        let problem = toy_problem();
+        let incomplete = Mapping::new().with("PA", Implementation::Software);
+        assert!(matches!(
+            check(&problem, &incomplete),
+            Err(SynthError::Validation(_))
+        ));
+        assert!(matches!(
+            check_serialized(&problem, &incomplete),
+            Err(SynthError::Validation(_))
+        ));
+    }
+
+    #[test]
+    fn schedule_places_software_back_to_back_and_hardware_in_parallel() {
+        let problem = toy_problem();
+        let schedule = build_schedule(&problem, "application1", &mapping(&["cluster1"])).unwrap();
+        // PA (25) then PB (15) on the processor; cluster1 on its ASIC from time zero.
+        assert_eq!(schedule.processor_makespan, 40);
+        let asic = schedule
+            .entries
+            .iter()
+            .find(|e| e.resource.starts_with("asic"))
+            .unwrap();
+        assert_eq!(asic.start, 0);
+        let display = schedule.to_string();
+        assert!(display.contains("processor makespan: 40"));
+        assert!(matches!(
+            build_schedule(&problem, "ghost", &mapping(&[])),
+            Err(SynthError::UnknownApplication(_))
+        ));
+    }
+}

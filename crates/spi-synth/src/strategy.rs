@@ -1,0 +1,183 @@
+//! The three synthesis flows compared in Table 1 of the paper.
+//!
+//! * [`independent`] — each application (variant) is synthesized on its own, yielding
+//!   one architecture per application (Table 1, rows "Application 1" and
+//!   "Application 2").
+//! * [`superposition`] — the independent architectures are superposed into one flexible
+//!   target architecture: software is reused, hardware adds up (row "Superposition").
+//! * [`variant_aware`] — the variant-aware representation enables one joint optimization
+//!   over all applications, exploiting the mutual exclusion of variants
+//!   (row "With variants").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::cost::{evaluate, CostBreakdown};
+use crate::design_time;
+use crate::partition::{optimize, FeasibilityMode, SearchStrategy};
+use crate::problem::{Mapping, SynthesisProblem};
+use crate::schedule::{check, FeasibilityReport};
+use crate::Result;
+
+/// Outcome of one synthesis flow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthesisResult {
+    /// Human-readable name of the flow that produced the result.
+    pub strategy: String,
+    /// The chosen mapping over the tasks in scope.
+    pub mapping: Mapping,
+    /// Cost of the resulting architecture.
+    pub cost: CostBreakdown,
+    /// Design time according to the decision-counting model.
+    pub design_time: u64,
+    /// Schedulability of the result.
+    pub feasibility: FeasibilityReport,
+}
+
+impl fmt::Display for SynthesisResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} (design time {})",
+            self.strategy,
+            self.cost,
+            self.design_time
+        )
+    }
+}
+
+/// Synthesizes every application independently.
+///
+/// Returns one result per application, in application order.
+///
+/// # Errors
+///
+/// Propagates optimizer and design-time errors.
+pub fn independent(problem: &SynthesisProblem) -> Result<Vec<SynthesisResult>> {
+    problem.validate()?;
+    let mut results = Vec::new();
+    for application in problem.applications() {
+        let restricted = problem.restrict_to(&application.name)?;
+        let partition = optimize(
+            &restricted,
+            FeasibilityMode::PerApplication,
+            SearchStrategy::Auto,
+        )?;
+        let design_time = design_time::per_application(problem, &application.name)?;
+        results.push(SynthesisResult {
+            strategy: format!("independent({})", application.name),
+            mapping: partition.mapping,
+            cost: partition.cost,
+            design_time: design_time.total,
+            feasibility: partition.feasibility,
+        });
+    }
+    Ok(results)
+}
+
+/// Superposes the independently synthesized architectures into one flexible target
+/// architecture.
+///
+/// Software parts common to several applications are reused directly (the processor is
+/// paid for once); hardware parts differ per application and therefore add up. On a
+/// mapping conflict (a task in software for one application and hardware for another)
+/// the hardware implementation wins.
+///
+/// # Errors
+///
+/// Propagates errors from [`independent`] and the cost evaluation.
+pub fn superposition(problem: &SynthesisProblem) -> Result<SynthesisResult> {
+    let per_application = independent(problem)?;
+    let mut mapping = Mapping::new();
+    for result in &per_application {
+        mapping.merge_prefer_hardware(&result.mapping);
+    }
+    let cost = evaluate(problem, &mapping, None)?;
+    let feasibility = check(problem, &mapping)?;
+    let design_time = design_time::independent(problem)?;
+    Ok(SynthesisResult {
+        strategy: "superposition".to_string(),
+        mapping,
+        cost,
+        design_time: design_time.total,
+        feasibility,
+    })
+}
+
+/// Joint, variant-aware synthesis over the complete representation.
+///
+/// # Errors
+///
+/// Propagates optimizer errors.
+pub fn variant_aware(problem: &SynthesisProblem) -> Result<SynthesisResult> {
+    let partition = optimize(
+        problem,
+        FeasibilityMode::PerApplication,
+        SearchStrategy::Auto,
+    )?;
+    let design_time = design_time::joint(problem);
+    Ok(SynthesisResult {
+        strategy: "variant-aware".to_string(),
+        mapping: partition.mapping,
+        cost: partition.cost,
+        design_time: design_time.total,
+        feasibility: partition.feasibility,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::tests::toy_problem;
+
+    #[test]
+    fn independent_reproduces_the_first_two_rows() {
+        let problem = toy_problem();
+        let results = independent(&problem).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].cost.total(), 34);
+        assert_eq!(results[0].design_time, 67);
+        assert_eq!(results[1].cost.total(), 38);
+        assert_eq!(results[1].design_time, 73);
+        assert_eq!(results[0].cost.software_tasks, vec!["PA", "PB"]);
+        assert_eq!(results[1].cost.software_tasks, vec!["PA", "PB"]);
+    }
+
+    #[test]
+    fn superposition_reuses_software_and_sums_hardware() {
+        let problem = toy_problem();
+        let result = superposition(&problem).unwrap();
+        assert_eq!(result.cost.processor_cost, 15);
+        assert_eq!(result.cost.hardware_cost, 19 + 23);
+        assert_eq!(result.cost.total(), 57);
+        assert_eq!(result.design_time, 140);
+        assert!(result.feasibility.feasible());
+        assert_eq!(result.cost.software_tasks, vec!["PA", "PB"]);
+        assert_eq!(result.cost.hardware_tasks, vec!["cluster1", "cluster2"]);
+    }
+
+    #[test]
+    fn variant_aware_beats_superposition_on_cost_and_time() {
+        let problem = toy_problem();
+        let joint = variant_aware(&problem).unwrap();
+        let superposed = superposition(&problem).unwrap();
+        assert_eq!(joint.cost.total(), 41);
+        assert_eq!(joint.design_time, 118);
+        assert!(joint.cost.total() < superposed.cost.total());
+        assert!(joint.design_time < superposed.design_time);
+        // The optimization moved the *common* process to hardware so that the mutually
+        // exclusive clusters can share the processor — the paper's headline insight.
+        assert_eq!(joint.cost.hardware_tasks, vec!["PA"]);
+        assert!(joint.feasibility.feasible());
+    }
+
+    #[test]
+    fn every_strategy_result_is_feasible() {
+        let problem = toy_problem();
+        for result in independent(&problem).unwrap() {
+            assert!(result.feasibility.feasible());
+        }
+        assert!(superposition(&problem).unwrap().feasibility.feasible());
+        assert!(variant_aware(&problem).unwrap().feasibility.feasible());
+    }
+}

@@ -1,0 +1,260 @@
+//! The worked examples of the paper: Figure 1 (SPI basics), Figure 2 (two function
+//! variants behind one interface, the system evaluated in Table 1) and Figure 3
+//! (run-time variant selection).
+
+use spi_model::{ChannelKind, GraphBuilder, Interval, ModeSpec, SpiGraph, TagSet};
+use spi_synth::{ApplicationSpec, SynthesisProblem, TaskSpec};
+use spi_variants::{
+    Cluster, ClusterSelection, Interface, SelectionRule, VariantSystem, VariantType,
+};
+
+use crate::WorkloadError;
+
+/// Builds the SPI example of Figure 1: `p1 → c1 → p2 → c2 → p3` with the exact
+/// parameters given in Section 2 of the paper (p2 has the two modes `m1`/`m2` with the
+/// paper's activation rules on tags `'a'`/`'b'`).
+///
+/// # Errors
+///
+/// Propagates model construction errors (none are expected for the fixed example).
+pub fn figure1() -> Result<SpiGraph, WorkloadError> {
+    let mut b = GraphBuilder::new("figure1");
+    let p1 = b.process("p1").latency(Interval::point(1)).build()?;
+    let c1 = b.channel("c1", ChannelKind::Queue)?;
+    let c2 = b.channel("c2", ChannelKind::Queue)?;
+    let p2 = b
+        .process("p2")
+        .mode(
+            ModeSpec::new("m1", Interval::point(3))
+                .consume(c1, Interval::point(1))
+                .produce(c2, Interval::point(2)),
+        )
+        .mode(
+            ModeSpec::new("m2", Interval::point(5))
+                .consume(c1, Interval::point(3))
+                .produce(c2, Interval::point(5)),
+        )
+        .activation(
+            spi_model::ActivationFunction::new()
+                .with_rule(spi_model::ActivationRule::new(
+                    "a1",
+                    spi_model::Predicate::min_tokens(c1, 1)
+                        .and(spi_model::Predicate::has_tag(c1, "a")),
+                    spi_model::ModeId::new(0),
+                ))
+                .with_rule(spi_model::ActivationRule::new(
+                    "a2",
+                    spi_model::Predicate::min_tokens(c1, 3)
+                        .and(spi_model::Predicate::has_tag(c1, "b")),
+                    spi_model::ModeId::new(1),
+                )),
+        )
+        .build()?;
+    let p3 = b.process("p3").latency(Interval::point(3)).build()?;
+    b.connect_output_tagged(p1, c1, Interval::point(2), TagSet::singleton("a"))?;
+    b.wire_input(c1, p2)?;
+    b.wire_output(p2, c2)?;
+    b.connect_input(c2, p3, Interval::point(1))?;
+    Ok(b.finish()?)
+}
+
+fn chain_cluster(name: &str, stages: usize, stage_latency: u64) -> Result<Cluster, WorkloadError> {
+    let mut b = GraphBuilder::new(name);
+    let mut previous = None;
+    for stage in 0..stages {
+        let process = b
+            .process(format!("P{stage}"))
+            .latency(Interval::point(stage_latency))
+            .build()?;
+        if let Some(previous) = previous {
+            let channel = b.channel(format!("c{stage}"), ChannelKind::Queue)?;
+            b.connect_output(previous, channel, Interval::point(1))?;
+            b.connect_input(channel, process, Interval::point(1))?;
+        }
+        previous = Some(process);
+    }
+    let graph = b.finish()?;
+    let mut cluster = Cluster::new(name, graph);
+    cluster.add_input_port("i", "P0", Interval::point(1))?;
+    cluster.add_output_port("o", format!("P{}", stages - 1).as_str(), Interval::point(1))?;
+    Ok(cluster)
+}
+
+/// Builds the Figure 2 system: common processes `PA` and `PB` around `interface1` with
+/// the two mutually exclusive clusters `cluster1` and `cluster2`.
+///
+/// Replacing the interface by either cluster yields the two independent applications
+/// whose synthesis is compared in Table 1.
+///
+/// # Errors
+///
+/// Propagates model construction errors (none are expected for the fixed example).
+pub fn figure2_system() -> Result<VariantSystem, WorkloadError> {
+    let mut b = GraphBuilder::new("figure2");
+    let pa = b.process("PA").latency(Interval::point(2)).build()?;
+    let pb = b.process("PB").latency(Interval::point(3)).build()?;
+    let c_in = b.channel("C_in", ChannelKind::Queue)?;
+    let c_mid = b.channel("C_mid", ChannelKind::Queue)?;
+    b.connect_output(pa, c_in, Interval::point(1))?;
+    b.connect_input(c_mid, pb, Interval::point(1))?;
+    let common = b.finish()?;
+
+    let mut interface = Interface::new("interface1");
+    interface.add_input_port("i");
+    interface.add_output_port("o");
+    interface.add_cluster(chain_cluster("cluster1", 2, 4)?)?;
+    interface.add_cluster(chain_cluster("cluster2", 3, 2)?)?;
+
+    let mut system = VariantSystem::new(common);
+    let attachment = system.attach_interface(interface, VariantType::Production)?;
+    system.bind_input(attachment, "i", "C_in")?;
+    system.bind_output(attachment, "o", "C_mid")?;
+    system.validate()?;
+    Ok(system)
+}
+
+/// The synthesis parameters calibrated so that the four flows reproduce the cost
+/// structure of Table 1: independent totals 34 / 38, superposition 57, variant-aware 41,
+/// design times 67 / 73 / 140 / 118.
+pub fn table1_problem() -> Result<SynthesisProblem, WorkloadError> {
+    let mut problem = SynthesisProblem::new("table1", 15)
+        .with_task(TaskSpec::new("PA", 25, 100, 26, 10))
+        .with_task(TaskSpec::new("PB", 15, 100, 30, 12))
+        .with_task(TaskSpec::new("interface1/cluster1", 70, 100, 19, 45))
+        .with_task(TaskSpec::new("interface1/cluster2", 80, 100, 23, 51));
+    problem.add_application(ApplicationSpec::new(
+        "application1",
+        ["PA", "PB", "interface1/cluster1"].map(String::from),
+    ))?;
+    problem.add_application(ApplicationSpec::new(
+        "application2",
+        ["PA", "PB", "interface1/cluster2"].map(String::from),
+    ))?;
+    Ok(problem)
+}
+
+/// Synthesis parameters for [`figure2_system`] task names, matching [`table1_problem`].
+/// Use with [`spi_synth::from_variant_system`].
+pub fn table1_params(task: &str) -> Option<spi_synth::TaskParams> {
+    let (sw_time, period, hw_area, synthesis_effort) = match task {
+        "PA" => (25, 100, 26, 10),
+        "PB" => (15, 100, 30, 12),
+        "interface1/cluster1" => (70, 100, 19, 45),
+        "interface1/cluster2" => (80, 100, 23, 51),
+        _ => return None,
+    };
+    Some(spi_synth::TaskParams {
+        sw_time,
+        period,
+        hw_area,
+        synthesis_effort,
+    })
+}
+
+/// Builds the Figure 3 system: run-time variant selection. The user process `PUser`
+/// writes a token tagged `'V1'` or `'V2'` onto the register `CV`; the interface's
+/// cluster selection rules `rho1`/`rho2` map the tag to `cluster1`/`cluster2`.
+///
+/// The `selected` argument chooses which tag `PUser` emits (mirroring the user setting
+/// the boot parameter).
+///
+/// # Errors
+///
+/// Propagates model construction errors (none are expected for the fixed example).
+pub fn figure3_system(selected: &str) -> Result<VariantSystem, WorkloadError> {
+    let mut b = GraphBuilder::new("figure3");
+    let user = b.process("PUser").latency(Interval::point(1)).environment().build()?;
+    let source = b.process("PSource").latency(Interval::point(1)).environment().build()?;
+    let sink = b.process("PSink").latency(Interval::point(1)).build()?;
+    let cv = b.channel("CV", ChannelKind::Register)?;
+    let cin = b.channel("CIn", ChannelKind::Queue)?;
+    let cout = b.channel("COut", ChannelKind::Queue)?;
+    b.connect_output_tagged(user, cv, Interval::point(1), TagSet::singleton(selected))?;
+    b.connect_output(source, cin, Interval::point(1))?;
+    b.connect_input(cout, sink, Interval::point(1))?;
+    let common = b.finish()?;
+
+    let mut interface = Interface::new("interface1");
+    interface.add_input_port("i");
+    interface.add_output_port("o");
+    interface.add_cluster(chain_cluster("cluster1", 2, 3)?)?;
+    interface.add_cluster(chain_cluster("cluster2", 2, 6)?)?;
+
+    let mut system = VariantSystem::new(common);
+    let attachment = system.attach_interface(interface, VariantType::RunTime)?;
+    system.bind_input(attachment, "i", "CIn")?;
+    system.bind_output(attachment, "o", "COut")?;
+    system.set_selection(
+        attachment,
+        ClusterSelection::new()
+            .with_rule(SelectionRule::tag_equals("rho1", "CV", "V1", "cluster1"))
+            .with_rule(SelectionRule::tag_equals("rho2", "CV", "V2", "cluster2"))
+            .with_configuration_latency("cluster1", 8)
+            .with_configuration_latency("cluster2", 12),
+    )?;
+    system.validate()?;
+    Ok(system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_synth::report::table1;
+    use spi_variants::{ExtractionPolicy, VariantChoice};
+
+    #[test]
+    fn figure1_matches_the_paper_parameters() {
+        let graph = figure1().unwrap();
+        assert_eq!(graph.process_count(), 3);
+        assert_eq!(graph.channel_count(), 2);
+        let p2 = graph.process_by_name("p2").unwrap();
+        assert_eq!(p2.latency_hull().unwrap(), Interval::new(3, 5).unwrap());
+        let c1 = graph.channel_by_name("c1").unwrap().id();
+        let c2 = graph.channel_by_name("c2").unwrap().id();
+        assert_eq!(p2.consumption_hull(c1), Interval::new(1, 3).unwrap());
+        assert_eq!(p2.production_hull(c2), Interval::new(2, 5).unwrap());
+    }
+
+    #[test]
+    fn figure2_flattens_into_two_applications() {
+        let system = figure2_system().unwrap();
+        assert_eq!(system.variant_space().count(), 2);
+        let apps = system.flatten_all().unwrap();
+        assert_eq!(apps.len(), 2);
+        for (_, graph) in &apps {
+            assert!(graph.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn table1_problem_reproduces_the_paper_table() {
+        let table = table1(&table1_problem().unwrap()).unwrap();
+        assert_eq!(table.rows[0].total, 34);
+        assert_eq!(table.rows[1].total, 38);
+        assert_eq!(table.superposition().unwrap().total, 57);
+        assert_eq!(table.with_variants().unwrap().total, 41);
+    }
+
+    #[test]
+    fn table1_params_cover_the_figure2_tasks() {
+        let system = figure2_system().unwrap();
+        let problem = spi_synth::from_variant_system(&system, 15, table1_params).unwrap();
+        let table = table1(&problem).unwrap();
+        assert_eq!(table.with_variants().unwrap().total, 41);
+        assert_eq!(table.superposition().unwrap().total, 57);
+    }
+
+    #[test]
+    fn figure3_selects_the_requested_variant() {
+        for (tag, expected_cluster) in [("V1", "cluster1"), ("V2", "cluster2")] {
+            let system = figure3_system(tag).unwrap();
+            let choice = VariantChoice::new().with("interface1", expected_cluster);
+            assert!(system.flatten(&choice).is_ok());
+            let attachment = system.attachment_by_name("interface1").unwrap();
+            let abstracted = system
+                .abstract_interface(attachment, ExtractionPolicy::Coarse)
+                .unwrap();
+            assert_eq!(abstracted.configuration_set().len(), 2);
+        }
+    }
+}

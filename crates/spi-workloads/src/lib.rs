@@ -1,0 +1,108 @@
+//! # spi-workloads
+//!
+//! Workload generators reproducing the systems used in the paper's presentation and
+//! evaluation, plus synthetic, seeded generators for scaling studies:
+//!
+//! * [`figures::figure1`] — the introductory SPI example (Figure 1);
+//! * [`figures::figure2_system`] / [`figures::table1_problem`] — the two-variant design
+//!   scenario evaluated in Table 1;
+//! * [`figures::figure3_system`] — run-time variant selection (Figure 3);
+//! * [`video`] — the reconfigurable video system (Figure 4) with its simulation
+//!   scenarios;
+//! * [`scenarios`] — the motivational multi-standard TV and automotive systems;
+//! * [`synthetic`] — seeded generators of variant systems and synthesis problems.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scenarios;
+pub mod synthetic;
+pub mod video;
+
+pub use figures::{figure1, figure2_system, figure3_system, table1_params, table1_problem};
+pub use scenarios::{automotive_problem, automotive_system, tv_problem, tv_system};
+pub use synthetic::{synthetic_problem, synthetic_system, SyntheticParams};
+pub use video::{
+    run_video_scenario, video_simulator, video_system, VideoOutcome, VideoParams, VideoScenario,
+};
+
+use std::fmt;
+
+/// Error raised while constructing a workload.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// Error from the SPI model layer.
+    Model(spi_model::ModelError),
+    /// Error from the variants layer.
+    Variants(spi_variants::VariantError),
+    /// Error from the synthesis layer.
+    Synth(spi_synth::SynthError),
+    /// Error from the simulator.
+    Sim(spi_sim::SimError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Model(e) => write!(f, "model error: {e}"),
+            WorkloadError::Variants(e) => write!(f, "variants error: {e}"),
+            WorkloadError::Synth(e) => write!(f, "synthesis error: {e}"),
+            WorkloadError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Model(e) => Some(e),
+            WorkloadError::Variants(e) => Some(e),
+            WorkloadError::Synth(e) => Some(e),
+            WorkloadError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<spi_model::ModelError> for WorkloadError {
+    fn from(e: spi_model::ModelError) -> Self {
+        WorkloadError::Model(e)
+    }
+}
+
+impl From<spi_variants::VariantError> for WorkloadError {
+    fn from(e: spi_variants::VariantError) -> Self {
+        WorkloadError::Variants(e)
+    }
+}
+
+impl From<spi_synth::SynthError> for WorkloadError {
+    fn from(e: spi_synth::SynthError) -> Self {
+        WorkloadError::Synth(e)
+    }
+}
+
+impl From<spi_sim::SimError> for WorkloadError {
+    fn from(e: spi_sim::SimError) -> Self {
+        WorkloadError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_error_wraps_every_layer() {
+        let model: WorkloadError = spi_model::ModelError::CyclicGraph.into();
+        assert!(model.to_string().contains("model error"));
+        let variants: WorkloadError =
+            spi_variants::VariantError::Validation("x".into()).into();
+        assert!(std::error::Error::source(&variants).is_some());
+        let synth: WorkloadError = spi_synth::SynthError::NoApplications.into();
+        assert!(synth.to_string().contains("synthesis"));
+        let sim: WorkloadError = spi_sim::SimError::Config("bad".into()).into();
+        assert!(sim.to_string().contains("simulation"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Motivational scenarios from the paper's introduction: a multi-standard TV set and an
+//! automotive controller adapted to different emission laws. Both are variant systems
+//! with a fixed core function and one or more variant sets, used by the examples and the
+//! design-time experiments.
+
+use spi_model::{ChannelKind, GraphBuilder, Interval, SpiGraph};
+use spi_synth::{SynthesisProblem, TaskParams};
+use spi_variants::{Cluster, Interface, VariantSystem, VariantType};
+
+use crate::WorkloadError;
+
+fn single_process_cluster(name: &str, latency: u64) -> Result<Cluster, WorkloadError> {
+    let mut b = GraphBuilder::new(name);
+    b.process("P").latency(Interval::point(latency)).build()?;
+    let mut cluster = Cluster::new(name, b.finish()?);
+    cluster.add_input_port("i", "P", Interval::point(1))?;
+    cluster.add_output_port("o", "P", Interval::point(1))?;
+    Ok(cluster)
+}
+
+fn pipeline_common(name: &str, stages: &[&str]) -> Result<SpiGraph, WorkloadError> {
+    // A chain of common processes with a free channel between each pair of consecutive
+    // stages where an interface can be attached:  s0 -> gap0 ... gap1 -> s1 -> ...
+    let mut b = GraphBuilder::new(name);
+    let mut previous = None;
+    for (index, stage) in stages.iter().enumerate() {
+        let process = b.process(*stage).latency(Interval::point(2)).build()?;
+        if previous.is_some() {
+            let into = b.channel(format!("gap{index}_in"), ChannelKind::Queue)?;
+            let out_of = b.channel(format!("gap{index}_out"), ChannelKind::Queue)?;
+            b.connect_output(previous.unwrap(), into, Interval::point(1))?;
+            b.connect_input(out_of, process, Interval::point(1))?;
+        }
+        previous = Some(process);
+    }
+    Ok(b.finish()?)
+}
+
+/// Builds the multi-standard TV scenario: a common signal chain (`Tuner`, `Scaler`,
+/// `Display`) with two variant sets — the video decoding standard (PAL / NTSC / SECAM)
+/// and the audio decoding standard (A2 / NICAM). The variant selections of the two sets
+/// are independent, so the system spans `3 × 2 = 6` variant combinations.
+///
+/// # Errors
+///
+/// Propagates model construction errors (none are expected for the fixed scenario).
+pub fn tv_system() -> Result<VariantSystem, WorkloadError> {
+    let common = pipeline_common("multi_standard_tv", &["Tuner", "Scaler", "Display"])?;
+    let mut system = VariantSystem::new(common);
+
+    let mut video = Interface::new("video_standard");
+    video.add_input_port("i");
+    video.add_output_port("o");
+    video.add_cluster(single_process_cluster("pal", 6)?)?;
+    video.add_cluster(single_process_cluster("ntsc", 5)?)?;
+    video.add_cluster(single_process_cluster("secam", 7)?)?;
+    let video_attachment = system.attach_interface(video, VariantType::Production)?;
+    system.bind_input(video_attachment, "i", "gap1_in")?;
+    system.bind_output(video_attachment, "o", "gap1_out")?;
+
+    let mut audio = Interface::new("audio_standard");
+    audio.add_input_port("i");
+    audio.add_output_port("o");
+    audio.add_cluster(single_process_cluster("a2", 3)?)?;
+    audio.add_cluster(single_process_cluster("nicam", 4)?)?;
+    let audio_attachment = system.attach_interface(audio, VariantType::RunTime)?;
+    system.bind_input(audio_attachment, "i", "gap2_in")?;
+    system.bind_output(audio_attachment, "o", "gap2_out")?;
+
+    system.validate()?;
+    Ok(system)
+}
+
+/// Synthesis parameters for the TV scenario, calibrated so that the common chain is
+/// expensive in hardware (favouring reuse) and the standards differ moderately.
+pub fn tv_params(task: &str) -> Option<TaskParams> {
+    let (sw_time, hw_area, synthesis_effort) = match task {
+        "Tuner" => (15, 40, 8),
+        "Scaler" => (20, 55, 14),
+        "Display" => (10, 35, 6),
+        "video_standard/pal" => (45, 25, 30),
+        "video_standard/ntsc" => (40, 24, 28),
+        "video_standard/secam" => (50, 27, 33),
+        "audio_standard/a2" => (12, 10, 9),
+        "audio_standard/nicam" => (16, 12, 11),
+        _ => return None,
+    };
+    Some(TaskParams {
+        sw_time,
+        period: 100,
+        hw_area,
+        synthesis_effort,
+    })
+}
+
+/// Derives the synthesis problem of the TV scenario.
+///
+/// # Errors
+///
+/// Propagates bridge errors.
+pub fn tv_problem() -> Result<SynthesisProblem, WorkloadError> {
+    Ok(spi_synth::from_variant_system(&tv_system()?, 20, tv_params)?)
+}
+
+/// Builds the automotive scenario: an engine controller whose exhaust treatment strategy
+/// is a production variant selected per market (three emission-law variants), with the
+/// sensor fusion and actuator control as the common part.
+///
+/// # Errors
+///
+/// Propagates model construction errors (none are expected for the fixed scenario).
+pub fn automotive_system() -> Result<VariantSystem, WorkloadError> {
+    let common = pipeline_common("engine_controller", &["SensorFusion", "Actuation"])?;
+    let mut system = VariantSystem::new(common);
+    let mut emission = Interface::new("emission_law");
+    emission.add_input_port("i");
+    emission.add_output_port("o");
+    emission.add_cluster(single_process_cluster("euro6", 9)?)?;
+    emission.add_cluster(single_process_cluster("epa_tier3", 8)?)?;
+    emission.add_cluster(single_process_cluster("china6", 10)?)?;
+    let attachment = system.attach_interface(emission, VariantType::Production)?;
+    system.bind_input(attachment, "i", "gap1_in")?;
+    system.bind_output(attachment, "o", "gap1_out")?;
+    system.validate()?;
+    Ok(system)
+}
+
+/// Synthesis parameters for the automotive scenario.
+pub fn automotive_params(task: &str) -> Option<TaskParams> {
+    let (sw_time, hw_area, synthesis_effort) = match task {
+        "SensorFusion" => (30, 60, 16),
+        "Actuation" => (20, 45, 10),
+        "emission_law/euro6" => (55, 30, 25),
+        "emission_law/epa_tier3" => (50, 28, 24),
+        "emission_law/china6" => (60, 32, 27),
+        _ => return None,
+    };
+    Some(TaskParams {
+        sw_time,
+        period: 100,
+        hw_area,
+        synthesis_effort,
+    })
+}
+
+/// Derives the synthesis problem of the automotive scenario.
+///
+/// # Errors
+///
+/// Propagates bridge errors.
+pub fn automotive_problem() -> Result<SynthesisProblem, WorkloadError> {
+    Ok(spi_synth::from_variant_system(
+        &automotive_system()?,
+        25,
+        automotive_params,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_synth::strategy;
+
+    #[test]
+    fn tv_system_spans_six_variant_combinations() {
+        let system = tv_system().unwrap();
+        assert_eq!(system.attachment_count(), 2);
+        assert_eq!(system.variant_space().count(), 6);
+        assert_eq!(system.flatten_all().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn tv_problem_prefers_variant_aware_synthesis() {
+        let problem = tv_problem().unwrap();
+        assert_eq!(problem.applications().len(), 6);
+        let joint = strategy::variant_aware(&problem).unwrap();
+        let superposed = strategy::superposition(&problem).unwrap();
+        assert!(joint.cost.total() <= superposed.cost.total());
+        assert!(joint.design_time < superposed.design_time);
+    }
+
+    #[test]
+    fn automotive_system_has_three_production_variants() {
+        let system = automotive_system().unwrap();
+        assert_eq!(system.variant_space().count(), 3);
+        let problem = automotive_problem().unwrap();
+        assert_eq!(problem.common_tasks().len(), 2);
+        assert_eq!(problem.variant_tasks().len(), 3);
+    }
+
+    #[test]
+    fn automotive_synthesis_is_feasible() {
+        let problem = automotive_problem().unwrap();
+        let result = strategy::variant_aware(&problem).unwrap();
+        assert!(result.feasibility.feasible());
+    }
+}

@@ -1,0 +1,243 @@
+//! Seeded synthetic workload generators for scaling experiments.
+//!
+//! The paper's evaluation is a single small design scenario plus one case study. To turn
+//! its qualitative claims (cost advantage of variant-aware synthesis, design-time
+//! reduction, schedulability through mutual exclusion) into measurable trends, these
+//! generators produce families of systems parameterised by the number of variants, the
+//! number of common processes and a random seed. All generation is deterministic for a
+//! given seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spi_model::{ChannelKind, GraphBuilder, Interval};
+use spi_synth::{ApplicationSpec, SynthesisProblem, TaskSpec};
+use spi_variants::{Cluster, Interface, VariantSystem, VariantType};
+
+use crate::WorkloadError;
+
+/// Parameters of a synthetic variant system / synthesis problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticParams {
+    /// Number of variant-independent (common) tasks.
+    pub common_tasks: usize,
+    /// Number of variant sets (interfaces).
+    pub interfaces: usize,
+    /// Number of clusters (variants) per interface.
+    pub clusters_per_interface: usize,
+    /// Number of processes inside each cluster (for the model-level generator).
+    pub cluster_depth: usize,
+    /// RNG seed; identical seeds produce identical workloads.
+    pub seed: u64,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        SyntheticParams {
+            common_tasks: 4,
+            interfaces: 2,
+            clusters_per_interface: 3,
+            cluster_depth: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a synthetic synthesis problem: `common_tasks` shared tasks plus one task
+/// per (interface, cluster), and one application per variant combination.
+///
+/// Utilizations are drawn such that the all-software mapping of a single application is
+/// usually slightly infeasible — the regime where the mapping decisions are interesting.
+///
+/// # Errors
+///
+/// Propagates problem-construction errors (none are expected for generated names).
+pub fn synthetic_problem(params: &SyntheticParams) -> Result<SynthesisProblem, WorkloadError> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut problem = SynthesisProblem::new(
+        format!("synthetic_{}", params.seed),
+        10 + rng.gen_range(0..10),
+    );
+
+    let mut common = Vec::new();
+    for index in 0..params.common_tasks {
+        let name = format!("common{index}");
+        problem.add_task(TaskSpec::new(
+            &name,
+            rng.gen_range(5..20),
+            100,
+            rng.gen_range(15..45),
+            rng.gen_range(4..12),
+        ));
+        common.push(name);
+    }
+
+    let mut variant_names: Vec<Vec<String>> = Vec::new();
+    for interface in 0..params.interfaces {
+        let mut clusters = Vec::new();
+        for cluster in 0..params.clusters_per_interface {
+            let name = format!("if{interface}/v{cluster}");
+            problem.add_task(TaskSpec::new(
+                &name,
+                rng.gen_range(30..75),
+                100,
+                rng.gen_range(15..35),
+                rng.gen_range(20..55),
+            ));
+            clusters.push(name);
+        }
+        variant_names.push(clusters);
+    }
+
+    // One application per combination of variants (cartesian product).
+    let mut combinations: Vec<Vec<String>> = vec![Vec::new()];
+    for clusters in &variant_names {
+        let mut next = Vec::new();
+        for partial in &combinations {
+            for cluster in clusters {
+                let mut extended = partial.clone();
+                extended.push(cluster.clone());
+                next.push(extended);
+            }
+        }
+        combinations = next;
+    }
+    for (index, combination) in combinations.into_iter().enumerate() {
+        let mut tasks = common.clone();
+        tasks.extend(combination);
+        problem.add_application(ApplicationSpec::new(format!("application{index}"), tasks))?;
+    }
+    Ok(problem)
+}
+
+/// Generates a synthetic variant system at the model level: a chain of common processes
+/// with one interface (and its clusters) spliced between each consecutive pair.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none are expected for generated names).
+pub fn synthetic_system(params: &SyntheticParams) -> Result<VariantSystem, WorkloadError> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let stages = params.interfaces + 1;
+    let mut b = GraphBuilder::new(format!("synthetic_system_{}", params.seed));
+    let mut previous = None;
+    for stage in 0..stages {
+        let process = b
+            .process(format!("common{stage}"))
+            .latency(Interval::point(rng.gen_range(1..6)))
+            .build()?;
+        if previous.is_some() {
+            let into = b.channel(format!("gap{stage}_in"), ChannelKind::Queue)?;
+            let out_of = b.channel(format!("gap{stage}_out"), ChannelKind::Queue)?;
+            b.connect_output(previous.unwrap(), into, Interval::point(1))?;
+            b.connect_input(out_of, process, Interval::point(1))?;
+        }
+        previous = Some(process);
+    }
+    let common = b.finish()?;
+    let mut system = VariantSystem::new(common);
+
+    for interface_index in 0..params.interfaces {
+        let mut interface = Interface::new(format!("if{interface_index}"));
+        interface.add_input_port("i");
+        interface.add_output_port("o");
+        for cluster_index in 0..params.clusters_per_interface {
+            let name = format!("if{interface_index}_v{cluster_index}");
+            let mut cb = GraphBuilder::new(&name);
+            let mut prev = None;
+            for depth in 0..params.cluster_depth.max(1) {
+                let process = cb
+                    .process(format!("P{depth}"))
+                    .latency(Interval::point(rng.gen_range(1..8)))
+                    .build()?;
+                if let Some(prev) = prev {
+                    let channel = cb.channel(format!("c{depth}"), ChannelKind::Queue)?;
+                    cb.connect_output(prev, channel, Interval::point(1))?;
+                    cb.connect_input(channel, process, Interval::point(1))?;
+                }
+                prev = Some(process);
+            }
+            let mut cluster = Cluster::new(&name, cb.finish()?);
+            cluster.add_input_port("i", "P0", Interval::point(1))?;
+            cluster.add_output_port(
+                "o",
+                format!("P{}", params.cluster_depth.max(1) - 1).as_str(),
+                Interval::point(1),
+            )?;
+            interface.add_cluster(cluster)?;
+        }
+        let attachment = system.attach_interface(interface, VariantType::Production)?;
+        system.bind_input(attachment, "i", &format!("gap{}_in", interface_index + 1))?;
+        system.bind_output(attachment, "o", &format!("gap{}_out", interface_index + 1))?;
+    }
+    system.validate()?;
+    Ok(system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_synth::design_time;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let params = SyntheticParams::default();
+        let a = synthetic_problem(&params).unwrap();
+        let b = synthetic_problem(&params).unwrap();
+        assert_eq!(a, b);
+        let other = synthetic_problem(&SyntheticParams {
+            seed: 7,
+            ..params
+        })
+        .unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn problem_size_matches_parameters() {
+        let params = SyntheticParams {
+            common_tasks: 5,
+            interfaces: 3,
+            clusters_per_interface: 2,
+            ..Default::default()
+        };
+        let problem = synthetic_problem(&params).unwrap();
+        assert_eq!(problem.task_count(), 5 + 3 * 2);
+        assert_eq!(problem.applications().len(), 2usize.pow(3));
+        assert_eq!(problem.common_tasks().len(), 5);
+    }
+
+    #[test]
+    fn design_time_gap_grows_with_variant_count() {
+        // The more variants, the larger the advantage of considering common tasks once.
+        let few = synthetic_problem(&SyntheticParams {
+            clusters_per_interface: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let many = synthetic_problem(&SyntheticParams {
+            clusters_per_interface: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let gap = |problem: &SynthesisProblem| {
+            design_time::independent(problem).unwrap().total - design_time::joint(problem).total
+        };
+        assert!(gap(&many) > gap(&few));
+    }
+
+    #[test]
+    fn synthetic_system_flattens_for_every_choice() {
+        let params = SyntheticParams {
+            interfaces: 2,
+            clusters_per_interface: 2,
+            cluster_depth: 3,
+            ..Default::default()
+        };
+        let system = synthetic_system(&params).unwrap();
+        assert_eq!(system.variant_space().count(), 4);
+        for (_, graph) in system.flatten_all().unwrap() {
+            assert!(graph.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Design-space exploration over a multi-standard TV set: compare per-application
+//! synthesis, superposition, variant-aware synthesis and the two prior-work baselines on
+//! cost and design time, then sweep the number of variants to show how the design-time
+//! advantage grows.
+//!
+//! Run with `cargo run --example design_space_exploration`.
+
+use spi_repro::synth::{baseline, design_time, strategy};
+use spi_repro::workloads::{synthetic_problem, tv_problem, SyntheticParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let problem = tv_problem()?;
+    println!(
+        "multi-standard TV: {} tasks, {} variant combinations\n",
+        problem.task_count(),
+        problem.applications().len()
+    );
+
+    println!("{:<34} {:>8} {:>12}", "flow", "cost", "design time");
+    for result in strategy::independent(&problem)? {
+        println!(
+            "{:<34} {:>8} {:>12}",
+            result.strategy,
+            result.cost.total(),
+            result.design_time
+        );
+    }
+    let superposition = strategy::superposition(&problem)?;
+    let variant_aware = strategy::variant_aware(&problem)?;
+    let serialized = baseline::serialization(&problem)?;
+    let order: Vec<&str> = problem.applications().iter().map(|a| a.name.as_str()).collect();
+    let incremental = baseline::incremental(&problem, &order)?;
+    for result in [&superposition, &variant_aware, &serialized, &incremental] {
+        println!(
+            "{:<34} {:>8} {:>12}",
+            result.strategy,
+            result.cost.total(),
+            result.design_time
+        );
+    }
+    assert!(variant_aware.cost.total() <= superposition.cost.total());
+    assert!(variant_aware.cost.total() <= serialized.cost.total());
+
+    println!("\ndesign-time scaling with the number of variants per set (4 common tasks):");
+    println!(
+        "{:>9} {:>14} {:>12} {:>10}",
+        "variants", "independent", "joint", "saving %"
+    );
+    for clusters in [2usize, 3, 4, 6, 8] {
+        let synthetic = synthetic_problem(&SyntheticParams {
+            clusters_per_interface: clusters,
+            interfaces: 2,
+            common_tasks: 4,
+            ..Default::default()
+        })?;
+        let independent = design_time::independent(&synthetic)?.total;
+        let joint = design_time::joint(&synthetic).total;
+        println!(
+            "{:>9} {:>14} {:>12} {:>9.1}",
+            clusters,
+            independent,
+            joint,
+            100.0 * (independent - joint) as f64 / independent as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # spi-repro
+//!
+//! Facade crate of the reproduction of *"Representation of Function Variants for
+//! Embedded System Optimization and Synthesis"* (Richter, Ziegenbein, Ernst, Thiele,
+//! Teich — DAC 1999).
+//!
+//! The implementation is split into focused crates, re-exported here for convenience:
+//!
+//! | Crate | Module alias | Contents |
+//! |---|---|---|
+//! | `spi-model` | [`model`] | the SPI process-network substrate (processes, channels, modes, tags, activation, timing) |
+//! | `spi-variants` | [`variants`] | **the paper's contribution**: clusters, interfaces, cluster selection, configurations, flattening and abstraction |
+//! | `spi-sim` | [`sim`] | discrete-event simulation with reconfiguration semantics |
+//! | `spi-synth` | [`synth`] | HW/SW partitioning, cost/design-time models, Table 1 flows and prior-work baselines |
+//! | `spi-workloads` | [`workloads`] | the paper's figures, the video case study, TV/automotive scenarios, synthetic generators |
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use spi_repro::workloads;
+//! use spi_repro::synth::report::table1;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The Figure 2 design scenario, flattened into its two applications...
+//! let system = workloads::figure2_system()?;
+//! assert_eq!(system.variant_space().count(), 2);
+//!
+//! // ...and the reproduced Table 1 (system cost of the four synthesis flows).
+//! let table = table1(&workloads::table1_problem()?)?;
+//! assert!(table.with_variants().unwrap().total < table.superposition().unwrap().total);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use spi_model as model;
+pub use spi_sim as sim;
+pub use spi_synth as synth;
+pub use spi_variants as variants;
+pub use spi_workloads as workloads;

@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: from the variant-aware representation through
+//! flattening / abstraction / simulation down to synthesis, exercising the full pipeline
+//! that the paper describes.
+
+use spi_repro::sim::{SimConfig, Simulator};
+use spi_repro::synth::report::table1;
+use spi_repro::synth::{baseline, design_time, from_variant_system, strategy};
+use spi_repro::variants::{ExtractionPolicy, VariantChoice};
+use spi_repro::workloads::{
+    figure1, figure2_system, figure3_system, run_video_scenario, table1_params, table1_problem,
+    tv_problem, tv_system, VideoParams, VideoScenario,
+};
+
+#[test]
+fn figure1_simulates_with_data_dependent_modes() {
+    // p1 tags every token with 'a', so p2 always executes mode m1 and p3 consumes the
+    // produced tokens.
+    let graph = figure1().expect("figure 1 builds");
+    let p2 = graph.process_by_name("p2").unwrap().id();
+    let report = Simulator::new(graph, SimConfig::with_horizon(300).max_executions(5))
+        .run()
+        .expect("simulation runs");
+    assert!(report.stats.executions_of(p2) > 0);
+    // Mode m1 (id 0) is the only one activated: all tokens carry tag 'a'.
+    assert!(report
+        .stats
+        .mode_executions
+        .keys()
+        .filter(|(p, _)| *p == p2)
+        .all(|(_, m)| m.index() == 0));
+}
+
+#[test]
+fn figure2_flattening_and_synthesis_agree_on_variant_count() {
+    let system = figure2_system().expect("figure 2 builds");
+    let flattened = system.flatten_all().expect("all variants flatten");
+    let problem = from_variant_system(&system, 15, table1_params).expect("bridge works");
+    assert_eq!(flattened.len(), problem.applications().len());
+    // Every flattened application validates and still contains the common processes.
+    for (_, graph) in &flattened {
+        assert!(graph.validate().is_ok());
+        assert!(graph.process_by_name("PA").is_some());
+        assert!(graph.process_by_name("PB").is_some());
+    }
+}
+
+#[test]
+fn table1_shape_holds_for_model_derived_costs() {
+    let table = table1(&table1_problem().unwrap()).unwrap();
+    let app1 = &table.rows[0];
+    let app2 = &table.rows[1];
+    let superposition = table.superposition().unwrap();
+    let variants = table.with_variants().unwrap();
+
+    // Qualitative shape reported by the paper.
+    assert!(superposition.total > app1.total.max(app2.total));
+    assert!(variants.total < superposition.total);
+    assert!(variants.total > app1.total.min(app2.total));
+    assert_eq!(superposition.time, app1.time + app2.time);
+    assert!(variants.time < superposition.time);
+    // Superposition reuses the software architecture but pays for both ASICs.
+    assert_eq!(superposition.hardware_cost, app1.hardware_cost + app2.hardware_cost);
+    assert_eq!(superposition.software_cost, app1.software_cost);
+    // The variant-aware flow moves the common process into hardware.
+    assert!(variants.hardware.contains(&"PA".to_string()));
+}
+
+#[test]
+fn figure3_abstraction_selects_and_configures_by_user_tag() {
+    for (tag, expected_configuration) in [("V1", 0usize), ("V2", 1usize)] {
+        let system = figure3_system(tag).unwrap();
+        let attachment = system.attachment_by_name("interface1").unwrap();
+        let abstracted = system
+            .abstract_interface(attachment, ExtractionPolicy::Coarse)
+            .unwrap();
+        let report = Simulator::new(
+            abstracted.graph.clone(),
+            SimConfig::with_horizon(500).max_executions(10),
+        )
+        .with_configurations(abstracted.configurations.clone())
+        .run()
+        .unwrap();
+        // The abstracted process ran, and only in modes of the selected configuration.
+        let set = abstracted.configuration_set();
+        let executed: Vec<usize> = report
+            .stats
+            .mode_executions
+            .keys()
+            .filter(|(p, _)| *p == abstracted.process)
+            .map(|(_, m)| set.configuration_of_mode(*m).unwrap())
+            .collect();
+        assert!(!executed.is_empty(), "variant {tag} never executed");
+        assert!(executed.iter().all(|c| *c == expected_configuration));
+    }
+}
+
+#[test]
+fn flattened_variant_and_abstracted_process_have_consistent_latency() {
+    // The coarse extracted mode latency must cover the end-to-end latency of the
+    // flattened cluster it abstracts (conservative abstraction).
+    let system = figure3_system("V1").unwrap();
+    let attachment = system.attachment_by_name("interface1").unwrap();
+    let abstracted = system
+        .abstract_interface(attachment, ExtractionPolicy::Coarse)
+        .unwrap();
+    let interface = system.interface(attachment).unwrap();
+    for (index, cluster) in interface.clusters().iter().enumerate() {
+        let flat = system
+            .flatten(&VariantChoice::new().with("interface1", cluster.name()))
+            .unwrap();
+        let entry = flat
+            .process_by_name(&format!("interface1/{}/P0", cluster.name()))
+            .unwrap()
+            .id();
+        let exit = flat
+            .process_by_name(&format!("interface1/{}/P1", cluster.name()))
+            .unwrap()
+            .id();
+        let path = spi_repro::model::timing::end_to_end_latency(&flat, entry, exit).unwrap();
+        let set = abstracted.configuration_set();
+        let process = abstracted.graph.process(abstracted.process).unwrap();
+        let mode_latency = set.configurations()[index]
+            .modes()
+            .map(|m| process.mode(m).unwrap().latency())
+            .next()
+            .unwrap();
+        assert!(mode_latency.hi() >= path.hi());
+        assert!(mode_latency.lo() <= path.lo() || mode_latency.lo() == path.lo());
+    }
+}
+
+#[test]
+fn video_case_study_preserves_output_integrity_across_parameter_sweep() {
+    for (frame_period, resume_delay) in [(15u64, 60u64), (20, 80), (30, 120)] {
+        let scenario = VideoScenario {
+            frame_period,
+            resume_delay,
+            frame_count: 40,
+            // Both requests fall inside the frame stream for every swept period, so the
+            // stages reconfigure twice each regardless of the period.
+            requests: vec![(200, "V2"), (400, "V1")],
+            ..Default::default()
+        };
+        let outcome = run_video_scenario(&VideoParams::default(), &scenario).unwrap();
+        assert_eq!(
+            outcome.fresh_frames + outcome.repeated_frames + outcome.dropped_at_input,
+            outcome.frames_in
+        );
+        assert_eq!(outcome.reconfigurations, 4);
+    }
+}
+
+#[test]
+fn variant_aware_synthesis_dominates_baselines_on_the_tv_scenario() {
+    let problem = tv_problem().unwrap();
+    let variant_aware = strategy::variant_aware(&problem).unwrap();
+    let superposition = strategy::superposition(&problem).unwrap();
+    let serialized = baseline::serialization(&problem).unwrap();
+    let order: Vec<&str> = problem
+        .applications()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    let incremental = baseline::incremental(&problem, &order).unwrap();
+
+    assert!(variant_aware.cost.total() <= superposition.cost.total());
+    assert!(variant_aware.cost.total() <= serialized.cost.total());
+    assert!(variant_aware.cost.total() <= incremental.cost.total());
+    assert!(variant_aware.feasibility.feasible());
+    assert!(design_time::joint(&problem).total <= design_time::independent(&problem).unwrap().total);
+}
+
+#[test]
+fn tv_system_round_trips_through_the_bridge() {
+    let system = tv_system().unwrap();
+    let problem = from_variant_system(&system, 20, spi_repro::workloads::scenarios::tv_params).unwrap();
+    assert_eq!(problem.applications().len(), system.variant_space().count());
+    assert_eq!(
+        problem.common_tasks().len(),
+        system.common().processes().filter(|p| !p.is_virtual()).count()
+    );
+}

@@ -1,0 +1,184 @@
+//! Property-based tests over the core data structures and the paper's structural
+//! invariants, using proptest.
+
+use proptest::prelude::*;
+
+use spi_repro::model::{ChannelKind, GraphBuilder, Interval};
+use spi_repro::synth::{design_time, strategy, ApplicationSpec, SynthesisProblem, TaskSpec};
+use spi_repro::variants::{Cluster, Interface, VariantSystem, VariantType};
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (0u64..1_000, 0u64..1_000).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The hull of two intervals contains both operands; intersection (when it exists)
+    /// is contained in both.
+    #[test]
+    fn interval_hull_and_intersection_are_bounds(a in interval_strategy(), b in interval_strategy()) {
+        let hull = a.hull(b);
+        prop_assert!(hull.contains_interval(a));
+        prop_assert!(hull.contains_interval(b));
+        if let Some(meet) = a.intersect(b) {
+            prop_assert!(a.contains_interval(meet));
+            prop_assert!(b.contains_interval(meet));
+            prop_assert!(hull.contains_interval(meet));
+        }
+    }
+
+    /// Interval addition is monotone in both bounds and commutative.
+    #[test]
+    fn interval_addition_is_commutative_and_monotone(a in interval_strategy(), b in interval_strategy()) {
+        let sum = a.add(b);
+        prop_assert_eq!(sum, b.add(a));
+        prop_assert!(sum.lo() >= a.lo() && sum.lo() >= b.lo());
+        prop_assert!(sum.hi() >= a.hi() && sum.hi() >= b.hi());
+    }
+
+    /// A variant system with `k` interfaces of `n_i` clusters spans `prod(n_i)` variant
+    /// combinations, and every combination flattens into a graph that contains the
+    /// common processes plus exactly the chosen clusters' processes.
+    #[test]
+    fn variant_space_and_flattening_are_consistent(
+        clusters_per_interface in prop::collection::vec(1usize..4, 1..3),
+        cluster_size in 1usize..4,
+    ) {
+        let system = build_synthetic_system(&clusters_per_interface, cluster_size).unwrap();
+        let expected: usize = clusters_per_interface.iter().product();
+        prop_assert_eq!(system.variant_space().count(), expected);
+
+        let common_processes = system.common().process_count();
+        let flattened = system.flatten_all().unwrap();
+        prop_assert_eq!(flattened.len(), expected);
+        for (_, graph) in flattened {
+            prop_assert!(graph.validate().is_ok());
+            prop_assert_eq!(
+                graph.process_count(),
+                common_processes + clusters_per_interface.len() * cluster_size
+            );
+        }
+    }
+
+    /// On any synthesizable problem: the variant-aware optimum never costs more than
+    /// the superposition of per-application optima, and the joint design time never
+    /// exceeds the independent design time.
+    #[test]
+    fn variant_aware_never_loses_to_superposition(
+        common in 1usize..4,
+        variants in 2usize..4,
+        seed in 0u64..50,
+    ) {
+        let problem = random_problem(common, variants, seed);
+        let superposition = strategy::superposition(&problem).unwrap();
+        let joint = strategy::variant_aware(&problem).unwrap();
+        prop_assert!(joint.cost.total() <= superposition.cost.total());
+        prop_assert!(joint.feasibility.feasible());
+        prop_assert!(
+            design_time::joint(&problem).total
+                <= design_time::independent(&problem).unwrap().total
+        );
+    }
+}
+
+/// Builds a chain-shaped variant system with the given cluster counts per interface.
+fn build_synthetic_system(
+    clusters_per_interface: &[usize],
+    cluster_size: usize,
+) -> Result<VariantSystem, Box<dyn std::error::Error>> {
+    let stages = clusters_per_interface.len() + 1;
+    let mut b = GraphBuilder::new("prop_system");
+    let mut previous = None;
+    for stage in 0..stages {
+        let process = b
+            .process(format!("common{stage}"))
+            .latency(Interval::point(1))
+            .build()?;
+        if previous.is_some() {
+            let into = b.channel(format!("gap{stage}_in"), ChannelKind::Queue)?;
+            let out_of = b.channel(format!("gap{stage}_out"), ChannelKind::Queue)?;
+            b.connect_output(previous.unwrap(), into, Interval::point(1))?;
+            b.connect_input(out_of, process, Interval::point(1))?;
+        }
+        previous = Some(process);
+    }
+    let mut system = VariantSystem::new(b.finish()?);
+
+    for (index, clusters) in clusters_per_interface.iter().enumerate() {
+        let mut interface = Interface::new(format!("if{index}"));
+        interface.add_input_port("i");
+        interface.add_output_port("o");
+        for cluster_index in 0..*clusters {
+            let name = format!("if{index}_v{cluster_index}");
+            let mut cb = GraphBuilder::new(&name);
+            let mut prev = None;
+            for depth in 0..cluster_size {
+                let process = cb
+                    .process(format!("P{depth}"))
+                    .latency(Interval::point(1 + depth as u64))
+                    .build()?;
+                if let Some(prev) = prev {
+                    let channel = cb.channel(format!("c{depth}"), ChannelKind::Queue)?;
+                    cb.connect_output(prev, channel, Interval::point(1))?;
+                    cb.connect_input(channel, process, Interval::point(1))?;
+                }
+                prev = Some(process);
+            }
+            let mut cluster = Cluster::new(&name, cb.finish()?);
+            cluster.add_input_port("i", "P0", Interval::point(1))?;
+            cluster.add_output_port("o", format!("P{}", cluster_size - 1).as_str(), Interval::point(1))?;
+            interface.add_cluster(cluster)?;
+        }
+        let attachment = system.attach_interface(interface, VariantType::Production)?;
+        system.bind_input(attachment, "i", &format!("gap{}_in", index + 1))?;
+        system.bind_output(attachment, "o", &format!("gap{}_out", index + 1))?;
+    }
+    system.validate()?;
+    Ok(system)
+}
+
+/// Builds a small random-but-deterministic synthesis problem with one variant set.
+fn random_problem(common: usize, variants: usize, seed: u64) -> SynthesisProblem {
+    // Simple deterministic pseudo-random sequence (avoids pulling rand into the test).
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = |range: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % range
+    };
+    let mut problem = SynthesisProblem::new(format!("random{seed}"), 10 + next(10));
+    let mut common_names = Vec::new();
+    for index in 0..common {
+        let name = format!("common{index}");
+        problem.add_task(TaskSpec::new(
+            &name,
+            5 + next(15),
+            100,
+            15 + next(30),
+            3 + next(9),
+        ));
+        common_names.push(name);
+    }
+    let mut cluster_names = Vec::new();
+    for index in 0..variants {
+        let name = format!("variant{index}");
+        problem.add_task(TaskSpec::new(
+            &name,
+            30 + next(45),
+            100,
+            15 + next(20),
+            20 + next(30),
+        ));
+        cluster_names.push(name);
+    }
+    for (index, cluster) in cluster_names.iter().enumerate() {
+        let mut tasks = common_names.clone();
+        tasks.push(cluster.clone());
+        problem
+            .add_application(ApplicationSpec::new(format!("application{index}"), tasks))
+            .expect("tasks exist");
+    }
+    problem
+}

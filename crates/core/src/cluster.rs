@@ -124,7 +124,13 @@ impl Cluster {
         process: impl AsRef<str>,
         rate: Interval,
     ) -> Result<()> {
-        self.add_port(name.into(), PortDirection::Input, process.as_ref(), rate, TagSet::new())
+        self.add_port(
+            name.into(),
+            PortDirection::Input,
+            process.as_ref(),
+            rate,
+            TagSet::new(),
+        )
     }
 
     /// Adds an output port bound to the embedded process named `process`, producing
@@ -139,7 +145,13 @@ impl Cluster {
         process: impl AsRef<str>,
         rate: Interval,
     ) -> Result<()> {
-        self.add_port(name.into(), PortDirection::Output, process.as_ref(), rate, TagSet::new())
+        self.add_port(
+            name.into(),
+            PortDirection::Output,
+            process.as_ref(),
+            rate,
+            TagSet::new(),
+        )
     }
 
     /// Adds an output port whose produced tokens carry `tags`.
@@ -154,7 +166,13 @@ impl Cluster {
         rate: Interval,
         tags: TagSet,
     ) -> Result<()> {
-        self.add_port(name.into(), PortDirection::Output, process.as_ref(), rate, tags)
+        self.add_port(
+            name.into(),
+            PortDirection::Output,
+            process.as_ref(),
+            rate,
+            tags,
+        )
     }
 
     fn add_port(
@@ -307,7 +325,11 @@ mod tests {
         // i -> A -> c -> B -> o
         let mut b = GraphBuilder::new("variant1");
         let a = b.process("A").latency(Interval::point(2)).build().unwrap();
-        let z = b.process("B").latency(Interval::new(1, 3).unwrap()).build().unwrap();
+        let z = b
+            .process("B")
+            .latency(Interval::new(1, 3).unwrap())
+            .build()
+            .unwrap();
         let c = b.channel("c", ChannelKind::Queue).unwrap();
         b.connect_output(a, c, Interval::point(1)).unwrap();
         b.connect_input(c, z, Interval::point(1)).unwrap();
@@ -328,10 +350,7 @@ mod tests {
         assert_eq!(cluster.ports().len(), 2);
         let i = cluster.port("i").unwrap();
         assert_eq!(i.direction(), PortDirection::Input);
-        assert_eq!(
-            cluster.graph().process(i.process()).unwrap().name(),
-            "A"
-        );
+        assert_eq!(cluster.graph().process(i.process()).unwrap().name(), "A");
         assert_eq!(cluster.input_signature(), vec!["i"]);
         assert_eq!(cluster.output_signature(), vec!["o"]);
     }
@@ -372,7 +391,10 @@ mod tests {
     #[test]
     fn latency_estimate_falls_back_to_sum_without_ports() {
         let mut b = GraphBuilder::new("portless");
-        b.process("solo").latency(Interval::point(4)).build().unwrap();
+        b.process("solo")
+            .latency(Interval::point(4))
+            .build()
+            .unwrap();
         let cluster = Cluster::new("portless", b.finish().unwrap());
         assert_eq!(cluster.latency_estimate().unwrap(), Interval::point(4));
     }
@@ -381,7 +403,12 @@ mod tests {
     fn tagged_output_port_carries_tags() {
         let mut cluster = two_stage_cluster();
         cluster
-            .add_tagged_output_port("confirm", "B", Interval::point(1), TagSet::singleton("done"))
+            .add_tagged_output_port(
+                "confirm",
+                "B",
+                Interval::point(1),
+                TagSet::singleton("done"),
+            )
             .unwrap();
         let port = cluster.port("confirm").unwrap();
         assert_eq!(port.tags().len(), 1);

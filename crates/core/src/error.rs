@@ -94,7 +94,10 @@ impl fmt::Display for VariantError {
                 "variant choice does not select a cluster for interface `{interface}`"
             ),
             VariantError::InvalidConfigurationSet { process, detail } => {
-                write!(f, "invalid configuration set on process {process}: {detail}")
+                write!(
+                    f,
+                    "invalid configuration set on process {process}: {detail}"
+                )
             }
             VariantError::UnknownClusterInRule { rule, cluster } => write!(
                 f,

@@ -163,12 +163,13 @@ impl VariantSystem {
         let mut input_channels: BTreeMap<String, spi_model::ChannelId> = BTreeMap::new();
         let mut output_channels: BTreeMap<String, spi_model::ChannelId> = BTreeMap::new();
         for port in interface.input_ports() {
-            let name = attachment_ref
-                .input_binding(port)
-                .ok_or_else(|| VariantError::UnboundPort {
-                    interface: interface.name().to_string(),
-                    port: port.clone(),
-                })?;
+            let name =
+                attachment_ref
+                    .input_binding(port)
+                    .ok_or_else(|| VariantError::UnboundPort {
+                        interface: interface.name().to_string(),
+                        port: port.clone(),
+                    })?;
             let id = graph
                 .channel_by_name(name)
                 .ok_or_else(|| VariantError::UnknownName(name.to_string()))?
@@ -177,12 +178,13 @@ impl VariantSystem {
             input_channels.insert(port.clone(), id);
         }
         for port in interface.output_ports() {
-            let name = attachment_ref
-                .output_binding(port)
-                .ok_or_else(|| VariantError::UnboundPort {
-                    interface: interface.name().to_string(),
-                    port: port.clone(),
-                })?;
+            let name =
+                attachment_ref
+                    .output_binding(port)
+                    .ok_or_else(|| VariantError::UnboundPort {
+                        interface: interface.name().to_string(),
+                        port: port.clone(),
+                    })?;
             let id = graph
                 .channel_by_name(name)
                 .ok_or_else(|| VariantError::UnknownName(name.to_string()))?
@@ -300,14 +302,31 @@ mod tests {
     /// between CIn and COut.
     fn figure3_system(per_mode: bool) -> VariantSystem {
         let mut b = GraphBuilder::new("figure3");
-        let user = b.process("PUser").latency(Interval::point(1)).build().unwrap();
-        let source = b.process("PSrc").latency(Interval::point(1)).build().unwrap();
-        let sink = b.process("PSink").latency(Interval::point(1)).build().unwrap();
+        let user = b
+            .process("PUser")
+            .latency(Interval::point(1))
+            .build()
+            .unwrap();
+        let source = b
+            .process("PSrc")
+            .latency(Interval::point(1))
+            .build()
+            .unwrap();
+        let sink = b
+            .process("PSink")
+            .latency(Interval::point(1))
+            .build()
+            .unwrap();
         let cv = b.channel("CV", ChannelKind::Register).unwrap();
         let cin = b.channel("CIn", ChannelKind::Queue).unwrap();
         let cout = b.channel("COut", ChannelKind::Queue).unwrap();
-        b.connect_output_tagged(user, cv, Interval::point(1), spi_model::TagSet::singleton("V1"))
-            .unwrap();
+        b.connect_output_tagged(
+            user,
+            cv,
+            Interval::point(1),
+            spi_model::TagSet::singleton("V1"),
+        )
+        .unwrap();
         b.connect_output(source, cin, Interval::point(1)).unwrap();
         b.connect_input(cout, sink, Interval::point(1)).unwrap();
         let common = b.finish().unwrap();
@@ -327,21 +346,31 @@ mod tests {
             cluster
                 .add_input_port("i", "P", Interval::point(consume))
                 .unwrap();
-            cluster.add_output_port("o", "P", Interval::point(1)).unwrap();
+            cluster
+                .add_output_port("o", "P", Interval::point(1))
+                .unwrap();
             cluster
         };
 
         let mut interface = Interface::new("interface1");
         interface.add_input_port("i");
         interface.add_output_port("o");
-        let modes1: &[(u64, u64)] = if per_mode { &[(2, 2), (4, 4)] } else { &[(2, 2)] };
+        let modes1: &[(u64, u64)] = if per_mode {
+            &[(2, 2), (4, 4)]
+        } else {
+            &[(2, 2)]
+        };
         let modes2: &[(u64, u64)] = if per_mode {
             &[(5, 5), (6, 6), (7, 7)]
         } else {
             &[(5, 5)]
         };
-        interface.add_cluster(make_cluster("cluster1", modes1, 1)).unwrap();
-        interface.add_cluster(make_cluster("cluster2", modes2, 3)).unwrap();
+        interface
+            .add_cluster(make_cluster("cluster1", modes1, 1))
+            .unwrap();
+        interface
+            .add_cluster(make_cluster("cluster2", modes2, 3))
+            .unwrap();
 
         let mut system = VariantSystem::new(common);
         let att = system
@@ -377,11 +406,15 @@ mod tests {
         assert_eq!(set.len(), 2);
         assert_eq!(set.configuration("cluster1").unwrap().mode_count(), 1);
         assert_eq!(
-            set.configuration("cluster1").unwrap().reconfiguration_latency(),
+            set.configuration("cluster1")
+                .unwrap()
+                .reconfiguration_latency(),
             10
         );
         assert_eq!(
-            set.configuration("cluster2").unwrap().reconfiguration_latency(),
+            set.configuration("cluster2")
+                .unwrap()
+                .reconfiguration_latency(),
             25
         );
         assert!(abstracted.graph.validate().is_ok());

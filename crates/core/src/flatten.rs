@@ -1,0 +1,368 @@
+//! Repeated flattening without repeated work: the [`Flattener`].
+//!
+//! [`VariantSystem::flatten`] is correct but pays per call: it re-resolves every
+//! port binding by name, re-checks name uniqueness for every merged node
+//! (`O(nodes² )` scans), re-formats every prefixed node name and re-validates the
+//! whole result graph. Enumerating a variant space multiplies that by the number
+//! of combinations.
+//!
+//! A [`Flattener`] hoists all of that out of the loop. Building one:
+//!
+//! * validates the system once (graph, clusters, bindings, selection rules);
+//! * clones the common part once into a reusable **skeleton**;
+//! * pre-renames every cluster graph with its `"{interface}/{cluster}/"` prefix;
+//! * resolves every port binding to a skeleton [`ChannelId`] once;
+//! * proves all node-name sets disjoint once, unlocking the unchecked
+//!   [`SpiGraph::merge_disjoint`] fast path.
+//!
+//! Per variant, [`Flattener::flatten`] then only clones the skeleton and splices
+//! the chosen pre-renamed clusters into it. The `variant_space` benches measure
+//! this at several times the throughput of the legacy clone-per-variant path.
+//!
+//! ```rust
+//! use spi_variants::Flattener;
+//! # use spi_model::{ChannelKind, GraphBuilder, Interval};
+//! # use spi_variants::{Cluster, Interface, VariantSystem, VariantType};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut b = GraphBuilder::new("doc");
+//! # let pa = b.process("PA").latency(Interval::point(1)).build()?;
+//! # let cin = b.channel("CIn", ChannelKind::Queue)?;
+//! # let cout = b.channel("COut", ChannelKind::Queue)?;
+//! # b.connect_output(pa, cin, Interval::point(1))?;
+//! # let mut interface = Interface::new("if1");
+//! # interface.add_input_port("i");
+//! # interface.add_output_port("o");
+//! # for name in ["v1", "v2"] {
+//! #     let mut cb = GraphBuilder::new(name);
+//! #     cb.process("P").latency(Interval::point(2)).build()?;
+//! #     let mut cluster = Cluster::new(name, cb.finish()?);
+//! #     cluster.add_input_port("i", "P", Interval::point(1))?;
+//! #     cluster.add_output_port("o", "P", Interval::point(1))?;
+//! #     interface.add_cluster(cluster)?;
+//! # }
+//! # let mut system = VariantSystem::new(b.finish()?);
+//! # let att = system.attach_interface(interface, VariantType::Production)?;
+//! # system.bind_input(att, "i", "CIn")?;
+//! # system.bind_output(att, "o", "COut")?;
+//! let flattener = Flattener::new(&system)?;
+//! for choice in flattener.space().choices_iter() {
+//!     let graph = flattener.flatten(&choice)?;
+//!     assert!(graph.validate().is_ok());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use spi_model::{ChannelId, Interval, ProcessId, ProductionSpec, SpiGraph, Sym, TagSet};
+
+use crate::cluster::PortDirection;
+use crate::error::VariantError;
+use crate::space::{VariantChoice, VariantSpace};
+use crate::system::VariantSystem;
+use crate::Result;
+
+/// Pre-resolved wiring of one cluster port.
+#[derive(Debug, Clone)]
+struct PortPlan {
+    direction: PortDirection,
+    /// Channel of the skeleton the port is bound to (ids survive skeleton clones).
+    channel: ChannelId,
+    /// Process inside the pre-renamed cluster graph that drives the port.
+    process: ProcessId,
+    rate: Interval,
+    tags: TagSet,
+}
+
+/// One cluster of one interface, ready to splice.
+#[derive(Debug, Clone)]
+struct ClusterPlan {
+    cluster: Sym,
+    /// The cluster graph with `"{interface}/{cluster}/"` already prefixed onto
+    /// every node name; splicing is a rename-free disjoint merge.
+    renamed: SpiGraph,
+    ports: Vec<PortPlan>,
+}
+
+/// All clusters of one attached interface.
+#[derive(Debug, Clone)]
+struct AttachmentPlan {
+    interface: Sym,
+    clusters: Vec<ClusterPlan>,
+}
+
+/// Reusable flattening machine for one [`VariantSystem`]; see the module docs.
+#[derive(Debug, Clone)]
+pub struct Flattener {
+    skeleton: SpiGraph,
+    space: VariantSpace,
+    plans: Vec<AttachmentPlan>,
+}
+
+impl Flattener {
+    /// Builds the flattener: validates `system`, clones the common skeleton and
+    /// precomputes every splice plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns any validation error of the system, or
+    /// [`VariantError::Validation`] if node names of different clusters (or of a
+    /// cluster and the common part) would collide after prefixing — the same
+    /// collisions the checked per-variant merge would report, found once instead
+    /// of per combination.
+    pub fn new(system: &VariantSystem) -> Result<Self> {
+        system.validate()?;
+        let skeleton = system.common().clone();
+
+        // Every node name that may appear in a flattened graph, mapped to the
+        // attachment that contributes it (usize::MAX = the common part). Only
+        // names from *different* origins can co-occur in one combination.
+        let mut origins: HashMap<String, usize> = skeleton
+            .processes()
+            .map(|p| (p.name().to_string(), usize::MAX))
+            .chain(
+                skeleton
+                    .channels()
+                    .map(|c| (c.name().to_string(), usize::MAX)),
+            )
+            .collect();
+
+        let mut plans = Vec::with_capacity(system.attachment_count());
+        for (attachment_index, attachment) in system.attachments().iter().enumerate() {
+            let interface = attachment.interface();
+            let mut clusters = Vec::with_capacity(interface.cluster_count());
+            for cluster in interface.clusters() {
+                let prefix = format!("{}/{}/", interface.name(), cluster.name());
+                let mut renamed = SpiGraph::new(cluster.graph().name());
+                let rename_map = renamed.merge(cluster.graph(), &prefix)?;
+
+                for node_name in renamed
+                    .processes()
+                    .map(|p| p.name())
+                    .chain(renamed.channels().map(|c| c.name()))
+                {
+                    match origins.get(node_name) {
+                        Some(&origin) if origin != attachment_index => {
+                            return Err(VariantError::Validation(format!(
+                                "node name `{node_name}` of cluster `{}` collides with {}",
+                                cluster.name(),
+                                if origin == usize::MAX {
+                                    "the common part".to_string()
+                                } else {
+                                    format!("interface `{}`", plans_name(system, origin))
+                                }
+                            )));
+                        }
+                        _ => {
+                            origins.insert(node_name.to_string(), attachment_index);
+                        }
+                    }
+                }
+
+                let mut ports = Vec::with_capacity(cluster.ports().len());
+                for port in cluster.ports() {
+                    let binding = match port.direction() {
+                        PortDirection::Input => attachment.input_binding(port.name()),
+                        PortDirection::Output => attachment.output_binding(port.name()),
+                    };
+                    let Some(channel_name) = binding else {
+                        return Err(VariantError::UnboundPort {
+                            interface: interface.name().to_string(),
+                            port: port.name().to_string(),
+                        });
+                    };
+                    let channel = skeleton
+                        .channel_by_name(channel_name)
+                        .ok_or_else(|| VariantError::UnknownName(channel_name.to_string()))?
+                        .id();
+                    let process = rename_map.processes[&port.process()];
+                    ports.push(PortPlan {
+                        direction: port.direction(),
+                        channel,
+                        process,
+                        rate: port.rate(),
+                        tags: port.tags().clone(),
+                    });
+                }
+
+                clusters.push(ClusterPlan {
+                    cluster: Sym::intern(cluster.name()),
+                    renamed,
+                    ports,
+                });
+            }
+            plans.push(AttachmentPlan {
+                interface: Sym::intern(interface.name()),
+                clusters,
+            });
+        }
+
+        Ok(Flattener {
+            skeleton,
+            space: system.variant_space(),
+            plans,
+        })
+    }
+
+    /// The variant space of the underlying system (cached at construction).
+    pub fn space(&self) -> &VariantSpace {
+        &self.space
+    }
+
+    /// The common-part skeleton every flattened graph starts from.
+    pub fn skeleton(&self) -> &SpiGraph {
+        &self.skeleton
+    }
+
+    /// Flattens one combination into a fresh graph.
+    ///
+    /// # Errors
+    ///
+    /// * [`VariantError::IncompleteChoice`] if `choice` misses an interface;
+    /// * [`VariantError::UnknownName`] if it names a cluster the interface lacks.
+    pub fn flatten(&self, choice: &VariantChoice) -> Result<SpiGraph> {
+        let mut graph = SpiGraph::new("");
+        self.flatten_into(choice, &mut graph)?;
+        Ok(graph)
+    }
+
+    /// Flattens one combination into `graph`, replacing its previous contents —
+    /// the allocation-reusing form of [`flatten`](Self::flatten) for tight
+    /// enumeration loops.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`flatten`](Self::flatten).
+    pub fn flatten_into(&self, choice: &VariantChoice, graph: &mut SpiGraph) -> Result<()> {
+        graph.clone_from(&self.skeleton);
+        for plan in &self.plans {
+            let cluster = choice.cluster_sym_for(plan.interface).ok_or_else(|| {
+                VariantError::IncompleteChoice(plan.interface.as_str().to_string())
+            })?;
+            let cluster_plan = plan
+                .clusters
+                .iter()
+                .find(|c| c.cluster == cluster)
+                .ok_or_else(|| VariantError::UnknownName(cluster.as_str().to_string()))?;
+            let map = graph.merge_disjoint(&cluster_plan.renamed);
+            for port in &cluster_plan.ports {
+                let process = map.processes[&port.process];
+                match port.direction {
+                    PortDirection::Input => {
+                        graph.set_reader(port.channel, process)?;
+                        graph
+                            .process_mut(process)
+                            .expect("process was just merged")
+                            .set_default_consumption(port.channel, port.rate);
+                    }
+                    PortDirection::Output => {
+                        graph.set_writer(port.channel, process)?;
+                        graph
+                            .process_mut(process)
+                            .expect("process was just merged")
+                            .set_default_production(
+                                port.channel,
+                                ProductionSpec::tagged(port.rate, port.tags.clone()),
+                            );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flattens the combination at `index` of the variant space (mixed-radix
+    /// order, matching [`VariantSpace::choice_at`]) — the entry point for
+    /// sharded/strided exploration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariantError::UnknownName`] if `index` is out of range, else as
+    /// [`flatten`](Self::flatten).
+    pub fn flatten_at(&self, index: usize) -> Result<(VariantChoice, SpiGraph)> {
+        let choice = self
+            .space
+            .choice_at(index)
+            .ok_or_else(|| VariantError::UnknownName(format!("variant index {index}")))?;
+        let graph = self.flatten(&choice)?;
+        Ok((choice, graph))
+    }
+}
+
+fn plans_name(system: &VariantSystem, attachment_index: usize) -> String {
+    system
+        .attachments()
+        .get(attachment_index)
+        .map(|a| a.interface().name().to_string())
+        .unwrap_or_else(|| format!("attachment#{attachment_index}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::tests::figure2_like_system;
+
+    #[test]
+    fn flattener_matches_legacy_flatten_on_every_choice() {
+        let system = figure2_like_system();
+        let flattener = Flattener::new(&system).unwrap();
+        for choice in system.variant_space().choices_iter() {
+            let legacy = system.flatten(&choice).unwrap();
+            let fast = flattener.flatten(&choice).unwrap();
+            assert_eq!(legacy, fast);
+            assert!(fast.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn flatten_into_reuses_the_buffer() {
+        let system = figure2_like_system();
+        let flattener = Flattener::new(&system).unwrap();
+        let mut scratch = SpiGraph::new("");
+        let mut counts = Vec::new();
+        for choice in flattener.space().choices_iter() {
+            flattener.flatten_into(&choice, &mut scratch).unwrap();
+            counts.push(scratch.process_count());
+        }
+        assert_eq!(counts, vec![2 + 2, 2 + 3]);
+    }
+
+    #[test]
+    fn flatten_at_decodes_the_space_index() {
+        let system = figure2_like_system();
+        let flattener = Flattener::new(&system).unwrap();
+        let (choice0, graph0) = flattener.flatten_at(0).unwrap();
+        assert_eq!(choice0.cluster_for("interface1"), Some("cluster1"));
+        assert_eq!(graph0.process_count(), 4);
+        assert!(matches!(
+            flattener.flatten_at(99),
+            Err(VariantError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn incomplete_and_unknown_choices_are_rejected() {
+        let system = figure2_like_system();
+        let flattener = Flattener::new(&system).unwrap();
+        assert!(matches!(
+            flattener.flatten(&VariantChoice::new()),
+            Err(VariantError::IncompleteChoice(_))
+        ));
+        assert!(matches!(
+            flattener.flatten(&VariantChoice::new().with("interface1", "ghost")),
+            Err(VariantError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn construction_validates_the_system() {
+        let mut system = figure2_like_system();
+        let id = system.attachment_by_name("interface1").unwrap();
+        system.attachment_mut(id).unwrap().clear_bindings_for_test();
+        assert!(matches!(
+            Flattener::new(&system),
+            Err(VariantError::UnboundPort { .. })
+        ));
+    }
+}

@@ -216,10 +216,17 @@ mod tests {
 
     fn simple_cluster(name: &str, latency: u64) -> Cluster {
         let mut b = GraphBuilder::new(name);
-        b.process("P").latency(Interval::point(latency)).build().unwrap();
+        b.process("P")
+            .latency(Interval::point(latency))
+            .build()
+            .unwrap();
         let mut cluster = Cluster::new(name, b.finish().unwrap());
-        cluster.add_input_port("i", "P", Interval::point(1)).unwrap();
-        cluster.add_output_port("o", "P", Interval::point(1)).unwrap();
+        cluster
+            .add_input_port("i", "P", Interval::point(1))
+            .unwrap();
+        cluster
+            .add_output_port("o", "P", Interval::point(1))
+            .unwrap();
         cluster
     }
 
@@ -227,8 +234,12 @@ mod tests {
         let mut interface = Interface::new("interface1");
         interface.add_input_port("i");
         interface.add_output_port("o");
-        interface.add_cluster(simple_cluster("cluster1", 2)).unwrap();
-        interface.add_cluster(simple_cluster("cluster2", 5)).unwrap();
+        interface
+            .add_cluster(simple_cluster("cluster1", 2))
+            .unwrap();
+        interface
+            .add_cluster(simple_cluster("cluster2", 5))
+            .unwrap();
         interface
     }
 
@@ -242,7 +253,9 @@ mod tests {
     #[test]
     fn duplicate_cluster_names_rejected() {
         let mut interface = interface_with_two_variants();
-        let err = interface.add_cluster(simple_cluster("cluster1", 9)).unwrap_err();
+        let err = interface
+            .add_cluster(simple_cluster("cluster1", 9))
+            .unwrap_err();
         assert!(matches!(err, VariantError::DuplicateCluster(_)));
     }
 

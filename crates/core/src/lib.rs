@@ -73,9 +73,11 @@
 //!     .with_rule(SelectionRule::tag_equals("rho2", "CV", "V2", "cluster2")))?;
 //! system.validate()?;
 //!
-//! // Deriving the two applications: one flat SPI graph per variant.
+//! // Deriving the two applications: one flat SPI graph per variant. The space is
+//! // enumerated lazily — `choices_iter` never materializes the cross product.
 //! assert_eq!(system.variant_space().count(), 2);
-//! let app1 = system.flatten(&system.variant_space().choices()[0])?;
+//! let first = system.variant_space().choices_iter().next().unwrap();
+//! let app1 = system.flatten(&first)?;
 //! assert!(app1.process_by_name("interface1/cluster1/P").is_some());
 //! # Ok(())
 //! # }
@@ -88,6 +90,7 @@ pub mod cluster;
 pub mod configuration;
 pub mod error;
 pub mod extraction;
+pub mod flatten;
 pub mod interface;
 pub mod reconfiguration;
 pub mod selection;
@@ -99,10 +102,11 @@ pub use cluster::{Cluster, Port, PortDirection};
 pub use configuration::{Configuration, ConfigurationMap, ConfigurationSet};
 pub use error::VariantError;
 pub use extraction::{AbstractedSystem, ExtractionPolicy};
+pub use flatten::Flattener;
 pub use interface::Interface;
 pub use reconfiguration::{ReconfigurationEvent, ReconfigurationTracker};
 pub use selection::{ClusterSelection, SelectionRule};
-pub use space::{VariantChoice, VariantSpace};
+pub use space::{ChoicesIter, VariantChoice, VariantSpace};
 pub use system::{AttachmentId, VariantSystem};
 pub use variant::VariantType;
 

@@ -131,7 +131,11 @@ mod tests {
     fn tracker() -> (ReconfigurationTracker, ProcessId) {
         let process = ProcessId::new(7);
         let set = ConfigurationSet::new()
-            .with_configuration(Configuration::new("conf1", [ModeId::new(0), ModeId::new(1)], 10))
+            .with_configuration(Configuration::new(
+                "conf1",
+                [ModeId::new(0), ModeId::new(1)],
+                10,
+            ))
             .with_configuration(Configuration::new("conf2", [ModeId::new(2)], 25));
         let mut map = ConfigurationMap::new();
         map.insert(process, set);

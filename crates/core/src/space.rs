@@ -1,17 +1,34 @@
 //! The variant space of a system: every combination of cluster choices.
 //!
 //! The variant selections of the different interfaces of a system may be related or
-//! independent (Section 1 of the paper). [`VariantSpace`] enumerates the independent
+//! independent (Section 1 of the paper). [`VariantSpace`] describes the independent
 //! cross product; related selections can be expressed by filtering the enumeration.
+//!
+//! The cross product is the object that explodes combinatorially (`k` interfaces of
+//! `n` variants each span `n^k` combinations), so the space never materializes it:
+//! [`VariantSpace::choices_iter`] walks the product lazily as a mixed-radix counter
+//! with `O(interfaces)` state, and [`Iterator::nth`] jumps in `O(interfaces)` time,
+//! which makes strided sharding (`iter.skip(s).step_by(k)`) cheap. The eager
+//! [`VariantSpace::choices`] survives as a thin `collect()` wrapper for the paper-scale
+//! fidelity tests.
+//!
+//! Interface and cluster names are interned [`Sym`] symbols, so a [`VariantChoice`] is
+//! a compact vector of `u32` pairs rather than a string map.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
-/// A complete choice: one cluster name per interface name.
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+use spi_model::Sym;
+
+/// A complete choice: one cluster per interface.
+///
+/// Stored as interned symbol pairs sorted by interface *name* (matching the
+/// historical `BTreeMap<String, String>` iteration order), so equality and
+/// lookups never touch string contents beyond the one-time interning.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VariantChoice {
-    selections: BTreeMap<String, String>,
+    /// `(interface, cluster)` symbol pairs, sorted by interface name.
+    selections: Vec<(Sym, Sym)>,
 }
 
 impl VariantChoice {
@@ -21,26 +38,71 @@ impl VariantChoice {
     }
 
     /// Selects `cluster` for `interface`, returning `self` for chaining.
-    pub fn with(mut self, interface: impl Into<String>, cluster: impl Into<String>) -> Self {
-        self.selections.insert(interface.into(), cluster.into());
+    pub fn with(mut self, interface: impl AsRef<str>, cluster: impl AsRef<str>) -> Self {
+        self.select(interface, cluster);
         self
     }
 
     /// Selects `cluster` for `interface`.
-    pub fn select(&mut self, interface: impl Into<String>, cluster: impl Into<String>) {
-        self.selections.insert(interface.into(), cluster.into());
+    pub fn select(&mut self, interface: impl AsRef<str>, cluster: impl AsRef<str>) {
+        self.select_syms(
+            Sym::intern(interface.as_ref()),
+            Sym::intern(cluster.as_ref()),
+        );
+    }
+
+    /// Selects `cluster` for `interface`, both already interned.
+    pub fn select_syms(&mut self, interface: Sym, cluster: Sym) {
+        match self.position(interface.as_str()) {
+            Ok(index) => self.selections[index].1 = cluster,
+            Err(index) => self.selections.insert(index, (interface, cluster)),
+        }
+    }
+
+    /// Binary-searches the insertion point of `interface` by name.
+    fn position(&self, interface: &str) -> Result<usize, usize> {
+        self.selections
+            .binary_search_by(|(existing, _)| existing.as_str().cmp(interface))
+    }
+
+    /// Wraps a selection vector that is already sorted by interface name with no
+    /// duplicates — the decode fast path of [`VariantSpace::choice_at`].
+    pub(crate) fn from_sorted_pairs(selections: Vec<(Sym, Sym)>) -> Self {
+        debug_assert!(
+            selections
+                .windows(2)
+                .all(|w| w[0].0.as_str() < w[1].0.as_str()),
+            "selection vector must be strictly sorted by interface name"
+        );
+        VariantChoice { selections }
     }
 
     /// The cluster chosen for `interface`, if any.
-    pub fn cluster_for(&self, interface: &str) -> Option<&str> {
-        self.selections.get(interface).map(String::as_str)
+    pub fn cluster_for(&self, interface: &str) -> Option<&'static str> {
+        self.position(interface)
+            .ok()
+            .map(|index| self.selections[index].1.as_str())
+    }
+
+    /// The cluster symbol chosen for `interface`, if any (no string comparison when
+    /// the interface symbol is already at hand — used by the flattening hot path).
+    pub fn cluster_sym_for(&self, interface: Sym) -> Option<Sym> {
+        self.selections
+            .iter()
+            .find(|(existing, _)| *existing == interface)
+            .map(|(_, cluster)| *cluster)
     }
 
     /// Iterates over `(interface, cluster)` pairs in interface-name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &'static str)> + '_ {
         self.selections
             .iter()
-            .map(|(i, c)| (i.as_str(), c.as_str()))
+            .map(|(interface, cluster)| (interface.as_str(), cluster.as_str()))
+    }
+
+    /// Iterates over `(interface, cluster)` symbol pairs in interface-name order.
+    pub fn iter_syms(&self) -> impl Iterator<Item = (Sym, Sym)> + '_ {
+        self.selections.iter().copied()
     }
 
     /// Number of interfaces covered by this choice.
@@ -54,10 +116,24 @@ impl VariantChoice {
     }
 }
 
+impl PartialOrd for VariantChoice {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VariantChoice {
+    /// Lexicographic over the `(interface, cluster)` *name* pairs, matching the
+    /// ordering of the historical `BTreeMap<String, String>` representation.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.iter().cmp(other.iter())
+    }
+}
+
 impl fmt::Display for VariantChoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (index, (interface, cluster)) in self.selections.iter().enumerate() {
+        for (index, (interface, cluster)) in self.iter().enumerate() {
             if index > 0 {
                 write!(f, ", ")?;
             }
@@ -69,69 +145,224 @@ impl fmt::Display for VariantChoice {
 
 impl FromIterator<(String, String)> for VariantChoice {
     fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
-        VariantChoice {
-            selections: iter.into_iter().collect(),
+        let mut choice = VariantChoice::new();
+        for (interface, cluster) in iter {
+            choice.select(&interface, &cluster);
         }
+        choice
+    }
+}
+
+impl FromIterator<(Sym, Sym)> for VariantChoice {
+    fn from_iter<I: IntoIterator<Item = (Sym, Sym)>>(iter: I) -> Self {
+        let mut choice = VariantChoice::new();
+        for (interface, cluster) in iter {
+            choice.select_syms(interface, cluster);
+        }
+        choice
     }
 }
 
 /// The cross product of the cluster choices of every interface of a system.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VariantSpace {
-    axes: Vec<(String, Vec<String>)>,
+    axes: Vec<(Sym, Vec<Sym>)>,
+    /// Axis indices in interface-*name* order, shadowed duplicates removed
+    /// (derived from `axes` at construction): lets [`choice_at`](Self::choice_at)
+    /// emit the sorted selection vector of a [`VariantChoice`] directly, with no
+    /// per-element string comparison or insertion sort on the decode hot path.
+    sorted_axes: Vec<u32>,
 }
 
 impl VariantSpace {
-    /// Creates a space from `(interface, clusters)` axes.
+    /// Creates a space from `(interface, clusters)` axes, interning every name.
     pub fn new(axes: Vec<(String, Vec<String>)>) -> Self {
-        VariantSpace { axes }
+        Self::from_syms(
+            axes.into_iter()
+                .map(|(interface, clusters)| {
+                    (
+                        Sym::intern(&interface),
+                        clusters.iter().map(|c| Sym::intern(c)).collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Creates a space from already-interned `(interface, clusters)` axes.
+    pub fn from_syms(axes: Vec<(Sym, Vec<Sym>)>) -> Self {
+        let mut order: Vec<u32> = (0..axes.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            axes[a as usize]
+                .0
+                .as_str()
+                .cmp(axes[b as usize].0.as_str())
+                .then(a.cmp(&b))
+        });
+        // Duplicate interface names: the historical map-based choice kept the value
+        // of the *last* axis inserted, so earlier same-name axes are shadowed.
+        let mut sorted_axes: Vec<u32> = Vec::with_capacity(order.len());
+        for index in order {
+            match sorted_axes.last_mut() {
+                Some(last) if axes[*last as usize].0 == axes[index as usize].0 => *last = index,
+                _ => sorted_axes.push(index),
+            }
+        }
+        VariantSpace { axes, sorted_axes }
     }
 
     /// The `(interface, clusters)` axes in attachment order.
-    pub fn axes(&self) -> &[(String, Vec<String>)] {
+    pub fn axes(&self) -> &[(Sym, Vec<Sym>)] {
         &self.axes
     }
 
     /// Number of variant combinations (product of the per-interface counts; an
-    /// interface with no clusters contributes a factor of zero).
+    /// interface with no clusters contributes a factor of zero, and a space with no
+    /// axes spans no combination).
+    ///
+    /// Saturates at `usize::MAX` for spaces too large to index.
     pub fn count(&self) -> usize {
         if self.axes.is_empty() {
             return 0;
         }
-        self.axes.iter().map(|(_, clusters)| clusters.len()).product()
+        self.axes
+            .iter()
+            .map(|(_, clusters)| clusters.len())
+            .try_fold(1usize, |product, len| product.checked_mul(len))
+            .unwrap_or(usize::MAX)
     }
 
-    /// Enumerates every combination as a [`VariantChoice`] (lexicographic in axis
-    /// order).
+    /// Decodes the combination at `index` (lexicographic in axis order, last axis
+    /// varying fastest) in `O(interfaces)` time, without enumerating predecessors.
+    pub fn choice_at(&self, index: usize) -> Option<VariantChoice> {
+        if index >= self.count() {
+            return None;
+        }
+        // Mixed-radix digits in axis order, last axis least significant.
+        let mut digits = vec![0u32; self.axes.len()];
+        let mut remainder = index;
+        for (digit, (_, clusters)) in digits.iter_mut().zip(&self.axes).rev() {
+            *digit = (remainder % clusters.len()) as u32;
+            remainder /= clusters.len();
+        }
+        // Emit directly in the precomputed name order — no sorting per choice.
+        Some(VariantChoice::from_sorted_pairs(
+            self.sorted_axes
+                .iter()
+                .map(|&axis| {
+                    let (interface, clusters) = &self.axes[axis as usize];
+                    (*interface, clusters[digits[axis as usize] as usize])
+                })
+                .collect(),
+        ))
+    }
+
+    /// Lazily enumerates every combination as a [`VariantChoice`], in the same
+    /// lexicographic order as the historical eager [`choices`](Self::choices).
+    ///
+    /// The iterator keeps `O(interfaces)` state — enumerating a `2^20`-combination
+    /// space allocates per yielded choice, never for the whole product — and
+    /// implements [`ExactSizeIterator`], [`DoubleEndedIterator`] and an
+    /// `O(interfaces)` [`Iterator::nth`], so strided shards
+    /// (`choices_iter().skip(s).step_by(k)`) skip without decoding intermediate
+    /// combinations.
+    ///
+    /// ```rust
+    /// use spi_variants::VariantSpace;
+    ///
+    /// let space = VariantSpace::new(vec![
+    ///     ("if1".into(), vec!["a".into(), "b".into()]),
+    ///     ("if2".into(), vec!["x".into(), "y".into(), "z".into()]),
+    /// ]);
+    /// assert_eq!(space.choices_iter().len(), 6);
+    /// let third = space.choices_iter().nth(2).unwrap();
+    /// assert_eq!(third.cluster_for("if2"), Some("z"));
+    /// // Shard 1 of 2, strided: indices 1, 3, 5.
+    /// assert_eq!(space.choices_iter().skip(1).step_by(2).count(), 3);
+    /// ```
+    pub fn choices_iter(&self) -> ChoicesIter<'_> {
+        ChoicesIter {
+            space: self,
+            next: 0,
+            end: self.count(),
+        }
+    }
+
+    /// Eagerly enumerates every combination (lexicographic in axis order).
+    ///
+    /// Deprecated in spirit: this materializes the full cross product and is kept as
+    /// a thin `collect()` of [`choices_iter`](Self::choices_iter) for the
+    /// paper-fidelity tests and small spaces. New code should iterate lazily.
     pub fn choices(&self) -> Vec<VariantChoice> {
-        let mut result = vec![VariantChoice::new()];
-        for (interface, clusters) in &self.axes {
-            let mut next = Vec::with_capacity(result.len() * clusters.len());
-            for partial in &result {
-                for cluster in clusters {
-                    let mut extended = partial.clone();
-                    extended.select(interface.clone(), cluster.clone());
-                    next.push(extended);
-                }
-            }
-            result = next;
-        }
-        if self.axes.is_empty() {
-            Vec::new()
-        } else {
-            result
-        }
+        self.choices_iter().collect()
     }
 }
 
 impl fmt::Display for VariantSpace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (interface, clusters) in &self.axes {
-            writeln!(f, "{interface}: {}", clusters.join(" | "))?;
+            let names: Vec<&str> = clusters.iter().map(|c| c.as_str()).collect();
+            writeln!(f, "{interface}: {}", names.join(" | "))?;
         }
         write!(f, "total combinations: {}", self.count())
     }
 }
+
+/// Lazy mixed-radix enumeration of a [`VariantSpace`]; see
+/// [`VariantSpace::choices_iter`].
+#[derive(Debug, Clone)]
+pub struct ChoicesIter<'a> {
+    space: &'a VariantSpace,
+    /// Index of the next combination to yield.
+    next: usize,
+    /// One past the last combination to yield.
+    end: usize,
+}
+
+impl Iterator for ChoicesIter<'_> {
+    type Item = VariantChoice;
+
+    fn next(&mut self) -> Option<VariantChoice> {
+        if self.next >= self.end {
+            return None;
+        }
+        let choice = self.space.choice_at(self.next);
+        self.next += 1;
+        choice
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.end - self.next;
+        (remaining, Some(remaining))
+    }
+
+    fn nth(&mut self, n: usize) -> Option<VariantChoice> {
+        self.next = self.next.saturating_add(n).min(self.end);
+        self.next()
+    }
+
+    fn count(self) -> usize {
+        self.end - self.next
+    }
+
+    fn last(mut self) -> Option<VariantChoice> {
+        self.next_back()
+    }
+}
+
+impl DoubleEndedIterator for ChoicesIter<'_> {
+    fn next_back(&mut self) -> Option<VariantChoice> {
+        if self.next >= self.end {
+            return None;
+        }
+        self.end -= 1;
+        self.space.choice_at(self.end)
+    }
+}
+
+impl ExactSizeIterator for ChoicesIter<'_> {}
+
+impl std::iter::FusedIterator for ChoicesIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -166,8 +397,60 @@ mod tests {
     }
 
     #[test]
+    fn lazy_iterator_agrees_with_eager_enumeration() {
+        let space = space();
+        let eager = space.choices();
+        let lazy: Vec<VariantChoice> = space.choices_iter().collect();
+        assert_eq!(eager, lazy);
+        assert_eq!(space.choices_iter().len(), eager.len());
+    }
+
+    #[test]
+    fn nth_jumps_without_walking() {
+        let space = space();
+        let eager = space.choices();
+        for start in 0..6 {
+            let mut iter = space.choices_iter();
+            assert_eq!(iter.nth(start).as_ref(), Some(&eager[start]));
+            // The iterator continues right after the jump target.
+            if start + 1 < 6 {
+                assert_eq!(iter.next().as_ref(), Some(&eager[start + 1]));
+            } else {
+                assert_eq!(iter.next(), None);
+            }
+        }
+        assert_eq!(space.choices_iter().nth(6), None);
+    }
+
+    #[test]
+    fn strided_shards_partition_the_space() {
+        let space = space();
+        let eager = space.choices();
+        let shards = 4usize;
+        let mut recombined: Vec<VariantChoice> = Vec::new();
+        for shard in 0..shards {
+            recombined.extend(space.choices_iter().skip(shard).step_by(shards));
+        }
+        recombined.sort();
+        let mut expected = eager.clone();
+        expected.sort();
+        assert_eq!(recombined, expected);
+    }
+
+    #[test]
+    fn double_ended_enumeration_reverses() {
+        let space = space();
+        let mut forward = space.choices();
+        forward.reverse();
+        let backward: Vec<VariantChoice> = space.choices_iter().rev().collect();
+        assert_eq!(forward, backward);
+        assert_eq!(space.choices_iter().last(), forward.first().cloned());
+    }
+
+    #[test]
     fn empty_space_has_no_choices() {
         assert!(VariantSpace::default().choices().is_empty());
+        assert_eq!(VariantSpace::default().choices_iter().count(), 0);
     }
 
     #[test]
@@ -178,6 +461,24 @@ mod tests {
         ]);
         assert_eq!(space.count(), 0);
         assert!(space.choices().is_empty());
+        assert_eq!(space.choices_iter().count(), 0);
+        assert_eq!(space.choice_at(0), None);
+    }
+
+    #[test]
+    fn large_space_is_enumerable_without_materialization() {
+        // 2^20 combinations: the eager path would allocate a million choices; the lazy
+        // path touches exactly the ones asked for.
+        let axes: Vec<(String, Vec<String>)> = (0..20)
+            .map(|i| (format!("wide_if{i}"), vec!["a".into(), "b".into()]))
+            .collect();
+        let space = VariantSpace::new(axes);
+        assert_eq!(space.count(), 1 << 20);
+        assert_eq!(space.choices_iter().len(), 1 << 20);
+        let last = space.choices_iter().nth((1 << 20) - 1).unwrap();
+        assert!(last.iter().all(|(_, cluster)| cluster == "b"));
+        let first = space.choices_iter().next().unwrap();
+        assert!(first.iter().all(|(_, cluster)| cluster == "a"));
     }
 
     #[test]
@@ -189,5 +490,24 @@ mod tests {
         assert_eq!(choice.to_string(), "{if1 = a, if2 = x}");
         let pairs: Vec<_> = choice.iter().collect();
         assert_eq!(pairs, vec![("if1", "a"), ("if2", "x")]);
+    }
+
+    #[test]
+    fn select_replaces_existing_interface_entry() {
+        let mut choice = VariantChoice::new().with("if1", "a");
+        choice.select("if1", "b");
+        assert_eq!(choice.len(), 1);
+        assert_eq!(choice.cluster_for("if1"), Some("b"));
+    }
+
+    #[test]
+    fn sym_accessors_match_string_accessors() {
+        let choice = VariantChoice::new().with("if1", "a").with("if2", "x");
+        let if1 = Sym::intern("if1");
+        assert_eq!(choice.cluster_sym_for(if1).unwrap().as_str(), "a");
+        assert_eq!(choice.cluster_sym_for(Sym::intern("ghost")), None);
+        let pairs: Vec<(Sym, Sym)> = choice.iter_syms().collect();
+        let rebuilt: VariantChoice = pairs.into_iter().collect();
+        assert_eq!(rebuilt, choice);
     }
 }

@@ -103,6 +103,13 @@ impl Attachment {
             .iter()
             .map(|(p, c)| (p.as_str(), c.as_str()))
     }
+
+    /// Drops every binding (test helper for exercising validation failures).
+    #[cfg(test)]
+    pub(crate) fn clear_bindings_for_test(&mut self) {
+        self.input_bindings.clear();
+        self.output_bindings.clear();
+    }
 }
 
 /// A system with function variants: a common SPI graph plus attached interfaces.
@@ -177,7 +184,12 @@ impl VariantSystem {
         port: impl AsRef<str>,
         channel: impl AsRef<str>,
     ) -> Result<()> {
-        self.bind(attachment, port.as_ref(), channel.as_ref(), PortDirection::Input)
+        self.bind(
+            attachment,
+            port.as_ref(),
+            channel.as_ref(),
+            PortDirection::Input,
+        )
     }
 
     /// Binds an output port of the attached interface to a channel of the common graph.
@@ -191,7 +203,12 @@ impl VariantSystem {
         port: impl AsRef<str>,
         channel: impl AsRef<str>,
     ) -> Result<()> {
-        self.bind(attachment, port.as_ref(), channel.as_ref(), PortDirection::Output)
+        self.bind(
+            attachment,
+            port.as_ref(),
+            channel.as_ref(),
+            PortDirection::Output,
+        )
     }
 
     fn bind(
@@ -284,16 +301,16 @@ impl VariantSystem {
 
     /// The variant space spanned by all attached interfaces.
     pub fn variant_space(&self) -> VariantSpace {
-        VariantSpace::new(
+        VariantSpace::from_syms(
             self.attachments
                 .iter()
                 .map(|a| {
                     (
-                        a.interface.name().to_string(),
+                        spi_model::Sym::intern(a.interface.name()),
                         a.interface
                             .clusters()
                             .iter()
-                            .map(|c| c.name().to_string())
+                            .map(|c| spi_model::Sym::intern(c.name()))
                             .collect(),
                     )
                 })
@@ -404,14 +421,20 @@ impl VariantSystem {
     /// Flattens every combination of the variant space, pairing each choice with its
     /// single-variant graph.
     ///
+    /// Builds a [`crate::Flattener`] once and splices per-variant clusters into the
+    /// shared common-graph skeleton, instead of re-cloning and re-validating the full
+    /// graph per combination as [`flatten`](Self::flatten) does.
+    ///
     /// # Errors
     ///
-    /// Propagates the first error from [`flatten`](Self::flatten).
+    /// Propagates validation errors found while building the flattener and the first
+    /// per-combination splice error.
     pub fn flatten_all(&self) -> Result<Vec<(VariantChoice, SpiGraph)>> {
-        self.variant_space()
-            .choices()
-            .into_iter()
-            .map(|choice| self.flatten(&choice).map(|graph| (choice, graph)))
+        let flattener = crate::flatten::Flattener::new(self)?;
+        flattener
+            .space()
+            .choices_iter()
+            .map(|choice| flattener.flatten(&choice).map(|graph| (choice, graph)))
             .collect()
     }
 
@@ -479,8 +502,7 @@ impl fmt::Display for VariantSystem {
             writeln!(
                 f,
                 "  {} [{}]",
-                attachment.interface,
-                attachment.variant_type
+                attachment.interface, attachment.variant_type
             )?;
         }
         write!(f, "variant combinations: {}", self.variant_space().count())
@@ -488,7 +510,7 @@ impl fmt::Display for VariantSystem {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::selection::SelectionRule;
     use spi_model::{ChannelKind, GraphBuilder, Interval};
@@ -516,9 +538,7 @@ mod tests {
                     .build()
                     .unwrap();
                 if let Some(prev) = prev {
-                    let c = cb
-                        .channel(format!("c{stage}"), ChannelKind::Queue)
-                        .unwrap();
+                    let c = cb.channel(format!("c{stage}"), ChannelKind::Queue).unwrap();
                     cb.connect_output(prev, c, Interval::point(1)).unwrap();
                     cb.connect_input(c, p, Interval::point(1)).unwrap();
                 }
@@ -526,7 +546,9 @@ mod tests {
             }
             let graph = cb.finish().unwrap();
             let mut cluster = Cluster::new(name, graph);
-            cluster.add_input_port("i", "P0", Interval::point(1)).unwrap();
+            cluster
+                .add_input_port("i", "P0", Interval::point(1))
+                .unwrap();
             cluster
                 .add_output_port("o", format!("P{}", stages - 1).as_str(), Interval::point(1))
                 .unwrap();
@@ -616,7 +638,10 @@ mod tests {
         // The spliced processes are wired to the attachment channels.
         let c_in = app1.channel_by_name("C_in").unwrap().id();
         let reader = app1.reader_of(c_in).unwrap();
-        assert_eq!(app1.process(reader).unwrap().name(), "interface1/cluster1/P0");
+        assert_eq!(
+            app1.process(reader).unwrap().name(),
+            "interface1/cluster1/P0"
+        );
         let c_mid = app1.channel_by_name("C_mid").unwrap().id();
         assert!(app1.writer_of(c_mid).is_some());
         assert!(app1.validate().is_ok());

@@ -1,11 +1,15 @@
-//! E6: the design-time claim of Section 5 — benchmark the design-time accounting and the
-//! joint optimization as the number of variants per set grows.
+//! E6: design-time scaling — the design-time accounting and joint optimization as the
+//! number of variants per set grows, plus the variant-space machinery itself: eager vs
+//! lazy enumeration and clone-per-variant vs [`Flattener`] flattening on the
+//! many-interface scaling scenario.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use spi_model::SpiGraph;
 use spi_synth::{design_time, strategy};
-use spi_workloads::{synthetic_problem, SyntheticParams};
+use spi_variants::Flattener;
+use spi_workloads::{scaling_system, synthetic_problem, SyntheticParams};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("design_time_scaling");
@@ -33,6 +37,92 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("variant_aware_optimization", clusters),
             &problem,
             |b, problem| b.iter(|| strategy::variant_aware(black_box(problem)).unwrap()),
+        );
+    }
+    group.finish();
+
+    // Variant-space enumeration: eager materialization vs the lazy iterator on
+    // 2^k-combination spaces (interfaces = k, two clusters each). The eager path is
+    // only measured while the full Vec is reasonable to hold.
+    let mut group = c.benchmark_group("variant_space_enumeration");
+    group.sample_size(10);
+    for exponent in [4usize, 8, 12, 16] {
+        let system = scaling_system(exponent, 2).unwrap();
+        let space = system.variant_space();
+        group.bench_with_input(
+            BenchmarkId::new("eager_choices", 1usize << exponent),
+            &space,
+            |b, space| b.iter(|| black_box(space).choices().len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lazy_choices_iter", 1usize << exponent),
+            &space,
+            |b, space| {
+                b.iter(|| {
+                    black_box(space)
+                        .choices_iter()
+                        .map(|c| c.len())
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    // Beyond eager reach: lazy enumeration of a 2^20 space (count + strided sample).
+    let system = scaling_system(20, 2).unwrap();
+    let space = system.variant_space();
+    group.bench_with_input(
+        BenchmarkId::new("lazy_strided_sample_1024_of", 1usize << 20),
+        &space,
+        |b, space| {
+            b.iter(|| {
+                black_box(space)
+                    .choices_iter()
+                    .step_by(1 << 10)
+                    .map(|c| c.len())
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.finish();
+
+    // Flattening throughput on the scaling scenario: the legacy clone-per-variant
+    // path vs the skeleton-reusing Flattener, over a fixed 64-variant strided shard.
+    let mut group = c.benchmark_group("variant_space_flatten");
+    group.sample_size(10);
+    for interfaces in [4usize, 8, 12] {
+        let system = scaling_system(interfaces, 2).unwrap();
+        let space = system.variant_space();
+        let stride = (space.count() / 64).max(1);
+        group.bench_with_input(
+            BenchmarkId::new("clone_per_variant_64", interfaces),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    system
+                        .variant_space()
+                        .choices_iter()
+                        .step_by(stride)
+                        .take(64)
+                        .map(|choice| system.flatten(&choice).unwrap().process_count())
+                        .sum::<usize>()
+                })
+            },
+        );
+        let flattener = Flattener::new(&system).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("flattener_64", interfaces),
+            &flattener,
+            |b, flattener| {
+                let mut scratch = SpiGraph::new("");
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for choice in flattener.space().choices_iter().step_by(stride).take(64) {
+                        flattener.flatten_into(&choice, &mut scratch).unwrap();
+                        total += scratch.process_count();
+                    }
+                    total
+                })
+            },
         );
     }
     group.finish();

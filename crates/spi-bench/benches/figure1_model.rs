@@ -25,7 +25,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             Simulator::new(
                 graph.clone(),
-                SimConfig::with_horizon(100).max_executions(5).without_trace(),
+                SimConfig::with_horizon(100)
+                    .max_executions(5)
+                    .without_trace(),
             )
             .run()
             .unwrap()

@@ -1,10 +1,13 @@
 //! E3 / Figure 2: benchmark the variant representation itself — building the two-variant
-//! system, flattening it into its applications, and deriving the synthesis problem.
+//! system, flattening it into its applications (legacy clone-per-variant path vs the
+//! reusable [`Flattener`]), and deriving the synthesis problem.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use spi_model::SpiGraph;
 use spi_synth::from_variant_system;
+use spi_variants::Flattener;
 use spi_workloads::{figure2_system, table1_params};
 
 fn bench(c: &mut Criterion) {
@@ -14,10 +17,39 @@ fn bench(c: &mut Criterion) {
     group.bench_function("build_system", |b| b.iter(|| figure2_system().unwrap()));
 
     let system = figure2_system().unwrap();
-    group.bench_function("validate", |b| b.iter(|| black_box(&system).validate().unwrap()));
+    group.bench_function("validate", |b| {
+        b.iter(|| black_box(&system).validate().unwrap())
+    });
+
+    // The legacy path: clone the common graph, re-resolve names and re-validate per
+    // variant. Kept measurable as the baseline the Flattener is compared against.
+    group.bench_function("flatten_clone_per_variant", |b| {
+        b.iter(|| {
+            let system = black_box(&system);
+            system
+                .variant_space()
+                .choices_iter()
+                .map(|choice| system.flatten(&choice).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    // The current `flatten_all`: one Flattener, lazy enumeration.
     group.bench_function("flatten_all", |b| {
         b.iter(|| black_box(&system).flatten_all().unwrap())
     });
+    // The allocation-reusing hot loop: one Flattener, one scratch graph.
+    let flattener = Flattener::new(&system).unwrap();
+    group.bench_function("flattener_flatten_into", |b| {
+        let mut scratch = SpiGraph::new("");
+        b.iter(|| {
+            for choice in flattener.space().choices_iter() {
+                flattener
+                    .flatten_into(black_box(&choice), &mut scratch)
+                    .unwrap();
+            }
+        })
+    });
+
     group.bench_function("bridge_to_synthesis_problem", |b| {
         b.iter(|| from_variant_system(black_box(&system), 15, table1_params).unwrap())
     });

@@ -37,7 +37,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             Simulator::new(
                 abstracted.graph.clone(),
-                SimConfig::with_horizon(300).max_executions(10).without_trace(),
+                SimConfig::with_horizon(300)
+                    .max_executions(10)
+                    .without_trace(),
             )
             .with_configurations(abstracted.configurations.clone())
             .run()

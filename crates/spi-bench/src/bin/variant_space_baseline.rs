@@ -1,0 +1,160 @@
+//! Records the variant-space performance baseline into `BENCH_variant_space.json`.
+//!
+//! For cross products of 2^4 … 2^20 combinations (k interfaces × 2 clusters), this
+//! measures:
+//!
+//! * **enumeration** — the eager `VariantSpace::choices()` (only while the full
+//!   `Vec` fits comfortably in memory, ≤ 2^16) vs the lazy
+//!   `VariantSpace::choices_iter()`;
+//! * **flattening** — the legacy clone-per-variant `VariantSystem::flatten` vs the
+//!   skeleton-reusing `Flattener::flatten_into`, over a fixed 64-combination
+//!   strided shard of the space.
+//!
+//! Run with `cargo run --release -p spi-bench --bin variant_space_baseline`; later
+//! PRs extend the JSON to track the perf trajectory.
+
+use std::time::Instant;
+
+use spi_model::SpiGraph;
+use spi_variants::Flattener;
+use spi_workloads::scaling_system;
+
+/// Median wall-clock nanoseconds of `runs` executions of `f`.
+fn median_ns<F: FnMut() -> u64>(runs: usize, mut f: F) -> u128 {
+    let mut samples: Vec<u128> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            let checksum = f();
+            let elapsed = start.elapsed().as_nanos();
+            std::hint::black_box(checksum);
+            elapsed
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    interfaces: usize,
+    combinations: usize,
+    eager_enumerate_ns: Option<u128>,
+    lazy_enumerate_ns: u128,
+    flatten_sample: usize,
+    clone_per_variant_ns_per_flatten: u128,
+    flattener_ns_per_flatten: u128,
+}
+
+fn measure(interfaces: usize) -> Row {
+    const FLATTEN_SAMPLE: usize = 64;
+    const RUNS: usize = 5;
+
+    let system = scaling_system(interfaces, 2).expect("scaling system builds");
+    let space = system.variant_space();
+    let combinations = space.count();
+
+    // Eager enumeration materializes the cross product: measured only while that is
+    // a reasonable allocation (2^16 choices ≈ a few MiB; 2^20 would be ~100× that).
+    let eager_enumerate_ns =
+        (combinations <= 1 << 16).then(|| median_ns(RUNS, || space.choices().len() as u64));
+    let lazy_enumerate_ns = median_ns(RUNS, || {
+        space.choices_iter().map(|c| c.len() as u64).sum::<u64>()
+    });
+
+    let stride = (combinations / FLATTEN_SAMPLE).max(1);
+    let clone_ns = median_ns(RUNS, || {
+        space
+            .choices_iter()
+            .step_by(stride)
+            .take(FLATTEN_SAMPLE)
+            .map(|choice| system.flatten(&choice).unwrap().process_count() as u64)
+            .sum::<u64>()
+    });
+    let flattener = Flattener::new(&system).expect("flattener builds");
+    let flattener_ns = median_ns(RUNS, || {
+        let mut scratch = SpiGraph::new("");
+        space
+            .choices_iter()
+            .step_by(stride)
+            .take(FLATTEN_SAMPLE)
+            .map(|choice| {
+                flattener.flatten_into(&choice, &mut scratch).unwrap();
+                scratch.process_count() as u64
+            })
+            .sum::<u64>()
+    });
+
+    Row {
+        interfaces,
+        combinations,
+        eager_enumerate_ns,
+        lazy_enumerate_ns,
+        flatten_sample: FLATTEN_SAMPLE,
+        clone_per_variant_ns_per_flatten: clone_ns / FLATTEN_SAMPLE as u128,
+        flattener_ns_per_flatten: flattener_ns / FLATTEN_SAMPLE as u128,
+    }
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_variant_space.json".to_string());
+
+    let mut rows = Vec::new();
+    for interfaces in [4usize, 8, 12, 16, 20] {
+        eprintln!("measuring {interfaces} interfaces (2^{interfaces} combinations)...");
+        rows.push(measure(interfaces));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"variant_space\",\n");
+    json.push_str("  \"scenario\": \"scaling_system(k, 2): k interfaces x 2 clusters\",\n");
+    json.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    json.push_str("  \"units\": \"nanoseconds (median of 5 runs)\",\n");
+    json.push_str("  \"results\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        let speedup = row.clone_per_variant_ns_per_flatten as f64
+            / (row.flattener_ns_per_flatten.max(1)) as f64;
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"interfaces\": {},\n", row.interfaces));
+        json.push_str(&format!("      \"combinations\": {},\n", row.combinations));
+        match row.eager_enumerate_ns {
+            Some(ns) => json.push_str(&format!("      \"eager_enumerate_ns\": {ns},\n")),
+            None => json.push_str("      \"eager_enumerate_ns\": null,\n"),
+        }
+        json.push_str(&format!(
+            "      \"lazy_enumerate_ns\": {},\n",
+            row.lazy_enumerate_ns
+        ));
+        json.push_str(&format!(
+            "      \"flatten_sample\": {},\n",
+            row.flatten_sample
+        ));
+        json.push_str(&format!(
+            "      \"clone_per_variant_ns_per_flatten\": {},\n",
+            row.clone_per_variant_ns_per_flatten
+        ));
+        json.push_str(&format!(
+            "      \"flattener_ns_per_flatten\": {},\n",
+            row.flattener_ns_per_flatten
+        ));
+        json.push_str(&format!("      \"flatten_speedup\": {speedup:.2}\n"));
+        json.push_str(if index + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&output, &json).expect("baseline file is writable");
+    println!("{json}");
+    eprintln!("wrote {output}");
+}

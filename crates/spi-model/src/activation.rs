@@ -358,7 +358,6 @@ impl ActivationFunction {
             rule.predicate.remap_channels(map);
         }
     }
-
 }
 
 impl fmt::Display for ActivationFunction {
@@ -455,8 +454,14 @@ mod tests {
             .or(Predicate::min_tokens(c(0), 100));
         assert!(p.eval(&view));
         assert!(!Predicate::Not(Box::new(p)).eval(&view));
-        assert!(Predicate::All(vec![]).eval(&view), "empty conjunction is true");
-        assert!(!Predicate::Any(vec![]).eval(&view), "empty disjunction is false");
+        assert!(
+            Predicate::All(vec![]).eval(&view),
+            "empty conjunction is true"
+        );
+        assert!(
+            !Predicate::Any(vec![]).eval(&view),
+            "empty disjunction is false"
+        );
     }
 
     #[test]

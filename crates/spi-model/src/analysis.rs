@@ -85,8 +85,10 @@ impl GraphAnalysis {
 
 fn topological_order(graph: &SpiGraph) -> Option<Vec<ProcessId>> {
     let ids = graph.process_ids();
-    let mut indegree: BTreeMap<ProcessId, usize> =
-        ids.iter().map(|p| (*p, graph.predecessors(*p).len())).collect();
+    let mut indegree: BTreeMap<ProcessId, usize> = ids
+        .iter()
+        .map(|p| (*p, graph.predecessors(*p).len()))
+        .collect();
     let mut queue: VecDeque<ProcessId> = indegree
         .iter()
         .filter(|(_, d)| **d == 0)
@@ -287,7 +289,10 @@ impl RateConsistency {
             while changed {
                 changed = false;
                 for b in &balances {
-                    match (ratios.get(&b.writer).copied(), ratios.get(&b.reader).copied()) {
+                    match (
+                        ratios.get(&b.writer).copied(),
+                        ratios.get(&b.reader).copied(),
+                    ) {
                         (Some(w), None) => {
                             // w * produced = r * consumed  =>  r = w * produced / consumed
                             ratios.insert(b.reader, w.mul(b.produced, b.consumed));
@@ -309,10 +314,7 @@ impl RateConsistency {
         }
 
         // Scale all ratios to the smallest positive integers.
-        let lcm_den = ratios
-            .values()
-            .map(|r| r.den)
-            .fold(1u64, lcm);
+        let lcm_den = ratios.values().map(|r| r.den).fold(1u64, lcm);
         let mut repetitions: BTreeMap<ProcessId, u64> = ratios
             .into_iter()
             .map(|(p, r)| (p, r.num * (lcm_den / r.den)))
@@ -409,8 +411,12 @@ mod tests {
         g.set_reader(c1, q).unwrap();
         g.set_writer(c2, q).unwrap();
         g.set_reader(c2, p).unwrap();
-        g.process_mut(p).unwrap().add_mode_with("m", Interval::point(1), |_| {});
-        g.process_mut(q).unwrap().add_mode_with("m", Interval::point(1), |_| {});
+        g.process_mut(p)
+            .unwrap()
+            .add_mode_with("m", Interval::point(1), |_| {});
+        g.process_mut(q)
+            .unwrap()
+            .add_mode_with("m", Interval::point(1), |_| {});
         let a = GraphAnalysis::new(&g);
         assert!(!a.is_acyclic());
         assert_eq!(a.topological_order(), Err(ModelError::CyclicGraph));
@@ -422,7 +428,9 @@ mod tests {
         );
         // A cycle that lies strictly between source and target is reported.
         let r = g.new_process("r").unwrap();
-        g.process_mut(r).unwrap().add_mode_with("m", Interval::point(1), |_| {});
+        g.process_mut(r)
+            .unwrap()
+            .add_mode_with("m", Interval::point(1), |_| {});
         assert_eq!(
             LatencyAnalysis::new(&g).end_to_end(p, r),
             Err(ModelError::CyclicGraph)
@@ -472,7 +480,8 @@ mod tests {
         let p = b.process("p").latency(Interval::point(1)).build().unwrap();
         let q = b.process("q").latency(Interval::point(1)).build().unwrap();
         let c = b.channel("c", ChannelKind::Queue).unwrap();
-        b.connect_output(p, c, Interval::new(1, 2).unwrap()).unwrap();
+        b.connect_output(p, c, Interval::new(1, 2).unwrap())
+            .unwrap();
         b.connect_input(c, q, Interval::point(1)).unwrap();
         let g = b.finish().unwrap();
         assert_eq!(RateConsistency::analyze(&g), RateConsistency::NotApplicable);
@@ -484,10 +493,26 @@ mod tests {
         // a -1-> c1 -1-> b -2-> c3 -1-> d
         // a -1-> c2 -1-> e -1-> c4 -1-> d   (d would need two different rates)
         let mut bld = GraphBuilder::new("inconsistent");
-        let a = bld.process("a").latency(Interval::point(1)).build().unwrap();
-        let b = bld.process("b").latency(Interval::point(1)).build().unwrap();
-        let e = bld.process("e").latency(Interval::point(1)).build().unwrap();
-        let d = bld.process("d").latency(Interval::point(1)).build().unwrap();
+        let a = bld
+            .process("a")
+            .latency(Interval::point(1))
+            .build()
+            .unwrap();
+        let b = bld
+            .process("b")
+            .latency(Interval::point(1))
+            .build()
+            .unwrap();
+        let e = bld
+            .process("e")
+            .latency(Interval::point(1))
+            .build()
+            .unwrap();
+        let d = bld
+            .process("d")
+            .latency(Interval::point(1))
+            .build()
+            .unwrap();
         let c1 = bld.channel("c1", ChannelKind::Queue).unwrap();
         let c2 = bld.channel("c2", ChannelKind::Queue).unwrap();
         let c3 = bld.channel("c3", ChannelKind::Queue).unwrap();

@@ -280,11 +280,7 @@ impl GraphBuilder {
     /// # Errors
     ///
     /// Propagates graph errors (unknown nodes, second reader).
-    pub fn wire_input(
-        &mut self,
-        channel: ChannelId,
-        process: ProcessId,
-    ) -> Result<(), ModelError> {
+    pub fn wire_input(&mut self, channel: ChannelId, process: ProcessId) -> Result<(), ModelError> {
         self.graph.set_reader(channel, process)
     }
 
@@ -405,15 +401,16 @@ mod tests {
     #[test]
     fn connect_output_tagged_adds_tags() {
         let mut b = GraphBuilder::new("tags");
-        let p = b.process("src").latency(Interval::point(1)).build().unwrap();
+        let p = b
+            .process("src")
+            .latency(Interval::point(1))
+            .build()
+            .unwrap();
         let c = b.channel("c", ChannelKind::Queue).unwrap();
         b.connect_output_tagged(p, c, Interval::point(1), TagSet::singleton("V1"))
             .unwrap();
         let g = b.finish().unwrap();
-        let spec = g
-            .process(p)
-            .unwrap()
-            .modes()[0]
+        let spec = g.process(p).unwrap().modes()[0]
             .production(c)
             .unwrap()
             .clone();

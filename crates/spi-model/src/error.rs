@@ -57,7 +57,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::InvalidInterval { lo, hi } => {
-                write!(f, "invalid interval: lower bound {lo} exceeds upper bound {hi}")
+                write!(
+                    f,
+                    "invalid interval: lower bound {lo} exceeds upper bound {hi}"
+                )
             }
             ModelError::UnknownProcess(id) => write!(f, "unknown process {id}"),
             ModelError::UnknownChannel(id) => write!(f, "unknown channel {id}"),
@@ -69,7 +72,10 @@ impl fmt::Display for ModelError {
                 write!(f, "channel {id} already has a reader attached")
             }
             ModelError::NotBipartite => {
-                write!(f, "edge would violate bipartiteness of the process/channel graph")
+                write!(
+                    f,
+                    "edge would violate bipartiteness of the process/channel graph"
+                )
             }
             ModelError::DuplicateName(name) => write!(f, "duplicate node name `{name}`"),
             ModelError::RateOnUnconnectedChannel { process, channel } => write!(

@@ -334,7 +334,13 @@ impl SpiGraph {
                 direction: EdgeDirection::ChannelToProcess,
             }))
             .collect();
-        edges.sort_by_key(|e| (e.channel, e.process, e.direction == EdgeDirection::ChannelToProcess));
+        edges.sort_by_key(|e| {
+            (
+                e.channel,
+                e.process,
+                e.direction == EdgeDirection::ChannelToProcess,
+            )
+        });
         edges
     }
 
@@ -468,6 +474,57 @@ impl SpiGraph {
 
         Ok(map)
     }
+
+    /// Copies every node and edge of `other` into `self`, relabelling identifiers but
+    /// keeping node names as they are — the fast path behind
+    /// `spi_variants::Flattener`.
+    ///
+    /// Unlike [`merge`](Self::merge) this performs **no duplicate-name detection**
+    /// (which is an `O(nodes_self × nodes_other)` scan): the caller must guarantee
+    /// that every node name of `other` is absent from `self`. The variants layer
+    /// establishes this once per cluster when a `Flattener` is built and then splices
+    /// the same pre-renamed cluster graphs into fresh skeleton clones many times.
+    /// Debug builds still assert disjointness.
+    pub fn merge_disjoint(&mut self, other: &SpiGraph) -> MergeMap {
+        let mut map = MergeMap::default();
+
+        for channel in other.channels.values() {
+            debug_assert!(
+                self.channel_by_name(channel.name()).is_none(),
+                "merge_disjoint: channel name `{}` already present",
+                channel.name()
+            );
+            let id = ChannelId::new(self.next_channel);
+            self.next_channel += 1;
+            self.channels.insert(id, channel.clone().with_id(id));
+            map.channels.insert(channel.id(), id);
+        }
+
+        for process in other.processes.values() {
+            debug_assert!(
+                self.process_by_name(process.name()).is_none(),
+                "merge_disjoint: process name `{}` already present",
+                process.name()
+            );
+            let id = ProcessId::new(self.next_process);
+            self.next_process += 1;
+            let mut copied = process.clone().with_id(id);
+            copied.remap_channels(&map.channels);
+            self.processes.insert(id, copied);
+            map.processes.insert(process.id(), id);
+        }
+
+        for (channel, process) in &other.writers {
+            self.writers
+                .insert(map.channels[channel], map.processes[process]);
+        }
+        for (channel, process) in &other.readers {
+            self.readers
+                .insert(map.channels[channel], map.processes[process]);
+        }
+
+        map
+    }
 }
 
 impl fmt::Display for SpiGraph {
@@ -511,12 +568,16 @@ mod tests {
         let c1 = g.new_channel("c1", ChannelKind::Queue).unwrap();
         g.set_writer(c1, p1).unwrap();
         g.set_reader(c1, p2).unwrap();
-        g.process_mut(p1).unwrap().add_mode_with("m0", Interval::point(1), |m| {
-            m.set_production(c1, ProductionSpec::amount(Interval::point(1)));
-        });
-        g.process_mut(p2).unwrap().add_mode_with("m0", Interval::point(2), |m| {
-            m.set_consumption(c1, Interval::point(1));
-        });
+        g.process_mut(p1)
+            .unwrap()
+            .add_mode_with("m0", Interval::point(1), |m| {
+                m.set_production(c1, ProductionSpec::amount(Interval::point(1)));
+            });
+        g.process_mut(p2)
+            .unwrap()
+            .add_mode_with("m0", Interval::point(2), |m| {
+                m.set_consumption(c1, Interval::point(1));
+            });
         (g, p1, p2, c1)
     }
 
@@ -570,9 +631,11 @@ mod tests {
     fn validate_rejects_rate_on_unconnected_channel() {
         let (mut g, p1, _, _) = chain();
         let orphan = g.new_channel("orphan", ChannelKind::Queue).unwrap();
-        g.process_mut(p1).unwrap().add_mode_with("bad", Interval::point(1), |m| {
-            m.set_production(orphan, ProductionSpec::amount(Interval::point(1)));
-        });
+        g.process_mut(p1)
+            .unwrap()
+            .add_mode_with("bad", Interval::point(1), |m| {
+                m.set_production(orphan, ProductionSpec::amount(Interval::point(1)));
+            });
         assert!(matches!(
             g.validate(),
             Err(ModelError::RateOnUnconnectedChannel { .. })
@@ -632,6 +695,22 @@ mod tests {
         // Rates were remapped to the new channel ids, so validation still holds.
         assert!(host.validate().is_ok());
         assert!(host.process_by_name("v1_p1").is_some());
+    }
+
+    #[test]
+    fn merge_disjoint_matches_checked_merge() {
+        let (mut checked_host, _, _, _) = chain();
+        let mut fast_host = checked_host.clone();
+        // Pre-rename the guest the way the variants layer does, then merge both ways.
+        let (guest, _, _, _) = chain();
+        let mut renamed = SpiGraph::new("renamed");
+        renamed.merge(&guest, "v1_").unwrap();
+        let checked_map = checked_host.merge(&renamed, "").unwrap();
+        let fast_map = fast_host.merge_disjoint(&renamed);
+        assert_eq!(checked_map, fast_map);
+        assert_eq!(checked_host, fast_host);
+        assert!(fast_host.validate().is_ok());
+        assert!(fast_host.process_by_name("v1_p1").is_some());
     }
 
     #[test]

@@ -4,9 +4,15 @@
 //! [`ProcessId`] with a [`ChannelId`] is a compile-time error. Identifiers are
 //! allocated by [`crate::SpiGraph`] (or the [`crate::GraphBuilder`]) and remain
 //! stable for the lifetime of the graph even when other nodes are removed.
+//!
+//! Entity *names* (interfaces, clusters, processes, channels) are interned
+//! into copyable [`Sym`] symbols by the process-global [`Interner`], so the
+//! variant-space hot paths compare and hash `u32`s instead of strings.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{OnceLock, RwLock};
 
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
@@ -66,10 +72,194 @@ define_id!(
     "port"
 );
 
+// --- interned name symbols ---------------------------------------------------------
+
+/// An interned name: a copyable `u32` handle to a string in the process-global
+/// [`Interner`].
+///
+/// Two `Sym`s compare equal iff they were interned from equal strings, so
+/// equality and hashing are integer operations. The derived `Ord` follows
+/// *interning order* (stable within a process run, **not** lexicographic);
+/// order by [`Sym::as_str`] when name order matters.
+///
+/// The serialized form (under a real serde, not the no-op shim this workspace
+/// builds against) would be the raw process-local index, which is meaningless
+/// in another process — giving `Sym` a string-based serde representation is
+/// part of the "real-dependency toggle" roadmap item and must land together
+/// with it. Until then, never persist a `Sym` across process boundaries.
+///
+/// ```rust
+/// use spi_model::Sym;
+///
+/// let a = Sym::intern("interface1");
+/// let b = Sym::intern("interface1");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "interface1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Interns `name` in the global [`Interner`] and returns its symbol.
+    pub fn intern(name: &str) -> Sym {
+        Interner::intern(name)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        Interner::resolve(self)
+    }
+
+    /// Raw index of the symbol in the global table.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(name: &str) -> Sym {
+        Sym::intern(name)
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(name: &String) -> Sym {
+        Sym::intern(name)
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+struct InternerTable {
+    lookup: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<InternerTable> {
+    static TABLE: OnceLock<RwLock<InternerTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(InternerTable {
+            lookup: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+std::thread_local! {
+    /// Per-thread mirror of the global `strings` table. Interned strings are
+    /// `&'static` and a symbol's index never changes, so stale entries are
+    /// impossible — a miss only means this thread has not yet seen a recently
+    /// interned symbol and must refresh from the global table. This keeps the
+    /// hot [`Sym::as_str`] path free of lock traffic: the parallel enumeration
+    /// and search paths resolve `O(interfaces)` symbols per combination, and an
+    /// `RwLock` acquisition per resolve would serialize the very paths the
+    /// interner exists to speed up.
+    static RESOLVE_CACHE: std::cell::RefCell<Vec<&'static str>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The process-global symbol table backing [`Sym`].
+///
+/// Interned strings live for the rest of the process (one leaked allocation
+/// per *distinct* name), which is what makes [`Sym::as_str`] a borrow-free
+/// `&'static str` and keeps `Sym` `Copy` + `Send` + `Sync` — the properties
+/// the parallel enumeration paths rely on. Systems intern a bounded set of
+/// entity names, so the table stays small.
+pub struct Interner;
+
+impl Interner {
+    /// Interns `name`, returning the existing symbol if it is already known.
+    pub fn intern(name: &str) -> Sym {
+        if let Some(&index) = interner()
+            .read()
+            .expect("interner poisoned")
+            .lookup
+            .get(name)
+        {
+            return Sym(index);
+        }
+        let mut table = interner().write().expect("interner poisoned");
+        if let Some(&index) = table.lookup.get(name) {
+            return Sym(index);
+        }
+        let owned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let index = u32::try_from(table.strings.len()).expect("interner overflow");
+        table.strings.push(owned);
+        table.lookup.insert(owned, index);
+        Sym(index)
+    }
+
+    /// Resolves a symbol back to its string (lock-free after the first
+    /// resolve of a symbol on each thread; see `RESOLVE_CACHE`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this process's interner (possible
+    /// only by deserializing a raw symbol from another run).
+    pub fn resolve(sym: Sym) -> &'static str {
+        RESOLVE_CACHE.with_borrow_mut(|cache| {
+            if let Some(&name) = cache.get(sym.0 as usize) {
+                return name;
+            }
+            let table = interner().read().expect("interner poisoned");
+            cache.clear();
+            cache.extend_from_slice(&table.strings);
+            table.strings[sym.0 as usize]
+        })
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len() -> usize {
+        interner().read().expect("interner poisoned").strings.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::BTreeSet;
+
+    #[test]
+    fn interning_is_idempotent_and_copyable() {
+        let a = Sym::intern("spi_model::ids::tests::alpha");
+        let b = Sym::intern("spi_model::ids::tests::alpha");
+        let c = Sym::intern("spi_model::ids::tests::beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let copied = a; // Copy, no clone needed
+        assert_eq!(copied.as_str(), "spi_model::ids::tests::alpha");
+        assert_eq!(a.to_string(), "spi_model::ids::tests::alpha");
+    }
+
+    #[test]
+    fn interner_is_thread_safe() {
+        let symbols: Vec<Sym> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| Sym::intern("spi_model::ids::tests::shared")))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(symbols.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn sym_converts_from_strings() {
+        let from_str: Sym = "spi_model::ids::tests::conv".into();
+        let owned = String::from("spi_model::ids::tests::conv");
+        let from_string: Sym = (&owned).into();
+        assert_eq!(from_str, from_string);
+        assert_eq!(from_str.as_ref(), owned.as_str());
+    }
 
     #[test]
     fn ids_are_distinct_types() {

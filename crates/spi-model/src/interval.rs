@@ -109,7 +109,8 @@ impl Interval {
     }
 
     /// Interval sum `[a.lo + b.lo, a.hi + b.hi]` (saturating), used to accumulate
-    /// latency along a path.
+    /// latency along a path. Also available as the `+` operator.
+    #[allow(clippy::should_implement_trait)] // `std::ops::Add` is implemented below; the inherent name stays for the existing callers
     pub fn add(self, other: Interval) -> Interval {
         Interval {
             lo: self.lo.saturating_add(other.lo),
@@ -149,6 +150,15 @@ impl Default for Interval {
 impl From<u64> for Interval {
     fn from(v: u64) -> Self {
         Interval::point(v)
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    /// Operator form of [`Interval::add`] (saturating interval sum).
+    fn add(self, other: Interval) -> Interval {
+        Interval::add(self, other)
     }
 }
 

@@ -68,7 +68,7 @@ pub use builder::{GraphBuilder, ModeSpec, ProcessBuilder};
 pub use channel::{Channel, ChannelKind};
 pub use error::ModelError;
 pub use graph::{Edge, EdgeDirection, NodeRef, SpiGraph};
-pub use ids::{ChannelId, ModeId, PortId, ProcessId};
+pub use ids::{ChannelId, Interner, ModeId, PortId, ProcessId, Sym};
 pub use interval::Interval;
 pub use mode::{ProcessMode, ProductionSpec};
 pub use process::Process;

@@ -161,7 +161,10 @@ mod tests {
     fn mode() -> ProcessMode {
         let mut m = ProcessMode::new(ModeId::new(0), "m1", Interval::point(3));
         m.set_consumption(ChannelId::new(0), Interval::point(1));
-        m.set_production(ChannelId::new(1), ProductionSpec::amount(Interval::point(2)));
+        m.set_production(
+            ChannelId::new(1),
+            ProductionSpec::amount(Interval::point(2)),
+        );
         m
     }
 
@@ -182,8 +185,14 @@ mod tests {
     #[test]
     fn channel_iterators_report_io() {
         let m = mode();
-        assert_eq!(m.input_channels().collect::<Vec<_>>(), vec![ChannelId::new(0)]);
-        assert_eq!(m.output_channels().collect::<Vec<_>>(), vec![ChannelId::new(1)]);
+        assert_eq!(
+            m.input_channels().collect::<Vec<_>>(),
+            vec![ChannelId::new(0)]
+        );
+        assert_eq!(
+            m.output_channels().collect::<Vec<_>>(),
+            vec![ChannelId::new(1)]
+        );
     }
 
     #[test]

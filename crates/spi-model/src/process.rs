@@ -136,11 +136,11 @@ impl Process {
 
     /// Interval hull of production on `channel` over all modes (zero if never written).
     pub fn production_hull(&self, channel: ChannelId) -> Interval {
-        Interval::hull_all(
-            self.modes
-                .iter()
-                .map(|m| m.production(channel).map(|s| s.amount).unwrap_or_else(Interval::zero)),
-        )
+        Interval::hull_all(self.modes.iter().map(|m| {
+            m.production(channel)
+                .map(|s| s.amount)
+                .unwrap_or_else(Interval::zero)
+        }))
         .unwrap_or_else(Interval::zero)
     }
 
@@ -184,7 +184,11 @@ impl Process {
 
     /// Sets production `spec` on `channel` for every mode that does not yet declare
     /// production on that channel. See [`set_default_consumption`](Self::set_default_consumption).
-    pub fn set_default_production(&mut self, channel: ChannelId, spec: crate::mode::ProductionSpec) {
+    pub fn set_default_production(
+        &mut self,
+        channel: ChannelId,
+        spec: crate::mode::ProductionSpec,
+    ) {
         for mode in &mut self.modes {
             if mode.production(channel).is_none() {
                 mode.set_production(channel, spec.clone());
@@ -231,7 +235,13 @@ impl Process {
 
 impl fmt::Display for Process {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} `{}` ({} modes)", self.id, self.name, self.modes.len())
+        write!(
+            f,
+            "{} `{}` ({} modes)",
+            self.id,
+            self.name,
+            self.modes.len()
+        )
     }
 }
 
@@ -286,7 +296,10 @@ mod tests {
     #[test]
     fn latency_hull_errors_without_modes() {
         let p = Process::new(ProcessId::new(9), "empty");
-        assert_eq!(p.latency_hull(), Err(ModelError::NoModes(ProcessId::new(9))));
+        assert_eq!(
+            p.latency_hull(),
+            Err(ModelError::NoModes(ProcessId::new(9)))
+        );
     }
 
     #[test]

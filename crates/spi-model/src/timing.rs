@@ -183,7 +183,11 @@ mod tests {
     fn pipeline() -> (SpiGraph, ProcessId, ProcessId, ProcessId) {
         let mut b = GraphBuilder::new("pipe");
         let a = b.process("a").latency(Interval::point(1)).build().unwrap();
-        let m = b.process("m").latency(Interval::new(3, 5).unwrap()).build().unwrap();
+        let m = b
+            .process("m")
+            .latency(Interval::new(3, 5).unwrap())
+            .build()
+            .unwrap();
         let z = b.process("z").latency(Interval::point(3)).build().unwrap();
         let c1 = b.channel("c1", ChannelKind::Queue).unwrap();
         let c2 = b.channel("c2", ChannelKind::Queue).unwrap();
@@ -198,14 +202,12 @@ mod tests {
     fn latency_constraint_satisfied_and_violated() {
         let (g, a, _, z) = pipeline();
         // Worst-case path latency is 1 + 5 + 3 = 9.
-        let report =
-            check_constraints(&g, &[TimingConstraint::latency(a, z, 9)]).unwrap();
+        let report = check_constraints(&g, &[TimingConstraint::latency(a, z, 9)]).unwrap();
         assert!(report.all_satisfied());
         assert_eq!(report.checks()[0].worst_case, 9);
         assert_eq!(report.checks()[0].best_case, 7);
 
-        let report =
-            check_constraints(&g, &[TimingConstraint::latency(a, z, 8)]).unwrap();
+        let report = check_constraints(&g, &[TimingConstraint::latency(a, z, 8)]).unwrap();
         assert!(!report.all_satisfied());
         assert_eq!(report.violations(), 1);
     }
@@ -222,23 +224,18 @@ mod tests {
     #[test]
     fn unknown_process_is_reported() {
         let (g, a, _, _) = pipeline();
-        let err = check_constraints(
-            &g,
-            &[TimingConstraint::period(ProcessId::new(99), 10)],
-        )
-        .unwrap_err();
-        assert!(matches!(err, ModelError::UnknownProcess(_)));
         let err =
-            check_constraints(&g, &[TimingConstraint::latency(a, ProcessId::new(99), 10)])
-                .unwrap_err();
+            check_constraints(&g, &[TimingConstraint::period(ProcessId::new(99), 10)]).unwrap_err();
+        assert!(matches!(err, ModelError::UnknownProcess(_)));
+        let err = check_constraints(&g, &[TimingConstraint::latency(a, ProcessId::new(99), 10)])
+            .unwrap_err();
         assert!(matches!(err, ModelError::UnknownProcess(_)));
     }
 
     #[test]
     fn report_display_mentions_violations() {
         let (g, a, _, z) = pipeline();
-        let report =
-            check_constraints(&g, &[TimingConstraint::latency(a, z, 1)]).unwrap();
+        let report = check_constraints(&g, &[TimingConstraint::latency(a, z, 1)]).unwrap();
         assert!(report.to_string().contains("VIOLATED"));
     }
 }

@@ -24,7 +24,10 @@ impl Token {
 
     /// Creates a token carrying the given tag set.
     pub fn with_tags(tags: TagSet) -> Self {
-        Token { tags, sequence: None }
+        Token {
+            tags,
+            sequence: None,
+        }
     }
 
     /// Creates a token carrying a single tag.

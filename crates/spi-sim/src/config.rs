@@ -112,7 +112,9 @@ mod tests {
 
     #[test]
     fn builder_style_setters() {
-        let config = SimConfig::with_horizon(500).max_executions(3).without_trace();
+        let config = SimConfig::with_horizon(500)
+            .max_executions(3)
+            .without_trace();
         assert_eq!(config.horizon, 500);
         assert_eq!(config.max_executions_per_process, 3);
         assert!(!config.record_trace);

@@ -303,7 +303,11 @@ impl Simulator {
         }
 
         // Flush completions that are due exactly at the stop time.
-        let mut leftovers: Vec<Running> = running.iter().copied().filter(|r| r.finish <= now).collect();
+        let mut leftovers: Vec<Running> = running
+            .iter()
+            .copied()
+            .filter(|r| r.finish <= now)
+            .collect();
         leftovers.sort_by_key(|r| (r.finish, r.process));
         for done in leftovers {
             self.apply_completion(&done, done.finish, &mut states, &mut stats, &mut trace)?;
@@ -373,8 +377,16 @@ mod tests {
     /// src --1--> c --1--> dst, src capped to 3 executions.
     fn pipeline(max_executions: u64) -> (SpiGraph, ChannelId) {
         let mut b = GraphBuilder::new("pipe");
-        let src = b.process("src").latency(Interval::point(1)).build().unwrap();
-        let dst = b.process("dst").latency(Interval::point(2)).build().unwrap();
+        let src = b
+            .process("src")
+            .latency(Interval::point(1))
+            .build()
+            .unwrap();
+        let dst = b
+            .process("dst")
+            .latency(Interval::point(2))
+            .build()
+            .unwrap();
         let c = b.channel("c", ChannelKind::Queue).unwrap();
         b.connect_output(src, c, Interval::point(1)).unwrap();
         b.connect_input(c, dst, Interval::point(1)).unwrap();
@@ -424,17 +436,18 @@ mod tests {
     #[test]
     fn tagged_production_reaches_the_reader() {
         let mut b = GraphBuilder::new("tags");
-        let src = b.process("src").latency(Interval::point(1)).build().unwrap();
+        let src = b
+            .process("src")
+            .latency(Interval::point(1))
+            .build()
+            .unwrap();
         let c = b.channel("c", ChannelKind::Queue).unwrap();
         b.connect_output_tagged(src, c, Interval::point(1), TagSet::singleton("V1"))
             .unwrap();
         let graph = b.finish().unwrap();
-        let report = Simulator::new(
-            graph,
-            SimConfig::with_horizon(10).max_executions(1),
-        )
-        .run()
-        .unwrap();
+        let report = Simulator::new(graph, SimConfig::with_horizon(10).max_executions(1))
+            .run()
+            .unwrap();
         assert_eq!(report.stats.produced_on(ChannelId::new(0)), 1);
     }
 
@@ -442,7 +455,11 @@ mod tests {
     fn injections_drive_data_dependent_activation() {
         // A single consumer that only runs when a token arrives on its input.
         let mut b = GraphBuilder::new("inject");
-        let sink = b.process("sink").latency(Interval::point(2)).build().unwrap();
+        let sink = b
+            .process("sink")
+            .latency(Interval::point(2))
+            .build()
+            .unwrap();
         let c = b.channel("c", ChannelKind::Queue).unwrap();
         b.connect_input(c, sink, Interval::point(1)).unwrap();
         let graph = b.finish().unwrap();
@@ -515,7 +532,8 @@ mod tests {
 
         let mut sim = Simulator::new(graph, SimConfig::with_horizon(100));
         sim.inject_by_name(0, "cin", Token::tagged("slow")).unwrap();
-        sim.inject_by_name(10, "cin", Token::tagged("fast")).unwrap();
+        sim.inject_by_name(10, "cin", Token::tagged("fast"))
+            .unwrap();
         let report = sim.run().unwrap();
         assert_eq!(report.stats.executions_of(worker_id), 2);
         assert_eq!(
@@ -573,8 +591,10 @@ mod tests {
         let graph = b.finish().unwrap();
         let reader_id = graph.process_by_name("reader").unwrap().id();
         let mut sim = Simulator::new(graph, SimConfig::with_horizon(20).max_executions(1));
-        sim.inject_by_name(0, "reg", Token::tagged("stale")).unwrap();
-        sim.inject_by_name(1, "reg", Token::tagged("latest")).unwrap();
+        sim.inject_by_name(0, "reg", Token::tagged("stale"))
+            .unwrap();
+        sim.inject_by_name(1, "reg", Token::tagged("latest"))
+            .unwrap();
         let report = sim.run().unwrap();
         assert_eq!(report.stats.executions_of(reader_id), 1);
         // The register still holds its value (non-destructive read).
@@ -619,8 +639,10 @@ mod tests {
 
         let mut sim = Simulator::new(graph, SimConfig::with_horizon(500)).with_configurations(map);
         sim.inject_by_name(0, "creq", Token::tagged("V1")).unwrap();
-        sim.inject_by_name(100, "creq", Token::tagged("V2")).unwrap();
-        sim.inject_by_name(200, "creq", Token::tagged("V2")).unwrap();
+        sim.inject_by_name(100, "creq", Token::tagged("V2"))
+            .unwrap();
+        sim.inject_by_name(200, "creq", Token::tagged("V2"))
+            .unwrap();
         let report = sim.run().unwrap();
 
         // Initial configuration (10) + one reconfiguration (25); the third execution
@@ -636,7 +658,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(completions.contains(&(0 + 10 + 2)));
+        assert!(completions.contains(&(10 + 2)));
         assert!(completions.contains(&(100 + 25 + 3)));
         assert!(completions.contains(&(200 + 3)));
     }
@@ -644,7 +666,11 @@ mod tests {
     #[test]
     fn bounded_channel_overflow_policies() {
         let mut b = GraphBuilder::new("overflow");
-        let src = b.process("src").latency(Interval::point(1)).build().unwrap();
+        let src = b
+            .process("src")
+            .latency(Interval::point(1))
+            .build()
+            .unwrap();
         let c = b.channel("c", ChannelKind::Queue).unwrap();
         b.connect_output(src, c, Interval::point(1)).unwrap();
         let mut graph = b.finish().unwrap();
@@ -675,10 +701,16 @@ mod tests {
     fn quiescence_without_work_ends_immediately() {
         let mut b = GraphBuilder::new("idle");
         let cin = b.channel("cin", ChannelKind::Queue).unwrap();
-        let sink = b.process("sink").latency(Interval::point(1)).build().unwrap();
+        let sink = b
+            .process("sink")
+            .latency(Interval::point(1))
+            .build()
+            .unwrap();
         b.connect_input(cin, sink, Interval::point(1)).unwrap();
         let graph = b.finish().unwrap();
-        let report = Simulator::new(graph, SimConfig::with_horizon(100)).run().unwrap();
+        let report = Simulator::new(graph, SimConfig::with_horizon(100))
+            .run()
+            .unwrap();
         assert_eq!(report.stats.total_executions(), 0);
         assert_eq!(report.end_time, 0);
         assert!(!report.hit_horizon);

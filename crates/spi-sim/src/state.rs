@@ -157,7 +157,7 @@ impl ChannelStates {
         match state {
             ChannelState::Register { token } => {
                 // Register reads are non-destructive; reading yields the current value.
-                Ok(token.iter().cloned().take(count as usize).collect())
+                Ok(token.iter().take(count as usize).cloned().collect())
             }
             ChannelState::Queue { tokens, .. } => {
                 let take = count.min(tokens.len() as u64);
@@ -197,7 +197,7 @@ impl ChannelView for ChannelStates {
         self.states
             .get(&channel)
             .and_then(ChannelState::first)
-            .map_or(false, |token| token.has_tag(tag))
+            .is_some_and(|token| token.has_tag(tag))
     }
 }
 
@@ -219,8 +219,12 @@ mod tests {
     fn queue_fifo_order_and_destructive_read() {
         let (g, q, _) = graph_with_channels();
         let mut states = ChannelStates::from_graph(&g);
-        states.push(q, Token::tagged("a"), OverflowPolicy::Error).unwrap();
-        states.push(q, Token::tagged("b"), OverflowPolicy::Error).unwrap();
+        states
+            .push(q, Token::tagged("a"), OverflowPolicy::Error)
+            .unwrap();
+        states
+            .push(q, Token::tagged("b"), OverflowPolicy::Error)
+            .unwrap();
         assert_eq!(states.available(q), 2);
         assert!(states.first_token_has_tag(q, &Tag::new("a")));
         let read = states.consume(q, 1).unwrap();
@@ -233,8 +237,12 @@ mod tests {
     fn register_destructive_write_nondestructive_read() {
         let (g, _, r) = graph_with_channels();
         let mut states = ChannelStates::from_graph(&g);
-        states.push(r, Token::tagged("V1"), OverflowPolicy::Error).unwrap();
-        states.push(r, Token::tagged("V2"), OverflowPolicy::Error).unwrap();
+        states
+            .push(r, Token::tagged("V1"), OverflowPolicy::Error)
+            .unwrap();
+        states
+            .push(r, Token::tagged("V2"), OverflowPolicy::Error)
+            .unwrap();
         // Destructive write: only the latest value is visible.
         assert_eq!(states.available(r), 1);
         assert!(states.first_token_has_tag(r, &Tag::new("V2")));
@@ -263,7 +271,10 @@ mod tests {
             states.push(missing, Token::new(), OverflowPolicy::Error),
             Err(SimError::UnknownChannel(_))
         ));
-        assert!(matches!(states.consume(missing, 1), Err(SimError::UnknownChannel(_))));
+        assert!(matches!(
+            states.consume(missing, 1),
+            Err(SimError::UnknownChannel(_))
+        ));
         assert_eq!(ChannelView::available(&states, missing), 0);
     }
 

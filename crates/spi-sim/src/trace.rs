@@ -72,10 +72,18 @@ impl TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceEvent::Started { time, process, mode } => {
+            TraceEvent::Started {
+                time,
+                process,
+                mode,
+            } => {
                 write!(f, "[{time}] {process} starts in {mode}")
             }
-            TraceEvent::Completed { time, process, mode } => {
+            TraceEvent::Completed {
+                time,
+                process,
+                mode,
+            } => {
                 write!(f, "[{time}] {process} completes {mode}")
             }
             TraceEvent::Reconfigured {

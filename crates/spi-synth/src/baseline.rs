@@ -89,7 +89,7 @@ pub fn incremental(problem: &SynthesisProblem, order: &[&str]) -> Result<Synthes
             let scope: std::collections::BTreeSet<String> =
                 restricted.tasks().map(|t| t.name.clone()).collect();
             let cost = evaluate(problem, &candidate, Some(&scope))?.total();
-            if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
                 best = Some((cost, candidate));
             }
         }
@@ -135,8 +135,14 @@ mod tests {
         // Both clusters end up in hardware because the serialized view believes they
         // compete for the processor simultaneously.
         assert_eq!(serialized.cost.total(), 57);
-        assert!(serialized.cost.hardware_tasks.contains(&"cluster1".to_string()));
-        assert!(serialized.cost.hardware_tasks.contains(&"cluster2".to_string()));
+        assert!(serialized
+            .cost
+            .hardware_tasks
+            .contains(&"cluster1".to_string()));
+        assert!(serialized
+            .cost
+            .hardware_tasks
+            .contains(&"cluster2".to_string()));
         assert!(serialized.cost.total() > joint.cost.total());
     }
 

@@ -39,8 +39,69 @@ pub struct TaskParams {
 pub fn from_variant_system(
     system: &VariantSystem,
     processor_cost: u64,
-    mut params: impl FnMut(&str) -> Option<TaskParams>,
+    params: impl FnMut(&str) -> Option<TaskParams>,
 ) -> Result<SynthesisProblem> {
+    let (mut problem, common_tasks) = derive_tasks(system, processor_cost, params)?;
+    // Lazy enumeration: each combination is decoded, turned into an application and
+    // dropped — the cross product is never materialized as a whole.
+    for (index, choice) in system.variant_space().choices_iter().enumerate() {
+        add_application(&mut problem, &common_tasks, index, &choice)?;
+    }
+    problem.validate()?;
+    Ok(problem)
+}
+
+/// Derives a [`SynthesisProblem`] for one strided shard of the variant space:
+/// combination `index` is included iff `index % shard_count == shard`.
+///
+/// Sharding rides on the `O(axes)` `nth` of the lazy space iterator, so a shard of a
+/// `2^20`-combination space only ever decodes its own combinations. Application names
+/// keep their global combination index (`application{index+1}`), so results from
+/// different shards can be correlated.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Validation`] for `shard >= shard_count` or `shard_count == 0`,
+/// otherwise as [`from_variant_system`].
+pub fn from_variant_system_shard(
+    system: &VariantSystem,
+    processor_cost: u64,
+    params: impl FnMut(&str) -> Option<TaskParams>,
+    shard: usize,
+    shard_count: usize,
+) -> Result<SynthesisProblem> {
+    if shard_count == 0 || shard >= shard_count {
+        return Err(SynthError::Validation(format!(
+            "invalid shard {shard}/{shard_count}"
+        )));
+    }
+    let (mut problem, common_tasks) = derive_tasks(system, processor_cost, params)?;
+    for (offset, choice) in system
+        .variant_space()
+        .choices_iter()
+        .skip(shard)
+        .step_by(shard_count)
+        .enumerate()
+    {
+        add_application(
+            &mut problem,
+            &common_tasks,
+            shard + offset * shard_count,
+            &choice,
+        )?;
+    }
+    problem.validate()?;
+    Ok(problem)
+}
+
+/// Shared task-derivation step: every non-virtual common process and every cluster
+/// becomes a task. Returns the problem (without applications) and the common task
+/// names in process order.
+fn derive_tasks(
+    system: &VariantSystem,
+    processor_cost: u64,
+    mut params: impl FnMut(&str) -> Option<TaskParams>,
+) -> Result<(SynthesisProblem, Vec<String>)> {
     let mut problem = SynthesisProblem::new(system.name(), processor_cost);
 
     let mut common_tasks: Vec<String> = Vec::new();
@@ -78,17 +139,24 @@ pub fn from_variant_system(
             ));
         }
     }
+    Ok((problem, common_tasks))
+}
 
-    for (index, choice) in system.variant_space().choices().into_iter().enumerate() {
-        let mut tasks = common_tasks.clone();
-        for (interface, cluster) in choice.iter() {
-            tasks.push(format!("{interface}/{cluster}"));
-        }
-        problem.add_application(ApplicationSpec::new(format!("application{}", index + 1), tasks))?;
+/// Adds the application for variant-space combination `index` (0-based) to `problem`.
+fn add_application(
+    problem: &mut SynthesisProblem,
+    common_tasks: &[String],
+    index: usize,
+    choice: &spi_variants::VariantChoice,
+) -> Result<()> {
+    let mut tasks = common_tasks.to_vec();
+    for (interface, cluster) in choice.iter() {
+        tasks.push(format!("{interface}/{cluster}"));
     }
-
-    problem.validate()?;
-    Ok(problem)
+    problem.add_application(ApplicationSpec::new(
+        format!("application{}", index + 1),
+        tasks,
+    ))
 }
 
 #[cfg(test)]
@@ -115,8 +183,12 @@ mod tests {
             let mut cb = GraphBuilder::new(name);
             cb.process("P").latency(Interval::point(3)).build().unwrap();
             let mut cluster = Cluster::new(name, cb.finish().unwrap());
-            cluster.add_input_port("i", "P", Interval::point(1)).unwrap();
-            cluster.add_output_port("o", "P", Interval::point(1)).unwrap();
+            cluster
+                .add_input_port("i", "P", Interval::point(1))
+                .unwrap();
+            cluster
+                .add_output_port("o", "P", Interval::point(1))
+                .unwrap();
             cluster
         };
         let mut interface = Interface::new("if1");
@@ -126,7 +198,9 @@ mod tests {
         interface.add_cluster(cluster("v2")).unwrap();
 
         let mut system = VariantSystem::new(common);
-        let att = system.attach_interface(interface, VariantType::RunTime).unwrap();
+        let att = system
+            .attach_interface(interface, VariantType::RunTime)
+            .unwrap();
         system.bind_input(att, "i", "CIn").unwrap();
         system.bind_output(att, "o", "COut").unwrap();
         system
@@ -176,5 +250,37 @@ mod tests {
         let problem = from_variant_system(&system, 15, default_params).unwrap();
         let result = crate::strategy::variant_aware(&problem).unwrap();
         assert!(result.feasibility.feasible());
+    }
+
+    #[test]
+    fn shards_partition_the_applications() {
+        let system = small_system();
+        let full = from_variant_system(&system, 15, default_params).unwrap();
+        let shard_count = 2;
+        let mut shard_applications: Vec<String> = Vec::new();
+        for shard in 0..shard_count {
+            let partial =
+                from_variant_system_shard(&system, 15, default_params, shard, shard_count).unwrap();
+            assert_eq!(partial.task_count(), full.task_count());
+            shard_applications.extend(partial.applications().iter().map(|a| a.name.clone()));
+        }
+        let mut full_applications: Vec<String> =
+            full.applications().iter().map(|a| a.name.clone()).collect();
+        shard_applications.sort();
+        full_applications.sort();
+        assert_eq!(shard_applications, full_applications);
+    }
+
+    #[test]
+    fn invalid_shard_bounds_are_rejected() {
+        let system = small_system();
+        assert!(matches!(
+            from_variant_system_shard(&system, 15, default_params, 2, 2),
+            Err(SynthError::Validation(_))
+        ));
+        assert!(matches!(
+            from_variant_system_shard(&system, 15, default_params, 0, 0),
+            Err(SynthError::Validation(_))
+        ));
     }
 }

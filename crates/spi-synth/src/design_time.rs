@@ -27,7 +27,10 @@ pub struct DesignTimeBreakdown {
 /// # Errors
 ///
 /// Returns [`SynthError::UnknownApplication`] or [`SynthError::UnknownTask`].
-pub fn per_application(problem: &SynthesisProblem, application: &str) -> Result<DesignTimeBreakdown> {
+pub fn per_application(
+    problem: &SynthesisProblem,
+    application: &str,
+) -> Result<DesignTimeBreakdown> {
     let app = problem
         .application(application)
         .ok_or_else(|| SynthError::UnknownApplication(application.to_string()))?;

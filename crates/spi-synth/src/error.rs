@@ -58,7 +58,9 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        assert!(SynthError::UnknownTask("PA".into()).to_string().contains("PA"));
+        assert!(SynthError::UnknownTask("PA".into())
+            .to_string()
+            .contains("PA"));
         let err: SynthError = VariantError::Validation("x".into()).into();
         assert!(std::error::Error::source(&err).is_some());
     }

@@ -36,7 +36,7 @@ pub mod report;
 pub mod schedule;
 pub mod strategy;
 
-pub use bridge::{from_variant_system, TaskParams};
+pub use bridge::{from_variant_system, from_variant_system_shard, TaskParams};
 pub use cost::CostBreakdown;
 pub use error::SynthError;
 pub use partition::{FeasibilityMode, PartitionResult, SearchStrategy};

@@ -6,8 +6,17 @@
 //! a greedy heuristic (with a local-improvement pass) for the larger synthetic systems
 //! used in the scaling experiments. [`optimize`] selects automatically based on the
 //! task count.
+//!
+//! The exhaustive search enumerates the `2^n` mapping masks in contiguous chunks
+//! across all hardware threads (via `rayon::scope`) and shares the best total cost
+//! found so far in an atomic **bound**: a mask whose hardware-area lower bound already
+//! exceeds the bound is discarded before the (much more expensive) schedulability
+//! check and cost evaluation run. The chunk results are reduced by the exact ordering
+//! key `(total cost, hardware-task count, Reverse(mask))`, so the parallel search
+//! returns the same optimum, bit for bit, as the historical serial scan.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::cost::{evaluate, CostBreakdown};
 use crate::error::SynthError;
@@ -51,8 +60,12 @@ pub struct PartitionResult {
     pub cost: CostBreakdown,
     /// The feasibility report of the chosen mapping.
     pub feasibility: FeasibilityReport,
-    /// Number of candidate mappings whose cost/feasibility was evaluated.
+    /// Number of candidate mappings enumerated by the search (bound-pruned
+    /// candidates included — they were considered, just discarded cheaply).
     pub evaluated_candidates: u64,
+    /// Of the enumerated candidates, how many the shared best-cost bound discarded
+    /// before schedulability/cost evaluation (always zero for the greedy search).
+    pub pruned_candidates: u64,
 }
 
 fn feasibility(
@@ -95,25 +108,192 @@ fn task_names(problem: &SynthesisProblem) -> Vec<String> {
     problem.tasks().map(|t| t.name.clone()).collect()
 }
 
+/// Best candidate found in one chunk of the mask range, keyed for exact
+/// tie-breaking. The historical serial scan replaces the incumbent on an exact
+/// `(total cost, hardware-task count)` tie, i.e. it keeps the **highest** mask
+/// among tied optima — `Reverse(mask)` reproduces that under a min-reduction.
+struct ChunkBest {
+    key: (u64, usize, std::cmp::Reverse<u64>),
+    result: PartitionResult,
+}
+
+/// Outcome of scanning one contiguous chunk of masks.
+struct ChunkOutcome {
+    best: Option<ChunkBest>,
+    pruned: u64,
+}
+
+fn materialize_mapping(names: &[String], mask: u64) -> Mapping {
+    let mut mapping = Mapping::new();
+    for (index, name) in names.iter().enumerate() {
+        let implementation = if mask & (1 << index) != 0 {
+            Implementation::Hardware
+        } else {
+            Implementation::Software
+        };
+        mapping.assign(name.clone(), implementation);
+    }
+    mapping
+}
+
+/// Scans `masks`, sharing (and tightening) the best-total bound with sibling chunks.
+fn search_chunk(
+    problem: &SynthesisProblem,
+    mode: FeasibilityMode,
+    names: &[String],
+    areas: &[u64],
+    masks: std::ops::Range<u64>,
+    bound: &AtomicU64,
+) -> Result<ChunkOutcome> {
+    let mut outcome = ChunkOutcome {
+        best: None,
+        pruned: 0,
+    };
+    for mask in masks {
+        // Hardware areas are a lower bound on the total cost of this mask (the
+        // processor, if needed, only adds to it). A strictly larger bound can
+        // neither beat nor tie the best mapping seen so far, so the expensive
+        // schedulability check and cost evaluation are skipped.
+        let mut area_bound = 0u64;
+        let mut bits = mask;
+        while bits != 0 {
+            let index = bits.trailing_zeros() as usize;
+            area_bound += areas[index];
+            bits &= bits - 1;
+        }
+        if area_bound > bound.load(Ordering::Relaxed) {
+            outcome.pruned += 1;
+            continue;
+        }
+
+        let mapping = materialize_mapping(names, mask);
+        let report = feasibility(problem, &mapping, mode)?;
+        if !report.feasible() {
+            continue;
+        }
+        let cost = evaluate(problem, &mapping, None)?;
+        bound.fetch_min(cost.total(), Ordering::Relaxed);
+        let key = (
+            cost.total(),
+            cost.hardware_tasks.len(),
+            std::cmp::Reverse(mask),
+        );
+        if outcome
+            .best
+            .as_ref()
+            .is_none_or(|current| key < current.key)
+        {
+            outcome.best = Some(ChunkBest {
+                key,
+                result: PartitionResult {
+                    mapping,
+                    cost,
+                    feasibility: report,
+                    evaluated_candidates: 0,
+                    pruned_candidates: 0,
+                },
+            });
+        }
+    }
+    Ok(outcome)
+}
+
 fn optimize_exhaustive(
     problem: &SynthesisProblem,
     mode: FeasibilityMode,
 ) -> Result<PartitionResult> {
     let names = task_names(problem);
     let n = names.len();
-    assert!(n < 64, "exhaustive search is limited to fewer than 64 tasks");
+    assert!(
+        n < 64,
+        "exhaustive search is limited to fewer than 64 tasks"
+    );
+    let total: u64 = 1u64 << n;
+    let areas: Vec<u64> = names
+        .iter()
+        .map(|name| problem.task(name).map_or(0, |task| task.hw_area))
+        .collect();
+
+    // One chunk per hardware thread is enough: the per-mask work is uniform apart
+    // from pruning, and fewer chunks keep the bound-sharing traffic low. Small
+    // spaces run on the calling thread — `optimize` fires once per application in
+    // the independent flows, so a per-call thread spawn would dominate there.
+    let bound = AtomicU64::new(u64::MAX);
+    let chunk_count = if total <= 1 << 10 {
+        1u64
+    } else {
+        rayon::current_num_threads().min(usize::try_from(total).unwrap_or(usize::MAX)) as u64
+    };
+
+    let outcomes: Vec<Result<ChunkOutcome>> = if chunk_count == 1 {
+        vec![search_chunk(
+            problem,
+            mode,
+            &names,
+            &areas,
+            0..total,
+            &bound,
+        )]
+    } else {
+        let chunk_size = total.div_ceil(chunk_count);
+        let mut slots: Vec<Option<Result<ChunkOutcome>>> = Vec::new();
+        slots.resize_with(chunk_count as usize, || None);
+        rayon::scope(|scope| {
+            for (chunk_index, slot) in slots.iter_mut().enumerate() {
+                let start = chunk_index as u64 * chunk_size;
+                let end = (start + chunk_size).min(total);
+                let (problem, names, areas, bound) = (problem, &names, &areas, &bound);
+                scope.spawn(move |_| {
+                    *slot = Some(search_chunk(problem, mode, names, areas, start..end, bound));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every chunk reports an outcome"))
+            .collect()
+    };
+
+    let mut best: Option<ChunkBest> = None;
+    let mut pruned = 0u64;
+    for outcome in outcomes {
+        let outcome = outcome?;
+        pruned += outcome.pruned;
+        if let Some(chunk_best) = outcome.best {
+            if best
+                .as_ref()
+                .is_none_or(|current| chunk_best.key < current.key)
+            {
+                best = Some(chunk_best);
+            }
+        }
+    }
+
+    let mut result = best.map(|chunk_best| chunk_best.result).ok_or_else(|| {
+        SynthError::Infeasible("no mapping satisfies the schedulability constraints".to_string())
+    })?;
+    result.evaluated_candidates = total;
+    result.pruned_candidates = pruned;
+    Ok(result)
+}
+
+/// The historical single-threaded, prune-free scan, kept as the reference the
+/// parallel search is tested against.
+#[cfg(test)]
+fn optimize_exhaustive_serial(
+    problem: &SynthesisProblem,
+    mode: FeasibilityMode,
+) -> Result<PartitionResult> {
+    let names = task_names(problem);
+    let n = names.len();
+    assert!(
+        n < 64,
+        "exhaustive search is limited to fewer than 64 tasks"
+    );
     let mut best: Option<PartitionResult> = None;
     let mut evaluated = 0u64;
     for mask in 0u64..(1u64 << n) {
-        let mut mapping = Mapping::new();
-        for (index, name) in names.iter().enumerate() {
-            let implementation = if mask & (1 << index) != 0 {
-                Implementation::Hardware
-            } else {
-                Implementation::Software
-            };
-            mapping.assign(name.clone(), implementation);
-        }
+        let mapping = materialize_mapping(&names, mask);
         evaluated += 1;
         let report = feasibility(problem, &mapping, mode)?;
         if !report.feasible() {
@@ -138,6 +318,7 @@ fn optimize_exhaustive(
                 cost,
                 feasibility: report,
                 evaluated_candidates: 0,
+                pruned_candidates: 0,
             });
         }
     }
@@ -229,6 +410,7 @@ fn optimize_greedy(problem: &SynthesisProblem, mode: FeasibilityMode) -> Result<
         cost,
         feasibility: report,
         evaluated_candidates: evaluated,
+        pruned_candidates: 0,
     })
 }
 
@@ -251,7 +433,10 @@ mod tests {
         .unwrap();
         assert_eq!(result.cost.total(), 41);
         assert_eq!(result.cost.hardware_tasks, vec!["PA"]);
-        assert_eq!(result.cost.software_tasks, vec!["PB", "cluster1", "cluster2"]);
+        assert_eq!(
+            result.cost.software_tasks,
+            vec!["PB", "cluster1", "cluster2"]
+        );
         assert!(result.feasibility.feasible());
         assert_eq!(result.evaluated_candidates, 16);
     }
@@ -260,12 +445,14 @@ mod tests {
     fn per_application_synthesis_matches_table1_rows() {
         let problem = toy_problem();
         let app1 = problem.restrict_to("application1").unwrap();
-        let result1 = optimize(&app1, FeasibilityMode::PerApplication, SearchStrategy::Auto).unwrap();
+        let result1 =
+            optimize(&app1, FeasibilityMode::PerApplication, SearchStrategy::Auto).unwrap();
         assert_eq!(result1.cost.total(), 34);
         assert_eq!(result1.cost.hardware_tasks, vec!["cluster1"]);
 
         let app2 = problem.restrict_to("application2").unwrap();
-        let result2 = optimize(&app2, FeasibilityMode::PerApplication, SearchStrategy::Auto).unwrap();
+        let result2 =
+            optimize(&app2, FeasibilityMode::PerApplication, SearchStrategy::Auto).unwrap();
         assert_eq!(result2.cost.total(), 38);
         assert_eq!(result2.cost.hardware_tasks, vec!["cluster2"]);
     }
@@ -319,6 +506,60 @@ mod tests {
     }
 
     #[test]
+    fn parallel_exhaustive_matches_the_serial_reference_on_table1() {
+        // Acceptance check for the chunked search: same optimum, same mapping, same
+        // tie-breaking as the historical serial scan on the paper's Table 1 problem.
+        let problem = toy_problem();
+        for mode in [FeasibilityMode::PerApplication, FeasibilityMode::Serialized] {
+            let parallel = optimize_exhaustive(&problem, mode).unwrap();
+            let serial = optimize_exhaustive_serial(&problem, mode).unwrap();
+            assert_eq!(parallel.mapping, serial.mapping);
+            assert_eq!(parallel.cost, serial.cost);
+            assert_eq!(parallel.evaluated_candidates, serial.evaluated_candidates);
+        }
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_serial_on_a_chunked_space() {
+        // 14 tasks = 16384 masks: beyond the serial-scan threshold, so the search
+        // actually fans out over multiple chunks and the shared bound prunes.
+        let mut problem = SynthesisProblem::new("chunked", 40);
+        let mut app_a = Vec::new();
+        let mut app_b = Vec::new();
+        for index in 0..14u64 {
+            let name = format!("t{index}");
+            problem.add_task(TaskSpec::new(
+                &name,
+                20 + (index * 13) % 60,
+                100,
+                10 + (index * 7) % 30,
+                5,
+            ));
+            if index % 2 == 0 {
+                app_a.push(name);
+            } else {
+                app_b.push(name);
+            }
+        }
+        problem
+            .add_application(ApplicationSpec::new("a", app_a))
+            .unwrap();
+        problem
+            .add_application(ApplicationSpec::new("b", app_b))
+            .unwrap();
+
+        let parallel = optimize_exhaustive(&problem, FeasibilityMode::PerApplication).unwrap();
+        let serial = optimize_exhaustive_serial(&problem, FeasibilityMode::PerApplication).unwrap();
+        assert_eq!(parallel.mapping, serial.mapping);
+        assert_eq!(parallel.cost.total(), serial.cost.total());
+        assert_eq!(parallel.evaluated_candidates, 1 << 14);
+        assert!(
+            parallel.pruned_candidates > 0,
+            "the shared bound should discard some of the 16384 masks"
+        );
+    }
+
+    #[test]
     fn greedy_handles_larger_systems() {
         // 24 tasks exceed the exhaustive limit; Auto must still terminate and produce a
         // feasible mapping.
@@ -337,9 +578,18 @@ mod tests {
                 app_b.push(name.clone());
             }
         }
-        problem.add_application(ApplicationSpec::new("a", app_a)).unwrap();
-        problem.add_application(ApplicationSpec::new("b", app_b)).unwrap();
-        let result = optimize(&problem, FeasibilityMode::PerApplication, SearchStrategy::Auto).unwrap();
+        problem
+            .add_application(ApplicationSpec::new("a", app_a))
+            .unwrap();
+        problem
+            .add_application(ApplicationSpec::new("b", app_b))
+            .unwrap();
+        let result = optimize(
+            &problem,
+            FeasibilityMode::PerApplication,
+            SearchStrategy::Auto,
+        )
+        .unwrap();
         assert!(result.feasibility.feasible());
         assert!(result.evaluated_candidates < 1u64 << 24);
     }
@@ -348,7 +598,11 @@ mod tests {
     fn infeasible_without_applications() {
         let problem = SynthesisProblem::new("empty", 1);
         assert!(matches!(
-            optimize(&problem, FeasibilityMode::PerApplication, SearchStrategy::Auto),
+            optimize(
+                &problem,
+                FeasibilityMode::PerApplication,
+                SearchStrategy::Auto
+            ),
             Err(SynthError::NoApplications)
         ));
     }
@@ -360,9 +614,17 @@ mod tests {
         problem.add_task(TaskSpec::new("x", 500, 100, 7, 1));
         problem.add_task(TaskSpec::new("y", 800, 100, 9, 1));
         problem
-            .add_application(ApplicationSpec::new("a", ["x".to_string(), "y".to_string()]))
+            .add_application(ApplicationSpec::new(
+                "a",
+                ["x".to_string(), "y".to_string()],
+            ))
             .unwrap();
-        let result = optimize(&problem, FeasibilityMode::PerApplication, SearchStrategy::Auto).unwrap();
+        let result = optimize(
+            &problem,
+            FeasibilityMode::PerApplication,
+            SearchStrategy::Auto,
+        )
+        .unwrap();
         assert_eq!(result.cost.software_tasks.len(), 0);
         assert_eq!(result.cost.total(), 16);
     }

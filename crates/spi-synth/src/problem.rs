@@ -193,8 +193,7 @@ impl SynthesisProblem {
             .map(String::as_str)
             .collect();
         for application in &self.applications[1..] {
-            let present: BTreeSet<&str> =
-                application.tasks.iter().map(String::as_str).collect();
+            let present: BTreeSet<&str> = application.tasks.iter().map(String::as_str).collect();
             common = common.intersection(&present).copied().collect();
         }
         common.into_iter().collect()
@@ -346,9 +345,12 @@ impl Mapping {
 
 impl fmt::Display for Mapping {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SW: {{{}}} HW: {{{}}}",
+        write!(
+            f,
+            "SW: {{{}}} HW: {{{}}}",
             self.software_tasks().join(", "),
-            self.hardware_tasks().join(", "))
+            self.hardware_tasks().join(", ")
+        )
     }
 }
 
@@ -422,7 +424,10 @@ pub(crate) mod tests {
     #[test]
     fn validate_catches_empty_problems() {
         let problem = SynthesisProblem::new("empty", 1);
-        assert!(matches!(problem.validate(), Err(SynthError::NoApplications)));
+        assert!(matches!(
+            problem.validate(),
+            Err(SynthError::NoApplications)
+        ));
         assert!(toy_problem().validate().is_ok());
     }
 

@@ -8,8 +8,8 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-use crate::strategy::{independent, superposition, variant_aware};
 use crate::problem::SynthesisProblem;
+use crate::strategy::{independent, superposition, variant_aware};
 use crate::Result;
 
 /// One row of the reproduced Table 1.

@@ -117,7 +117,10 @@ pub fn check(problem: &SynthesisProblem, mapping: &Mapping) -> Result<Feasibilit
 /// # Errors
 ///
 /// Same as [`check`].
-pub fn check_serialized(problem: &SynthesisProblem, mapping: &Mapping) -> Result<FeasibilityReport> {
+pub fn check_serialized(
+    problem: &SynthesisProblem,
+    mapping: &Mapping,
+) -> Result<FeasibilityReport> {
     let mut load = 0u64;
     for task in problem.tasks() {
         match mapping.implementation(&task.name) {

@@ -39,24 +39,38 @@ impl fmt::Display for SynthesisResult {
         write!(
             f,
             "{}: {} (design time {})",
-            self.strategy,
-            self.cost,
-            self.design_time
+            self.strategy, self.cost, self.design_time
         )
     }
 }
 
 /// Synthesizes every application independently.
 ///
-/// Returns one result per application, in application order.
+/// Returns one result per application, in application order. This is the eager
+/// collection of [`independent_iter`].
 ///
 /// # Errors
 ///
 /// Propagates optimizer and design-time errors.
 pub fn independent(problem: &SynthesisProblem) -> Result<Vec<SynthesisResult>> {
+    independent_iter(problem)?.collect()
+}
+
+/// Lazily synthesizes every application, yielding one result at a time.
+///
+/// On a problem bridged from a large variant space (one application per
+/// combination) this streams results without holding all of them — the shape
+/// consumed by sharded exploration, where a worker drains only its slice.
+///
+/// # Errors
+///
+/// Problem validation errors are returned immediately; per-application optimizer
+/// and design-time errors are yielded in place of that application's result.
+pub fn independent_iter(
+    problem: &SynthesisProblem,
+) -> Result<impl Iterator<Item = Result<SynthesisResult>> + '_> {
     problem.validate()?;
-    let mut results = Vec::new();
-    for application in problem.applications() {
+    Ok(problem.applications().iter().map(move |application| {
         let restricted = problem.restrict_to(&application.name)?;
         let partition = optimize(
             &restricted,
@@ -64,15 +78,14 @@ pub fn independent(problem: &SynthesisProblem) -> Result<Vec<SynthesisResult>> {
             SearchStrategy::Auto,
         )?;
         let design_time = design_time::per_application(problem, &application.name)?;
-        results.push(SynthesisResult {
+        Ok(SynthesisResult {
             strategy: format!("independent({})", application.name),
             mapping: partition.mapping,
             cost: partition.cost,
             design_time: design_time.total,
             feasibility: partition.feasibility,
-        });
-    }
-    Ok(results)
+        })
+    }))
 }
 
 /// Superposes the independently synthesized architectures into one flexible target

@@ -163,8 +163,16 @@ pub fn table1_params(task: &str) -> Option<spi_synth::TaskParams> {
 /// Propagates model construction errors (none are expected for the fixed example).
 pub fn figure3_system(selected: &str) -> Result<VariantSystem, WorkloadError> {
     let mut b = GraphBuilder::new("figure3");
-    let user = b.process("PUser").latency(Interval::point(1)).environment().build()?;
-    let source = b.process("PSource").latency(Interval::point(1)).environment().build()?;
+    let user = b
+        .process("PUser")
+        .latency(Interval::point(1))
+        .environment()
+        .build()?;
+    let source = b
+        .process("PSource")
+        .latency(Interval::point(1))
+        .environment()
+        .build()?;
     let sink = b.process("PSink").latency(Interval::point(1)).build()?;
     let cv = b.channel("CV", ChannelKind::Register)?;
     let cin = b.channel("CIn", ChannelKind::Queue)?;

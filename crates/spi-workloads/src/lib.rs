@@ -22,7 +22,7 @@ pub mod video;
 
 pub use figures::{figure1, figure2_system, figure3_system, table1_params, table1_problem};
 pub use scenarios::{automotive_problem, automotive_system, tv_problem, tv_system};
-pub use synthetic::{synthetic_problem, synthetic_system, SyntheticParams};
+pub use synthetic::{scaling_system, synthetic_problem, synthetic_system, SyntheticParams};
 pub use video::{
     run_video_scenario, video_simulator, video_system, VideoOutcome, VideoParams, VideoScenario,
 };
@@ -97,8 +97,7 @@ mod tests {
     fn workload_error_wraps_every_layer() {
         let model: WorkloadError = spi_model::ModelError::CyclicGraph.into();
         assert!(model.to_string().contains("model error"));
-        let variants: WorkloadError =
-            spi_variants::VariantError::Validation("x".into()).into();
+        let variants: WorkloadError = spi_variants::VariantError::Validation("x".into()).into();
         assert!(std::error::Error::source(&variants).is_some());
         let synth: WorkloadError = spi_synth::SynthError::NoApplications.into();
         assert!(synth.to_string().contains("synthesis"));

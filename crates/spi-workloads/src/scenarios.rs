@@ -25,10 +25,10 @@ fn pipeline_common(name: &str, stages: &[&str]) -> Result<SpiGraph, WorkloadErro
     let mut previous = None;
     for (index, stage) in stages.iter().enumerate() {
         let process = b.process(*stage).latency(Interval::point(2)).build()?;
-        if previous.is_some() {
+        if let Some(previous) = previous {
             let into = b.channel(format!("gap{index}_in"), ChannelKind::Queue)?;
             let out_of = b.channel(format!("gap{index}_out"), ChannelKind::Queue)?;
-            b.connect_output(previous.unwrap(), into, Interval::point(1))?;
+            b.connect_output(previous, into, Interval::point(1))?;
             b.connect_input(out_of, process, Interval::point(1))?;
         }
         previous = Some(process);
@@ -99,7 +99,11 @@ pub fn tv_params(task: &str) -> Option<TaskParams> {
 ///
 /// Propagates bridge errors.
 pub fn tv_problem() -> Result<SynthesisProblem, WorkloadError> {
-    Ok(spi_synth::from_variant_system(&tv_system()?, 20, tv_params)?)
+    Ok(spi_synth::from_variant_system(
+        &tv_system()?,
+        20,
+        tv_params,
+    )?)
 }
 
 /// Builds the automotive scenario: an engine controller whose exhaust treatment strategy

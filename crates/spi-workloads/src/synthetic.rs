@@ -43,6 +43,43 @@ impl Default for SyntheticParams {
     }
 }
 
+impl SyntheticParams {
+    /// The variant-space scaling scenario: `interfaces` variant sets of
+    /// `clusters_per_interface` variants each, i.e. a cross product of
+    /// `clusters_per_interface ^ interfaces` combinations.
+    ///
+    /// This is the regime the lazy enumeration / [`spi_variants::Flattener`] hot
+    /// path is built for (e.g. `scaling(20, 2)` spans 2^20 combinations); the
+    /// shallow clusters keep each combination's graph small so that throughput
+    /// measurements are dominated by the enumeration/flattening machinery itself.
+    pub fn scaling(interfaces: usize, clusters_per_interface: usize) -> Self {
+        SyntheticParams {
+            common_tasks: interfaces + 1,
+            interfaces,
+            clusters_per_interface,
+            cluster_depth: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// Builds the model-level scaling scenario of [`SyntheticParams::scaling`]: a chain of
+/// common processes with `interfaces` interfaces of `clusters_per_interface` clusters
+/// spliced between them.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none are expected for generated names).
+pub fn scaling_system(
+    interfaces: usize,
+    clusters_per_interface: usize,
+) -> Result<VariantSystem, WorkloadError> {
+    synthetic_system(&SyntheticParams::scaling(
+        interfaces,
+        clusters_per_interface,
+    ))
+}
+
 /// Generates a synthetic synthesis problem: `common_tasks` shared tasks plus one task
 /// per (interface, cluster), and one application per variant combination.
 ///
@@ -126,10 +163,10 @@ pub fn synthetic_system(params: &SyntheticParams) -> Result<VariantSystem, Workl
             .process(format!("common{stage}"))
             .latency(Interval::point(rng.gen_range(1..6)))
             .build()?;
-        if previous.is_some() {
+        if let Some(previous) = previous {
             let into = b.channel(format!("gap{stage}_in"), ChannelKind::Queue)?;
             let out_of = b.channel(format!("gap{stage}_out"), ChannelKind::Queue)?;
-            b.connect_output(previous.unwrap(), into, Interval::point(1))?;
+            b.connect_output(previous, into, Interval::point(1))?;
             b.connect_input(out_of, process, Interval::point(1))?;
         }
         previous = Some(process);
@@ -167,8 +204,8 @@ pub fn synthetic_system(params: &SyntheticParams) -> Result<VariantSystem, Workl
             interface.add_cluster(cluster)?;
         }
         let attachment = system.attach_interface(interface, VariantType::Production)?;
-        system.bind_input(attachment, "i", &format!("gap{}_in", interface_index + 1))?;
-        system.bind_output(attachment, "o", &format!("gap{}_out", interface_index + 1))?;
+        system.bind_input(attachment, "i", format!("gap{}_in", interface_index + 1))?;
+        system.bind_output(attachment, "o", format!("gap{}_out", interface_index + 1))?;
     }
     system.validate()?;
     Ok(system)
@@ -185,11 +222,7 @@ mod tests {
         let a = synthetic_problem(&params).unwrap();
         let b = synthetic_problem(&params).unwrap();
         assert_eq!(a, b);
-        let other = synthetic_problem(&SyntheticParams {
-            seed: 7,
-            ..params
-        })
-        .unwrap();
+        let other = synthetic_problem(&SyntheticParams { seed: 7, ..params }).unwrap();
         assert_ne!(a, other);
     }
 
@@ -224,6 +257,37 @@ mod tests {
             design_time::independent(problem).unwrap().total - design_time::joint(problem).total
         };
         assert!(gap(&many) > gap(&few));
+    }
+
+    #[test]
+    fn scaling_scenario_spans_a_megavariant_space_lazily() {
+        use spi_variants::Flattener;
+
+        // 2^20 combinations: far beyond what eager enumeration/flattening could
+        // materialize, yet the lazy space handles counting, random access and
+        // strided sampling in microseconds.
+        let system = scaling_system(20, 2).unwrap();
+        let space = system.variant_space();
+        assert_eq!(space.count(), 1 << 20);
+        assert_eq!(space.choices_iter().len(), 1 << 20);
+
+        let flattener = Flattener::new(&system).unwrap();
+        // Strided shard: every 2^17th combination, 8 flattens in total.
+        for (_, graph) in (0..8).map(|i| flattener.flatten_at(i << 17).unwrap()) {
+            assert!(graph.validate().is_ok());
+            // 21 common chain processes + one single-process cluster per interface.
+            assert_eq!(graph.process_count(), 21 + 20);
+        }
+    }
+
+    #[test]
+    fn scaling_params_shape_matches_arguments() {
+        let params = SyntheticParams::scaling(5, 3);
+        let system = synthetic_system(&params).unwrap();
+        assert_eq!(system.attachment_count(), 5);
+        assert_eq!(system.variant_space().count(), 3usize.pow(5));
+        let problem = synthetic_problem(&params).unwrap();
+        assert_eq!(problem.task_count(), params.common_tasks + 5 * 3);
     }
 
     #[test]

@@ -97,6 +97,7 @@ pub struct VideoOutcome {
     pub reconfiguration_latency: u64,
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the seven wiring parameters of the paper's valve element
 fn valve(
     b: &mut GraphBuilder,
     name: &str,
@@ -112,7 +113,11 @@ fn valve(
     // valid image, modelled as a token tagged `suspend_tag`.
     let normal = ModeSpec::new("normal", Interval::point(latency))
         .consume(input, Interval::point(1))
-        .produce_tagged(output, Interval::point(1), [normal_tag].into_iter().collect());
+        .produce_tagged(
+            output,
+            Interval::point(1),
+            [normal_tag].into_iter().collect(),
+        );
     let mut suspend =
         ModeSpec::new("suspend", Interval::point(latency)).consume(input, Interval::point(1));
     if let Some(tag) = suspend_tag {
@@ -196,7 +201,16 @@ pub fn video_system(params: &VideoParams) -> Result<(SpiGraph, ConfigurationMap)
     let creq1 = b.channel("CReq1", ChannelKind::Register)?;
     let creq2 = b.channel("CReq2", ChannelKind::Register)?;
 
-    valve(&mut b, "PIn", cvin, cin_ctl, cv1, "frame", None, params.valve_latency)?;
+    valve(
+        &mut b,
+        "PIn",
+        cvin,
+        cin_ctl,
+        cv1,
+        "frame",
+        None,
+        params.valve_latency,
+    )?;
     let p1 = stage(&mut b, "P1", cv1, cv2, creq1, params.p1_latency)?;
     let p2 = stage(&mut b, "P2", cv2, cv3, creq2, params.p2_latency)?;
     valve(
@@ -223,14 +237,30 @@ pub fn video_system(params: &VideoParams) -> Result<(SpiGraph, ConfigurationMap)
     configurations.insert(
         p1,
         ConfigurationSet::new()
-            .with_configuration(Configuration::new("conf1", [ModeId::new(0)], params.p1_reconfiguration.0))
-            .with_configuration(Configuration::new("conf2", [ModeId::new(1)], params.p1_reconfiguration.1)),
+            .with_configuration(Configuration::new(
+                "conf1",
+                [ModeId::new(0)],
+                params.p1_reconfiguration.0,
+            ))
+            .with_configuration(Configuration::new(
+                "conf2",
+                [ModeId::new(1)],
+                params.p1_reconfiguration.1,
+            )),
     );
     configurations.insert(
         p2,
         ConfigurationSet::new()
-            .with_configuration(Configuration::new("conf1", [ModeId::new(0)], params.p2_reconfiguration.0))
-            .with_configuration(Configuration::new("conf2", [ModeId::new(1)], params.p2_reconfiguration.1)),
+            .with_configuration(Configuration::new(
+                "conf1",
+                [ModeId::new(0)],
+                params.p2_reconfiguration.0,
+            ))
+            .with_configuration(Configuration::new(
+                "conf2",
+                [ModeId::new(1)],
+                params.p2_reconfiguration.1,
+            )),
     );
     Ok((graph, configurations))
 }
@@ -266,8 +296,16 @@ pub fn video_simulator(
         simulator.inject_by_name(*time, "COutCtl", Token::tagged("suspend"))?;
         simulator.inject_by_name(*time, "CReq1", Token::tagged(*variant))?;
         simulator.inject_by_name(*time, "CReq2", Token::tagged(*variant))?;
-        simulator.inject_by_name(*time + scenario.resume_delay, "CInCtl", Token::tagged("resume"))?;
-        simulator.inject_by_name(*time + scenario.resume_delay, "COutCtl", Token::tagged("resume"))?;
+        simulator.inject_by_name(
+            *time + scenario.resume_delay,
+            "CInCtl",
+            Token::tagged("resume"),
+        )?;
+        simulator.inject_by_name(
+            *time + scenario.resume_delay,
+            "COutCtl",
+            Token::tagged("resume"),
+        )?;
     }
     Ok(simulator)
 }

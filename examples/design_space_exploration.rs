@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let superposition = strategy::superposition(&problem)?;
     let variant_aware = strategy::variant_aware(&problem)?;
     let serialized = baseline::serialization(&problem)?;
-    let order: Vec<&str> = problem.applications().iter().map(|a| a.name.as_str()).collect();
+    let order: Vec<&str> = problem
+        .applications()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
     let incremental = baseline::incremental(&problem, &order)?;
     for result in [&superposition, &variant_aware, &serialized, &incremental] {
         println!(

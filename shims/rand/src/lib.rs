@@ -1,0 +1,121 @@
+//! Offline stand-in for the parts of `rand` this workspace uses.
+//!
+//! The build environment has no crates.io access. The workloads crate only
+//! needs a seeded, deterministic generator with `seed_from_u64` and
+//! `gen_range` over integer ranges, so this shim implements exactly that on
+//! top of splitmix64 (a well-distributed 64-bit mixer). Sequences are
+//! deterministic for a given seed — the property the synthetic-workload
+//! generators rely on — but do **not** match the real `rand::rngs::StdRng`
+//! byte-for-byte; the generators in this repository only require per-seed
+//! determinism, not a specific stream.
+
+use std::ops::Range;
+
+/// Subset of `rand::Rng`: integer range sampling.
+pub trait Rng {
+    /// Returns the next raw 64-bit value of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range` (`range.start <= x < range.end`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, like the real `rand`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+/// Subset of `rand::SeedableRng`: seeding from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `range` using `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end - range.start) as u64;
+                // Modulo bias is negligible for the tiny spans used by the
+                // workload generators (all far below 2^32).
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    //! Stand-in for `rand::rngs`.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator, stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea, Flood 2014): one addition, three xors,
+            // two multiplies; passes BigCrush when used as a stream.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(5..20);
+            assert!((5..20).contains(&x));
+            let y: usize = rng.gen_range(0..3);
+            assert!(y < 3);
+        }
+    }
+}

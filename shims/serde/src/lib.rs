@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this shim supplies the
+//! two trait names and the derive macros that the workspace imports. The
+//! traits are pure markers implemented for every type; the derives expand to
+//! nothing (see `serde_derive`). No code in the workspace serializes values
+//! today — when that changes, replace the `path` dependency with the real
+//! `serde = { version = "1", features = ["derive"] }` and everything keeps
+//! compiling unchanged.
+
+/// Marker stand-in for `serde::Serialize`; implemented for all types.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

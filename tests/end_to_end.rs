@@ -59,7 +59,10 @@ fn table1_shape_holds_for_model_derived_costs() {
     assert_eq!(superposition.time, app1.time + app2.time);
     assert!(variants.time < superposition.time);
     // Superposition reuses the software architecture but pays for both ASICs.
-    assert_eq!(superposition.hardware_cost, app1.hardware_cost + app2.hardware_cost);
+    assert_eq!(
+        superposition.hardware_cost,
+        app1.hardware_cost + app2.hardware_cost
+    );
     assert_eq!(superposition.software_cost, app1.software_cost);
     // The variant-aware flow moves the common process into hardware.
     assert!(variants.hardware.contains(&"PA".to_string()));
@@ -167,16 +170,23 @@ fn variant_aware_synthesis_dominates_baselines_on_the_tv_scenario() {
     assert!(variant_aware.cost.total() <= serialized.cost.total());
     assert!(variant_aware.cost.total() <= incremental.cost.total());
     assert!(variant_aware.feasibility.feasible());
-    assert!(design_time::joint(&problem).total <= design_time::independent(&problem).unwrap().total);
+    assert!(
+        design_time::joint(&problem).total <= design_time::independent(&problem).unwrap().total
+    );
 }
 
 #[test]
 fn tv_system_round_trips_through_the_bridge() {
     let system = tv_system().unwrap();
-    let problem = from_variant_system(&system, 20, spi_repro::workloads::scenarios::tv_params).unwrap();
+    let problem =
+        from_variant_system(&system, 20, spi_repro::workloads::scenarios::tv_params).unwrap();
     assert_eq!(problem.applications().len(), system.variant_space().count());
     assert_eq!(
         problem.common_tasks().len(),
-        system.common().processes().filter(|p| !p.is_virtual()).count()
+        system
+            .common()
+            .processes()
+            .filter(|p| !p.is_virtual())
+            .count()
     );
 }

@@ -1,104 +1,266 @@
-//! Property-based tests over the core data structures and the paper's structural
-//! invariants, using proptest.
+//! Property-style tests over the core data structures and the paper's structural
+//! invariants.
+//!
+//! The build environment has no crates.io access, so instead of `proptest` these
+//! tests drive the same properties through a deterministic case generator: a
+//! seeded LCG (`Cases`) produces a few hundred pseudo-random inputs per property,
+//! which keeps failures reproducible without any dependency.
 
-use proptest::prelude::*;
-
-use spi_repro::model::{ChannelKind, GraphBuilder, Interval};
+use spi_repro::model::{ChannelKind, GraphBuilder, Interval, SpiGraph};
 use spi_repro::synth::{design_time, strategy, ApplicationSpec, SynthesisProblem, TaskSpec};
-use spi_repro::variants::{Cluster, Interface, VariantSystem, VariantType};
+use spi_repro::variants::{
+    Cluster, Flattener, Interface, VariantChoice, VariantSpace, VariantSystem, VariantType,
+};
 
-fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (0u64..1_000, 0u64..1_000).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)).unwrap())
+/// Deterministic pseudo-random case generator (64-bit LCG, same constants as the
+/// historical in-tree generator).
+struct Cases {
+    state: u64,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The hull of two intervals contains both operands; intersection (when it exists)
-    /// is contained in both.
-    #[test]
-    fn interval_hull_and_intersection_are_bounds(a in interval_strategy(), b in interval_strategy()) {
-        let hull = a.hull(b);
-        prop_assert!(hull.contains_interval(a));
-        prop_assert!(hull.contains_interval(b));
-        if let Some(meet) = a.intersect(b) {
-            prop_assert!(a.contains_interval(meet));
-            prop_assert!(b.contains_interval(meet));
-            prop_assert!(hull.contains_interval(meet));
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Cases {
+            state: seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407),
         }
     }
 
-    /// Interval addition is monotone in both bounds and commutative.
-    #[test]
-    fn interval_addition_is_commutative_and_monotone(a in interval_strategy(), b in interval_strategy()) {
-        let sum = a.add(b);
-        prop_assert_eq!(sum, b.add(a));
-        prop_assert!(sum.lo() >= a.lo() && sum.lo() >= b.lo());
-        prop_assert!(sum.hi() >= a.hi() && sum.hi() >= b.hi());
+    fn next(&mut self, range: u64) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.state >> 33) % range.max(1)
     }
 
-    /// A variant system with `k` interfaces of `n_i` clusters spans `prod(n_i)` variant
-    /// combinations, and every combination flattens into a graph that contains the
-    /// common processes plus exactly the chosen clusters' processes.
-    #[test]
-    fn variant_space_and_flattening_are_consistent(
-        clusters_per_interface in prop::collection::vec(1usize..4, 1..3),
-        cluster_size in 1usize..4,
-    ) {
-        let system = build_synthetic_system(&clusters_per_interface, cluster_size).unwrap();
+    fn interval(&mut self) -> Interval {
+        let a = self.next(1_000);
+        let b = self.next(1_000);
+        Interval::new(a.min(b), a.max(b)).unwrap()
+    }
+}
+
+// --- interval algebra ------------------------------------------------------------
+
+#[test]
+fn interval_hull_and_intersection_are_bounds() {
+    let mut cases = Cases::new(1);
+    for _ in 0..256 {
+        let a = cases.interval();
+        let b = cases.interval();
+        let hull = a.hull(b);
+        assert!(hull.contains_interval(a));
+        assert!(hull.contains_interval(b));
+        if let Some(meet) = a.intersect(b) {
+            assert!(a.contains_interval(meet));
+            assert!(b.contains_interval(meet));
+            assert!(hull.contains_interval(meet));
+        }
+    }
+}
+
+#[test]
+fn interval_addition_is_commutative_and_monotone() {
+    let mut cases = Cases::new(2);
+    for _ in 0..256 {
+        let a = cases.interval();
+        let b = cases.interval();
+        let sum = a.add(b);
+        assert_eq!(sum, b.add(a));
+        assert!(sum.lo() >= a.lo() && sum.lo() >= b.lo());
+        assert!(sum.hi() >= a.hi() && sum.hi() >= b.hi());
+    }
+}
+
+// --- lazy enumeration vs the eager cross product ---------------------------------
+
+/// Builds a variant space with the given cluster counts (axis `i` is named
+/// `propspace{tag}_if{i}` to keep interned names collision-free across tests).
+fn space_with_axes(tag: &str, clusters_per_axis: &[usize]) -> VariantSpace {
+    VariantSpace::new(
+        clusters_per_axis
+            .iter()
+            .enumerate()
+            .map(|(axis, &clusters)| {
+                (
+                    format!("propspace{tag}_if{axis}"),
+                    (0..clusters).map(|c| format!("v{c}")).collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn choices_iter_agrees_with_eager_choices_in_count_order_and_content() {
+    let mut cases = Cases::new(3);
+    for round in 0..64 {
+        let axis_count = 1 + cases.next(4) as usize;
+        let clusters: Vec<usize> = (0..axis_count)
+            .map(|_| 1 + cases.next(4) as usize)
+            .collect();
+        let space = space_with_axes(&format!("agree{round}"), &clusters);
+
+        let eager = space.choices();
+        let lazy: Vec<VariantChoice> = space.choices_iter().collect();
+        assert_eq!(
+            eager.len(),
+            space.count(),
+            "count mismatch for {clusters:?}"
+        );
+        assert_eq!(eager, lazy, "order/content mismatch for {clusters:?}");
+        assert_eq!(space.choices_iter().len(), eager.len());
+    }
+}
+
+#[test]
+fn nth_matches_indexing_into_the_eager_enumeration() {
+    let space = space_with_axes("nth", &[3, 2, 4]);
+    let eager = space.choices();
+    for (index, expected) in eager.iter().enumerate() {
+        assert_eq!(space.choices_iter().nth(index).as_ref(), Some(expected));
+        assert_eq!(space.choice_at(index).as_ref(), Some(expected));
+    }
+    assert_eq!(space.choices_iter().nth(space.count()), None);
+    assert_eq!(space.choice_at(space.count()), None);
+}
+
+#[test]
+fn strided_shards_cover_the_space_exactly_once() {
+    let mut cases = Cases::new(4);
+    for round in 0..32 {
+        let clusters: Vec<usize> = (0..1 + cases.next(3) as usize)
+            .map(|_| 1 + cases.next(4) as usize)
+            .collect();
+        let space = space_with_axes(&format!("shard{round}"), &clusters);
+        let shard_count = 1 + cases.next(5) as usize;
+
+        let mut recombined: Vec<VariantChoice> = Vec::new();
+        for shard in 0..shard_count {
+            recombined.extend(space.choices_iter().skip(shard).step_by(shard_count));
+        }
+        recombined.sort();
+        let mut expected = space.choices();
+        expected.sort();
+        assert_eq!(
+            recombined, expected,
+            "shards {shard_count} over {clusters:?} must partition the space"
+        );
+    }
+}
+
+#[test]
+fn empty_and_collapsed_spaces_enumerate_nothing() {
+    // No axes at all.
+    let empty = VariantSpace::default();
+    assert_eq!(empty.count(), 0);
+    assert_eq!(empty.choices_iter().count(), 0);
+    assert!(empty.choices().is_empty());
+
+    // An axis without clusters collapses the product to zero.
+    let collapsed = space_with_axes("collapsed", &[2, 0, 3]);
+    assert_eq!(collapsed.count(), 0);
+    assert_eq!(collapsed.choices_iter().len(), 0);
+    assert_eq!(collapsed.choices_iter().next(), None);
+    assert!(collapsed.choices().is_empty());
+}
+
+// --- variant systems: space, flattening, Flattener -------------------------------
+
+#[test]
+fn variant_space_and_flattening_are_consistent() {
+    let mut cases = Cases::new(5);
+    for round in 0..24 {
+        let interface_count = 1 + cases.next(2) as usize;
+        let clusters_per_interface: Vec<usize> = (0..interface_count)
+            .map(|_| 1 + cases.next(3) as usize)
+            .collect();
+        let cluster_size = 1 + cases.next(3) as usize;
+        let system = build_synthetic_system(round, &clusters_per_interface, cluster_size).unwrap();
         let expected: usize = clusters_per_interface.iter().product();
-        prop_assert_eq!(system.variant_space().count(), expected);
+        assert_eq!(system.variant_space().count(), expected);
 
         let common_processes = system.common().process_count();
         let flattened = system.flatten_all().unwrap();
-        prop_assert_eq!(flattened.len(), expected);
+        assert_eq!(flattened.len(), expected);
         for (_, graph) in flattened {
-            prop_assert!(graph.validate().is_ok());
-            prop_assert_eq!(
+            assert!(graph.validate().is_ok());
+            assert_eq!(
                 graph.process_count(),
                 common_processes + clusters_per_interface.len() * cluster_size
             );
         }
     }
+}
 
-    /// On any synthesizable problem: the variant-aware optimum never costs more than
-    /// the superposition of per-application optima, and the joint design time never
-    /// exceeds the independent design time.
-    #[test]
-    fn variant_aware_never_loses_to_superposition(
-        common in 1usize..4,
-        variants in 2usize..4,
-        seed in 0u64..50,
-    ) {
+#[test]
+fn flattener_agrees_with_legacy_flatten_everywhere() {
+    let mut cases = Cases::new(6);
+    for round in 0..16 {
+        let clusters_per_interface: Vec<usize> = (0..1 + cases.next(2) as usize)
+            .map(|_| 1 + cases.next(3) as usize)
+            .collect();
+        let cluster_size = 1 + cases.next(2) as usize;
+        let system =
+            build_synthetic_system(100 + round, &clusters_per_interface, cluster_size).unwrap();
+
+        let flattener = Flattener::new(&system).unwrap();
+        let mut scratch = SpiGraph::new("");
+        for (index, choice) in system.variant_space().choices_iter().enumerate() {
+            let legacy = system.flatten(&choice).unwrap();
+            let fast = flattener.flatten(&choice).unwrap();
+            assert_eq!(legacy, fast, "combination {index} diverged");
+            flattener.flatten_into(&choice, &mut scratch).unwrap();
+            assert_eq!(legacy, scratch, "flatten_into diverged at {index}");
+            let (decoded, indexed) = flattener.flatten_at(index).unwrap();
+            assert_eq!(decoded, choice);
+            assert_eq!(legacy, indexed, "flatten_at diverged at {index}");
+        }
+    }
+}
+
+// --- synthesis dominance ---------------------------------------------------------
+
+#[test]
+fn variant_aware_never_loses_to_superposition() {
+    let mut cases = Cases::new(7);
+    for _ in 0..48 {
+        let common = 1 + cases.next(3) as usize;
+        let variants = 2 + cases.next(2) as usize;
+        let seed = cases.next(50);
         let problem = random_problem(common, variants, seed);
         let superposition = strategy::superposition(&problem).unwrap();
         let joint = strategy::variant_aware(&problem).unwrap();
-        prop_assert!(joint.cost.total() <= superposition.cost.total());
-        prop_assert!(joint.feasibility.feasible());
-        prop_assert!(
-            design_time::joint(&problem).total
-                <= design_time::independent(&problem).unwrap().total
+        assert!(joint.cost.total() <= superposition.cost.total());
+        assert!(joint.feasibility.feasible());
+        assert!(
+            design_time::joint(&problem).total <= design_time::independent(&problem).unwrap().total
         );
     }
 }
 
+// --- generators ------------------------------------------------------------------
+
 /// Builds a chain-shaped variant system with the given cluster counts per interface.
 fn build_synthetic_system(
+    tag: u64,
     clusters_per_interface: &[usize],
     cluster_size: usize,
 ) -> Result<VariantSystem, Box<dyn std::error::Error>> {
     let stages = clusters_per_interface.len() + 1;
-    let mut b = GraphBuilder::new("prop_system");
+    let mut b = GraphBuilder::new(format!("prop_system{tag}"));
     let mut previous = None;
     for stage in 0..stages {
         let process = b
             .process(format!("common{stage}"))
             .latency(Interval::point(1))
             .build()?;
-        if previous.is_some() {
+        if let Some(previous) = previous {
             let into = b.channel(format!("gap{stage}_in"), ChannelKind::Queue)?;
             let out_of = b.channel(format!("gap{stage}_out"), ChannelKind::Queue)?;
-            b.connect_output(previous.unwrap(), into, Interval::point(1))?;
+            b.connect_output(previous, into, Interval::point(1))?;
             b.connect_input(out_of, process, Interval::point(1))?;
         }
         previous = Some(process);
@@ -127,12 +289,16 @@ fn build_synthetic_system(
             }
             let mut cluster = Cluster::new(&name, cb.finish()?);
             cluster.add_input_port("i", "P0", Interval::point(1))?;
-            cluster.add_output_port("o", format!("P{}", cluster_size - 1).as_str(), Interval::point(1))?;
+            cluster.add_output_port(
+                "o",
+                format!("P{}", cluster_size - 1).as_str(),
+                Interval::point(1),
+            )?;
             interface.add_cluster(cluster)?;
         }
         let attachment = system.attach_interface(interface, VariantType::Production)?;
-        system.bind_input(attachment, "i", &format!("gap{}_in", index + 1))?;
-        system.bind_output(attachment, "o", &format!("gap{}_out", index + 1))?;
+        system.bind_input(attachment, "i", format!("gap{}_in", index + 1))?;
+        system.bind_output(attachment, "o", format!("gap{}_out", index + 1))?;
     }
     system.validate()?;
     Ok(system)
@@ -140,24 +306,17 @@ fn build_synthetic_system(
 
 /// Builds a small random-but-deterministic synthesis problem with one variant set.
 fn random_problem(common: usize, variants: usize, seed: u64) -> SynthesisProblem {
-    // Simple deterministic pseudo-random sequence (avoids pulling rand into the test).
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-    let mut next = |range: u64| {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        (state >> 33) % range
-    };
-    let mut problem = SynthesisProblem::new(format!("random{seed}"), 10 + next(10));
+    let mut cases = Cases::new(seed);
+    let mut problem = SynthesisProblem::new(format!("random{seed}"), 10 + cases.next(10));
     let mut common_names = Vec::new();
     for index in 0..common {
         let name = format!("common{index}");
         problem.add_task(TaskSpec::new(
             &name,
-            5 + next(15),
+            5 + cases.next(15),
             100,
-            15 + next(30),
-            3 + next(9),
+            15 + cases.next(30),
+            3 + cases.next(9),
         ));
         common_names.push(name);
     }
@@ -166,10 +325,10 @@ fn random_problem(common: usize, variants: usize, seed: u64) -> SynthesisProblem
         let name = format!("variant{index}");
         problem.add_task(TaskSpec::new(
             &name,
-            30 + next(45),
+            30 + cases.next(45),
             100,
-            15 + next(20),
-            20 + next(30),
+            15 + cases.next(20),
+            20 + cases.next(30),
         ));
         cluster_names.push(name);
     }

@@ -8,16 +8,23 @@
 //!   `VariantSpace::choices_iter()`;
 //! * **flattening** — the legacy clone-per-variant `VariantSystem::flatten` vs the
 //!   skeleton-reusing `Flattener::flatten_into`, over a fixed 64-combination
-//!   strided shard of the space.
+//!   strided shard of the space;
+//! * **partition search** — the chunked exhaustive enumeration vs the
+//!   branch-and-bound search on synthetic problems of 10/14/18 tasks, with the
+//!   candidate accounting (`evaluated`, `pruned`) of both, so the search trajectory
+//!   is tracked PR over PR. The two optima are asserted identical before anything is
+//!   recorded.
 //!
-//! Run with `cargo run --release -p spi-bench --bin variant_space_baseline`; later
-//! PRs extend the JSON to track the perf trajectory.
+//! Run with `cargo run --release -p spi-bench --bin variant_space_baseline`; CI runs
+//! it as a smoke step and fails when keys go missing or branch-and-bound stops
+//! beating the exhaustive enumeration at the largest size.
 
 use std::time::Instant;
 
 use spi_model::SpiGraph;
+use spi_synth::partition::{optimize, FeasibilityMode, SearchStrategy};
 use spi_variants::Flattener;
-use spi_workloads::scaling_system;
+use spi_workloads::{scaling_system, synthetic_problem, SyntheticParams};
 
 /// Median wall-clock nanoseconds of `runs` executions of `f`.
 fn median_ns<F: FnMut() -> u64>(runs: usize, mut f: F) -> u128 {
@@ -94,6 +101,68 @@ fn measure(interfaces: usize) -> Row {
     }
 }
 
+struct PartitionRow {
+    tasks: usize,
+    applications: usize,
+    masks: u64,
+    exhaustive_ns: u128,
+    exhaustive_evaluated: u64,
+    exhaustive_pruned: u64,
+    branch_and_bound_ns: u128,
+    branch_and_bound_evaluated: u64,
+    branch_and_bound_pruned: u64,
+    optimum_total: u64,
+}
+
+/// Times the exhaustive and branch-and-bound searches on a synthetic problem of
+/// `4 + 2 * interfaces` tasks, asserting that both return the identical optimum.
+fn measure_partition(interfaces: usize) -> PartitionRow {
+    const RUNS: usize = 3;
+    let problem = synthetic_problem(&SyntheticParams {
+        common_tasks: 4,
+        interfaces,
+        clusters_per_interface: 2,
+        cluster_depth: 1,
+        seed: 42,
+    })
+    .expect("synthetic problem builds");
+    let mode = FeasibilityMode::PerApplication;
+
+    let exhaustive = optimize(&problem, mode, SearchStrategy::Exhaustive).expect("feasible");
+    let bnb = optimize(&problem, mode, SearchStrategy::BranchAndBound).expect("feasible");
+    assert_eq!(
+        exhaustive.mapping, bnb.mapping,
+        "branch-and-bound must return the bit-identical optimum"
+    );
+    assert_eq!(exhaustive.cost, bnb.cost);
+
+    let exhaustive_ns = median_ns(RUNS, || {
+        optimize(&problem, mode, SearchStrategy::Exhaustive)
+            .unwrap()
+            .cost
+            .total()
+    });
+    let branch_and_bound_ns = median_ns(RUNS, || {
+        optimize(&problem, mode, SearchStrategy::BranchAndBound)
+            .unwrap()
+            .cost
+            .total()
+    });
+
+    PartitionRow {
+        tasks: problem.task_count(),
+        applications: problem.applications().len(),
+        masks: 1u64 << problem.task_count(),
+        exhaustive_ns,
+        exhaustive_evaluated: exhaustive.evaluated_candidates,
+        exhaustive_pruned: exhaustive.pruned_candidates,
+        branch_and_bound_ns,
+        branch_and_bound_evaluated: bnb.evaluated_candidates,
+        branch_and_bound_pruned: bnb.pruned_candidates,
+        optimum_total: exhaustive.cost.total(),
+    }
+}
+
 fn main() {
     let output = std::env::args()
         .nth(1)
@@ -103,6 +172,13 @@ fn main() {
     for interfaces in [4usize, 8, 12, 16, 20] {
         eprintln!("measuring {interfaces} interfaces (2^{interfaces} combinations)...");
         rows.push(measure(interfaces));
+    }
+
+    let mut partition_rows = Vec::new();
+    for interfaces in [3usize, 5, 7] {
+        let tasks = 4 + 2 * interfaces;
+        eprintln!("measuring partition search at {tasks} tasks (2^{tasks} masks)...");
+        partition_rows.push(measure_partition(interfaces));
     }
 
     let mut json = String::new();
@@ -147,6 +223,46 @@ fn main() {
         ));
         json.push_str(&format!("      \"flatten_speedup\": {speedup:.2}\n"));
         json.push_str(if index + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"partition\": [\n");
+    for (index, row) in partition_rows.iter().enumerate() {
+        let speedup = row.exhaustive_ns as f64 / (row.branch_and_bound_ns.max(1)) as f64;
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"tasks\": {},\n", row.tasks));
+        json.push_str(&format!("      \"applications\": {},\n", row.applications));
+        json.push_str(&format!("      \"masks\": {},\n", row.masks));
+        json.push_str(&format!(
+            "      \"exhaustive_ns\": {},\n",
+            row.exhaustive_ns
+        ));
+        json.push_str(&format!(
+            "      \"exhaustive_evaluated\": {},\n",
+            row.exhaustive_evaluated
+        ));
+        json.push_str(&format!(
+            "      \"exhaustive_pruned\": {},\n",
+            row.exhaustive_pruned
+        ));
+        json.push_str(&format!(
+            "      \"branch_and_bound_ns\": {},\n",
+            row.branch_and_bound_ns
+        ));
+        json.push_str(&format!(
+            "      \"branch_and_bound_evaluated\": {},\n",
+            row.branch_and_bound_evaluated
+        ));
+        json.push_str(&format!(
+            "      \"branch_and_bound_pruned\": {},\n",
+            row.branch_and_bound_pruned
+        ));
+        json.push_str(&format!("      \"search_speedup\": {speedup:.2},\n"));
+        json.push_str(&format!("      \"optimum_total\": {}\n", row.optimum_total));
+        json.push_str(if index + 1 == partition_rows.len() {
             "    }\n"
         } else {
             "    },\n"

@@ -4,6 +4,11 @@
 //! (incurred once as soon as any task runs in software — mutually exclusive variants
 //! share it) and the cost of the dedicated hardware units (one ASIC per task mapped to
 //! hardware; distinct tasks never share an ASIC).
+//!
+//! [`evaluate`] is the from-scratch reference implementation. The searches keep the
+//! same quantities current incrementally via
+//! [`crate::compiled::IncrementalEvaluator`], whose breakdowns are differentially
+//! tested to be bit-identical to [`evaluate`]'s.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;

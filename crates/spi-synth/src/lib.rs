@@ -19,14 +19,18 @@
 //! | incremental baseline [5] | [`baseline::incremental`] | (comparison) |
 //!
 //! [`report::table1`] assembles the paper-style table; [`design_time`] implements the
-//! decision-counting design-time model; [`partition`] contains the exhaustive and greedy
-//! optimizers; [`schedule`] the mutual-exclusion-aware schedulability analysis.
+//! decision-counting design-time model; [`partition`] contains the exhaustive,
+//! branch-and-bound and greedy optimizers; [`schedule`] the mutual-exclusion-aware
+//! schedulability analysis; [`compiled`] the dense-index lowering
+//! ([`CompiledProblem`]) and the incremental schedulability/cost state
+//! ([`IncrementalEvaluator`]) the searches run on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod bridge;
+pub mod compiled;
 pub mod cost;
 pub mod design_time;
 pub mod error;
@@ -37,6 +41,7 @@ pub mod schedule;
 pub mod strategy;
 
 pub use bridge::{from_variant_system, from_variant_system_shard, TaskParams};
+pub use compiled::{CompiledProblem, IncrementalEvaluator, TaskId};
 pub use cost::CostBreakdown;
 pub use error::SynthError;
 pub use partition::{FeasibilityMode, PartitionResult, SearchStrategy};

@@ -1,23 +1,43 @@
 //! HW/SW partitioning: finding the cheapest feasible mapping.
 //!
 //! The optimizer searches the mapping space (software or hardware per task) for the
-//! cheapest implementation whose schedulability check passes. Two search strategies are
-//! provided: an exhaustive search that is exact for the small systems of the paper, and
-//! a greedy heuristic (with a local-improvement pass) for the larger synthetic systems
-//! used in the scaling experiments. [`optimize`] selects automatically based on the
-//! task count.
+//! cheapest implementation whose schedulability check passes. Three search strategies
+//! are provided: an exhaustive search that is exact for the small systems of the
+//! paper, a branch-and-bound search that returns the same optimum while visiting only
+//! a fraction of the space, and a greedy heuristic (with a local-improvement pass)
+//! for the larger synthetic systems used in the scaling experiments. [`optimize`]
+//! selects automatically based on the task count.
 //!
-//! The exhaustive search enumerates the `2^n` mapping masks in contiguous chunks
+//! All searches run over [`CompiledProblem`] — tasks lowered to dense indices with
+//! utilization/area arrays and per-application membership — so no inner loop touches
+//! a `String` key. The historical string-keyed serial scan survives as
+//! [`optimize_serial_reference`], the oracle the differential tests compare against.
+//!
+//! The **exhaustive** search enumerates the `2^n` mapping masks in contiguous chunks
 //! across all hardware threads (via `rayon::scope`) and shares the best total cost
 //! found so far in an atomic **bound**: a mask whose hardware-area lower bound already
-//! exceeds the bound is discarded before the (much more expensive) schedulability
-//! check and cost evaluation run. The chunk results are reduced by the exact ordering
-//! key `(total cost, hardware-task count, Reverse(mask))`, so the parallel search
-//! returns the same optimum, bit for bit, as the historical serial scan.
+//! exceeds the bound is discarded before the schedulability check runs. The chunk
+//! results are reduced by the exact ordering key `(total cost, hardware-task count,
+//! Reverse(mask))`, so the parallel search returns the same optimum, bit for bit, as
+//! the serial scan.
+//!
+//! The **branch-and-bound** search walks the decision tree depth-first instead of
+//! enumerating leaves: task `i` is decided at depth `i`, undecided tasks sit in
+//! hardware (where they contribute no processor load), and an
+//! [`IncrementalEvaluator`] keeps every application's load current in O(applications
+//! containing the flipped task). A subtree is cut when its partial software load
+//! already overloads an application (every completion only adds load) or when the
+//! admissible lower bound — committed hardware area plus a processor-cost floor —
+//! strictly exceeds the shared incumbent. Subtree roots (the first few decision
+//! levels) are sharded across threads exactly like the exhaustive search shards
+//! masks. Because only strictly-worse subtrees are cut and surviving leaves are
+//! reduced with the same ordering key, the result is bit-identical to the serial
+//! scan, tie-breaks included.
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::compiled::{CompiledProblem, IncrementalEvaluator, TaskId};
 use crate::cost::{evaluate, CostBreakdown};
 use crate::error::SynthError;
 use crate::problem::{Implementation, Mapping, SynthesisProblem};
@@ -41,6 +61,10 @@ pub enum FeasibilityMode {
 pub enum SearchStrategy {
     /// Enumerate every mapping (exact; exponential in the task count).
     Exhaustive,
+    /// Depth-first search over partial mappings with an admissible lower bound
+    /// (exact; returns the bit-identical optimum of [`SearchStrategy::Exhaustive`]
+    /// while visiting only the subtrees the bound cannot cut).
+    BranchAndBound,
     /// Greedy repair followed by local improvement (fast; near-optimal in practice).
     Greedy,
     /// Exhaustive up to [`EXHAUSTIVE_LIMIT`] tasks, greedy beyond.
@@ -52,6 +76,19 @@ pub enum SearchStrategy {
 pub const EXHAUSTIVE_LIMIT: usize = 18;
 
 /// Result of a partitioning run.
+///
+/// The candidate accounting is strategy-specific but always satisfies
+/// `pruned_candidates <= evaluated_candidates`:
+///
+/// * **Exhaustive**: `evaluated_candidates` is the number of enumerated masks
+///   (always `2^n`); `pruned_candidates` counts the masks the shared best-cost bound
+///   discarded before their schedulability check.
+/// * **Branch-and-bound**: `evaluated_candidates` is the number of decision-tree
+///   nodes visited (one per single-task decision applied); `pruned_candidates`
+///   counts the subtrees cut at such a node, by the bound or by partial
+///   infeasibility.
+/// * **Greedy**: `evaluated_candidates` is the number of complete mappings assessed;
+///   nothing is pruned.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PartitionResult {
     /// The chosen mapping.
@@ -60,23 +97,12 @@ pub struct PartitionResult {
     pub cost: CostBreakdown,
     /// The feasibility report of the chosen mapping.
     pub feasibility: FeasibilityReport,
-    /// Number of candidate mappings enumerated by the search (bound-pruned
-    /// candidates included — they were considered, just discarded cheaply).
+    /// Number of candidates the search considered (see the type-level docs for the
+    /// per-strategy meaning).
     pub evaluated_candidates: u64,
-    /// Of the enumerated candidates, how many the shared best-cost bound discarded
-    /// before schedulability/cost evaluation (always zero for the greedy search).
+    /// Of the considered candidates, how many were discarded cheaply (see the
+    /// type-level docs for the per-strategy meaning).
     pub pruned_candidates: u64,
-}
-
-fn feasibility(
-    problem: &SynthesisProblem,
-    mapping: &Mapping,
-    mode: FeasibilityMode,
-) -> Result<FeasibilityReport> {
-    match mode {
-        FeasibilityMode::PerApplication => check(problem, mapping),
-        FeasibilityMode::Serialized => check_serialized(problem, mapping),
-    }
 }
 
 /// Finds the cheapest feasible mapping.
@@ -92,68 +118,66 @@ pub fn optimize(
     strategy: SearchStrategy,
 ) -> Result<PartitionResult> {
     problem.validate()?;
-    let use_exhaustive = match strategy {
-        SearchStrategy::Exhaustive => true,
-        SearchStrategy::Greedy => false,
-        SearchStrategy::Auto => problem.task_count() <= EXHAUSTIVE_LIMIT,
-    };
-    if use_exhaustive {
-        optimize_exhaustive(problem, mode)
-    } else {
-        optimize_greedy(problem, mode)
+    match strategy {
+        SearchStrategy::Exhaustive => optimize_exhaustive(problem, mode),
+        SearchStrategy::BranchAndBound => optimize_branch_and_bound(problem, mode),
+        SearchStrategy::Greedy => optimize_greedy(problem, mode),
+        SearchStrategy::Auto => {
+            if problem.task_count() <= EXHAUSTIVE_LIMIT {
+                optimize_exhaustive(problem, mode)
+            } else {
+                optimize_greedy(problem, mode)
+            }
+        }
     }
 }
 
-fn task_names(problem: &SynthesisProblem) -> Vec<String> {
-    problem.tasks().map(|t| t.name.clone()).collect()
+/// The exact ordering key shared by every exact search. The historical serial scan
+/// replaces the incumbent on an exact `(total cost, hardware-task count)` tie, i.e.
+/// it keeps the **highest** mask among tied optima — `Reverse(mask)` reproduces that
+/// under a min-reduction.
+type CandidateKey = (u64, u32, std::cmp::Reverse<u64>);
+
+fn candidate_key(total: u64, mask: u64) -> CandidateKey {
+    (total, mask.count_ones(), std::cmp::Reverse(mask))
 }
 
-/// Best candidate found in one chunk of the mask range, keyed for exact
-/// tie-breaking. The historical serial scan replaces the incumbent on an exact
-/// `(total cost, hardware-task count)` tie, i.e. it keeps the **highest** mask
-/// among tied optima — `Reverse(mask)` reproduces that under a min-reduction.
-struct ChunkBest {
-    key: (u64, usize, std::cmp::Reverse<u64>),
-    result: PartitionResult,
+/// Best candidate found by one worker, as `(key, mask)`; the mapping is only
+/// materialized once, after the reduction.
+type WorkerBest = Option<(CandidateKey, u64)>;
+
+fn merge_best(best: &mut WorkerBest, candidate: (CandidateKey, u64)) {
+    if best.as_ref().is_none_or(|current| candidate.0 < current.0) {
+        *best = Some(candidate);
+    }
 }
 
-/// Outcome of scanning one contiguous chunk of masks.
-struct ChunkOutcome {
-    best: Option<ChunkBest>,
+/// Outcome of scanning one contiguous chunk of masks (or one set of subtree roots).
+struct WorkerOutcome {
+    best: WorkerBest,
+    evaluated: u64,
     pruned: u64,
-}
-
-fn materialize_mapping(names: &[String], mask: u64) -> Mapping {
-    let mut mapping = Mapping::new();
-    for (index, name) in names.iter().enumerate() {
-        let implementation = if mask & (1 << index) != 0 {
-            Implementation::Hardware
-        } else {
-            Implementation::Software
-        };
-        mapping.assign(name.clone(), implementation);
-    }
-    mapping
 }
 
 /// Scans `masks`, sharing (and tightening) the best-total bound with sibling chunks.
 fn search_chunk(
-    problem: &SynthesisProblem,
+    compiled: &CompiledProblem,
     mode: FeasibilityMode,
-    names: &[String],
-    areas: &[u64],
     masks: std::ops::Range<u64>,
     bound: &AtomicU64,
-) -> Result<ChunkOutcome> {
-    let mut outcome = ChunkOutcome {
+) -> WorkerOutcome {
+    let areas = compiled.hardware_areas();
+    let mut outcome = WorkerOutcome {
         best: None,
+        evaluated: 0,
         pruned: 0,
     };
     for mask in masks {
+        outcome.evaluated += 1;
         // Hardware areas are a lower bound on the total cost of this mask (the
         // processor, if needed, only adds to it). A strictly larger bound can
         // neither beat nor tie the best mapping seen so far, so the expensive
-        // schedulability check and cost evaluation are skipped.
+        // schedulability check is skipped.
         let mut area_bound = 0u64;
         let mut bits = mask;
         while bits != 0 {
@@ -166,53 +190,60 @@ fn search_chunk(
             continue;
         }
 
-        let mapping = materialize_mapping(names, mask);
-        let report = feasibility(problem, &mapping, mode)?;
-        if !report.feasible() {
+        if !compiled.feasible_mask(mask, mode) {
             continue;
         }
-        let cost = evaluate(problem, &mapping, None)?;
-        bound.fetch_min(cost.total(), Ordering::Relaxed);
-        let key = (
-            cost.total(),
-            cost.hardware_tasks.len(),
-            std::cmp::Reverse(mask),
-        );
-        if outcome
-            .best
-            .as_ref()
-            .is_none_or(|current| key < current.key)
-        {
-            outcome.best = Some(ChunkBest {
-                key,
-                result: PartitionResult {
-                    mapping,
-                    cost,
-                    feasibility: report,
-                    evaluated_candidates: 0,
-                    pruned_candidates: 0,
-                },
-            });
+        let total = compiled.total_cost_of_mask(mask);
+        bound.fetch_min(total, Ordering::Relaxed);
+        merge_best(&mut outcome.best, (candidate_key(total, mask), mask));
+    }
+    outcome
+}
+
+fn materialize(
+    compiled: &CompiledProblem,
+    mode: FeasibilityMode,
+    outcome: WorkerOutcome,
+) -> Result<PartitionResult> {
+    let (_, mask) = outcome.best.ok_or_else(|| {
+        SynthError::Infeasible("no mapping satisfies the schedulability constraints".to_string())
+    })?;
+    Ok(PartitionResult {
+        mapping: compiled.mapping_of_mask(mask),
+        cost: compiled.cost_breakdown_of_mask(mask),
+        feasibility: compiled.feasibility_report_of_mask(mask, mode),
+        evaluated_candidates: outcome.evaluated,
+        pruned_candidates: outcome.pruned,
+    })
+}
+
+fn reduce_outcomes(outcomes: impl IntoIterator<Item = WorkerOutcome>) -> WorkerOutcome {
+    let mut reduced = WorkerOutcome {
+        best: None,
+        evaluated: 0,
+        pruned: 0,
+    };
+    for outcome in outcomes {
+        reduced.evaluated += outcome.evaluated;
+        reduced.pruned += outcome.pruned;
+        if let Some(candidate) = outcome.best {
+            merge_best(&mut reduced.best, candidate);
         }
     }
-    Ok(outcome)
+    reduced
 }
 
 fn optimize_exhaustive(
     problem: &SynthesisProblem,
     mode: FeasibilityMode,
 ) -> Result<PartitionResult> {
-    let names = task_names(problem);
-    let n = names.len();
+    let compiled = CompiledProblem::compile(problem)?;
+    let n = compiled.task_count();
     assert!(
         n < 64,
         "exhaustive search is limited to fewer than 64 tasks"
     );
     let total: u64 = 1u64 << n;
-    let areas: Vec<u64> = names
-        .iter()
-        .map(|name| problem.task(name).map_or(0, |task| task.hw_area))
-        .collect();
 
     // One chunk per hardware thread is enough: the per-mask work is uniform apart
     // from pruning, and fewer chunks keep the bound-sharing traffic low. Small
@@ -225,26 +256,19 @@ fn optimize_exhaustive(
         rayon::current_num_threads().min(usize::try_from(total).unwrap_or(usize::MAX)) as u64
     };
 
-    let outcomes: Vec<Result<ChunkOutcome>> = if chunk_count == 1 {
-        vec![search_chunk(
-            problem,
-            mode,
-            &names,
-            &areas,
-            0..total,
-            &bound,
-        )]
+    let outcomes: Vec<WorkerOutcome> = if chunk_count == 1 {
+        vec![search_chunk(&compiled, mode, 0..total, &bound)]
     } else {
         let chunk_size = total.div_ceil(chunk_count);
-        let mut slots: Vec<Option<Result<ChunkOutcome>>> = Vec::new();
+        let mut slots: Vec<Option<WorkerOutcome>> = Vec::new();
         slots.resize_with(chunk_count as usize, || None);
         rayon::scope(|scope| {
             for (chunk_index, slot) in slots.iter_mut().enumerate() {
                 let start = chunk_index as u64 * chunk_size;
                 let end = (start + chunk_size).min(total);
-                let (problem, names, areas, bound) = (problem, &names, &areas, &bound);
+                let (compiled, bound) = (&compiled, &bound);
                 scope.spawn(move |_| {
-                    *slot = Some(search_chunk(problem, mode, names, areas, start..end, bound));
+                    *slot = Some(search_chunk(compiled, mode, start..end, bound));
                 });
             }
         });
@@ -254,37 +278,230 @@ fn optimize_exhaustive(
             .collect()
     };
 
-    let mut best: Option<ChunkBest> = None;
-    let mut pruned = 0u64;
-    for outcome in outcomes {
-        let outcome = outcome?;
-        pruned += outcome.pruned;
-        if let Some(chunk_best) = outcome.best {
-            if best
-                .as_ref()
-                .is_none_or(|current| chunk_best.key < current.key)
-            {
-                best = Some(chunk_best);
-            }
+    materialize(&compiled, mode, reduce_outcomes(outcomes))
+}
+
+/// One worker's depth-first walk over (a set of subtrees of) the decision tree.
+struct BnbWorker<'p> {
+    evaluator: IncrementalEvaluator<'p>,
+    mode: FeasibilityMode,
+    /// Suffix sums of hardware areas in decision order: `suffix_area[d]` is the total
+    /// area of the still-undecided tasks `d..n`.
+    suffix_area: &'p [u64],
+    bound: &'p AtomicU64,
+    outcome: WorkerOutcome,
+}
+
+impl<'p> BnbWorker<'p> {
+    fn new(
+        compiled: &'p CompiledProblem,
+        mode: FeasibilityMode,
+        suffix_area: &'p [u64],
+        bound: &'p AtomicU64,
+    ) -> Self {
+        BnbWorker {
+            // Undecided tasks park in hardware: they contribute no processor load, so
+            // the evaluator's application loads are exactly the decided-software
+            // loads — a lower bound on every completion's loads.
+            evaluator: IncrementalEvaluator::all_hardware(compiled),
+            mode,
+            suffix_area,
+            bound,
+            outcome: WorkerOutcome {
+                best: None,
+                evaluated: 0,
+                pruned: 0,
+            },
         }
     }
 
-    let mut result = best.map(|chunk_best| chunk_best.result).ok_or_else(|| {
-        SynthError::Infeasible("no mapping satisfies the schedulability constraints".to_string())
-    })?;
-    result.evaluated_candidates = total;
-    result.pruned_candidates = pruned;
-    Ok(result)
+    /// Admissible lower bound on the total cost of every completion below a node at
+    /// `depth`: the hardware area already committed by decided tasks, plus the
+    /// processor cost once any decided task is in software — or, while everything
+    /// decided sits in hardware, the cheaper of "some remaining task goes to
+    /// software" (processor cost) and "all remaining tasks go to hardware" (their
+    /// area sum).
+    fn lower_bound(&self, depth: usize) -> u64 {
+        let compiled = self.evaluator.problem();
+        let committed_area = self.evaluator.hardware_area() - self.suffix_area[depth];
+        let floor = if self.evaluator.software_count() > 0 {
+            compiled.processor_cost()
+        } else {
+            compiled.processor_cost().min(self.suffix_area[depth])
+        };
+        committed_area + floor
+    }
+
+    /// Applies the decision for the task at `depth` and reports whether the subtree
+    /// below it survives the partial-infeasibility and bound cuts. `counted` is
+    /// false only while a worker re-walks a prefix node owned by a sibling worker,
+    /// so every decision-tree node is counted at most once across all workers.
+    fn enter(&mut self, depth: usize, implementation: Implementation, counted: bool) -> bool {
+        if counted {
+            self.outcome.evaluated += 1;
+        }
+        self.evaluator.apply(TaskId(depth as u32), implementation);
+        // Decided-software loads only grow toward the leaves, so a partial overload
+        // dooms every completion; and a lower bound strictly above the shared
+        // incumbent cannot beat or tie it (ties must survive for exact
+        // tie-breaking, hence the strict comparison).
+        if !self.evaluator.feasible(self.mode)
+            || self.lower_bound(depth + 1) > self.bound.load(Ordering::Relaxed)
+        {
+            if counted {
+                self.outcome.pruned += 1;
+            }
+            return false;
+        }
+        true
+    }
+
+    fn dfs(&mut self, depth: usize, mask: u64) {
+        let n = self.evaluator.problem().task_count();
+        if depth == n {
+            // Complete mapping; partial pruning kept it feasible on the way down.
+            let total = self.evaluator.total_cost();
+            self.bound.fetch_min(total, Ordering::Relaxed);
+            merge_best(&mut self.outcome.best, (candidate_key(total, mask), mask));
+            return;
+        }
+        // Software first: leaves are reached in ascending mask order, mirroring the
+        // serial scan, and the cheap low-mask region seeds the incumbent early.
+        if self.enter(depth, Implementation::Software, true) {
+            self.dfs(depth + 1, mask);
+        }
+        self.evaluator.undo();
+        if self.enter(depth, Implementation::Hardware, true) {
+            self.dfs(depth + 1, mask | (1u64 << depth));
+        }
+        self.evaluator.undo();
+    }
+
+    /// Walks the prefix tree of the first `root_depth` decisions restricted to the
+    /// contiguous root range `lo..hi`, then runs the unrestricted [`Self::dfs`]
+    /// below every surviving root.
+    ///
+    /// Root indices order the prefix subtrees left to right: task `depth` maps to
+    /// bit `root_depth - 1 - depth`, so a prefix node at `depth` spans the aligned
+    /// root range `base .. base + 2^(root_depth - depth)` and a contiguous range of
+    /// roots shares its early decisions. Shared prefixes inside one worker's range
+    /// are therefore applied (and counted) once, not once per root. A prefix node
+    /// whose span crosses worker boundaries is still re-applied by each
+    /// intersecting worker, but only its **owner** — the worker whose range
+    /// contains the node's leftmost root — counts the visit (and any cut at it), so
+    /// `evaluated_candidates` sums to at most one visit per distinct tree node.
+    fn search_roots(&mut self, depth: usize, root_depth: usize, base: u64, lo: u64, hi: u64) {
+        if depth == root_depth {
+            // `base` is the root index; reassemble the mask (task `d` = bit `d`).
+            let mut mask = 0u64;
+            for d in 0..root_depth {
+                if base & (1u64 << (root_depth - 1 - d)) != 0 {
+                    mask |= 1u64 << d;
+                }
+            }
+            self.dfs(root_depth, mask);
+            return;
+        }
+        let span = 1u64 << (root_depth - depth - 1);
+        for (branch, implementation) in [
+            (0u64, Implementation::Software),
+            (1u64, Implementation::Hardware),
+        ] {
+            let branch_base = base + branch * span;
+            if branch_base + span <= lo || branch_base >= hi {
+                continue;
+            }
+            let owned = branch_base >= lo;
+            if self.enter(depth, implementation, owned) {
+                self.search_roots(depth + 1, root_depth, branch_base, lo, hi);
+            }
+            self.evaluator.undo();
+        }
+    }
 }
 
-/// The historical single-threaded, prune-free scan, kept as the reference the
-/// parallel search is tested against.
-#[cfg(test)]
-fn optimize_exhaustive_serial(
+fn optimize_branch_and_bound(
     problem: &SynthesisProblem,
     mode: FeasibilityMode,
 ) -> Result<PartitionResult> {
-    let names = task_names(problem);
+    let compiled = CompiledProblem::compile(problem)?;
+    let n = compiled.task_count();
+    assert!(
+        n < 64,
+        "branch-and-bound search is limited to fewer than 64 tasks"
+    );
+
+    let mut suffix_area = vec![0u64; n + 1];
+    for depth in (0..n).rev() {
+        suffix_area[depth] = suffix_area[depth + 1] + compiled.hardware_areas()[depth];
+    }
+    // The all-hardware mapping is always feasible (zero processor load), so its total
+    // is an achievable incumbent value the very first bound check can prune against.
+    // It is seeded as a *value* only — the all-hardware leaf itself is still visited
+    // and key-compared, so tie-breaking stays exact.
+    let bound = AtomicU64::new(suffix_area[0]);
+
+    let threads = rayon::current_num_threads();
+    let outcome = if threads <= 1 || n <= 10 {
+        let mut worker = BnbWorker::new(&compiled, mode, &suffix_area, &bound);
+        worker.search_roots(0, 0, 0, 0, 1);
+        worker.outcome
+    } else {
+        // Shard subtree roots (the assignments of the first `root_depth` tasks)
+        // across workers in contiguous ranges, the way the exhaustive search shards
+        // masks. Each worker walks the prefix tree restricted to its range, so the
+        // only duplicated evaluator work is the boundary prefixes shared between
+        // neighbouring workers (at most `workers * root_depth` extra flips, none of
+        // them double-counted — see `search_roots`). Aim for several roots per
+        // worker: with exactly one power-of-two root per thread, a non-power-of-two
+        // thread count would leave `roots.div_ceil(workers)`-sized ranges to a
+        // prefix of the workers and the rest idle.
+        let mut root_depth = 0usize;
+        while (1u64 << root_depth) < 4 * threads as u64 && root_depth < n.min(10) {
+            root_depth += 1;
+        }
+        let roots = 1u64 << root_depth;
+        let worker_count = (threads as u64).min(roots);
+        let per_worker = roots.div_ceil(worker_count);
+        let mut slots: Vec<Option<WorkerOutcome>> = Vec::new();
+        slots.resize_with(worker_count as usize, || None);
+        rayon::scope(|scope| {
+            for (worker_index, slot) in slots.iter_mut().enumerate() {
+                let start = worker_index as u64 * per_worker;
+                let end = (start + per_worker).min(roots);
+                let (compiled, suffix_area, bound) = (&compiled, &suffix_area, &bound);
+                scope.spawn(move |_| {
+                    let mut worker = BnbWorker::new(compiled, mode, suffix_area, bound);
+                    worker.search_roots(0, root_depth, 0, start, end);
+                    *slot = Some(worker.outcome);
+                });
+            }
+        });
+        reduce_outcomes(
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every worker reports an outcome")),
+        )
+    };
+
+    materialize(&compiled, mode, outcome)
+}
+
+/// The historical single-threaded, prune-free, string-keyed scan, kept as the oracle
+/// the compiled searches are differentially tested against: it goes through
+/// [`crate::schedule::check`]/[`crate::schedule::check_serialized`] and
+/// [`crate::cost::evaluate`] for every single mask, so any divergence in the compiled
+/// layer shows up as a mismatch.
+///
+/// # Errors
+///
+/// As [`optimize`] with [`SearchStrategy::Exhaustive`].
+pub fn optimize_serial_reference(
+    problem: &SynthesisProblem,
+    mode: FeasibilityMode,
+) -> Result<PartitionResult> {
+    problem.validate()?;
+    let names: Vec<String> = problem.tasks().map(|t| t.name.clone()).collect();
     let n = names.len();
     assert!(
         n < 64,
@@ -293,9 +510,20 @@ fn optimize_exhaustive_serial(
     let mut best: Option<PartitionResult> = None;
     let mut evaluated = 0u64;
     for mask in 0u64..(1u64 << n) {
-        let mapping = materialize_mapping(&names, mask);
+        let mut mapping = Mapping::new();
+        for (index, name) in names.iter().enumerate() {
+            let implementation = if mask & (1 << index) != 0 {
+                Implementation::Hardware
+            } else {
+                Implementation::Software
+            };
+            mapping.assign(name.clone(), implementation);
+        }
         evaluated += 1;
-        let report = feasibility(problem, &mapping, mode)?;
+        let report = match mode {
+            FeasibilityMode::PerApplication => check(problem, &mapping)?,
+            FeasibilityMode::Serialized => check_serialized(problem, &mapping)?,
+        };
         if !report.feasible() {
             continue;
         }
@@ -330,51 +558,37 @@ fn optimize_exhaustive_serial(
 }
 
 fn optimize_greedy(problem: &SynthesisProblem, mode: FeasibilityMode) -> Result<PartitionResult> {
-    let names = task_names(problem);
-    let mut mapping = Mapping::new();
-    for name in &names {
-        mapping.assign(name.clone(), Implementation::Software);
-    }
+    let compiled = CompiledProblem::compile(problem)?;
+    let n = compiled.task_count();
+    let mut evaluator = IncrementalEvaluator::new(&compiled);
     let mut evaluated = 1u64;
 
     // Repair: while some application overloads the processor, move the software task
     // with the highest utilization-per-area ratio (among tasks of overloaded
     // applications) to hardware.
-    loop {
-        let report = feasibility(problem, &mapping, mode)?;
-        if report.feasible() {
-            break;
-        }
-        let overloaded: Vec<&str> = report
-            .applications
-            .iter()
-            .filter(|a| !a.feasible)
-            .map(|a| a.application.as_str())
-            .collect();
-        let candidates: Vec<&str> = match mode {
-            FeasibilityMode::Serialized => names.iter().map(String::as_str).collect(),
-            FeasibilityMode::PerApplication => problem
-                .applications()
-                .iter()
-                .filter(|a| overloaded.contains(&a.name.as_str()))
-                .flat_map(|a| a.tasks.iter().map(String::as_str))
+    while !evaluator.feasible(mode) {
+        let candidates: Vec<TaskId> = match mode {
+            FeasibilityMode::Serialized => (0..n as u32).map(TaskId).collect(),
+            FeasibilityMode::PerApplication => (0..compiled.application_count())
+                .filter(|&app| evaluator.load_permille(app) > compiled.capacity_permille())
+                .flat_map(|app| compiled.application_tasks(app).iter().copied())
                 .collect(),
         };
         let best_move = candidates
             .into_iter()
-            .filter(|name| mapping.implementation(name) == Some(Implementation::Software))
-            .filter_map(|name| problem.task(name))
-            .max_by_key(|task| {
+            .filter(|&task| evaluator.implementation(task) == Implementation::Software)
+            .max_by_key(|&task| {
                 // Highest utilization relief per unit of hardware cost; scaled to keep
                 // integer arithmetic meaningful.
-                task.utilization_permille() * 1000 / task.hw_area.max(1)
+                compiled.utilizations()[task.index()] * 1000
+                    / compiled.hardware_areas()[task.index()].max(1)
             });
         let Some(task) = best_move else {
             return Err(SynthError::Infeasible(
                 "processor overloaded but no software task left to move".to_string(),
             ));
         };
-        mapping.assign(task.name.clone(), Implementation::Hardware);
+        evaluator.apply(task, Implementation::Hardware);
         evaluated += 1;
     }
 
@@ -383,32 +597,27 @@ fn optimize_greedy(problem: &SynthesisProblem, mode: FeasibilityMode) -> Result<
     let mut improved = true;
     while improved {
         improved = false;
-        for name in &names {
-            if mapping.implementation(name) != Some(Implementation::Hardware) {
+        for index in 0..n as u32 {
+            let task = TaskId(index);
+            if evaluator.implementation(task) != Implementation::Hardware {
                 continue;
             }
-            let mut candidate = mapping.clone();
-            candidate.assign(name.clone(), Implementation::Software);
+            let old_cost = evaluator.total_cost();
+            evaluator.apply(task, Implementation::Software);
             evaluated += 1;
-            let report = feasibility(problem, &candidate, mode)?;
-            if !report.feasible() {
-                continue;
-            }
-            let old_cost = evaluate(problem, &mapping, None)?.total();
-            let new_cost = evaluate(problem, &candidate, None)?.total();
-            if new_cost < old_cost {
-                mapping = candidate;
+            if evaluator.feasible(mode) && evaluator.total_cost() < old_cost {
+                evaluator.commit();
                 improved = true;
+            } else {
+                evaluator.undo();
             }
         }
     }
 
-    let cost = evaluate(problem, &mapping, None)?;
-    let report = feasibility(problem, &mapping, mode)?;
     Ok(PartitionResult {
-        mapping,
-        cost,
-        feasibility: report,
+        mapping: evaluator.mapping(),
+        cost: evaluator.cost_breakdown(),
+        feasibility: evaluator.feasibility_report(mode),
         evaluated_candidates: evaluated,
         pruned_candidates: 0,
     })
@@ -439,6 +648,23 @@ mod tests {
         );
         assert!(result.feasibility.feasible());
         assert_eq!(result.evaluated_candidates, 16);
+    }
+
+    #[test]
+    fn branch_and_bound_finds_the_paper_optimum() {
+        let problem = toy_problem();
+        let result = optimize(
+            &problem,
+            FeasibilityMode::PerApplication,
+            SearchStrategy::BranchAndBound,
+        )
+        .unwrap();
+        assert_eq!(result.cost.total(), 41);
+        assert_eq!(result.cost.hardware_tasks, vec!["PA"]);
+        assert!(result.feasibility.feasible());
+        // Nodes visited can never exceed the full decision tree (2^(n+1) - 2).
+        assert!(result.evaluated_candidates <= (1 << 5) - 2);
+        assert!(result.pruned_candidates <= result.evaluated_candidates);
     }
 
     #[test]
@@ -506,23 +732,27 @@ mod tests {
     }
 
     #[test]
-    fn parallel_exhaustive_matches_the_serial_reference_on_table1() {
-        // Acceptance check for the chunked search: same optimum, same mapping, same
+    fn compiled_searches_match_the_serial_reference_on_table1() {
+        // Acceptance check for the compiled searches: same optimum, same mapping, same
         // tie-breaking as the historical serial scan on the paper's Table 1 problem.
         let problem = toy_problem();
         for mode in [FeasibilityMode::PerApplication, FeasibilityMode::Serialized] {
+            let serial = optimize_serial_reference(&problem, mode).unwrap();
             let parallel = optimize_exhaustive(&problem, mode).unwrap();
-            let serial = optimize_exhaustive_serial(&problem, mode).unwrap();
             assert_eq!(parallel.mapping, serial.mapping);
             assert_eq!(parallel.cost, serial.cost);
+            assert_eq!(parallel.feasibility, serial.feasibility);
             assert_eq!(parallel.evaluated_candidates, serial.evaluated_candidates);
+            let bnb = optimize_branch_and_bound(&problem, mode).unwrap();
+            assert_eq!(bnb.mapping, serial.mapping);
+            assert_eq!(bnb.cost, serial.cost);
+            assert_eq!(bnb.feasibility, serial.feasibility);
         }
     }
 
-    #[test]
-    fn parallel_exhaustive_matches_serial_on_a_chunked_space() {
-        // 14 tasks = 16384 masks: beyond the serial-scan threshold, so the search
-        // actually fans out over multiple chunks and the shared bound prunes.
+    /// 14 tasks = 16384 masks: beyond the serial-scan threshold, so the exhaustive
+    /// search actually fans out over multiple chunks and the shared bound prunes.
+    fn chunked_problem() -> SynthesisProblem {
         let mut problem = SynthesisProblem::new("chunked", 40);
         let mut app_a = Vec::new();
         let mut app_b = Vec::new();
@@ -547,9 +777,14 @@ mod tests {
         problem
             .add_application(ApplicationSpec::new("b", app_b))
             .unwrap();
+        problem
+    }
 
+    #[test]
+    fn parallel_exhaustive_matches_serial_on_a_chunked_space() {
+        let problem = chunked_problem();
         let parallel = optimize_exhaustive(&problem, FeasibilityMode::PerApplication).unwrap();
-        let serial = optimize_exhaustive_serial(&problem, FeasibilityMode::PerApplication).unwrap();
+        let serial = optimize_serial_reference(&problem, FeasibilityMode::PerApplication).unwrap();
         assert_eq!(parallel.mapping, serial.mapping);
         assert_eq!(parallel.cost.total(), serial.cost.total());
         assert_eq!(parallel.evaluated_candidates, 1 << 14);
@@ -557,6 +792,43 @@ mod tests {
             parallel.pruned_candidates > 0,
             "the shared bound should discard some of the 16384 masks"
         );
+    }
+
+    #[test]
+    fn candidate_accounting_is_consistent_across_strategies() {
+        let problem = chunked_problem();
+        let n = problem.task_count() as u64;
+        let serial = optimize_serial_reference(&problem, FeasibilityMode::PerApplication).unwrap();
+        let exhaustive = optimize_exhaustive(&problem, FeasibilityMode::PerApplication).unwrap();
+        let bnb = optimize_branch_and_bound(&problem, FeasibilityMode::PerApplication).unwrap();
+        let greedy = optimize_greedy(&problem, FeasibilityMode::PerApplication).unwrap();
+
+        // Exhaustive: every mask is a candidate; pruning is a subset of enumeration.
+        assert_eq!(exhaustive.evaluated_candidates, 1 << n);
+        assert!(exhaustive.pruned_candidates <= exhaustive.evaluated_candidates);
+
+        // Branch-and-bound: node visits are bounded by the full decision tree and —
+        // on a space this size — far below the leaf count; cuts happen at visited
+        // nodes only; the optimum is bit-identical.
+        assert_eq!(bnb.mapping, serial.mapping);
+        assert_eq!(bnb.cost, serial.cost);
+        assert!(bnb.evaluated_candidates <= (1 << (n + 1)) - 2);
+        assert!(
+            bnb.evaluated_candidates < exhaustive.evaluated_candidates,
+            "branch-and-bound must visit fewer nodes ({}) than the exhaustive \
+             enumeration ({})",
+            bnb.evaluated_candidates,
+            exhaustive.evaluated_candidates
+        );
+        assert!(bnb.pruned_candidates <= bnb.evaluated_candidates);
+        assert!(
+            bnb.evaluated_candidates >= n,
+            "at least one root-to-leaf path"
+        );
+
+        // Greedy never prunes.
+        assert_eq!(greedy.pruned_candidates, 0);
+        assert!(greedy.evaluated_candidates >= 1);
     }
 
     #[test]
@@ -619,13 +891,14 @@ mod tests {
                 ["x".to_string(), "y".to_string()],
             ))
             .unwrap();
-        let result = optimize(
-            &problem,
-            FeasibilityMode::PerApplication,
+        for strategy in [
             SearchStrategy::Auto,
-        )
-        .unwrap();
-        assert_eq!(result.cost.software_tasks.len(), 0);
-        assert_eq!(result.cost.total(), 16);
+            SearchStrategy::BranchAndBound,
+            SearchStrategy::Greedy,
+        ] {
+            let result = optimize(&problem, FeasibilityMode::PerApplication, strategy).unwrap();
+            assert_eq!(result.cost.software_tasks.len(), 0);
+            assert_eq!(result.cost.total(), 16);
+        }
     }
 }

@@ -10,6 +10,11 @@
 //! [`SynthesisProblem`] captures the decision space; the strategies in
 //! [`crate::strategy`] and the baselines in [`crate::baseline`] solve it in the four
 //! styles compared by Table 1 of the paper.
+//!
+//! The string-keyed types here are the *construction and inspection* surface. The
+//! searches in [`crate::partition`] never run on them directly: they lower a problem
+//! once into the dense-index [`crate::compiled::CompiledProblem`] and materialize
+//! [`Mapping`]s only for the final result.
 
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};

@@ -229,13 +229,9 @@ pub fn build_schedule(
         }
     }
     schedule.processor_makespan = clock;
-    schedule.entries.sort_by(|a, b| {
-        (a.start, a.resource.clone(), a.task.clone()).cmp(&(
-            b.start,
-            b.resource.clone(),
-            b.task.clone(),
-        ))
-    });
+    schedule
+        .entries
+        .sort_by(|a, b| (a.start, &a.resource, &a.task).cmp(&(b.start, &b.resource, &b.task)));
     Ok(schedule)
 }
 
@@ -298,6 +294,29 @@ mod tests {
             check_serialized(&problem, &incomplete),
             Err(SynthError::Validation(_))
         ));
+    }
+
+    #[test]
+    fn schedule_entry_order_is_start_then_resource_then_task() {
+        // Pins the sort key `(start, resource, task)`: both hardware clusters start at
+        // time zero and order by resource name; the software tasks follow in start
+        // order. (The comparison is by reference — no per-comparison clones.)
+        let problem = toy_problem();
+        let schedule =
+            build_schedule(&problem, "application1", &mapping(&["PA", "cluster1"])).unwrap();
+        let order: Vec<(u64, &str, &str)> = schedule
+            .entries
+            .iter()
+            .map(|e| (e.start, e.resource.as_str(), e.task.as_str()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, "asic:PA", "PA"),
+                (0, "asic:cluster1", "cluster1"),
+                (0, "processor", "PB"),
+            ]
+        );
     }
 
     #[test]

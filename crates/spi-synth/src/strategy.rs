@@ -117,17 +117,30 @@ pub fn superposition(problem: &SynthesisProblem) -> Result<SynthesisResult> {
     })
 }
 
-/// Joint, variant-aware synthesis over the complete representation.
+/// Joint, variant-aware synthesis over the complete representation, with
+/// [`SearchStrategy::Auto`] search.
 ///
 /// # Errors
 ///
 /// Propagates optimizer errors.
 pub fn variant_aware(problem: &SynthesisProblem) -> Result<SynthesisResult> {
-    let partition = optimize(
-        problem,
-        FeasibilityMode::PerApplication,
-        SearchStrategy::Auto,
-    )?;
+    variant_aware_with(problem, SearchStrategy::Auto)
+}
+
+/// Joint, variant-aware synthesis with an explicit search strategy.
+///
+/// [`SearchStrategy::BranchAndBound`] returns the bit-identical optimum of the
+/// exhaustive search while visiting only the subtrees its bound cannot cut — the
+/// right choice when the task count makes full enumeration painful.
+///
+/// # Errors
+///
+/// Propagates optimizer errors.
+pub fn variant_aware_with(
+    problem: &SynthesisProblem,
+    strategy: SearchStrategy,
+) -> Result<SynthesisResult> {
+    let partition = optimize(problem, FeasibilityMode::PerApplication, strategy)?;
     let design_time = design_time::joint(problem);
     Ok(SynthesisResult {
         strategy: "variant-aware".to_string(),
@@ -182,6 +195,17 @@ mod tests {
         // exclusive clusters can share the processor — the paper's headline insight.
         assert_eq!(joint.cost.hardware_tasks, vec!["PA"]);
         assert!(joint.feasibility.feasible());
+    }
+
+    #[test]
+    fn variant_aware_with_branch_and_bound_matches_the_exhaustive_flow() {
+        let problem = toy_problem();
+        let exhaustive = variant_aware_with(&problem, SearchStrategy::Exhaustive).unwrap();
+        let bnb = variant_aware_with(&problem, SearchStrategy::BranchAndBound).unwrap();
+        assert_eq!(bnb.mapping, exhaustive.mapping);
+        assert_eq!(bnb.cost, exhaustive.cost);
+        assert_eq!(bnb.design_time, exhaustive.design_time);
+        assert_eq!(bnb.feasibility, exhaustive.feasibility);
     }
 
     #[test]

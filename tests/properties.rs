@@ -7,7 +7,14 @@
 //! which keeps failures reproducible without any dependency.
 
 use spi_repro::model::{ChannelKind, GraphBuilder, Interval, SpiGraph};
-use spi_repro::synth::{design_time, strategy, ApplicationSpec, SynthesisProblem, TaskSpec};
+use spi_repro::synth::compiled::{CompiledProblem, IncrementalEvaluator, TaskId};
+use spi_repro::synth::partition::{
+    optimize, optimize_serial_reference, FeasibilityMode, SearchStrategy,
+};
+use spi_repro::synth::{
+    cost, design_time, schedule, strategy, ApplicationSpec, Implementation, SynthesisProblem,
+    TaskSpec,
+};
 use spi_repro::variants::{
     Cluster, Flattener, Interface, VariantChoice, VariantSpace, VariantSystem, VariantType,
 };
@@ -241,6 +248,161 @@ fn variant_aware_never_loses_to_superposition() {
     }
 }
 
+// --- search differential: branch-and-bound vs the serial oracle ------------------
+
+/// On seeded random problems, branch-and-bound must return the bit-identical optimum
+/// — same mapping, same cost breakdown, same `(total, hw-count, Reverse(mask))`
+/// tie-break — as the retained string-keyed serial exhaustive reference, under both
+/// feasibility modes. The chunked parallel exhaustive search is held to the same
+/// standard while we are at it.
+#[test]
+fn exact_searches_match_the_serial_oracle_on_random_problems() {
+    let mut cases = Cases::new(11);
+    for round in 0..24 {
+        let problem = if round % 2 == 0 {
+            // Single variant set: few tasks, many ties.
+            random_problem(
+                1 + cases.next(3) as usize,
+                2 + cases.next(2) as usize,
+                cases.next(50),
+            )
+        } else {
+            // Two variant sets with cross-product applications: richer sharing
+            // structure, up to ~10 tasks.
+            random_multi_problem(
+                1 + cases.next(3) as usize,
+                2 + cases.next(2) as usize,
+                1000 + cases.next(50),
+            )
+        };
+        for mode in [FeasibilityMode::PerApplication, FeasibilityMode::Serialized] {
+            let oracle = optimize_serial_reference(&problem, mode).unwrap();
+            for exact in [SearchStrategy::Exhaustive, SearchStrategy::BranchAndBound] {
+                let result = optimize(&problem, mode, exact).unwrap();
+                assert_eq!(
+                    result.mapping,
+                    oracle.mapping,
+                    "{exact:?}/{mode:?} mapping diverged on round {round} \
+                     ({})",
+                    problem.name()
+                );
+                assert_eq!(result.cost, oracle.cost, "cost diverged on round {round}");
+                assert_eq!(
+                    result.feasibility, oracle.feasibility,
+                    "feasibility report diverged on round {round}"
+                );
+            }
+        }
+    }
+}
+
+/// The branch-and-bound node count can never exceed the full decision tree, and its
+/// prune count can never exceed its node count — the accounting contract documented
+/// on `PartitionResult`.
+#[test]
+fn branch_and_bound_accounting_stays_within_the_decision_tree() {
+    let mut cases = Cases::new(12);
+    for _ in 0..16 {
+        let problem = random_multi_problem(
+            1 + cases.next(2) as usize,
+            2 + cases.next(2) as usize,
+            2000 + cases.next(50),
+        );
+        let n = problem.task_count() as u64;
+        let result = optimize(
+            &problem,
+            FeasibilityMode::PerApplication,
+            SearchStrategy::BranchAndBound,
+        )
+        .unwrap();
+        assert!(result.evaluated_candidates <= (1 << (n + 1)) - 2);
+        assert!(result.pruned_candidates <= result.evaluated_candidates);
+        assert!(result.evaluated_candidates >= n);
+    }
+}
+
+// --- incremental evaluator vs from-scratch check/evaluate ------------------------
+
+/// Random walk over single-task flips: after every `apply` — and after every `undo`
+/// — the incremental per-application loads, the serialized load, the feasibility
+/// report and the cost breakdown must equal a from-scratch `schedule::check` /
+/// `schedule::check_serialized` / `cost::evaluate` on the materialized mapping.
+#[test]
+fn incremental_evaluator_matches_scratch_evaluation_on_a_random_walk() {
+    let mut cases = Cases::new(13);
+    for round in 0..8 {
+        let problem = random_multi_problem(
+            1 + cases.next(3) as usize,
+            2 + cases.next(2) as usize,
+            3000 + cases.next(50),
+        );
+        let compiled = CompiledProblem::compile(&problem).unwrap();
+        let n = compiled.task_count();
+        let mut evaluator = IncrementalEvaluator::new(&compiled);
+
+        let assert_matches_scratch = |evaluator: &IncrementalEvaluator, step: usize| {
+            let mapping = evaluator.mapping();
+            let scratch_check = schedule::check(&problem, &mapping).unwrap();
+            assert_eq!(
+                evaluator.feasibility_report(FeasibilityMode::PerApplication),
+                scratch_check,
+                "per-application report diverged at round {round} step {step}"
+            );
+            assert_eq!(
+                evaluator.feasible(FeasibilityMode::PerApplication),
+                scratch_check.feasible()
+            );
+            let scratch_serialized = schedule::check_serialized(&problem, &mapping).unwrap();
+            assert_eq!(
+                evaluator.feasibility_report(FeasibilityMode::Serialized),
+                scratch_serialized,
+                "serialized report diverged at round {round} step {step}"
+            );
+            assert_eq!(
+                evaluator.serialized_load_permille(),
+                scratch_serialized.applications[0].load_permille
+            );
+            let scratch_cost = cost::evaluate(&problem, &mapping, None).unwrap();
+            assert_eq!(
+                evaluator.cost_breakdown(),
+                scratch_cost,
+                "cost breakdown diverged at round {round} step {step}"
+            );
+            assert_eq!(evaluator.total_cost(), scratch_cost.total());
+        };
+
+        assert_matches_scratch(&evaluator, 0);
+        let mut applied = 0usize;
+        for step in 1..=200 {
+            if applied > 0 && cases.next(4) == 0 {
+                // Exercise the undo path as part of the walk, not only at the end.
+                assert!(evaluator.undo());
+                applied -= 1;
+            } else {
+                let task = TaskId(cases.next(n as u64) as u32);
+                let implementation = if cases.next(2) == 0 {
+                    Implementation::Software
+                } else {
+                    Implementation::Hardware
+                };
+                evaluator.apply(task, implementation);
+                applied += 1;
+            }
+            assert_matches_scratch(&evaluator, step);
+        }
+
+        // Unwind the whole trail; every intermediate state must still match, and the
+        // final state must be the all-software start.
+        let mut step = 201;
+        while evaluator.undo() {
+            assert_matches_scratch(&evaluator, step);
+            step += 1;
+        }
+        assert_eq!(evaluator.software_count(), n);
+        assert_eq!(evaluator.hardware_area(), 0);
+    }
+}
+
 // --- generators ------------------------------------------------------------------
 
 /// Builds a chain-shaped variant system with the given cluster counts per interface.
@@ -338,6 +500,56 @@ fn random_problem(common: usize, variants: usize, seed: u64) -> SynthesisProblem
         problem
             .add_application(ApplicationSpec::new(format!("application{index}"), tasks))
             .expect("tasks exist");
+    }
+    problem
+}
+
+/// Builds a deterministic synthesis problem with **two** variant sets and one
+/// application per cross-product combination — the sharing structure (common tasks in
+/// every application, each cluster in several) that exercises the incremental
+/// evaluator's `task → applications` fan-out.
+fn random_multi_problem(common: usize, variants_per_set: usize, seed: u64) -> SynthesisProblem {
+    let mut cases = Cases::new(seed);
+    let mut problem = SynthesisProblem::new(format!("multi{seed}"), 10 + cases.next(10));
+    let mut common_names = Vec::new();
+    for index in 0..common {
+        let name = format!("common{index}");
+        problem.add_task(TaskSpec::new(
+            &name,
+            5 + cases.next(15),
+            100,
+            15 + cases.next(30),
+            3 + cases.next(9),
+        ));
+        common_names.push(name);
+    }
+    let mut sets: Vec<Vec<String>> = Vec::new();
+    for set in 0..2 {
+        let mut clusters = Vec::new();
+        for index in 0..variants_per_set {
+            let name = format!("if{set}/v{index}");
+            problem.add_task(TaskSpec::new(
+                &name,
+                25 + cases.next(40),
+                100,
+                15 + cases.next(20),
+                20 + cases.next(30),
+            ));
+            clusters.push(name);
+        }
+        sets.push(clusters);
+    }
+    let mut index = 0;
+    for first in &sets[0] {
+        for second in &sets[1] {
+            let mut tasks = common_names.clone();
+            tasks.push(first.clone());
+            tasks.push(second.clone());
+            problem
+                .add_application(ApplicationSpec::new(format!("application{index}"), tasks))
+                .expect("tasks exist");
+            index += 1;
+        }
     }
     problem
 }

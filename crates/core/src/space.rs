@@ -18,6 +18,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use spi_model::json::{FromJson, JsonError, JsonResult, JsonValue, ToJson};
 use spi_model::Sym;
 
 /// A complete choice: one cluster per interface.
@@ -163,6 +164,35 @@ impl FromIterator<(Sym, Sym)> for VariantChoice {
     }
 }
 
+/// Wire form: an object of `{"interface": "cluster"}` members in interface-name
+/// order. Symbols cross the boundary as strings (see the `Sym` impls in
+/// [`spi_model::json`]) — the raw interner indices are process-local.
+impl ToJson for VariantChoice {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(interface, cluster)| (interface.to_string(), JsonValue::string(cluster)))
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for VariantChoice {
+    fn from_json(value: &JsonValue) -> JsonResult<VariantChoice> {
+        let members = value
+            .as_object()
+            .ok_or_else(|| JsonError::new("expected an object for VariantChoice"))?;
+        let mut choice = VariantChoice::new();
+        for (interface, cluster) in members {
+            let cluster = cluster
+                .as_str()
+                .ok_or_else(|| JsonError::new("expected a cluster name string"))?;
+            choice.select(interface, cluster);
+        }
+        Ok(choice)
+    }
+}
+
 /// The cross product of the cluster choices of every interface of a system.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VariantSpace {
@@ -295,6 +325,45 @@ impl VariantSpace {
     /// paper-fidelity tests and small spaces. New code should iterate lazily.
     pub fn choices(&self) -> Vec<VariantChoice> {
         self.choices_iter().collect()
+    }
+}
+
+/// Wire form: an array of `{"interface": ..., "clusters": [...]}` axes in
+/// attachment order (axis order is semantic — it fixes the mixed-radix
+/// numbering of [`VariantSpace::choice_at`] — so a map representation would
+/// lose information).
+impl ToJson for VariantSpace {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(
+            self.axes
+                .iter()
+                .map(|(interface, clusters)| {
+                    JsonValue::object([
+                        ("interface", interface.to_json()),
+                        ("clusters", clusters.to_json()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Rebuilds the space through [`VariantSpace::from_syms`], so the derived
+/// `sorted_axes` decode table is recomputed for the receiving process — it
+/// indexes by interned symbol order, which does not survive the trip.
+impl FromJson for VariantSpace {
+    fn from_json(value: &JsonValue) -> JsonResult<VariantSpace> {
+        let axes = value
+            .as_array()
+            .ok_or_else(|| JsonError::new("expected an array for VariantSpace"))?
+            .iter()
+            .map(|axis| {
+                let interface = Sym::from_json(axis.require("interface")?)?;
+                let clusters = Vec::<Sym>::from_json(axis.require("clusters")?)?;
+                Ok((interface, clusters))
+            })
+            .collect::<JsonResult<Vec<_>>>()?;
+        Ok(VariantSpace::from_syms(axes))
     }
 }
 
@@ -498,6 +567,52 @@ mod tests {
         choice.select("if1", "b");
         assert_eq!(choice.len(), 1);
         assert_eq!(choice.cluster_for("if1"), Some("b"));
+    }
+
+    #[test]
+    fn choice_round_trips_through_json() {
+        let choice = VariantChoice::new().with("if1", "a").with("if2", "x");
+        let line = choice.to_json().to_line();
+        assert_eq!(line, r#"{"if1":"a","if2":"x"}"#);
+        let back = VariantChoice::from_json(&JsonValue::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, choice);
+        assert!(VariantChoice::from_json(&JsonValue::Int(1)).is_err());
+        assert!(VariantChoice::from_json(&JsonValue::parse(r#"{"if1":3}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn space_round_trips_and_rebuilds_the_decode_table() {
+        // Axis names deliberately *not* in insertion order, so `sorted_axes`
+        // differs from the identity permutation and a missing rebuild on
+        // deserialize would decode combinations in the wrong name order.
+        let space = VariantSpace::new(vec![
+            ("zeta".into(), vec!["z1".into(), "z2".into()]),
+            ("alpha".into(), vec!["a1".into(), "a2".into(), "a3".into()]),
+        ]);
+        let line = space.to_json().to_line();
+        let back = VariantSpace::from_json(&JsonValue::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, space);
+        assert_eq!(back.count(), space.count());
+        for index in 0..space.count() {
+            assert_eq!(back.choice_at(index), space.choice_at(index));
+        }
+        // Second hop is byte-stable (the representation is canonical).
+        assert_eq!(back.to_json().to_line(), line);
+        assert!(VariantSpace::from_json(&JsonValue::Int(0)).is_err());
+    }
+
+    #[test]
+    fn space_with_shadowed_duplicate_axes_round_trips() {
+        let space = VariantSpace::new(vec![
+            ("dup".into(), vec!["old".into()]),
+            ("dup".into(), vec!["new1".into(), "new2".into()]),
+        ]);
+        let back = VariantSpace::from_json(&JsonValue::parse(&space.to_json().to_line()).unwrap())
+            .unwrap();
+        assert_eq!(back, space);
+        for index in 0..space.count() {
+            assert_eq!(back.choice_at(index), space.choice_at(index));
+        }
     }
 
     #[test]

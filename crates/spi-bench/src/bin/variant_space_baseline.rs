@@ -14,13 +14,20 @@
 //!   candidate accounting (`evaluated`, `pruned`) of both, so the search trajectory
 //!   is tracked PR over PR. The two optima are asserted identical before anything is
 //!   recorded.
+//! * **exploration service** — end-to-end throughput of `spi-explore` (submit →
+//!   drain → aggregate) at 1/4/8 workers over a 4096-variant space, against the
+//!   single-thread flatten+evaluate sweep it replaces; the service optimum is
+//!   asserted equal to the serial sweep's before anything is recorded.
 //!
 //! Run with `cargo run --release -p spi-bench --bin variant_space_baseline`; CI runs
-//! it as a smoke step and fails when keys go missing or branch-and-bound stops
-//! beating the exhaustive enumeration at the largest size.
+//! it as a regression gate and fails when keys go missing, when branch-and-bound
+//! stops beating the exhaustive enumeration at the largest size, or when the
+//! 8-worker service drops below the single-thread baseline.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use spi_explore::{Evaluator, ExplorationService, JobSpec, PartitionEvaluator, ServiceConfig};
 use spi_model::SpiGraph;
 use spi_synth::partition::{optimize, FeasibilityMode, SearchStrategy};
 use spi_variants::Flattener;
@@ -163,6 +170,94 @@ fn measure_partition(interfaces: usize) -> PartitionRow {
     }
 }
 
+struct ExplorationRow {
+    workers: usize,
+    service_ns: u128,
+    throughput_per_s: f64,
+}
+
+struct ExplorationSection {
+    interfaces: usize,
+    variants: usize,
+    /// Hardware threads of the recording machine: the CI gate only demands
+    /// that 8 workers beat the serial sweep where parallelism exists to
+    /// exploit (on a 1-CPU box the pool can at best tie, minus overhead).
+    available_parallelism: usize,
+    serial_flatten_eval_ns: u128,
+    rows: Vec<ExplorationRow>,
+}
+
+/// Times the exploration service against the single-thread flatten+evaluate
+/// sweep it replaces: same space, same `PartitionEvaluator`, so the gap is the
+/// service machinery plus (at >1 worker) the parallel speedup. CI gates on
+/// the 8-worker service staying at least as fast as the serial sweep.
+fn measure_exploration(interfaces: usize) -> ExplorationSection {
+    let system = scaling_system(interfaces, 2).expect("scaling system builds");
+    let evaluator = PartitionEvaluator::default();
+    let variants = system.variant_space().count();
+
+    // Serial baseline: `flatten_all`-style enumeration (shared Flattener, the
+    // fast path) plus the same per-variant evaluation, one thread, no service.
+    let flattener = Flattener::new(&system).expect("flattener builds");
+    let serial_started = Instant::now();
+    let mut serial_best = u64::MAX;
+    let mut scratch = SpiGraph::new("");
+    for choice in flattener.space().choices_iter() {
+        flattener
+            .flatten_into(&choice, &mut scratch)
+            .expect("flatten succeeds");
+        let evaluation = evaluator
+            .evaluate(0, &choice, &scratch, serial_best)
+            .expect("evaluation succeeds");
+        if evaluation.feasible {
+            serial_best = serial_best.min(evaluation.cost);
+        }
+    }
+    let serial_flatten_eval_ns = serial_started.elapsed().as_nanos();
+
+    let mut rows = Vec::new();
+    for workers in [1usize, 4, 8] {
+        let service = ExplorationService::start(ServiceConfig::with_workers(workers));
+        let started = Instant::now();
+        let job = service
+            .submit(
+                &system,
+                JobSpec {
+                    name: format!("baseline-{workers}w"),
+                    shard_count: workers * 4,
+                    top_k: 8,
+                },
+                Arc::new(evaluator.clone()),
+            )
+            .expect("job submits");
+        let status = service.wait(job).expect("job completes");
+        let service_ns = started.elapsed().as_nanos();
+        assert_eq!(
+            status.report.accounted(),
+            variants as u64,
+            "service must account every variant"
+        );
+        assert_eq!(
+            status.best().expect("a feasible optimum exists").cost,
+            serial_best,
+            "service optimum must match the serial sweep"
+        );
+        rows.push(ExplorationRow {
+            workers,
+            service_ns,
+            throughput_per_s: variants as f64 / (service_ns as f64 / 1e9),
+        });
+    }
+
+    ExplorationSection {
+        interfaces,
+        variants,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        serial_flatten_eval_ns,
+        rows,
+    }
+}
+
 fn main() {
     let output = std::env::args()
         .nth(1)
@@ -180,6 +275,9 @@ fn main() {
         eprintln!("measuring partition search at {tasks} tasks (2^{tasks} masks)...");
         partition_rows.push(measure_partition(interfaces));
     }
+
+    eprintln!("measuring exploration service throughput at 1/4/8 workers...");
+    let exploration = measure_exploration(12);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -268,7 +366,40 @@ fn main() {
             "    },\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"exploration\": {\n");
+    json.push_str(&format!(
+        "    \"scenario\": \"scaling_system({}, 2) through PartitionEvaluator (hashed params, auto strategy)\",\n",
+        exploration.interfaces
+    ));
+    json.push_str(&format!("    \"variants\": {},\n", exploration.variants));
+    json.push_str(&format!(
+        "    \"available_parallelism\": {},\n",
+        exploration.available_parallelism
+    ));
+    json.push_str(&format!(
+        "    \"serial_flatten_eval_ns\": {},\n",
+        exploration.serial_flatten_eval_ns
+    ));
+    json.push_str("    \"workers\": [\n");
+    for (index, row) in exploration.rows.iter().enumerate() {
+        let speedup = exploration.serial_flatten_eval_ns as f64 / (row.service_ns.max(1)) as f64;
+        json.push_str("      {\n");
+        json.push_str(&format!("        \"workers\": {},\n", row.workers));
+        json.push_str(&format!("        \"service_ns\": {},\n", row.service_ns));
+        json.push_str(&format!(
+            "        \"throughput_per_s\": {:.0},\n",
+            row.throughput_per_s
+        ));
+        json.push_str(&format!("        \"speedup_vs_serial\": {speedup:.2}\n"));
+        json.push_str(if index + 1 == exploration.rows.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  }\n}\n");
 
     std::fs::write(&output, &json).expect("baseline file is writable");
     println!("{json}");

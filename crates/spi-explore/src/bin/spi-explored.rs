@@ -1,0 +1,60 @@
+//! `spi-explored` — the exploration service as a process.
+//!
+//! Speaks the ndjson protocol of [`spi_explore::wire`] over stdin/stdout:
+//!
+//! ```text
+//! $ echo '{"op":"submit","system":{"scaling":{"interfaces":5,"clusters":2}},"shards":8}
+//! {"op":"wait","job":0}
+//! {"op":"shutdown"}' | spi-explored --workers 8
+//! ```
+//!
+//! Flags: `--workers N` (pool size, default: available parallelism),
+//! `--batch N` (variants per result batch, default 256), `--lease-ms N`
+//! (lease timeout, default 30000). Diagnostics go to stderr; stdout carries
+//! exactly one JSON response line per request.
+
+use std::io::{BufReader, Write};
+use std::time::Duration;
+
+use spi_explore::{serve, ExplorationService, ServiceConfig};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|arg| arg == flag)
+        .and_then(|at| args.get(at + 1))
+        .and_then(|value| value.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|arg| arg == "--help" || arg == "-h") {
+        eprintln!(
+            "usage: spi-explored [--workers N] [--batch N] [--lease-ms N]\n\
+             ndjson requests on stdin, one JSON response per line on stdout;\n\
+             ops: submit | poll | wait | top | jobs | cancel | shutdown"
+        );
+        return;
+    }
+    let mut config = ServiceConfig::default();
+    if let Some(workers) = parse_flag(&args, "--workers") {
+        config.workers = (workers as usize).max(1);
+    }
+    if let Some(batch) = parse_flag(&args, "--batch") {
+        config.batch_size = (batch as usize).max(1);
+    }
+    if let Some(lease_ms) = parse_flag(&args, "--lease-ms") {
+        config.lease_timeout = Duration::from_millis(lease_ms.max(1));
+    }
+
+    eprintln!(
+        "spi-explored: {} workers, batch {}, lease {:?}",
+        config.workers, config.batch_size, config.lease_timeout
+    );
+    let service = ExplorationService::start(config);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    if let Err(error) = serve(&service, BufReader::new(stdin.lock()), &mut stdout) {
+        eprintln!("spi-explored: i/o error: {error}");
+    }
+    let _ = stdout.flush();
+}

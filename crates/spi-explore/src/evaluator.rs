@@ -1,0 +1,338 @@
+//! Pluggable per-variant evaluation.
+//!
+//! The exploration service walks the variant space and hands every flattened
+//! combination to an [`Evaluator`]. What "cost" means is the evaluator's
+//! business — the default [`PartitionEvaluator`] runs the compiled HW/SW
+//! partition search of `spi-synth` and reports the optimal implementation
+//! cost, but anything `Send + Sync` that maps a flattened graph to a number
+//! plugs in: simulation-based scoring, timing analysis, a cheap proxy metric
+//! for pre-filtering, ...
+//!
+//! Evaluators participate in **cross-shard pruning**: before evaluating, the
+//! worker compares [`Evaluator::lower_bound`] against the job-wide incumbent
+//! (the best feasible cost any worker has reported so far). A variant whose
+//! bound strictly exceeds the incumbent is skipped — it cannot beat *or tie*
+//! the incumbent, so skipping preserves the exact `(cost, index)` optimum,
+//! tie-breaks included.
+
+use spi_model::SpiGraph;
+use spi_synth::partition::optimize as optimize_partition;
+use spi_synth::{from_flat_graph, FeasibilityMode, SearchStrategy, SynthError, TaskParams};
+use spi_variants::VariantChoice;
+
+use crate::error::ExploreError;
+use crate::Result;
+
+/// Outcome of evaluating one variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evaluation {
+    /// The variant's cost; lower is better. Meaning is evaluator-defined.
+    pub cost: u64,
+    /// Whether the variant admits any feasible implementation. Infeasible
+    /// variants are counted but never compete for the optimum.
+    pub feasible: bool,
+    /// Human-readable summary of the winning implementation (e.g. the HW/SW
+    /// mapping); carried verbatim into reports.
+    pub detail: String,
+}
+
+/// A pluggable variant evaluator; see the module docs.
+pub trait Evaluator: Send + Sync {
+    /// An admissible lower bound on [`evaluate`](Self::evaluate)'s cost for
+    /// this variant: it must never exceed the true cost. Workers skip the
+    /// evaluation when the bound strictly exceeds the job incumbent. The
+    /// default bound of `0` disables pruning.
+    fn lower_bound(&self, _choice: &VariantChoice, _graph: &SpiGraph) -> u64 {
+        0
+    }
+
+    /// Evaluates the variant at `index` of the space. `graph` is the flattened
+    /// single-variant SPI graph for `choice`; `incumbent` is the best feasible
+    /// cost seen job-wide at call time (`u64::MAX` until a first result), which
+    /// smart evaluators may use to cut their own internal search.
+    ///
+    /// # Errors
+    ///
+    /// Evaluation errors are counted per shard and do not abort the job.
+    fn evaluate(
+        &self,
+        index: usize,
+        choice: &VariantChoice,
+        graph: &SpiGraph,
+        incumbent: u64,
+    ) -> Result<Evaluation>;
+}
+
+// --- task parameters -------------------------------------------------------------------
+
+/// How the default evaluator assigns [`TaskParams`] to the tasks of a
+/// flattened graph. Both forms are pure functions of the task *name*, so the
+/// same spec yields the same parameters in every process — a requirement for
+/// the ndjson frontend, where submitter and service do not share memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskParamsSpec {
+    /// Every task gets the same parameters.
+    Uniform(TaskParams),
+    /// Parameters derived from an FNV-1a hash of the task name, seeded — a
+    /// deterministic stand-in for per-task estimation data that still gives
+    /// every task an individual profile.
+    Hashed {
+        /// Salt mixed into the name hash.
+        seed: u64,
+    },
+}
+
+impl Default for TaskParamsSpec {
+    fn default() -> Self {
+        TaskParamsSpec::Hashed { seed: 42 }
+    }
+}
+
+impl TaskParamsSpec {
+    /// The parameters for the task named `name`.
+    pub fn params_for(&self, name: &str) -> TaskParams {
+        match *self {
+            TaskParamsSpec::Uniform(params) => params,
+            TaskParamsSpec::Hashed { seed } => {
+                let h = fnv1a(name, seed);
+                TaskParams {
+                    sw_time: 5 + h % 16,
+                    period: 100,
+                    hw_area: 15 + (h >> 8) % 30,
+                    synthesis_effort: 4 + (h >> 16) % 8,
+                }
+            }
+        }
+    }
+}
+
+/// Seeded FNV-1a over the task name; stable across processes and runs.
+fn fnv1a(name: &str, seed: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// --- the default evaluator -------------------------------------------------------------
+
+/// The default evaluator: pose the flattened graph as a single-application
+/// synthesis problem ([`from_flat_graph`]) and run the compiled partition
+/// search; the variant's cost is the optimal total implementation cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionEvaluator {
+    /// Cost of the embedded processor (incurred once if anything runs in SW).
+    pub processor_cost: u64,
+    /// Task-parameter assignment.
+    pub params: TaskParamsSpec,
+    /// Schedulability view for the search.
+    pub mode: FeasibilityMode,
+    /// Search strategy. The exact strategies (`Exhaustive`, `BranchAndBound`,
+    /// and `Auto` within its exhaustive range) make service results
+    /// bit-identical to a serial `optimize_serial_reference` sweep.
+    pub strategy: SearchStrategy,
+}
+
+impl Default for PartitionEvaluator {
+    fn default() -> Self {
+        PartitionEvaluator {
+            processor_cost: 15,
+            params: TaskParamsSpec::default(),
+            mode: FeasibilityMode::PerApplication,
+            strategy: SearchStrategy::Auto,
+        }
+    }
+}
+
+impl PartitionEvaluator {
+    /// Renders the mapping summary carried into reports; deterministic for a
+    /// given optimum, so two processes evaluating the same variant agree.
+    fn detail_of(cost: &spi_synth::CostBreakdown) -> String {
+        format!(
+            "hw=[{}] sw=[{}]",
+            cost.hardware_tasks.join(","),
+            cost.software_tasks.join(",")
+        )
+    }
+}
+
+impl Evaluator for PartitionEvaluator {
+    /// Every task ends up either in software (then the processor is bought
+    /// once) or in hardware (then its area is paid), so
+    /// `min(processor_cost, Σ areas)` can never exceed the true optimum.
+    fn lower_bound(&self, _choice: &VariantChoice, graph: &SpiGraph) -> u64 {
+        let area_sum: u64 = graph
+            .processes()
+            .filter(|p| !p.is_virtual())
+            .map(|p| self.params.params_for(p.name()).hw_area)
+            .sum();
+        self.processor_cost.min(area_sum)
+    }
+
+    fn evaluate(
+        &self,
+        _index: usize,
+        _choice: &VariantChoice,
+        graph: &SpiGraph,
+        _incumbent: u64,
+    ) -> Result<Evaluation> {
+        let problem = from_flat_graph(graph, self.processor_cost, |name| {
+            Some(self.params.params_for(name))
+        })?;
+        match optimize_partition(&problem, self.mode, self.strategy) {
+            Ok(result) => Ok(Evaluation {
+                cost: result.cost.total(),
+                feasible: true,
+                detail: Self::detail_of(&result.cost),
+            }),
+            Err(SynthError::Infeasible(message)) => Ok(Evaluation {
+                cost: u64::MAX,
+                feasible: false,
+                detail: message,
+            }),
+            Err(other) => Err(ExploreError::Synth(other)),
+        }
+    }
+}
+
+// --- closure adapter -------------------------------------------------------------------
+
+/// A boxed lower-bound function, as attached by [`FnEvaluator::with_lower_bound`].
+type BoundFn = Box<dyn Fn(&VariantChoice, &SpiGraph) -> u64 + Send + Sync>;
+
+/// Adapts a closure into an [`Evaluator`] — the cheapest way to plug a custom
+/// metric (or a test probe) into the service.
+pub struct FnEvaluator<F> {
+    function: F,
+    bound: Option<BoundFn>,
+}
+
+impl<F> FnEvaluator<F>
+where
+    F: Fn(usize, &VariantChoice, &SpiGraph) -> Result<Evaluation> + Send + Sync,
+{
+    /// Wraps `function` as an evaluator with no pruning bound.
+    pub fn new(function: F) -> Self {
+        FnEvaluator {
+            function,
+            bound: None,
+        }
+    }
+
+    /// Attaches a lower-bound function enabling cross-shard pruning.
+    pub fn with_lower_bound(
+        mut self,
+        bound: impl Fn(&VariantChoice, &SpiGraph) -> u64 + Send + Sync + 'static,
+    ) -> Self {
+        self.bound = Some(Box::new(bound));
+        self
+    }
+}
+
+impl<F> Evaluator for FnEvaluator<F>
+where
+    F: Fn(usize, &VariantChoice, &SpiGraph) -> Result<Evaluation> + Send + Sync,
+{
+    fn lower_bound(&self, choice: &VariantChoice, graph: &SpiGraph) -> u64 {
+        self.bound.as_ref().map_or(0, |bound| bound(choice, graph))
+    }
+
+    fn evaluate(
+        &self,
+        index: usize,
+        choice: &VariantChoice,
+        graph: &SpiGraph,
+        _incumbent: u64,
+    ) -> Result<Evaluation> {
+        (self.function)(index, choice, graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_workloads::scaling_system;
+
+    #[test]
+    fn hashed_params_are_deterministic_and_name_dependent() {
+        let spec = TaskParamsSpec::Hashed { seed: 42 };
+        assert_eq!(spec.params_for("common0"), spec.params_for("common0"));
+        assert_ne!(spec.params_for("common0"), spec.params_for("common1"));
+        let other_seed = TaskParamsSpec::Hashed { seed: 7 };
+        assert_ne!(spec.params_for("common0"), other_seed.params_for("common0"));
+        // Ranges hold.
+        let p = spec.params_for("anything");
+        assert!((5..21).contains(&p.sw_time));
+        assert!((15..45).contains(&p.hw_area));
+        assert_eq!(p.period, 100);
+    }
+
+    #[test]
+    fn partition_evaluator_matches_a_direct_search() {
+        let system = scaling_system(3, 2).unwrap();
+        let flattener = spi_variants::Flattener::new(&system).unwrap();
+        let evaluator = PartitionEvaluator::default();
+        let (choice, graph) = flattener.flatten_at(0).unwrap();
+        let evaluation = evaluator.evaluate(0, &choice, &graph, u64::MAX).unwrap();
+        assert!(evaluation.feasible);
+
+        let problem = from_flat_graph(&graph, evaluator.processor_cost, |name| {
+            Some(evaluator.params.params_for(name))
+        })
+        .unwrap();
+        let direct = optimize_partition(
+            &problem,
+            FeasibilityMode::PerApplication,
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap();
+        assert_eq!(evaluation.cost, direct.cost.total());
+        assert_eq!(
+            evaluation.detail,
+            PartitionEvaluator::detail_of(&direct.cost)
+        );
+    }
+
+    #[test]
+    fn partition_lower_bound_is_admissible() {
+        let system = scaling_system(4, 2).unwrap();
+        let flattener = spi_variants::Flattener::new(&system).unwrap();
+        let evaluator = PartitionEvaluator::default();
+        for index in 0..flattener.space().count() {
+            let (choice, graph) = flattener.flatten_at(index).unwrap();
+            let bound = evaluator.lower_bound(&choice, &graph);
+            let evaluation = evaluator
+                .evaluate(index, &choice, &graph, u64::MAX)
+                .unwrap();
+            assert!(
+                bound <= evaluation.cost,
+                "bound {bound} exceeds cost {} at variant {index}",
+                evaluation.cost
+            );
+        }
+    }
+
+    #[test]
+    fn fn_evaluator_exposes_closure_and_bound() {
+        let evaluator = FnEvaluator::new(|index, _choice, _graph| {
+            Ok(Evaluation {
+                cost: index as u64,
+                feasible: true,
+                detail: String::new(),
+            })
+        })
+        .with_lower_bound(|_, _| 5);
+        let graph = SpiGraph::new("g");
+        let choice = VariantChoice::new();
+        assert_eq!(evaluator.lower_bound(&choice, &graph), 5);
+        assert_eq!(
+            evaluator
+                .evaluate(9, &choice, &graph, u64::MAX)
+                .unwrap()
+                .cost,
+            9
+        );
+    }
+}

@@ -1,0 +1,849 @@
+//! The job registry: the lease-protocol state machine of the service.
+//!
+//! The registry is deliberately a **pure, synchronous state machine** — every
+//! method takes `&mut self` (callers wrap it in a mutex) and time enters only
+//! as explicit [`Instant`] parameters. That makes the whole lease protocol
+//! deterministic under test: the property tests drive simulated workers,
+//! crashes, cancellations and clock advances through the same code the real
+//! worker pool runs, with no sleeping and no racing.
+//!
+//! # The protocol
+//!
+//! A submitted job covers a variant space split into `shard_count` **strided
+//! shards**: shard `s` owns the variant indices `s, s + count, s + 2·count, …`
+//! (the stride rides on the `O(axes)` `nth` of the lazy space iterator, so a
+//! shard never decodes another shard's combinations). Shards move through
+//! three states:
+//!
+//! ```text
+//!                    lease()                    complete_shard()
+//!   Pending ───────────────────────▶ Leased ─────────────────────▶ Done
+//!      ▲                               │
+//!      └───────────────────────────────┘
+//!        expire() past the deadline / abandon()
+//! ```
+//!
+//! Every lease carries a fresh [`LeaseId`]. Batches and completions are only
+//! accepted from the lease currently holding the shard — work reported under
+//! an expired, abandoned or cancelled lease gets [`ExploreError::StaleLease`]
+//! and is discarded. Combined with staging (below) this yields the service's
+//! core accounting guarantee: **every shard is counted exactly once** in the
+//! final aggregate, no matter how many times workers crashed, stalled or
+//! raced on it.
+//!
+//! # Staging vs committing
+//!
+//! Batch deltas merge into a per-lease **staged** report; only when the lease
+//! completes its shard does the staged report merge into the job's
+//! **committed** aggregate. A lease that dies mid-shard takes its staged
+//! partial results with it — the re-leased shard starts from zero, so nothing
+//! is double-counted. Poll snapshots expose `committed + staged` for live
+//! progress (observational; staged parts may vanish on expiry), while the
+//! terminal report is committed-only and exact.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use spi_variants::{Flattener, VariantSystem};
+
+use crate::error::ExploreError;
+use crate::evaluator::Evaluator;
+use crate::report::{BestVariant, ShardReport};
+use crate::Result;
+
+/// Identifier of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// Raw numeric id (the wire representation).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a job id from its wire representation.
+    pub fn from_raw(raw: u64) -> Self {
+        JobId(raw)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Identifier of one lease of one shard; never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LeaseId(u64);
+
+impl LeaseId {
+    /// Raw numeric id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a lease id from its raw representation.
+    pub fn from_raw(raw: u64) -> Self {
+        LeaseId(raw)
+    }
+}
+
+impl fmt::Display for LeaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lease#{}", self.0)
+    }
+}
+
+/// Life-cycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Shards are pending or in flight.
+    Running,
+    /// Every shard completed; the committed aggregate is final and exact.
+    Completed,
+    /// Cancelled by a client; the committed aggregate holds the partial
+    /// results of the shards that completed before the cancellation.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the job will never change again.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Running)
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobState::Running => write!(f, "running"),
+            JobState::Completed => write!(f, "completed"),
+            JobState::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Client-tunable parameters of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Human-readable job name (for status displays; not unique).
+    pub name: String,
+    /// Number of strided shards the space is split into. Clamped to the
+    /// combination count — an all-empty shard would be pure lease traffic.
+    pub shard_count: usize,
+    /// How many of the cheapest variants to retain.
+    pub top_k: usize,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            name: "exploration".to_string(),
+            shard_count: 16,
+            top_k: 8,
+        }
+    }
+}
+
+/// A leased shard: everything a worker needs to drain it without touching the
+/// registry (the `Arc`s are shared with the job, so incumbent updates and
+/// cancellation are visible both ways while the registry lock is free).
+#[derive(Clone)]
+pub struct Lease {
+    /// The job this shard belongs to.
+    pub job: JobId,
+    /// The lease token; batches and the completion must cite it.
+    pub lease: LeaseId,
+    /// Strided shard index in `0..shard_count`.
+    pub shard: usize,
+    /// Total shard count of the job (the stride).
+    pub shard_count: usize,
+    /// Top-K cap for the shard's report.
+    pub top_k: usize,
+    /// The job's shared flattening machine.
+    pub flattener: Arc<Flattener>,
+    /// The job's evaluator.
+    pub evaluator: Arc<dyn Evaluator>,
+    /// Job-wide best feasible cost (`u64::MAX` until a first result); workers
+    /// `fetch_min` it and prune against it across shards.
+    pub incumbent: Arc<AtomicU64>,
+    /// Set when the job is cancelled; workers abandon the drain promptly.
+    pub cancelled: Arc<AtomicBool>,
+    /// When the lease expires if neither batched nor completed.
+    pub deadline: Instant,
+    /// How often the drain should flush *at the latest* (half the registry's
+    /// lease timeout): every flush renews the deadline, so respecting this
+    /// interval keeps the lease alive however slow the evaluator is.
+    pub renew_interval: Duration,
+}
+
+/// Progress events streamed to [`JobRegistry::subscribe`]rs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// A batch improved the job-wide best variant.
+    Improved {
+        /// The new best.
+        best: BestVariant,
+    },
+    /// A shard's staged report was committed.
+    ShardCompleted {
+        /// Which shard completed.
+        shard: usize,
+        /// Committed shards so far.
+        shards_done: usize,
+        /// Total shards of the job.
+        shard_count: usize,
+    },
+    /// The job reached a terminal state; no further events follow.
+    Finished {
+        /// The terminal snapshot.
+        status: JobStatus,
+    },
+}
+
+/// A point-in-time snapshot of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// The job.
+    pub job: JobId,
+    /// Its display name.
+    pub name: String,
+    /// Life-cycle state.
+    pub state: JobState,
+    /// Size of the variant space.
+    pub combinations: usize,
+    /// Total shards.
+    pub shard_count: usize,
+    /// Committed shards.
+    pub shards_done: usize,
+    /// Shards currently under lease.
+    pub shards_in_flight: usize,
+    /// Merged counters: committed plus currently-staged (staged parts are
+    /// observational — they vanish if their lease expires; exact once the
+    /// state is terminal).
+    pub report: ShardReport,
+}
+
+impl JobStatus {
+    /// The best variant found so far, if any shard reported a feasible one.
+    pub fn best(&self) -> Option<&BestVariant> {
+        self.report.best()
+    }
+}
+
+enum ShardSlot {
+    Pending,
+    /// Under lease; the owning [`LeaseId`] is tracked in
+    /// [`JobRegistry::leases`], the slot only carries the renewable deadline.
+    Leased {
+        deadline: Instant,
+    },
+    Done,
+}
+
+struct Job {
+    name: String,
+    shard_count: usize,
+    top_k: usize,
+    combinations: usize,
+    flattener: Arc<Flattener>,
+    evaluator: Arc<dyn Evaluator>,
+    incumbent: Arc<AtomicU64>,
+    cancelled: Arc<AtomicBool>,
+    state: JobState,
+    shards: Vec<ShardSlot>,
+    shards_done: usize,
+    /// Per-lease staged reports, discarded on expiry/abandon/cancel.
+    staged: HashMap<LeaseId, ShardReport>,
+    /// Aggregate of completed shards only; exact by construction.
+    committed: ShardReport,
+    /// Best across committed *and* staged, for `Improved` events.
+    best_seen: Option<BestVariant>,
+    subscribers: Vec<mpsc::Sender<JobEvent>>,
+}
+
+impl Job {
+    fn status(&self, id: JobId, in_flight: usize) -> JobStatus {
+        let mut report = self.committed.clone();
+        for staged in self.staged.values() {
+            report.merge(staged, self.top_k);
+        }
+        JobStatus {
+            job: id,
+            name: self.name.clone(),
+            state: self.state,
+            combinations: self.combinations,
+            shard_count: self.shard_count,
+            shards_done: self.shards_done,
+            shards_in_flight: in_flight,
+            report,
+        }
+    }
+
+    fn emit(&mut self, event: JobEvent) {
+        self.subscribers
+            .retain(|subscriber| subscriber.send(event.clone()).is_ok());
+    }
+}
+
+/// The service's job table; see the module docs for the protocol.
+pub struct JobRegistry {
+    lease_timeout: Duration,
+    next_job: u64,
+    next_lease: u64,
+    jobs: BTreeMap<JobId, Job>,
+    /// FIFO of (job, shard) pairs available for leasing. May contain entries
+    /// for shards that were since leased/cancelled; `lease` skips those.
+    queue: VecDeque<(JobId, usize)>,
+    /// Live leases: lease → (job, shard).
+    leases: HashMap<LeaseId, (JobId, usize)>,
+}
+
+impl JobRegistry {
+    /// Creates an empty registry whose leases expire after `lease_timeout`
+    /// without a batch or completion.
+    pub fn new(lease_timeout: Duration) -> Self {
+        JobRegistry {
+            lease_timeout,
+            next_job: 0,
+            next_lease: 0,
+            jobs: BTreeMap::new(),
+            queue: VecDeque::new(),
+            leases: HashMap::new(),
+        }
+    }
+
+    /// Registers a job over `system`'s variant space.
+    ///
+    /// Builds the job's [`Flattener`] once (validating the system), clamps the
+    /// shard count to the space size and queues every shard. A job over an
+    /// empty space (zero combinations) completes immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::InvalidSpec`] for a zero shard count, and any system
+    /// validation error from the flattener build.
+    pub fn submit(
+        &mut self,
+        system: &VariantSystem,
+        spec: JobSpec,
+        evaluator: Arc<dyn Evaluator>,
+    ) -> Result<JobId> {
+        if spec.shard_count == 0 {
+            return Err(ExploreError::InvalidSpec(
+                "shard_count must be at least 1".to_string(),
+            ));
+        }
+        let flattener = Arc::new(Flattener::new(system)?);
+        let combinations = flattener.space().count();
+        let shard_count = spec.shard_count.min(combinations.max(1));
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+
+        let empty = combinations == 0;
+        let mut job = Job {
+            name: spec.name,
+            shard_count,
+            top_k: spec.top_k.max(1),
+            combinations,
+            flattener,
+            evaluator,
+            incumbent: Arc::new(AtomicU64::new(u64::MAX)),
+            cancelled: Arc::new(AtomicBool::new(false)),
+            state: if empty {
+                JobState::Completed
+            } else {
+                JobState::Running
+            },
+            shards: Vec::new(),
+            shards_done: 0,
+            staged: HashMap::new(),
+            committed: ShardReport::default(),
+            best_seen: None,
+            subscribers: Vec::new(),
+        };
+        if !empty {
+            job.shards = (0..shard_count).map(|_| ShardSlot::Pending).collect();
+            for shard in 0..shard_count {
+                self.queue.push_back((id, shard));
+            }
+        }
+        self.jobs.insert(id, job);
+        Ok(id)
+    }
+
+    /// Hands out the next pending shard, if any. Stale queue entries (shards
+    /// already leased, completed or belonging to terminal jobs) are skipped
+    /// and dropped.
+    pub fn lease(&mut self, now: Instant) -> Option<Lease> {
+        while let Some((job_id, shard)) = self.queue.pop_front() {
+            let Some(job) = self.jobs.get_mut(&job_id) else {
+                continue;
+            };
+            if job.state != JobState::Running || !matches!(job.shards[shard], ShardSlot::Pending) {
+                continue;
+            }
+            let lease = LeaseId(self.next_lease);
+            self.next_lease += 1;
+            let deadline = now + self.lease_timeout;
+            job.shards[shard] = ShardSlot::Leased { deadline };
+            self.leases.insert(lease, (job_id, shard));
+            return Some(Lease {
+                job: job_id,
+                lease,
+                shard,
+                shard_count: job.shard_count,
+                top_k: job.top_k,
+                flattener: Arc::clone(&job.flattener),
+                evaluator: Arc::clone(&job.evaluator),
+                incumbent: Arc::clone(&job.incumbent),
+                cancelled: Arc::clone(&job.cancelled),
+                deadline,
+                renew_interval: self.lease_timeout / 2,
+            });
+        }
+        None
+    }
+
+    fn resolve_lease(&mut self, lease: LeaseId) -> Result<(JobId, usize)> {
+        self.leases
+            .get(&lease)
+            .copied()
+            .ok_or(ExploreError::StaleLease(lease))
+    }
+
+    /// Merges a batch delta into the lease's staged report and **renews the
+    /// lease deadline** — a batch is proof of liveness, so a slow shard stays
+    /// owned as long as it keeps reporting.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::StaleLease`] if the lease expired, was abandoned or its
+    /// job was cancelled; the caller must stop working on the shard.
+    pub fn report_batch(&mut self, lease: LeaseId, delta: ShardReport, now: Instant) -> Result<()> {
+        let (job_id, shard) = self.resolve_lease(lease)?;
+        let deadline = now + self.lease_timeout;
+        let job = self.jobs.get_mut(&job_id).expect("lease resolves to job");
+        if let ShardSlot::Leased { deadline: slot, .. } = &mut job.shards[shard] {
+            *slot = deadline;
+        }
+        let top_k = job.top_k;
+        let staged = job.staged.entry(lease).or_default();
+        staged.merge(&delta, top_k);
+        if let Some(best) = delta.best() {
+            let improved = job
+                .best_seen
+                .as_ref()
+                .is_none_or(|seen| best.key() < seen.key());
+            if improved {
+                job.best_seen = Some(best.clone());
+                let best = best.clone();
+                job.emit(JobEvent::Improved { best });
+            }
+        }
+        Ok(())
+    }
+
+    /// Completes the shard under `lease`: merges the final `delta`, commits
+    /// the staged report into the job aggregate and, when it was the last
+    /// shard, finishes the job.
+    ///
+    /// Returns `true` when the job reached its terminal state with this call.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::StaleLease`] as for [`report_batch`](Self::report_batch).
+    pub fn complete_shard(
+        &mut self,
+        lease: LeaseId,
+        delta: ShardReport,
+        now: Instant,
+    ) -> Result<bool> {
+        self.report_batch(lease, delta, now)?;
+        let (job_id, shard) = self.resolve_lease(lease)?;
+        self.leases.remove(&lease);
+        let job = self.jobs.get_mut(&job_id).expect("lease resolves to job");
+        let staged = job.staged.remove(&lease).unwrap_or_default();
+        let top_k = job.top_k;
+        job.committed.merge(&staged, top_k);
+        job.shards[shard] = ShardSlot::Done;
+        job.shards_done += 1;
+        let done = job.shards_done;
+        let total = job.shard_count;
+        job.emit(JobEvent::ShardCompleted {
+            shard,
+            shards_done: done,
+            shard_count: total,
+        });
+        if done == total {
+            job.state = JobState::Completed;
+            let status = job.status(job_id, 0);
+            job.emit(JobEvent::Finished { status });
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Voluntarily returns a lease (worker shutting down): staged work is
+    /// discarded and the shard re-queued. A stale lease is a no-op.
+    pub fn abandon(&mut self, lease: LeaseId) {
+        let Some((job_id, shard)) = self.leases.remove(&lease) else {
+            return;
+        };
+        let job = self.jobs.get_mut(&job_id).expect("lease resolves to job");
+        job.staged.remove(&lease);
+        if job.state == JobState::Running {
+            job.shards[shard] = ShardSlot::Pending;
+            self.queue.push_back((job_id, shard));
+        }
+    }
+
+    /// Reclaims every lease whose deadline passed: staged partials are
+    /// dropped and the shards re-queued. Returns how many were reclaimed.
+    pub fn expire(&mut self, now: Instant) -> usize {
+        let expired: Vec<LeaseId> = self
+            .leases
+            .iter()
+            .filter(|(_, (job_id, shard))| {
+                self.jobs.get(job_id).is_some_and(|job| {
+                    matches!(
+                        job.shards[*shard],
+                        ShardSlot::Leased { deadline, .. } if deadline <= now
+                    )
+                })
+            })
+            .map(|(lease, _)| *lease)
+            .collect();
+        for lease in &expired {
+            self.abandon(*lease);
+        }
+        expired.len()
+    }
+
+    /// Cancels a running job: pending shards are dropped, live leases
+    /// invalidated (their future batches get [`ExploreError::StaleLease`]) and
+    /// the shared cancel flag raised so draining workers stop early. Terminal
+    /// jobs are left as they are — cancellation is idempotent. Returns the
+    /// resulting snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::UnknownJob`] for an unknown id.
+    pub fn cancel(&mut self, job_id: JobId) -> Result<JobStatus> {
+        let job = self
+            .jobs
+            .get_mut(&job_id)
+            .ok_or(ExploreError::UnknownJob(job_id))?;
+        if job.state == JobState::Running {
+            job.state = JobState::Cancelled;
+            job.cancelled.store(true, Ordering::Relaxed);
+            job.staged.clear();
+            let stale: Vec<LeaseId> = self
+                .leases
+                .iter()
+                .filter(|(_, (owner, _))| *owner == job_id)
+                .map(|(lease, _)| *lease)
+                .collect();
+            for lease in stale {
+                self.leases.remove(&lease);
+            }
+            let status = self
+                .jobs
+                .get(&job_id)
+                .expect("job still present")
+                .status(job_id, 0);
+            let job = self.jobs.get_mut(&job_id).expect("job still present");
+            job.emit(JobEvent::Finished {
+                status: status.clone(),
+            });
+            return Ok(status);
+        }
+        self.poll(job_id)
+    }
+
+    /// A point-in-time snapshot of the job.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::UnknownJob`] for an unknown id.
+    pub fn poll(&self, job_id: JobId) -> Result<JobStatus> {
+        let job = self
+            .jobs
+            .get(&job_id)
+            .ok_or(ExploreError::UnknownJob(job_id))?;
+        let in_flight = self
+            .leases
+            .values()
+            .filter(|(owner, _)| *owner == job_id)
+            .count();
+        Ok(job.status(job_id, in_flight))
+    }
+
+    /// Subscribes to the job's event stream. Events already in the past are
+    /// not replayed; a terminal job yields an immediate `Finished` event.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::UnknownJob`] for an unknown id.
+    pub fn subscribe(&mut self, job_id: JobId) -> Result<mpsc::Receiver<JobEvent>> {
+        let in_flight = self
+            .leases
+            .values()
+            .filter(|(owner, _)| *owner == job_id)
+            .count();
+        let job = self
+            .jobs
+            .get_mut(&job_id)
+            .ok_or(ExploreError::UnknownJob(job_id))?;
+        let (sender, receiver) = mpsc::channel();
+        if job.state.is_terminal() {
+            let status = job.status(job_id, in_flight);
+            let _ = sender.send(JobEvent::Finished { status });
+        } else {
+            job.subscribers.push(sender);
+        }
+        Ok(receiver)
+    }
+
+    /// Ids of every registered job, in submission order.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.jobs.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{Evaluation, FnEvaluator};
+    use spi_workloads::scaling_system;
+
+    fn test_evaluator() -> Arc<dyn Evaluator> {
+        Arc::new(FnEvaluator::new(|index, _choice, _graph| {
+            Ok(Evaluation {
+                cost: (index as u64 * 7) % 31,
+                feasible: true,
+                detail: String::new(),
+            })
+        }))
+    }
+
+    fn registry_with_job(shards: usize) -> (JobRegistry, JobId) {
+        let system = scaling_system(3, 2).unwrap();
+        let mut registry = JobRegistry::new(Duration::from_secs(30));
+        let id = registry
+            .submit(
+                &system,
+                JobSpec {
+                    name: "t".into(),
+                    shard_count: shards,
+                    top_k: 4,
+                },
+                test_evaluator(),
+            )
+            .unwrap();
+        (registry, id)
+    }
+
+    fn report_with(index: usize, cost: u64) -> ShardReport {
+        let mut report = ShardReport {
+            evaluated: 1,
+            feasible: 1,
+            ..ShardReport::default()
+        };
+        report.record(
+            BestVariant {
+                index,
+                cost,
+                choice: spi_variants::VariantChoice::new(),
+                detail: String::new(),
+            },
+            4,
+        );
+        report
+    }
+
+    #[test]
+    fn lease_complete_drains_every_shard_once() {
+        let (mut registry, id) = registry_with_job(4);
+        let now = Instant::now();
+        let mut seen = Vec::new();
+        while let Some(lease) = registry.lease(now) {
+            seen.push(lease.shard);
+            let finished = registry
+                .complete_shard(lease.lease, report_with(lease.shard, 10), now)
+                .unwrap();
+            assert_eq!(finished, seen.len() == 4);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        let status = registry.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Completed);
+        assert_eq!(status.report.evaluated, 4);
+    }
+
+    #[test]
+    fn stale_lease_after_expiry_is_rejected_and_shard_requeued() {
+        let (mut registry, id) = registry_with_job(1);
+        let t0 = Instant::now();
+        let zombie = registry.lease(t0).unwrap();
+        registry
+            .report_batch(zombie.lease, report_with(0, 10), t0)
+            .unwrap();
+        // Nobody hears from the worker for longer than the timeout.
+        let late = t0 + Duration::from_secs(61);
+        assert_eq!(registry.expire(late), 1);
+        // The zombie's partial work is gone and its lease dead.
+        assert_eq!(registry.poll(id).unwrap().report.evaluated, 0);
+        assert!(matches!(
+            registry.report_batch(zombie.lease, report_with(1, 5), late),
+            Err(ExploreError::StaleLease(_))
+        ));
+        assert!(matches!(
+            registry.complete_shard(zombie.lease, report_with(1, 5), late),
+            Err(ExploreError::StaleLease(_))
+        ));
+        // A fresh lease drains the shard; the final count is exact.
+        let fresh = registry.lease(late).unwrap();
+        assert_eq!(fresh.shard, zombie.shard);
+        registry
+            .complete_shard(fresh.lease, report_with(0, 10), late)
+            .unwrap();
+        let status = registry.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Completed);
+        assert_eq!(status.report.evaluated, 1);
+    }
+
+    #[test]
+    fn batches_renew_the_lease_deadline() {
+        let (mut registry, _id) = registry_with_job(1);
+        let t0 = Instant::now();
+        let lease = registry.lease(t0).unwrap();
+        // Keep batching just before every deadline: the lease must survive.
+        let mut now = t0;
+        for _ in 0..4 {
+            now += Duration::from_secs(29);
+            assert_eq!(registry.expire(now), 0);
+            registry
+                .report_batch(lease.lease, report_with(0, 10), now)
+                .unwrap();
+        }
+        assert!(registry
+            .complete_shard(lease.lease, ShardReport::default(), now)
+            .unwrap());
+    }
+
+    #[test]
+    fn cancel_invalidates_leases_and_keeps_partial_results() {
+        let (mut registry, id) = registry_with_job(4);
+        let now = Instant::now();
+        let first = registry.lease(now).unwrap();
+        registry
+            .complete_shard(first.lease, report_with(0, 10), now)
+            .unwrap();
+        let in_flight = registry.lease(now).unwrap();
+        let status = registry.cancel(id).unwrap();
+        assert_eq!(status.state, JobState::Cancelled);
+        assert_eq!(status.report.evaluated, 1, "committed shard survives");
+        assert!(in_flight.cancelled.load(Ordering::Relaxed));
+        assert!(matches!(
+            registry.complete_shard(in_flight.lease, report_with(9, 1), now),
+            Err(ExploreError::StaleLease(_))
+        ));
+        // No further leases; cancel is idempotent.
+        assert!(registry.lease(now).is_none());
+        assert_eq!(registry.cancel(id).unwrap().state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn events_report_improvements_and_completion() {
+        let (mut registry, id) = registry_with_job(2);
+        let events = registry.subscribe(id).unwrap();
+        let now = Instant::now();
+        let a = registry.lease(now).unwrap();
+        let b = registry.lease(now).unwrap();
+        registry
+            .complete_shard(a.lease, report_with(3, 20), now)
+            .unwrap();
+        registry
+            .complete_shard(b.lease, report_with(5, 10), now)
+            .unwrap();
+        let collected: Vec<JobEvent> = events.try_iter().collect();
+        assert!(matches!(
+            collected[0],
+            JobEvent::Improved { ref best } if best.cost == 20
+        ));
+        assert!(collected
+            .iter()
+            .any(|e| matches!(e, JobEvent::Improved { best } if best.cost == 10)));
+        assert!(matches!(
+            collected.last().unwrap(),
+            JobEvent::Finished { status } if status.state == JobState::Completed
+        ));
+        // Subscribing to a terminal job yields an immediate Finished.
+        let late = registry.subscribe(id).unwrap();
+        assert!(matches!(
+            late.try_iter().next(),
+            Some(JobEvent::Finished { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_count_is_clamped_and_empty_spaces_complete_immediately() {
+        let system = scaling_system(2, 2).unwrap(); // 4 combinations
+        let mut registry = JobRegistry::new(Duration::from_secs(30));
+        let id = registry
+            .submit(
+                &system,
+                JobSpec {
+                    shard_count: 64,
+                    ..JobSpec::default()
+                },
+                test_evaluator(),
+            )
+            .unwrap();
+        assert_eq!(registry.poll(id).unwrap().shard_count, 4);
+
+        let empty = VariantSystem::new(spi_model::SpiGraph::new("empty"));
+        let done = registry
+            .submit(&empty, JobSpec::default(), test_evaluator())
+            .unwrap();
+        let status = registry.poll(done).unwrap();
+        assert_eq!(status.state, JobState::Completed);
+        assert_eq!(status.combinations, 0);
+        assert!(registry.lease(Instant::now()).map(|l| l.job) != Some(done));
+    }
+
+    #[test]
+    fn invalid_specs_and_unknown_jobs_are_rejected() {
+        let system = scaling_system(2, 2).unwrap();
+        let mut registry = JobRegistry::new(Duration::from_secs(30));
+        assert!(matches!(
+            registry.submit(
+                &system,
+                JobSpec {
+                    shard_count: 0,
+                    ..JobSpec::default()
+                },
+                test_evaluator(),
+            ),
+            Err(ExploreError::InvalidSpec(_))
+        ));
+        let ghost = JobId::from_raw(99);
+        assert!(matches!(
+            registry.poll(ghost),
+            Err(ExploreError::UnknownJob(_))
+        ));
+        assert!(matches!(
+            registry.cancel(ghost),
+            Err(ExploreError::UnknownJob(_))
+        ));
+        assert!(matches!(
+            registry.subscribe(ghost),
+            Err(ExploreError::UnknownJob(_))
+        ));
+    }
+}

@@ -1,0 +1,399 @@
+//! The long-running exploration service: registry + worker pool + client API.
+//!
+//! [`ExplorationService::start`] spawns a pool of OS worker threads that
+//! repeatedly lease strided shards from the [`JobRegistry`], drain them
+//! ([`crate::worker::drain_lease`]) and feed batched results back. Clients
+//! talk to the service in-process through the methods here — submit, poll,
+//! cancel, blocking wait, and an event subscription over `std::sync::mpsc`
+//! channels (the offline environment has no async runtime; channels plus a
+//! blocking `wait` cover the same call patterns) — or across processes via
+//! the ndjson frontend in [`crate::wire`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spi_variants::VariantSystem;
+
+use crate::evaluator::Evaluator;
+use crate::registry::{JobEvent, JobId, JobRegistry, JobSpec, JobStatus, Lease};
+use crate::worker::{drain_lease, DrainOutcome, FlushResponse};
+use crate::Result;
+
+/// Tunables of an [`ExplorationService`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// How long a lease survives without a batch or completion before its
+    /// shard is re-queued.
+    pub lease_timeout: Duration,
+    /// Variants accounted per flushed batch.
+    pub batch_size: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            lease_timeout: Duration::from_secs(30),
+            batch_size: 256,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with `workers` threads and defaults otherwise.
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers: workers.max(1),
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+struct Inner {
+    registry: Mutex<JobRegistry>,
+    /// Signalled when shards become available (submit, expiry, abandon).
+    work_available: Condvar,
+    /// Signalled on shard completion / job termination, for [`wait`].
+    progress: Condvar,
+    shutdown: AtomicBool,
+    batch_size: usize,
+}
+
+/// A running exploration service; dropping it stops the worker pool (workers
+/// abandon in-flight shards, which re-queue for a future service over the
+/// same registry state — nothing is double-counted either way).
+pub struct ExplorationService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ExplorationService {
+    /// Starts the worker pool.
+    pub fn start(config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            registry: Mutex::new(JobRegistry::new(config.lease_timeout)),
+            work_available: Condvar::new(),
+            progress: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            batch_size: config.batch_size.max(1),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|index| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("spi-explore-worker-{index}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        ExplorationService { inner, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job; returns immediately with its id.
+    ///
+    /// # Errors
+    ///
+    /// As [`JobRegistry::submit`].
+    pub fn submit(
+        &self,
+        system: &VariantSystem,
+        spec: JobSpec,
+        evaluator: Arc<dyn Evaluator>,
+    ) -> Result<JobId> {
+        let id = self.registry().submit(system, spec, evaluator)?;
+        self.inner.work_available.notify_all();
+        Ok(id)
+    }
+
+    /// A point-in-time snapshot of the job.
+    ///
+    /// # Errors
+    ///
+    /// As [`JobRegistry::poll`].
+    pub fn poll(&self, job: JobId) -> Result<JobStatus> {
+        self.registry().poll(job)
+    }
+
+    /// Cancels the job (idempotent) and returns the resulting snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`JobRegistry::cancel`].
+    pub fn cancel(&self, job: JobId) -> Result<JobStatus> {
+        let status = self.registry().cancel(job)?;
+        self.inner.progress.notify_all();
+        Ok(status)
+    }
+
+    /// Snapshots of every registered job, in submission order.
+    pub fn jobs(&self) -> Vec<JobStatus> {
+        let registry = self.registry();
+        registry
+            .job_ids()
+            .into_iter()
+            .filter_map(|id| registry.poll(id).ok())
+            .collect()
+    }
+
+    /// Subscribes to the job's event stream (improvements, shard completions,
+    /// termination) over an `mpsc` channel.
+    ///
+    /// # Errors
+    ///
+    /// As [`JobRegistry::subscribe`].
+    pub fn subscribe(&self, job: JobId) -> Result<mpsc::Receiver<JobEvent>> {
+        self.registry().subscribe(job)
+    }
+
+    /// Blocks until the job reaches a terminal state and returns its final,
+    /// exact snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`JobRegistry::poll`].
+    pub fn wait(&self, job: JobId) -> Result<JobStatus> {
+        let mut registry = self.inner.registry.lock().expect("registry lock");
+        loop {
+            let status = registry.poll(job)?;
+            if status.state.is_terminal() {
+                return Ok(status);
+            }
+            let (guard, _) = self
+                .inner
+                .progress
+                .wait_timeout(registry, Duration::from_millis(50))
+                .expect("registry lock");
+            registry = guard;
+        }
+    }
+
+    fn registry(&self) -> std::sync::MutexGuard<'_, JobRegistry> {
+        self.inner.registry.lock().expect("registry lock")
+    }
+}
+
+impl Drop for ExplorationService {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.inner.work_available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let lease = {
+            let mut registry = inner.registry.lock().expect("registry lock");
+            registry.expire(Instant::now());
+            match registry.lease(Instant::now()) {
+                Some(lease) => Some(lease),
+                None => {
+                    // Idle-wait; the timeout re-checks lease expiry and
+                    // shutdown even if no submit ever signals.
+                    let _ = inner
+                        .work_available
+                        .wait_timeout(registry, Duration::from_millis(20))
+                        .expect("registry lock");
+                    None
+                }
+            }
+        };
+        if let Some(lease) = lease {
+            process_lease(inner, &lease);
+        }
+    }
+}
+
+fn process_lease(inner: &Inner, lease: &Lease) {
+    let outcome = drain_lease(
+        lease,
+        inner.batch_size,
+        || inner.shutdown.load(Ordering::Relaxed),
+        |delta, is_final| {
+            let mut registry = inner.registry.lock().expect("registry lock");
+            let result = if is_final {
+                registry.complete_shard(lease.lease, delta, Instant::now())
+            } else {
+                registry
+                    .report_batch(lease.lease, delta, Instant::now())
+                    .map(|()| false)
+            };
+            drop(registry);
+            match result {
+                Ok(_) => {
+                    if is_final {
+                        inner.progress.notify_all();
+                    }
+                    FlushResponse::Continue
+                }
+                Err(_) => FlushResponse::Stop,
+            }
+        },
+    );
+    if outcome == DrainOutcome::Stopped {
+        // Service shutdown or job cancel: hand the shard back (a no-op for
+        // cancelled jobs, whose leases are already invalidated).
+        let mut registry = inner.registry.lock().expect("registry lock");
+        registry.abandon(lease.lease);
+        drop(registry);
+        inner.work_available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{Evaluation, FnEvaluator};
+    use crate::registry::JobState;
+    use spi_workloads::scaling_system;
+
+    fn index_cost_evaluator() -> Arc<dyn Evaluator> {
+        Arc::new(FnEvaluator::new(|index, _c, _g| {
+            Ok(Evaluation {
+                cost: ((index as u64) * 131) % 251,
+                feasible: true,
+                detail: format!("v{index}"),
+            })
+        }))
+    }
+
+    #[test]
+    fn service_drains_a_job_to_completion() {
+        let service = ExplorationService::start(ServiceConfig::with_workers(4));
+        let system = scaling_system(6, 2).unwrap(); // 64 variants
+        let job = service
+            .submit(
+                &system,
+                JobSpec {
+                    name: "drain".into(),
+                    shard_count: 8,
+                    top_k: 4,
+                },
+                index_cost_evaluator(),
+            )
+            .unwrap();
+        let status = service.wait(job).unwrap();
+        assert_eq!(status.state, JobState::Completed);
+        assert_eq!(status.report.evaluated, 64);
+        assert_eq!(status.report.accounted(), 64);
+        assert_eq!(status.shards_done, 8);
+        // Best is the index minimizing (131·i mod 251, i): i=23 gives cost 1.
+        let best = status.best().unwrap();
+        let serial_best = (0..64u64).map(|i| ((i * 131) % 251, i)).min().unwrap();
+        assert_eq!((best.cost, best.index as u64), serial_best);
+        assert_eq!(status.report.top.len(), 4);
+    }
+
+    #[test]
+    fn wait_and_poll_agree_on_terminal_state() {
+        let service = ExplorationService::start(ServiceConfig::with_workers(2));
+        let system = scaling_system(4, 2).unwrap();
+        let job = service
+            .submit(&system, JobSpec::default(), index_cost_evaluator())
+            .unwrap();
+        let finished = service.wait(job).unwrap();
+        let polled = service.poll(job).unwrap();
+        assert_eq!(finished, polled);
+        assert_eq!(polled.shards_in_flight, 0);
+    }
+
+    #[test]
+    fn cancellation_stops_a_running_job() {
+        // A deliberately slow evaluator so cancel lands mid-drain.
+        let evaluator = Arc::new(FnEvaluator::new(|index, _c, _g| {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok(Evaluation {
+                cost: index as u64,
+                feasible: true,
+                detail: String::new(),
+            })
+        }));
+        let service = ExplorationService::start(ServiceConfig {
+            workers: 2,
+            batch_size: 4,
+            ..ServiceConfig::default()
+        });
+        let system = scaling_system(8, 2).unwrap(); // 256 variants ≈ 500ms serial
+        let job = service
+            .submit(&system, JobSpec::default(), evaluator)
+            .unwrap();
+        let status = service.cancel(job).unwrap();
+        assert_eq!(status.state, JobState::Cancelled);
+        let settled = service.wait(job).unwrap();
+        assert_eq!(settled.state, JobState::Cancelled);
+        assert!(settled.report.accounted() < 256, "cancel landed mid-drain");
+    }
+
+    #[test]
+    fn slow_batches_do_not_livelock_under_a_short_lease_timeout() {
+        // One 32-variant shard at ~5ms per evaluation ≈ 160ms of work, a 50ms
+        // lease timeout, and a batch size that never flushes by count. The
+        // idle second worker expires stale leases every ~20ms, so without
+        // interval-driven renewal the drain would lose its lease mid-batch,
+        // get StaleLease on completion and restart forever.
+        let evaluator = Arc::new(FnEvaluator::new(|index, _c, _g| {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(Evaluation {
+                cost: index as u64,
+                feasible: true,
+                detail: String::new(),
+            })
+        }));
+        let service = ExplorationService::start(ServiceConfig {
+            workers: 2,
+            lease_timeout: Duration::from_millis(50),
+            batch_size: 10_000,
+        });
+        let system = scaling_system(5, 2).unwrap(); // 32 variants
+        let job = service
+            .submit(
+                &system,
+                JobSpec {
+                    name: "slow-batch".into(),
+                    shard_count: 1,
+                    top_k: 4,
+                },
+                evaluator,
+            )
+            .unwrap();
+        // Bounded wait so a livelock regression fails instead of hanging.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let status = loop {
+            let status = service.poll(job).unwrap();
+            if status.state.is_terminal() {
+                break status;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "job livelocked: {status:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert_eq!(status.state, JobState::Completed);
+        assert_eq!(status.report.accounted(), 32);
+    }
+
+    #[test]
+    fn dropping_the_service_joins_workers_promptly() {
+        let service = ExplorationService::start(ServiceConfig::with_workers(2));
+        let system = scaling_system(4, 2).unwrap();
+        let _job = service
+            .submit(&system, JobSpec::default(), index_cost_evaluator())
+            .unwrap();
+        drop(service); // must not hang
+    }
+}

@@ -1,0 +1,485 @@
+//! The ndjson wire protocol of `spi-explored`.
+//!
+//! One JSON object per line in, one JSON object per line out — a protocol a
+//! shell script, a CI step or another service can drive over stdin/stdout.
+//! Requests name an `"op"`; responses echo the op and carry `"ok"`:
+//!
+//! ```text
+//! → {"op":"submit","system":{"scaling":{"interfaces":5,"clusters":2}},"shards":8,"top_k":4}
+//! ← {"ok":true,"op":"submit","job":0,"combinations":32,"shards":8}
+//! → {"op":"wait","job":0}
+//! ← {"ok":true,"op":"wait","job":0,"state":"completed","evaluated":32,...,"best":{...},"top":[...]}
+//! → {"op":"shutdown"}
+//! ← {"ok":true,"op":"shutdown"}
+//! ```
+//!
+//! Ops: `submit`, `poll`, `wait`, `top`, `jobs`, `cancel`, `shutdown`.
+//! Malformed requests answer `{"ok":false,"error":...}` and the stream
+//! continues; only `shutdown` (or EOF) ends [`serve`].
+//!
+//! Systems are specified by **construction recipe** — `{"scaling":
+//! {"interfaces":k,"clusters":m}}`, a full `{"synthetic":{...}}` parameter
+//! set, or a named `{"scenario":"tv"|"automotive"|"figure2"}` — rather than
+//! as a serialized graph: recipes are a few bytes, deterministic, and the
+//! generators already live in `spi-workloads` on both sides. Results travel
+//! back with every symbol resolved to its string (see `spi_model::json`), so
+//! a receiving process can re-intern and keep computing.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use spi_model::json::{FromJson, JsonValue, ToJson};
+use spi_synth::{FeasibilityMode, SearchStrategy, TaskParams};
+use spi_variants::VariantSystem;
+use spi_workloads::{automotive_system, figure2_system, synthetic_system, SyntheticParams};
+
+use crate::error::ExploreError;
+use crate::evaluator::{Evaluator, PartitionEvaluator, TaskParamsSpec};
+use crate::registry::{JobId, JobSpec, JobStatus};
+use crate::service::ExplorationService;
+use crate::Result;
+
+/// Renders a status snapshot as the wire object shared by `poll`, `wait` and
+/// `cancel` responses.
+pub fn status_to_json(op: &str, status: &JobStatus) -> JsonValue {
+    JsonValue::object([
+        ("ok", JsonValue::Bool(true)),
+        ("op", JsonValue::string(op)),
+        ("job", status.job.raw().to_json()),
+        ("name", status.name.to_json()),
+        ("state", JsonValue::string(status.state.to_string())),
+        ("combinations", status.combinations.to_json()),
+        ("shards", status.shard_count.to_json()),
+        ("shards_done", status.shards_done.to_json()),
+        ("shards_in_flight", status.shards_in_flight.to_json()),
+        ("evaluated", status.report.evaluated.to_json()),
+        ("feasible", status.report.feasible.to_json()),
+        ("pruned", status.report.pruned.to_json()),
+        ("errors", status.report.errors.to_json()),
+        ("eval_ns", JsonValue::Int(status.report.eval_ns as i128)),
+        (
+            "best",
+            status
+                .best()
+                .map(ToJson::to_json)
+                .unwrap_or(JsonValue::Null),
+        ),
+        ("top", status.report.top.to_json()),
+    ])
+}
+
+fn error_response(error: &ExploreError) -> JsonValue {
+    JsonValue::object([
+        ("ok", JsonValue::Bool(false)),
+        ("error", JsonValue::string(error.to_string())),
+    ])
+}
+
+fn parse_system(value: &JsonValue) -> Result<VariantSystem> {
+    if let Some(scaling) = value.get("scaling") {
+        let interfaces = scaling
+            .get("interfaces")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| ExploreError::Protocol("scaling.interfaces required".into()))?;
+        let clusters = scaling
+            .get("clusters")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| ExploreError::Protocol("scaling.clusters required".into()))?;
+        return Ok(spi_workloads::scaling_system(interfaces, clusters)?);
+    }
+    if let Some(synthetic) = value.get("synthetic") {
+        let field = |name: &str, default: usize| {
+            synthetic
+                .get(name)
+                .and_then(JsonValue::as_usize)
+                .unwrap_or(default)
+        };
+        let params = SyntheticParams {
+            common_tasks: field("common_tasks", 4),
+            interfaces: field("interfaces", 2),
+            clusters_per_interface: field("clusters_per_interface", 3),
+            cluster_depth: field("cluster_depth", 2),
+            seed: synthetic
+                .get("seed")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(42),
+        };
+        return Ok(synthetic_system(&params)?);
+    }
+    if let Some(scenario) = value.get("scenario").and_then(JsonValue::as_str) {
+        return match scenario {
+            "tv" => Ok(spi_workloads::tv_system()?),
+            "automotive" => Ok(automotive_system()?),
+            "figure2" => Ok(figure2_system()?),
+            other => Err(ExploreError::Protocol(format!(
+                "unknown scenario `{other}` (expected tv | automotive | figure2)"
+            ))),
+        };
+    }
+    Err(ExploreError::Protocol(
+        "system must specify `scaling`, `synthetic` or `scenario`".into(),
+    ))
+}
+
+fn parse_evaluator(value: Option<&JsonValue>) -> Result<Arc<dyn Evaluator>> {
+    let mut evaluator = PartitionEvaluator::default();
+    let Some(value) = value else {
+        return Ok(Arc::new(evaluator));
+    };
+    if let Some(kind) = value.get("kind").and_then(JsonValue::as_str) {
+        if kind != "partition" {
+            return Err(ExploreError::Protocol(format!(
+                "unknown evaluator kind `{kind}` (only `partition` speaks ndjson)"
+            )));
+        }
+    }
+    if let Some(cost) = value.get("processor_cost").and_then(JsonValue::as_u64) {
+        evaluator.processor_cost = cost;
+    }
+    if let Some(strategy) = value.get("strategy").and_then(JsonValue::as_str) {
+        evaluator.strategy = match strategy {
+            "auto" => SearchStrategy::Auto,
+            "exhaustive" => SearchStrategy::Exhaustive,
+            "branch_and_bound" => SearchStrategy::BranchAndBound,
+            "greedy" => SearchStrategy::Greedy,
+            other => {
+                return Err(ExploreError::Protocol(format!(
+                    "unknown strategy `{other}`"
+                )))
+            }
+        };
+    }
+    if let Some(mode) = value.get("mode").and_then(JsonValue::as_str) {
+        evaluator.mode = match mode {
+            "per_application" => FeasibilityMode::PerApplication,
+            "serialized" => FeasibilityMode::Serialized,
+            other => return Err(ExploreError::Protocol(format!("unknown mode `{other}`"))),
+        };
+    }
+    if let Some(params) = value.get("params") {
+        evaluator.params = parse_params(params)?;
+    }
+    Ok(Arc::new(evaluator))
+}
+
+fn parse_params(value: &JsonValue) -> Result<TaskParamsSpec> {
+    match value.get("kind").and_then(JsonValue::as_str) {
+        Some("hashed") | None => Ok(TaskParamsSpec::Hashed {
+            seed: value.get("seed").and_then(JsonValue::as_u64).unwrap_or(42),
+        }),
+        Some("uniform") => {
+            let field = |name: &str, default: u64| {
+                value
+                    .get(name)
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(default)
+            };
+            Ok(TaskParamsSpec::Uniform(TaskParams {
+                sw_time: field("sw_time", 10),
+                period: field("period", 100),
+                hw_area: field("hw_area", 20),
+                synthesis_effort: field("synthesis_effort", 5),
+            }))
+        }
+        Some(other) => Err(ExploreError::Protocol(format!(
+            "unknown params kind `{other}`"
+        ))),
+    }
+}
+
+fn job_of(request: &JsonValue) -> Result<JobId> {
+    request
+        .get("job")
+        .and_then(JsonValue::as_u64)
+        .map(JobId::from_raw)
+        .ok_or_else(|| ExploreError::Protocol("`job` id required".into()))
+}
+
+/// Handles one request object against the service; the building block of
+/// [`serve`] and directly callable from tests.
+pub fn handle_request(service: &ExplorationService, request: &JsonValue) -> JsonValue {
+    match dispatch(service, request) {
+        Ok(response) => response,
+        Err(error) => error_response(&error),
+    }
+}
+
+fn dispatch(service: &ExplorationService, request: &JsonValue) -> Result<JsonValue> {
+    let op = request
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ExploreError::Protocol("`op` required".into()))?;
+    match op {
+        "submit" => {
+            let system = parse_system(
+                request
+                    .get("system")
+                    .ok_or_else(|| ExploreError::Protocol("`system` required".into()))?,
+            )?;
+            let evaluator = parse_evaluator(request.get("evaluator"))?;
+            let spec = JobSpec {
+                name: request
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("ndjson")
+                    .to_string(),
+                shard_count: request
+                    .get("shards")
+                    .and_then(JsonValue::as_usize)
+                    .unwrap_or_else(|| JobSpec::default().shard_count),
+                top_k: request
+                    .get("top_k")
+                    .and_then(JsonValue::as_usize)
+                    .unwrap_or_else(|| JobSpec::default().top_k),
+            };
+            let job = service.submit(&system, spec, evaluator)?;
+            let status = service.poll(job)?;
+            Ok(JsonValue::object([
+                ("ok", JsonValue::Bool(true)),
+                ("op", JsonValue::string("submit")),
+                ("job", job.raw().to_json()),
+                ("combinations", status.combinations.to_json()),
+                ("shards", status.shard_count.to_json()),
+            ]))
+        }
+        "poll" => Ok(status_to_json("poll", &service.poll(job_of(request)?)?)),
+        "wait" => Ok(status_to_json("wait", &service.wait(job_of(request)?)?)),
+        "cancel" => Ok(status_to_json("cancel", &service.cancel(job_of(request)?)?)),
+        "top" => {
+            let status = service.poll(job_of(request)?)?;
+            let k = request
+                .get("k")
+                .and_then(JsonValue::as_usize)
+                .unwrap_or(status.report.top.len());
+            Ok(JsonValue::object([
+                ("ok", JsonValue::Bool(true)),
+                ("op", JsonValue::string("top")),
+                ("job", status.job.raw().to_json()),
+                (
+                    "top",
+                    status.report.top[..k.min(status.report.top.len())]
+                        .to_vec()
+                        .to_json(),
+                ),
+            ]))
+        }
+        "jobs" => Ok(JsonValue::object([
+            ("ok", JsonValue::Bool(true)),
+            ("op", JsonValue::string("jobs")),
+            (
+                "jobs",
+                JsonValue::Array(
+                    service
+                        .jobs()
+                        .iter()
+                        .map(|status| {
+                            JsonValue::object([
+                                ("job", status.job.raw().to_json()),
+                                ("name", status.name.to_json()),
+                                ("state", JsonValue::string(status.state.to_string())),
+                                ("shards_done", status.shards_done.to_json()),
+                                ("shards", status.shard_count.to_json()),
+                                ("evaluated", status.report.evaluated.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])),
+        "shutdown" => Ok(JsonValue::object([
+            ("ok", JsonValue::Bool(true)),
+            ("op", JsonValue::string("shutdown")),
+        ])),
+        other => Err(ExploreError::Protocol(format!("unknown op `{other}`"))),
+    }
+}
+
+/// Runs the ndjson loop: one request per input line, one response per output
+/// line, until `shutdown` or EOF. Empty lines are skipped; parse errors
+/// produce an `ok:false` response and the loop continues.
+///
+/// # Errors
+///
+/// Propagates I/O errors of the underlying streams.
+pub fn serve<R: BufRead, W: Write>(
+    service: &ExplorationService,
+    input: R,
+    output: &mut W,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = match JsonValue::parse(trimmed) {
+            Ok(request) => handle_request(service, &request),
+            Err(error) => error_response(&ExploreError::Protocol(error.to_string())),
+        };
+        writeln!(output, "{}", response.to_line())?;
+        output.flush()?;
+        if response.get("op").and_then(JsonValue::as_str) == Some("shutdown") {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Parses a status line produced by [`status_to_json`] back into the counts a
+/// client cares about — the round-trip proof that results survive the wire.
+pub fn status_from_json(value: &JsonValue) -> Result<WireStatus> {
+    let proto = |message: &str| ExploreError::Protocol(message.to_string());
+    Ok(WireStatus {
+        job: value
+            .get("job")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| proto("job missing"))?,
+        state: value
+            .get("state")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| proto("state missing"))?
+            .to_string(),
+        combinations: value
+            .get("combinations")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| proto("combinations missing"))?,
+        evaluated: value
+            .get("evaluated")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| proto("evaluated missing"))?,
+        feasible: value
+            .get("feasible")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| proto("feasible missing"))?,
+        pruned: value
+            .get("pruned")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| proto("pruned missing"))?,
+        errors: value
+            .get("errors")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| proto("errors missing"))?,
+        best: match value.get("best") {
+            None | Some(JsonValue::Null) => None,
+            Some(best) => Some(
+                crate::report::BestVariant::from_json(best)
+                    .map_err(|e| ExploreError::Protocol(format!("bad best variant: {e}")))?,
+            ),
+        },
+        top: value
+            .get("top")
+            .map(Vec::<crate::report::BestVariant>::from_json)
+            .transpose()
+            .map_err(|e| ExploreError::Protocol(format!("bad top list: {e}")))?
+            .unwrap_or_default(),
+    })
+}
+
+/// A client-side view of a status response; see [`status_from_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStatus {
+    /// Raw job id.
+    pub job: u64,
+    /// Job state as its wire string (`running` / `completed` / `cancelled`).
+    pub state: String,
+    /// Variant-space size.
+    pub combinations: usize,
+    /// Evaluated variants.
+    pub evaluated: u64,
+    /// Feasible variants.
+    pub feasible: u64,
+    /// Pruned variants.
+    pub pruned: u64,
+    /// Errored variants.
+    pub errors: u64,
+    /// Best variant, if any.
+    pub best: Option<crate::report::BestVariant>,
+    /// Top-K variants.
+    pub top: Vec<crate::report::BestVariant>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    fn run_lines(service: &ExplorationService, lines: &str) -> Vec<JsonValue> {
+        let mut output = Vec::new();
+        serve(service, lines.as_bytes(), &mut output).unwrap();
+        String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|line| JsonValue::parse(line).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_answer_ok_false() {
+        let service = ExplorationService::start(ServiceConfig::with_workers(1));
+        let responses = run_lines(
+            &service,
+            "not json\n{\"op\":\"poll\",\"job\":99}\n{\"op\":\"nope\"}\n{\"no_op\":1}\n",
+        );
+        assert_eq!(responses.len(), 4);
+        for response in &responses {
+            assert_eq!(response.get("ok").unwrap().as_bool(), Some(false));
+            assert!(response.get("error").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn submit_rejects_bad_specs_on_the_wire() {
+        let service = ExplorationService::start(ServiceConfig::with_workers(1));
+        let responses = run_lines(
+            &service,
+            concat!(
+                "{\"op\":\"submit\"}\n",
+                "{\"op\":\"submit\",\"system\":{}}\n",
+                "{\"op\":\"submit\",\"system\":{\"scenario\":\"ghost\"}}\n",
+                "{\"op\":\"submit\",\"system\":{\"scaling\":{\"interfaces\":2,\"clusters\":2}},\
+                 \"evaluator\":{\"kind\":\"quantum\"}}\n",
+                "{\"op\":\"submit\",\"system\":{\"scaling\":{\"interfaces\":2,\"clusters\":2}},\
+                 \"evaluator\":{\"strategy\":\"psychic\"}}\n",
+            ),
+        );
+        for response in &responses {
+            assert_eq!(response.get("ok").unwrap().as_bool(), Some(false));
+        }
+    }
+
+    #[test]
+    fn jobs_op_lists_every_submitted_job() {
+        let service = ExplorationService::start(ServiceConfig::with_workers(2));
+        let responses = run_lines(
+            &service,
+            concat!(
+                "{\"op\":\"submit\",\"name\":\"a\",\"system\":{\"scaling\":{\"interfaces\":2,\"clusters\":2}}}\n",
+                "{\"op\":\"submit\",\"name\":\"b\",\"system\":{\"scenario\":\"figure2\"}}\n",
+                "{\"op\":\"wait\",\"job\":0}\n",
+                "{\"op\":\"wait\",\"job\":1}\n",
+                "{\"op\":\"jobs\"}\n",
+            ),
+        );
+        let listing = responses.last().unwrap();
+        assert_eq!(listing.get("ok").unwrap().as_bool(), Some(true));
+        let jobs = listing.get("jobs").unwrap().as_array().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(jobs[1].get("name").unwrap().as_str(), Some("b"));
+        for job in jobs {
+            assert_eq!(job.get("state").unwrap().as_str(), Some("completed"));
+        }
+    }
+
+    #[test]
+    fn empty_lines_are_skipped_and_shutdown_ends_the_loop() {
+        let service = ExplorationService::start(ServiceConfig::with_workers(1));
+        let responses = run_lines(
+            &service,
+            "\n   \n{\"op\":\"shutdown\"}\n{\"op\":\"poll\",\"job\":0}\n",
+        );
+        // Only the shutdown got an answer; the request after it was never read.
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].get("op").unwrap().as_str(), Some("shutdown"));
+    }
+}

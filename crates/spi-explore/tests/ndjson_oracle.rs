@@ -1,0 +1,149 @@
+//! The issue's acceptance demo: a `SyntheticParams::scaling_system` job
+//! submitted **over the ndjson wire**, drained by 8 workers, with the returned
+//! optimum bit-identical to `optimize_serial_reference` run serially over the
+//! flattened space.
+
+use spi_explore::wire::{serve, status_from_json};
+use spi_explore::{ExplorationService, JobSpec, PartitionEvaluator, ServiceConfig, TaskParamsSpec};
+use spi_model::json::{FromJson, JsonValue};
+use spi_synth::partition::{optimize_serial_reference, FeasibilityMode};
+use spi_synth::{from_flat_graph, PartitionResult};
+use spi_variants::VariantChoice;
+use spi_workloads::scaling_system;
+use std::sync::Arc;
+
+const INTERFACES: usize = 5;
+const CLUSTERS: usize = 2; // 2^5 = 32 variants, 11 tasks per variant problem
+const PROCESSOR_COST: u64 = 15;
+const SEED: u64 = 42;
+
+/// The serial oracle: flatten every combination in index order and run the
+/// historical string-keyed `optimize_serial_reference` on each derived
+/// problem, keeping the first strict `(cost, index)` minimum.
+fn serial_oracle() -> (usize, u64, VariantChoice, PartitionResult) {
+    let system = scaling_system(INTERFACES, CLUSTERS).unwrap();
+    let params = TaskParamsSpec::Hashed { seed: SEED };
+    let mut best: Option<(usize, u64, VariantChoice, PartitionResult)> = None;
+    for (index, (choice, graph)) in system.flatten_all().unwrap().into_iter().enumerate() {
+        let problem =
+            from_flat_graph(&graph, PROCESSOR_COST, |name| Some(params.params_for(name))).unwrap();
+        let result = optimize_serial_reference(&problem, FeasibilityMode::PerApplication).unwrap();
+        let total = result.cost.total();
+        if best.as_ref().is_none_or(|(_, cost, _, _)| total < *cost) {
+            best = Some((index, total, choice, result));
+        }
+    }
+    best.expect("the scaling system always has feasible variants")
+}
+
+fn oracle_detail(result: &PartitionResult) -> String {
+    format!(
+        "hw=[{}] sw=[{}]",
+        result.cost.hardware_tasks.join(","),
+        result.cost.software_tasks.join(",")
+    )
+}
+
+#[test]
+fn ndjson_roundtrip_matches_the_serial_reference_with_8_workers() {
+    let service = ExplorationService::start(ServiceConfig {
+        workers: 8,
+        batch_size: 4,
+        ..ServiceConfig::default()
+    });
+    assert_eq!(service.worker_count(), 8);
+
+    let request = format!(
+        concat!(
+            "{{\"op\":\"submit\",\"name\":\"acceptance\",",
+            "\"system\":{{\"scaling\":{{\"interfaces\":{i},\"clusters\":{c}}}}},",
+            "\"shards\":8,\"top_k\":4,",
+            "\"evaluator\":{{\"kind\":\"partition\",\"processor_cost\":{p},",
+            "\"strategy\":\"exhaustive\",\"mode\":\"per_application\",",
+            "\"params\":{{\"kind\":\"hashed\",\"seed\":{s}}}}}}}\n",
+            "{{\"op\":\"wait\",\"job\":0}}\n",
+            "{{\"op\":\"top\",\"job\":0,\"k\":4}}\n",
+            "{{\"op\":\"shutdown\"}}\n",
+        ),
+        i = INTERFACES,
+        c = CLUSTERS,
+        p = PROCESSOR_COST,
+        s = SEED,
+    );
+
+    let mut output = Vec::new();
+    serve(&service, request.as_bytes(), &mut output).unwrap();
+    let responses: Vec<JsonValue> = String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(|line| JsonValue::parse(line).expect("every response line is valid JSON"))
+        .collect();
+    assert_eq!(responses.len(), 4);
+    for response in &responses {
+        assert_eq!(response.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    // Submit response: the job covers the full 32-combination space in 8 shards.
+    assert_eq!(responses[0].get("job").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        responses[0].get("combinations").unwrap().as_usize(),
+        Some(32)
+    );
+    assert_eq!(responses[0].get("shards").unwrap().as_usize(), Some(8));
+
+    // Wait response: drained to completion, every variant accounted.
+    let status = status_from_json(&responses[1]).unwrap();
+    assert_eq!(status.state, "completed");
+    assert_eq!(status.combinations, 32);
+    assert_eq!(status.errors, 0);
+    assert_eq!(status.evaluated + status.pruned, 32);
+    assert_eq!(status.feasible, status.evaluated);
+
+    // The optimum that crossed the wire is bit-identical to the serial oracle.
+    let (oracle_index, oracle_cost, oracle_choice, oracle_result) = serial_oracle();
+    let best = status.best.as_ref().expect("a feasible optimum exists");
+    assert_eq!(best.index, oracle_index);
+    assert_eq!(best.cost, oracle_cost);
+    assert_eq!(best.choice, oracle_choice, "choice survived re-interning");
+    assert_eq!(best.detail, oracle_detail(&oracle_result));
+
+    // Top response agrees with the wait response's leading entries.
+    let top = responses[2].get("top").unwrap().as_array().unwrap();
+    assert_eq!(top.len(), 4);
+    let wire_best = spi_explore::BestVariant::from_json(&top[0]).unwrap();
+    assert_eq!(wire_best.index, oracle_index);
+    assert!(status.top.len() == 4 && status.top[0].index == oracle_index);
+}
+
+#[test]
+fn in_process_client_matches_the_same_oracle() {
+    // The in-process API must return the identical optimum — the wire adds
+    // serialization, not semantics.
+    let service = ExplorationService::start(ServiceConfig::with_workers(8));
+    let system = scaling_system(INTERFACES, CLUSTERS).unwrap();
+    let evaluator = PartitionEvaluator {
+        processor_cost: PROCESSOR_COST,
+        params: TaskParamsSpec::Hashed { seed: SEED },
+        strategy: spi_synth::SearchStrategy::Exhaustive,
+        ..PartitionEvaluator::default()
+    };
+    let job = service
+        .submit(
+            &system,
+            JobSpec {
+                name: "in-process".into(),
+                shard_count: 8,
+                top_k: 4,
+            },
+            Arc::new(evaluator),
+        )
+        .unwrap();
+    let status = service.wait(job).unwrap();
+    let (oracle_index, oracle_cost, oracle_choice, oracle_result) = serial_oracle();
+    let best = status.best().unwrap();
+    assert_eq!(best.index, oracle_index);
+    assert_eq!(best.cost, oracle_cost);
+    assert_eq!(best.choice, oracle_choice);
+    assert_eq!(best.detail, oracle_detail(&oracle_result));
+    assert_eq!(status.report.accounted(), 32);
+}

@@ -7,12 +7,12 @@
 //! the variants layer when clusters are spliced into a parent graph).
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::channel::{Channel, ChannelKind};
 use crate::error::ModelError;
-use crate::ids::{ChannelId, ProcessId};
+use crate::ids::{BuildSymHasher, ChannelId, Interner, ProcessId, Sym};
 use crate::process::Process;
 
 /// Reference to either kind of node.
@@ -71,8 +71,12 @@ pub struct MergeMap {
     pub channels: BTreeMap<ChannelId, ChannelId>,
 }
 
+/// The symbol-keyed name indexes use the single-multiply [`SymHasher`] — the
+/// maps sit on the flattening hot path, where SipHash would out-cost the probe.
+type NameIndex<Id> = HashMap<Sym, Id, BuildSymHasher>;
+
 /// A directed, bipartite SPI model graph.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct SpiGraph {
     name: String,
     processes: BTreeMap<ProcessId, Process>,
@@ -81,6 +85,63 @@ pub struct SpiGraph {
     readers: BTreeMap<ChannelId, ProcessId>,
     next_process: u32,
     next_channel: u32,
+    /// Interned name → process id; the `resolve`-by-name index. Node names are
+    /// immutable once inserted (`with_name` is pre-insertion only), so the
+    /// index can never go stale; it is maintained by every insert/remove/merge.
+    /// Being process-local (it holds `Sym`s) it is derived data that a future
+    /// real deserializer must rebuild rather than transport.
+    process_names: NameIndex<ProcessId>,
+    /// Interned name → channel id; see `process_names`.
+    channel_names: NameIndex<ChannelId>,
+}
+
+/// Hand-written so that `clone_from` actually reuses allocations: the
+/// `Flattener` hot loop rebuilds a scratch graph from the skeleton once per
+/// variant (`flatten_into` starts with `graph.clone_from(&skeleton)`), and the
+/// field-wise `clone_from`s let the maps recycle their buckets instead of
+/// reallocating per combination.
+impl Clone for SpiGraph {
+    fn clone(&self) -> Self {
+        SpiGraph {
+            name: self.name.clone(),
+            processes: self.processes.clone(),
+            channels: self.channels.clone(),
+            writers: self.writers.clone(),
+            readers: self.readers.clone(),
+            next_process: self.next_process,
+            next_channel: self.next_channel,
+            process_names: self.process_names.clone(),
+            channel_names: self.channel_names.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.name.clone_from(&source.name);
+        self.processes.clone_from(&source.processes);
+        self.channels.clone_from(&source.channels);
+        self.writers.clone_from(&source.writers);
+        self.readers.clone_from(&source.readers);
+        self.next_process = source.next_process;
+        self.next_channel = source.next_channel;
+        self.process_names.clone_from(&source.process_names);
+        self.channel_names.clone_from(&source.channel_names);
+    }
+}
+
+/// Node-content equality. The `*_names` indexes are derived data (a pure
+/// function of the node tables), so they are deliberately excluded — two
+/// graphs with equal nodes and edges are equal even if one was deserialized
+/// in a process with a differently-populated interner.
+impl PartialEq for SpiGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.processes == other.processes
+            && self.channels == other.channels
+            && self.writers == other.writers
+            && self.readers == other.readers
+            && self.next_process == other.next_process
+            && self.next_channel == other.next_channel
+    }
 }
 
 impl SpiGraph {
@@ -106,12 +167,14 @@ impl SpiGraph {
     /// Returns [`ModelError::DuplicateName`] if a process with the same name exists.
     pub fn new_process(&mut self, name: impl Into<String>) -> Result<ProcessId, ModelError> {
         let name = name.into();
-        if self.process_by_name(&name).is_some() {
+        let sym = Sym::intern(&name);
+        if self.process_names.contains_key(&sym) {
             return Err(ModelError::DuplicateName(name));
         }
         let id = ProcessId::new(self.next_process);
         self.next_process += 1;
         self.processes.insert(id, Process::new(id, name));
+        self.process_names.insert(sym, id);
         Ok(id)
     }
 
@@ -126,12 +189,14 @@ impl SpiGraph {
         kind: ChannelKind,
     ) -> Result<ChannelId, ModelError> {
         let name = name.into();
-        if self.channel_by_name(&name).is_some() {
+        let sym = Sym::intern(&name);
+        if self.channel_names.contains_key(&sym) {
             return Err(ModelError::DuplicateName(name));
         }
         let id = ChannelId::new(self.next_channel);
         self.next_channel += 1;
         self.channels.insert(id, Channel::new(id, name, kind)?);
+        self.channel_names.insert(sym, id);
         Ok(id)
     }
 
@@ -143,8 +208,18 @@ impl SpiGraph {
     /// Returns [`ModelError::UnknownChannel`] if the id does not exist.
     pub fn replace_channel(&mut self, channel: Channel) -> Result<(), ModelError> {
         let id = channel.id();
-        if !self.channels.contains_key(&id) {
+        let Some(previous) = self.channels.get(&id) else {
             return Err(ModelError::UnknownChannel(id));
+        };
+        if previous.name() != channel.name() {
+            // Replacement normally keeps the name (it adjusts capacities or
+            // initial tokens); when it does not, move the index entry along.
+            let new_sym = Sym::intern(channel.name());
+            if self.channel_names.contains_key(&new_sym) {
+                return Err(ModelError::DuplicateName(channel.name().to_string()));
+            }
+            self.channel_names.remove(&Sym::intern(previous.name()));
+            self.channel_names.insert(new_sym, id);
         }
         self.channels.insert(id, channel);
         Ok(())
@@ -155,7 +230,13 @@ impl SpiGraph {
         self.processes.get(&id)
     }
 
-    /// Mutable access to a process.
+    /// Mutable access to a process — for editing modes, rates, activation and
+    /// flags. The process's **name must not change** through this reference
+    /// (e.g. by overwriting the whole struct with a differently-named
+    /// `Process`): names key the graph's `Sym` lookup index, and a renamed
+    /// node would keep resolving under its old name. Renames are not part of
+    /// the graph API; rebuild via [`merge`](Self::merge) with a prefix
+    /// instead.
     pub fn process_mut(&mut self, id: ProcessId) -> Option<&mut Process> {
         self.processes.get_mut(&id)
     }
@@ -165,19 +246,42 @@ impl SpiGraph {
         self.channels.get(&id)
     }
 
-    /// Mutable access to a channel.
+    /// Mutable access to a channel. As with [`process_mut`](Self::process_mut),
+    /// the channel's **name must not change** through this reference; to
+    /// replace a channel wholesale (including a rename) use
+    /// [`replace_channel`](Self::replace_channel), which keeps the name index
+    /// consistent.
     pub fn channel_mut(&mut self, id: ChannelId) -> Option<&mut Channel> {
         self.channels.get_mut(&id)
     }
 
-    /// Finds a process by name.
+    /// Finds a process by name via the `Sym`-keyed index — one interner lookup
+    /// plus one hash probe instead of a linear scan over the node table. A name
+    /// no graph has ever interned misses in the interner itself and never grows
+    /// the global table.
     pub fn process_by_name(&self, name: &str) -> Option<&Process> {
-        self.processes.values().find(|p| p.name() == name)
+        Interner::get(name).and_then(|sym| self.process_by_sym(sym))
     }
 
-    /// Finds a channel by name.
+    /// Finds a process by its interned name symbol (the zero-string-compare
+    /// path for callers that already hold a [`Sym`]).
+    pub fn process_by_sym(&self, name: Sym) -> Option<&Process> {
+        self.process_names
+            .get(&name)
+            .and_then(|id| self.processes.get(id))
+    }
+
+    /// Finds a channel by name via the `Sym`-keyed index; see
+    /// [`process_by_name`](Self::process_by_name).
     pub fn channel_by_name(&self, name: &str) -> Option<&Channel> {
-        self.channels.values().find(|c| c.name() == name)
+        Interner::get(name).and_then(|sym| self.channel_by_sym(sym))
+    }
+
+    /// Finds a channel by its interned name symbol.
+    pub fn channel_by_sym(&self, name: Sym) -> Option<&Channel> {
+        self.channel_names
+            .get(&name)
+            .and_then(|id| self.channels.get(id))
     }
 
     /// Iterates over all processes in id order.
@@ -222,6 +326,7 @@ impl SpiGraph {
             .ok_or(ModelError::UnknownProcess(id))?;
         self.writers.retain(|_, p| *p != id);
         self.readers.retain(|_, p| *p != id);
+        self.process_names.remove(&Sym::intern(process.name()));
         Ok(process)
     }
 
@@ -237,6 +342,7 @@ impl SpiGraph {
             .ok_or(ModelError::UnknownChannel(id))?;
         self.writers.remove(&id);
         self.readers.remove(&id);
+        self.channel_names.remove(&Sym::intern(channel.name()));
         Ok(channel)
     }
 
@@ -438,19 +544,22 @@ impl SpiGraph {
         // Channels first so processes can have their references rewritten in one pass.
         for channel in other.channels.values() {
             let new_name = format!("{prefix}{}", channel.name());
-            if self.channel_by_name(&new_name).is_some() {
+            let sym = Sym::intern(&new_name);
+            if self.channel_names.contains_key(&sym) {
                 return Err(ModelError::DuplicateName(new_name));
             }
             let id = ChannelId::new(self.next_channel);
             self.next_channel += 1;
             self.channels
                 .insert(id, channel.clone().with_id(id).with_name(new_name));
+            self.channel_names.insert(sym, id);
             map.channels.insert(channel.id(), id);
         }
 
         for process in other.processes.values() {
             let new_name = format!("{prefix}{}", process.name());
-            if self.process_by_name(&new_name).is_some() {
+            let sym = Sym::intern(&new_name);
+            if self.process_names.contains_key(&sym) {
                 return Err(ModelError::DuplicateName(new_name));
             }
             let id = ProcessId::new(self.next_process);
@@ -458,6 +567,7 @@ impl SpiGraph {
             let mut copied = process.clone().with_id(id).with_name(new_name);
             copied.remap_channels(&map.channels);
             self.processes.insert(id, copied);
+            self.process_names.insert(sym, id);
             map.processes.insert(process.id(), id);
         }
 
@@ -521,6 +631,16 @@ impl SpiGraph {
         for (channel, process) in &other.readers {
             self.readers
                 .insert(map.channels[channel], map.processes[process]);
+        }
+
+        // Names are kept verbatim, so `other`'s name index carries over with the
+        // ids remapped — no re-interning (and no string hashing) on this path,
+        // which the `Flattener` hits once per cluster per flattened variant.
+        for (&sym, old_id) in &other.process_names {
+            self.process_names.insert(sym, map.processes[old_id]);
+        }
+        for (&sym, old_id) in &other.channel_names {
+            self.channel_names.insert(sym, map.channels[old_id]);
         }
 
         map
@@ -721,6 +841,86 @@ mod tests {
             host.merge(&guest, ""),
             Err(ModelError::DuplicateName(_))
         ));
+    }
+
+    #[test]
+    fn name_index_answers_by_name_and_by_sym() {
+        let (g, p1, _, c1) = chain();
+        assert_eq!(g.process_by_name("p1").unwrap().id(), p1);
+        assert_eq!(g.process_by_sym(Sym::intern("p1")).unwrap().id(), p1);
+        assert_eq!(g.channel_by_name("c1").unwrap().id(), c1);
+        assert_eq!(g.channel_by_sym(Sym::intern("c1")).unwrap().id(), c1);
+        // A never-interned name misses without growing the global table.
+        let before = Interner::len();
+        assert!(g
+            .process_by_name("spi_model::graph::tests::never_interned")
+            .is_none());
+        assert_eq!(Interner::len(), before);
+        // An interned name that names no node of *this* graph also misses.
+        let foreign = Sym::intern("spi_model::graph::tests::foreign");
+        assert!(g.process_by_sym(foreign).is_none());
+        assert!(g.channel_by_sym(foreign).is_none());
+    }
+
+    #[test]
+    fn name_index_tracks_removal_and_reinsertion() {
+        let (mut g, p1, _, c1) = chain();
+        g.remove_process(p1).unwrap();
+        assert!(g.process_by_name("p1").is_none());
+        let p1_again = g.new_process("p1").unwrap();
+        assert_eq!(g.process_by_name("p1").unwrap().id(), p1_again);
+        g.remove_channel(c1).unwrap();
+        assert!(g.channel_by_name("c1").is_none());
+        let c1_again = g.new_channel("c1", ChannelKind::Queue).unwrap();
+        assert_eq!(g.channel_by_name("c1").unwrap().id(), c1_again);
+    }
+
+    #[test]
+    fn name_index_survives_both_merge_paths() {
+        let (mut host, _, _, _) = chain();
+        let (guest, gp1, _, gc1) = chain();
+        let mut renamed = SpiGraph::new("renamed");
+        let rename_map = renamed.merge(&guest, "v1_").unwrap();
+        assert_eq!(
+            renamed.process_by_name("v1_p1").unwrap().id(),
+            rename_map.processes[&gp1]
+        );
+        let fast_map = host.merge_disjoint(&renamed);
+        assert_eq!(
+            host.process_by_name("v1_p1").unwrap().id(),
+            fast_map.processes[&rename_map.processes[&gp1]]
+        );
+        assert_eq!(
+            host.channel_by_name("v1_c1").unwrap().id(),
+            fast_map.channels[&rename_map.channels[&gc1]]
+        );
+        // The host's own nodes are still resolvable.
+        assert!(host.process_by_name("p1").is_some());
+    }
+
+    #[test]
+    fn replace_channel_moves_the_index_on_rename() {
+        let (mut g, _, _, c1) = chain();
+        let renamed = g
+            .channel(c1)
+            .unwrap()
+            .clone()
+            .with_name("c1_renamed".into());
+        g.replace_channel(renamed).unwrap();
+        assert!(g.channel_by_name("c1").is_none());
+        assert_eq!(g.channel_by_name("c1_renamed").unwrap().id(), c1);
+        // Renaming onto an existing name is rejected and leaves the index intact.
+        let orphan = g.new_channel("orphan", ChannelKind::Queue).unwrap();
+        let clash = g
+            .channel(orphan)
+            .unwrap()
+            .clone()
+            .with_name("c1_renamed".into());
+        assert_eq!(
+            g.replace_channel(clash),
+            Err(ModelError::DuplicateName("c1_renamed".into()))
+        );
+        assert_eq!(g.channel_by_name("orphan").unwrap().id(), orphan);
     }
 
     #[test]

@@ -82,11 +82,12 @@ define_id!(
 /// *interning order* (stable within a process run, **not** lexicographic);
 /// order by [`Sym::as_str`] when name order matters.
 ///
-/// The serialized form (under a real serde, not the no-op shim this workspace
-/// builds against) would be the raw process-local index, which is meaningless
-/// in another process — giving `Sym` a string-based serde representation is
-/// part of the "real-dependency toggle" roadmap item and must land together
-/// with it. Until then, never persist a `Sym` across process boundaries.
+/// Across process boundaries a `Sym` travels as its **resolved string** and
+/// is re-interned on arrival — see the [`crate::json::ToJson`] /
+/// [`crate::json::FromJson`] impls, which define the representation the real
+/// serde swap must keep. The raw index is never persisted: it is a
+/// process-local interner slot that would alias an unrelated name (or
+/// nothing) in another run.
 ///
 /// ```rust
 /// use spi_model::Sym;
@@ -140,6 +141,47 @@ impl AsRef<str> for Sym {
     }
 }
 
+/// A [`std::hash::Hasher`] for [`Sym`] keys: one Fibonacci multiply of the
+/// 32-bit interner index. Symbol-keyed tables sit on the flattening hot path
+/// (`SpiGraph::merge_disjoint` inserts two entries per spliced node, every
+/// name lookup probes once), where the default SipHash costs more than the
+/// probe itself; a multiplicative hash of an already-unique small integer
+/// disperses the upper bits just as well at a fraction of the cost.
+#[derive(Clone, Copy, Default)]
+pub struct SymHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for SymHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (never hit by `Sym`, which hashes via `write_u32`).
+        for &byte in bytes {
+            self.state = (self.state ^ u64::from(byte)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.state = u64::from(value).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+/// `BuildHasher` for [`SymHasher`]; use as
+/// `HashMap<Sym, _, BuildSymHasher>::default()`.
+#[derive(Clone, Copy, Default)]
+pub struct BuildSymHasher;
+
+impl std::hash::BuildHasher for BuildSymHasher {
+    type Hasher = SymHasher;
+
+    fn build_hasher(&self) -> SymHasher {
+        SymHasher::default()
+    }
+}
+
 struct InternerTable {
     lookup: HashMap<&'static str, u32>,
     strings: Vec<&'static str>,
@@ -178,6 +220,22 @@ std::thread_local! {
 pub struct Interner;
 
 impl Interner {
+    /// Looks `name` up **without** interning it: returns its symbol only if some
+    /// earlier [`Interner::intern`] call already created one.
+    ///
+    /// This is the negative-lookup fast path for name-keyed tables (see
+    /// `SpiGraph::process_by_name`): a name nothing has interned cannot key any
+    /// `Sym`-indexed map, so the query can answer "absent" without growing the
+    /// global table with, e.g., misspelled names from user input.
+    pub fn get(name: &str) -> Option<Sym> {
+        interner()
+            .read()
+            .expect("interner poisoned")
+            .lookup
+            .get(name)
+            .map(|&index| Sym(index))
+    }
+
     /// Interns `name`, returning the existing symbol if it is already known.
     pub fn intern(name: &str) -> Sym {
         if let Some(&index) = interner()

@@ -1,0 +1,751 @@
+//! Minimal JSON tree, parser and writer — the wire layer of the workspace.
+//!
+//! The offline build environment replaces serde with a no-op shim (see
+//! `shims/serde`), so anything that must actually cross a process boundary —
+//! the `spi-explore` job/lease protocol, exploration results, recorded
+//! baselines — needs a real serialization layer. This module supplies one:
+//! a [`JsonValue`] tree with a strict recursive-descent parser and a
+//! deterministic writer, plus the [`ToJson`]/[`FromJson`] traits the higher
+//! layers implement.
+//!
+//! The representations chosen here are the ones the real serde swap must
+//! keep: notably, [`crate::Sym`] serializes as its **resolved string** and is
+//! re-interned on parse, because the raw interner index is process-local and
+//! meaningless on the other side of a pipe.
+//!
+//! Design constraints:
+//!
+//! * **Deterministic output** — object members keep insertion order (the tree
+//!   stores them as a `Vec`), so equal values serialize byte-identically; the
+//!   regression baselines diff cleanly.
+//! * **Integer-exact numbers** — costs and variant indices are `u64`; the
+//!   tree keeps integers as `i128` (covering the full `u64`/`i64` ranges)
+//!   instead of routing everything through `f64` and silently losing
+//!   precision above 2^53.
+//! * **ndjson-friendly** — [`JsonValue::to_line`] never emits a newline, so a
+//!   value is always exactly one line of a newline-delimited JSON stream.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ids::Sym;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fractional part, kept integer-exact.
+    Int(i128),
+    /// A number with a fractional part or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; members keep insertion order for deterministic output.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Error raised while parsing or interpreting JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+}
+
+impl JsonError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Result alias for JSON operations.
+pub type JsonResult<T> = std::result::Result<T, JsonError>;
+
+impl JsonValue {
+    // --- constructors ---------------------------------------------------------------
+
+    /// Builds an object from `(key, value)` pairs, keeping their order.
+    pub fn object(members: impl IntoIterator<Item = (impl Into<String>, JsonValue)>) -> JsonValue {
+        JsonValue::Object(
+            members
+                .into_iter()
+                .map(|(key, value)| (key.into(), value))
+                .collect(),
+        )
+    }
+
+    /// Builds a string value.
+    pub fn string(value: impl Into<String>) -> JsonValue {
+        JsonValue::Str(value.into())
+    }
+
+    // --- accessors ------------------------------------------------------------------
+
+    /// Member of an object by key (first match), if this is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| value),
+            _ => None,
+        }
+    }
+
+    /// Member by key, as an error if missing.
+    pub fn require(&self, key: &str) -> JsonResult<&JsonValue> {
+        self.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing key `{key}`")))
+    }
+
+    /// The string behind this value, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(value) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The boolean behind this value, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64`, if it is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(value) => u64::try_from(*value).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as a `usize`, if it is a non-negative integer in range.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|value| usize::try_from(value).ok())
+    }
+
+    /// This value as an `f64` (integers widen losslessly up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(value) => Some(*value as f64),
+            JsonValue::Float(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The elements behind this value, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(elements) => Some(elements),
+            _ => None,
+        }
+    }
+
+    /// The members behind this value, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    // --- writing --------------------------------------------------------------------
+
+    /// Serializes the value as compact single-line JSON (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Int(value) => out.push_str(&value.to_string()),
+            JsonValue::Float(value) => {
+                if value.is_finite() {
+                    // Guarantee a fractional marker so the value round-trips as Float.
+                    let text = format!("{value}");
+                    out.push_str(&text);
+                    if !text.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no Inf/NaN; null is the least-surprising encoding.
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(value) => write_string(value, out),
+            JsonValue::Array(elements) => {
+                out.push('[');
+                for (index, element) in elements.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    element.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (index, (key, value)) in members.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    // --- parsing --------------------------------------------------------------------
+
+    /// Parses one JSON value from `input`, rejecting trailing garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with a byte offset for malformed input.
+    pub fn parse(input: &str) -> JsonResult<JsonValue> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            position: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.position != parser.bytes.len() {
+            return Err(parser.error("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+fn write_string(value: &str, out: &mut String) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    position: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError::new(format!("{message} at byte {}", self.position))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.position).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.position += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> JsonResult<()> {
+        if self.peek() == Some(byte) {
+            self.position += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> JsonResult<JsonValue> {
+        if self.bytes[self.position..].starts_with(text.as_bytes()) {
+            self.position += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> JsonResult<JsonValue> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(&format!("unexpected `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> JsonResult<JsonValue> {
+        self.expect(b'[')?;
+        let mut elements = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.position += 1;
+            return Ok(JsonValue::Array(elements));
+        }
+        loop {
+            self.skip_whitespace();
+            elements.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.position += 1,
+                Some(b']') => {
+                    self.position += 1;
+                    return Ok(JsonValue::Array(elements));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> JsonResult<JsonValue> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.position += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.position += 1,
+                Some(b'}') => {
+                    self.position += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> JsonResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.position += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.position += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            let code = self.unicode_escape()?;
+                            out.push(code);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.position += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar; the input is a &str so bytes are valid.
+                    let rest = &self.bytes[self.position..];
+                    let text = std::str::from_utf8(rest).map_err(|_| self.error("invalid utf8"))?;
+                    let c = text.chars().next().expect("non-empty remainder");
+                    out.push(c);
+                    self.position += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses the `XXXX` of a `\uXXXX` escape (with surrogate-pair support); the
+    /// caller has already consumed the `\` and positioned on the `u`.
+    fn unicode_escape(&mut self) -> JsonResult<char> {
+        self.position += 1; // the `u`
+        let high = self.hex4()?;
+        if (0xD800..0xDC00).contains(&high) {
+            // High surrogate: a low surrogate must follow.
+            if self.peek() == Some(b'\\') {
+                self.position += 1;
+                if self.peek() == Some(b'u') {
+                    self.position += 1;
+                    let low = self.hex4()?;
+                    if (0xDC00..0xE000).contains(&low) {
+                        let combined = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                        return char::from_u32(combined)
+                            .ok_or_else(|| self.error("invalid surrogate pair"));
+                    }
+                }
+            }
+            return Err(self.error("unpaired surrogate"));
+        }
+        char::from_u32(high).ok_or_else(|| self.error("invalid unicode escape"))
+    }
+
+    fn hex4(&mut self) -> JsonResult<u32> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.error("expected hex digit")),
+            };
+            value = value * 16 + digit;
+            self.position += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> JsonResult<JsonValue> {
+        let start = self.position;
+        if self.peek() == Some(b'-') {
+            self.position += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.position += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.position += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.position += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.position += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.position += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.position += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.position])
+            .map_err(|_| self.error("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|_| self.error("invalid number"))
+        } else {
+            text.parse::<i128>()
+                .map(JsonValue::Int)
+                .map_err(|_| self.error("invalid number"))
+        }
+    }
+}
+
+// --- conversion traits ----------------------------------------------------------------
+
+/// Serialization into the [`JsonValue`] tree.
+///
+/// This is the workspace's stand-in for `serde::Serialize` until the real
+/// dependency can be fetched; impls define the exact representation the real
+/// serde swap must preserve.
+pub trait ToJson {
+    /// The JSON form of `self`.
+    fn to_json(&self) -> JsonValue;
+}
+
+/// Deserialization from the [`JsonValue`] tree; the inverse of [`ToJson`].
+pub trait FromJson: Sized {
+    /// Rebuilds `Self` from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when the value has the wrong shape.
+    fn from_json(value: &JsonValue) -> JsonResult<Self>;
+}
+
+/// `Sym` crosses process boundaries as its **resolved string** — the raw
+/// interner index is process-local and would alias an unrelated name (or
+/// nothing at all) in the receiving process.
+impl ToJson for Sym {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.as_str().to_string())
+    }
+}
+
+/// Re-interns the transported string into the receiving process's table.
+impl FromJson for Sym {
+    fn from_json(value: &JsonValue) -> JsonResult<Sym> {
+        value
+            .as_str()
+            .map(Sym::intern)
+            .ok_or_else(|| JsonError::new("expected a string for Sym"))
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Int(*self as i128)
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(value: &JsonValue) -> JsonResult<u64> {
+        value
+            .as_u64()
+            .ok_or_else(|| JsonError::new("expected a non-negative integer"))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Int(*self as i128)
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(value: &JsonValue) -> JsonResult<usize> {
+        value
+            .as_usize()
+            .ok_or_else(|| JsonError::new("expected a non-negative integer"))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &JsonValue) -> JsonResult<String> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::new("expected a string"))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &JsonValue) -> JsonResult<Vec<T>> {
+        value
+            .as_array()
+            .ok_or_else(|| JsonError::new("expected an array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Some(inner) => inner.to_json(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(value: &JsonValue) -> JsonResult<Option<T>> {
+        match value {
+            JsonValue::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(key, value)| (key.clone(), value.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: FromJson> FromJson for BTreeMap<String, V> {
+    fn from_json(value: &JsonValue) -> JsonResult<BTreeMap<String, V>> {
+        value
+            .as_object()
+            .ok_or_else(|| JsonError::new("expected an object"))?
+            .iter()
+            .map(|(key, value)| Ok((key.clone(), V::from_json(value)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-7", "12345678901234567890"] {
+            let value = JsonValue::parse(text).unwrap();
+            assert_eq!(value.to_line(), text);
+        }
+        let float = JsonValue::parse("1.5").unwrap();
+        assert_eq!(float, JsonValue::Float(1.5));
+        assert_eq!(float.to_line(), "1.5");
+    }
+
+    #[test]
+    fn u64_values_survive_exactly() {
+        let value = JsonValue::Int(u64::MAX as i128);
+        let reparsed = JsonValue::parse(&value.to_line()).unwrap();
+        assert_eq!(reparsed.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn float_without_fraction_keeps_a_marker() {
+        let value = JsonValue::Float(2.0);
+        assert_eq!(value.to_line(), "2.0");
+        assert_eq!(JsonValue::parse("2.0").unwrap(), value);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let original = "line1\nline2\t\"quoted\" \\ slash \u{1F600} nul:\u{01}";
+        let value = JsonValue::string(original);
+        let line = value.to_line();
+        assert!(!line.contains('\n'), "ndjson values must stay on one line");
+        assert_eq!(JsonValue::parse(&line).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(JsonValue::parse(r#""Aé""#).unwrap().as_str(), Some("Aé"));
+        // Surrogate pair for 😀.
+        assert_eq!(JsonValue::parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+        assert!(JsonValue::parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"op":"submit","job":{"shards":8,"names":["a","b"],"nested":{"x":null}}}"#;
+        let value = JsonValue::parse(text).unwrap();
+        assert_eq!(value.to_line(), text);
+        assert_eq!(
+            value.get("job").unwrap().get("shards").unwrap().as_u64(),
+            Some(8)
+        );
+        assert_eq!(value.get("missing"), None);
+        assert!(value.require("missing").is_err());
+    }
+
+    #[test]
+    fn object_member_order_is_preserved() {
+        let value = JsonValue::object([("zebra", JsonValue::Int(1)), ("alpha", JsonValue::Int(2))]);
+        assert_eq!(value.to_line(), r#"{"zebra":1,"alpha":2}"#);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "01a",
+            "\"unterminated",
+            "1 2",
+            "{]",
+        ] {
+            assert!(JsonValue::parse(text).is_err(), "`{text}` should not parse");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let value = JsonValue::parse(" {\n\t\"a\" : [ 1 , 2 ] }\r\n").unwrap();
+        assert_eq!(value.to_line(), r#"{"a":[1,2]}"#);
+    }
+
+    #[test]
+    fn sym_serializes_as_its_string() {
+        let sym = Sym::intern("spi_model::json::tests::wire_name");
+        let json = sym.to_json();
+        assert_eq!(json.as_str(), Some("spi_model::json::tests::wire_name"));
+        let back = Sym::from_json(&json).unwrap();
+        assert_eq!(back, sym);
+        assert!(Sym::from_json(&JsonValue::Int(3)).is_err());
+    }
+
+    #[test]
+    fn container_impls_round_trip() {
+        let names = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(Vec::<String>::from_json(&names.to_json()).unwrap(), names);
+        let mut map = BTreeMap::new();
+        map.insert("k".to_string(), 7u64);
+        assert_eq!(
+            BTreeMap::<String, u64>::from_json(&map.to_json()).unwrap(),
+            map
+        );
+        assert_eq!(Option::<u64>::from_json(&JsonValue::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u64>::from_json(&JsonValue::Int(4)).unwrap(),
+            Some(4)
+        );
+        assert!(u64::from_json(&JsonValue::Int(-1)).is_err());
+        assert_eq!(usize::from_json(&JsonValue::Int(9)).unwrap(), 9usize);
+    }
+}

@@ -56,6 +56,7 @@ pub mod error;
 pub mod graph;
 pub mod ids;
 pub mod interval;
+pub mod json;
 pub mod mode;
 pub mod process;
 pub mod tag;
@@ -68,8 +69,9 @@ pub use builder::{GraphBuilder, ModeSpec, ProcessBuilder};
 pub use channel::{Channel, ChannelKind};
 pub use error::ModelError;
 pub use graph::{Edge, EdgeDirection, NodeRef, SpiGraph};
-pub use ids::{ChannelId, Interner, ModeId, PortId, ProcessId, Sym};
+pub use ids::{BuildSymHasher, ChannelId, Interner, ModeId, PortId, ProcessId, Sym, SymHasher};
 pub use interval::Interval;
+pub use json::{FromJson, JsonError, JsonResult, JsonValue, ToJson};
 pub use mode::{ProcessMode, ProductionSpec};
 pub use process::Process;
 pub use tag::{Tag, TagSet};

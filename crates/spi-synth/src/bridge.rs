@@ -6,6 +6,7 @@
 //! part becomes a task, every cluster of every interface becomes a task, and every
 //! variant combination becomes an application.
 
+use spi_model::SpiGraph;
 use spi_variants::VariantSystem;
 
 use crate::error::SynthError;
@@ -90,6 +91,50 @@ pub fn from_variant_system_shard(
             &choice,
         )?;
     }
+    problem.validate()?;
+    Ok(problem)
+}
+
+/// Derives a single-application [`SynthesisProblem`] from one **flattened**
+/// (single-variant) SPI graph: every non-virtual process becomes a task, and one
+/// application spans them all.
+///
+/// This is the per-variant evaluation step the exploration service pays per point of
+/// the variant space — [`from_variant_system`] poses the *joint* problem over every
+/// combination at once, while this poses the *independent* problem of a single
+/// combination, the unit a [`spi_variants::Flattener`] emits. `params` is consulted
+/// with the flattened process names (common names verbatim, spliced variants as
+/// `"{interface}/{cluster}/{process}"`).
+///
+/// # Errors
+///
+/// Returns [`SynthError::Validation`] if `params` returns `None` for a process or the
+/// graph has no non-virtual process (an application must span at least one task).
+pub fn from_flat_graph(
+    graph: &SpiGraph,
+    processor_cost: u64,
+    mut params: impl FnMut(&str) -> Option<TaskParams>,
+) -> Result<SynthesisProblem> {
+    let mut problem = SynthesisProblem::new(graph.name(), processor_cost);
+    let mut tasks: Vec<String> = Vec::new();
+    for process in graph.processes() {
+        if process.is_virtual() {
+            continue;
+        }
+        let name = process.name().to_string();
+        let p = params(&name).ok_or_else(|| {
+            SynthError::Validation(format!("no synthesis parameters for task `{name}`"))
+        })?;
+        problem.add_task(TaskSpec::new(
+            &name,
+            p.sw_time,
+            p.period,
+            p.hw_area,
+            p.synthesis_effort,
+        ));
+        tasks.push(name);
+    }
+    problem.add_application(ApplicationSpec::new("flattened", tasks))?;
     problem.validate()?;
     Ok(problem)
 }
@@ -250,6 +295,44 @@ mod tests {
         let problem = from_variant_system(&system, 15, default_params).unwrap();
         let result = crate::strategy::variant_aware(&problem).unwrap();
         assert!(result.feasibility.feasible());
+    }
+
+    #[test]
+    fn flat_graphs_become_single_application_problems() {
+        let system = small_system();
+        let choice = system.variant_space().choices_iter().next().unwrap();
+        let graph = system.flatten(&choice).unwrap();
+        let problem = from_flat_graph(&graph, 15, default_params).unwrap();
+        // PA + the spliced cluster process; the environment process is skipped.
+        assert_eq!(problem.task_count(), 2);
+        assert!(problem.task("PA").is_some());
+        assert!(problem.task("if1/v1/P").is_some());
+        assert!(problem.task("PEnv").is_none());
+        assert_eq!(problem.applications().len(), 1);
+        assert_eq!(problem.applications()[0].tasks.len(), 2);
+        let result = crate::partition::optimize(
+            &problem,
+            crate::partition::FeasibilityMode::PerApplication,
+            crate::partition::SearchStrategy::Exhaustive,
+        )
+        .unwrap();
+        assert!(result.feasibility.feasible());
+    }
+
+    #[test]
+    fn flat_graph_with_missing_params_or_no_tasks_is_rejected() {
+        let system = small_system();
+        let choice = system.variant_space().choices_iter().next().unwrap();
+        let graph = system.flatten(&choice).unwrap();
+        assert!(matches!(
+            from_flat_graph(&graph, 15, |_| None),
+            Err(SynthError::Validation(_))
+        ));
+        let empty = spi_model::SpiGraph::new("empty");
+        assert!(matches!(
+            from_flat_graph(&empty, 15, default_params),
+            Err(SynthError::Validation(_))
+        ));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod report;
 pub mod schedule;
 pub mod strategy;
 
-pub use bridge::{from_variant_system, from_variant_system_shard, TaskParams};
+pub use bridge::{from_flat_graph, from_variant_system, from_variant_system_shard, TaskParams};
 pub use compiled::{CompiledProblem, IncrementalEvaluator, TaskId};
 pub use cost::CostBreakdown;
 pub use error::SynthError;

@@ -21,7 +21,9 @@ pub mod synthetic;
 pub mod video;
 
 pub use figures::{figure1, figure2_system, figure3_system, table1_params, table1_problem};
-pub use scenarios::{automotive_problem, automotive_system, tv_problem, tv_system};
+pub use scenarios::{
+    automotive_problem, automotive_system, exploration_suite, tv_problem, tv_system,
+};
 pub use synthetic::{scaling_system, synthetic_problem, synthetic_system, SyntheticParams};
 pub use video::{
     run_video_scenario, video_simulator, video_system, VideoOutcome, VideoParams, VideoScenario,

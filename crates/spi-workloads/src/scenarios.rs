@@ -160,6 +160,28 @@ pub fn automotive_problem() -> Result<SynthesisProblem, WorkloadError> {
     )?)
 }
 
+/// The scenario suite for the exploration service: every variant system the
+/// workloads crate can pose as an exploration job, named. The suite is what
+/// `spi-explore` examples, benchmarks and smoke tests iterate over, and the
+/// names double as the `{"scenario": ...}` identifiers of the ndjson wire
+/// format (plus a synthetic scaling entry for volume).
+///
+/// # Errors
+///
+/// Propagates model construction errors (none are expected for the fixed
+/// scenarios).
+pub fn exploration_suite() -> Result<Vec<(String, VariantSystem)>, WorkloadError> {
+    Ok(vec![
+        ("tv".to_string(), tv_system()?),
+        ("automotive".to_string(), automotive_system()?),
+        ("figure2".to_string(), crate::figures::figure2_system()?),
+        (
+            "scaling_8x2".to_string(),
+            crate::synthetic::scaling_system(8, 2)?,
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +219,22 @@ mod tests {
         let problem = automotive_problem().unwrap();
         let result = strategy::variant_aware(&problem).unwrap();
         assert!(result.feasibility.feasible());
+    }
+
+    #[test]
+    fn exploration_suite_names_valid_nonempty_systems() {
+        let suite = exploration_suite().unwrap();
+        assert_eq!(suite.len(), 4);
+        let names: Vec<&str> = suite.iter().map(|(name, _)| name.as_str()).collect();
+        assert_eq!(names, vec!["tv", "automotive", "figure2", "scaling_8x2"]);
+        for (name, system) in &suite {
+            assert!(system.validate().is_ok(), "{name} must validate");
+            assert!(
+                system.variant_space().count() > 0,
+                "{name} must span at least one combination"
+            );
+        }
+        // The volume entry is actually voluminous.
+        assert_eq!(suite[3].1.variant_space().count(), 256);
     }
 }

@@ -3,10 +3,14 @@
 //! The build environment has no crates.io access, so this shim supplies the
 //! two trait names and the derive macros that the workspace imports. The
 //! traits are pure markers implemented for every type; the derives expand to
-//! nothing (see `serde_derive`). No code in the workspace serializes values
-//! today — when that changes, replace the `path` dependency with the real
-//! `serde = { version = "1", features = ["derive"] }` and everything keeps
-//! compiling unchanged.
+//! nothing (see `serde_derive`). Nothing in the workspace serializes *through
+//! serde* — values that actually cross a process boundary (the `spi-explore`
+//! ndjson protocol, exploration results) go through the hand-rolled
+//! `spi_model::json` layer, whose impls double as the specification of the
+//! representations (string-interned `Sym`s, rebuilt `VariantSpace` decode
+//! tables) a real serde swap must keep. To swap, replace the `path` dependency
+//! with the real `serde = { version = "1", features = ["derive"] }` and
+//! everything keeps compiling unchanged.
 
 /// Marker stand-in for `serde::Serialize`; implemented for all types.
 pub trait Serialize {}

@@ -13,6 +13,7 @@
 //! | `spi-sim` | [`sim`] | discrete-event simulation with reconfiguration semantics |
 //! | `spi-synth` | [`synth`] | HW/SW partitioning, cost/design-time models, Table 1 flows and prior-work baselines |
 //! | `spi-workloads` | [`workloads`] | the paper's figures, the video case study, TV/automotive scenarios, synthetic generators |
+//! | `spi-explore` | [`explore`] | the sharded exploration service: job/lease protocol, worker pool, pluggable evaluators, ndjson frontend (`spi-explored`) |
 //!
 //! # Quickstart
 //!
@@ -35,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use spi_explore as explore;
 pub use spi_model as model;
 pub use spi_sim as sim;
 pub use spi_synth as synth;

@@ -18,6 +18,13 @@
 //!   drain → aggregate) at 1/4/8 workers over a 4096-variant space, against the
 //!   single-thread flatten+evaluate sweep it replaces; the service optimum is
 //!   asserted equal to the serial sweep's before anything is recorded.
+//! * **durable store** — cold submit (fresh store directory, full evaluation
+//!   sweep, write-ahead logged) vs warm-cache submit (service restarted on the
+//!   same directory, identical job served from the content-addressed result
+//!   cache with zero worker evaluations), plus the restart-recovery time
+//!   (WAL open + replay + registry rebuild). The warm optimum is asserted
+//!   bit-equal to the cold one before anything is recorded; CI gates warm
+//!   being ≥10× faster than cold.
 //!
 //! Run with `cargo run --release -p spi-bench --bin variant_space_baseline`; CI runs
 //! it as a regression gate and fails when keys go missing, when branch-and-bound
@@ -226,6 +233,7 @@ fn measure_exploration(interfaces: usize) -> ExplorationSection {
                     name: format!("baseline-{workers}w"),
                     shard_count: workers * 4,
                     top_k: 8,
+                    ..JobSpec::default()
                 },
                 Arc::new(evaluator.clone()),
             )
@@ -258,6 +266,113 @@ fn measure_exploration(interfaces: usize) -> ExplorationSection {
     }
 }
 
+struct StoreSection {
+    variants: usize,
+    cold_submit_ns: u128,
+    warm_submit_ns: u128,
+    recovery_ns: u128,
+    cache_entries: usize,
+    restored_jobs: usize,
+}
+
+/// Times the durable-store paths: a cold submit (fresh directory, full sweep,
+/// WAL on), a restart (recovery time), and a warm submit (identical job →
+/// cache hit, no worker evaluations). Panics if the warm result is not the
+/// bit-identical optimum of the cold run or if any evaluation ran warm.
+fn measure_store(interfaces: usize) -> StoreSection {
+    use spi_model::json::JsonValue;
+
+    let dir = std::env::temp_dir().join(format!(
+        "spi-bench-store-{}-{interfaces}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let system = scaling_system(interfaces, 2).expect("scaling system builds");
+    let variants = system.variant_space().count();
+    let recipe = || {
+        JsonValue::parse(&format!(
+            r#"{{"system":{{"scaling":{{"interfaces":{interfaces},"clusters":2}}}}}}"#
+        ))
+        .expect("recipe parses")
+    };
+    let spec = || JobSpec {
+        name: "store-baseline".to_string(),
+        shard_count: 16,
+        top_k: 8,
+        ..JobSpec::default()
+    };
+    let durable_config = || ServiceConfig {
+        store_dir: Some(dir.clone()),
+        ..ServiceConfig::with_workers(4)
+    };
+
+    // Cold: fresh directory, every variant evaluated, all of it WAL-logged.
+    let cold_best;
+    let cold_submit_ns;
+    {
+        let service = ExplorationService::try_start(durable_config()).expect("store opens");
+        let started = Instant::now();
+        let job = service
+            .submit_with_recipe(
+                &system,
+                spec(),
+                Arc::new(PartitionEvaluator::default()),
+                Some(recipe()),
+            )
+            .expect("cold job submits");
+        let status = service.wait(job).expect("cold job completes");
+        cold_submit_ns = started.elapsed().as_nanos();
+        assert!(!status.cache_hit, "a fresh directory cannot hit the cache");
+        assert_eq!(status.report.accounted(), variants as u64);
+        cold_best = status.best().expect("feasible optimum").clone();
+    }
+
+    // Restart: recovery replays the WAL and restores the result cache.
+    let recovery_started = Instant::now();
+    let service = ExplorationService::try_start(durable_config()).expect("store reopens");
+    let recovery_ns = recovery_started.elapsed().as_nanos();
+    let restored_jobs = service.restored().jobs;
+    let cache_entries = service.restored().cache_entries;
+
+    // Warm: the identical submission is served from the cache.
+    let started = Instant::now();
+    let job = service
+        .submit_with_recipe(
+            &system,
+            spec(),
+            Arc::new(PartitionEvaluator::default()),
+            Some(recipe()),
+        )
+        .expect("warm job submits");
+    let status = service.wait(job).expect("warm job completes");
+    let warm_submit_ns = started.elapsed().as_nanos();
+    assert!(
+        status.cache_hit,
+        "identical resubmission must hit the cache"
+    );
+    assert_eq!(
+        status.report.evaluated, 0,
+        "a cache hit must not touch the worker pool"
+    );
+    let warm_best = status.best().expect("cached optimum served");
+    assert_eq!(
+        (warm_best.index, warm_best.cost, &warm_best.detail),
+        (cold_best.index, cold_best.cost, &cold_best.detail),
+        "cached optimum must be bit-identical to the cold run"
+    );
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    StoreSection {
+        variants,
+        cold_submit_ns,
+        warm_submit_ns,
+        recovery_ns,
+        cache_entries,
+        restored_jobs,
+    }
+}
+
 fn main() {
     let output = std::env::args()
         .nth(1)
@@ -278,6 +393,9 @@ fn main() {
 
     eprintln!("measuring exploration service throughput at 1/4/8 workers...");
     let exploration = measure_exploration(12);
+
+    eprintln!("measuring durable store: cold vs warm-cache submit, recovery...");
+    let store = measure_store(8);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -399,6 +517,30 @@ fn main() {
         });
     }
     json.push_str("    ]\n");
+    json.push_str("  },\n");
+    json.push_str("  \"store\": {\n");
+    json.push_str(
+        "    \"scenario\": \"scaling_system(8, 2) durable submit: cold sweep vs warm cache hit\",\n",
+    );
+    json.push_str(&format!("    \"variants\": {},\n", store.variants));
+    json.push_str(&format!(
+        "    \"cold_submit_ns\": {},\n",
+        store.cold_submit_ns
+    ));
+    json.push_str(&format!(
+        "    \"warm_submit_ns\": {},\n",
+        store.warm_submit_ns
+    ));
+    json.push_str(&format!(
+        "    \"warm_speedup\": {:.2},\n",
+        store.cold_submit_ns as f64 / store.warm_submit_ns.max(1) as f64
+    ));
+    json.push_str(&format!("    \"recovery_ns\": {},\n", store.recovery_ns));
+    json.push_str(&format!(
+        "    \"cache_entries\": {},\n",
+        store.cache_entries
+    ));
+    json.push_str(&format!("    \"restored_jobs\": {}\n", store.restored_jobs));
     json.push_str("  }\n}\n");
 
     std::fs::write(&output, &json).expect("baseline file is writable");

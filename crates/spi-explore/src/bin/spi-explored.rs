@@ -5,18 +5,26 @@
 //! ```text
 //! $ echo '{"op":"submit","system":{"scaling":{"interfaces":5,"clusters":2}},"shards":8}
 //! {"op":"wait","job":0}
-//! {"op":"shutdown"}' | spi-explored --workers 8
+//! {"op":"shutdown"}' | spi-explored --workers 8 --store /var/lib/spi
 //! ```
 //!
 //! Flags: `--workers N` (pool size, default: available parallelism),
 //! `--batch N` (variants per result batch, default 256), `--lease-ms N`
-//! (lease timeout, default 30000). Diagnostics go to stderr; stdout carries
-//! exactly one JSON response line per request.
+//! (lease timeout, default 30000), `--store DIR` (durable job state: WAL +
+//! snapshot + result cache; the process can be killed and restarted on the
+//! same directory and resumes its jobs), `--no-hedge` (disable speculative
+//! re-leases). Diagnostics go to stderr; stdout carries exactly one JSON
+//! response line per request.
+//!
+//! Shutdown semantics: both the `shutdown` op and **EOF on stdin** end the
+//! session cleanly — in-flight shard drains run to completion and commit,
+//! then the store is compacted and synced. Pending shards resume on the next
+//! start over the same `--store` directory.
 
 use std::io::{BufReader, Write};
 use std::time::Duration;
 
-use spi_explore::{serve, ExplorationService, ServiceConfig};
+use spi_explore::{run_session, ExplorationService, HedgeConfig, ServiceConfig};
 
 fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
     args.iter()
@@ -25,13 +33,21 @@ fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
         .and_then(|value| value.parse().ok())
 }
 
+fn parse_text_flag<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|arg| arg == flag)
+        .and_then(|at| args.get(at + 1))
+        .map(String::as_str)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|arg| arg == "--help" || arg == "-h") {
         eprintln!(
-            "usage: spi-explored [--workers N] [--batch N] [--lease-ms N]\n\
+            "usage: spi-explored [--workers N] [--batch N] [--lease-ms N] [--store DIR] [--no-hedge]\n\
              ndjson requests on stdin, one JSON response per line on stdout;\n\
-             ops: submit | poll | wait | top | jobs | cancel | shutdown"
+             ops: submit | poll | wait | top | jobs | cancel | shutdown\n\
+             EOF on stdin quiesces cleanly: in-flight shards commit, the store compacts."
         );
         return;
     }
@@ -45,15 +61,45 @@ fn main() {
     if let Some(lease_ms) = parse_flag(&args, "--lease-ms") {
         config.lease_timeout = Duration::from_millis(lease_ms.max(1));
     }
+    if let Some(store) = parse_text_flag(&args, "--store") {
+        config.store_dir = Some(store.into());
+    }
+    if args.iter().any(|arg| arg == "--no-hedge") {
+        config.hedge = HedgeConfig::disabled();
+    }
 
     eprintln!(
-        "spi-explored: {} workers, batch {}, lease {:?}",
-        config.workers, config.batch_size, config.lease_timeout
+        "spi-explored: {} workers, batch {}, lease {:?}, store {}",
+        config.workers,
+        config.batch_size,
+        config.lease_timeout,
+        config
+            .store_dir
+            .as_deref()
+            .map_or("none".to_string(), |dir| dir.display().to_string()),
     );
-    let service = ExplorationService::start(config);
+    let service = match ExplorationService::try_start(config) {
+        Ok(service) => service,
+        Err(error) => {
+            eprintln!("spi-explored: failed to start: {error}");
+            std::process::exit(1);
+        }
+    };
+    let restored = service.restored();
+    if restored.jobs > 0 {
+        eprintln!(
+            "spi-explored: recovered {} jobs ({} resumed, {} shards requeued, \
+             {} unrecoverable, {} cached results)",
+            restored.jobs,
+            restored.resumed,
+            restored.requeued_shards,
+            restored.unrecoverable,
+            restored.cache_entries,
+        );
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
-    if let Err(error) = serve(&service, BufReader::new(stdin.lock()), &mut stdout) {
+    if let Err(error) = run_session(&service, BufReader::new(stdin.lock()), &mut stdout) {
         eprintln!("spi-explored: i/o error: {error}");
     }
     let _ = stdout.flush();

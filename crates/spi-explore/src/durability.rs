@@ -1,0 +1,85 @@
+//! The registry's hook into durable storage.
+//!
+//! [`JobRegistry`](crate::JobRegistry) stays a pure state machine: it never
+//! opens files itself. Instead it serializes its own transition records
+//! (submit / shard-commit / cancel) as [`JsonValue`] lines and hands them to
+//! a [`DurabilitySink`] **before** applying the transition in memory — the
+//! write-ahead discipline that makes crash recovery exact: a transition the
+//! sink never acknowledged never happened, and a transition the sink
+//! acknowledged is replayed even if the process died a cycle later.
+//!
+//! The production sink is [`WalSink`], a thin adapter over
+//! [`spi_store::Wal`]; tests substitute in-memory sinks to script failures
+//! and inspect the record stream.
+
+use spi_model::json::JsonValue;
+use spi_store::Wal;
+
+/// Where the registry writes its transition records and snapshots.
+///
+/// Errors are plain strings (they surface as
+/// [`ExploreError::Store`](crate::ExploreError)): the registry treats any
+/// sink failure as "the transition did not happen" and reports it to the
+/// caller, who may retry or abandon.
+pub trait DurabilitySink: Send {
+    /// Durably appends one transition record. Must not return `Ok` unless
+    /// the record will survive a process crash.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the failure.
+    fn append(&mut self, record: &JsonValue) -> Result<(), String>;
+
+    /// Replaces the record history with a compacted snapshot and forces
+    /// everything to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the failure.
+    fn compact(&mut self, snapshot: &JsonValue) -> Result<(), String>;
+}
+
+/// [`DurabilitySink`] over a [`spi_store::Wal`].
+pub struct WalSink(pub Wal);
+
+impl DurabilitySink for WalSink {
+    fn append(&mut self, record: &JsonValue) -> Result<(), String> {
+        self.0
+            .append(record)
+            .map(|_seq| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn compact(&mut self, snapshot: &JsonValue) -> Result<(), String> {
+        self.0.compact(snapshot).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_sinks {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Records appends in memory; optionally fails every append.
+    pub struct MemorySink {
+        pub records: Arc<Mutex<Vec<JsonValue>>>,
+        pub fail: bool,
+    }
+
+    impl DurabilitySink for MemorySink {
+        fn append(&mut self, record: &JsonValue) -> Result<(), String> {
+            if self.fail {
+                return Err("sink scripted to fail".to_string());
+            }
+            self.records.lock().unwrap().push(record.clone());
+            Ok(())
+        }
+
+        fn compact(&mut self, _snapshot: &JsonValue) -> Result<(), String> {
+            if self.fail {
+                return Err("sink scripted to fail".to_string());
+            }
+            Ok(())
+        }
+    }
+}

@@ -19,6 +19,9 @@ pub enum ExploreError {
     InvalidSpec(String),
     /// A wire-protocol request could not be interpreted.
     Protocol(String),
+    /// The durable store refused a transition (sink append/compact failure,
+    /// malformed record during recovery). The transition did not happen.
+    Store(String),
     /// Error from the variants layer (system validation, flattening).
     Variants(spi_variants::VariantError),
     /// Error from the synthesis layer (problem derivation, optimization).
@@ -34,6 +37,7 @@ impl fmt::Display for ExploreError {
             ExploreError::StaleLease(lease) => write!(f, "stale lease {lease}"),
             ExploreError::InvalidSpec(message) => write!(f, "invalid job spec: {message}"),
             ExploreError::Protocol(message) => write!(f, "protocol error: {message}"),
+            ExploreError::Store(message) => write!(f, "store error: {message}"),
             ExploreError::Variants(e) => write!(f, "variants error: {e}"),
             ExploreError::Synth(e) => write!(f, "synthesis error: {e}"),
             ExploreError::Workload(message) => write!(f, "workload error: {message}"),

@@ -15,6 +15,7 @@
 //! the incumbent, so skipping preserves the exact `(cost, index)` optimum,
 //! tie-breaks included.
 
+use spi_model::json::{JsonValue, ToJson};
 use spi_model::SpiGraph;
 use spi_synth::partition::optimize as optimize_partition;
 use spi_synth::{from_flat_graph, FeasibilityMode, SearchStrategy, SynthError, TaskParams};
@@ -44,6 +45,16 @@ pub trait Evaluator: Send + Sync {
     /// default bound of `0` disables pruning.
     fn lower_bound(&self, _choice: &VariantChoice, _graph: &SpiGraph) -> u64 {
         0
+    }
+
+    /// A canonical JSON description of this evaluator's semantics, when one
+    /// exists. The spec is part of the result cache's content address:
+    /// **equal specs must imply bit-identical evaluations** of every variant
+    /// (normalize defaults; never include incidental state). Returning `None`
+    /// (the default) keeps the evaluator out of the cache entirely — correct
+    /// for closures and anything nondeterministic.
+    fn spec(&self) -> Option<JsonValue> {
+        None
     }
 
     /// Evaluates the variant at `index` of the space. `graph` is the flattened
@@ -106,6 +117,24 @@ impl TaskParamsSpec {
     }
 }
 
+impl ToJson for TaskParamsSpec {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            TaskParamsSpec::Hashed { seed } => JsonValue::object([
+                ("kind", JsonValue::string("hashed")),
+                ("seed", seed.to_json()),
+            ]),
+            TaskParamsSpec::Uniform(params) => JsonValue::object([
+                ("kind", JsonValue::string("uniform")),
+                ("sw_time", params.sw_time.to_json()),
+                ("period", params.period.to_json()),
+                ("hw_area", params.hw_area.to_json()),
+                ("synthesis_effort", params.synthesis_effort.to_json()),
+            ]),
+        }
+    }
+}
+
 /// Seeded FNV-1a over the task name; stable across processes and runs.
 fn fnv1a(name: &str, seed: u64) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -159,6 +188,33 @@ impl PartitionEvaluator {
 }
 
 impl Evaluator for PartitionEvaluator {
+    /// The canonical spec: every field spelled out with defaults normalized,
+    /// so differently-worded wire submissions of the same evaluator digest
+    /// identically. All four search strategies return the same *optimal cost*
+    /// (greedy excepted), but the spec still distinguishes them — `Greedy` is
+    /// approximate and the others can differ in `detail` only via tie-break,
+    /// which they all share; being conservative here only costs cache hits,
+    /// never correctness.
+    fn spec(&self) -> Option<JsonValue> {
+        let strategy = match self.strategy {
+            SearchStrategy::Auto => "auto",
+            SearchStrategy::Exhaustive => "exhaustive",
+            SearchStrategy::BranchAndBound => "branch_and_bound",
+            SearchStrategy::Greedy => "greedy",
+        };
+        let mode = match self.mode {
+            FeasibilityMode::PerApplication => "per_application",
+            FeasibilityMode::Serialized => "serialized",
+        };
+        Some(JsonValue::object([
+            ("kind", JsonValue::string("partition")),
+            ("processor_cost", self.processor_cost.to_json()),
+            ("strategy", JsonValue::string(strategy)),
+            ("mode", JsonValue::string(mode)),
+            ("params", self.params.to_json()),
+        ]))
+    }
+
     /// Every task ends up either in software (then the processor is bought
     /// once) or in hardware (then its area is paid), so
     /// `min(processor_cost, Σ areas)` can never exceed the true optimum.
@@ -207,6 +263,7 @@ type BoundFn = Box<dyn Fn(&VariantChoice, &SpiGraph) -> u64 + Send + Sync>;
 pub struct FnEvaluator<F> {
     function: F,
     bound: Option<BoundFn>,
+    spec: Option<JsonValue>,
 }
 
 impl<F> FnEvaluator<F>
@@ -218,6 +275,7 @@ where
         FnEvaluator {
             function,
             bound: None,
+            spec: None,
         }
     }
 
@@ -229,6 +287,15 @@ where
         self.bound = Some(Box::new(bound));
         self
     }
+
+    /// Attaches a canonical spec, making the closure **cacheable** — the
+    /// caller thereby asserts the closure is a pure function of
+    /// `(index, choice, graph)`. Mostly a test hook; production evaluators
+    /// should implement [`Evaluator::spec`] directly.
+    pub fn with_spec(mut self, spec: JsonValue) -> Self {
+        self.spec = Some(spec);
+        self
+    }
 }
 
 impl<F> Evaluator for FnEvaluator<F>
@@ -237,6 +304,10 @@ where
 {
     fn lower_bound(&self, choice: &VariantChoice, graph: &SpiGraph) -> u64 {
         self.bound.as_ref().map_or(0, |bound| bound(choice, graph))
+    }
+
+    fn spec(&self) -> Option<JsonValue> {
+        self.spec.clone()
     }
 
     fn evaluate(
@@ -311,6 +382,48 @@ mod tests {
                 "bound {bound} exceeds cost {} at variant {index}",
                 evaluation.cost
             );
+        }
+    }
+
+    #[test]
+    fn partition_spec_is_canonical_and_distinguishes_semantics() {
+        let default = PartitionEvaluator::default();
+        let spec = default.spec().unwrap();
+        // Canonical: the same evaluator always produces byte-identical specs.
+        assert_eq!(
+            spec.to_line(),
+            PartitionEvaluator::default().spec().unwrap().to_line()
+        );
+        assert_eq!(spec.get("kind").unwrap().as_str(), Some("partition"));
+        // Any semantic difference changes the spec.
+        for other in [
+            PartitionEvaluator {
+                processor_cost: 99,
+                ..PartitionEvaluator::default()
+            },
+            PartitionEvaluator {
+                strategy: SearchStrategy::Greedy,
+                ..PartitionEvaluator::default()
+            },
+            PartitionEvaluator {
+                mode: FeasibilityMode::Serialized,
+                ..PartitionEvaluator::default()
+            },
+            PartitionEvaluator {
+                params: TaskParamsSpec::Hashed { seed: 7 },
+                ..PartitionEvaluator::default()
+            },
+            PartitionEvaluator {
+                params: TaskParamsSpec::Uniform(TaskParams {
+                    sw_time: 10,
+                    period: 100,
+                    hw_area: 20,
+                    synthesis_effort: 5,
+                }),
+                ..PartitionEvaluator::default()
+            },
+        ] {
+            assert_ne!(other.spec().unwrap().to_line(), spec.to_line());
         }
     }
 

@@ -34,7 +34,7 @@
 //! let system = spi_workloads::scaling_system(6, 2).expect("system builds"); // 64 variants
 //! let job = service.submit(
 //!     &system,
-//!     JobSpec { name: "demo".into(), shard_count: 8, top_k: 4 },
+//!     JobSpec { name: "demo".into(), shard_count: 8, top_k: 4, ..JobSpec::default() },
 //!     Arc::new(PartitionEvaluator::default()),
 //! )?;
 //! let status = service.wait(job)?;
@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
 pub mod error;
 pub mod evaluator;
 pub mod registry;
@@ -59,12 +60,19 @@ pub mod service;
 pub mod wire;
 pub mod worker;
 
+pub use durability::{DurabilitySink, WalSink};
 pub use error::ExploreError;
 pub use evaluator::{Evaluation, Evaluator, FnEvaluator, PartitionEvaluator, TaskParamsSpec};
-pub use registry::{JobEvent, JobId, JobRegistry, JobSpec, JobState, JobStatus, Lease, LeaseId};
+pub use registry::{
+    JobEvent, JobId, JobRegistry, JobSpec, JobState, JobStatus, Lease, LeaseId, RegistryConfig,
+    RestoreStats,
+};
 pub use report::{BestVariant, ShardReport};
 pub use service::{ExplorationService, ServiceConfig};
-pub use wire::{handle_request, serve, status_from_json, WireStatus};
+pub use spi_store::sched::HedgeConfig;
+pub use wire::{
+    handle_request, rebuild_from_recipe, run_session, serve, status_from_json, WireStatus,
+};
 pub use worker::{drain_lease, DrainOutcome, FlushResponse};
 
 /// Convenient result alias used throughout the crate.

@@ -5,7 +5,11 @@
 //! as explicit [`Instant`] parameters. That makes the whole lease protocol
 //! deterministic under test: the property tests drive simulated workers,
 //! crashes, cancellations and clock advances through the same code the real
-//! worker pool runs, with no sleeping and no racing.
+//! worker pool runs, with no sleeping and no racing. Durability is injected
+//! the same way: the registry serializes its own transition records and hands
+//! them to a [`DurabilitySink`] **before** applying the transition (see
+//! [`crate::durability`]), so persistence is write-ahead without the registry
+//! ever touching a file.
 //!
 //! # The protocol
 //!
@@ -18,18 +22,30 @@
 //! ```text
 //!                    lease()                    complete_shard()
 //!   Pending ───────────────────────▶ Leased ─────────────────────▶ Done
-//!      ▲                               │
+//!      ▲                               │  ⇅ hedge (duplicate lease)
 //!      └───────────────────────────────┘
 //!        expire() past the deadline / abandon()
 //! ```
 //!
 //! Every lease carries a fresh [`LeaseId`]. Batches and completions are only
-//! accepted from the lease currently holding the shard — work reported under
+//! accepted from a lease currently holding the shard — work reported under
 //! an expired, abandoned or cancelled lease gets [`ExploreError::StaleLease`]
 //! and is discarded. Combined with staging (below) this yields the service's
 //! core accounting guarantee: **every shard is counted exactly once** in the
-//! final aggregate, no matter how many times workers crashed, stalled or
-//! raced on it.
+//! final aggregate, no matter how many times workers crashed, stalled, raced
+//! — or were deliberately duplicated by a hedge.
+//!
+//! # Scheduling: weighted-fair + hedged
+//!
+//! Pending shards are dispatched by a [`FairScheduler`] (virtual-time WFQ
+//! across the `tenant` named in each [`JobSpec`]) instead of a global FIFO:
+//! one tenant's `2^20`-combination monster no longer starves every later
+//! submitter. When no pending shard exists, [`lease`](JobRegistry::lease) may
+//! instead **hedge** a straggler: a shard in flight longer than
+//! `multiplier × quantile` of the job's completed-shard durations gets a
+//! *duplicate* lease. Both leases drain independently; the first to commit
+//! wins the shard and the loser's lease turns stale — first-commit-wins
+//! dedup, no double counting.
 //!
 //! # Staging vs committing
 //!
@@ -39,16 +55,35 @@
 //! partial results with it — the re-leased shard starts from zero, so nothing
 //! is double-counted. Poll snapshots expose `committed + staged` for live
 //! progress (observational; staged parts may vanish on expiry), while the
-//! terminal report is committed-only and exact.
+//! terminal report is committed-only and exact. The commit is also the WAL
+//! boundary: a shard's staged report is appended to the sink *before* it
+//! merges into the committed aggregate, so replay after a crash reconstructs
+//! exactly the committed census — interrupted shards restart from zero.
+//!
+//! # The result cache
+//!
+//! A submission that provides a *recipe* (the construction description of the
+//! system, as the ndjson frontend does) and whose evaluator exposes a
+//! canonical [`spec`](crate::Evaluator::spec) gets a content
+//! [`Digest`] over `{system recipe, variant space, evaluator spec}`. On
+//! completion the committed report is cached under that digest; a later
+//! identical submission is served from the cache at birth — state
+//! `Completed`, `evaluated == 0`, the cached optimum in `top` — without a
+//! single worker evaluation.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+use spi_model::digest::{digest_json, Digest};
+use spi_model::json::{FromJson, JsonValue, ToJson};
+use spi_store::sched::{FairScheduler, HedgeConfig, LatencyTracker};
+use spi_store::ResultCache;
 use spi_variants::{Flattener, VariantSystem};
 
+use crate::durability::DurabilitySink;
 use crate::error::ExploreError;
 use crate::evaluator::Evaluator;
 use crate::report::{BestVariant, ShardReport};
@@ -105,8 +140,9 @@ pub enum JobState {
     Running,
     /// Every shard completed; the committed aggregate is final and exact.
     Completed,
-    /// Cancelled by a client; the committed aggregate holds the partial
-    /// results of the shards that completed before the cancellation.
+    /// Cancelled by a client (or unrecoverable after a restart); the
+    /// committed aggregate holds the partial results of the shards that
+    /// completed before the cancellation.
     Cancelled,
 }
 
@@ -115,15 +151,28 @@ impl JobState {
     pub fn is_terminal(self) -> bool {
         !matches!(self, JobState::Running)
     }
+
+    fn as_wire(self) -> &'static str {
+        match self {
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn from_wire(text: &str) -> Option<JobState> {
+        match text {
+            "running" => Some(JobState::Running),
+            "completed" => Some(JobState::Completed),
+            "cancelled" => Some(JobState::Cancelled),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for JobState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            JobState::Running => write!(f, "running"),
-            JobState::Completed => write!(f, "completed"),
-            JobState::Cancelled => write!(f, "cancelled"),
-        }
+        f.write_str(self.as_wire())
     }
 }
 
@@ -137,6 +186,15 @@ pub struct JobSpec {
     pub shard_count: usize,
     /// How many of the cheapest variants to retain.
     pub top_k: usize,
+    /// Fair-queuing tenant this job bills its shard dispatches to.
+    pub tenant: String,
+    /// Fair-queuing weight of the tenant (≥ 1): a weight-`w` tenant receives
+    /// `w` shard dispatches for every one a weight-1 tenant gets. The last
+    /// submission's weight wins for the whole tenant.
+    pub weight: u32,
+    /// Whether an identical cached result may satisfy this submission. When
+    /// `false` the job is recomputed (and refreshes the cache on completion).
+    pub use_cache: bool,
 }
 
 impl Default for JobSpec {
@@ -145,6 +203,27 @@ impl Default for JobSpec {
             name: "exploration".to_string(),
             shard_count: 16,
             top_k: 8,
+            tenant: "default".to_string(),
+            weight: 1,
+            use_cache: true,
+        }
+    }
+}
+
+/// Tunables of a [`JobRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// How long a lease survives without a batch or completion.
+    pub lease_timeout: Duration,
+    /// The speculative re-leasing policy.
+    pub hedge: HedgeConfig,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            lease_timeout: Duration::from_secs(30),
+            hedge: HedgeConfig::default(),
         }
     }
 }
@@ -179,6 +258,8 @@ pub struct Lease {
     /// lease timeout): every flush renews the deadline, so respecting this
     /// interval keeps the lease alive however slow the evaluator is.
     pub renew_interval: Duration,
+    /// Whether this lease is a speculative duplicate of an in-flight shard.
+    pub hedged: bool,
 }
 
 /// Progress events streamed to [`JobRegistry::subscribe`]rs.
@@ -212,16 +293,25 @@ pub struct JobStatus {
     pub job: JobId,
     /// Its display name.
     pub name: String,
+    /// Fair-queuing tenant.
+    pub tenant: String,
     /// Life-cycle state.
     pub state: JobState,
     /// Size of the variant space.
     pub combinations: usize,
-    /// Total shards.
+    /// Total shards (0 for a job served from the result cache).
     pub shard_count: usize,
     /// Committed shards.
     pub shards_done: usize,
-    /// Shards currently under lease.
+    /// Shards currently under at least one lease.
     pub shards_in_flight: usize,
+    /// Whether the job was satisfied from the content-addressed result cache
+    /// (then `report.evaluated == 0` and `report.top` is the cached optimum).
+    pub cache_hit: bool,
+    /// Speculative duplicate leases issued for this job's stragglers.
+    pub hedges_issued: u64,
+    /// How many shards were won by a hedge rather than the original lease.
+    pub hedge_wins: u64,
     /// Merged counters: committed plus currently-staged (staged parts are
     /// observational — they vanish if their lease expires; exact once the
     /// state is terminal).
@@ -235,23 +325,41 @@ impl JobStatus {
     }
 }
 
+/// One live lease on a shard (a hedged shard has several holders).
+struct Holder {
+    lease: LeaseId,
+    deadline: Instant,
+    started: Instant,
+}
+
 enum ShardSlot {
     Pending,
-    /// Under lease; the owning [`LeaseId`] is tracked in
-    /// [`JobRegistry::leases`], the slot only carries the renewable deadline.
+    /// Under one or more leases (more than one while a hedge is in flight).
     Leased {
-        deadline: Instant,
+        holders: Vec<Holder>,
     },
     Done,
 }
 
+/// What a job needs to hand out leases; recovered terminal jobs (and running
+/// jobs whose recipe could not be rebuilt) are archived without one.
+enum JobEngine {
+    Live {
+        flattener: Arc<Flattener>,
+        evaluator: Arc<dyn Evaluator>,
+    },
+    Archived,
+}
+
 struct Job {
     name: String,
+    tenant: String,
+    weight: u32,
+    use_cache: bool,
     shard_count: usize,
     top_k: usize,
     combinations: usize,
-    flattener: Arc<Flattener>,
-    evaluator: Arc<dyn Evaluator>,
+    engine: JobEngine,
     incumbent: Arc<AtomicU64>,
     cancelled: Arc<AtomicBool>,
     state: JobState,
@@ -264,22 +372,41 @@ struct Job {
     /// Best across committed *and* staged, for `Improved` events.
     best_seen: Option<BestVariant>,
     subscribers: Vec<mpsc::Sender<JobEvent>>,
+    /// Content address of `(system recipe, space, evaluator spec)`, when the
+    /// submission was cacheable.
+    digest: Option<Digest>,
+    /// The construction recipe, when supplied: what recovery rebuilds the
+    /// flattener and evaluator from after a restart.
+    recipe: Option<JsonValue>,
+    cache_hit: bool,
+    hedges_issued: u64,
+    hedge_wins: u64,
+    latencies: LatencyTracker,
 }
 
 impl Job {
-    fn status(&self, id: JobId, in_flight: usize) -> JobStatus {
+    fn status(&self, id: JobId) -> JobStatus {
         let mut report = self.committed.clone();
         for staged in self.staged.values() {
             report.merge(staged, self.top_k);
         }
+        let in_flight = self
+            .shards
+            .iter()
+            .filter(|slot| matches!(slot, ShardSlot::Leased { .. }))
+            .count();
         JobStatus {
             job: id,
             name: self.name.clone(),
+            tenant: self.tenant.clone(),
             state: self.state,
             combinations: self.combinations,
             shard_count: self.shard_count,
             shards_done: self.shards_done,
             shards_in_flight: in_flight,
+            cache_hit: self.cache_hit,
+            hedges_issued: self.hedges_issued,
+            hedge_wins: self.hedge_wins,
             report,
         }
     }
@@ -288,50 +415,161 @@ impl Job {
         self.subscribers
             .retain(|subscriber| subscriber.send(event.clone()).is_ok());
     }
+
+    fn is_live(&self) -> bool {
+        matches!(self.engine, JobEngine::Live { .. })
+    }
+
+    /// The durable summary of this job, used in snapshots.
+    fn durable_summary(&self, id: JobId) -> JsonValue {
+        let done: Vec<usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| matches!(slot, ShardSlot::Done))
+            .map(|(shard, _)| shard)
+            .collect();
+        JsonValue::object([
+            ("job", id.raw().to_json()),
+            ("name", self.name.to_json()),
+            ("tenant", self.tenant.to_json()),
+            ("weight", JsonValue::Int(i128::from(self.weight))),
+            ("use_cache", JsonValue::Bool(self.use_cache)),
+            ("shards", self.shard_count.to_json()),
+            ("top_k", self.top_k.to_json()),
+            ("combinations", self.combinations.to_json()),
+            (
+                "digest",
+                self.digest
+                    .as_ref()
+                    .map(ToJson::to_json)
+                    .unwrap_or(JsonValue::Null),
+            ),
+            ("recipe", self.recipe.clone().unwrap_or(JsonValue::Null)),
+            ("cache_hit", JsonValue::Bool(self.cache_hit)),
+            ("state", JsonValue::string(self.state.as_wire())),
+            ("done", done.to_json()),
+            ("committed", self.committed.to_json()),
+            ("hedges_issued", self.hedges_issued.to_json()),
+            ("hedge_wins", self.hedge_wins.to_json()),
+        ])
+    }
+}
+
+/// How to turn a stored recipe back into a live system + evaluator after a
+/// restart; see [`JobRegistry::restore`]. The ndjson frontend's recipes are
+/// rebuilt by [`crate::wire::rebuild_from_recipe`].
+pub type RebuildFn<'a> = dyn Fn(&JsonValue) -> Result<(VariantSystem, Arc<dyn Evaluator>)> + 'a;
+
+/// What [`JobRegistry::restore`] reconstructed, for logging/observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// Jobs restored in any state.
+    pub jobs: usize,
+    /// Running jobs whose engines were rebuilt and shards requeued.
+    pub resumed: usize,
+    /// Shards requeued across resumed jobs.
+    pub requeued_shards: usize,
+    /// Running jobs that could not be rebuilt and were cancelled (their
+    /// committed partial results are kept).
+    pub unrecoverable: usize,
+    /// Result-cache entries available after the restore.
+    pub cache_entries: usize,
 }
 
 /// The service's job table; see the module docs for the protocol.
 pub struct JobRegistry {
-    lease_timeout: Duration,
+    config: RegistryConfig,
     next_job: u64,
     next_lease: u64,
     jobs: BTreeMap<JobId, Job>,
-    /// FIFO of (job, shard) pairs available for leasing. May contain entries
-    /// for shards that were since leased/cancelled; `lease` skips those.
-    queue: VecDeque<(JobId, usize)>,
+    /// WFQ dispatcher of `(job, shard)` candidates. May contain entries for
+    /// shards that were since leased/cancelled; `lease` skips those.
+    scheduler: FairScheduler,
     /// Live leases: lease → (job, shard).
     leases: HashMap<LeaseId, (JobId, usize)>,
+    cache: ResultCache,
+    sink: Option<Box<dyn DurabilitySink>>,
 }
 
 impl JobRegistry {
     /// Creates an empty registry whose leases expire after `lease_timeout`
-    /// without a batch or completion.
+    /// without a batch or completion, with default hedging.
     pub fn new(lease_timeout: Duration) -> Self {
-        JobRegistry {
+        JobRegistry::with_config(RegistryConfig {
             lease_timeout,
+            ..RegistryConfig::default()
+        })
+    }
+
+    /// Creates an empty registry with explicit scheduling configuration.
+    pub fn with_config(config: RegistryConfig) -> Self {
+        JobRegistry {
+            config,
             next_job: 0,
             next_lease: 0,
             jobs: BTreeMap::new(),
-            queue: VecDeque::new(),
+            scheduler: FairScheduler::new(),
             leases: HashMap::new(),
+            cache: ResultCache::new(),
+            sink: None,
         }
     }
 
-    /// Registers a job over `system`'s variant space.
-    ///
-    /// Builds the job's [`Flattener`] once (validating the system), clamps the
-    /// shard count to the space size and queues every shard. A job over an
-    /// empty space (zero combinations) completes immediately.
+    /// Attaches the durability sink every subsequent transition is
+    /// write-ahead logged to. Call after [`restore`](Self::restore) (replay
+    /// must not re-append its own records).
+    pub fn set_sink(&mut self, sink: Box<dyn DurabilitySink>) {
+        self.sink = Some(sink);
+    }
+
+    /// `(entries, hits, misses)` of the result cache, for observability.
+    pub fn cache_stats(&self) -> (usize, u64, u64) {
+        (self.cache.len(), self.cache.hits(), self.cache.misses())
+    }
+
+    /// Number of currently live leases (across all jobs and hedges).
+    pub fn live_lease_count(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Registers a job over `system`'s variant space; see
+    /// [`submit_with_recipe`](Self::submit_with_recipe).
     ///
     /// # Errors
     ///
-    /// [`ExploreError::InvalidSpec`] for a zero shard count, and any system
-    /// validation error from the flattener build.
+    /// [`ExploreError::InvalidSpec`] for a zero shard count, any system
+    /// validation error from the flattener build, and sink failures.
     pub fn submit(
         &mut self,
         system: &VariantSystem,
         spec: JobSpec,
         evaluator: Arc<dyn Evaluator>,
+    ) -> Result<JobId> {
+        self.submit_with_recipe(system, spec, evaluator, None)
+    }
+
+    /// Registers a job, optionally carrying the construction `recipe` that
+    /// identifies it durably (`{"system": ..., "evaluator": ...}` as the
+    /// ndjson frontend submits). A recipe plus a canonical
+    /// [`Evaluator::spec`] make the job **cacheable** (identical
+    /// resubmissions are served from the result cache without touching the
+    /// worker pool) and **recoverable** (a restart rebuilds the system and
+    /// evaluator from the recipe and resumes pending shards).
+    ///
+    /// Builds the job's [`Flattener`] once (validating the system), clamps the
+    /// shard count to the space size and queues every shard under the spec's
+    /// tenant. A job over an empty space completes immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_with_recipe(
+        &mut self,
+        system: &VariantSystem,
+        spec: JobSpec,
+        evaluator: Arc<dyn Evaluator>,
+        recipe: Option<JsonValue>,
     ) -> Result<JobId> {
         if spec.shard_count == 0 {
             return Err(ExploreError::InvalidSpec(
@@ -340,80 +578,212 @@ impl JobRegistry {
         }
         let flattener = Arc::new(Flattener::new(system)?);
         let combinations = flattener.space().count();
-        let shard_count = spec.shard_count.min(combinations.max(1));
-        let id = JobId(self.next_job);
-        self.next_job += 1;
+        let digest = cache_digest(
+            recipe.as_ref(),
+            &flattener.space().to_json(),
+            evaluator.spec(),
+        );
+        let cached = match digest {
+            Some(digest) if spec.use_cache => self
+                .cache
+                .lookup(digest)
+                .map(ShardReport::from_json)
+                .transpose()
+                .map_err(|e| ExploreError::Store(format!("corrupt cache entry: {e}")))?,
+            _ => None,
+        };
 
+        let id = JobId(self.next_job);
+        let cache_hit = cached.is_some();
         let empty = combinations == 0;
-        let mut job = Job {
+        let shard_count = if cache_hit {
+            0
+        } else {
+            spec.shard_count.min(combinations.max(1))
+        };
+        // A cache hit serves the cached optimum with zeroed counters: no
+        // worker ran, so nothing was evaluated *for this job* — `top` carries
+        // the optimum, `evaluated == 0` proves the pool was never touched.
+        let committed = cached
+            .map(|full| ShardReport {
+                top: full.top,
+                ..ShardReport::default()
+            })
+            .unwrap_or_default();
+
+        let job = Job {
             name: spec.name,
+            tenant: spec.tenant,
+            weight: spec.weight.max(1),
+            use_cache: spec.use_cache,
             shard_count,
             top_k: spec.top_k.max(1),
             combinations,
-            flattener,
-            evaluator,
+            engine: JobEngine::Live {
+                flattener,
+                evaluator,
+            },
             incumbent: Arc::new(AtomicU64::new(u64::MAX)),
             cancelled: Arc::new(AtomicBool::new(false)),
-            state: if empty {
+            state: if empty || cache_hit {
                 JobState::Completed
             } else {
                 JobState::Running
             },
-            shards: Vec::new(),
+            shards: if empty || cache_hit {
+                Vec::new()
+            } else {
+                (0..shard_count).map(|_| ShardSlot::Pending).collect()
+            },
             shards_done: 0,
             staged: HashMap::new(),
-            committed: ShardReport::default(),
+            committed,
             best_seen: None,
             subscribers: Vec::new(),
+            digest,
+            recipe,
+            cache_hit,
+            hedges_issued: 0,
+            hedge_wins: 0,
+            latencies: LatencyTracker::new(),
         };
-        if !empty {
-            job.shards = (0..shard_count).map(|_| ShardSlot::Pending).collect();
+
+        // Write-ahead: the submit record must be durable before the job
+        // exists (a crash in between recovers to "never submitted", which the
+        // client, having no ack, must assume anyway).
+        if self.sink.is_some() {
+            let record = submit_record(id, &job);
+            self.append_record(&record)?;
+        }
+
+        self.next_job += 1;
+        if job.state == JobState::Running {
             for shard in 0..shard_count {
-                self.queue.push_back((id, shard));
+                self.scheduler
+                    .enqueue(&job.tenant, job.weight, (id.raw(), shard));
             }
         }
         self.jobs.insert(id, job);
         Ok(id)
     }
 
-    /// Hands out the next pending shard, if any. Stale queue entries (shards
-    /// already leased, completed or belonging to terminal jobs) are skipped
-    /// and dropped.
+    /// Hands out the next shard under the WFQ policy, if any; stale scheduler
+    /// entries (shards already leased, completed or belonging to terminal
+    /// jobs) are skipped and dropped. When no pending shard exists, a
+    /// straggler shard past the hedge threshold may be **re-leased
+    /// speculatively** — the returned lease then has
+    /// [`Lease::hedged`] set and races the original holder under
+    /// first-commit-wins.
     pub fn lease(&mut self, now: Instant) -> Option<Lease> {
-        while let Some((job_id, shard)) = self.queue.pop_front() {
-            let Some(job) = self.jobs.get_mut(&job_id) else {
+        while let Some((job_raw, shard)) = self.scheduler.dequeue() {
+            let job_id = JobId(job_raw);
+            let Some(job) = self.jobs.get(&job_id) else {
                 continue;
             };
-            if job.state != JobState::Running || !matches!(job.shards[shard], ShardSlot::Pending) {
+            if job.state != JobState::Running
+                || !matches!(job.shards[shard], ShardSlot::Pending)
+                || !job.is_live()
+            {
                 continue;
             }
-            let lease = LeaseId(self.next_lease);
-            self.next_lease += 1;
-            let deadline = now + self.lease_timeout;
-            job.shards[shard] = ShardSlot::Leased { deadline };
-            self.leases.insert(lease, (job_id, shard));
-            return Some(Lease {
-                job: job_id,
-                lease,
-                shard,
-                shard_count: job.shard_count,
-                top_k: job.top_k,
-                flattener: Arc::clone(&job.flattener),
-                evaluator: Arc::clone(&job.evaluator),
-                incumbent: Arc::clone(&job.incumbent),
-                cancelled: Arc::clone(&job.cancelled),
-                deadline,
-                renew_interval: self.lease_timeout / 2,
-            });
+            return Some(self.grant(job_id, shard, now, false));
         }
-        None
+        let (job_id, shard) = self.hedge_candidate(now)?;
+        Some(self.grant(job_id, shard, now, true))
     }
 
-    fn resolve_lease(&mut self, lease: LeaseId) -> Result<(JobId, usize)> {
+    /// The most overdue straggler shard eligible for a duplicate lease.
+    fn hedge_candidate(&self, now: Instant) -> Option<(JobId, usize)> {
+        let hedge = &self.config.hedge;
+        let mut best: Option<(u128, JobId, usize)> = None;
+        for (&job_id, job) in &self.jobs {
+            if job.state != JobState::Running || !job.is_live() {
+                continue;
+            }
+            let Some(threshold_ns) = job.latencies.hedge_threshold_ns(hedge) else {
+                continue;
+            };
+            for (shard, slot) in job.shards.iter().enumerate() {
+                let ShardSlot::Leased { holders } = slot else {
+                    continue;
+                };
+                if holders.len() > hedge.max_hedges {
+                    continue;
+                }
+                let earliest = holders
+                    .iter()
+                    .map(|holder| holder.started)
+                    .min()
+                    .expect("a leased slot has at least one holder");
+                let elapsed = now.saturating_duration_since(earliest).as_nanos();
+                if elapsed > u128::from(threshold_ns)
+                    && best.as_ref().is_none_or(|(most, _, _)| elapsed > *most)
+                {
+                    best = Some((elapsed, job_id, shard));
+                }
+            }
+        }
+        best.map(|(_, job_id, shard)| (job_id, shard))
+    }
+
+    fn grant(&mut self, job_id: JobId, shard: usize, now: Instant, hedged: bool) -> Lease {
+        let lease = LeaseId(self.next_lease);
+        self.next_lease += 1;
+        let deadline = now + self.config.lease_timeout;
+        let job = self.jobs.get_mut(&job_id).expect("candidate job exists");
+        let holder = Holder {
+            lease,
+            deadline,
+            started: now,
+        };
+        match &mut job.shards[shard] {
+            slot @ ShardSlot::Pending => {
+                *slot = ShardSlot::Leased {
+                    holders: vec![holder],
+                };
+            }
+            ShardSlot::Leased { holders } => holders.push(holder),
+            ShardSlot::Done => unreachable!("done shards are never granted"),
+        }
+        if hedged {
+            job.hedges_issued += 1;
+        }
+        self.leases.insert(lease, (job_id, shard));
+        let JobEngine::Live {
+            flattener,
+            evaluator,
+        } = &job.engine
+        else {
+            unreachable!("granted jobs are live")
+        };
+        Lease {
+            job: job_id,
+            lease,
+            shard,
+            shard_count: job.shard_count,
+            top_k: job.top_k,
+            flattener: Arc::clone(flattener),
+            evaluator: Arc::clone(evaluator),
+            incumbent: Arc::clone(&job.incumbent),
+            cancelled: Arc::clone(&job.cancelled),
+            deadline,
+            renew_interval: self.config.lease_timeout / 2,
+            hedged,
+        }
+    }
+
+    fn resolve_lease(&self, lease: LeaseId) -> Result<(JobId, usize)> {
         self.leases
             .get(&lease)
             .copied()
             .ok_or(ExploreError::StaleLease(lease))
+    }
+
+    fn append_record(&mut self, record: &JsonValue) -> Result<()> {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.append(record).map_err(ExploreError::Store)?;
+        }
+        Ok(())
     }
 
     /// Merges a batch delta into the lease's staged report and **renews the
@@ -422,14 +792,17 @@ impl JobRegistry {
     ///
     /// # Errors
     ///
-    /// [`ExploreError::StaleLease`] if the lease expired, was abandoned or its
-    /// job was cancelled; the caller must stop working on the shard.
+    /// [`ExploreError::StaleLease`] if the lease expired, was abandoned, lost
+    /// its shard to a hedge, or its job was cancelled; the caller must stop
+    /// working on the shard.
     pub fn report_batch(&mut self, lease: LeaseId, delta: ShardReport, now: Instant) -> Result<()> {
         let (job_id, shard) = self.resolve_lease(lease)?;
-        let deadline = now + self.lease_timeout;
+        let deadline = now + self.config.lease_timeout;
         let job = self.jobs.get_mut(&job_id).expect("lease resolves to job");
-        if let ShardSlot::Leased { deadline: slot, .. } = &mut job.shards[shard] {
-            *slot = deadline;
+        if let ShardSlot::Leased { holders } = &mut job.shards[shard] {
+            if let Some(holder) = holders.iter_mut().find(|holder| holder.lease == lease) {
+                holder.deadline = deadline;
+            }
         }
         let top_k = job.top_k;
         let staged = job.staged.entry(lease).or_default();
@@ -448,30 +821,82 @@ impl JobRegistry {
         Ok(())
     }
 
-    /// Completes the shard under `lease`: merges the final `delta`, commits
-    /// the staged report into the job aggregate and, when it was the last
-    /// shard, finishes the job.
+    /// Completes the shard under `lease`: merges the final `delta`,
+    /// write-ahead logs the staged report, commits it into the job aggregate
+    /// and, when it was the last shard, finishes the job (inserting the
+    /// committed result into the cache when the job is cacheable). Any other
+    /// leases on the same shard — hedges or hedged-over originals — turn
+    /// stale: **first commit wins**.
     ///
     /// Returns `true` when the job reached its terminal state with this call.
     ///
     /// # Errors
     ///
-    /// [`ExploreError::StaleLease`] as for [`report_batch`](Self::report_batch).
+    /// [`ExploreError::StaleLease`] as for [`report_batch`](Self::report_batch);
+    /// [`ExploreError::Store`] when the sink rejects the commit record. On a
+    /// store error **nothing has been mutated** — neither staged nor committed
+    /// state — so the lease stays live and retrying with the *same* `delta`
+    /// is safe (it will not double-count), as is abandoning the lease.
     pub fn complete_shard(
         &mut self,
         lease: LeaseId,
         delta: ShardReport,
         now: Instant,
     ) -> Result<bool> {
-        self.report_batch(lease, delta, now)?;
         let (job_id, shard) = self.resolve_lease(lease)?;
-        self.leases.remove(&lease);
+
+        // Write-ahead: the commit record goes to the sink before any in-memory
+        // state changes, so a crash on either side of the append replays to a
+        // consistent census (shard uncommitted → re-run; committed → merged).
+        // The record is built from a *copy* of staged ∪ delta — a sink failure
+        // leaves staged untouched, which is what makes a same-delta retry safe.
+        if self.sink.is_some() {
+            let job = self.jobs.get(&job_id).expect("lease resolves to job");
+            let mut full = job.staged.get(&lease).cloned().unwrap_or_default();
+            full.merge(&delta, job.top_k);
+            let record = JsonValue::object([
+                ("t", JsonValue::string("shard")),
+                ("job", job_id.raw().to_json()),
+                ("shard", shard.to_json()),
+                ("report", full.to_json()),
+            ]);
+            self.append_record(&record)?;
+        }
+        self.report_batch(lease, delta, now)
+            .expect("lease resolved above and nothing in between can invalidate it");
+
         let job = self.jobs.get_mut(&job_id).expect("lease resolves to job");
         let staged = job.staged.remove(&lease).unwrap_or_default();
         let top_k = job.top_k;
         job.committed.merge(&staged, top_k);
+
+        // First-commit-wins: every holder of this shard is retired; the
+        // losers' future flushes get StaleLease and their staged partials die.
+        let mut winner_started = None;
+        let mut earliest_started = None;
+        if let ShardSlot::Leased { holders } = &job.shards[shard] {
+            earliest_started = holders.iter().map(|holder| holder.started).min();
+            for holder in holders {
+                if holder.lease == lease {
+                    winner_started = Some(holder.started);
+                } else {
+                    self.leases.remove(&holder.lease);
+                    job.staged.remove(&holder.lease);
+                }
+            }
+        }
+        self.leases.remove(&lease);
         job.shards[shard] = ShardSlot::Done;
         job.shards_done += 1;
+        if let Some(started) = winner_started {
+            let duration = now.saturating_duration_since(started);
+            job.latencies
+                .record_ns(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+            if earliest_started.is_some_and(|earliest| started > earliest) {
+                job.hedge_wins += 1;
+            }
+        }
+
         let done = job.shards_done;
         let total = job.shard_count;
         job.emit(JobEvent::ShardCompleted {
@@ -481,42 +906,51 @@ impl JobRegistry {
         });
         if done == total {
             job.state = JobState::Completed;
-            let status = job.status(job_id, 0);
+            let cache_entry = job.digest.map(|digest| (digest, job.committed.to_json()));
+            let status = job.status(job_id);
             job.emit(JobEvent::Finished { status });
+            if let Some((digest, result)) = cache_entry {
+                self.cache.insert(digest, result);
+            }
             return Ok(true);
         }
         Ok(false)
     }
 
     /// Voluntarily returns a lease (worker shutting down): staged work is
-    /// discarded and the shard re-queued. A stale lease is a no-op.
+    /// discarded and, if no other lease holds the shard, the shard re-queued.
+    /// A stale lease is a no-op.
     pub fn abandon(&mut self, lease: LeaseId) {
         let Some((job_id, shard)) = self.leases.remove(&lease) else {
             return;
         };
         let job = self.jobs.get_mut(&job_id).expect("lease resolves to job");
         job.staged.remove(&lease);
-        if job.state == JobState::Running {
-            job.shards[shard] = ShardSlot::Pending;
-            self.queue.push_back((job_id, shard));
+        if let ShardSlot::Leased { holders } = &mut job.shards[shard] {
+            holders.retain(|holder| holder.lease != lease);
+            if holders.is_empty() && job.state == JobState::Running {
+                job.shards[shard] = ShardSlot::Pending;
+                self.scheduler
+                    .enqueue(&job.tenant, job.weight, (job_id.raw(), shard));
+            }
         }
     }
 
     /// Reclaims every lease whose deadline passed: staged partials are
-    /// dropped and the shards re-queued. Returns how many were reclaimed.
+    /// dropped and orphaned shards re-queued (a hedged shard with one live
+    /// holder left keeps running). Returns how many leases were reclaimed.
     pub fn expire(&mut self, now: Instant) -> usize {
         let expired: Vec<LeaseId> = self
-            .leases
-            .iter()
-            .filter(|(_, (job_id, shard))| {
-                self.jobs.get(job_id).is_some_and(|job| {
-                    matches!(
-                        job.shards[*shard],
-                        ShardSlot::Leased { deadline, .. } if deadline <= now
-                    )
-                })
+            .jobs
+            .values()
+            .flat_map(|job| job.shards.iter())
+            .filter_map(|slot| match slot {
+                ShardSlot::Leased { holders } => Some(holders.iter()),
+                _ => None,
             })
-            .map(|(lease, _)| *lease)
+            .flatten()
+            .filter(|holder| holder.deadline <= now)
+            .map(|holder| holder.lease)
             .collect();
         for lease in &expired {
             self.abandon(*lease);
@@ -532,37 +966,47 @@ impl JobRegistry {
     ///
     /// # Errors
     ///
-    /// [`ExploreError::UnknownJob`] for an unknown id.
+    /// [`ExploreError::UnknownJob`] for an unknown id; [`ExploreError::Store`]
+    /// when the sink rejects the cancel record (the job then stays running).
     pub fn cancel(&mut self, job_id: JobId) -> Result<JobStatus> {
         let job = self
             .jobs
-            .get_mut(&job_id)
+            .get(&job_id)
             .ok_or(ExploreError::UnknownJob(job_id))?;
-        if job.state == JobState::Running {
-            job.state = JobState::Cancelled;
-            job.cancelled.store(true, Ordering::Relaxed);
-            job.staged.clear();
-            let stale: Vec<LeaseId> = self
-                .leases
-                .iter()
-                .filter(|(_, (owner, _))| *owner == job_id)
-                .map(|(lease, _)| *lease)
-                .collect();
-            for lease in stale {
-                self.leases.remove(&lease);
-            }
-            let status = self
-                .jobs
-                .get(&job_id)
-                .expect("job still present")
-                .status(job_id, 0);
-            let job = self.jobs.get_mut(&job_id).expect("job still present");
-            job.emit(JobEvent::Finished {
-                status: status.clone(),
-            });
-            return Ok(status);
+        if job.state != JobState::Running {
+            return self.poll(job_id);
         }
-        self.poll(job_id)
+        if self.sink.is_some() {
+            let record = JsonValue::object([
+                ("t", JsonValue::string("cancel")),
+                ("job", job_id.raw().to_json()),
+            ]);
+            self.append_record(&record)?;
+        }
+        let job = self.jobs.get_mut(&job_id).expect("job still present");
+        job.state = JobState::Cancelled;
+        job.cancelled.store(true, Ordering::Relaxed);
+        job.staged.clear();
+        let stale: Vec<LeaseId> = self
+            .leases
+            .iter()
+            .filter(|(_, (owner, _))| *owner == job_id)
+            .map(|(lease, _)| *lease)
+            .collect();
+        for lease in stale {
+            self.leases.remove(&lease);
+        }
+        let job = self.jobs.get_mut(&job_id).expect("job still present");
+        for slot in &mut job.shards {
+            if matches!(slot, ShardSlot::Leased { .. }) {
+                *slot = ShardSlot::Pending;
+            }
+        }
+        let status = job.status(job_id);
+        job.emit(JobEvent::Finished {
+            status: status.clone(),
+        });
+        Ok(status)
     }
 
     /// A point-in-time snapshot of the job.
@@ -575,12 +1019,7 @@ impl JobRegistry {
             .jobs
             .get(&job_id)
             .ok_or(ExploreError::UnknownJob(job_id))?;
-        let in_flight = self
-            .leases
-            .values()
-            .filter(|(owner, _)| *owner == job_id)
-            .count();
-        Ok(job.status(job_id, in_flight))
+        Ok(job.status(job_id))
     }
 
     /// Subscribes to the job's event stream. Events already in the past are
@@ -590,18 +1029,13 @@ impl JobRegistry {
     ///
     /// [`ExploreError::UnknownJob`] for an unknown id.
     pub fn subscribe(&mut self, job_id: JobId) -> Result<mpsc::Receiver<JobEvent>> {
-        let in_flight = self
-            .leases
-            .values()
-            .filter(|(owner, _)| *owner == job_id)
-            .count();
         let job = self
             .jobs
             .get_mut(&job_id)
             .ok_or(ExploreError::UnknownJob(job_id))?;
         let (sender, receiver) = mpsc::channel();
         if job.state.is_terminal() {
-            let status = job.status(job_id, in_flight);
+            let status = job.status(job_id);
             let _ = sender.send(JobEvent::Finished { status });
         } else {
             job.subscribers.push(sender);
@@ -613,13 +1047,382 @@ impl JobRegistry {
     pub fn job_ids(&self) -> Vec<JobId> {
         self.jobs.keys().copied().collect()
     }
+
+    /// The full durable state as one snapshot value (jobs, cache, id
+    /// counter): what [`restore`](Self::restore) consumes and the compaction
+    /// path hands to [`DurabilitySink::compact`].
+    pub fn durable_snapshot(&self) -> JsonValue {
+        JsonValue::object([
+            ("next_job", self.next_job.to_json()),
+            ("cache", self.cache.to_snapshot()),
+            (
+                "jobs",
+                JsonValue::Array(
+                    self.jobs
+                        .iter()
+                        .map(|(&id, job)| job.durable_summary(id))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Compacts the sink to the current durable snapshot (and syncs it to
+    /// stable storage). A no-op without a sink.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::Store`] when the sink fails.
+    pub fn compact_store(&mut self) -> Result<()> {
+        let snapshot = self.durable_snapshot();
+        if let Some(sink) = self.sink.as_mut() {
+            sink.compact(&snapshot).map_err(ExploreError::Store)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds registry state from a recovered snapshot plus the record tail
+    /// appended after it — the restart path. Must be called on a fresh
+    /// registry, **before** [`set_sink`](Self::set_sink) (replay must not
+    /// re-append its own records).
+    ///
+    /// Running jobs with a recipe are rebuilt through `rebuild` and their
+    /// non-committed shards requeued (in-flight leases did not survive the
+    /// crash; their staged work restarts from zero — exactly-once holds
+    /// because only committed shard reports were logged). Running jobs
+    /// without a recipe (in-process submissions) cannot be re-evaluated and
+    /// are restored as `Cancelled`, keeping their committed partial results.
+    /// The result cache is restored from the snapshot and re-fed from every
+    /// replayed completed job.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::Store`] when a record or snapshot is malformed
+    /// (checksums already passed in the WAL layer, so this means a version
+    /// mismatch, not corruption).
+    pub fn restore(
+        &mut self,
+        snapshot: Option<&JsonValue>,
+        records: &[JsonValue],
+        rebuild: &RebuildFn<'_>,
+    ) -> Result<RestoreStats> {
+        let corrupt = |message: String| ExploreError::Store(message);
+        let mut recovered: BTreeMap<u64, RecoveredJob> = BTreeMap::new();
+        let mut next_job = 0u64;
+
+        if let Some(snapshot) = snapshot {
+            next_job = snapshot
+                .get("next_job")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| corrupt("snapshot missing next_job".into()))?;
+            self.cache = ResultCache::from_snapshot(
+                snapshot
+                    .get("cache")
+                    .ok_or_else(|| corrupt("snapshot missing cache".into()))?,
+            )
+            .map_err(|e| corrupt(format!("snapshot cache: {e}")))?;
+            let jobs = snapshot
+                .get("jobs")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| corrupt("snapshot missing jobs".into()))?;
+            for summary in jobs {
+                let job = RecoveredJob::from_summary(summary).map_err(corrupt)?;
+                recovered.insert(job.id, job);
+            }
+        }
+
+        for record in records {
+            let kind = record
+                .get("t")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| corrupt("record missing t".into()))?;
+            let job_id = record
+                .get("job")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| corrupt(format!("{kind} record missing job")))?;
+            match kind {
+                "submit" => {
+                    let job = RecoveredJob::from_summary(record).map_err(corrupt)?;
+                    next_job = next_job.max(job_id + 1);
+                    recovered.insert(job_id, job);
+                }
+                "shard" => {
+                    let job = recovered
+                        .get_mut(&job_id)
+                        .ok_or_else(|| corrupt(format!("shard record for unknown job {job_id}")))?;
+                    let shard = record
+                        .get("shard")
+                        .and_then(JsonValue::as_usize)
+                        .ok_or_else(|| corrupt("shard record missing shard".into()))?;
+                    let report = ShardReport::from_json(
+                        record
+                            .get("report")
+                            .ok_or_else(|| corrupt("shard record missing report".into()))?,
+                    )
+                    .map_err(|e| corrupt(format!("shard record report: {e}")))?;
+                    if job.done.insert(shard) {
+                        job.committed.merge(&report, job.top_k);
+                    }
+                    if job.done.len() == job.shard_count && job.state == JobState::Running {
+                        job.state = JobState::Completed;
+                    }
+                }
+                "cancel" => {
+                    let job = recovered.get_mut(&job_id).ok_or_else(|| {
+                        corrupt(format!("cancel record for unknown job {job_id}"))
+                    })?;
+                    if job.state == JobState::Running {
+                        job.state = JobState::Cancelled;
+                    }
+                }
+                other => return Err(corrupt(format!("unknown record type `{other}`"))),
+            }
+        }
+
+        let mut stats = RestoreStats::default();
+        for (raw, mut job) in recovered {
+            let id = JobId(raw);
+            stats.jobs += 1;
+            // Completed cacheable jobs re-feed the cache (idempotent for
+            // snapshot-covered entries, necessary for replayed ones).
+            if job.state == JobState::Completed && !job.cache_hit {
+                if let Some(digest) = job.digest {
+                    self.cache.insert(digest, job.committed.to_json());
+                }
+            }
+            let mut engine = JobEngine::Archived;
+            if job.state == JobState::Running {
+                let rebuilt = job
+                    .recipe
+                    .as_ref()
+                    .map(rebuild)
+                    .transpose()
+                    .ok()
+                    .flatten()
+                    .and_then(|(system, evaluator)| {
+                        let flattener = Flattener::new(&system).ok()?;
+                        (flattener.space().count() == job.combinations)
+                            .then_some((Arc::new(flattener), evaluator))
+                    });
+                match rebuilt {
+                    Some((flattener, evaluator)) => {
+                        stats.resumed += 1;
+                        for shard in 0..job.shard_count {
+                            if !job.done.contains(&shard) {
+                                stats.requeued_shards += 1;
+                                self.scheduler
+                                    .enqueue(&job.tenant, job.weight, (raw, shard));
+                            }
+                        }
+                        engine = JobEngine::Live {
+                            flattener,
+                            evaluator,
+                        };
+                    }
+                    None => {
+                        stats.unrecoverable += 1;
+                        job.state = JobState::Cancelled;
+                    }
+                }
+            }
+            let incumbent = job.committed.best().map_or(u64::MAX, |best| best.cost);
+            let shards = (0..job.shard_count)
+                .map(|shard| {
+                    if job.done.contains(&shard) {
+                        ShardSlot::Done
+                    } else {
+                        ShardSlot::Pending
+                    }
+                })
+                .collect();
+            self.jobs.insert(
+                id,
+                Job {
+                    name: job.name,
+                    tenant: job.tenant,
+                    weight: job.weight,
+                    use_cache: job.use_cache,
+                    shard_count: job.shard_count,
+                    top_k: job.top_k,
+                    combinations: job.combinations,
+                    engine,
+                    incumbent: Arc::new(AtomicU64::new(incumbent)),
+                    cancelled: Arc::new(AtomicBool::new(job.state == JobState::Cancelled)),
+                    state: job.state,
+                    shards,
+                    shards_done: job.done.len(),
+                    staged: HashMap::new(),
+                    committed: job.committed,
+                    best_seen: None,
+                    subscribers: Vec::new(),
+                    digest: job.digest,
+                    recipe: job.recipe,
+                    cache_hit: job.cache_hit,
+                    hedges_issued: job.hedges_issued,
+                    hedge_wins: job.hedge_wins,
+                    latencies: LatencyTracker::new(),
+                },
+            );
+        }
+        self.next_job = next_job.max(
+            self.jobs
+                .keys()
+                .next_back()
+                .map_or(0, |last| last.raw() + 1),
+        );
+        stats.cache_entries = self.cache.len();
+        Ok(stats)
+    }
+}
+
+/// The content address of a submission, when it is cacheable: requires a
+/// recipe naming the system (the space alone underdetermines the flattened
+/// graphs the evaluator sees) and a canonical evaluator spec.
+fn cache_digest(
+    recipe: Option<&JsonValue>,
+    space_json: &JsonValue,
+    evaluator_spec: Option<JsonValue>,
+) -> Option<Digest> {
+    let system = recipe?.get("system")?;
+    let spec = evaluator_spec?;
+    Some(digest_json(&JsonValue::object([
+        ("system", system.clone()),
+        ("space", space_json.clone()),
+        ("evaluator", spec),
+    ])))
+}
+
+fn submit_record(id: JobId, job: &Job) -> JsonValue {
+    let mut members = vec![
+        ("t".to_string(), JsonValue::string("submit")),
+        ("job".to_string(), id.raw().to_json()),
+        ("name".to_string(), job.name.to_json()),
+        ("tenant".to_string(), job.tenant.to_json()),
+        ("weight".to_string(), JsonValue::Int(i128::from(job.weight))),
+        ("use_cache".to_string(), JsonValue::Bool(job.use_cache)),
+        ("shards".to_string(), job.shard_count.to_json()),
+        ("top_k".to_string(), job.top_k.to_json()),
+        ("combinations".to_string(), job.combinations.to_json()),
+        (
+            "digest".to_string(),
+            job.digest
+                .as_ref()
+                .map(ToJson::to_json)
+                .unwrap_or(JsonValue::Null),
+        ),
+        (
+            "recipe".to_string(),
+            job.recipe.clone().unwrap_or(JsonValue::Null),
+        ),
+        ("cache_hit".to_string(), JsonValue::Bool(job.cache_hit)),
+        ("state".to_string(), JsonValue::string(job.state.as_wire())),
+    ];
+    if job.cache_hit || job.state.is_terminal() {
+        members.push(("committed".to_string(), job.committed.to_json()));
+    }
+    JsonValue::Object(members)
+}
+
+/// Intermediate per-job state while replaying snapshot + records.
+struct RecoveredJob {
+    id: u64,
+    name: String,
+    tenant: String,
+    weight: u32,
+    use_cache: bool,
+    shard_count: usize,
+    top_k: usize,
+    combinations: usize,
+    digest: Option<Digest>,
+    recipe: Option<JsonValue>,
+    cache_hit: bool,
+    state: JobState,
+    done: std::collections::BTreeSet<usize>,
+    committed: ShardReport,
+    hedges_issued: u64,
+    hedge_wins: u64,
+}
+
+impl RecoveredJob {
+    /// Parses either a snapshot job summary or a submit record — the two
+    /// share every field this needs (`durable_summary` and `submit_record`
+    /// are kept aligned).
+    fn from_summary(value: &JsonValue) -> std::result::Result<RecoveredJob, String> {
+        let field_u64 = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("job summary missing {name}"))
+        };
+        let field_str = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("job summary missing {name}"))
+        };
+        let state = JobState::from_wire(field_str("state")?)
+            .ok_or_else(|| "job summary has unknown state".to_string())?;
+        let digest = match value.get("digest") {
+            None | Some(JsonValue::Null) => None,
+            Some(other) => Some(Digest::from_json(other).map_err(|e| format!("job digest: {e}"))?),
+        };
+        let recipe = match value.get("recipe") {
+            None | Some(JsonValue::Null) => None,
+            Some(other) => Some(other.clone()),
+        };
+        let done: std::collections::BTreeSet<usize> = match value.get("done") {
+            None => std::collections::BTreeSet::new(),
+            Some(list) => Vec::<usize>::from_json(list)
+                .map_err(|e| format!("job done list: {e}"))?
+                .into_iter()
+                .collect(),
+        };
+        let committed = match value.get("committed") {
+            None => ShardReport::default(),
+            Some(report) => {
+                ShardReport::from_json(report).map_err(|e| format!("job committed: {e}"))?
+            }
+        };
+        Ok(RecoveredJob {
+            id: field_u64("job")?,
+            name: field_str("name")?.to_string(),
+            tenant: field_str("tenant")?.to_string(),
+            weight: u32::try_from(field_u64("weight")?).unwrap_or(1).max(1),
+            use_cache: value
+                .get("use_cache")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(true),
+            shard_count: field_u64("shards")? as usize,
+            top_k: (field_u64("top_k")? as usize).max(1),
+            combinations: field_u64("combinations")? as usize,
+            digest,
+            recipe,
+            cache_hit: value
+                .get("cache_hit")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
+            state,
+            done,
+            committed,
+            hedges_issued: value
+                .get("hedges_issued")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            hedge_wins: value
+                .get("hedge_wins")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::durability::test_sinks::MemorySink;
     use crate::evaluator::{Evaluation, FnEvaluator};
     use spi_workloads::scaling_system;
+    use std::sync::Mutex;
 
     fn test_evaluator() -> Arc<dyn Evaluator> {
         Arc::new(FnEvaluator::new(|index, _choice, _graph| {
@@ -641,6 +1444,7 @@ mod tests {
                     name: "t".into(),
                     shard_count: shards,
                     top_k: 4,
+                    ..JobSpec::default()
                 },
                 test_evaluator(),
             )
@@ -683,6 +1487,8 @@ mod tests {
         let status = registry.poll(id).unwrap();
         assert_eq!(status.state, JobState::Completed);
         assert_eq!(status.report.evaluated, 4);
+        assert_eq!(status.tenant, "default");
+        assert!(!status.cache_hit);
     }
 
     #[test]
@@ -845,5 +1651,494 @@ mod tests {
             registry.subscribe(ghost),
             Err(ExploreError::UnknownJob(_))
         ));
+    }
+
+    // --- fair scheduling -----------------------------------------------------------
+
+    #[test]
+    fn late_tenant_interleaves_instead_of_queuing_behind_the_whale() {
+        let system = scaling_system(6, 2).unwrap(); // 64 combinations
+        let small = scaling_system(3, 2).unwrap(); // 8 combinations
+        let mut registry = JobRegistry::new(Duration::from_secs(30));
+        let whale = registry
+            .submit(
+                &system,
+                JobSpec {
+                    name: "whale".into(),
+                    tenant: "whale".into(),
+                    shard_count: 32,
+                    ..JobSpec::default()
+                },
+                test_evaluator(),
+            )
+            .unwrap();
+        let minnow = registry
+            .submit(
+                &small,
+                JobSpec {
+                    name: "minnow".into(),
+                    tenant: "minnow".into(),
+                    shard_count: 4,
+                    ..JobSpec::default()
+                },
+                test_evaluator(),
+            )
+            .unwrap();
+        // Drain serially; count whale dispatches before the minnow finishes.
+        let now = Instant::now();
+        let mut whale_before_minnow_done = 0;
+        loop {
+            let lease = registry.lease(now).unwrap();
+            if lease.job == whale {
+                whale_before_minnow_done += 1;
+            }
+            registry
+                .complete_shard(lease.lease, report_with(lease.shard, 5), now)
+                .unwrap();
+            if registry.poll(minnow).unwrap().state.is_terminal() {
+                break;
+            }
+        }
+        // Equal weights → strict alternation: the minnow's 4 shards finish
+        // within ~5 whale dispatches, not after all 32.
+        assert!(
+            whale_before_minnow_done <= 5,
+            "whale got {whale_before_minnow_done} dispatches before the minnow finished"
+        );
+        // The whale still completes fully afterwards.
+        while let Some(lease) = registry.lease(now) {
+            registry
+                .complete_shard(lease.lease, report_with(lease.shard, 5), now)
+                .unwrap();
+        }
+        assert_eq!(registry.poll(whale).unwrap().state, JobState::Completed);
+        assert_eq!(registry.poll(whale).unwrap().report.evaluated, 32);
+    }
+
+    // --- hedged re-leasing ---------------------------------------------------------
+
+    /// Registry with one 4-shard job and hedging tuned for the test clock.
+    fn hedging_registry() -> (JobRegistry, JobId) {
+        let system = scaling_system(3, 2).unwrap(); // 8 combinations
+        let mut registry = JobRegistry::with_config(RegistryConfig {
+            lease_timeout: Duration::from_secs(1000),
+            hedge: HedgeConfig {
+                enabled: true,
+                quantile_pct: 50,
+                multiplier_pct: 200,
+                min_samples: 3,
+                max_hedges: 1,
+            },
+        });
+        let id = registry
+            .submit(
+                &system,
+                JobSpec {
+                    name: "hedge".into(),
+                    shard_count: 4,
+                    top_k: 8,
+                    ..JobSpec::default()
+                },
+                test_evaluator(),
+            )
+            .unwrap();
+        (registry, id)
+    }
+
+    #[test]
+    fn straggler_shard_gets_a_hedge_and_first_commit_wins() {
+        let (mut registry, id) = hedging_registry();
+        let t0 = Instant::now();
+        // Lease all four shards; complete three quickly (1s each), leave one
+        // straggling.
+        let leases: Vec<Lease> = (0..4).map(|_| registry.lease(t0).unwrap()).collect();
+        let t1 = t0 + Duration::from_secs(1);
+        for lease in &leases[..3] {
+            registry
+                .complete_shard(lease.lease, report_with(lease.shard, 10), t1)
+                .unwrap();
+        }
+        // p50 of {1s,1s,1s} = 1s, threshold 2s: at t0+1s the straggler is not
+        // yet overdue...
+        assert!(
+            registry.lease(t1).is_none(),
+            "no hedge before the threshold"
+        );
+        // ... at t0+3s it is.
+        let t3 = t0 + Duration::from_secs(3);
+        let hedge = registry.lease(t3).expect("straggler gets a hedge");
+        assert!(hedge.hedged);
+        assert_eq!(hedge.shard, leases[3].shard);
+        assert_eq!(registry.poll(id).unwrap().hedges_issued, 1);
+        // Only one hedge per shard (max_hedges = 1).
+        assert!(registry.lease(t3).is_none());
+
+        // The hedge commits first and wins the shard.
+        registry
+            .complete_shard(hedge.lease, report_with(hedge.shard, 3), t3)
+            .unwrap();
+        let status = registry.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Completed);
+        assert_eq!(status.report.evaluated, 4, "exactly-once accounting holds");
+        assert_eq!(status.hedge_wins, 1);
+        // The hedged-over original is stale now.
+        assert!(matches!(
+            registry.complete_shard(leases[3].lease, report_with(9, 1), t3),
+            Err(ExploreError::StaleLease(_))
+        ));
+    }
+
+    #[test]
+    fn original_lease_beating_its_hedge_is_not_a_hedge_win() {
+        let (mut registry, id) = hedging_registry();
+        let t0 = Instant::now();
+        let leases: Vec<Lease> = (0..4).map(|_| registry.lease(t0).unwrap()).collect();
+        let t1 = t0 + Duration::from_secs(1);
+        for lease in &leases[..3] {
+            registry
+                .complete_shard(lease.lease, report_with(lease.shard, 10), t1)
+                .unwrap();
+        }
+        let t3 = t0 + Duration::from_secs(3);
+        let hedge = registry.lease(t3).expect("straggler gets a hedge");
+        // The original wakes up and commits first: hedge turns stale.
+        registry
+            .complete_shard(leases[3].lease, report_with(leases[3].shard, 2), t3)
+            .unwrap();
+        let status = registry.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Completed);
+        assert_eq!(status.report.evaluated, 4);
+        assert_eq!(status.hedges_issued, 1);
+        assert_eq!(status.hedge_wins, 0);
+        assert!(matches!(
+            registry.complete_shard(hedge.lease, report_with(9, 1), t3),
+            Err(ExploreError::StaleLease(_))
+        ));
+    }
+
+    #[test]
+    fn expired_hedge_leaves_the_original_running() {
+        let (mut registry, id) = hedging_registry();
+        let t0 = Instant::now();
+        let leases: Vec<Lease> = (0..4).map(|_| registry.lease(t0).unwrap()).collect();
+        let t1 = t0 + Duration::from_secs(1);
+        for lease in &leases[..3] {
+            registry
+                .complete_shard(lease.lease, report_with(lease.shard, 10), t1)
+                .unwrap();
+        }
+        let t3 = t0 + Duration::from_secs(3);
+        let hedge = registry.lease(t3).expect("hedge granted");
+        // Keep the original alive with batches while the hedge goes silent
+        // past its deadline.
+        let expiry = t3 + Duration::from_secs(1001);
+        registry
+            .report_batch(leases[3].lease, ShardReport::default(), expiry)
+            .unwrap();
+        assert_eq!(registry.expire(expiry), 1, "only the silent hedge expires");
+        assert!(matches!(
+            registry.report_batch(hedge.lease, ShardReport::default(), expiry),
+            Err(ExploreError::StaleLease(_))
+        ));
+        // The shard is still leased (not requeued): the original completes it.
+        registry
+            .complete_shard(leases[3].lease, report_with(leases[3].shard, 1), expiry)
+            .unwrap();
+        let status = registry.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Completed);
+        assert_eq!(status.report.evaluated, 4);
+    }
+
+    // --- result cache + durability ---------------------------------------------------
+
+    fn cacheable_evaluator(counter: Arc<AtomicU64>) -> Arc<dyn Evaluator> {
+        Arc::new(
+            FnEvaluator::new(move |index, _choice, _graph| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                Ok(Evaluation {
+                    cost: (index as u64 * 7) % 31,
+                    feasible: true,
+                    detail: String::new(),
+                })
+            })
+            .with_spec(JsonValue::object([("kind", JsonValue::string("counting"))])),
+        )
+    }
+
+    fn recipe_for(interfaces: usize) -> JsonValue {
+        JsonValue::object([(
+            "system",
+            JsonValue::object([(
+                "scaling",
+                JsonValue::object([
+                    ("interfaces", interfaces.to_json()),
+                    ("clusters", 2usize.to_json()),
+                ]),
+            )]),
+        )])
+    }
+
+    #[test]
+    fn identical_resubmission_is_served_from_the_cache() {
+        let system = scaling_system(3, 2).unwrap(); // 8 combinations
+        let counter = Arc::new(AtomicU64::new(0));
+        let evaluator = cacheable_evaluator(Arc::clone(&counter));
+        let mut registry = JobRegistry::new(Duration::from_secs(30));
+        let now = Instant::now();
+
+        let first = registry
+            .submit_with_recipe(
+                &system,
+                JobSpec::default(),
+                Arc::clone(&evaluator),
+                Some(recipe_for(3)),
+            )
+            .unwrap();
+        while let Some(lease) = registry.lease(now) {
+            registry
+                .complete_shard(
+                    lease.lease,
+                    report_with(lease.shard, lease.shard as u64),
+                    now,
+                )
+                .unwrap();
+        }
+        let first_status = registry.poll(first).unwrap();
+        assert_eq!(first_status.state, JobState::Completed);
+        assert_eq!(registry.cache_stats().0, 1, "completion fed the cache");
+
+        // Identical resubmission: served at birth, no lease ever granted.
+        let second = registry
+            .submit_with_recipe(
+                &system,
+                JobSpec::default(),
+                Arc::clone(&evaluator),
+                Some(recipe_for(3)),
+            )
+            .unwrap();
+        let status = registry.poll(second).unwrap();
+        assert_eq!(status.state, JobState::Completed);
+        assert!(status.cache_hit);
+        assert_eq!(status.report.evaluated, 0, "no worker evaluation ran");
+        assert_eq!(status.shard_count, 0);
+        assert_eq!(
+            status.best().map(|b| (b.cost, b.index)),
+            first_status.best().map(|b| (b.cost, b.index)),
+            "the cached optimum is served"
+        );
+        assert!(registry.lease(now).is_none(), "worker pool untouched");
+
+        // A different recipe (different system) misses.
+        let other = scaling_system(2, 2).unwrap();
+        let third = registry
+            .submit_with_recipe(&other, JobSpec::default(), evaluator, Some(recipe_for(2)))
+            .unwrap();
+        assert!(!registry.poll(third).unwrap().cache_hit);
+
+        // use_cache: false bypasses the lookup.
+        let fourth = registry
+            .submit_with_recipe(
+                &system,
+                JobSpec {
+                    use_cache: false,
+                    ..JobSpec::default()
+                },
+                cacheable_evaluator(Arc::new(AtomicU64::new(0))),
+                Some(recipe_for(3)),
+            )
+            .unwrap();
+        assert!(!registry.poll(fourth).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn commits_are_write_ahead_and_sink_failures_abort_them() {
+        let system = scaling_system(3, 2).unwrap();
+        let records = Arc::new(Mutex::new(Vec::new()));
+        let mut registry = JobRegistry::new(Duration::from_secs(30));
+        registry.set_sink(Box::new(MemorySink {
+            records: Arc::clone(&records),
+            fail: false,
+        }));
+        let id = registry
+            .submit(
+                &system,
+                JobSpec {
+                    shard_count: 2,
+                    ..JobSpec::default()
+                },
+                test_evaluator(),
+            )
+            .unwrap();
+        let now = Instant::now();
+        let lease = registry.lease(now).unwrap();
+        registry
+            .complete_shard(lease.lease, report_with(lease.shard, 5), now)
+            .unwrap();
+        {
+            let seen = records.lock().unwrap();
+            assert_eq!(seen.len(), 2, "submit + shard commit recorded");
+            assert_eq!(seen[0].get("t").unwrap().as_str(), Some("submit"));
+            assert_eq!(seen[1].get("t").unwrap().as_str(), Some("shard"));
+        }
+
+        // A failing sink vetoes the commit: the lease stays live, nothing
+        // merges (not even staged state), and retrying with the *same* delta
+        // once the sink heals neither loses nor double-counts it.
+        registry.set_sink(Box::new(MemorySink {
+            records: Arc::clone(&records),
+            fail: true,
+        }));
+        let lease = registry.lease(now).unwrap();
+        let delta = report_with(lease.shard, 5);
+        assert!(matches!(
+            registry.complete_shard(lease.lease, delta.clone(), now),
+            Err(ExploreError::Store(_))
+        ));
+        assert_eq!(registry.poll(id).unwrap().shards_done, 1);
+        assert_eq!(
+            registry.poll(id).unwrap().report.evaluated,
+            1,
+            "a vetoed commit must not stage its delta"
+        );
+        registry.set_sink(Box::new(MemorySink {
+            records: Arc::clone(&records),
+            fail: false,
+        }));
+        assert!(registry.complete_shard(lease.lease, delta, now).unwrap());
+        let status = registry.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Completed);
+        assert_eq!(status.report.evaluated, 2, "same-delta retry counts once");
+
+        // Cancel on a failing sink is refused too.
+        registry.set_sink(Box::new(MemorySink {
+            records: Arc::clone(&records),
+            fail: true,
+        }));
+        let running = registry
+            .submit(&system, JobSpec::default(), test_evaluator())
+            .err();
+        assert!(matches!(running, Some(ExploreError::Store(_))));
+    }
+
+    #[test]
+    fn snapshot_and_records_restore_to_the_same_census() {
+        let system = scaling_system(3, 2).unwrap(); // 8 combinations
+        let records = Arc::new(Mutex::new(Vec::new()));
+        let mut registry = JobRegistry::new(Duration::from_secs(30));
+        registry.set_sink(Box::new(MemorySink {
+            records: Arc::clone(&records),
+            fail: false,
+        }));
+        let evaluator = cacheable_evaluator(Arc::new(AtomicU64::new(0)));
+        let id = registry
+            .submit_with_recipe(
+                &system,
+                JobSpec {
+                    shard_count: 4,
+                    ..JobSpec::default()
+                },
+                evaluator,
+                Some(recipe_for(3)),
+            )
+            .unwrap();
+        let now = Instant::now();
+        // Commit two of four shards, then "crash".
+        for _ in 0..2 {
+            let lease = registry.lease(now).unwrap();
+            registry
+                .complete_shard(
+                    lease.lease,
+                    report_with(lease.shard, lease.shard as u64),
+                    now,
+                )
+                .unwrap();
+        }
+        let committed_before = registry.poll(id).unwrap().report.clone();
+        let snapshot = registry.durable_snapshot();
+
+        // Restore from snapshot only (records compacted away).
+        let rebuild: &RebuildFn<'_> = &|recipe: &JsonValue| {
+            let interfaces = recipe
+                .get("system")
+                .and_then(|s| s.get("scaling"))
+                .and_then(|s| s.get("interfaces"))
+                .and_then(JsonValue::as_usize)
+                .unwrap();
+            Ok((
+                scaling_system(interfaces, 2).unwrap(),
+                cacheable_evaluator(Arc::new(AtomicU64::new(0))) as Arc<dyn Evaluator>,
+            ))
+        };
+        let mut recovered = JobRegistry::new(Duration::from_secs(30));
+        let stats = recovered.restore(Some(&snapshot), &[], rebuild).unwrap();
+        assert_eq!(stats.jobs, 1);
+        assert_eq!(stats.resumed, 1);
+        assert_eq!(stats.requeued_shards, 2);
+        assert_eq!(recovered.poll(id).unwrap().report, committed_before);
+
+        // Restore from raw records only (no snapshot) agrees.
+        let raw = records.lock().unwrap().clone();
+        let mut replayed = JobRegistry::new(Duration::from_secs(30));
+        let stats = replayed.restore(None, &raw, rebuild).unwrap();
+        assert_eq!(stats.resumed, 1);
+        assert_eq!(replayed.poll(id).unwrap().report, committed_before);
+
+        // Finishing the recovered registry yields the exact census.
+        while let Some(lease) = recovered.lease(now) {
+            recovered
+                .complete_shard(
+                    lease.lease,
+                    report_with(lease.shard, lease.shard as u64),
+                    now,
+                )
+                .unwrap();
+        }
+        let status = recovered.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Completed);
+        assert_eq!(status.report.evaluated, 4);
+        // Completion fed the restored cache.
+        assert_eq!(recovered.cache_stats().0, 1);
+        // Fresh submissions continue the id sequence without collision.
+        let fresh = recovered
+            .submit(&system, JobSpec::default(), test_evaluator())
+            .unwrap();
+        assert!(fresh.raw() > id.raw());
+    }
+
+    #[test]
+    fn running_job_without_a_recipe_restores_as_cancelled_with_its_results() {
+        let system = scaling_system(3, 2).unwrap();
+        let records = Arc::new(Mutex::new(Vec::new()));
+        let mut registry = JobRegistry::new(Duration::from_secs(30));
+        registry.set_sink(Box::new(MemorySink {
+            records: Arc::clone(&records),
+            fail: false,
+        }));
+        let id = registry
+            .submit(
+                &system,
+                JobSpec {
+                    shard_count: 4,
+                    ..JobSpec::default()
+                },
+                test_evaluator(),
+            )
+            .unwrap();
+        let now = Instant::now();
+        let lease = registry.lease(now).unwrap();
+        registry
+            .complete_shard(lease.lease, report_with(lease.shard, 5), now)
+            .unwrap();
+
+        let raw = records.lock().unwrap().clone();
+        let mut recovered = JobRegistry::new(Duration::from_secs(30));
+        let rebuild: &RebuildFn<'_> =
+            &|_recipe: &JsonValue| Err(ExploreError::Workload("no rebuild".into()));
+        let stats = recovered.restore(None, &raw, rebuild).unwrap();
+        assert_eq!(stats.unrecoverable, 1);
+        let status = recovered.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Cancelled);
+        assert_eq!(status.report.evaluated, 1, "committed partials survive");
+        assert!(recovered.lease(now).is_none());
     }
 }

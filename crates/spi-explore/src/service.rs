@@ -8,18 +8,36 @@
 //! channels (the offline environment has no async runtime; channels plus a
 //! blocking `wait` cover the same call patterns) — or across processes via
 //! the ndjson frontend in [`crate::wire`].
+//!
+//! With a [`ServiceConfig::store_dir`], the service becomes **durable**: the
+//! registry write-ahead logs every submit / shard commit / cancel to a
+//! [`spi_store::Wal`] in that directory, startup replays snapshot + records
+//! (resuming interrupted jobs from their pending shards), and the
+//! content-addressed result cache persists across restarts. [`quiesce`]
+//! drains in-flight leases and compacts the store — the clean-shutdown path
+//! `spi-explored` takes on EOF.
+//!
+//! [`quiesce`]: ExplorationService::quiesce
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use spi_store::sched::HedgeConfig;
+use spi_store::Wal;
 use spi_variants::VariantSystem;
 
+use crate::durability::WalSink;
 use crate::evaluator::Evaluator;
-use crate::registry::{JobEvent, JobId, JobRegistry, JobSpec, JobStatus, Lease};
+use crate::registry::{
+    JobEvent, JobId, JobRegistry, JobSpec, JobStatus, Lease, RegistryConfig, RestoreStats,
+};
+use crate::wire::rebuild_from_recipe;
 use crate::worker::{drain_lease, DrainOutcome, FlushResponse};
-use crate::Result;
+use crate::{ExploreError, Result};
+use spi_model::json::JsonValue;
 
 /// Tunables of an [`ExplorationService`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +49,11 @@ pub struct ServiceConfig {
     pub lease_timeout: Duration,
     /// Variants accounted per flushed batch.
     pub batch_size: usize,
+    /// Speculative re-leasing policy for straggler shards.
+    pub hedge: HedgeConfig,
+    /// Directory of the durable store (WAL + snapshot + result cache).
+    /// `None` keeps the service fully in-memory, as before.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -39,6 +62,8 @@ impl Default for ServiceConfig {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
             lease_timeout: Duration::from_secs(30),
             batch_size: 256,
+            hedge: HedgeConfig::default(),
+            store_dir: None,
         }
     }
 }
@@ -60,25 +85,63 @@ struct Inner {
     /// Signalled on shard completion / job termination, for [`wait`].
     progress: Condvar,
     shutdown: AtomicBool,
+    /// Set by [`ExplorationService::quiesce`]: workers finish the lease they
+    /// hold but take no new ones.
+    draining: AtomicBool,
     batch_size: usize,
 }
 
 /// A running exploration service; dropping it stops the worker pool (workers
 /// abandon in-flight shards, which re-queue for a future service over the
-/// same registry state — nothing is double-counted either way).
+/// same registry state — with a store, also durably).
 pub struct ExplorationService {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    restored: RestoreStats,
 }
 
 impl ExplorationService {
-    /// Starts the worker pool.
+    /// Starts the worker pool, recovering durable state first when the config
+    /// names a store directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store cannot be opened or replayed — a durable service
+    /// must not silently come up empty. Use [`try_start`](Self::try_start)
+    /// to handle store failures programmatically.
     pub fn start(config: ServiceConfig) -> Self {
+        Self::try_start(config).expect("store opens and replays")
+    }
+
+    /// Starts the worker pool; see [`start`](Self::start).
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::Store`] when the store directory cannot be opened,
+    /// its contents fail checksum validation, or replay finds malformed
+    /// records.
+    pub fn try_start(config: ServiceConfig) -> Result<Self> {
+        let mut registry = JobRegistry::with_config(RegistryConfig {
+            lease_timeout: config.lease_timeout,
+            hedge: config.hedge,
+        });
+        let mut restored = RestoreStats::default();
+        if let Some(dir) = &config.store_dir {
+            let (wal, recovered) =
+                Wal::open(dir).map_err(|e| ExploreError::Store(e.to_string()))?;
+            restored = registry.restore(
+                recovered.snapshot.as_ref(),
+                &recovered.records,
+                &rebuild_from_recipe,
+            )?;
+            registry.set_sink(Box::new(WalSink(wal)));
+        }
         let inner = Arc::new(Inner {
-            registry: Mutex::new(JobRegistry::new(config.lease_timeout)),
+            registry: Mutex::new(registry),
             work_available: Condvar::new(),
             progress: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             batch_size: config.batch_size.max(1),
         });
         let workers = (0..config.workers.max(1))
@@ -90,12 +153,21 @@ impl ExplorationService {
                     .expect("worker thread spawns")
             })
             .collect();
-        ExplorationService { inner, workers }
+        Ok(ExplorationService {
+            inner,
+            workers,
+            restored,
+        })
     }
 
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// What startup recovery restored from the store (zeroes without one).
+    pub fn restored(&self) -> RestoreStats {
+        self.restored
     }
 
     /// Submits a job; returns immediately with its id.
@@ -109,8 +181,27 @@ impl ExplorationService {
         spec: JobSpec,
         evaluator: Arc<dyn Evaluator>,
     ) -> Result<JobId> {
-        let id = self.registry().submit(system, spec, evaluator)?;
+        self.submit_with_recipe(system, spec, evaluator, None)
+    }
+
+    /// Submits a job carrying a construction recipe, making it recoverable
+    /// across restarts and (with a canonical evaluator spec) cacheable.
+    ///
+    /// # Errors
+    ///
+    /// As [`JobRegistry::submit_with_recipe`].
+    pub fn submit_with_recipe(
+        &self,
+        system: &VariantSystem,
+        spec: JobSpec,
+        evaluator: Arc<dyn Evaluator>,
+        recipe: Option<JsonValue>,
+    ) -> Result<JobId> {
+        let id = self
+            .registry()
+            .submit_with_recipe(system, spec, evaluator, recipe)?;
         self.inner.work_available.notify_all();
+        self.inner.progress.notify_all();
         Ok(id)
     }
 
@@ -142,6 +233,11 @@ impl ExplorationService {
             .into_iter()
             .filter_map(|id| registry.poll(id).ok())
             .collect()
+    }
+
+    /// `(entries, hits, misses)` of the content-addressed result cache.
+    pub fn cache_stats(&self) -> (usize, u64, u64) {
+        self.registry().cache_stats()
     }
 
     /// Subscribes to the job's event stream (improvements, shard completions,
@@ -176,6 +272,39 @@ impl ExplorationService {
         }
     }
 
+    /// The clean-shutdown path: stop taking new leases, let every in-flight
+    /// lease **drain to completion** (its staged report commits — nothing is
+    /// abandoned mid-drain), then compact the store to a synced snapshot.
+    /// Pending shards stay pending; with a store they resume on the next
+    /// start. Idempotent; the service keeps answering queries afterwards,
+    /// but its workers are permanently idle.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::Store`] when the final compaction fails (in-flight
+    /// work was still committed as far as the WAL allowed).
+    pub fn quiesce(&self) -> Result<()> {
+        self.inner.draining.store(true, Ordering::Relaxed);
+        self.inner.work_available.notify_all();
+        let mut registry = self.inner.registry.lock().expect("registry lock");
+        loop {
+            // Draining workers stop running expiry, so the quiesce loop takes
+            // it over — a lease orphaned by a dead or wedged worker must not
+            // hold the shutdown hostage (live drains keep renewing via their
+            // flushes and are unaffected).
+            registry.expire(Instant::now());
+            if registry.live_lease_count() == 0 {
+                return registry.compact_store();
+            }
+            let (guard, _) = self
+                .inner
+                .progress
+                .wait_timeout(registry, Duration::from_millis(10))
+                .expect("registry lock");
+            registry = guard;
+        }
+    }
+
     fn registry(&self) -> std::sync::MutexGuard<'_, JobRegistry> {
         self.inner.registry.lock().expect("registry lock")
     }
@@ -198,8 +327,14 @@ fn worker_loop(inner: &Inner) {
         }
         let lease = {
             let mut registry = inner.registry.lock().expect("registry lock");
-            registry.expire(Instant::now());
-            match registry.lease(Instant::now()) {
+            let draining = inner.draining.load(Ordering::Relaxed);
+            if !draining {
+                registry.expire(Instant::now());
+            }
+            match (!draining)
+                .then(|| registry.lease(Instant::now()))
+                .flatten()
+            {
                 Some(lease) => Some(lease),
                 None => {
                     // Idle-wait; the timeout re-checks lease expiry and
@@ -244,13 +379,26 @@ fn process_lease(inner: &Inner, lease: &Lease) {
             }
         },
     );
-    if outcome == DrainOutcome::Stopped {
-        // Service shutdown or job cancel: hand the shard back (a no-op for
-        // cancelled jobs, whose leases are already invalidated).
-        let mut registry = inner.registry.lock().expect("registry lock");
-        registry.abandon(lease.lease);
-        drop(registry);
-        inner.work_available.notify_all();
+    match outcome {
+        DrainOutcome::Stopped | DrainOutcome::Stale => {
+            // Stopped: service shutdown or job cancel. Stale: a flush was
+            // rejected — usually a genuinely stale lease (expired, hedged
+            // over), but also a *store* failure on the final commit, where
+            // the registry deliberately keeps the lease live. Abandon covers
+            // both: a no-op for truly stale leases, an immediate
+            // requeue-and-release for the store-failure case (instead of
+            // stalling the shard for a whole lease timeout — or hanging
+            // quiesce forever, since draining workers no longer expire).
+            let mut registry = inner.registry.lock().expect("registry lock");
+            registry.abandon(lease.lease);
+            drop(registry);
+            inner.work_available.notify_all();
+            inner.progress.notify_all();
+        }
+        DrainOutcome::Completed => {
+            // The lease is spent; quiesce may be waiting on it.
+            inner.progress.notify_all();
+        }
     }
 }
 
@@ -282,6 +430,7 @@ mod tests {
                     name: "drain".into(),
                     shard_count: 8,
                     top_k: 4,
+                    ..JobSpec::default()
                 },
                 index_cost_evaluator(),
             )
@@ -357,6 +506,7 @@ mod tests {
             workers: 2,
             lease_timeout: Duration::from_millis(50),
             batch_size: 10_000,
+            ..ServiceConfig::default()
         });
         let system = scaling_system(5, 2).unwrap(); // 32 variants
         let job = service
@@ -366,6 +516,7 @@ mod tests {
                     name: "slow-batch".into(),
                     shard_count: 1,
                     top_k: 4,
+                    ..JobSpec::default()
                 },
                 evaluator,
             )
@@ -395,5 +546,45 @@ mod tests {
             .submit(&system, JobSpec::default(), index_cost_evaluator())
             .unwrap();
         drop(service); // must not hang
+    }
+
+    #[test]
+    fn quiesce_commits_in_flight_leases_and_stops_new_ones() {
+        let evaluator = Arc::new(FnEvaluator::new(|index, _c, _g| {
+            std::thread::sleep(Duration::from_millis(3));
+            Ok(Evaluation {
+                cost: index as u64,
+                feasible: true,
+                detail: String::new(),
+            })
+        }));
+        let service = ExplorationService::start(ServiceConfig {
+            workers: 2,
+            batch_size: 2,
+            ..ServiceConfig::default()
+        });
+        let system = scaling_system(6, 2).unwrap(); // 64 variants
+        let job = service
+            .submit(
+                &system,
+                JobSpec {
+                    name: "quiesce".into(),
+                    shard_count: 16,
+                    top_k: 8,
+                    ..JobSpec::default()
+                },
+                evaluator,
+            )
+            .unwrap();
+        service.quiesce().unwrap();
+        let status = service.poll(job).unwrap();
+        assert_eq!(status.shards_in_flight, 0, "no lease survives a quiesce");
+        // Whatever was accounted is exactly the committed shards — in-flight
+        // drains completed their whole shard (4 variants each), nothing was
+        // torn mid-shard.
+        assert_eq!(status.report.accounted(), status.shards_done as u64 * 4);
+        // Quiesce is idempotent and the service still answers.
+        service.quiesce().unwrap();
+        assert!(service.poll(job).is_ok());
     }
 }

@@ -14,8 +14,14 @@
 //! ```
 //!
 //! Ops: `submit`, `poll`, `wait`, `top`, `jobs`, `cancel`, `shutdown`.
-//! Malformed requests answer `{"ok":false,"error":...}` and the stream
-//! continues; only `shutdown` (or EOF) ends [`serve`].
+//! `submit` also takes `tenant` (fair-queuing bucket), `weight` (its WFQ
+//! share) and `no_cache` (bypass the result cache); responses carry
+//! `cache_hit` so a client can tell a served-from-cache job (`evaluated` is
+//! then 0 and `top` is the cached optimum). Malformed requests answer
+//! `{"ok":false,"error":...}` and the stream continues; only `shutdown` (or
+//! EOF) ends [`serve`] — [`run_session`] then quiesces the service, so a
+//! closed stdin is a clean shutdown (in-flight shards commit, the store
+//! compacts), not an exit mid-drain.
 //!
 //! Systems are specified by **construction recipe** — `{"scaling":
 //! {"interfaces":k,"clusters":m}}`, a full `{"synthetic":{...}}` parameter
@@ -47,6 +53,10 @@ pub fn status_to_json(op: &str, status: &JobStatus) -> JsonValue {
         ("op", JsonValue::string(op)),
         ("job", status.job.raw().to_json()),
         ("name", status.name.to_json()),
+        ("tenant", status.tenant.to_json()),
+        ("cache_hit", JsonValue::Bool(status.cache_hit)),
+        ("hedges_issued", status.hedges_issued.to_json()),
+        ("hedge_wins", status.hedge_wins.to_json()),
         ("state", JsonValue::string(status.state.to_string())),
         ("combinations", status.combinations.to_json()),
         ("shards", status.shard_count.to_json()),
@@ -187,6 +197,29 @@ fn parse_params(value: &JsonValue) -> Result<TaskParamsSpec> {
     }
 }
 
+/// Rebuilds the `(system, evaluator)` of a stored submission recipe —
+/// `{"system": ..., "evaluator": ...}` as recorded by the `submit` op — using
+/// the same parsers the live wire uses. This is the [`RebuildFn`] the service
+/// hands to [`JobRegistry::restore`](crate::JobRegistry::restore) at startup.
+///
+/// # Errors
+///
+/// [`ExploreError::Protocol`] for unknown recipes, plus any construction
+/// error from the workloads layer.
+///
+/// [`RebuildFn`]: crate::registry::RebuildFn
+pub fn rebuild_from_recipe(
+    recipe: &JsonValue,
+) -> Result<(spi_variants::VariantSystem, Arc<dyn Evaluator>)> {
+    let system = parse_system(
+        recipe
+            .get("system")
+            .ok_or_else(|| ExploreError::Protocol("recipe missing `system`".into()))?,
+    )?;
+    let evaluator = parse_evaluator(recipe.get("evaluator"))?;
+    Ok((system, evaluator))
+}
+
 fn job_of(request: &JsonValue) -> Result<JobId> {
     request
         .get("job")
@@ -211,11 +244,10 @@ fn dispatch(service: &ExplorationService, request: &JsonValue) -> Result<JsonVal
         .ok_or_else(|| ExploreError::Protocol("`op` required".into()))?;
     match op {
         "submit" => {
-            let system = parse_system(
-                request
-                    .get("system")
-                    .ok_or_else(|| ExploreError::Protocol("`system` required".into()))?,
-            )?;
+            let system_value = request
+                .get("system")
+                .ok_or_else(|| ExploreError::Protocol("`system` required".into()))?;
+            let system = parse_system(system_value)?;
             let evaluator = parse_evaluator(request.get("evaluator"))?;
             let spec = JobSpec {
                 name: request
@@ -231,8 +263,35 @@ fn dispatch(service: &ExplorationService, request: &JsonValue) -> Result<JsonVal
                     .get("top_k")
                     .and_then(JsonValue::as_usize)
                     .unwrap_or_else(|| JobSpec::default().top_k),
+                tenant: request
+                    .get("tenant")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("default")
+                    .to_string(),
+                weight: request
+                    .get("weight")
+                    .and_then(JsonValue::as_u64)
+                    .and_then(|weight| u32::try_from(weight).ok())
+                    .unwrap_or(1)
+                    .max(1),
+                use_cache: !request
+                    .get("no_cache")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false),
             };
-            let job = service.submit(&system, spec, evaluator)?;
+            // The recipe makes the job durable (replayable after a restart)
+            // and content-addressable (cacheable): it is exactly the request's
+            // own construction description, echoed into the store.
+            let mut recipe = vec![("system".to_string(), system_value.clone())];
+            if let Some(evaluator_value) = request.get("evaluator") {
+                recipe.push(("evaluator".to_string(), evaluator_value.clone()));
+            }
+            let job = service.submit_with_recipe(
+                &system,
+                spec,
+                evaluator,
+                Some(JsonValue::Object(recipe)),
+            )?;
             let status = service.poll(job)?;
             Ok(JsonValue::object([
                 ("ok", JsonValue::Bool(true)),
@@ -240,6 +299,8 @@ fn dispatch(service: &ExplorationService, request: &JsonValue) -> Result<JsonVal
                 ("job", job.raw().to_json()),
                 ("combinations", status.combinations.to_json()),
                 ("shards", status.shard_count.to_json()),
+                ("cache_hit", JsonValue::Bool(status.cache_hit)),
+                ("state", JsonValue::string(status.state.to_string())),
             ]))
         }
         "poll" => Ok(status_to_json("poll", &service.poll(job_of(request)?)?)),
@@ -266,6 +327,14 @@ fn dispatch(service: &ExplorationService, request: &JsonValue) -> Result<JsonVal
         "jobs" => Ok(JsonValue::object([
             ("ok", JsonValue::Bool(true)),
             ("op", JsonValue::string("jobs")),
+            ("cache", {
+                let (entries, hits, misses) = service.cache_stats();
+                JsonValue::object([
+                    ("entries", entries.to_json()),
+                    ("hits", hits.to_json()),
+                    ("misses", misses.to_json()),
+                ])
+            }),
             (
                 "jobs",
                 JsonValue::Array(
@@ -325,6 +394,29 @@ pub fn serve<R: BufRead, W: Write>(
     Ok(())
 }
 
+/// The full `spi-explored` session: [`serve`] until shutdown or EOF, then
+/// **quiesce** — in-flight leases drain to completion (their staged reports
+/// commit) and the store compacts to a synced snapshot. This is what makes a
+/// closed stdin a *clean* shutdown instead of an exit mid-drain: pending
+/// shards stay durably pending and resume on the next start.
+///
+/// # Errors
+///
+/// Propagates I/O errors of the underlying streams; quiesce/store failures
+/// are reported on `stderr` rather than failing the session (the results
+/// that reached the WAL are already durable).
+pub fn run_session<R: BufRead, W: Write>(
+    service: &ExplorationService,
+    input: R,
+    output: &mut W,
+) -> std::io::Result<()> {
+    let served = serve(service, input, output);
+    if let Err(error) = service.quiesce() {
+        eprintln!("spi-explored: quiesce failed: {error}");
+    }
+    served
+}
+
 /// Parses a status line produced by [`status_to_json`] back into the counts a
 /// client cares about — the round-trip proof that results survive the wire.
 pub fn status_from_json(value: &JsonValue) -> Result<WireStatus> {
@@ -339,6 +431,15 @@ pub fn status_from_json(value: &JsonValue) -> Result<WireStatus> {
             .and_then(JsonValue::as_str)
             .ok_or_else(|| proto("state missing"))?
             .to_string(),
+        tenant: value
+            .get("tenant")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("default")
+            .to_string(),
+        cache_hit: value
+            .get("cache_hit")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false),
         combinations: value
             .get("combinations")
             .and_then(JsonValue::as_usize)
@@ -382,6 +483,10 @@ pub struct WireStatus {
     pub job: u64,
     /// Job state as its wire string (`running` / `completed` / `cancelled`).
     pub state: String,
+    /// Fair-queuing tenant of the job.
+    pub tenant: String,
+    /// Whether the job was served from the result cache.
+    pub cache_hit: bool,
     /// Variant-space size.
     pub combinations: usize,
     /// Evaluated variants.

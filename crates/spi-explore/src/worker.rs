@@ -162,6 +162,7 @@ mod tests {
                     name: "drain".into(),
                     shard_count: shards,
                     top_k: 8,
+                    ..JobSpec::default()
                 },
                 evaluator,
             )
@@ -294,6 +295,7 @@ mod tests {
                     name: "slow".into(),
                     shard_count: 1,
                     top_k: 8,
+                    ..JobSpec::default()
                 },
                 evaluator,
             )

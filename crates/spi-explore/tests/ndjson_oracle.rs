@@ -134,6 +134,7 @@ fn in_process_client_matches_the_same_oracle() {
                 name: "in-process".into(),
                 shard_count: 8,
                 top_k: 4,
+                ..JobSpec::default()
             },
             Arc::new(evaluator),
         )

@@ -100,10 +100,16 @@ fn every_index_evaluated_exactly_once_across_worker_counts() {
         let batch_size = 1 + cases.next(16) as usize;
         let counters: Arc<Vec<AtomicU64>> =
             Arc::new((0..combinations).map(|_| AtomicU64::new(0)).collect());
+        // Hedging is off: this property asserts every *evaluator invocation*
+        // happens exactly once, which speculative duplicate leases would
+        // intentionally violate (accounting-exactly-once still holds under
+        // hedges and is covered by the registry's hedging tests).
         let service = ExplorationService::start(ServiceConfig {
             workers,
             batch_size,
             lease_timeout: Duration::from_secs(60),
+            hedge: spi_explore::HedgeConfig::disabled(),
+            ..ServiceConfig::default()
         });
         let job = service
             .submit(
@@ -112,6 +118,7 @@ fn every_index_evaluated_exactly_once_across_worker_counts() {
                     name: format!("exact-once-{workers}w"),
                     shard_count,
                     top_k: combinations,
+                    ..JobSpec::default()
                 },
                 counting_evaluator(Arc::clone(&counters)),
             )
@@ -203,6 +210,7 @@ fn lease_expiry_chaos_never_loses_or_double_counts_a_shard() {
                     name: format!("chaos-{seed}"),
                     shard_count,
                     top_k: combinations,
+                    ..JobSpec::default()
                 },
                 counting_evaluator(Arc::new(
                     (0..combinations).map(|_| AtomicU64::new(0)).collect(),
@@ -262,6 +270,7 @@ fn cancel_mid_drain_keeps_exactly_the_completed_shards() {
                     name: format!("cancel-{seed}"),
                     shard_count,
                     top_k: combinations,
+                    ..JobSpec::default()
                 },
                 counting_evaluator(Arc::new(
                     (0..combinations).map(|_| AtomicU64::new(0)).collect(),
@@ -318,6 +327,7 @@ fn requeued_shard_after_expiry_is_re_draincable_by_another_worker() {
                 name: "handoff".into(),
                 shard_count: 2,
                 top_k: 16,
+                ..JobSpec::default()
             },
             counting_evaluator(Arc::new((0..16).map(|_| AtomicU64::new(0)).collect())),
         )

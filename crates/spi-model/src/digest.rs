@@ -1,0 +1,171 @@
+//! Stable content digests over the deterministic JSON writer.
+//!
+//! The exploration store caches results under a **content address**: a digest
+//! of the canonical JSON form of whatever identifies the computation (the
+//! system recipe, the variant space, the evaluator spec). Two requirements
+//! follow:
+//!
+//! * **Stability across processes and runs** — the digest is part of the
+//!   on-disk cache format, so it must not depend on interner indices, hash
+//!   seeds (`std`'s `DefaultHasher` is randomized) or pointer identity. The
+//!   hasher here is a fixed-constant FNV-1a over 128 bits: tiny, dependency
+//!   free, byte-for-byte reproducible everywhere.
+//! * **Canonical input** — callers digest the [`JsonValue::to_line`] bytes of
+//!   a value they construct with a fixed member order (the workspace's
+//!   `ToJson` impls already write members in a deterministic order). The
+//!   digest is a function of that canonical byte string, nothing else.
+//!
+//! This is a *content address*, not a cryptographic commitment: FNV is not
+//! collision resistant against adversaries. The cache is a private
+//! performance structure, so accidental-collision odds (~2^-64 at realistic
+//! cache sizes, by birthday bound on 128 bits) are the relevant measure.
+
+use std::fmt;
+
+use crate::json::{FromJson, JsonError, JsonResult, JsonValue, ToJson};
+
+/// A 128-bit content digest; displayed and serialized as 32 hex characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest(pub u128);
+
+impl Digest {
+    /// Parses the 32-hex-character form produced by [`fmt::Display`].
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when `text` is not exactly 32 hex characters.
+    pub fn parse(text: &str) -> JsonResult<Digest> {
+        if text.len() != 32 {
+            return Err(JsonError::new("digest must be 32 hex characters"));
+        }
+        u128::from_str_radix(text, 16)
+            .map(Digest)
+            .map_err(|_| JsonError::new("digest must be 32 hex characters"))
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl ToJson for Digest {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::string(self.to_string())
+    }
+}
+
+impl FromJson for Digest {
+    fn from_json(value: &JsonValue) -> JsonResult<Digest> {
+        value
+            .as_str()
+            .ok_or_else(|| JsonError::new("expected a digest string"))
+            .and_then(Digest::parse)
+    }
+}
+
+/// Incremental 128-bit FNV-1a hasher with the standard offset/prime constants.
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: u128,
+}
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+impl Hasher {
+    /// Creates a hasher at the standard FNV-1a offset basis.
+    pub fn new() -> Self {
+        Hasher {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Feeds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u128::from(byte);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// The digest of everything fed so far.
+    pub fn finish(&self) -> Digest {
+        Digest(self.state)
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+/// Digest of a byte string.
+pub fn digest_bytes(bytes: &[u8]) -> Digest {
+    let mut hasher = Hasher::new();
+    hasher.update(bytes);
+    hasher.finish()
+}
+
+/// Digest of a JSON value's canonical single-line form.
+///
+/// Canonical means: the exact bytes [`JsonValue::to_line`] writes. Object
+/// member order is significant — build the value with a fixed field order
+/// (as every `ToJson` impl in this workspace does) before digesting.
+pub fn digest_json(value: &JsonValue) -> Digest {
+    digest_bytes(value.to_line().as_bytes())
+}
+
+impl JsonValue {
+    /// The content digest of this value's canonical form; see [`digest_json`].
+    pub fn digest(&self) -> Digest {
+        digest_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors_hold() {
+        // FNV-1a 128 of the empty string is the offset basis.
+        assert_eq!(digest_bytes(b"").0, FNV128_OFFSET);
+        // One byte moves the state; different bytes move it differently.
+        assert_ne!(digest_bytes(b"a"), digest_bytes(b""));
+        assert_ne!(digest_bytes(b"a"), digest_bytes(b"b"));
+        assert_eq!(digest_bytes(b"abc"), digest_bytes(b"abc"));
+    }
+
+    #[test]
+    fn incremental_and_oneshot_agree() {
+        let mut hasher = Hasher::new();
+        hasher.update(b"hello ");
+        hasher.update(b"world");
+        assert_eq!(hasher.finish(), digest_bytes(b"hello world"));
+    }
+
+    #[test]
+    fn json_digest_tracks_canonical_bytes() {
+        let a = JsonValue::object([("x", JsonValue::Int(1)), ("y", JsonValue::Int(2))]);
+        let b = JsonValue::parse(r#"{"x":1,"y":2}"#).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        // Member order is part of the canonical form.
+        let swapped = JsonValue::object([("y", JsonValue::Int(2)), ("x", JsonValue::Int(1))]);
+        assert_ne!(a.digest(), swapped.digest());
+    }
+
+    #[test]
+    fn digest_round_trips_as_hex() {
+        let digest = digest_bytes(b"spi-store");
+        let text = digest.to_string();
+        assert_eq!(text.len(), 32);
+        assert_eq!(Digest::parse(&text).unwrap(), digest);
+        assert_eq!(Digest::from_json(&digest.to_json()).unwrap(), digest);
+        assert!(Digest::parse("xyz").is_err());
+        assert!(Digest::parse(&"0".repeat(31)).is_err());
+        assert!(Digest::from_json(&JsonValue::Int(1)).is_err());
+    }
+}

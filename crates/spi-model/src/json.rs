@@ -345,7 +345,13 @@ impl Parser<'_> {
 
     fn object(&mut self) -> JsonResult<JsonValue> {
         self.expect(b'{')?;
-        let mut members = Vec::new();
+        let mut members: Vec<(String, JsonValue)> = Vec::new();
+        // Duplicate detection: a linear scan is fastest for the small objects
+        // that dominate the wire, but the snapshot path parses one object
+        // with a member per cached result — past a threshold, switch to a
+        // hash set so recovery stays O(n).
+        const LINEAR_SCAN_LIMIT: usize = 16;
+        let mut seen: Option<std::collections::HashSet<String>> = None;
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
             self.position += 1;
@@ -358,6 +364,27 @@ impl Parser<'_> {
             self.expect(b':')?;
             self.skip_whitespace();
             let value = self.value()?;
+            // Duplicate keys are ambiguous (which member wins?) and a classic
+            // smuggling vector across parsers that disagree on the answer; the
+            // writer never produces them, so the parser rejects them outright.
+            let duplicate = match &mut seen {
+                Some(seen) => !seen.insert(key.clone()),
+                None => {
+                    if members.len() == LINEAR_SCAN_LIMIT {
+                        let set: std::collections::HashSet<String> =
+                            members.iter().map(|(name, _)| name.clone()).collect();
+                        let duplicate = set.contains(&key);
+                        let seen = seen.insert(set);
+                        seen.insert(key.clone());
+                        duplicate
+                    } else {
+                        members.iter().any(|(existing, _)| *existing == key)
+                    }
+                }
+            };
+            if duplicate {
+                return Err(self.error(&format!("duplicate object key `{key}`")));
+            }
             members.push((key, value));
             self.skip_whitespace();
             match self.peek() {
@@ -709,6 +736,7 @@ mod tests {
             "\"unterminated",
             "1 2",
             "{]",
+            r#"{"a":1,"a":2}"#,
         ] {
             assert!(JsonValue::parse(text).is_err(), "`{text}` should not parse");
         }

@@ -52,6 +52,7 @@ pub mod activation;
 pub mod analysis;
 pub mod builder;
 pub mod channel;
+pub mod digest;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -67,6 +68,7 @@ pub use activation::{ActivationFunction, ActivationRule, ChannelView, Predicate}
 pub use analysis::{GraphAnalysis, LatencyAnalysis, RateConsistency};
 pub use builder::{GraphBuilder, ModeSpec, ProcessBuilder};
 pub use channel::{Channel, ChannelKind};
+pub use digest::{digest_bytes, digest_json, Digest};
 pub use error::ModelError;
 pub use graph::{Edge, EdgeDirection, NodeRef, SpiGraph};
 pub use ids::{BuildSymHasher, ChannelId, Interner, ModeId, PortId, ProcessId, Sym, SymHasher};

@@ -1,0 +1,145 @@
+//! The content-addressed result cache.
+//!
+//! Completed exploration results are stored under the [`Digest`] of the
+//! canonical JSON identifying the computation — for the exploration service,
+//! `{system recipe, variant space, evaluator spec}`. A resubmission of the
+//! same content hits the cache and is served without touching the worker
+//! pool: the paper's whole premise is that the same variant spaces get
+//! re-optimized many times under changing constraints, so repeat jobs are
+//! the common case, not the exception.
+//!
+//! The cache itself is a dumb, deterministic map — durability comes from the
+//! owning registry, which rebuilds it during WAL replay (every completed job
+//! with a digest reinserts its committed result) and carries it inside
+//! snapshots via [`ResultCache::to_snapshot`] / [`ResultCache::from_snapshot`].
+
+use std::collections::BTreeMap;
+
+use spi_model::digest::Digest;
+use spi_model::json::{JsonError, JsonResult, JsonValue};
+
+/// A content-addressed map from digest to an opaque result payload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultCache {
+    // BTreeMap: deterministic snapshot order, so equal caches serialize
+    // byte-identically and snapshots diff cleanly.
+    entries: BTreeMap<Digest, JsonValue>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Stores `result` under `digest`, replacing any previous entry (the
+    /// digest is a content address, so a replacement is byte-identical
+    /// anyway unless the evaluator is nondeterministic).
+    pub fn insert(&mut self, digest: Digest, result: JsonValue) {
+        self.entries.insert(digest, result);
+    }
+
+    /// Looks up `digest`, counting the hit/miss.
+    pub fn lookup(&mut self, digest: Digest) -> Option<&JsonValue> {
+        match self.entries.get(&digest) {
+            Some(result) => {
+                self.hits += 1;
+                Some(result)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without touching the hit/miss counters.
+    pub fn peek(&self, digest: Digest) -> Option<&JsonValue> {
+        self.entries.get(&digest)
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime lookup hits (this process; counters are not persisted).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime lookup misses (this process).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The snapshot form: an object of `digest-hex → result` members in
+    /// digest order.
+    pub fn to_snapshot(&self) -> JsonValue {
+        JsonValue::Object(
+            self.entries
+                .iter()
+                .map(|(digest, result)| (digest.to_string(), result.clone()))
+                .collect(),
+        )
+    }
+
+    /// Rebuilds a cache from its snapshot form.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the value is not an object of digest-keyed members.
+    pub fn from_snapshot(value: &JsonValue) -> JsonResult<ResultCache> {
+        let members = value
+            .as_object()
+            .ok_or_else(|| JsonError::new("expected an object for ResultCache"))?;
+        let mut cache = ResultCache::new();
+        for (key, result) in members {
+            cache.insert(Digest::parse(key)?, result.clone());
+        }
+        Ok(cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_model::digest::digest_bytes;
+
+    #[test]
+    fn insert_lookup_and_counters() {
+        let mut cache = ResultCache::new();
+        let key = digest_bytes(b"job-a");
+        assert!(cache.lookup(key).is_none());
+        cache.insert(key, JsonValue::Int(42));
+        assert_eq!(cache.lookup(key), Some(&JsonValue::Int(42)));
+        assert_eq!(cache.peek(key), Some(&JsonValue::Int(42)));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut cache = ResultCache::new();
+        cache.insert(digest_bytes(b"x"), JsonValue::string("rx"));
+        cache.insert(digest_bytes(b"y"), JsonValue::Int(7));
+        let snapshot = cache.to_snapshot();
+        let back = ResultCache::from_snapshot(&snapshot).unwrap();
+        assert_eq!(
+            back.peek(digest_bytes(b"x")),
+            Some(&JsonValue::string("rx"))
+        );
+        assert_eq!(back.peek(digest_bytes(b"y")), Some(&JsonValue::Int(7)));
+        assert_eq!(back.to_snapshot().to_line(), snapshot.to_line());
+        assert!(ResultCache::from_snapshot(&JsonValue::Int(1)).is_err());
+        assert!(ResultCache::from_snapshot(&JsonValue::object([("zz", JsonValue::Null)])).is_err());
+    }
+}

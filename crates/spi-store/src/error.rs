@@ -1,0 +1,57 @@
+//! Error type of the store layer.
+
+use std::fmt;
+
+/// Error raised by the WAL, snapshot or cache machinery.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An I/O operation on the store directory failed.
+    Io(std::io::Error),
+    /// A record or snapshot failed checksum or shape validation. Recovery
+    /// treats a corrupt *tail* as a torn write and truncates it; corruption
+    /// anywhere else surfaces as this error.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Corrupt(message) => write!(f, "store corruption: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        let io: StoreError = std::io::Error::other("disk full").into();
+        assert!(io.to_string().contains("disk full"));
+        assert!(std::error::Error::source(&io).is_some());
+        let corrupt = StoreError::Corrupt("bad crc".into());
+        assert!(corrupt.to_string().contains("bad crc"));
+        assert!(std::error::Error::source(&corrupt).is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! # spi-store
+//!
+//! Durable state and scheduling policy for the exploration service — the
+//! layer that lets `spi-explore` survive restarts, skip repeat work and stay
+//! fair under multi-tenant load:
+//!
+//! * [`wal`] — an append-only, checksummed write-ahead log with
+//!   snapshot+replay recovery (`wal.log` + `snapshot.json` in a store
+//!   directory). Records are opaque [`JsonValue`]s; the registry in
+//!   `spi-explore` defines the actual transition records and replays them.
+//! * [`cache`] — a content-addressed result cache keyed by the
+//!   [`Digest`](spi_model::digest::Digest) of the canonical JSON identifying
+//!   a computation; repeat submissions become O(1) lookups instead of
+//!   worker-pool sweeps.
+//! * [`sched`] — weighted-fair queuing across tenants
+//!   ([`FairScheduler`]) and the latency bookkeeping behind hedged
+//!   re-leases for straggler shards ([`LatencyTracker`], [`HedgeConfig`]).
+//!
+//! The crate deliberately knows nothing about jobs, leases or evaluators:
+//! everything is expressed over raw ids and JSON payloads, so the store can
+//! be tested exhaustively on its own and reused by any future service layer.
+//!
+//! ```rust
+//! use spi_model::json::JsonValue;
+//! use spi_store::{Wal, ResultCache, FairScheduler};
+//!
+//! # fn main() -> Result<(), spi_store::StoreError> {
+//! let dir = std::env::temp_dir().join(format!("spi-store-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let (mut wal, recovered) = Wal::open(&dir)?;
+//! assert!(recovered.is_empty());
+//! wal.append(&JsonValue::object([("t", JsonValue::string("submit"))]))?;
+//!
+//! // ... crash, restart:
+//! drop(wal);
+//! let (_wal, recovered) = Wal::open(&dir)?;
+//! assert_eq!(recovered.records.len(), 1);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod error;
+pub mod sched;
+pub mod wal;
+
+pub use cache::ResultCache;
+pub use error::{Result, StoreError};
+pub use sched::{Entry, FairScheduler, HedgeConfig, LatencyTracker};
+pub use wal::{Recovered, Wal};

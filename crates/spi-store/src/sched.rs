@@ -1,0 +1,324 @@
+//! Scheduling policy: weighted-fair queuing across tenants and hedged
+//! re-leasing of straggler shards.
+//!
+//! # Weighted-fair queuing
+//!
+//! The service's original dispatch order was a single FIFO of `(job, shard)`
+//! pairs — one tenant submitting a `2^20`-combination space starved every
+//! later submitter until its last shard drained. [`FairScheduler`] replaces
+//! it with classic virtual-time WFQ: each tenant owns a FIFO of entries and
+//! a *finish tag*; a dispatch picks the non-empty tenant with the smallest
+//! tag and advances that tag by `SCALE / weight`. A tenant enqueueing into
+//! an empty queue starts at the current virtual time, so newcomers interleave
+//! immediately instead of queuing behind the backlog, and a weight-`w` tenant
+//! receives `w` shards for every one a weight-1 tenant gets.
+//!
+//! The scheduler is deliberately oblivious to registry state: it hands out
+//! *candidate* entries and the registry skips stale ones (shard already
+//! leased, job cancelled), exactly like the FIFO it replaces.
+//!
+//! # Hedged re-leasing
+//!
+//! A shard whose worker is slow — overloaded machine, degraded evaluator,
+//! one pathological variant — holds its lease until the timeout even though
+//! the rest of the job finished long ago. [`LatencyTracker`] keeps each
+//! job's completed-shard durations; once enough samples exist, a shard
+//! in flight for longer than `multiplier × quantile(q)` is eligible for a
+//! **hedge**: a duplicate lease handed to an idle worker. Whichever lease
+//! commits first wins the shard; the loser's flushes turn stale and are
+//! discarded — the registry's staged/committed split already guarantees
+//! exactly-once accounting, so hedging never double-counts.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Fixed-point scale for virtual time (so integer weights divide cleanly).
+const SCALE: u64 = 1 << 20;
+
+/// A schedulable unit: the raw job id and the shard index within it.
+pub type Entry = (u64, usize);
+
+struct TenantQueue {
+    weight: u32,
+    finish: u64,
+    queue: VecDeque<Entry>,
+}
+
+/// Virtual-time weighted-fair queue of `(job, shard)` entries across tenants.
+#[derive(Default)]
+pub struct FairScheduler {
+    virtual_now: u64,
+    tenants: BTreeMap<String, TenantQueue>,
+    len: usize,
+}
+
+impl FairScheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        FairScheduler::default()
+    }
+
+    /// Enqueues an entry for `tenant` at `weight` (clamped to ≥ 1; the last
+    /// submission's weight wins for the whole tenant).
+    pub fn enqueue(&mut self, tenant: &str, weight: u32, entry: Entry) {
+        let virtual_now = self.virtual_now;
+        let slot = self
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantQueue {
+                weight: weight.max(1),
+                finish: virtual_now,
+                queue: VecDeque::new(),
+            });
+        slot.weight = weight.max(1);
+        if slot.queue.is_empty() {
+            // A newly-busy tenant joins at the current virtual time: it gets
+            // its fair share immediately but no credit for having been idle.
+            slot.finish = slot.finish.max(virtual_now);
+        }
+        slot.queue.push_back(entry);
+        self.len += 1;
+    }
+
+    /// Dispatches the next entry under the WFQ policy, if any.
+    pub fn dequeue(&mut self) -> Option<Entry> {
+        let (name, _) = self
+            .tenants
+            .iter()
+            .filter(|(_, slot)| !slot.queue.is_empty())
+            // Deterministic tie-break on the tenant name (BTreeMap order).
+            .min_by_key(|(name, slot)| (slot.finish, name.as_str()))
+            .map(|(name, slot)| (name.clone(), slot.finish))?;
+        let slot = self.tenants.get_mut(&name).expect("tenant exists");
+        let entry = slot.queue.pop_front().expect("queue non-empty");
+        self.virtual_now = slot.finish;
+        slot.finish += SCALE / u64::from(slot.weight.max(1));
+        self.len -= 1;
+        Some(entry)
+    }
+
+    /// Entries currently queued (including ones the registry may later skip
+    /// as stale).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tenants that currently have queued entries.
+    pub fn busy_tenants(&self) -> impl Iterator<Item = &str> {
+        self.tenants
+            .iter()
+            .filter(|(_, slot)| !slot.queue.is_empty())
+            .map(|(name, _)| name.as_str())
+    }
+}
+
+/// Tunables of the speculative re-leasing policy. Integer-valued so configs
+/// stay `Eq` and behave identically on every platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgeConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// The latency quantile (in percent, 1..=100) a straggler must exceed.
+    pub quantile_pct: u8,
+    /// Multiplier (in percent) applied to the quantile: 200 means a shard
+    /// must run 2× the quantile before a hedge is considered.
+    pub multiplier_pct: u32,
+    /// Completed-shard samples required before hedging activates (too few
+    /// samples make the quantile meaningless).
+    pub min_samples: usize,
+    /// Maximum duplicate leases per shard beyond the primary.
+    pub max_hedges: usize,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            enabled: true,
+            quantile_pct: 95,
+            multiplier_pct: 200,
+            min_samples: 3,
+            max_hedges: 1,
+        }
+    }
+}
+
+impl HedgeConfig {
+    /// A disabled policy (pure WFQ, no speculative leases).
+    pub fn disabled() -> Self {
+        HedgeConfig {
+            enabled: false,
+            ..HedgeConfig::default()
+        }
+    }
+}
+
+/// Completed-duration samples for one job's shards, bounded in memory.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyTracker {
+    /// Sorted ascending; bounded to keep per-job state O(1)-ish.
+    samples_ns: Vec<u64>,
+    observed: u64,
+}
+
+/// Sample cap: enough resolution for a p95 over any realistic shard count.
+const MAX_SAMPLES: usize = 512;
+
+impl LatencyTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        LatencyTracker::default()
+    }
+
+    /// Records one completed-shard duration.
+    pub fn record_ns(&mut self, duration_ns: u64) {
+        self.observed += 1;
+        let at = self.samples_ns.partition_point(|&s| s <= duration_ns);
+        self.samples_ns.insert(at, duration_ns);
+        if self.samples_ns.len() > MAX_SAMPLES {
+            // Drop the smallest: stragglers (the high tail) are what the
+            // hedging quantile needs to stay honest about.
+            self.samples_ns.remove(0);
+        }
+    }
+
+    /// Samples recorded so far (uncapped count).
+    pub fn count(&self) -> u64 {
+        self.observed
+    }
+
+    /// The `pct`-th percentile (nearest-rank) of recorded durations, if any.
+    pub fn quantile_ns(&self, pct: u8) -> Option<u64> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let pct = u64::from(pct.clamp(1, 100));
+        let rank = ((pct * self.samples_ns.len() as u64).div_ceil(100)).max(1) as usize;
+        Some(self.samples_ns[rank.min(self.samples_ns.len()) - 1])
+    }
+
+    /// The in-flight duration beyond which a shard counts as a straggler
+    /// under `config`, or `None` while hedging is inactive (disabled or not
+    /// enough samples yet).
+    pub fn hedge_threshold_ns(&self, config: &HedgeConfig) -> Option<u64> {
+        if !config.enabled || (self.samples_ns.len() as u64) < config.min_samples as u64 {
+            return None;
+        }
+        let quantile = self.quantile_ns(config.quantile_pct)?;
+        Some(quantile.saturating_mul(u64::from(config.multiplier_pct)) / 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tenant_is_fifo() {
+        let mut scheduler = FairScheduler::new();
+        for shard in 0..5 {
+            scheduler.enqueue("solo", 1, (0, shard));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| scheduler.dequeue())
+            .map(|(_, shard)| shard)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert!(scheduler.is_empty());
+    }
+
+    #[test]
+    fn late_small_tenant_interleaves_instead_of_waiting() {
+        let mut scheduler = FairScheduler::new();
+        for shard in 0..100 {
+            scheduler.enqueue("whale", 1, (0, shard));
+        }
+        // Drain a few whale shards, then a small tenant shows up.
+        for _ in 0..10 {
+            scheduler.dequeue().unwrap();
+        }
+        for shard in 0..4 {
+            scheduler.enqueue("minnow", 1, (1, shard));
+        }
+        // The minnow's 4 shards must all dispatch within the next 8 slots
+        // (equal weights → strict alternation), not after 90 whale shards.
+        let next: Vec<u64> = (0..8).map(|_| scheduler.dequeue().unwrap().0).collect();
+        assert_eq!(next.iter().filter(|&&job| job == 1).count(), 4);
+    }
+
+    #[test]
+    fn weights_skew_the_share_proportionally() {
+        let mut scheduler = FairScheduler::new();
+        for shard in 0..30 {
+            scheduler.enqueue("heavy", 3, (0, shard));
+            scheduler.enqueue("light", 1, (1, shard));
+        }
+        let first_twenty: Vec<u64> = (0..20).map(|_| scheduler.dequeue().unwrap().0).collect();
+        let heavy = first_twenty.iter().filter(|&&job| job == 0).count();
+        // Weight 3 vs 1 → ~15 of the first 20 dispatches.
+        assert!((14..=16).contains(&heavy), "heavy got {heavy} of 20");
+    }
+
+    #[test]
+    fn busy_tenants_reports_only_nonempty_queues() {
+        let mut scheduler = FairScheduler::new();
+        scheduler.enqueue("a", 1, (0, 0));
+        scheduler.enqueue("b", 1, (1, 0));
+        scheduler.dequeue().unwrap();
+        let busy: Vec<&str> = scheduler.busy_tenants().collect();
+        assert_eq!(busy.len(), 1);
+        assert_eq!(scheduler.len(), 1);
+    }
+
+    #[test]
+    fn latency_quantiles_are_nearest_rank() {
+        let mut tracker = LatencyTracker::new();
+        for ns in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            tracker.record_ns(ns);
+        }
+        assert_eq!(tracker.quantile_ns(50), Some(50));
+        assert_eq!(tracker.quantile_ns(95), Some(100));
+        assert_eq!(tracker.quantile_ns(100), Some(100));
+        assert_eq!(tracker.quantile_ns(1), Some(10));
+        assert_eq!(tracker.count(), 10);
+        assert_eq!(LatencyTracker::new().quantile_ns(50), None);
+    }
+
+    #[test]
+    fn hedge_threshold_needs_samples_and_scales() {
+        let config = HedgeConfig {
+            min_samples: 3,
+            quantile_pct: 50,
+            multiplier_pct: 200,
+            ..HedgeConfig::default()
+        };
+        let mut tracker = LatencyTracker::new();
+        tracker.record_ns(100);
+        tracker.record_ns(100);
+        assert_eq!(tracker.hedge_threshold_ns(&config), None, "too few samples");
+        tracker.record_ns(100);
+        assert_eq!(tracker.hedge_threshold_ns(&config), Some(200));
+        assert_eq!(
+            tracker.hedge_threshold_ns(&HedgeConfig::disabled()),
+            None,
+            "disabled policy never hedges"
+        );
+    }
+
+    #[test]
+    fn sample_cap_keeps_the_high_tail() {
+        let mut tracker = LatencyTracker::new();
+        for ns in 0..((MAX_SAMPLES as u64) + 100) {
+            tracker.record_ns(ns);
+        }
+        // The smallest samples were evicted; the tail survived.
+        assert_eq!(
+            tracker.quantile_ns(100),
+            Some(MAX_SAMPLES as u64 + 99),
+            "max sample must survive eviction"
+        );
+        assert_eq!(tracker.count(), MAX_SAMPLES as u64 + 100);
+    }
+}

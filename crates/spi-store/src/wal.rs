@@ -1,0 +1,425 @@
+//! The append-only, checksummed write-ahead log and its snapshot companion.
+//!
+//! # Files
+//!
+//! A store directory holds two files:
+//!
+//! * `wal.log` — one record per line: `{"seq":N,"crc":"<hex>","rec":{...}}`.
+//!   `rec` is an opaque [`JsonValue`] supplied by the caller (the registry
+//!   serializes its own transition records); `crc` is the FNV-1a-128 digest
+//!   of `rec`'s canonical line, so a flipped bit anywhere in the payload —
+//!   or a torn final line from a crash mid-append — fails verification.
+//! * `snapshot.json` — one line `{"seq":N,"crc":"<hex>","state":{...}}`:
+//!   a caller-supplied compaction of every record up to and including `seq`.
+//!
+//! # Recovery
+//!
+//! [`Wal::open`] loads the snapshot (if any), then replays `wal.log` records
+//! with `seq` greater than the snapshot's. Replay stops at the first
+//! malformed, checksum-failing or out-of-order line and **truncates** the
+//! file there: a crash can only tear the tail, so everything before the
+//! first bad line is intact by construction, and everything after it was
+//! never acknowledged. Appends after recovery continue the sequence.
+//!
+//! # Durability
+//!
+//! Every append writes through to the operating system before returning
+//! (`BufWriter` is flushed per record), which survives process crashes —
+//! the failure mode the exploration service actually recovers from.
+//! [`Wal::sync`] additionally `fsync`s for machine-crash durability; the
+//! service calls it at compaction points rather than per record.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use spi_model::digest::digest_bytes;
+use spi_model::json::JsonValue;
+
+use crate::error::{Result, StoreError};
+
+const WAL_FILE: &str = "wal.log";
+const SNAPSHOT_FILE: &str = "snapshot.json";
+const LOCK_FILE: &str = "lock";
+
+/// Everything [`Wal::open`] recovered from disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovered {
+    /// The latest snapshot state, if a snapshot was ever written.
+    pub snapshot: Option<JsonValue>,
+    /// Replayable records appended after the snapshot, in append order.
+    pub records: Vec<JsonValue>,
+    /// How many trailing bytes were discarded as a torn tail (0 on a clean
+    /// shutdown). Exposed so operators can observe imperfect recoveries.
+    pub truncated_bytes: u64,
+}
+
+impl Recovered {
+    /// True when nothing was ever written (fresh directory).
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_none() && self.records.is_empty()
+    }
+}
+
+/// An open write-ahead log; see the module docs for the format.
+pub struct Wal {
+    wal_path: PathBuf,
+    snapshot_path: PathBuf,
+    writer: BufWriter<File>,
+    next_seq: u64,
+    /// Held for the Wal's lifetime; the OS releases it when the process dies
+    /// (including `kill -9`), so a crashed daemon never wedges its store.
+    _lock: File,
+}
+
+fn checksum_line(value: &JsonValue) -> String {
+    digest_bytes(value.to_line().as_bytes()).to_string()
+}
+
+fn frame(seq: u64, key: &str, payload: &JsonValue) -> JsonValue {
+    JsonValue::object([
+        ("seq", JsonValue::Int(i128::from(seq))),
+        ("crc", JsonValue::string(checksum_line(payload))),
+        (key, payload.clone()),
+    ])
+}
+
+/// Parses one framed line; `Ok` carries `(seq, payload)`.
+fn unframe(line: &str, key: &str) -> std::result::Result<(u64, JsonValue), String> {
+    let value = JsonValue::parse(line).map_err(|e| e.to_string())?;
+    let seq = value
+        .get("seq")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing seq")?;
+    let crc = value
+        .get("crc")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing crc")?;
+    let payload = value.get(key).ok_or("missing payload")?;
+    if checksum_line(payload) != crc {
+        return Err(format!("checksum mismatch at seq {seq}"));
+    }
+    Ok((seq, payload.clone()))
+}
+
+impl Wal {
+    /// Opens (creating if needed) the store at `dir`, recovering its state.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`StoreError::Corrupt`] when the snapshot itself fails
+    /// verification (a corrupt snapshot cannot be truncated away — the data
+    /// it compacted is gone, so recovery refuses to guess).
+    pub fn open(dir: impl AsRef<Path>) -> Result<(Wal, Recovered)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+
+        // One writer per store directory: two daemons appending with
+        // independent sequence counters would interleave records, and the
+        // next recovery would truncate everything after the first
+        // out-of-order line — silent loss of acknowledged commits. The OS
+        // advisory lock dies with the process, so a `kill -9` leaves the
+        // store immediately reopenable.
+        let lock = File::create(dir.join(LOCK_FILE))?;
+        match lock.try_lock() {
+            Ok(()) => {}
+            Err(std::fs::TryLockError::WouldBlock) => {
+                return Err(StoreError::Corrupt(format!(
+                    "store directory {} is locked by another process",
+                    dir.display()
+                )));
+            }
+            Err(std::fs::TryLockError::Error(error)) => return Err(error.into()),
+        }
+
+        let (snapshot, snapshot_seq) = match std::fs::read_to_string(&snapshot_path) {
+            Err(error) if error.kind() == std::io::ErrorKind::NotFound => (None, 0),
+            Err(error) => return Err(error.into()),
+            Ok(text) => {
+                let line = text.trim();
+                if line.is_empty() {
+                    (None, 0)
+                } else {
+                    let (seq, state) = unframe(line, "state")
+                        .map_err(|why| StoreError::Corrupt(format!("snapshot: {why}")))?;
+                    (Some(state), seq)
+                }
+            }
+        };
+
+        let mut records = Vec::new();
+        let mut next_seq = snapshot_seq + u64::from(snapshot.is_some());
+        let mut good_bytes = 0u64;
+        let mut total_bytes = 0u64;
+        match File::open(&wal_path) {
+            Err(error) if error.kind() == std::io::ErrorKind::NotFound => {}
+            Err(error) => return Err(error.into()),
+            Ok(file) => {
+                total_bytes = file.metadata()?.len();
+                let mut reader = BufReader::new(file);
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    let read = reader.read_line(&mut line)?;
+                    if read == 0 {
+                        break;
+                    }
+                    // A record is only valid if newline-terminated (a torn
+                    // append may stop mid-line yet still parse as JSON).
+                    if !line.ends_with('\n') {
+                        break;
+                    }
+                    let Ok((seq, payload)) = unframe(line.trim_end(), "rec") else {
+                        break;
+                    };
+                    if seq < next_seq && snapshot.is_some() {
+                        // Pre-snapshot leftovers (rotation crashed between
+                        // snapshot write and truncate): already compacted.
+                        good_bytes += read as u64;
+                        continue;
+                    }
+                    if seq != next_seq {
+                        break;
+                    }
+                    next_seq = seq + 1;
+                    good_bytes += read as u64;
+                    records.push(payload);
+                }
+            }
+        }
+        let truncated_bytes = total_bytes.saturating_sub(good_bytes);
+        if truncated_bytes > 0 {
+            // Torn tail: cut it so future appends start on a clean boundary.
+            let file = OpenOptions::new().write(true).open(&wal_path)?;
+            file.set_len(good_bytes)?;
+        }
+
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)?;
+        Ok((
+            Wal {
+                wal_path,
+                snapshot_path,
+                writer: BufWriter::new(file),
+                next_seq,
+                _lock: lock,
+            },
+            Recovered {
+                snapshot,
+                records,
+                truncated_bytes,
+            },
+        ))
+    }
+
+    /// Appends one record, flushing it to the operating system, and returns
+    /// its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; on error the record must be considered not written.
+    pub fn append(&mut self, record: &JsonValue) -> Result<u64> {
+        let seq = self.next_seq;
+        let line = frame(seq, "rec", record).to_line();
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Forces everything appended so far to stable storage (`fsync`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+
+    /// Replaces the snapshot with `state` (covering every record appended so
+    /// far) and truncates the log — the compaction step. Crash-ordering: the
+    /// snapshot is written to a temporary file, synced, atomically renamed
+    /// into place, and only then is the log truncated, so every instant in
+    /// between recovers to the same state.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn compact(&mut self, state: &JsonValue) -> Result<()> {
+        self.sync()?;
+        let seq = self.next_seq.saturating_sub(1);
+        let line = frame(seq, "state", state).to_line();
+        let tmp_path = self.snapshot_path.with_extension("tmp");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(line.as_bytes())?;
+            tmp.write_all(b"\n")?;
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.snapshot_path)?;
+        // Reopen truncating: the old appender's cursor would leave a hole.
+        let file = OpenOptions::new()
+            .write(true)
+            .truncate(true)
+            .open(&self.wal_path)?;
+        file.sync_all()?;
+        let file = OpenOptions::new().append(true).open(&self.wal_path)?;
+        self.writer = BufWriter::new(file);
+        self.next_seq = seq + 1;
+        Ok(())
+    }
+
+    /// Sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spi-store-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(n: i128) -> JsonValue {
+        JsonValue::object([("t", JsonValue::string("test")), ("n", JsonValue::Int(n))])
+    }
+
+    #[test]
+    fn append_and_reopen_replays_in_order() {
+        let dir = temp_dir("replay");
+        {
+            let (mut wal, recovered) = Wal::open(&dir).unwrap();
+            assert!(recovered.is_empty());
+            for n in 0..5 {
+                assert_eq!(wal.append(&record(n)).unwrap(), n as u64);
+            }
+        }
+        let (mut wal, recovered) = Wal::open(&dir).unwrap();
+        assert_eq!(recovered.truncated_bytes, 0);
+        assert_eq!(recovered.records, (0..5).map(record).collect::<Vec<_>>());
+        assert_eq!(wal.append(&record(5)).unwrap(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let dir = temp_dir("torn");
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            wal.append(&record(0)).unwrap();
+            wal.append(&record(1)).unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the final line.
+        let path = dir.join(WAL_FILE);
+        let len = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 7)
+            .unwrap();
+        let (mut wal, recovered) = Wal::open(&dir).unwrap();
+        assert_eq!(recovered.records, vec![record(0)]);
+        assert!(recovered.truncated_bytes > 0);
+        // The sequence continues from the surviving prefix.
+        assert_eq!(wal.append(&record(9)).unwrap(), 1);
+        drop(wal);
+        let (_, recovered) = Wal::open(&dir).unwrap();
+        assert_eq!(recovered.records, vec![record(0), record(9)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_record_stops_replay_at_the_last_good_line() {
+        let dir = temp_dir("flip");
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            for n in 0..3 {
+                wal.append(&record(n)).unwrap();
+            }
+        }
+        // Flip a payload byte in the middle record: its crc must fail and
+        // replay must stop *before* it (it cannot prove the tail's order).
+        let path = dir.join(WAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("\"n\":1", "\"n\":7", 1);
+        assert_ne!(text, corrupted);
+        std::fs::write(&path, corrupted).unwrap();
+        let (_, recovered) = Wal::open(&dir).unwrap();
+        assert_eq!(recovered.records, vec![record(0)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_snapshots_and_truncates() {
+        let dir = temp_dir("compact");
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            for n in 0..4 {
+                wal.append(&record(n)).unwrap();
+            }
+            wal.compact(&JsonValue::object([("upto", JsonValue::Int(3))]))
+                .unwrap();
+            wal.append(&record(4)).unwrap();
+        }
+        let (_, recovered) = Wal::open(&dir).unwrap();
+        assert_eq!(
+            recovered.snapshot,
+            Some(JsonValue::object([("upto", JsonValue::Int(3))]))
+        );
+        assert_eq!(recovered.records, vec![record(4)]);
+        assert_eq!(recovered.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_hard_error() {
+        let dir = temp_dir("badsnap");
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            wal.append(&record(0)).unwrap();
+            wal.compact(&record(0)).unwrap();
+        }
+        let path = dir.join(SNAPSHOT_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("\"t\"", "\"u\"", 1)).unwrap();
+        assert!(matches!(Wal::open(&dir), Err(StoreError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_second_opener_is_rejected_until_the_first_closes() {
+        let dir = temp_dir("lock");
+        let (wal, _) = Wal::open(&dir).unwrap();
+        assert!(matches!(Wal::open(&dir), Err(StoreError::Corrupt(_))));
+        drop(wal);
+        // The lock dies with the handle (and with the process, under kill -9).
+        assert!(Wal::open(&dir).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_is_callable_and_preserves_records() {
+        let dir = temp_dir("sync");
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        wal.append(&record(1)).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.next_seq(), 1);
+        drop(wal);
+        let (_, recovered) = Wal::open(&dir).unwrap();
+        assert_eq!(recovered.records.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

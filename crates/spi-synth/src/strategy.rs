@@ -44,10 +44,34 @@ impl fmt::Display for SynthesisResult {
     }
 }
 
+/// The measured crossover above which [`SearchStrategy::BranchAndBound`]
+/// beats the exhaustive enumeration that `Auto` would pick: below ~10 tasks,
+/// compiling the problem and the per-node bookkeeping dominate the 2^n mask
+/// sweep (see the `partition` section of `BENCH_variant_space.json`, where
+/// branch-and-bound wins clearly at 10+ tasks); at and above it, bound
+/// pruning wins and keeps winning ever more steeply. Because branch-and-bound
+/// is *exact* (bit-identical optimum, tie-breaks included), routing through
+/// it also extends exact synthesis past `Auto`'s 18-task exhaustive ceiling
+/// instead of falling back to the greedy approximation.
+pub const BNB_CROSSOVER_TASKS: usize = 10;
+
+/// The strategy the per-application flows use for a subproblem of
+/// `task_count` tasks: branch-and-bound at or above the crossover, `Auto`
+/// (exhaustive at these sizes) below it.
+fn flow_strategy(task_count: usize) -> SearchStrategy {
+    if task_count >= BNB_CROSSOVER_TASKS {
+        SearchStrategy::BranchAndBound
+    } else {
+        SearchStrategy::Auto
+    }
+}
+
 /// Synthesizes every application independently.
 ///
 /// Returns one result per application, in application order. This is the eager
-/// collection of [`independent_iter`].
+/// collection of [`independent_iter`]. Each restricted subproblem is searched
+/// with [`flow_strategy`]: exact everywhere, branch-and-bound from
+/// [`BNB_CROSSOVER_TASKS`] tasks upward.
 ///
 /// # Errors
 ///
@@ -75,7 +99,7 @@ pub fn independent_iter(
         let partition = optimize(
             &restricted,
             FeasibilityMode::PerApplication,
-            SearchStrategy::Auto,
+            flow_strategy(restricted.task_count()),
         )?;
         let design_time = design_time::per_application(problem, &application.name)?;
         Ok(SynthesisResult {
@@ -206,6 +230,84 @@ mod tests {
         assert_eq!(bnb.cost, exhaustive.cost);
         assert_eq!(bnb.design_time, exhaustive.design_time);
         assert_eq!(bnb.feasibility, exhaustive.feasibility);
+    }
+
+    #[test]
+    fn crossover_routing_is_bit_identical_to_the_oracles_at_the_boundary() {
+        // Restricted per-application problems have `common_tasks + interfaces`
+        // tasks; 9, 10 and 11 straddle BNB_CROSSOVER_TASKS, so this covers
+        // the Auto side, the first branch-and-bound size and one beyond.
+        use crate::partition::optimize_serial_reference;
+        use crate::problem::{ApplicationSpec, TaskSpec};
+        for common_tasks in [5usize, 6, 7] {
+            // A deterministic miniature of the workloads generator: common
+            // tasks shared by every application, one variant task per
+            // (interface, cluster), one application per combination.
+            let mut problem =
+                crate::problem::SynthesisProblem::new(format!("boundary{common_tasks}"), 14);
+            let mut common = Vec::new();
+            for index in 0..common_tasks {
+                let name = format!("common{index}");
+                problem.add_task(TaskSpec::new(
+                    &name,
+                    5 + (index as u64 * 7) % 14,
+                    100,
+                    15 + (index as u64 * 11) % 29,
+                    4 + (index as u64 * 3) % 8,
+                ));
+                common.push(name);
+            }
+            for interface in 0..4usize {
+                for cluster in 0..2usize {
+                    let salt = (interface * 2 + cluster) as u64;
+                    problem.add_task(TaskSpec::new(
+                        format!("if{interface}/v{cluster}"),
+                        30 + (salt * 13) % 40,
+                        100,
+                        15 + (salt * 5) % 20,
+                        20 + (salt * 9) % 30,
+                    ));
+                }
+            }
+            for combination in 0..16usize {
+                let mut tasks = common.clone();
+                for interface in 0..4usize {
+                    let cluster = (combination >> interface) & 1;
+                    tasks.push(format!("if{interface}/v{cluster}"));
+                }
+                problem
+                    .add_application(ApplicationSpec::new(
+                        format!("application{combination}"),
+                        tasks,
+                    ))
+                    .unwrap();
+            }
+            let results = independent(&problem).unwrap();
+            assert_eq!(results.len(), 16);
+            let mut merged = Mapping::new();
+            for (application, result) in problem.applications().iter().zip(&results) {
+                let restricted = problem.restrict_to(&application.name).unwrap();
+                assert_eq!(restricted.task_count(), common_tasks + 4);
+                let exhaustive = optimize(
+                    &restricted,
+                    FeasibilityMode::PerApplication,
+                    SearchStrategy::Exhaustive,
+                )
+                .unwrap();
+                let serial =
+                    optimize_serial_reference(&restricted, FeasibilityMode::PerApplication)
+                        .unwrap();
+                assert_eq!(result.mapping, exhaustive.mapping, "{}", application.name);
+                assert_eq!(result.cost, exhaustive.cost, "{}", application.name);
+                assert_eq!(exhaustive.mapping, serial.mapping, "{}", application.name);
+                assert_eq!(exhaustive.cost, serial.cost, "{}", application.name);
+                merged.merge_prefer_hardware(&result.mapping);
+            }
+            // Superposition rides on the same routed flow: its merged mapping
+            // must be exactly the prefer-hardware merge of the oracles.
+            let superposed = superposition(&problem).unwrap();
+            assert_eq!(superposed.mapping, merged);
+        }
     }
 
     #[test]

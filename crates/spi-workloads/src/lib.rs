@@ -22,7 +22,8 @@ pub mod video;
 
 pub use figures::{figure1, figure2_system, figure3_system, table1_params, table1_problem};
 pub use scenarios::{
-    automotive_problem, automotive_system, exploration_suite, tv_problem, tv_system,
+    automotive_problem, automotive_system, exploration_suite, multi_tenant_suite, tv_problem,
+    tv_system, TenantLoad,
 };
 pub use synthetic::{scaling_system, synthetic_problem, synthetic_system, SyntheticParams};
 pub use video::{

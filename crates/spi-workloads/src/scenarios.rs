@@ -182,10 +182,79 @@ pub fn exploration_suite() -> Result<Vec<(String, VariantSystem)>, WorkloadError
     ])
 }
 
+/// One tenant's load in the multi-tenant exploration scenario.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    /// Fair-queuing tenant the job bills to.
+    pub tenant: String,
+    /// WFQ weight of the tenant.
+    pub weight: u32,
+    /// Job name.
+    pub name: String,
+    /// The variant system to explore.
+    pub system: VariantSystem,
+    /// Suggested shard count (scaled to the space size).
+    pub shard_count: usize,
+}
+
+/// The multi-tenant fairness scenario: one batch "whale" tenant submitting a
+/// large scaling space alongside interactive tenants with the paper's small
+/// scenario systems. Under FIFO dispatch the whale's shards drain first and
+/// the interactive jobs wait for the whole backlog; under weighted-fair
+/// queuing the interactive tenants (weight 2) finish promptly while the
+/// whale still gets its share. `spi-explore`'s scheduler tests and the
+/// `store` bench section consume this suite.
+///
+/// # Errors
+///
+/// Propagates model construction errors (none are expected for the fixed
+/// scenarios).
+pub fn multi_tenant_suite() -> Result<Vec<TenantLoad>, WorkloadError> {
+    Ok(vec![
+        TenantLoad {
+            tenant: "batch".to_string(),
+            weight: 1,
+            name: "whale-scaling".to_string(),
+            system: crate::synthetic::scaling_system(8, 2)?, // 256 combinations
+            shard_count: 64,
+        },
+        TenantLoad {
+            tenant: "tv".to_string(),
+            weight: 2,
+            name: "tv-exploration".to_string(),
+            system: tv_system()?,
+            shard_count: 4,
+        },
+        TenantLoad {
+            tenant: "automotive".to_string(),
+            weight: 2,
+            name: "automotive-exploration".to_string(),
+            system: automotive_system()?,
+            shard_count: 3,
+        },
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use spi_synth::strategy;
+
+    #[test]
+    fn multi_tenant_suite_mixes_a_whale_with_interactive_tenants() {
+        let suite = multi_tenant_suite().unwrap();
+        assert_eq!(suite.len(), 3);
+        let whale = &suite[0];
+        assert_eq!(whale.tenant, "batch");
+        assert_eq!(whale.system.variant_space().count(), 256);
+        for interactive in &suite[1..] {
+            assert!(interactive.weight > whale.weight);
+            assert!(
+                interactive.system.variant_space().count() < 10,
+                "interactive tenants submit small spaces"
+            );
+        }
+    }
 
     #[test]
     fn tv_system_spans_six_variant_combinations() {

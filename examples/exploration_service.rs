@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 name: name.clone(),
                 shard_count: 8,
                 top_k: 3,
+                ..JobSpec::default()
             },
             // The default evaluator: pose each flattened variant as a
             // single-application synthesis problem and run the compiled

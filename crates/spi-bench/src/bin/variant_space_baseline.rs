@@ -266,6 +266,243 @@ fn measure_exploration(interfaces: usize) -> ExplorationSection {
     }
 }
 
+struct GraphSection {
+    processes: usize,
+    channels: usize,
+    btreemap_clone_ns: u128,
+    slab_clone_ns: u128,
+    clone_from_ns: u128,
+    merge_disjoint_ns: u128,
+    flatten_at_ns: u128,
+}
+
+/// The seed generation's storage layout, faithfully reconstructed for the
+/// clone-cost baseline: `BTreeMap` node/edge tables, heap-`String` node and
+/// mode names, `BTreeMap` per-mode rate tables — everything this PR flattened
+/// into slabs, `Sym`s and sorted `Vec`s. Holding the *same model content* in
+/// both layouts isolates the storage change itself.
+#[allow(dead_code)] // Fields exist to be *cloned* (the cost under measurement), not read.
+mod seed_layout {
+    use std::collections::{BTreeMap, HashMap};
+
+    use spi_model::{
+        BuildSymHasher, ChannelId, ChannelKind, Interval, ModeId, Predicate, ProcessId,
+        ProductionSpec, SpiGraph, Sym,
+    };
+
+    #[derive(Clone)]
+    pub struct SeedMode {
+        pub name: String,
+        pub latency: Interval,
+        pub consumption: BTreeMap<ChannelId, Interval>,
+        pub production: BTreeMap<ChannelId, ProductionSpec>,
+    }
+
+    /// The seed's activation rule: a heap-`String` name (now a `Sym`).
+    #[derive(Clone)]
+    pub struct SeedRule {
+        pub name: String,
+        pub predicate: Predicate,
+        pub mode: ModeId,
+    }
+
+    #[derive(Clone)]
+    pub struct SeedProcess {
+        pub name: String,
+        pub modes: Vec<SeedMode>,
+        pub activation: Vec<SeedRule>,
+        pub is_virtual: bool,
+    }
+
+    #[derive(Clone)]
+    pub struct SeedChannel {
+        pub name: String,
+        pub kind: ChannelKind,
+        pub capacity: Option<usize>,
+    }
+
+    #[derive(Clone)]
+    pub struct SeedGraph {
+        pub processes: BTreeMap<ProcessId, SeedProcess>,
+        pub channels: BTreeMap<ChannelId, SeedChannel>,
+        pub writers: BTreeMap<ChannelId, ProcessId>,
+        pub readers: BTreeMap<ChannelId, ProcessId>,
+        pub process_names: HashMap<Sym, ProcessId, BuildSymHasher>,
+        pub channel_names: HashMap<Sym, ChannelId, BuildSymHasher>,
+    }
+
+    pub fn of(graph: &SpiGraph) -> SeedGraph {
+        SeedGraph {
+            processes: graph
+                .processes()
+                .map(|p| {
+                    (
+                        p.id(),
+                        SeedProcess {
+                            name: p.name().to_string(),
+                            modes: p
+                                .modes()
+                                .iter()
+                                .map(|m| SeedMode {
+                                    name: m.name().to_string(),
+                                    latency: m.latency(),
+                                    consumption: m.consumptions().collect(),
+                                    production: m
+                                        .productions()
+                                        .map(|(c, s)| (c, s.clone()))
+                                        .collect(),
+                                })
+                                .collect(),
+                            activation: p
+                                .activation()
+                                .rules()
+                                .iter()
+                                .map(|rule| SeedRule {
+                                    name: rule.name.as_str().to_string(),
+                                    predicate: rule.predicate.clone(),
+                                    mode: rule.mode,
+                                })
+                                .collect(),
+                            is_virtual: p.is_virtual(),
+                        },
+                    )
+                })
+                .collect(),
+            channels: graph
+                .channels()
+                .map(|c| {
+                    (
+                        c.id(),
+                        SeedChannel {
+                            name: c.name().to_string(),
+                            kind: c.kind(),
+                            capacity: c.capacity(),
+                        },
+                    )
+                })
+                .collect(),
+            writers: graph
+                .channel_ids()
+                .into_iter()
+                .filter_map(|c| graph.writer_of(c).map(|p| (c, p)))
+                .collect(),
+            readers: graph
+                .channel_ids()
+                .into_iter()
+                .filter_map(|c| graph.reader_of(c).map(|p| (c, p)))
+                .collect(),
+            process_names: graph
+                .processes()
+                .map(|p| (Sym::intern(p.name()), p.id()))
+                .collect(),
+            channel_names: graph
+                .channels()
+                .map(|c| (Sym::intern(c.name()), c.id()))
+                .collect(),
+        }
+    }
+}
+
+/// Times the graph-storage primitives the Flattener pays per enumerated
+/// variant — skeleton `clone`/`clone_from` and the `merge_disjoint` splice —
+/// plus the composite `flatten_at` service entry point, and compares the slab
+/// `clone` against the same model content held in the seed's storage layout
+/// (see [`seed_layout`]). CI gates the slab clone staying ≥1.5× faster than
+/// that baseline.
+fn measure_graph(interfaces: usize) -> GraphSection {
+    const RUNS: usize = 9;
+    const SAMPLES: usize = 512;
+
+    let system = scaling_system(interfaces, 2).expect("scaling system builds");
+    let flattener = Flattener::new(&system).expect("flattener builds");
+    let (_, graph) = flattener.flatten_at(0).expect("variant 0 flattens");
+
+    // The two clone costs are measured **paired**: each round times the seed
+    // layout and the slab back to back and records that round's ratio. CI
+    // gates on the ratio, and pairing makes it robust against frequency
+    // scaling / CPU-steal drift on shared runners — whatever slows one side
+    // of a round slows the other, where two independently-taken medians
+    // could land in differently-loaded moments.
+    let seed = seed_layout::of(&graph);
+    let mut rounds: Vec<(u128, u128)> = (0..RUNS)
+        .map(|_| {
+            let started = Instant::now();
+            for _ in 0..SAMPLES {
+                std::hint::black_box(seed.clone());
+            }
+            let seed_ns = started.elapsed().as_nanos() / SAMPLES as u128;
+            let started = Instant::now();
+            for _ in 0..SAMPLES {
+                std::hint::black_box(graph.clone());
+            }
+            let slab_ns = started.elapsed().as_nanos() / SAMPLES as u128;
+            (seed_ns, slab_ns)
+        })
+        .collect();
+    rounds.sort_by(|a, b| {
+        let ratio_a = a.0 as f64 / a.1.max(1) as f64;
+        let ratio_b = b.0 as f64 / b.1.max(1) as f64;
+        ratio_a.total_cmp(&ratio_b)
+    });
+    let (btreemap_clone_ns, slab_clone_ns) = rounds[rounds.len() / 2];
+
+    let skeleton = flattener.skeleton();
+    let mut scratch = SpiGraph::new("");
+    let clone_from_ns = median_ns(RUNS, || {
+        let mut checksum = 0u64;
+        for _ in 0..SAMPLES {
+            scratch.clone_from(skeleton);
+            checksum += scratch.process_count() as u64;
+        }
+        checksum
+    }) / SAMPLES as u128;
+
+    // A name-disjoint guest (the role a pre-renamed cluster plays), spliced
+    // into a fresh skeleton copy per iteration; only the splice is timed.
+    let mut guest = SpiGraph::new("guest");
+    guest
+        .merge(&graph, "bench-guest/")
+        .expect("prefixed names cannot collide");
+    let mut merge_samples: Vec<u128> = (0..RUNS)
+        .map(|_| {
+            let mut total = 0u128;
+            for _ in 0..SAMPLES {
+                scratch.clone_from(skeleton);
+                let started = Instant::now();
+                let map = scratch.merge_disjoint(&guest);
+                total += started.elapsed().as_nanos();
+                std::hint::black_box(map.processes.len());
+            }
+            total / SAMPLES as u128
+        })
+        .collect();
+    merge_samples.sort_unstable();
+    let merge_disjoint_ns = merge_samples[merge_samples.len() / 2];
+
+    let combinations = flattener.space().count();
+    let stride = (combinations / 64).max(1);
+    let flatten_at_ns = median_ns(RUNS, || {
+        (0..combinations)
+            .step_by(stride)
+            .take(64)
+            .map(|index| {
+                let (_, flat) = flattener.flatten_at(index).expect("in-range index");
+                flat.process_count() as u64
+            })
+            .sum::<u64>()
+    }) / 64;
+
+    GraphSection {
+        processes: graph.process_count(),
+        channels: graph.channel_count(),
+        btreemap_clone_ns,
+        slab_clone_ns,
+        clone_from_ns,
+        merge_disjoint_ns,
+        flatten_at_ns,
+    }
+}
+
 struct StoreSection {
     variants: usize,
     cold_submit_ns: u128,
@@ -391,6 +628,9 @@ fn main() {
         partition_rows.push(measure_partition(interfaces));
     }
 
+    eprintln!("measuring graph storage: slab vs BTreeMap clone, merge_disjoint, flatten_at...");
+    let graph = measure_graph(12);
+
     eprintln!("measuring exploration service throughput at 1/4/8 workers...");
     let exploration = measure_exploration(12);
 
@@ -485,6 +725,34 @@ fn main() {
         });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"graph\": {\n");
+    json.push_str(
+        "    \"scenario\": \"scaling_system(12, 2) flattened graph: slab storage vs the seed BTreeMap layout\",\n",
+    );
+    json.push_str(&format!("    \"processes\": {},\n", graph.processes));
+    json.push_str(&format!("    \"channels\": {},\n", graph.channels));
+    json.push_str(&format!(
+        "    \"btreemap_clone_ns\": {},\n",
+        graph.btreemap_clone_ns
+    ));
+    json.push_str(&format!(
+        "    \"slab_clone_ns\": {},\n",
+        graph.slab_clone_ns
+    ));
+    json.push_str(&format!(
+        "    \"clone_speedup\": {:.2},\n",
+        graph.btreemap_clone_ns as f64 / graph.slab_clone_ns.max(1) as f64
+    ));
+    json.push_str(&format!(
+        "    \"clone_from_ns\": {},\n",
+        graph.clone_from_ns
+    ));
+    json.push_str(&format!(
+        "    \"merge_disjoint_ns\": {},\n",
+        graph.merge_disjoint_ns
+    ));
+    json.push_str(&format!("    \"flatten_at_ns\": {}\n", graph.flatten_at_ns));
+    json.push_str("  },\n");
     json.push_str("  \"exploration\": {\n");
     json.push_str(&format!(
         "    \"scenario\": \"scaling_system({}, 2) through PartitionEvaluator (hashed params, auto strategy)\",\n",

@@ -20,6 +20,9 @@
 //! session cleanly — in-flight shard drains run to completion and commit,
 //! then the store is compacted and synced. Pending shards resume on the next
 //! start over the same `--store` directory.
+//!
+//! The full operator guide — every op with request/response examples, flag
+//! reference and recovery semantics — lives in `docs/spi-explored.md`.
 
 use std::io::{BufReader, Write};
 use std::time::Duration;

@@ -17,8 +17,10 @@
 
 use spi_model::json::{JsonValue, ToJson};
 use spi_model::SpiGraph;
-use spi_synth::partition::optimize as optimize_partition;
-use spi_synth::{from_flat_graph, FeasibilityMode, SearchStrategy, SynthError, TaskParams};
+use spi_synth::partition::optimize_compiled;
+use spi_synth::{
+    compiled_from_flat_graph, FeasibilityMode, SearchStrategy, SynthError, TaskParams,
+};
 use spi_variants::VariantChoice;
 
 use crate::error::ExploreError;
@@ -148,8 +150,9 @@ fn fnv1a(name: &str, seed: u64) -> u64 {
 // --- the default evaluator -------------------------------------------------------------
 
 /// The default evaluator: pose the flattened graph as a single-application
-/// synthesis problem ([`from_flat_graph`]) and run the compiled partition
-/// search; the variant's cost is the optimal total implementation cost.
+/// compiled problem ([`compiled_from_flat_graph`] — straight from the node
+/// slab, no string-keyed intermediate) and run the compiled partition search;
+/// the variant's cost is the optimal total implementation cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionEvaluator {
     /// Cost of the embedded processor (incurred once if anything runs in SW).
@@ -234,10 +237,13 @@ impl Evaluator for PartitionEvaluator {
         graph: &SpiGraph,
         _incumbent: u64,
     ) -> Result<Evaluation> {
-        let problem = from_flat_graph(graph, self.processor_cost, |name| {
+        // The direct slab → CompiledProblem path: one pass over the flattened
+        // graph's node slab, no string-keyed SynthesisProblem in between
+        // (bit-identical to the two-step path, pinned in spi-synth's tests).
+        let compiled = compiled_from_flat_graph(graph, self.processor_cost, |name| {
             Some(self.params.params_for(name))
         })?;
-        match optimize_partition(&problem, self.mode, self.strategy) {
+        match optimize_compiled(&compiled, self.mode, self.strategy) {
             Ok(result) => Ok(Evaluation {
                 cost: result.cost.total(),
                 feasible: true,
@@ -324,6 +330,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spi_synth::from_flat_graph;
+    use spi_synth::partition::optimize as optimize_partition;
     use spi_workloads::scaling_system;
 
     #[test]

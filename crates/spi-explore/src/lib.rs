@@ -64,8 +64,8 @@ pub use durability::{DurabilitySink, WalSink};
 pub use error::ExploreError;
 pub use evaluator::{Evaluation, Evaluator, FnEvaluator, PartitionEvaluator, TaskParamsSpec};
 pub use registry::{
-    JobEvent, JobId, JobRegistry, JobSpec, JobState, JobStatus, Lease, LeaseId, RegistryConfig,
-    RestoreStats,
+    JobEvent, JobId, JobRegistry, JobSpec, JobState, JobStatus, LatencyQuantiles, Lease, LeaseId,
+    RegistryConfig, RestoreStats,
 };
 pub use report::{BestVariant, ShardReport};
 pub use service::{ExplorationService, ServiceConfig};

@@ -286,6 +286,34 @@ pub enum JobEvent {
     },
 }
 
+/// Completed-shard latency quantiles of one job, for operators watching the
+/// `jobs` op: where the shard-duration distribution sits and how long its
+/// tail is. Quantiles are `None` until the first shard of the job commits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyQuantiles {
+    /// Completed-shard duration samples observed so far.
+    pub samples: u64,
+    /// Median shard duration (nearest-rank p50), in nanoseconds.
+    pub p50_ns: Option<u64>,
+    /// The p95 shard duration — the quantile the default hedging policy
+    /// multiplies to find stragglers.
+    pub p95_ns: Option<u64>,
+    /// The slowest completed shard.
+    pub max_ns: Option<u64>,
+}
+
+impl LatencyQuantiles {
+    /// Snapshot of a tracker's current quantiles.
+    fn of(tracker: &LatencyTracker) -> LatencyQuantiles {
+        LatencyQuantiles {
+            samples: tracker.count(),
+            p50_ns: tracker.quantile_ns(50),
+            p95_ns: tracker.quantile_ns(95),
+            max_ns: tracker.quantile_ns(100),
+        }
+    }
+}
+
 /// A point-in-time snapshot of a job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobStatus {
@@ -312,6 +340,9 @@ pub struct JobStatus {
     pub hedges_issued: u64,
     /// How many shards were won by a hedge rather than the original lease.
     pub hedge_wins: u64,
+    /// Completed-shard latency quantiles (empty until a shard commits; reset
+    /// after a restart — durations are wall-clock of this process's run).
+    pub latency: LatencyQuantiles,
     /// Merged counters: committed plus currently-staged (staged parts are
     /// observational — they vanish if their lease expires; exact once the
     /// state is terminal).
@@ -407,6 +438,7 @@ impl Job {
             cache_hit: self.cache_hit,
             hedges_issued: self.hedges_issued,
             hedge_wins: self.hedge_wins,
+            latency: LatencyQuantiles::of(&self.latencies),
             report,
         }
     }

@@ -349,6 +349,19 @@ fn dispatch(service: &ExplorationService, request: &JsonValue) -> Result<JsonVal
                                 ("shards_done", status.shards_done.to_json()),
                                 ("shards", status.shard_count.to_json()),
                                 ("evaluated", status.report.evaluated.to_json()),
+                                ("hedges_issued", status.hedges_issued.to_json()),
+                                ("hedge_wins", status.hedge_wins.to_json()),
+                                // Completed-shard latency quantiles: null until
+                                // the first shard of the job commits.
+                                (
+                                    "latency_ns",
+                                    JsonValue::object([
+                                        ("samples", status.latency.samples.to_json()),
+                                        ("p50", status.latency.p50_ns.to_json()),
+                                        ("p95", status.latency.p95_ns.to_json()),
+                                        ("max", status.latency.max_ns.to_json()),
+                                    ]),
+                                ),
                             ])
                         })
                         .collect(),
@@ -573,6 +586,17 @@ mod tests {
         assert_eq!(jobs[1].get("name").unwrap().as_str(), Some("b"));
         for job in jobs {
             assert_eq!(job.get("state").unwrap().as_str(), Some("completed"));
+            // Operator observability: hedge counters and completed-shard
+            // latency quantiles ride on every listing entry.
+            assert!(job.get("hedges_issued").unwrap().as_u64().is_some());
+            assert!(job.get("hedge_wins").unwrap().as_u64().is_some());
+            let latency = job.get("latency_ns").unwrap();
+            let samples = latency.get("samples").unwrap().as_u64().unwrap();
+            assert!(samples >= 1, "a completed job has committed shards");
+            let p50 = latency.get("p50").unwrap().as_u64().unwrap();
+            let p95 = latency.get("p95").unwrap().as_u64().unwrap();
+            let max = latency.get("max").unwrap().as_u64().unwrap();
+            assert!(p50 <= p95 && p95 <= max);
         }
     }
 

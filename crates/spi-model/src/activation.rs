@@ -17,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-use crate::ids::{ChannelId, ModeId};
+use crate::ids::{ChannelId, ModeId, Sym};
 use crate::tag::Tag;
 
 /// Read-only view of channel state needed to evaluate a [`Predicate`].
@@ -187,10 +187,7 @@ impl Predicate {
     }
 
     /// Internal: relabel channel references after a graph merge.
-    pub(crate) fn remap_channels(
-        &mut self,
-        map: &std::collections::BTreeMap<ChannelId, ChannelId>,
-    ) {
+    pub(crate) fn remap_channels(&mut self, map: &crate::ids::IdRemap<ChannelId>) {
         match self {
             Predicate::True | Predicate::False => {}
             Predicate::MinTokens { channel, .. }
@@ -246,8 +243,9 @@ impl fmt::Display for Predicate {
 /// A single activation rule: predicate → mode.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ActivationRule {
-    /// Rule name (e.g. `a1`).
-    pub name: String,
+    /// Rule name (e.g. `a1`), interned — rules are cloned with their process
+    /// once per enumerated variant, so the name is a `Copy` handle.
+    pub name: Sym,
     /// Predicate over the process's input channels.
     pub predicate: Predicate,
     /// Mode activated when the predicate holds.
@@ -256,9 +254,9 @@ pub struct ActivationRule {
 
 impl ActivationRule {
     /// Creates a named activation rule.
-    pub fn new(name: impl Into<String>, predicate: Predicate, mode: ModeId) -> Self {
+    pub fn new(name: impl AsRef<str>, predicate: Predicate, mode: ModeId) -> Self {
         ActivationRule {
-            name: name.into(),
+            name: Sym::intern(name.as_ref()),
             predicate,
             mode,
         }
@@ -350,10 +348,7 @@ impl ActivationFunction {
     }
 
     /// Internal: relabel channel references after a graph merge.
-    pub(crate) fn remap_channels(
-        &mut self,
-        map: &std::collections::BTreeMap<ChannelId, ChannelId>,
-    ) {
+    pub(crate) fn remap_channels(&mut self, map: &crate::ids::IdRemap<ChannelId>) {
         for rule in &mut self.rules {
             rule.predicate.remap_channels(map);
         }
@@ -428,7 +423,13 @@ mod tests {
             .with_rule(ActivationRule::new("r1", Predicate::True, ModeId::new(7)))
             .with_rule(ActivationRule::new("r2", Predicate::True, ModeId::new(8)));
         assert_eq!(af.select(&ChannelSnapshot::new()), Some(ModeId::new(7)));
-        assert_eq!(af.select_rule(&ChannelSnapshot::new()).unwrap().name, "r1");
+        assert_eq!(
+            af.select_rule(&ChannelSnapshot::new())
+                .unwrap()
+                .name
+                .as_str(),
+            "r1"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::error::ModelError;
-use crate::ids::ChannelId;
+use crate::ids::{ChannelId, Sym};
 use crate::token::Token;
 
 /// The two channel disciplines of the SPI model.
@@ -36,7 +36,9 @@ impl fmt::Display for ChannelKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Channel {
     id: ChannelId,
-    name: String,
+    /// Interned — see [`crate::Process`]: the Flattener clones every channel
+    /// of the skeleton per enumerated variant, so the name is a `Copy` handle.
+    name: Sym,
     kind: ChannelKind,
     capacity: Option<usize>,
     initial_tokens: Vec<Token>,
@@ -52,12 +54,19 @@ impl Channel {
     /// than one, and [`ModelError::Validation`] if the initial tokens exceed the capacity.
     pub fn new(
         id: ChannelId,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         kind: ChannelKind,
     ) -> Result<Self, ModelError> {
-        Ok(Channel {
+        Ok(Self::new_interned(id, Sym::intern(name.as_ref()), kind))
+    }
+
+    /// Internal: [`new`](Self::new) with a pre-interned name — the graph
+    /// interns once for its duplicate-name check and passes the symbol along
+    /// instead of paying a second interner probe.
+    pub(crate) fn new_interned(id: ChannelId, name: Sym, kind: ChannelKind) -> Self {
+        Channel {
             id,
-            name: name.into(),
+            name,
             kind,
             capacity: match kind {
                 ChannelKind::Queue => None,
@@ -65,7 +74,7 @@ impl Channel {
             },
             initial_tokens: Vec::new(),
             is_virtual: false,
-        })
+        }
     }
 
     /// Sets a finite capacity (queues only; registers always have capacity one).
@@ -120,7 +129,12 @@ impl Channel {
 
     /// Human-readable channel name.
     pub fn name(&self) -> &str {
-        &self.name
+        self.name.as_str()
+    }
+
+    /// The interned name symbol (what the graph's name indexes key on).
+    pub fn name_sym(&self) -> Sym {
+        self.name
     }
 
     /// Channel discipline.
@@ -150,7 +164,7 @@ impl Channel {
     }
 
     /// Internal: used by graph merging to rename the channel.
-    pub(crate) fn with_name(mut self, name: String) -> Self {
+    pub(crate) fn with_name(mut self, name: Sym) -> Self {
         self.name = name;
         self
     }

@@ -5,14 +5,26 @@
 //! most one reading process. [`SpiGraph`] owns the nodes, allocates identifiers, stores
 //! the edge relation and offers validation and merging (the latter is the workhorse of
 //! the variants layer when clusters are spliced into a parent graph).
+//!
+//! # Storage layout
+//!
+//! Nodes live in **index-dense slabs**: `Vec<Option<Process>>` / `Vec<Option<Channel>>`
+//! where a node's slot index *is* its id's raw value. Ids are allocated by pushing, a
+//! removal leaves a `None` tombstone (so ids stay stable, exactly as the `BTreeMap`
+//! generation of this type behaved), and iteration walks the slab in slot order —
+//! which is id order, which is insertion order. The writer/reader edge relation is a
+//! pair of `Vec<Option<ProcessId>>` parallel to the channel slab. This makes the two
+//! operations the variants layer performs per enumerated variant — `clone`/`clone_from`
+//! of a skeleton and [`merge_disjoint`](SpiGraph::merge_disjoint) of pre-renamed
+//! clusters — flat `Vec` copies and appends instead of per-node tree splices.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::channel::{Channel, ChannelKind};
 use crate::error::ModelError;
-use crate::ids::{BuildSymHasher, ChannelId, Interner, ProcessId, Sym};
+use crate::ids::{BuildSymHasher, ChannelId, IdRemap, Interner, ProcessId, Sym};
 use crate::process::Process;
 
 /// Reference to either kind of node.
@@ -62,13 +74,20 @@ impl fmt::Display for Edge {
     }
 }
 
-/// Identifier remapping produced by [`SpiGraph::merge`].
+/// Identifier remapping produced by [`SpiGraph::merge`] and
+/// [`SpiGraph::merge_disjoint`].
+///
+/// Both sides are dense [`IdRemap`] tables — `O(1)` Vec probes, built in one
+/// `O(n)` pass alongside the node append. When the merged-in graph is
+/// tombstone-free (it never had a node removed), the new ids are exactly
+/// `old + offset`, where the offset is the receiving slab's length before the
+/// merge.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MergeMap {
     /// Old process id (in the merged-in graph) to new id (in the receiving graph).
-    pub processes: BTreeMap<ProcessId, ProcessId>,
+    pub processes: IdRemap<ProcessId>,
     /// Old channel id (in the merged-in graph) to new id (in the receiving graph).
-    pub channels: BTreeMap<ChannelId, ChannelId>,
+    pub channels: IdRemap<ChannelId>,
 }
 
 /// The symbol-keyed name indexes use the single-multiply [`SymHasher`] — the
@@ -76,15 +95,27 @@ pub struct MergeMap {
 type NameIndex<Id> = HashMap<Sym, Id, BuildSymHasher>;
 
 /// A directed, bipartite SPI model graph.
+///
+/// See the [module docs](self) for the slab storage layout; the observable
+/// id/iteration semantics (stable ids, insertion-order iteration) are
+/// identical to the earlier `BTreeMap`-backed generation of this type.
 #[derive(Debug, Default, Serialize, Deserialize)]
 pub struct SpiGraph {
     name: String,
-    processes: BTreeMap<ProcessId, Process>,
-    channels: BTreeMap<ChannelId, Channel>,
-    writers: BTreeMap<ChannelId, ProcessId>,
-    readers: BTreeMap<ChannelId, ProcessId>,
-    next_process: u32,
-    next_channel: u32,
+    /// Process slab: slot `i` holds the process with id `i`, `None` once it
+    /// was removed. The slab never shrinks, so ids are stable and the next
+    /// fresh id is always `processes.len()`.
+    processes: Vec<Option<Process>>,
+    /// Channel slab; see `processes`.
+    channels: Vec<Option<Channel>>,
+    /// Writer endpoint per channel slot (parallel to `channels`).
+    writers: Vec<Option<ProcessId>>,
+    /// Reader endpoint per channel slot (parallel to `channels`).
+    readers: Vec<Option<ProcessId>>,
+    /// Number of `Some` slots in `processes`, so `process_count` stays O(1).
+    live_processes: u32,
+    /// Number of `Some` slots in `channels`.
+    live_channels: u32,
     /// Interned name → process id; the `resolve`-by-name index. Node names are
     /// immutable once inserted (`with_name` is pre-insertion only), so the
     /// index can never go stale; it is maintained by every insert/remove/merge.
@@ -98,8 +129,9 @@ pub struct SpiGraph {
 /// Hand-written so that `clone_from` actually reuses allocations: the
 /// `Flattener` hot loop rebuilds a scratch graph from the skeleton once per
 /// variant (`flatten_into` starts with `graph.clone_from(&skeleton)`), and the
-/// field-wise `clone_from`s let the maps recycle their buckets instead of
-/// reallocating per combination.
+/// field-wise `clone_from`s let the slabs recycle both the outer `Vec` buffers
+/// and the per-node heap blocks (`Vec::clone_from` element-wise-clones into
+/// the existing slots) instead of reallocating per combination.
 impl Clone for SpiGraph {
     fn clone(&self) -> Self {
         SpiGraph {
@@ -108,8 +140,8 @@ impl Clone for SpiGraph {
             channels: self.channels.clone(),
             writers: self.writers.clone(),
             readers: self.readers.clone(),
-            next_process: self.next_process,
-            next_channel: self.next_channel,
+            live_processes: self.live_processes,
+            live_channels: self.live_channels,
             process_names: self.process_names.clone(),
             channel_names: self.channel_names.clone(),
         }
@@ -121,8 +153,8 @@ impl Clone for SpiGraph {
         self.channels.clone_from(&source.channels);
         self.writers.clone_from(&source.writers);
         self.readers.clone_from(&source.readers);
-        self.next_process = source.next_process;
-        self.next_channel = source.next_channel;
+        self.live_processes = source.live_processes;
+        self.live_channels = source.live_channels;
         self.process_names.clone_from(&source.process_names);
         self.channel_names.clone_from(&source.channel_names);
     }
@@ -131,7 +163,9 @@ impl Clone for SpiGraph {
 /// Node-content equality. The `*_names` indexes are derived data (a pure
 /// function of the node tables), so they are deliberately excluded — two
 /// graphs with equal nodes and edges are equal even if one was deserialized
-/// in a process with a differently-populated interner.
+/// in a process with a differently-populated interner. Tombstones are part of
+/// the comparison (they determine which ids future inserts receive), matching
+/// the id-counter comparison of the map-backed generation.
 impl PartialEq for SpiGraph {
     fn eq(&self, other: &Self) -> bool {
         self.name == other.name
@@ -139,8 +173,6 @@ impl PartialEq for SpiGraph {
             && self.channels == other.channels
             && self.writers == other.writers
             && self.readers == other.readers
-            && self.next_process == other.next_process
-            && self.next_channel == other.next_channel
     }
 }
 
@@ -160,6 +192,16 @@ impl SpiGraph {
 
     // --- node management -----------------------------------------------------------
 
+    /// The id the next process insert will receive: its slab slot.
+    fn next_process_id(&self) -> ProcessId {
+        ProcessId::new(u32::try_from(self.processes.len()).expect("process slab overflow"))
+    }
+
+    /// The id the next channel insert will receive: its slab slot.
+    fn next_channel_id(&self) -> ChannelId {
+        ChannelId::new(u32::try_from(self.channels.len()).expect("channel slab overflow"))
+    }
+
     /// Adds an empty process and returns its id.
     ///
     /// # Errors
@@ -171,9 +213,9 @@ impl SpiGraph {
         if self.process_names.contains_key(&sym) {
             return Err(ModelError::DuplicateName(name));
         }
-        let id = ProcessId::new(self.next_process);
-        self.next_process += 1;
-        self.processes.insert(id, Process::new(id, name));
+        let id = self.next_process_id();
+        self.processes.push(Some(Process::new_interned(id, sym)));
+        self.live_processes += 1;
         self.process_names.insert(sym, id);
         Ok(id)
     }
@@ -193,9 +235,12 @@ impl SpiGraph {
         if self.channel_names.contains_key(&sym) {
             return Err(ModelError::DuplicateName(name));
         }
-        let id = ChannelId::new(self.next_channel);
-        self.next_channel += 1;
-        self.channels.insert(id, Channel::new(id, name, kind)?);
+        let id = self.next_channel_id();
+        self.channels
+            .push(Some(Channel::new_interned(id, sym, kind)));
+        self.writers.push(None);
+        self.readers.push(None);
+        self.live_channels += 1;
         self.channel_names.insert(sym, id);
         Ok(id)
     }
@@ -208,26 +253,26 @@ impl SpiGraph {
     /// Returns [`ModelError::UnknownChannel`] if the id does not exist.
     pub fn replace_channel(&mut self, channel: Channel) -> Result<(), ModelError> {
         let id = channel.id();
-        let Some(previous) = self.channels.get(&id) else {
+        let Some(previous) = self.channel(id) else {
             return Err(ModelError::UnknownChannel(id));
         };
-        if previous.name() != channel.name() {
+        if previous.name_sym() != channel.name_sym() {
             // Replacement normally keeps the name (it adjusts capacities or
             // initial tokens); when it does not, move the index entry along.
-            let new_sym = Sym::intern(channel.name());
+            let new_sym = channel.name_sym();
             if self.channel_names.contains_key(&new_sym) {
                 return Err(ModelError::DuplicateName(channel.name().to_string()));
             }
-            self.channel_names.remove(&Sym::intern(previous.name()));
+            self.channel_names.remove(&previous.name_sym());
             self.channel_names.insert(new_sym, id);
         }
-        self.channels.insert(id, channel);
+        self.channels[id.index() as usize] = Some(channel);
         Ok(())
     }
 
     /// Looks up a process.
     pub fn process(&self, id: ProcessId) -> Option<&Process> {
-        self.processes.get(&id)
+        self.processes.get(id.index() as usize)?.as_ref()
     }
 
     /// Mutable access to a process — for editing modes, rates, activation and
@@ -238,12 +283,12 @@ impl SpiGraph {
     /// the graph API; rebuild via [`merge`](Self::merge) with a prefix
     /// instead.
     pub fn process_mut(&mut self, id: ProcessId) -> Option<&mut Process> {
-        self.processes.get_mut(&id)
+        self.processes.get_mut(id.index() as usize)?.as_mut()
     }
 
     /// Looks up a channel.
     pub fn channel(&self, id: ChannelId) -> Option<&Channel> {
-        self.channels.get(&id)
+        self.channels.get(id.index() as usize)?.as_ref()
     }
 
     /// Mutable access to a channel. As with [`process_mut`](Self::process_mut),
@@ -252,7 +297,7 @@ impl SpiGraph {
     /// [`replace_channel`](Self::replace_channel), which keeps the name index
     /// consistent.
     pub fn channel_mut(&mut self, id: ChannelId) -> Option<&mut Channel> {
-        self.channels.get_mut(&id)
+        self.channels.get_mut(id.index() as usize)?.as_mut()
     }
 
     /// Finds a process by name via the `Sym`-keyed index — one interner lookup
@@ -268,7 +313,7 @@ impl SpiGraph {
     pub fn process_by_sym(&self, name: Sym) -> Option<&Process> {
         self.process_names
             .get(&name)
-            .and_then(|id| self.processes.get(id))
+            .and_then(|id| self.process(*id))
     }
 
     /// Finds a channel by name via the `Sym`-keyed index; see
@@ -281,40 +326,43 @@ impl SpiGraph {
     pub fn channel_by_sym(&self, name: Sym) -> Option<&Channel> {
         self.channel_names
             .get(&name)
-            .and_then(|id| self.channels.get(id))
+            .and_then(|id| self.channel(*id))
     }
 
-    /// Iterates over all processes in id order.
+    /// Iterates over all processes in id order (= insertion order).
     pub fn processes(&self) -> impl Iterator<Item = &Process> {
-        self.processes.values()
+        self.processes.iter().filter_map(Option::as_ref)
     }
 
-    /// Iterates over all channels in id order.
+    /// Iterates over all channels in id order (= insertion order).
     pub fn channels(&self) -> impl Iterator<Item = &Channel> {
-        self.channels.values()
+        self.channels.iter().filter_map(Option::as_ref)
     }
 
     /// All process ids in order.
     pub fn process_ids(&self) -> Vec<ProcessId> {
-        self.processes.keys().copied().collect()
+        self.processes().map(Process::id).collect()
     }
 
     /// All channel ids in order.
     pub fn channel_ids(&self) -> Vec<ChannelId> {
-        self.channels.keys().copied().collect()
+        self.channels().map(Channel::id).collect()
     }
 
     /// Number of processes.
     pub fn process_count(&self) -> usize {
-        self.processes.len()
+        self.live_processes as usize
     }
 
     /// Number of channels.
     pub fn channel_count(&self) -> usize {
-        self.channels.len()
+        self.live_channels as usize
     }
 
     /// Removes a process and all edges incident to it.
+    ///
+    /// The slab slot becomes a tombstone: the id is never reused and every
+    /// other id stays stable.
     ///
     /// # Errors
     ///
@@ -322,15 +370,28 @@ impl SpiGraph {
     pub fn remove_process(&mut self, id: ProcessId) -> Result<Process, ModelError> {
         let process = self
             .processes
-            .remove(&id)
+            .get_mut(id.index() as usize)
+            .and_then(Option::take)
             .ok_or(ModelError::UnknownProcess(id))?;
-        self.writers.retain(|_, p| *p != id);
-        self.readers.retain(|_, p| *p != id);
-        self.process_names.remove(&Sym::intern(process.name()));
+        for writer in &mut self.writers {
+            if *writer == Some(id) {
+                *writer = None;
+            }
+        }
+        for reader in &mut self.readers {
+            if *reader == Some(id) {
+                *reader = None;
+            }
+        }
+        self.live_processes -= 1;
+        self.process_names.remove(&process.name_sym());
         Ok(process)
     }
 
     /// Removes a channel and all edges incident to it.
+    ///
+    /// The slab slot becomes a tombstone; see
+    /// [`remove_process`](Self::remove_process).
     ///
     /// # Errors
     ///
@@ -338,11 +399,13 @@ impl SpiGraph {
     pub fn remove_channel(&mut self, id: ChannelId) -> Result<Channel, ModelError> {
         let channel = self
             .channels
-            .remove(&id)
+            .get_mut(id.index() as usize)
+            .and_then(Option::take)
             .ok_or(ModelError::UnknownChannel(id))?;
-        self.writers.remove(&id);
-        self.readers.remove(&id);
-        self.channel_names.remove(&Sym::intern(channel.name()));
+        self.writers[id.index() as usize] = None;
+        self.readers[id.index() as usize] = None;
+        self.live_channels -= 1;
+        self.channel_names.remove(&channel.name_sym());
         Ok(channel)
     }
 
@@ -355,10 +418,11 @@ impl SpiGraph {
     /// Returns an error if either node is unknown or the channel already has a writer.
     pub fn set_writer(&mut self, channel: ChannelId, process: ProcessId) -> Result<(), ModelError> {
         self.check_nodes(channel, process)?;
-        if self.writers.contains_key(&channel) {
+        let slot = &mut self.writers[channel.index() as usize];
+        if slot.is_some() {
             return Err(ModelError::ChannelHasWriter(channel));
         }
-        self.writers.insert(channel, process);
+        *slot = Some(process);
         Ok(())
     }
 
@@ -369,28 +433,33 @@ impl SpiGraph {
     /// Returns an error if either node is unknown or the channel already has a reader.
     pub fn set_reader(&mut self, channel: ChannelId, process: ProcessId) -> Result<(), ModelError> {
         self.check_nodes(channel, process)?;
-        if self.readers.contains_key(&channel) {
+        let slot = &mut self.readers[channel.index() as usize];
+        if slot.is_some() {
             return Err(ModelError::ChannelHasReader(channel));
         }
-        self.readers.insert(channel, process);
+        *slot = Some(process);
         Ok(())
     }
 
     /// Detaches the writer of a channel, if any, and returns it.
     pub fn clear_writer(&mut self, channel: ChannelId) -> Option<ProcessId> {
-        self.writers.remove(&channel)
+        self.writers
+            .get_mut(channel.index() as usize)
+            .and_then(Option::take)
     }
 
     /// Detaches the reader of a channel, if any, and returns it.
     pub fn clear_reader(&mut self, channel: ChannelId) -> Option<ProcessId> {
-        self.readers.remove(&channel)
+        self.readers
+            .get_mut(channel.index() as usize)
+            .and_then(Option::take)
     }
 
     fn check_nodes(&self, channel: ChannelId, process: ProcessId) -> Result<(), ModelError> {
-        if !self.channels.contains_key(&channel) {
+        if self.channel(channel).is_none() {
             return Err(ModelError::UnknownChannel(channel));
         }
-        if !self.processes.contains_key(&process) {
+        if self.process(process).is_none() {
             return Err(ModelError::UnknownProcess(process));
         }
         Ok(())
@@ -398,48 +467,59 @@ impl SpiGraph {
 
     /// Writing process of a channel, if attached.
     pub fn writer_of(&self, channel: ChannelId) -> Option<ProcessId> {
-        self.writers.get(&channel).copied()
+        self.writers
+            .get(channel.index() as usize)
+            .copied()
+            .flatten()
     }
 
     /// Reading process of a channel, if attached.
     pub fn reader_of(&self, channel: ChannelId) -> Option<ProcessId> {
-        self.readers.get(&channel).copied()
-    }
-
-    /// Channels read by a process (its input channels by topology).
-    pub fn inputs_of(&self, process: ProcessId) -> Vec<ChannelId> {
         self.readers
-            .iter()
-            .filter(|(_, p)| **p == process)
-            .map(|(c, _)| *c)
-            .collect()
+            .get(channel.index() as usize)
+            .copied()
+            .flatten()
     }
 
-    /// Channels written by a process (its output channels by topology).
+    /// Channels read by a process (its input channels by topology), in
+    /// ascending channel-id order.
+    pub fn inputs_of(&self, process: ProcessId) -> Vec<ChannelId> {
+        Self::incident(&self.readers, process)
+    }
+
+    /// Channels written by a process (its output channels by topology), in
+    /// ascending channel-id order.
     pub fn outputs_of(&self, process: ProcessId) -> Vec<ChannelId> {
-        self.writers
+        Self::incident(&self.writers, process)
+    }
+
+    /// Channel slots of `endpoints` holding `process`, as channel ids.
+    fn incident(endpoints: &[Option<ProcessId>], process: ProcessId) -> Vec<ChannelId> {
+        endpoints
             .iter()
-            .filter(|(_, p)| **p == process)
-            .map(|(c, _)| *c)
+            .enumerate()
+            .filter(|(_, p)| **p == Some(process))
+            .map(|(slot, _)| ChannelId::new(slot as u32))
             .collect()
     }
 
     /// All edges of the graph.
     pub fn edges(&self) -> Vec<Edge> {
-        let mut edges: Vec<Edge> = self
-            .writers
-            .iter()
-            .map(|(c, p)| Edge {
-                process: *p,
-                channel: *c,
-                direction: EdgeDirection::ProcessToChannel,
-            })
-            .chain(self.readers.iter().map(|(c, p)| Edge {
-                process: *p,
-                channel: *c,
-                direction: EdgeDirection::ChannelToProcess,
-            }))
-            .collect();
+        let attached = |endpoints: &[Option<ProcessId>], direction: EdgeDirection| {
+            endpoints
+                .iter()
+                .enumerate()
+                .filter_map(move |(slot, p)| {
+                    p.map(|process| Edge {
+                        process,
+                        channel: ChannelId::new(slot as u32),
+                        direction,
+                    })
+                })
+                .collect::<Vec<Edge>>()
+        };
+        let mut edges = attached(&self.writers, EdgeDirection::ProcessToChannel);
+        edges.extend(attached(&self.readers, EdgeDirection::ChannelToProcess));
         edges.sort_by_key(|e| {
             (
                 e.channel,
@@ -452,7 +532,7 @@ impl SpiGraph {
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.writers.len() + self.readers.len()
+        self.writers.iter().flatten().count() + self.readers.iter().flatten().count()
     }
 
     /// Successor processes of a process (processes reading a channel this process writes).
@@ -493,7 +573,7 @@ impl SpiGraph {
     ///
     /// Returns the first violation found.
     pub fn validate(&self) -> Result<(), ModelError> {
-        for process in self.processes.values() {
+        for process in self.processes() {
             process.validate()?;
             let inputs = self.inputs_of(process.id());
             let outputs = self.outputs_of(process.id());
@@ -542,47 +622,57 @@ impl SpiGraph {
         let mut map = MergeMap::default();
 
         // Channels first so processes can have their references rewritten in one pass.
-        for channel in other.channels.values() {
+        for channel in other.channels() {
             let new_name = format!("{prefix}{}", channel.name());
             let sym = Sym::intern(&new_name);
             if self.channel_names.contains_key(&sym) {
                 return Err(ModelError::DuplicateName(new_name));
             }
-            let id = ChannelId::new(self.next_channel);
-            self.next_channel += 1;
+            let id = self.next_channel_id();
             self.channels
-                .insert(id, channel.clone().with_id(id).with_name(new_name));
+                .push(Some(channel.clone().with_id(id).with_name(sym)));
+            self.writers.push(None);
+            self.readers.push(None);
+            self.live_channels += 1;
             self.channel_names.insert(sym, id);
             map.channels.insert(channel.id(), id);
         }
 
-        for process in other.processes.values() {
+        for process in other.processes() {
             let new_name = format!("{prefix}{}", process.name());
             let sym = Sym::intern(&new_name);
             if self.process_names.contains_key(&sym) {
                 return Err(ModelError::DuplicateName(new_name));
             }
-            let id = ProcessId::new(self.next_process);
-            self.next_process += 1;
-            let mut copied = process.clone().with_id(id).with_name(new_name);
+            let id = self.next_process_id();
+            let mut copied = process.clone().with_id(id).with_name(sym);
             copied.remap_channels(&map.channels);
-            self.processes.insert(id, copied);
+            self.processes.push(Some(copied));
+            self.live_processes += 1;
             self.process_names.insert(sym, id);
             map.processes.insert(process.id(), id);
         }
 
-        for (channel, process) in &other.writers {
-            let c = map.channels[channel];
-            let p = map.processes[process];
-            self.writers.insert(c, p);
-        }
-        for (channel, process) in &other.readers {
-            let c = map.channels[channel];
-            let p = map.processes[process];
-            self.readers.insert(c, p);
-        }
-
+        self.copy_edges(other, &map);
         Ok(map)
+    }
+
+    /// Rewires `other`'s writer/reader relation into `self` through `map` —
+    /// the shared tail of both merge flavours. Edge slots of removed channels
+    /// are already `None` in `other`, so tombstones need no special case.
+    fn copy_edges(&mut self, other: &SpiGraph, map: &MergeMap) {
+        for (slot, process) in other.writers.iter().enumerate() {
+            if let Some(process) = process {
+                let c = map.channels[&ChannelId::new(slot as u32)];
+                self.writers[c.index() as usize] = Some(map.processes[process]);
+            }
+        }
+        for (slot, process) in other.readers.iter().enumerate() {
+            if let Some(process) = process {
+                let c = map.channels[&ChannelId::new(slot as u32)];
+                self.readers[c.index() as usize] = Some(map.processes[process]);
+            }
+        }
     }
 
     /// Copies every node and edge of `other` into `self`, relabelling identifiers but
@@ -596,42 +686,50 @@ impl SpiGraph {
     /// the same pre-renamed cluster graphs into fresh skeleton clones many times.
     /// Debug builds still assert disjointness.
     pub fn merge_disjoint(&mut self, other: &SpiGraph) -> MergeMap {
-        let mut map = MergeMap::default();
+        let mut map = MergeMap {
+            processes: IdRemap::with_capacity(other.processes.len()),
+            channels: IdRemap::with_capacity(other.channels.len()),
+        };
 
-        for channel in other.channels.values() {
+        // O(n) slab append: every live node of `other` is pushed onto the end
+        // of `self`'s slab, so when `other` is tombstone-free the new ids are
+        // exactly `old + offset` (offset = `self`'s pre-merge slab length) —
+        // an offset-shift rather than a per-node tree splice. Tombstoned
+        // slots of `other` are skipped (not copied), so the receiving graph
+        // stays as dense as it was.
+        self.channels.reserve(other.channel_count());
+        self.writers.reserve(other.channel_count());
+        self.readers.reserve(other.channel_count());
+        for channel in other.channels() {
             debug_assert!(
                 self.channel_by_name(channel.name()).is_none(),
                 "merge_disjoint: channel name `{}` already present",
                 channel.name()
             );
-            let id = ChannelId::new(self.next_channel);
-            self.next_channel += 1;
-            self.channels.insert(id, channel.clone().with_id(id));
+            let id = self.next_channel_id();
+            self.channels.push(Some(channel.clone().with_id(id)));
+            self.writers.push(None);
+            self.readers.push(None);
             map.channels.insert(channel.id(), id);
         }
+        self.live_channels += other.live_channels;
 
-        for process in other.processes.values() {
+        self.processes.reserve(other.process_count());
+        for process in other.processes() {
             debug_assert!(
                 self.process_by_name(process.name()).is_none(),
                 "merge_disjoint: process name `{}` already present",
                 process.name()
             );
-            let id = ProcessId::new(self.next_process);
-            self.next_process += 1;
+            let id = self.next_process_id();
             let mut copied = process.clone().with_id(id);
             copied.remap_channels(&map.channels);
-            self.processes.insert(id, copied);
+            self.processes.push(Some(copied));
             map.processes.insert(process.id(), id);
         }
+        self.live_processes += other.live_processes;
 
-        for (channel, process) in &other.writers {
-            self.writers
-                .insert(map.channels[channel], map.processes[process]);
-        }
-        for (channel, process) in &other.readers {
-            self.readers
-                .insert(map.channels[channel], map.processes[process]);
-        }
+        self.copy_edges(other, &map);
 
         // Names are kept verbatim, so `other`'s name index carries over with the
         // ids remapped — no re-interning (and no string hashing) on this path,
@@ -657,10 +755,10 @@ impl fmt::Display for SpiGraph {
             self.channel_count(),
             self.edge_count()
         )?;
-        for p in self.processes.values() {
+        for p in self.processes() {
             writeln!(f, "  {p}")?;
         }
-        for c in self.channels.values() {
+        for c in self.channels() {
             let writer = self
                 .writer_of(c.id())
                 .map(|p| p.to_string())

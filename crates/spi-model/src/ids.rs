@@ -48,6 +48,12 @@ macro_rules! define_id {
                 id.0
             }
         }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> $name {
+                Self(raw)
+            }
+        }
     };
 }
 
@@ -71,6 +77,85 @@ define_id!(
     PortId,
     "port"
 );
+
+// --- dense id remapping --------------------------------------------------------------
+
+/// A dense old-id → new-id remap table, indexed by the old id's raw value.
+///
+/// This is the translation record a graph merge produces: node ids of the
+/// merged-in graph are dense small integers, so the mapping is a flat `Vec`
+/// probe instead of a tree walk — `O(n)` to build with no per-entry
+/// allocation, `O(1)` to query. Entries for ids the merge never saw (e.g.
+/// ids of removed nodes) answer `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdRemap<Id> {
+    entries: Vec<Option<Id>>,
+}
+
+/// Manual impl: the derived one would demand `Id: Default` for no reason.
+impl<Id> Default for IdRemap<Id> {
+    fn default() -> Self {
+        IdRemap {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<Id: Copy + Into<u32> + From<u32>> IdRemap<Id> {
+    /// An empty remap table.
+    pub fn new() -> Self {
+        IdRemap {
+            entries: Vec::new(),
+        }
+    }
+
+    /// An empty table pre-sized for old ids `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        IdRemap {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Records `old → new`, growing the table as needed.
+    pub fn insert(&mut self, old: Id, new: Id) {
+        let index = old.into() as usize;
+        if self.entries.len() <= index {
+            self.entries.resize(index + 1, None);
+        }
+        self.entries[index] = Some(new);
+    }
+
+    /// The new id recorded for `old`, if any.
+    pub fn get(&self, old: &Id) -> Option<&Id> {
+        self.entries.get((*old).into() as usize)?.as_ref()
+    }
+
+    /// Number of recorded mappings.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|entry| entry.is_some()).count()
+    }
+
+    /// Whether no mapping has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|entry| entry.is_none())
+    }
+
+    /// Iterates the recorded `(old, new)` pairs in ascending old-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, Id)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(index, entry)| entry.map(|new| (Id::from(index as u32), new)))
+    }
+}
+
+impl<Id: Copy + Into<u32> + From<u32>> std::ops::Index<&Id> for IdRemap<Id> {
+    type Output = Id;
+
+    fn index(&self, old: &Id) -> &Id {
+        self.get(old).expect("id not present in the merge map")
+    }
+}
 
 // --- interned name symbols ---------------------------------------------------------
 

@@ -46,7 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod activation;
 pub mod analysis;
@@ -71,7 +71,9 @@ pub use channel::{Channel, ChannelKind};
 pub use digest::{digest_bytes, digest_json, Digest};
 pub use error::ModelError;
 pub use graph::{Edge, EdgeDirection, NodeRef, SpiGraph};
-pub use ids::{BuildSymHasher, ChannelId, Interner, ModeId, PortId, ProcessId, Sym, SymHasher};
+pub use ids::{
+    BuildSymHasher, ChannelId, IdRemap, Interner, ModeId, PortId, ProcessId, Sym, SymHasher,
+};
 pub use interval::Interval;
 pub use json::{FromJson, JsonError, JsonResult, JsonValue, ToJson};
 pub use mode::{ProcessMode, ProductionSpec};

@@ -6,10 +6,9 @@
 //! process is described only by its parameter hulls and its behaviour stays uncertain.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::ids::{ChannelId, ModeId};
+use crate::ids::{ChannelId, IdRemap, ModeId, Sym};
 use crate::interval::Interval;
 use crate::tag::TagSet;
 
@@ -51,22 +50,66 @@ impl ProductionSpec {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProcessMode {
     id: ModeId,
-    name: String,
+    /// Interned — see [`crate::Process`]: mode names are cloned once per node
+    /// per enumerated variant, so they carry a `Copy` handle, not a `String`.
+    name: Sym,
     latency: Interval,
-    consumption: BTreeMap<ChannelId, Interval>,
-    production: BTreeMap<ChannelId, ProductionSpec>,
+    /// Rate entries as one flat `Vec` sorted by channel id rather than the
+    /// two `BTreeMap`s of earlier generations: a mode has a handful of
+    /// entries, the graph clones every mode once per enumerated variant (the
+    /// Flattener's skeleton clone), and a single small `Vec` clones in one
+    /// allocation where two B-trees pay per-node boxes. Iteration order
+    /// (ascending channel id) is identical to the maps it replaced.
+    rates: Vec<RateEntry>,
+}
+
+/// Consumption and/or production of one mode on one channel; one slot of the
+/// mode's sorted rate table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RateEntry {
+    channel: ChannelId,
+    /// `Some` once consumption was declared (zero is a declarable rate).
+    consumption: Option<Interval>,
+    /// `Some` once production was declared.
+    production: Option<ProductionSpec>,
 }
 
 impl ProcessMode {
     /// Creates a mode with the given latency and no communication.
-    pub fn new(id: ModeId, name: impl Into<String>, latency: Interval) -> Self {
+    pub fn new(id: ModeId, name: impl AsRef<str>, latency: Interval) -> Self {
         ProcessMode {
             id,
-            name: name.into(),
+            name: Sym::intern(name.as_ref()),
             latency,
-            consumption: BTreeMap::new(),
-            production: BTreeMap::new(),
+            rates: Vec::new(),
         }
+    }
+
+    /// The rate slot for `channel`, created (in sorted position) on demand.
+    fn entry_mut(&mut self, channel: ChannelId) -> &mut RateEntry {
+        let at = match self.rates.binary_search_by_key(&channel, |e| e.channel) {
+            Ok(at) => at,
+            Err(at) => {
+                self.rates.insert(
+                    at,
+                    RateEntry {
+                        channel,
+                        consumption: None,
+                        production: None,
+                    },
+                );
+                at
+            }
+        };
+        &mut self.rates[at]
+    }
+
+    /// The rate slot for `channel`, if any rate was declared on it.
+    fn entry(&self, channel: ChannelId) -> Option<&RateEntry> {
+        self.rates
+            .binary_search_by_key(&channel, |e| e.channel)
+            .ok()
+            .map(|at| &self.rates[at])
     }
 
     /// Mode identifier (unique within the owning process).
@@ -76,7 +119,7 @@ impl ProcessMode {
 
     /// Mode name.
     pub fn name(&self) -> &str {
-        &self.name
+        self.name.as_str()
     }
 
     /// Execution latency of the mode.
@@ -86,59 +129,67 @@ impl ProcessMode {
 
     /// Sets the number of tokens consumed from `channel` per execution.
     pub fn set_consumption(&mut self, channel: ChannelId, amount: impl Into<Interval>) {
-        self.consumption.insert(channel, amount.into());
+        self.entry_mut(channel).consumption = Some(amount.into());
     }
 
     /// Sets the production behaviour on `channel` per execution.
     pub fn set_production(&mut self, channel: ChannelId, spec: ProductionSpec) {
-        self.production.insert(channel, spec);
+        self.entry_mut(channel).production = Some(spec);
     }
 
     /// Tokens consumed from `channel` per execution (zero if the channel is not read).
     pub fn consumption(&self, channel: ChannelId) -> Interval {
-        self.consumption
-            .get(&channel)
-            .copied()
+        self.entry(channel)
+            .and_then(|e| e.consumption)
             .unwrap_or_else(Interval::zero)
     }
 
     /// Production behaviour on `channel`, if any.
     pub fn production(&self, channel: ChannelId) -> Option<&ProductionSpec> {
-        self.production.get(&channel)
+        self.entry(channel).and_then(|e| e.production.as_ref())
     }
 
-    /// All consumption entries.
+    /// All consumption entries, in ascending channel-id order.
     pub fn consumptions(&self) -> impl Iterator<Item = (ChannelId, Interval)> + '_ {
-        self.consumption.iter().map(|(c, i)| (*c, *i))
+        self.rates
+            .iter()
+            .filter_map(|e| e.consumption.map(|i| (e.channel, i)))
     }
 
-    /// All production entries.
+    /// All production entries, in ascending channel-id order.
     pub fn productions(&self) -> impl Iterator<Item = (ChannelId, &ProductionSpec)> {
-        self.production.iter().map(|(c, s)| (*c, s))
+        self.rates
+            .iter()
+            .filter_map(|e| e.production.as_ref().map(|s| (e.channel, s)))
     }
 
-    /// Channels read by this mode.
+    /// Channels read by this mode, in ascending id order.
     pub fn input_channels(&self) -> impl Iterator<Item = ChannelId> + '_ {
-        self.consumption.keys().copied()
+        self.rates
+            .iter()
+            .filter(|e| e.consumption.is_some())
+            .map(|e| e.channel)
     }
 
-    /// Channels written by this mode.
+    /// Channels written by this mode, in ascending id order.
     pub fn output_channels(&self) -> impl Iterator<Item = ChannelId> + '_ {
-        self.production.keys().copied()
+        self.rates
+            .iter()
+            .filter(|e| e.production.is_some())
+            .map(|e| e.channel)
     }
 
-    /// Internal: relabel channel references after a graph merge.
-    pub(crate) fn remap_channels(&mut self, map: &BTreeMap<ChannelId, ChannelId>) {
-        self.consumption = self
-            .consumption
-            .iter()
-            .map(|(c, i)| (*map.get(c).unwrap_or(c), *i))
-            .collect();
-        self.production = self
-            .production
-            .iter()
-            .map(|(c, s)| (*map.get(c).unwrap_or(c), s.clone()))
-            .collect();
+    /// Internal: relabel channel references after a graph merge. Remapping is
+    /// injective (distinct channels stay distinct), so re-sorting restores the
+    /// ascending-id invariant; under the merge offset-shift the order is
+    /// already preserved and the sort is a linear no-op.
+    pub(crate) fn remap_channels(&mut self, map: &IdRemap<ChannelId>) {
+        for entry in &mut self.rates {
+            if let Some(new) = map.get(&entry.channel) {
+                entry.channel = *new;
+            }
+        }
+        self.rates.sort_by_key(|e| e.channel);
     }
 
     /// Internal: relabel the mode id (used when merging mode sets into configurations).
@@ -198,7 +249,7 @@ mod tests {
     #[test]
     fn remap_channels_rewrites_references() {
         let mut m = mode();
-        let mut map = BTreeMap::new();
+        let mut map = IdRemap::new();
         map.insert(ChannelId::new(0), ChannelId::new(10));
         map.insert(ChannelId::new(1), ChannelId::new(11));
         m.remap_channels(&map);

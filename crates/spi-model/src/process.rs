@@ -6,12 +6,11 @@
 //! interval hulls over all modes.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::activation::ActivationFunction;
 use crate::error::ModelError;
-use crate::ids::{ChannelId, ModeId, ProcessId};
+use crate::ids::{ChannelId, IdRemap, ModeId, ProcessId, Sym};
 use crate::interval::Interval;
 use crate::mode::ProcessMode;
 
@@ -19,7 +18,10 @@ use crate::mode::ProcessMode;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Process {
     id: ProcessId,
-    name: String,
+    /// Interned: names live once in the process-global interner and the node
+    /// carries a copyable handle, so cloning a process (the Flattener does it
+    /// for every node of every enumerated variant) copies no string bytes.
+    name: Sym,
     modes: Vec<ProcessMode>,
     activation: ActivationFunction,
     is_virtual: bool,
@@ -28,10 +30,17 @@ pub struct Process {
 
 impl Process {
     /// Creates a process with no modes yet.
-    pub fn new(id: ProcessId, name: impl Into<String>) -> Self {
+    pub fn new(id: ProcessId, name: impl AsRef<str>) -> Self {
+        Self::new_interned(id, Sym::intern(name.as_ref()))
+    }
+
+    /// Internal: [`new`](Self::new) with a pre-interned name — the graph
+    /// interns once for its duplicate-name check and passes the symbol along
+    /// instead of paying a second interner probe.
+    pub(crate) fn new_interned(id: ProcessId, name: Sym) -> Self {
         Process {
             id,
-            name: name.into(),
+            name,
             modes: Vec::new(),
             activation: ActivationFunction::new(),
             is_virtual: false,
@@ -46,7 +55,12 @@ impl Process {
 
     /// Process name.
     pub fn name(&self) -> &str {
-        &self.name
+        self.name.as_str()
+    }
+
+    /// The interned name symbol (what the graph's name indexes key on).
+    pub fn name_sym(&self) -> Sym {
+        self.name
     }
 
     /// Whether the process belongs to the environment model rather than the system.
@@ -65,7 +79,7 @@ impl Process {
     /// the mode is stored.
     pub fn add_mode_with(
         &mut self,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         latency: Interval,
         build: impl FnOnce(&mut ProcessMode),
     ) -> ModeId {
@@ -214,13 +228,13 @@ impl Process {
     }
 
     /// Internal: rename the process (graph merge with name prefixing).
-    pub(crate) fn with_name(mut self, name: String) -> Self {
+    pub(crate) fn with_name(mut self, name: Sym) -> Self {
         self.name = name;
         self
     }
 
     /// Internal: relabel channel references in modes and activation after a graph merge.
-    pub(crate) fn remap_channels(&mut self, map: &BTreeMap<ChannelId, ChannelId>) {
+    pub(crate) fn remap_channels(&mut self, map: &IdRemap<ChannelId>) {
         for mode in &mut self.modes {
             mode.remap_channels(map);
         }

@@ -1,0 +1,227 @@
+//! Edge-case coverage for the index-dense slab storage of [`SpiGraph`]:
+//! offset-shift merges, tombstone handling, empty-graph merges, and a pinned
+//! iteration-order/digest test guarding wire and cache-key stability.
+
+use spi_model::json::JsonValue;
+use spi_model::{
+    digest_json, ChannelId, ChannelKind, EdgeDirection, Interval, ProcessId, SpiGraph,
+};
+
+/// A tombstone-free three-node chain `a -> c -> b`.
+fn chain(prefix: &str) -> SpiGraph {
+    let mut g = SpiGraph::new(format!("{prefix}chain"));
+    let a = g.new_process(format!("{prefix}a")).unwrap();
+    let b = g.new_process(format!("{prefix}b")).unwrap();
+    let c = g
+        .new_channel(format!("{prefix}c"), ChannelKind::Queue)
+        .unwrap();
+    g.set_writer(c, a).unwrap();
+    g.set_reader(c, b).unwrap();
+    g.process_mut(a)
+        .unwrap()
+        .add_mode_with("m0", Interval::point(1), |m| {
+            m.set_production(c, spi_model::ProductionSpec::amount(Interval::point(1)));
+        });
+    g.process_mut(b)
+        .unwrap()
+        .add_mode_with("m0", Interval::point(1), |m| {
+            m.set_consumption(c, Interval::point(1));
+        });
+    g
+}
+
+#[test]
+fn merge_disjoint_is_a_pure_offset_shift_for_tombstone_free_graphs() {
+    let mut host = chain("h_");
+    let guest = chain("g_");
+    let process_offset = host.process_count() as u32;
+    let channel_offset = host.channel_count() as u32;
+
+    let map = host.merge_disjoint(&guest);
+
+    // Tombstone-free on both sides ⇒ every new id is exactly old + offset.
+    for (old, new) in map.processes.iter() {
+        assert_eq!(new.index(), old.index() + process_offset);
+    }
+    for (old, new) in map.channels.iter() {
+        assert_eq!(new.index(), old.index() + channel_offset);
+    }
+    assert_eq!(map.processes.len(), guest.process_count());
+    assert_eq!(map.channels.len(), guest.channel_count());
+
+    // Edges and rate entries were shifted along with the node ids.
+    let new_c = map.channels[&ChannelId::new(0)];
+    assert_eq!(
+        host.writer_of(new_c),
+        Some(map.processes[&ProcessId::new(0)])
+    );
+    assert_eq!(
+        host.reader_of(new_c),
+        Some(map.processes[&ProcessId::new(1)])
+    );
+    assert!(host.validate().is_ok());
+}
+
+#[test]
+fn merge_disjoint_reids_a_tombstoned_guest_densely() {
+    // Guest: insert three processes/channels, remove the middle ones — the
+    // guest slab now has tombstones and its live ids are non-contiguous.
+    let mut guest = SpiGraph::new("guest");
+    let ga = guest.new_process("ga").unwrap();
+    let gmid = guest.new_process("gmid").unwrap();
+    let gb = guest.new_process("gb").unwrap();
+    let gc1 = guest.new_channel("gc1", ChannelKind::Queue).unwrap();
+    let gc_mid = guest.new_channel("gcmid", ChannelKind::Queue).unwrap();
+    let gc2 = guest.new_channel("gc2", ChannelKind::Register).unwrap();
+    guest.set_writer(gc1, ga).unwrap();
+    guest.set_reader(gc1, gb).unwrap();
+    guest.set_writer(gc2, gb).unwrap();
+    guest.remove_process(gmid).unwrap();
+    guest.remove_channel(gc_mid).unwrap();
+    assert_eq!(guest.process_count(), 2);
+    assert_eq!(guest.channel_count(), 2);
+
+    // Merging skips the tombstones: the host receives contiguous fresh ids
+    // (no holes are copied), keeping the receiving slab dense.
+    let mut host = SpiGraph::new("host");
+    let map = host.merge_disjoint(&guest);
+    assert_eq!(map.processes.len(), 2);
+    assert_eq!(map.channels.len(), 2);
+    assert!(map.processes.get(&gmid).is_none(), "tombstone not mapped");
+    assert!(map.channels.get(&gc_mid).is_none(), "tombstone not mapped");
+    assert_eq!(
+        host.process_ids(),
+        vec![ProcessId::new(0), ProcessId::new(1)],
+        "re-ids are dense, tombstones are not inherited"
+    );
+    assert_eq!(
+        host.channel_ids(),
+        vec![ChannelId::new(0), ChannelId::new(1)]
+    );
+    // The next insert proves no hole was carried over.
+    assert_eq!(host.new_process("fresh").unwrap(), ProcessId::new(2));
+
+    // Topology survived the re-id.
+    let c1 = map.channels[&gc1];
+    assert_eq!(host.writer_of(c1), Some(map.processes[&ga]));
+    assert_eq!(host.reader_of(c1), Some(map.processes[&gb]));
+    assert_eq!(host.writer_of(map.channels[&gc2]), Some(map.processes[&gb]));
+    assert!(host.process_by_name("ga").is_some());
+    assert!(host.process_by_name("gmid").is_none());
+}
+
+#[test]
+fn merging_an_empty_graph_is_a_no_op_and_into_an_empty_graph_a_copy() {
+    let reference = chain("e_");
+    let empty = SpiGraph::new("empty");
+
+    let mut host = chain("e_");
+    let map = host.merge_disjoint(&empty);
+    assert!(map.processes.is_empty());
+    assert!(map.channels.is_empty());
+    // Name differs ("e_chain" vs its own) is irrelevant — same name here.
+    assert_eq!(host, reference);
+
+    let mut fresh = SpiGraph::new("e_chain");
+    let map = fresh.merge_disjoint(&reference);
+    assert_eq!(map.processes.len(), reference.process_count());
+    assert_eq!(fresh, reference, "merging into empty copies ids verbatim");
+    assert!(fresh.validate().is_ok());
+}
+
+#[test]
+fn removal_keeps_ids_stable_and_clone_preserves_tombstones() {
+    let mut g = chain("r_");
+    let orphan = g.new_process("r_orphan").unwrap();
+    assert_eq!(orphan, ProcessId::new(2));
+    g.remove_process(orphan).unwrap();
+
+    // Ids of surviving nodes are untouched and the freed id is never reused.
+    assert!(g.process(ProcessId::new(0)).is_some());
+    assert!(g.process(orphan).is_none());
+    let readded = g.new_process("r_orphan2").unwrap();
+    assert_eq!(readded, ProcessId::new(3), "tombstoned id is not recycled");
+
+    // clone/clone_from carry the tombstone layout (it determines future ids),
+    // and equality distinguishes layouts.
+    let cloned = g.clone();
+    assert_eq!(cloned, g);
+    let mut via_clone_from = SpiGraph::new("");
+    via_clone_from.clone_from(&g);
+    assert_eq!(via_clone_from, g);
+
+    let mut compact = chain("r_");
+    let p = compact.new_process("r_orphan2").unwrap();
+    assert_eq!(p, ProcessId::new(2));
+    assert_ne!(compact, g, "same live nodes, different slots ⇒ not equal");
+}
+
+/// Canonical JSON rendering of everything iteration-order dependent: node
+/// names in iteration order, edges in `edges()` order. Any storage change
+/// that reorders iteration changes this value — and with it wire output,
+/// result-cache digests and recorded baselines.
+fn iteration_fingerprint(g: &SpiGraph) -> JsonValue {
+    JsonValue::object([
+        (
+            "processes",
+            JsonValue::Array(g.processes().map(|p| JsonValue::string(p.name())).collect()),
+        ),
+        (
+            "channels",
+            JsonValue::Array(g.channels().map(|c| JsonValue::string(c.name())).collect()),
+        ),
+        (
+            "edges",
+            JsonValue::Array(
+                g.edges()
+                    .iter()
+                    .map(|e| {
+                        JsonValue::string(format!(
+                            "{}:{}:{}",
+                            e.channel,
+                            e.process,
+                            match e.direction {
+                                EdgeDirection::ProcessToChannel => "w",
+                                EdgeDirection::ChannelToProcess => "r",
+                            }
+                        ))
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[test]
+fn iteration_order_is_insertion_order_and_digest_pinned() {
+    // Interleave inserts, a removal and a re-insert, then merge — the
+    // sequence exercises every path that could disturb iteration order.
+    let mut g = SpiGraph::new("pin");
+    g.new_process("zeta").unwrap();
+    g.new_process("alpha").unwrap();
+    let c_late = g.new_channel("late", ChannelKind::Queue).unwrap();
+    g.new_channel("early", ChannelKind::Register).unwrap();
+    let doomed = g.new_process("doomed").unwrap();
+    g.remove_process(doomed).unwrap();
+    g.new_process("mu").unwrap();
+    g.set_writer(c_late, ProcessId::new(1)).unwrap();
+    g.merge_disjoint(&chain("pin_"));
+
+    let names: Vec<&str> = g.processes().map(|p| p.name()).collect();
+    assert_eq!(
+        names,
+        ["zeta", "alpha", "mu", "pin_a", "pin_b"],
+        "iteration is insertion order, never name order"
+    );
+    let channels: Vec<&str> = g.channels().map(|c| c.name()).collect();
+    assert_eq!(channels, ["late", "early", "pin_c"]);
+
+    // The digest below was recorded when the slab storage landed. If this
+    // assertion ever fails, iteration order changed — which silently changes
+    // wire JSON, cache digests and baselines. Do not update the constant
+    // without understanding what downstream representation just shifted.
+    assert_eq!(
+        digest_json(&iteration_fingerprint(&g)).to_string(),
+        "cce1d7bdd93a5c5c9e08c2d5a51fd964"
+    );
+}

@@ -132,7 +132,8 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns the first error encountered (channel overflow with the
-    /// [`OverflowPolicy::Error`] policy, inconsistent token consumption, or invalid
+    /// [`crate::config::OverflowPolicy::Error`] policy, inconsistent token
+    /// consumption, or invalid
     /// configuration annotations).
     pub fn run(&mut self) -> Result<SimReport, SimError> {
         let mut states = ChannelStates::from_graph(&self.graph);

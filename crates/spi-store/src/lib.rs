@@ -6,7 +6,7 @@
 //!
 //! * [`wal`] — an append-only, checksummed write-ahead log with
 //!   snapshot+replay recovery (`wal.log` + `snapshot.json` in a store
-//!   directory). Records are opaque [`JsonValue`]s; the registry in
+//!   directory). Records are opaque [`JsonValue`](spi_model::json::JsonValue)s; the registry in
 //!   `spi-explore` defines the actual transition records and replays them.
 //! * [`cache`] — a content-addressed result cache keyed by the
 //!   [`Digest`](spi_model::digest::Digest) of the canonical JSON identifying

@@ -3,11 +3,11 @@
 //! The paper positions its representation against two earlier ways of handling multiple
 //! applications/variants:
 //!
-//! * **Serialization** (Kim, Karri, Potkonjak — DAC'97, reference [6]): all variants are
+//! * **Serialization** (Kim, Karri, Potkonjak — DAC'97, reference \[6\]): all variants are
 //!   enumerated and serialized into one large task, so the synthesis cannot exploit the
 //!   mutual exclusion of variants — every variant is assumed to load the processor at
 //!   the same time. Implemented by [`serialization`].
-//! * **Incremental synthesis** (Kavalade, Subrahmanyam — ICCAD'97, reference [5]): the
+//! * **Incremental synthesis** (Kavalade, Subrahmanyam — ICCAD'97, reference \[5\]): the
 //!   applications are synthesized one after another; decisions taken for earlier
 //!   applications are frozen and reused. The result quality depends on the order.
 //!   Implemented by [`incremental`].

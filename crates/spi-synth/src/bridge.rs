@@ -9,6 +9,7 @@
 use spi_model::SpiGraph;
 use spi_variants::VariantSystem;
 
+use crate::compiled::CompiledProblem;
 use crate::error::SynthError;
 use crate::problem::{ApplicationSpec, SynthesisProblem, TaskSpec};
 use crate::Result;
@@ -138,6 +139,56 @@ pub fn from_flat_graph(
     problem.validate()?;
     Ok(problem)
 }
+
+/// Derives the **compiled** form of [`from_flat_graph`] directly from the graph's
+/// node slab: every non-virtual process becomes a task of one all-spanning
+/// application, lowered straight into a [`CompiledProblem`] without materializing
+/// the string-keyed `SynthesisProblem` in between.
+///
+/// This is the exploration service's per-variant hot path — one call per point of
+/// the variant space — so skipping the intermediate `BTreeMap` construction and the
+/// re-compilation matters. The result is bit-identical to
+/// `CompiledProblem::compile(&from_flat_graph(..)?)` (task ids in name order, the
+/// application's member list in graph iteration order), a property pinned by a
+/// differential test.
+///
+/// # Errors
+///
+/// As [`from_flat_graph`]: [`SynthError::Validation`] if `params` returns `None`
+/// for a process or the graph has no non-virtual process.
+pub fn compiled_from_flat_graph(
+    graph: &SpiGraph,
+    processor_cost: u64,
+    mut params: impl FnMut(&str) -> Option<TaskParams>,
+) -> Result<CompiledProblem> {
+    let mut tasks: Vec<TaskSpec> = Vec::with_capacity(graph.process_count());
+    for process in graph.processes() {
+        if process.is_virtual() {
+            continue;
+        }
+        let name = process.name();
+        let p = params(name).ok_or_else(|| {
+            SynthError::Validation(format!("no synthesis parameters for task `{name}`"))
+        })?;
+        tasks.push(TaskSpec::new(
+            name,
+            p.sw_time,
+            p.period,
+            p.hw_area,
+            p.synthesis_effort,
+        ));
+    }
+    CompiledProblem::single_application(
+        "flattened",
+        processor_cost,
+        DEFAULT_CAPACITY_PERMILLE,
+        tasks,
+    )
+}
+
+/// The schedulable-capacity default of [`SynthesisProblem::new`], which the direct
+/// compiled path must match for bit-identical results.
+const DEFAULT_CAPACITY_PERMILLE: u64 = 1000;
 
 /// Shared task-derivation step: every non-virtual common process and every cluster
 /// becomes a task. Returns the problem (without applications) and the common task
@@ -317,6 +368,42 @@ mod tests {
         )
         .unwrap();
         assert!(result.feasibility.feasible());
+    }
+
+    #[test]
+    fn compiled_from_flat_graph_matches_the_two_step_path() {
+        let system = small_system();
+        for choice in system.variant_space().choices_iter() {
+            let graph = system.flatten(&choice).unwrap();
+            let two_step =
+                CompiledProblem::compile(&from_flat_graph(&graph, 15, default_params).unwrap())
+                    .unwrap();
+            let direct = compiled_from_flat_graph(&graph, 15, default_params).unwrap();
+            assert_eq!(direct, two_step, "direct compile must be bit-identical");
+            // And the searches over both return the identical optimum.
+            let mode = crate::partition::FeasibilityMode::PerApplication;
+            let strategy = crate::partition::SearchStrategy::Exhaustive;
+            assert_eq!(
+                crate::partition::optimize_compiled(&direct, mode, strategy).unwrap(),
+                crate::partition::optimize_compiled(&two_step, mode, strategy).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_from_flat_graph_rejects_missing_params_and_empty_graphs() {
+        let system = small_system();
+        let choice = system.variant_space().choices_iter().next().unwrap();
+        let graph = system.flatten(&choice).unwrap();
+        assert!(matches!(
+            compiled_from_flat_graph(&graph, 15, |_| None),
+            Err(SynthError::Validation(_))
+        ));
+        let empty = spi_model::SpiGraph::new("empty");
+        assert!(matches!(
+            compiled_from_flat_graph(&empty, 15, default_params),
+            Err(SynthError::Validation(_))
+        ));
     }
 
     #[test]

@@ -146,6 +146,84 @@ impl CompiledProblem {
         })
     }
 
+    /// Builds a compiled problem for a **single application spanning every
+    /// task**, directly from task specs — no string-keyed
+    /// [`SynthesisProblem`] in between.
+    ///
+    /// This is the shape every flattened (single-variant) graph produces, and
+    /// it sits on the exploration service's per-variant hot path (see
+    /// [`crate::bridge::compiled_from_flat_graph`]). Task ids are assigned in
+    /// **name order**, exactly as [`compile`](Self::compile) would assign them
+    /// after routing through a `SynthesisProblem`, so searches over either
+    /// construction return bit-identical results; the application's member
+    /// list keeps the given insertion order, as an `ApplicationSpec` would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::Validation`] if `tasks` is empty (an application
+    /// must span at least one task) or if two tasks share a name.
+    pub fn single_application(
+        application: impl Into<String>,
+        processor_cost: u64,
+        capacity_permille: u64,
+        tasks: Vec<crate::problem::TaskSpec>,
+    ) -> Result<CompiledProblem> {
+        let application = application.into();
+        if tasks.is_empty() {
+            return Err(SynthError::Validation(format!(
+                "application `{application}` has no tasks"
+            )));
+        }
+        // Id assignment is name order: sort a permutation, not the specs, so
+        // the application member list can keep insertion order below.
+        let mut order: Vec<u32> = (0..tasks.len() as u32).collect();
+        order.sort_by(|&a, &b| tasks[a as usize].name.cmp(&tasks[b as usize].name));
+
+        let n = tasks.len();
+        let mut names = Vec::with_capacity(n);
+        let mut utilization = Vec::with_capacity(n);
+        let mut hw_area = Vec::with_capacity(n);
+        // rank[insertion index] = dense TaskId.
+        let mut rank = vec![TaskId(0); n];
+        for (id, &at) in order.iter().enumerate() {
+            let task = &tasks[at as usize];
+            if names.last().is_some_and(|previous| *previous == task.name) {
+                return Err(SynthError::Validation(format!(
+                    "duplicate task name `{}`",
+                    task.name
+                )));
+            }
+            names.push(task.name.clone());
+            utilization.push(task.utilization_permille());
+            hw_area.push(task.hw_area);
+            rank[at as usize] = TaskId(id as u32);
+        }
+
+        let members: Vec<TaskId> = rank.clone();
+        let mut apps_of_task = vec![Vec::new(); n];
+        let mut mask = 0u64;
+        for &task in &members {
+            apps_of_task[task.index()].push(0u32);
+            if n < 64 {
+                mask |= 1u64 << task.0;
+            }
+        }
+
+        Ok(CompiledProblem {
+            total_utilization: utilization.iter().sum(),
+            names,
+            utilization,
+            hw_area,
+            app_names: vec![application],
+            app_tasks: vec![members],
+            apps_of_task,
+            membership_mask: vec![mask],
+            mask_ready: n < 64,
+            processor_cost,
+            capacity_permille,
+        })
+    }
+
     /// Number of tasks.
     pub fn task_count(&self) -> usize {
         self.names.len()
@@ -154,6 +232,11 @@ impl CompiledProblem {
     /// Number of applications.
     pub fn application_count(&self) -> usize {
         self.app_names.len()
+    }
+
+    /// Name of one application.
+    pub fn application_name(&self, application: usize) -> &str {
+        &self.app_names[application]
     }
 
     /// Task names in id order.

@@ -73,7 +73,7 @@ pub fn joint(problem: &SynthesisProblem) -> DesignTimeBreakdown {
     breakdown
 }
 
-/// Design time of an incremental flow ([5] in the paper): the first application is
+/// Design time of an incremental flow (\[5\] in the paper): the first application is
 /// synthesized completely; each later application only considers the tasks that have not
 /// been synthesized before.
 ///

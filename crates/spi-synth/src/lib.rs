@@ -15,8 +15,8 @@
 //! | per-application synthesis | [`strategy::independent`] | "Application 1/2" |
 //! | superposition of architectures | [`strategy::superposition`] | "Superposition" |
 //! | variant-aware joint synthesis | [`strategy::variant_aware`] | "With variants" |
-//! | serialization baseline [6] | [`baseline::serialization`] | (comparison) |
-//! | incremental baseline [5] | [`baseline::incremental`] | (comparison) |
+//! | serialization baseline \[6\] | [`baseline::serialization`] | (comparison) |
+//! | incremental baseline \[5\] | [`baseline::incremental`] | (comparison) |
 //!
 //! [`report::table1`] assembles the paper-style table; [`design_time`] implements the
 //! decision-counting design-time model; [`partition`] contains the exhaustive,
@@ -40,7 +40,10 @@ pub mod report;
 pub mod schedule;
 pub mod strategy;
 
-pub use bridge::{from_flat_graph, from_variant_system, from_variant_system_shard, TaskParams};
+pub use bridge::{
+    compiled_from_flat_graph, from_flat_graph, from_variant_system, from_variant_system_shard,
+    TaskParams,
+};
 pub use compiled::{CompiledProblem, IncrementalEvaluator, TaskId};
 pub use cost::CostBreakdown;
 pub use error::SynthError;

@@ -118,15 +118,50 @@ pub fn optimize(
     strategy: SearchStrategy,
 ) -> Result<PartitionResult> {
     problem.validate()?;
+    let compiled = CompiledProblem::compile(problem)?;
+    optimize_compiled(&compiled, mode, strategy)
+}
+
+/// Finds the cheapest feasible mapping of an already-compiled problem.
+///
+/// This is [`optimize`] without the string-keyed detour: callers that build a
+/// [`CompiledProblem`] directly (see
+/// [`crate::bridge::compiled_from_flat_graph`]) skip both the
+/// `SynthesisProblem` materialization and the per-call re-compilation. The
+/// result is bit-identical to routing the same problem through [`optimize`].
+///
+/// # Errors
+///
+/// As [`optimize`]: [`SynthError::NoApplications`] for a problem without
+/// applications, [`SynthError::Validation`] for an application without tasks,
+/// [`SynthError::Infeasible`] when no mapping is schedulable.
+pub fn optimize_compiled(
+    compiled: &CompiledProblem,
+    mode: FeasibilityMode,
+    strategy: SearchStrategy,
+) -> Result<PartitionResult> {
+    // The same preconditions `optimize` enforces via `problem.validate()`,
+    // so the two entry points accept and reject identical inputs.
+    if compiled.application_count() == 0 {
+        return Err(SynthError::NoApplications);
+    }
+    for application in 0..compiled.application_count() {
+        if compiled.application_tasks(application).is_empty() {
+            return Err(SynthError::Validation(format!(
+                "application `{}` has no tasks",
+                compiled.application_name(application)
+            )));
+        }
+    }
     match strategy {
-        SearchStrategy::Exhaustive => optimize_exhaustive(problem, mode),
-        SearchStrategy::BranchAndBound => optimize_branch_and_bound(problem, mode),
-        SearchStrategy::Greedy => optimize_greedy(problem, mode),
+        SearchStrategy::Exhaustive => optimize_exhaustive(compiled, mode),
+        SearchStrategy::BranchAndBound => optimize_branch_and_bound(compiled, mode),
+        SearchStrategy::Greedy => optimize_greedy(compiled, mode),
         SearchStrategy::Auto => {
-            if problem.task_count() <= EXHAUSTIVE_LIMIT {
-                optimize_exhaustive(problem, mode)
+            if compiled.task_count() <= EXHAUSTIVE_LIMIT {
+                optimize_exhaustive(compiled, mode)
             } else {
-                optimize_greedy(problem, mode)
+                optimize_greedy(compiled, mode)
             }
         }
     }
@@ -234,10 +269,9 @@ fn reduce_outcomes(outcomes: impl IntoIterator<Item = WorkerOutcome>) -> WorkerO
 }
 
 fn optimize_exhaustive(
-    problem: &SynthesisProblem,
+    compiled: &CompiledProblem,
     mode: FeasibilityMode,
 ) -> Result<PartitionResult> {
-    let compiled = CompiledProblem::compile(problem)?;
     let n = compiled.task_count();
     assert!(
         n < 64,
@@ -257,7 +291,7 @@ fn optimize_exhaustive(
     };
 
     let outcomes: Vec<WorkerOutcome> = if chunk_count == 1 {
-        vec![search_chunk(&compiled, mode, 0..total, &bound)]
+        vec![search_chunk(compiled, mode, 0..total, &bound)]
     } else {
         let chunk_size = total.div_ceil(chunk_count);
         let mut slots: Vec<Option<WorkerOutcome>> = Vec::new();
@@ -266,7 +300,7 @@ fn optimize_exhaustive(
             for (chunk_index, slot) in slots.iter_mut().enumerate() {
                 let start = chunk_index as u64 * chunk_size;
                 let end = (start + chunk_size).min(total);
-                let (compiled, bound) = (&compiled, &bound);
+                let bound = &bound;
                 scope.spawn(move |_| {
                     *slot = Some(search_chunk(compiled, mode, start..end, bound));
                 });
@@ -278,7 +312,7 @@ fn optimize_exhaustive(
             .collect()
     };
 
-    materialize(&compiled, mode, reduce_outcomes(outcomes))
+    materialize(compiled, mode, reduce_outcomes(outcomes))
 }
 
 /// One worker's depth-first walk over (a set of subtrees of) the decision tree.
@@ -421,10 +455,9 @@ impl<'p> BnbWorker<'p> {
 }
 
 fn optimize_branch_and_bound(
-    problem: &SynthesisProblem,
+    compiled: &CompiledProblem,
     mode: FeasibilityMode,
 ) -> Result<PartitionResult> {
-    let compiled = CompiledProblem::compile(problem)?;
     let n = compiled.task_count();
     assert!(
         n < 64,
@@ -443,7 +476,7 @@ fn optimize_branch_and_bound(
 
     let threads = rayon::current_num_threads();
     let outcome = if threads <= 1 || n <= 10 {
-        let mut worker = BnbWorker::new(&compiled, mode, &suffix_area, &bound);
+        let mut worker = BnbWorker::new(compiled, mode, &suffix_area, &bound);
         worker.search_roots(0, 0, 0, 0, 1);
         worker.outcome
     } else {
@@ -469,7 +502,7 @@ fn optimize_branch_and_bound(
             for (worker_index, slot) in slots.iter_mut().enumerate() {
                 let start = worker_index as u64 * per_worker;
                 let end = (start + per_worker).min(roots);
-                let (compiled, suffix_area, bound) = (&compiled, &suffix_area, &bound);
+                let (suffix_area, bound) = (&suffix_area, &bound);
                 scope.spawn(move |_| {
                     let mut worker = BnbWorker::new(compiled, mode, suffix_area, bound);
                     worker.search_roots(0, root_depth, 0, start, end);
@@ -484,7 +517,7 @@ fn optimize_branch_and_bound(
         )
     };
 
-    materialize(&compiled, mode, outcome)
+    materialize(compiled, mode, outcome)
 }
 
 /// The historical single-threaded, prune-free, string-keyed scan, kept as the oracle
@@ -557,10 +590,9 @@ pub fn optimize_serial_reference(
     Ok(result)
 }
 
-fn optimize_greedy(problem: &SynthesisProblem, mode: FeasibilityMode) -> Result<PartitionResult> {
-    let compiled = CompiledProblem::compile(problem)?;
+fn optimize_greedy(compiled: &CompiledProblem, mode: FeasibilityMode) -> Result<PartitionResult> {
     let n = compiled.task_count();
-    let mut evaluator = IncrementalEvaluator::new(&compiled);
+    let mut evaluator = IncrementalEvaluator::new(compiled);
     let mut evaluated = 1u64;
 
     // Repair: while some application overloads the processor, move the software task
@@ -628,6 +660,38 @@ mod tests {
     use super::*;
     use crate::problem::tests::toy_problem;
     use crate::problem::{ApplicationSpec, TaskSpec};
+
+    #[test]
+    fn optimize_compiled_rejects_degenerate_problems_like_optimize() {
+        // Both entry points must accept and reject identical inputs: an
+        // application without tasks is a validation error through either.
+        let mut problem = toy_problem();
+        problem
+            .add_application(ApplicationSpec::new("empty", Vec::<String>::new()))
+            .unwrap();
+        let mode = FeasibilityMode::PerApplication;
+        let strategy = SearchStrategy::Exhaustive;
+        assert!(matches!(
+            optimize(&problem, mode, strategy),
+            Err(SynthError::Validation(_))
+        ));
+        let compiled = CompiledProblem::compile(&problem).unwrap();
+        assert!(matches!(
+            optimize_compiled(&compiled, mode, strategy),
+            Err(SynthError::Validation(_))
+        ));
+        // And the no-applications case maps to the same error either way.
+        let bare = SynthesisProblem::new("bare", 10);
+        assert!(matches!(
+            optimize(&bare, mode, strategy),
+            Err(SynthError::NoApplications)
+        ));
+        let compiled_bare = CompiledProblem::compile(&bare).unwrap();
+        assert!(matches!(
+            optimize_compiled(&compiled_bare, mode, strategy),
+            Err(SynthError::NoApplications)
+        ));
+    }
 
     #[test]
     fn exhaustive_finds_the_paper_optimum() {
@@ -738,12 +802,13 @@ mod tests {
         let problem = toy_problem();
         for mode in [FeasibilityMode::PerApplication, FeasibilityMode::Serialized] {
             let serial = optimize_serial_reference(&problem, mode).unwrap();
-            let parallel = optimize_exhaustive(&problem, mode).unwrap();
+            let compiled = CompiledProblem::compile(&problem).unwrap();
+            let parallel = optimize_exhaustive(&compiled, mode).unwrap();
             assert_eq!(parallel.mapping, serial.mapping);
             assert_eq!(parallel.cost, serial.cost);
             assert_eq!(parallel.feasibility, serial.feasibility);
             assert_eq!(parallel.evaluated_candidates, serial.evaluated_candidates);
-            let bnb = optimize_branch_and_bound(&problem, mode).unwrap();
+            let bnb = optimize_branch_and_bound(&compiled, mode).unwrap();
             assert_eq!(bnb.mapping, serial.mapping);
             assert_eq!(bnb.cost, serial.cost);
             assert_eq!(bnb.feasibility, serial.feasibility);
@@ -783,7 +848,8 @@ mod tests {
     #[test]
     fn parallel_exhaustive_matches_serial_on_a_chunked_space() {
         let problem = chunked_problem();
-        let parallel = optimize_exhaustive(&problem, FeasibilityMode::PerApplication).unwrap();
+        let compiled = CompiledProblem::compile(&problem).unwrap();
+        let parallel = optimize_exhaustive(&compiled, FeasibilityMode::PerApplication).unwrap();
         let serial = optimize_serial_reference(&problem, FeasibilityMode::PerApplication).unwrap();
         assert_eq!(parallel.mapping, serial.mapping);
         assert_eq!(parallel.cost.total(), serial.cost.total());
@@ -799,9 +865,10 @@ mod tests {
         let problem = chunked_problem();
         let n = problem.task_count() as u64;
         let serial = optimize_serial_reference(&problem, FeasibilityMode::PerApplication).unwrap();
-        let exhaustive = optimize_exhaustive(&problem, FeasibilityMode::PerApplication).unwrap();
-        let bnb = optimize_branch_and_bound(&problem, FeasibilityMode::PerApplication).unwrap();
-        let greedy = optimize_greedy(&problem, FeasibilityMode::PerApplication).unwrap();
+        let compiled = CompiledProblem::compile(&problem).unwrap();
+        let exhaustive = optimize_exhaustive(&compiled, FeasibilityMode::PerApplication).unwrap();
+        let bnb = optimize_branch_and_bound(&compiled, FeasibilityMode::PerApplication).unwrap();
+        let greedy = optimize_greedy(&compiled, FeasibilityMode::PerApplication).unwrap();
 
         // Exhaustive: every mask is a candidate; pruning is a subset of enumeration.
         assert_eq!(exhaustive.evaluated_candidates, 1 << n);

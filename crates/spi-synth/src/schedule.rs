@@ -11,7 +11,7 @@
 //!   exactly as in the paper.
 //! * [`check_serialized`] sums the utilization of *all* tasks of *all* applications as if
 //!   they could run concurrently — the pessimistic view a serializing approach
-//!   ([6] in the paper) is forced to take.
+//!   (\[6\] in the paper) is forced to take.
 //! * [`build_schedule`] produces a simple static one-processor schedule of one
 //!   application for inspection and examples.
 

@@ -70,7 +70,7 @@ fn flow_strategy(task_count: usize) -> SearchStrategy {
 ///
 /// Returns one result per application, in application order. This is the eager
 /// collection of [`independent_iter`]. Each restricted subproblem is searched
-/// with [`flow_strategy`]: exact everywhere, branch-and-bound from
+/// with the measured flow strategy: exact everywhere, branch-and-bound from
 /// [`BNB_CROSSOVER_TASKS`] tasks upward.
 ///
 /// # Errors

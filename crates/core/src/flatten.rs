@@ -55,7 +55,10 @@
 
 use std::collections::HashMap;
 
-use spi_model::{ChannelId, Interval, ProcessId, ProductionSpec, SpiGraph, Sym, TagSet};
+use spi_model::{
+    BuildSymHasher, ChannelId, GraphWatermark, Interval, ProcessId, ProductionSpec, SpiGraph, Sym,
+    TagSet,
+};
 
 use crate::cluster::PortDirection;
 use crate::error::VariantError;
@@ -90,6 +93,10 @@ struct ClusterPlan {
 struct AttachmentPlan {
     interface: Sym,
     clusters: Vec<ClusterPlan>,
+    /// Cluster name → position in `clusters`: the `O(1)` axis resolution of
+    /// the flattening hot loop (and the digit ↔ plan mapping of the delta
+    /// path, whose positions match the variant space's axis cluster order).
+    cluster_index: HashMap<Sym, u32, BuildSymHasher>,
 }
 
 /// Reusable flattening machine for one [`VariantSystem`]; see the module docs.
@@ -192,9 +199,15 @@ impl Flattener {
                     ports,
                 });
             }
+            let cluster_index = clusters
+                .iter()
+                .enumerate()
+                .map(|(position, plan)| (plan.cluster, position as u32))
+                .collect();
             plans.push(AttachmentPlan {
                 interface: Sym::intern(interface.name()),
                 clusters,
+                cluster_index,
             });
         }
 
@@ -241,9 +254,9 @@ impl Flattener {
                 VariantError::IncompleteChoice(plan.interface.as_str().to_string())
             })?;
             let cluster_plan = plan
-                .clusters
-                .iter()
-                .find(|c| c.cluster == cluster)
+                .cluster_index
+                .get(&cluster)
+                .map(|&position| &plan.clusters[position as usize])
                 .ok_or_else(|| VariantError::UnknownName(cluster.as_str().to_string()))?;
             let map = graph.merge_disjoint(&cluster_plan.renamed);
             for port in &cluster_plan.ports {
@@ -287,6 +300,204 @@ impl Flattener {
             .ok_or_else(|| VariantError::UnknownName(format!("variant index {index}")))?;
         let graph = self.flatten(&choice)?;
         Ok((choice, graph))
+    }
+}
+
+/// Incremental flattening: patches the previous flat graph instead of
+/// rebuilding it — O(changed cluster) amortized over a Gray-order walk.
+///
+/// The combination digits are spliced in **axis order**: the last axis is the
+/// least significant of the mixed radix, so under the Gray-order enumeration of
+/// [`VariantSpace::choices_delta_iter`](crate::VariantSpace::choices_delta_iter)
+/// the clusters that change most frequently sit last in the slab. Moving from
+/// one combination to the next then only has to
+///
+/// 1. detach the port wirings of the axes at and above the first changed one
+///    (they point at skeleton channels *below* the rollback mark, so the
+///    truncation alone would leave them dangling),
+/// 2. [`truncate_to`](SpiGraph::truncate_to) the changed axis's recorded
+///    watermark, undoing exactly the suffix splices, and
+/// 3. re-splice the suffix via the offset-shift
+///    [`merge_disjoint_shifted`](SpiGraph::merge_disjoint_shifted) append.
+///
+/// Because the splice order, the appended node content and the port wirings
+/// are exactly those of [`Flattener::flatten_into`] on a fresh skeleton clone,
+/// the patched graph is **bit-identical** to [`Flattener::flatten_at`] at
+/// every index — same slabs, same ids, same iteration order, same digests
+/// (pinned by the differential test suite).
+///
+/// Any flattening error leaves the instance unprimed; the next call falls back
+/// to a full rebuild, so errors are never sticky.
+#[derive(Debug, Clone)]
+pub struct DeltaFlattener<'a> {
+    flattener: &'a Flattener,
+    /// The current flat graph; matches `digits` when `primed`.
+    graph: SpiGraph,
+    /// Cluster position currently spliced, per axis.
+    digits: Vec<u32>,
+    /// Decode scratch for the requested combination.
+    target: Vec<u32>,
+    /// `watermarks[axis]` is the slab mark just *below* that axis's splice:
+    /// truncating to it removes the splices of every axis at or above.
+    watermarks: Vec<GraphWatermark>,
+    /// False until a combination is fully spliced (and after any error).
+    primed: bool,
+}
+
+impl<'a> DeltaFlattener<'a> {
+    /// Creates an unprimed delta flattener; the first
+    /// [`flatten_index`](Self::flatten_index) pays one full flatten.
+    pub fn new(flattener: &'a Flattener) -> Self {
+        // The delta path maps mixed-radix digits to cluster plans by
+        // *position*; `Flattener::new` builds both the space and the plans
+        // from the attachments in order, so the correspondence is structural.
+        debug_assert!(flattener.space.axes().iter().zip(&flattener.plans).all(
+            |((interface, clusters), plan)| {
+                *interface == plan.interface
+                    && clusters.len() == plan.clusters.len()
+                    && clusters
+                        .iter()
+                        .zip(&plan.clusters)
+                        .all(|(sym, cluster)| *sym == cluster.cluster)
+            }
+        ));
+        debug_assert!(flattener
+            .plans
+            .iter()
+            .flat_map(|plan| &plan.clusters)
+            .all(|cluster| cluster.renamed.is_dense()));
+        DeltaFlattener {
+            flattener,
+            graph: SpiGraph::new(""),
+            digits: Vec::new(),
+            target: Vec::new(),
+            watermarks: Vec::new(),
+            primed: false,
+        }
+    }
+
+    /// The underlying shared flattener.
+    pub fn flattener(&self) -> &'a Flattener {
+        self.flattener
+    }
+
+    /// The current flat graph, if a combination is primed.
+    pub fn graph(&self) -> Option<&SpiGraph> {
+        self.primed.then_some(&self.graph)
+    }
+
+    /// Drops the primed state: the next flatten rebuilds from the skeleton.
+    /// (The result is unaffected — this only forfeits the incremental credit.)
+    pub fn reset(&mut self) {
+        self.primed = false;
+    }
+
+    /// Flattens the combination at lexicographic `index` of the variant space
+    /// by patching the previous graph, and returns it. Bit-identical to
+    /// [`Flattener::flatten_at`] at the same index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariantError::UnknownName`] if `index` is out of range, else
+    /// as [`Flattener::flatten`].
+    pub fn flatten_index(&mut self, index: usize) -> Result<&SpiGraph> {
+        if !self.flattener.space.digits_at(index, &mut self.target) {
+            return Err(VariantError::UnknownName(format!("variant index {index}")));
+        }
+        self.apply_target()?;
+        Ok(&self.graph)
+    }
+
+    /// Flattens the `rank`-th combination of the Gray-order walk (see
+    /// [`VariantSpace::gray_index_at`](crate::VariantSpace::gray_index_at))
+    /// and returns its canonical lexicographic index alongside the graph —
+    /// the entry point for Gray-rank-strided shard runs, where consecutive
+    /// ranks of a walk change one axis and patch in O(one cluster).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariantError::UnknownName`] if `rank` is out of range, else
+    /// as [`Flattener::flatten`].
+    pub fn flatten_gray_rank(&mut self, rank: usize) -> Result<(usize, &SpiGraph)> {
+        let Some(index) = self.flattener.space.gray_digits_at(rank, &mut self.target) else {
+            return Err(VariantError::UnknownName(format!("gray rank {rank}")));
+        };
+        self.apply_target()?;
+        Ok((index, &self.graph))
+    }
+
+    /// Patches `graph` from `digits` to `target`: truncate to the first
+    /// changed axis's watermark, re-splice the suffix.
+    fn apply_target(&mut self) -> Result<()> {
+        let plans = &self.flattener.plans;
+        debug_assert_eq!(self.target.len(), plans.len());
+        let first_changed = if self.primed {
+            match (0..plans.len()).find(|&axis| self.digits[axis] != self.target[axis]) {
+                // The combination is already spliced.
+                None => return Ok(()),
+                Some(axis) => axis,
+            }
+        } else {
+            0
+        };
+
+        if self.primed {
+            // Detach the suffix's port wirings: they live in edge slots of
+            // skeleton channels (below every watermark), where truncation
+            // cannot reach them.
+            for (axis, plan) in plans.iter().enumerate().skip(first_changed) {
+                let outgoing = &plan.clusters[self.digits[axis] as usize];
+                for port in &outgoing.ports {
+                    match port.direction {
+                        PortDirection::Input => self.graph.clear_reader(port.channel),
+                        PortDirection::Output => self.graph.clear_writer(port.channel),
+                    };
+                }
+            }
+            self.graph.truncate_to(self.watermarks[first_changed]);
+        } else {
+            self.graph.clone_from(&self.flattener.skeleton);
+            self.digits.clear();
+            self.digits.resize(plans.len(), 0);
+            self.watermarks.clear();
+            self.watermarks
+                .resize(plans.len(), GraphWatermark::default());
+        }
+
+        // Unprimed while splicing: a wiring error must not leave a
+        // half-spliced graph claiming to be a combination.
+        self.primed = false;
+        for (axis, plan) in plans.iter().enumerate().skip(first_changed) {
+            let digit = self.target[axis];
+            let incoming = &plan.clusters[digit as usize];
+            self.watermarks[axis] = self.graph.watermark();
+            let (process_offset, _) = self.graph.merge_disjoint_shifted(&incoming.renamed);
+            for port in &incoming.ports {
+                let process = ProcessId::new(process_offset + port.process.index());
+                match port.direction {
+                    PortDirection::Input => {
+                        self.graph.set_reader(port.channel, process)?;
+                        self.graph
+                            .process_mut(process)
+                            .expect("process was just spliced")
+                            .set_default_consumption(port.channel, port.rate);
+                    }
+                    PortDirection::Output => {
+                        self.graph.set_writer(port.channel, process)?;
+                        self.graph
+                            .process_mut(process)
+                            .expect("process was just spliced")
+                            .set_default_production(
+                                port.channel,
+                                ProductionSpec::tagged(port.rate, port.tags.clone()),
+                            );
+                    }
+                }
+            }
+            self.digits[axis] = digit;
+        }
+        self.primed = true;
+        Ok(())
     }
 }
 
@@ -353,6 +564,60 @@ mod tests {
             flattener.flatten(&VariantChoice::new().with("interface1", "ghost")),
             Err(VariantError::UnknownName(_))
         ));
+    }
+
+    #[test]
+    fn delta_flattener_matches_flatten_at_on_every_index() {
+        let system = figure2_like_system();
+        let flattener = Flattener::new(&system).unwrap();
+        let mut delta = DeltaFlattener::new(&flattener);
+        for index in 0..flattener.space().count() {
+            let (_, full) = flattener.flatten_at(index).unwrap();
+            let patched = delta.flatten_index(index).unwrap();
+            assert_eq!(patched, &full, "index {index}");
+        }
+    }
+
+    #[test]
+    fn delta_flattener_walks_gray_ranks() {
+        let system = figure2_like_system();
+        let flattener = Flattener::new(&system).unwrap();
+        let mut delta = DeltaFlattener::new(&flattener);
+        let mut seen = Vec::new();
+        for rank in 0..flattener.space().count() {
+            let expected_index = flattener.space().gray_index_at(rank).unwrap();
+            let (index, patched) = delta.flatten_gray_rank(rank).unwrap();
+            assert_eq!(index, expected_index);
+            let (_, full) = flattener.flatten_at(index).unwrap();
+            assert_eq!(patched, &full);
+            seen.push(index);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..flattener.space().count()).collect::<Vec<_>>());
+        assert!(matches!(
+            delta.flatten_gray_rank(flattener.space().count()),
+            Err(VariantError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn delta_flattener_survives_resets_and_rejects_bad_indices() {
+        let system = figure2_like_system();
+        let flattener = Flattener::new(&system).unwrap();
+        let mut delta = DeltaFlattener::new(&flattener);
+        assert!(delta.graph().is_none());
+        assert!(matches!(
+            delta.flatten_index(usize::MAX),
+            Err(VariantError::UnknownName(_))
+        ));
+        delta.flatten_index(1).unwrap();
+        assert!(delta.graph().is_some());
+        delta.reset();
+        assert!(delta.graph().is_none());
+        let (_, full) = flattener.flatten_at(1).unwrap();
+        assert_eq!(delta.flatten_index(1).unwrap(), &full);
+        // Re-requesting the primed combination is a no-op, not a rebuild.
+        assert_eq!(delta.flatten_index(1).unwrap(), &full);
     }
 
     #[test]

@@ -102,11 +102,11 @@ pub use cluster::{Cluster, Port, PortDirection};
 pub use configuration::{Configuration, ConfigurationMap, ConfigurationSet};
 pub use error::VariantError;
 pub use extraction::{AbstractedSystem, ExtractionPolicy};
-pub use flatten::Flattener;
+pub use flatten::{DeltaFlattener, Flattener};
 pub use interface::Interface;
 pub use reconfiguration::{ReconfigurationEvent, ReconfigurationTracker};
 pub use selection::{ClusterSelection, SelectionRule};
-pub use space::{ChoicesIter, VariantChoice, VariantSpace};
+pub use space::{ChoicesIter, DeltaChoicesIter, VariantChoice, VariantSpace};
 pub use system::{AttachmentId, VariantSystem};
 pub use variant::VariantType;
 

@@ -265,18 +265,80 @@ impl VariantSpace {
     /// Decodes the combination at `index` (lexicographic in axis order, last axis
     /// varying fastest) in `O(interfaces)` time, without enumerating predecessors.
     pub fn choice_at(&self, index: usize) -> Option<VariantChoice> {
-        if index >= self.count() {
+        let mut digits = Vec::new();
+        if !self.digits_at(index, &mut digits) {
             return None;
         }
-        // Mixed-radix digits in axis order, last axis least significant.
-        let mut digits = vec![0u32; self.axes.len()];
+        Some(self.choice_from_digits(&digits))
+    }
+
+    /// Decodes the mixed-radix digits (one per axis, in axis order, last axis
+    /// least significant) of the combination at lexicographic `index` into
+    /// `digits`, reusing its allocation. Returns `false` when the index is out
+    /// of range.
+    pub(crate) fn digits_at(&self, index: usize, digits: &mut Vec<u32>) -> bool {
+        if index >= self.count() {
+            return false;
+        }
+        digits.clear();
+        digits.resize(self.axes.len(), 0);
         let mut remainder = index;
         for (digit, (_, clusters)) in digits.iter_mut().zip(&self.axes).rev() {
             *digit = (remainder % clusters.len()) as u32;
             remainder /= clusters.len();
         }
-        // Emit directly in the precomputed name order — no sorting per choice.
-        Some(VariantChoice::from_sorted_pairs(
+        true
+    }
+
+    /// Decodes the digits of the `rank`-th combination of the **reflected
+    /// mixed-radix Gray order** into `digits` and returns its canonical
+    /// lexicographic index. Consecutive ranks differ in exactly one digit.
+    ///
+    /// Returns `None` when `rank` is out of range or the space is too large to
+    /// index (`count()` saturated).
+    pub(crate) fn gray_digits_at(&self, rank: usize, digits: &mut Vec<u32>) -> Option<usize> {
+        let total = self.count();
+        if rank >= total || total == usize::MAX {
+            return None;
+        }
+        digits.clear();
+        digits.resize(self.axes.len(), 0);
+        // Standard reflected-Gray decode, most-significant axis first: a level
+        // whose decoded digit is odd traverses the levels below it in reverse,
+        // which the reflection of `remainder` accounts for.
+        let mut remainder = rank;
+        let mut suffix = total;
+        let mut reflect = false;
+        let mut index = 0usize;
+        for (digit, (_, clusters)) in digits.iter_mut().zip(&self.axes) {
+            let radix = clusters.len();
+            suffix /= radix;
+            if reflect {
+                remainder = radix * suffix - 1 - remainder;
+            }
+            let value = remainder / suffix;
+            remainder %= suffix;
+            reflect = value % 2 == 1;
+            *digit = value as u32;
+            index += value * suffix;
+        }
+        Some(index)
+    }
+
+    /// The canonical lexicographic index of the `rank`-th combination of the
+    /// Gray-code order walked by [`choices_delta_iter`](Self::choices_delta_iter):
+    /// `choice_at(gray_index_at(rank))` is the choice that walk yields at
+    /// `rank`. `O(interfaces)`, so Gray-rank-strided shards can map their ranks
+    /// to reportable indices without walking.
+    pub fn gray_index_at(&self, rank: usize) -> Option<usize> {
+        let mut digits = Vec::new();
+        self.gray_digits_at(rank, &mut digits)
+    }
+
+    /// Emits the choice for a decoded digit vector in the precomputed name
+    /// order — no sorting per choice.
+    pub(crate) fn choice_from_digits(&self, digits: &[u32]) -> VariantChoice {
+        VariantChoice::from_sorted_pairs(
             self.sorted_axes
                 .iter()
                 .map(|&axis| {
@@ -284,7 +346,7 @@ impl VariantSpace {
                     (*interface, clusters[digits[axis as usize] as usize])
                 })
                 .collect(),
-        ))
+        )
     }
 
     /// Lazily enumerates every combination as a [`VariantChoice`], in the same
@@ -325,6 +387,51 @@ impl VariantSpace {
     /// paper-fidelity tests and small spaces. New code should iterate lazily.
     pub fn choices(&self) -> Vec<VariantChoice> {
         self.choices_iter().collect()
+    }
+
+    /// Lazily enumerates every combination in **reflected mixed-radix Gray
+    /// order**: consecutive yields change the cluster of exactly one axis. Each
+    /// yield is `(index, changed_axis, choice)`, where `index` is the
+    /// combination's canonical lexicographic position (what
+    /// [`choice_at`](Self::choice_at) and the exploration shards report) and
+    /// `changed_axis` is `Some(a)` — an index into [`axes`](Self::axes) — when
+    /// the yield differs from the *previously yielded* combination in exactly
+    /// that one axis (`None` on the first yield and after a multi-axis
+    /// [`Iterator::nth`] jump).
+    ///
+    /// The walk visits every combination exactly once, `nth` jumps in
+    /// `O(interfaces)` time, and shard-striding over **Gray ranks**
+    /// (`choices_delta_iter().skip(s).step_by(k)`) partitions the space exactly
+    /// like striding [`choices_iter`](Self::choices_iter) over lexicographic
+    /// indices does — this is the enumeration behind the delta-flattening path.
+    ///
+    /// ```rust
+    /// use spi_variants::VariantSpace;
+    ///
+    /// let space = VariantSpace::new(vec![
+    ///     ("if1".into(), vec!["a".into(), "b".into()]),
+    ///     ("if2".into(), vec!["x".into(), "y".into(), "z".into()]),
+    /// ]);
+    /// let walk: Vec<_> = space.choices_delta_iter().collect();
+    /// assert_eq!(walk.len(), 6);
+    /// // Every step past the first changes exactly one axis.
+    /// assert!(walk[1..].iter().all(|(_, changed, _)| changed.is_some()));
+    /// // The canonical indices cover the space exactly once.
+    /// let mut indices: Vec<usize> = walk.iter().map(|(i, _, _)| *i).collect();
+    /// indices.sort_unstable();
+    /// assert_eq!(indices, (0..6).collect::<Vec<_>>());
+    /// ```
+    pub fn choices_delta_iter(&self) -> DeltaChoicesIter<'_> {
+        let total = self.count();
+        DeltaChoicesIter {
+            space: self,
+            next_rank: 0,
+            // A saturated count cannot be Gray-decoded (the suffix products
+            // are unrepresentable); such spaces yield nothing, like an empty one.
+            end: if total == usize::MAX { 0 } else { total },
+            digits: Vec::new(),
+            previous: Vec::new(),
+        }
     }
 }
 
@@ -432,6 +539,79 @@ impl DoubleEndedIterator for ChoicesIter<'_> {
 impl ExactSizeIterator for ChoicesIter<'_> {}
 
 impl std::iter::FusedIterator for ChoicesIter<'_> {}
+
+/// Lazy Gray-order enumeration of a [`VariantSpace`]; see
+/// [`VariantSpace::choices_delta_iter`].
+#[derive(Debug, Clone)]
+pub struct DeltaChoicesIter<'a> {
+    space: &'a VariantSpace,
+    /// Gray rank of the next combination to yield.
+    next_rank: usize,
+    /// One past the last Gray rank to yield.
+    end: usize,
+    /// Scratch digit buffer, reused across yields.
+    digits: Vec<u32>,
+    /// Digits of the previously yielded combination (empty before the first
+    /// yield), for the `changed_axis` diff.
+    previous: Vec<u32>,
+}
+
+impl Iterator for DeltaChoicesIter<'_> {
+    type Item = (usize, Option<usize>, VariantChoice);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_rank >= self.end {
+            return None;
+        }
+        let index = self
+            .space
+            .gray_digits_at(self.next_rank, &mut self.digits)
+            .expect("rank below count decodes");
+        self.next_rank += 1;
+        let changed_axis = if self.previous.len() == self.digits.len() {
+            let mut differing = self
+                .previous
+                .iter()
+                .zip(&self.digits)
+                .enumerate()
+                .filter(|(_, (before, after))| before != after)
+                .map(|(axis, _)| axis);
+            match (differing.next(), differing.next()) {
+                (Some(axis), None) => Some(axis),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        self.previous.clone_from(&self.digits);
+        Some((
+            index,
+            changed_axis,
+            self.space.choice_from_digits(&self.digits),
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.end - self.next_rank;
+        (remaining, Some(remaining))
+    }
+
+    /// Jumps in `O(interfaces)` (one Gray decode at the target rank); the
+    /// subsequent yield diffs against the last *yielded* combination, so its
+    /// `changed_axis` is `None` unless the jump happened to change one axis.
+    fn nth(&mut self, n: usize) -> Option<Self::Item> {
+        self.next_rank = self.next_rank.saturating_add(n).min(self.end);
+        self.next()
+    }
+
+    fn count(self) -> usize {
+        self.end - self.next_rank
+    }
+}
+
+impl ExactSizeIterator for DeltaChoicesIter<'_> {}
+
+impl std::iter::FusedIterator for DeltaChoicesIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -548,6 +728,147 @@ mod tests {
         assert!(last.iter().all(|(_, cluster)| cluster == "b"));
         let first = space.choices_iter().next().unwrap();
         assert!(first.iter().all(|(_, cluster)| cluster == "a"));
+    }
+
+    /// Digits of `choice` in axis order, read back through the axis cluster lists.
+    fn digits_of(space: &VariantSpace, choice: &VariantChoice) -> Vec<usize> {
+        space
+            .axes()
+            .iter()
+            .map(|(interface, clusters)| {
+                let chosen = choice.cluster_sym_for(*interface).unwrap();
+                clusters.iter().position(|c| *c == chosen).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gray_walk_changes_exactly_one_axis_per_step() {
+        let space = VariantSpace::new(vec![
+            ("if1".into(), vec!["a".into(), "b".into()]),
+            ("if2".into(), vec!["x".into(), "y".into(), "z".into()]),
+            ("if3".into(), vec!["p".into(), "q".into()]),
+        ]);
+        let walk: Vec<_> = space.choices_delta_iter().collect();
+        assert_eq!(walk.len(), space.count());
+        assert_eq!(walk[0].1, None);
+        for (rank, window) in walk.windows(2).enumerate() {
+            let before = digits_of(&space, &window[0].2);
+            let after = digits_of(&space, &window[1].2);
+            let differing: Vec<usize> = (0..before.len())
+                .filter(|&axis| before[axis] != after[axis])
+                .collect();
+            assert_eq!(
+                differing.len(),
+                1,
+                "step {rank} -> {} must change exactly one axis",
+                rank + 1
+            );
+            assert_eq!(window[1].1, Some(differing[0]));
+        }
+    }
+
+    #[test]
+    fn gray_walk_is_a_permutation_of_the_lexicographic_order() {
+        let space = VariantSpace::new(vec![
+            ("if1".into(), vec!["a".into(), "b".into(), "c".into()]),
+            ("if2".into(), vec!["x".into(), "y".into()]),
+            ("if3".into(), vec!["p".into(), "q".into(), "r".into()]),
+        ]);
+        let walk: Vec<_> = space.choices_delta_iter().collect();
+        let mut indices: Vec<usize> = walk.iter().map(|(index, _, _)| *index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..space.count()).collect::<Vec<_>>());
+        // The reported index really is the choice's lexicographic position.
+        for (index, _, choice) in &walk {
+            assert_eq!(space.choice_at(*index).as_ref(), Some(choice));
+        }
+    }
+
+    #[test]
+    fn gray_index_at_matches_the_walk() {
+        let space = space();
+        for (rank, (index, _, _)) in space.choices_delta_iter().enumerate() {
+            assert_eq!(space.gray_index_at(rank), Some(index));
+        }
+        assert_eq!(space.gray_index_at(space.count()), None);
+        assert_eq!(VariantSpace::default().gray_index_at(0), None);
+    }
+
+    #[test]
+    fn gray_nth_jumps_and_resumes_the_walk() {
+        let space = VariantSpace::new(vec![
+            ("if1".into(), vec!["a".into(), "b".into()]),
+            ("if2".into(), vec!["x".into(), "y".into(), "z".into()]),
+        ]);
+        let walk: Vec<_> = space.choices_delta_iter().collect();
+        for start in 0..walk.len() {
+            let mut iter = space.choices_delta_iter();
+            let jumped = iter.nth(start).unwrap();
+            assert_eq!((jumped.0, &jumped.2), (walk[start].0, &walk[start].2));
+            // Right after a jump the iterator resumes single-axis stepping.
+            if start + 1 < walk.len() {
+                let next = iter.next().unwrap();
+                assert_eq!(next, walk[start + 1]);
+                assert!(next.1.is_some());
+            } else {
+                assert_eq!(iter.next(), None);
+            }
+        }
+        assert_eq!(space.choices_delta_iter().nth(walk.len()), None);
+    }
+
+    #[test]
+    fn gray_rank_strided_shards_partition_the_space() {
+        let space = VariantSpace::new(vec![
+            ("if1".into(), vec!["a".into(), "b".into(), "c".into()]),
+            ("if2".into(), vec!["x".into(), "y".into()]),
+        ]);
+        let shards = 4usize;
+        let mut indices: Vec<usize> = Vec::new();
+        for shard in 0..shards {
+            indices.extend(
+                space
+                    .choices_delta_iter()
+                    .skip(shard)
+                    .step_by(shards)
+                    .map(|(index, _, _)| index),
+            );
+        }
+        indices.sort_unstable();
+        assert_eq!(indices, (0..space.count()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gray_walk_of_degenerate_spaces_is_empty() {
+        assert_eq!(VariantSpace::default().choices_delta_iter().count(), 0);
+        let collapsed = VariantSpace::new(vec![
+            ("if1".into(), vec!["a".into()]),
+            ("broken".into(), vec![]),
+        ]);
+        assert_eq!(collapsed.choices_delta_iter().count(), 0);
+    }
+
+    #[test]
+    fn gray_walk_with_shadowed_duplicate_axes_reports_axis_order_changes() {
+        // The shadowed first axis still counts in the mixed radix (its digit
+        // changes are real steps), but only the last same-name axis shows in
+        // the emitted choice — matching `choice_at` exactly.
+        let space = VariantSpace::new(vec![
+            ("dup".into(), vec!["old1".into(), "old2".into()]),
+            ("dup".into(), vec!["new1".into(), "new2".into()]),
+        ]);
+        let walk: Vec<_> = space.choices_delta_iter().collect();
+        assert_eq!(walk.len(), 4);
+        for (index, _, choice) in &walk {
+            assert_eq!(space.choice_at(*index).as_ref(), Some(choice));
+        }
+        // A step on the shadowed axis changes no visible selection.
+        let shadowed_steps: Vec<_> = walk
+            .iter()
+            .filter(|(_, changed, _)| *changed == Some(0))
+            .collect();
+        assert!(!shadowed_steps.is_empty());
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Differential suite: [`DeltaFlattener`] must be **bit-identical** to
+//! [`Flattener::flatten_at`] — same slabs, same ids, same iteration order,
+//! same digests — on every index of randomized variant systems, over full
+//! Gray-order walks, shard-strided walks, and after mid-walk resets.
+//!
+//! Randomization uses a local LCG (seeded, reproducible): the point is many
+//! differently-shaped spaces (uneven radices, single-cluster axes, varying
+//! cluster depths), not true randomness.
+
+use spi_model::{digest_bytes, ChannelKind, Digest, GraphBuilder, Interval, SpiGraph};
+use spi_variants::{Cluster, DeltaFlattener, Flattener, Interface, VariantSystem, VariantType};
+
+/// Minimal deterministic LCG (Numerical Recipes constants) — no external
+/// dependency, reproducible across platforms.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    /// Uniform in `lo..=hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// The graph digest the suite pins: the canonical `Display` listing, which
+/// walks both slabs in id order and prints every edge endpoint — equal bytes
+/// mean equal ids, equal iteration order and equal topology.
+fn graph_digest(graph: &SpiGraph) -> Digest {
+    digest_bytes(graph.to_string().as_bytes())
+}
+
+/// Builds a randomized variant system: 2–4 interfaces, 1–3 clusters each,
+/// clusters of 1–3 chained processes, every interface spliced between a
+/// common source and sink.
+fn random_system(seed: u64) -> VariantSystem {
+    let mut rng = Lcg(seed.wrapping_mul(2).wrapping_add(1));
+    let interfaces = rng.range(2, 4);
+
+    let mut b = GraphBuilder::new(format!("rand{seed}"));
+    let src = b
+        .process(format!("s{seed}/src"))
+        .latency(Interval::point(1))
+        .build()
+        .unwrap();
+    for i in 0..interfaces {
+        let cin = b
+            .channel(format!("s{seed}/in{i}"), ChannelKind::Queue)
+            .unwrap();
+        let cout = b
+            .channel(format!("s{seed}/out{i}"), ChannelKind::Queue)
+            .unwrap();
+        b.connect_output(src, cin, Interval::point(1)).unwrap();
+        let sink = b
+            .process(format!("s{seed}/sink{i}"))
+            .latency(Interval::point(2))
+            .build()
+            .unwrap();
+        b.connect_input(cout, sink, Interval::point(1)).unwrap();
+    }
+    let mut system = VariantSystem::new(b.finish().unwrap());
+
+    for i in 0..interfaces {
+        let mut interface = Interface::new(format!("s{seed}/if{i}"));
+        interface.add_input_port("i");
+        interface.add_output_port("o");
+        for c in 0..rng.range(1, 3) {
+            let stages = rng.range(1, 3);
+            let name = format!("v{c}");
+            let mut cb = GraphBuilder::new(name.clone());
+            let mut prev = None;
+            for stage in 0..stages {
+                let p = cb
+                    .process(format!("P{stage}"))
+                    .latency(Interval::point(rng.range(1, 9)))
+                    .build()
+                    .unwrap();
+                if let Some(prev) = prev {
+                    let mid = cb.channel(format!("c{stage}"), ChannelKind::Queue).unwrap();
+                    cb.connect_output(prev, mid, Interval::point(1)).unwrap();
+                    cb.connect_input(mid, p, Interval::point(1)).unwrap();
+                }
+                prev = Some(p);
+            }
+            let mut cluster = Cluster::new(&name, cb.finish().unwrap());
+            cluster
+                .add_input_port("i", "P0", Interval::point(rng.range(1, 3)))
+                .unwrap();
+            cluster
+                .add_output_port(
+                    "o",
+                    format!("P{}", stages - 1).as_str(),
+                    Interval::point(rng.range(1, 3)),
+                )
+                .unwrap();
+            interface.add_cluster(cluster).unwrap();
+        }
+        let att = system
+            .attach_interface(interface, VariantType::Production)
+            .unwrap();
+        system
+            .bind_input(att, "i", format!("s{seed}/in{i}"))
+            .unwrap();
+        system
+            .bind_output(att, "o", format!("s{seed}/out{i}"))
+            .unwrap();
+    }
+    system
+}
+
+/// Asserts full bit-identity of the patched graph against a fresh flatten.
+fn assert_identical(delta: &SpiGraph, full: &SpiGraph, context: &str) {
+    assert_eq!(delta, full, "{context}: graph mismatch");
+    assert_eq!(
+        graph_digest(delta),
+        graph_digest(full),
+        "{context}: digest mismatch"
+    );
+}
+
+#[test]
+fn full_gray_walks_are_bit_identical() {
+    for seed in 0..12 {
+        let system = random_system(seed);
+        let flattener = Flattener::new(&system).unwrap();
+        let space = flattener.space();
+        let mut delta = DeltaFlattener::new(&flattener);
+        let mut visited = Vec::new();
+        for rank in 0..space.count() {
+            let (index, patched) = delta.flatten_gray_rank(rank).unwrap();
+            let (_, full) = flattener.flatten_at(index).unwrap();
+            assert_identical(patched, &full, &format!("seed {seed} rank {rank}"));
+            visited.push(index);
+        }
+        visited.sort_unstable();
+        assert_eq!(
+            visited,
+            (0..space.count()).collect::<Vec<_>>(),
+            "seed {seed}: gray walk must visit every index exactly once"
+        );
+    }
+}
+
+#[test]
+fn random_index_jumps_are_bit_identical() {
+    for seed in 12..20 {
+        let system = random_system(seed);
+        let flattener = Flattener::new(&system).unwrap();
+        let count = flattener.space().count();
+        let mut delta = DeltaFlattener::new(&flattener);
+        let mut rng = Lcg(seed);
+        for step in 0..4 * count {
+            let index = (rng.next() as usize) % count;
+            let patched = delta.flatten_index(index).unwrap();
+            let (_, full) = flattener.flatten_at(index).unwrap();
+            assert_identical(patched, &full, &format!("seed {seed} step {step}"));
+        }
+    }
+}
+
+#[test]
+fn shard_strided_walks_are_bit_identical_and_partition_the_space() {
+    for seed in 20..26 {
+        let system = random_system(seed);
+        let flattener = Flattener::new(&system).unwrap();
+        let space = flattener.space();
+        let count = space.count();
+        for shard_count in [1usize, 2, 3, 5] {
+            let mut visited = Vec::new();
+            for shard in 0..shard_count {
+                // Each shard walks its own Gray-rank arithmetic progression
+                // with its own delta flattener — the worker pattern.
+                let mut delta = DeltaFlattener::new(&flattener);
+                let mut rank = shard;
+                while rank < count {
+                    let (index, patched) = delta.flatten_gray_rank(rank).unwrap();
+                    let (_, full) = flattener.flatten_at(index).unwrap();
+                    assert_identical(
+                        patched,
+                        &full,
+                        &format!("seed {seed} shard {shard}/{shard_count} rank {rank}"),
+                    );
+                    visited.push(index);
+                    rank += shard_count;
+                }
+            }
+            visited.sort_unstable();
+            assert_eq!(
+                visited,
+                (0..count).collect::<Vec<_>>(),
+                "seed {seed}: {shard_count} shards must partition the space"
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_walk_resets_do_not_change_results() {
+    for seed in 26..32 {
+        let system = random_system(seed);
+        let flattener = Flattener::new(&system).unwrap();
+        let count = flattener.space().count();
+        let mut delta = DeltaFlattener::new(&flattener);
+        let mut rng = Lcg(seed ^ 0x5eed);
+        for rank in 0..count {
+            if rng.next().is_multiple_of(3) {
+                delta.reset();
+            }
+            let (index, patched) = delta.flatten_gray_rank(rank).unwrap();
+            let (_, full) = flattener.flatten_at(index).unwrap();
+            assert_identical(patched, &full, &format!("seed {seed} rank {rank}"));
+        }
+    }
+}
+
+#[test]
+fn patched_graphs_always_validate() {
+    let system = random_system(99);
+    let flattener = Flattener::new(&system).unwrap();
+    let mut delta = DeltaFlattener::new(&flattener);
+    for rank in 0..flattener.space().count() {
+        let (_, patched) = delta.flatten_gray_rank(rank).unwrap();
+        patched.validate().unwrap();
+    }
+}

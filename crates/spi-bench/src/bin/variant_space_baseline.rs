@@ -14,6 +14,11 @@
 //!   candidate accounting (`evaluated`, `pruned`) of both, so the search trajectory
 //!   is tracked PR over PR. The two optima are asserted identical before anything is
 //!   recorded.
+//! * **delta flattening** — a full Gray-order walk of the 2^12 space, rebuilding
+//!   every variant from the skeleton (`flatten_into`) vs patching the previous
+//!   flat graph (`DeltaFlattener`); the patched graphs are asserted bit-identical
+//!   to `flatten_at` on every rank before timing. CI gates the patch path staying
+//!   ≥5× faster per variant.
 //! * **exploration service** — end-to-end throughput of `spi-explore` (submit →
 //!   drain → aggregate) at 1/4/8 workers over a 4096-variant space, against the
 //!   single-thread flatten+evaluate sweep it replaces; the service optimum is
@@ -37,7 +42,7 @@ use std::time::Instant;
 use spi_explore::{Evaluator, ExplorationService, JobSpec, PartitionEvaluator, ServiceConfig};
 use spi_model::SpiGraph;
 use spi_synth::partition::{optimize, FeasibilityMode, SearchStrategy};
-use spi_variants::Flattener;
+use spi_variants::{DeltaFlattener, Flattener};
 use spi_workloads::{scaling_system, synthetic_problem, SyntheticParams};
 
 /// Median wall-clock nanoseconds of `runs` executions of `f`.
@@ -503,6 +508,72 @@ fn measure_graph(interfaces: usize) -> GraphSection {
     }
 }
 
+struct DeltaSection {
+    interfaces: usize,
+    combinations: usize,
+    full_ns_per_flatten: u128,
+    delta_ns_per_flatten: u128,
+    delta_speedup: f64,
+}
+
+/// Times a **full Gray-order walk** of the variant space two ways: rebuilding
+/// every variant from the skeleton with `flatten_into` (the pre-delta hot
+/// path) vs patching the previous graph with `DeltaFlattener` (truncate to
+/// the changed axis's watermark, re-splice the suffix). Same visit order,
+/// same graphs — before anything is timed, every rank's patched graph is
+/// asserted equal to a from-scratch `flatten_at`. CI gates `delta_speedup`.
+fn measure_delta(interfaces: usize) -> DeltaSection {
+    const RUNS: usize = 5;
+
+    let system = scaling_system(interfaces, 2).expect("scaling system builds");
+    let flattener = Flattener::new(&system).expect("flattener builds");
+    let space = flattener.space();
+    let combinations = space.count();
+
+    // Untimed verification pass: bit-identity on every rank of the walk.
+    {
+        let mut delta = DeltaFlattener::new(&flattener);
+        for rank in 0..combinations {
+            let (index, patched) = delta.flatten_gray_rank(rank).expect("rank in range");
+            let (_, full) = flattener.flatten_at(index).expect("index in range");
+            assert_eq!(
+                patched, &full,
+                "delta flatten must be bit-identical at rank {rank}"
+            );
+        }
+    }
+
+    let full_ns = median_ns(RUNS, || {
+        let mut scratch = SpiGraph::new("");
+        let mut checksum = 0u64;
+        for (index, _changed, choice) in space.choices_delta_iter() {
+            flattener
+                .flatten_into(&choice, &mut scratch)
+                .expect("flatten succeeds");
+            checksum += scratch.process_count() as u64 + index as u64;
+        }
+        checksum
+    }) / combinations as u128;
+
+    let delta_ns = median_ns(RUNS, || {
+        let mut delta = DeltaFlattener::new(&flattener);
+        let mut checksum = 0u64;
+        for rank in 0..combinations {
+            let (index, graph) = delta.flatten_gray_rank(rank).expect("rank in range");
+            checksum += graph.process_count() as u64 + index as u64;
+        }
+        checksum
+    }) / combinations as u128;
+
+    DeltaSection {
+        interfaces,
+        combinations,
+        full_ns_per_flatten: full_ns,
+        delta_ns_per_flatten: delta_ns,
+        delta_speedup: full_ns as f64 / delta_ns.max(1) as f64,
+    }
+}
+
 struct StoreSection {
     variants: usize,
     cold_submit_ns: u128,
@@ -631,6 +702,9 @@ fn main() {
     eprintln!("measuring graph storage: slab vs BTreeMap clone, merge_disjoint, flatten_at...");
     let graph = measure_graph(12);
 
+    eprintln!("measuring delta flattening: full Gray walk, rebuild vs patch...");
+    let delta = measure_delta(12);
+
     eprintln!("measuring exploration service throughput at 1/4/8 workers...");
     let exploration = measure_exploration(12);
 
@@ -752,6 +826,26 @@ fn main() {
         graph.merge_disjoint_ns
     ));
     json.push_str(&format!("    \"flatten_at_ns\": {}\n", graph.flatten_at_ns));
+    json.push_str("  },\n");
+    json.push_str("  \"delta\": {\n");
+    json.push_str(&format!(
+        "    \"scenario\": \"scaling_system({}, 2) full Gray-order walk: flatten_into rebuild vs DeltaFlattener patch\",\n",
+        delta.interfaces
+    ));
+    json.push_str(&format!("    \"interfaces\": {},\n", delta.interfaces));
+    json.push_str(&format!("    \"combinations\": {},\n", delta.combinations));
+    json.push_str(&format!(
+        "    \"full_ns_per_flatten\": {},\n",
+        delta.full_ns_per_flatten
+    ));
+    json.push_str(&format!(
+        "    \"delta_ns_per_flatten\": {},\n",
+        delta.delta_ns_per_flatten
+    ));
+    json.push_str(&format!(
+        "    \"delta_speedup\": {:.2}\n",
+        delta.delta_speedup
+    ));
     json.push_str("  },\n");
     json.push_str("  \"exploration\": {\n");
     json.push_str(&format!(

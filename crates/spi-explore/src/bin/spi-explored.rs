@@ -12,7 +12,10 @@
 //! `--batch N` (variants per result batch, default 256), `--lease-ms N`
 //! (lease timeout, default 30000), `--store DIR` (durable job state: WAL +
 //! snapshot + result cache; the process can be killed and restarted on the
-//! same directory and resumes its jobs), `--no-hedge` (disable speculative
+//! same directory and resumes its jobs), `--cache-limit N` (cap the result
+//! cache at N entries, LRU-evicted; default unbounded),
+//! `--compact-log-bytes N` (compact the WAL whenever the log outgrows N
+//! bytes, not only at quiesce), `--no-hedge` (disable speculative
 //! re-leases). Diagnostics go to stderr; stdout carries exactly one JSON
 //! response line per request.
 //!
@@ -28,6 +31,7 @@ use std::io::{BufReader, Write};
 use std::time::Duration;
 
 use spi_explore::{run_session, ExplorationService, HedgeConfig, ServiceConfig};
+use spi_store::CacheLimit;
 
 fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
     args.iter()
@@ -47,7 +51,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|arg| arg == "--help" || arg == "-h") {
         eprintln!(
-            "usage: spi-explored [--workers N] [--batch N] [--lease-ms N] [--store DIR] [--no-hedge]\n\
+            "usage: spi-explored [--workers N] [--batch N] [--lease-ms N] [--store DIR]\n\
+                    [--cache-limit N] [--compact-log-bytes N] [--no-hedge]\n\
              ndjson requests on stdin, one JSON response per line on stdout;\n\
              ops: submit | poll | wait | top | jobs | cancel | shutdown\n\
              EOF on stdin quiesces cleanly: in-flight shards commit, the store compacts."
@@ -67,12 +72,18 @@ fn main() {
     if let Some(store) = parse_text_flag(&args, "--store") {
         config.store_dir = Some(store.into());
     }
+    if let Some(entries) = parse_flag(&args, "--cache-limit") {
+        config.cache_limit = CacheLimit::entries(entries as usize);
+    }
+    if let Some(bytes) = parse_flag(&args, "--compact-log-bytes") {
+        config.compact_log_bytes = Some(bytes);
+    }
     if args.iter().any(|arg| arg == "--no-hedge") {
         config.hedge = HedgeConfig::disabled();
     }
 
     eprintln!(
-        "spi-explored: {} workers, batch {}, lease {:?}, store {}",
+        "spi-explored: {} workers, batch {}, lease {:?}, store {}, cache limit {}",
         config.workers,
         config.batch_size,
         config.lease_timeout,
@@ -80,6 +91,10 @@ fn main() {
             .store_dir
             .as_deref()
             .map_or("none".to_string(), |dir| dir.display().to_string()),
+        config
+            .cache_limit
+            .max_entries
+            .map_or("unbounded".to_string(), |n| format!("{n} entries")),
     );
     let service = match ExplorationService::try_start(config) {
         Ok(service) => service,

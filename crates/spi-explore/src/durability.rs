@@ -37,6 +37,14 @@ pub trait DurabilitySink: Send {
     ///
     /// A human-readable description of the failure.
     fn compact(&mut self, snapshot: &JsonValue) -> Result<(), String>;
+
+    /// Bytes of record history accumulated since the last compaction. The
+    /// registry compares this against its `compact_log_bytes` budget to
+    /// decide when to compact mid-flight; sinks without a meaningful size
+    /// (in-memory tests) report 0 and are never auto-compacted.
+    fn log_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// [`DurabilitySink`] over a [`spi_store::Wal`].
@@ -52,6 +60,10 @@ impl DurabilitySink for WalSink {
 
     fn compact(&mut self, snapshot: &JsonValue) -> Result<(), String> {
         self.0.compact(snapshot).map_err(|e| e.to_string())
+    }
+
+    fn log_bytes(&self) -> u64 {
+        self.0.log_bytes()
     }
 }
 

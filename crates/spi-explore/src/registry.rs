@@ -80,7 +80,7 @@ use std::time::{Duration, Instant};
 use spi_model::digest::{digest_json, Digest};
 use spi_model::json::{FromJson, JsonValue, ToJson};
 use spi_store::sched::{FairScheduler, HedgeConfig, LatencyTracker};
-use spi_store::ResultCache;
+use spi_store::{CacheLimit, ResultCache};
 use spi_variants::{Flattener, VariantSystem};
 
 use crate::durability::DurabilitySink;
@@ -217,6 +217,12 @@ pub struct RegistryConfig {
     pub lease_timeout: Duration,
     /// The speculative re-leasing policy.
     pub hedge: HedgeConfig,
+    /// Bound on the result cache (entries and/or serialized bytes); the
+    /// default is unbounded.
+    pub cache_limit: CacheLimit,
+    /// Compact the WAL whenever its log grows past this many bytes (checked
+    /// after each committed completion); `None` compacts only at quiesce.
+    pub compact_log_bytes: Option<u64>,
 }
 
 impl Default for RegistryConfig {
@@ -224,6 +230,8 @@ impl Default for RegistryConfig {
         RegistryConfig {
             lease_timeout: Duration::from_secs(30),
             hedge: HedgeConfig::default(),
+            cache_limit: CacheLimit::UNBOUNDED,
+            compact_log_bytes: None,
         }
     }
 }
@@ -522,6 +530,7 @@ pub struct JobRegistry {
     leases: HashMap<LeaseId, (JobId, usize)>,
     cache: ResultCache,
     sink: Option<Box<dyn DurabilitySink>>,
+    auto_compactions: u64,
 }
 
 impl JobRegistry {
@@ -536,6 +545,7 @@ impl JobRegistry {
 
     /// Creates an empty registry with explicit scheduling configuration.
     pub fn with_config(config: RegistryConfig) -> Self {
+        let cache = ResultCache::with_limit(config.cache_limit);
         JobRegistry {
             config,
             next_job: 0,
@@ -543,8 +553,9 @@ impl JobRegistry {
             jobs: BTreeMap::new(),
             scheduler: FairScheduler::new(),
             leases: HashMap::new(),
-            cache: ResultCache::new(),
+            cache,
             sink: None,
+            auto_compactions: 0,
         }
     }
 
@@ -558,6 +569,12 @@ impl JobRegistry {
     /// `(entries, hits, misses)` of the result cache, for observability.
     pub fn cache_stats(&self) -> (usize, u64, u64) {
         (self.cache.len(), self.cache.hits(), self.cache.misses())
+    }
+
+    /// How many times the WAL was auto-compacted because its log outgrew
+    /// [`RegistryConfig::compact_log_bytes`].
+    pub fn auto_compactions(&self) -> u64 {
+        self.auto_compactions
     }
 
     /// Number of currently live leases (across all jobs and hedges).
@@ -944,9 +961,28 @@ impl JobRegistry {
             if let Some((digest, result)) = cache_entry {
                 self.cache.insert(digest, result);
             }
+            self.maybe_compact_for_size();
             return Ok(true);
         }
+        self.maybe_compact_for_size();
         Ok(false)
+    }
+
+    /// Compacts the sink when its log has outgrown the configured budget.
+    /// Runs *after* a commit is applied, so it is best-effort: a failed
+    /// compaction leaves a valid (just longer) log, and the next commit
+    /// retries.
+    fn maybe_compact_for_size(&mut self) {
+        let Some(budget) = self.config.compact_log_bytes else {
+            return;
+        };
+        let oversized = self
+            .sink
+            .as_ref()
+            .is_some_and(|sink| sink.log_bytes() > budget);
+        if oversized && self.compact_store().is_ok() {
+            self.auto_compactions += 1;
+        }
     }
 
     /// Voluntarily returns a lease (worker shutting down): staged work is
@@ -1153,6 +1189,7 @@ impl JobRegistry {
                     .ok_or_else(|| corrupt("snapshot missing cache".into()))?,
             )
             .map_err(|e| corrupt(format!("snapshot cache: {e}")))?;
+            self.cache.set_limit(self.config.cache_limit);
             let jobs = snapshot
                 .get("jobs")
                 .and_then(JsonValue::as_array)
@@ -1761,6 +1798,7 @@ mod tests {
                 min_samples: 3,
                 max_hedges: 1,
             },
+            ..RegistryConfig::default()
         });
         let id = registry
             .submit(
@@ -1980,6 +2018,145 @@ mod tests {
             )
             .unwrap();
         assert!(!registry.poll(fourth).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn cache_limit_evicts_old_results_and_resubmission_recomputes() {
+        let mut registry = JobRegistry::with_config(RegistryConfig {
+            cache_limit: CacheLimit::entries(1),
+            ..RegistryConfig::default()
+        });
+        let now = Instant::now();
+        for interfaces in [2usize, 3] {
+            let system = scaling_system(interfaces, 2).unwrap();
+            registry
+                .submit_with_recipe(
+                    &system,
+                    JobSpec::default(),
+                    cacheable_evaluator(Arc::new(AtomicU64::new(0))),
+                    Some(recipe_for(interfaces)),
+                )
+                .unwrap();
+            while let Some(lease) = registry.lease(now) {
+                registry
+                    .complete_shard(
+                        lease.lease,
+                        report_with(lease.shard, lease.shard as u64),
+                        now,
+                    )
+                    .unwrap();
+            }
+        }
+        assert_eq!(registry.cache_stats().0, 1, "bound holds across jobs");
+
+        // The first (evicted) result must recompute; the second still hits.
+        let system = scaling_system(2, 2).unwrap();
+        let evicted = registry
+            .submit_with_recipe(
+                &system,
+                JobSpec::default(),
+                cacheable_evaluator(Arc::new(AtomicU64::new(0))),
+                Some(recipe_for(2)),
+            )
+            .unwrap();
+        assert!(!registry.poll(evicted).unwrap().cache_hit);
+        let system = scaling_system(3, 2).unwrap();
+        let kept = registry
+            .submit_with_recipe(
+                &system,
+                JobSpec::default(),
+                cacheable_evaluator(Arc::new(AtomicU64::new(0))),
+                Some(recipe_for(3)),
+            )
+            .unwrap();
+        assert!(registry.poll(kept).unwrap().cache_hit);
+    }
+
+    /// In-memory sink that reports a real byte size, for exercising the
+    /// size-triggered auto-compaction without touching the filesystem.
+    struct SizedSink {
+        bytes: u64,
+        compactions: Arc<AtomicU64>,
+    }
+
+    impl DurabilitySink for SizedSink {
+        fn append(&mut self, record: &JsonValue) -> std::result::Result<(), String> {
+            self.bytes += record.to_line().len() as u64 + 1;
+            Ok(())
+        }
+
+        fn compact(&mut self, _snapshot: &JsonValue) -> std::result::Result<(), String> {
+            self.bytes = 0;
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+
+        fn log_bytes(&self) -> u64 {
+            self.bytes
+        }
+    }
+
+    #[test]
+    fn oversized_log_triggers_compaction_on_commit() {
+        let system = scaling_system(3, 2).unwrap();
+        let compactions = Arc::new(AtomicU64::new(0));
+        let mut registry = JobRegistry::with_config(RegistryConfig {
+            // Tiny budget: the submit record alone exceeds it, so the very
+            // first committed shard must compact.
+            compact_log_bytes: Some(64),
+            ..RegistryConfig::default()
+        });
+        registry.set_sink(Box::new(SizedSink {
+            bytes: 0,
+            compactions: Arc::clone(&compactions),
+        }));
+        let id = registry
+            .submit(
+                &system,
+                JobSpec {
+                    shard_count: 4,
+                    ..JobSpec::default()
+                },
+                test_evaluator(),
+            )
+            .unwrap();
+        let now = Instant::now();
+        while let Some(lease) = registry.lease(now) {
+            registry
+                .complete_shard(lease.lease, report_with(lease.shard, 5), now)
+                .unwrap();
+        }
+        assert_eq!(registry.poll(id).unwrap().state, JobState::Completed);
+        assert!(
+            registry.auto_compactions() >= 1,
+            "commits past the byte budget must compact mid-flight"
+        );
+        assert_eq!(
+            registry.auto_compactions(),
+            compactions.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn unbudgeted_registries_never_auto_compact() {
+        let system = scaling_system(3, 2).unwrap();
+        let compactions = Arc::new(AtomicU64::new(0));
+        let mut registry = JobRegistry::new(Duration::from_secs(30));
+        registry.set_sink(Box::new(SizedSink {
+            bytes: 0,
+            compactions: Arc::clone(&compactions),
+        }));
+        registry
+            .submit(&system, JobSpec::default(), test_evaluator())
+            .unwrap();
+        let now = Instant::now();
+        while let Some(lease) = registry.lease(now) {
+            registry
+                .complete_shard(lease.lease, report_with(lease.shard, 5), now)
+                .unwrap();
+        }
+        assert_eq!(registry.auto_compactions(), 0);
+        assert_eq!(compactions.load(Ordering::Relaxed), 0);
     }
 
     #[test]

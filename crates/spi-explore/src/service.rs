@@ -26,7 +26,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use spi_store::sched::HedgeConfig;
-use spi_store::Wal;
+use spi_store::{CacheLimit, Wal};
 use spi_variants::VariantSystem;
 
 use crate::durability::WalSink;
@@ -54,6 +54,11 @@ pub struct ServiceConfig {
     /// Directory of the durable store (WAL + snapshot + result cache).
     /// `None` keeps the service fully in-memory, as before.
     pub store_dir: Option<PathBuf>,
+    /// Bound on the content-addressed result cache; unbounded by default.
+    pub cache_limit: CacheLimit,
+    /// Compact the WAL once its log exceeds this many bytes (checked after
+    /// committed completions); `None` compacts only at quiesce.
+    pub compact_log_bytes: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +69,8 @@ impl Default for ServiceConfig {
             batch_size: 256,
             hedge: HedgeConfig::default(),
             store_dir: None,
+            cache_limit: CacheLimit::UNBOUNDED,
+            compact_log_bytes: None,
         }
     }
 }
@@ -124,6 +131,8 @@ impl ExplorationService {
         let mut registry = JobRegistry::with_config(RegistryConfig {
             lease_timeout: config.lease_timeout,
             hedge: config.hedge,
+            cache_limit: config.cache_limit,
+            compact_log_bytes: config.compact_log_bytes,
         });
         let mut restored = RestoreStats::default();
         if let Some(dir) = &config.store_dir {

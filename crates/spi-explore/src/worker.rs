@@ -8,7 +8,7 @@
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
-use spi_model::SpiGraph;
+use spi_variants::DeltaFlattener;
 
 use crate::evaluator::Evaluation;
 use crate::registry::Lease;
@@ -35,8 +35,15 @@ pub enum DrainOutcome {
     Stopped,
 }
 
-/// Drains every variant index of `lease`'s strided shard: flatten, prune
-/// against the incumbent, evaluate, batch.
+/// Drains every variant of `lease`'s strided shard: flatten incrementally,
+/// prune against the incumbent, evaluate, batch.
+///
+/// The shard is walked in **Gray-code order** through a [`DeltaFlattener`]:
+/// rank `r ≡ shard (mod shard_count)` maps to the canonical variant index
+/// `gray_index_at(r)`, and consecutive ranks differ in one axis, so each
+/// flatten patches the previous flat graph instead of rebuilding it from the
+/// skeleton. Reports still carry canonical indices — the registry and the
+/// evaluator never see Gray ranks.
 ///
 /// * `batch_size` bounds how many variants are accounted per flush — smaller
 ///   batches mean fresher progress and tighter lease renewal, larger batches
@@ -55,8 +62,10 @@ pub enum DrainOutcome {
 ///   per-shard sum is the shard's true wall time.
 ///
 /// Accounting guarantee: when the drain returns [`DrainOutcome::Completed`],
-/// every index `i ≡ shard (mod shard_count)` of the space was counted in
-/// exactly one flushed delta (as evaluated, pruned or errored).
+/// every Gray rank `r ≡ shard (mod shard_count)` of the space was counted in
+/// exactly one flushed delta (as evaluated, pruned or errored). Gray order
+/// is a permutation of the space, so the union over all shards still covers
+/// every variant index exactly once.
 pub fn drain_lease(
     lease: &Lease,
     batch_size: usize,
@@ -68,33 +77,32 @@ pub fn drain_lease(
     let batch_size = batch_size.max(1);
 
     let mut delta = ShardReport::default();
-    let mut scratch = SpiGraph::new("");
+    let mut flattener = DeltaFlattener::new(&lease.flattener);
     let mut batch_started = Instant::now();
     let mut since_flush = 0usize;
 
-    let mut index = lease.shard;
-    while index < combinations {
+    let mut rank = lease.shard;
+    while rank < combinations {
         if lease.cancelled.load(Ordering::Relaxed) || stop() {
             return DrainOutcome::Stopped;
         }
-        let choice = space
-            .choice_at(index)
-            .expect("index is within the space by construction");
 
-        match lease.flattener.flatten_into(&choice, &mut scratch) {
+        match flattener.flatten_gray_rank(rank) {
+            // A failed flatten also reset the patcher, so the next rank
+            // rebuilds from the skeleton instead of a poisoned graph.
             Err(_) => delta.errors += 1,
-            Ok(()) => {
+            Ok((index, graph)) => {
+                let choice = space
+                    .choice_at(index)
+                    .expect("gray rank maps into the space by construction");
                 let incumbent = lease.incumbent.load(Ordering::Relaxed);
                 // Strictly-greater check: a variant whose bound *equals* the
                 // incumbent could still tie it and win the (cost, index)
                 // tie-break, so only strictly-worse variants are skipped.
-                if lease.evaluator.lower_bound(&choice, &scratch) > incumbent {
+                if lease.evaluator.lower_bound(&choice, graph) > incumbent {
                     delta.pruned += 1;
                 } else {
-                    match lease
-                        .evaluator
-                        .evaluate(index, &choice, &scratch, incumbent)
-                    {
+                    match lease.evaluator.evaluate(index, &choice, graph, incumbent) {
                         Err(_) => delta.errors += 1,
                         Ok(Evaluation {
                             cost,
@@ -122,10 +130,10 @@ pub fn drain_lease(
         }
 
         since_flush += 1;
-        index += lease.shard_count;
+        rank += lease.shard_count;
 
         let due = since_flush >= batch_size || batch_started.elapsed() >= lease.renew_interval;
-        if due && index < combinations {
+        if due && rank < combinations {
             delta.eval_ns = batch_started.elapsed().as_nanos();
             let batch = std::mem::take(&mut delta);
             if flush(batch, false) == FlushResponse::Stop {
@@ -196,8 +204,10 @@ mod tests {
             },
         );
         assert_eq!(outcome, DrainOutcome::Completed);
-        // Shard 0 of 2 over 8 variants: indices 0, 2, 4, 6.
-        assert_eq!(evaluated.load(Ordering::Relaxed), 0b0101_0101);
+        // Shard 0 of 2 over 8 variants walks Gray ranks 0, 2, 4, 6; in the
+        // reflected Gray order 0,1,3,2,6,7,5,4 those are canonical indices
+        // 0, 3, 6, 5.
+        assert_eq!(evaluated.load(Ordering::Relaxed), 0b0110_1001);
         assert_eq!(flushed.evaluated, 4);
         assert_eq!(flushed.best().unwrap().index, 0);
         assert!(flushed.eval_ns > 0);

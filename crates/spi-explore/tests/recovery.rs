@@ -20,8 +20,8 @@ use std::time::{Duration, Instant};
 use spi_explore::wire::{run_session, status_from_json};
 use spi_explore::{
     drain_lease, handle_request, rebuild_from_recipe, DrainOutcome, ExplorationService,
-    FlushResponse, HedgeConfig, JobId, JobRegistry, JobSpec, JobState, Lease, ServiceConfig,
-    ShardReport, TaskParamsSpec, WalSink,
+    FlushResponse, HedgeConfig, JobId, JobRegistry, JobSpec, JobState, Lease, RegistryConfig,
+    ServiceConfig, ShardReport, TaskParamsSpec, WalSink,
 };
 use spi_model::json::JsonValue;
 use spi_store::Wal;
@@ -405,4 +405,60 @@ fn eof_quiesces_cleanly_and_the_next_start_resumes_and_caches() {
 /// `shards_done` of a job over the wire (u64 for arithmetic convenience).
 fn wire_shards_done(service: &ExplorationService, job: u64) -> u64 {
     service.poll(JobId::from_raw(job)).unwrap().shards_done as u64
+}
+
+#[test]
+fn byte_budgeted_registry_compacts_its_real_wal_mid_flight() {
+    let dir = temp_dir("autocompact");
+    let (system, evaluator) = rebuild_from_recipe(&recipe()).unwrap();
+    let job_raw;
+    {
+        let (wal, recovered) = Wal::open(&dir).unwrap();
+        assert!(recovered.is_empty());
+        let mut registry = JobRegistry::with_config(RegistryConfig {
+            lease_timeout: Duration::from_secs(10),
+            // Tiny budget: every committed shard overflows it, so the log is
+            // compacted after each commit instead of only at quiesce.
+            compact_log_bytes: Some(256),
+            ..RegistryConfig::default()
+        });
+        registry.set_sink(Box::new(WalSink(wal)));
+        let job = registry
+            .submit_with_recipe(
+                &system,
+                JobSpec {
+                    name: "autocompact".into(),
+                    shard_count: 4,
+                    top_k: COMBINATIONS,
+                    ..JobSpec::default()
+                },
+                evaluator,
+                Some(recipe()),
+            )
+            .unwrap();
+        let clock = Instant::now();
+        while let Some(lease) = registry.lease(clock) {
+            drain_fully(&mut registry, &lease, 3, clock);
+        }
+        job_raw = job.raw();
+        assert_eq!(registry.poll(job).unwrap().state, JobState::Completed);
+        assert!(
+            registry.auto_compactions() >= 4,
+            "every commit over the 256-byte budget must compact, got {}",
+            registry.auto_compactions()
+        );
+    }
+    // The last commit compacted, so the log on disk is empty and the whole
+    // history lives in the snapshot — from which a reopen must recover the
+    // completed job exactly.
+    assert_eq!(
+        std::fs::metadata(dir.join("wal.log")).unwrap().len(),
+        0,
+        "compaction must leave an empty log"
+    );
+    let registry = open_registry(&dir);
+    let status = registry.poll(JobId::from_raw(job_raw)).unwrap();
+    assert_eq!(status.state, JobState::Completed);
+    assert_eq!(status.report.accounted(), COMBINATIONS as u64);
+    let _ = std::fs::remove_dir_all(&dir);
 }

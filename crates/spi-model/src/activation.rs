@@ -205,6 +205,26 @@ impl Predicate {
             }
         }
     }
+
+    /// Internal: the offset-shift special case of
+    /// [`remap_channels`](Self::remap_channels), for splices where every
+    /// channel id moves by the same distance.
+    pub(crate) fn shift_channels(&mut self, offset: u32) {
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::MinTokens { channel, .. }
+            | Predicate::HasTag { channel, .. }
+            | Predicate::LacksTag { channel, .. } => {
+                *channel = ChannelId::new(channel.index() + offset);
+            }
+            Predicate::Not(inner) => inner.shift_channels(offset),
+            Predicate::All(items) | Predicate::Any(items) => {
+                for p in items {
+                    p.shift_channels(offset);
+                }
+            }
+        }
+    }
 }
 
 impl fmt::Display for Predicate {
@@ -351,6 +371,14 @@ impl ActivationFunction {
     pub(crate) fn remap_channels(&mut self, map: &crate::ids::IdRemap<ChannelId>) {
         for rule in &mut self.rules {
             rule.predicate.remap_channels(map);
+        }
+    }
+
+    /// Internal: offset-shift every channel reference; see
+    /// [`Predicate::shift_channels`].
+    pub(crate) fn shift_channels(&mut self, offset: u32) {
+        for rule in &mut self.rules {
+            rule.predicate.shift_channels(offset);
         }
     }
 }

@@ -743,6 +743,159 @@ impl SpiGraph {
 
         map
     }
+
+    // --- watermark / truncate (delta flattening) -------------------------------------
+
+    /// True when no slot of either slab is a tombstone — every id below the
+    /// slab length names a live node. Dense graphs are the precondition for
+    /// the offset-shift merge and for watermark truncation being an exact
+    /// undo of a splice.
+    pub fn is_dense(&self) -> bool {
+        self.live_processes as usize == self.processes.len()
+            && self.live_channels as usize == self.channels.len()
+    }
+
+    /// The current slab lengths, as a rollback point for
+    /// [`truncate_to`](Self::truncate_to).
+    ///
+    /// On a tombstone-free graph every later [`merge_disjoint`](Self::merge_disjoint)
+    /// / [`merge_disjoint_shifted`](Self::merge_disjoint_shifted) appends its
+    /// nodes strictly above this mark, so truncating back to it removes
+    /// exactly those splices.
+    pub fn watermark(&self) -> GraphWatermark {
+        GraphWatermark {
+            processes: self.processes.len() as u32,
+            channels: self.channels.len() as u32,
+        }
+    }
+
+    /// Rolls the slabs back to a previously taken [`watermark`](Self::watermark),
+    /// undoing every splice performed since — O(removed nodes), including the
+    /// name-index and edge rollback.
+    ///
+    /// Edges *from surviving channels to removed processes* are **not**
+    /// searched for: the caller must detach them first (the delta flattener
+    /// clears the port wirings it made below the mark before truncating).
+    /// Debug builds assert that no surviving edge slot points at a removed
+    /// process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the watermark lies above the current slab lengths (it was
+    /// taken from a different graph or the graph already shrank past it).
+    pub fn truncate_to(&mut self, mark: GraphWatermark) {
+        let p_mark = mark.processes as usize;
+        let c_mark = mark.channels as usize;
+        assert!(
+            p_mark <= self.processes.len() && c_mark <= self.channels.len(),
+            "truncate_to: watermark ({}, {}) above slab lengths ({}, {})",
+            mark.processes,
+            mark.channels,
+            self.processes.len(),
+            self.channels.len()
+        );
+        while self.processes.len() > p_mark {
+            if let Some(process) = self.processes.pop().expect("len checked") {
+                self.live_processes -= 1;
+                self.process_names.remove(&process.name_sym());
+            }
+        }
+        while self.channels.len() > c_mark {
+            if let Some(channel) = self.channels.pop().expect("len checked") {
+                self.live_channels -= 1;
+                self.channel_names.remove(&channel.name_sym());
+            }
+        }
+        self.writers.truncate(c_mark);
+        self.readers.truncate(c_mark);
+        debug_assert!(
+            self.writers
+                .iter()
+                .chain(self.readers.iter())
+                .flatten()
+                .all(|p| p.index() < mark.processes),
+            "truncate_to: a surviving edge still points at a removed process \
+             (detach port wirings before truncating)"
+        );
+    }
+
+    /// The offset-shift fast path of [`merge_disjoint`](Self::merge_disjoint)
+    /// for a **tombstone-free** `other`: every new id is exactly
+    /// `old + offset`, so instead of building a [`MergeMap`] the splice
+    /// returns the two offsets (the receiving slab lengths before the merge)
+    /// and rewrites the guest's channel references with one addition per
+    /// entry. This is the per-variant splice the delta flattener pays, so it
+    /// allocates nothing beyond the appended nodes.
+    ///
+    /// Same contract as `merge_disjoint` otherwise: no duplicate-name
+    /// detection (caller guarantees disjointness), names carried over
+    /// verbatim. Debug builds assert density and name disjointness.
+    pub fn merge_disjoint_shifted(&mut self, other: &SpiGraph) -> (u32, u32) {
+        debug_assert!(
+            other.is_dense(),
+            "merge_disjoint_shifted: guest `{}` has tombstones; use merge_disjoint",
+            other.name
+        );
+        let process_offset = self.processes.len() as u32;
+        let channel_offset = self.channels.len() as u32;
+
+        self.channels.reserve(other.channels.len());
+        self.writers.reserve(other.channels.len());
+        self.readers.reserve(other.channels.len());
+        for channel in other.channels() {
+            debug_assert!(
+                self.channel_by_name(channel.name()).is_none(),
+                "merge_disjoint_shifted: channel name `{}` already present",
+                channel.name()
+            );
+            let id = ChannelId::new(channel_offset + channel.id().index());
+            self.channels.push(Some(channel.clone().with_id(id)));
+        }
+        self.live_channels += other.live_channels;
+
+        for (slot, (writer, reader)) in other.writers.iter().zip(&other.readers).enumerate() {
+            debug_assert!(other.channels[slot].is_some());
+            self.writers
+                .push(writer.map(|p| ProcessId::new(process_offset + p.index())));
+            self.readers
+                .push(reader.map(|p| ProcessId::new(process_offset + p.index())));
+        }
+
+        self.processes.reserve(other.processes.len());
+        for process in other.processes() {
+            debug_assert!(
+                self.process_by_name(process.name()).is_none(),
+                "merge_disjoint_shifted: process name `{}` already present",
+                process.name()
+            );
+            let id = ProcessId::new(process_offset + process.id().index());
+            let mut copied = process.clone().with_id(id);
+            copied.shift_channels(channel_offset);
+            self.processes.push(Some(copied));
+        }
+        self.live_processes += other.live_processes;
+
+        for (&sym, old_id) in &other.process_names {
+            self.process_names
+                .insert(sym, ProcessId::new(process_offset + old_id.index()));
+        }
+        for (&sym, old_id) in &other.channel_names {
+            self.channel_names
+                .insert(sym, ChannelId::new(channel_offset + old_id.index()));
+        }
+
+        (process_offset, channel_offset)
+    }
+}
+
+/// A rollback point of a [`SpiGraph`]'s slabs: the slab lengths at the moment
+/// [`SpiGraph::watermark`] was taken. See [`SpiGraph::truncate_to`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphWatermark {
+    /// Process-slab length at the mark.
+    pub processes: u32,
+    /// Channel-slab length at the mark.
+    pub channels: u32,
 }
 
 impl fmt::Display for SpiGraph {
@@ -929,6 +1082,79 @@ mod tests {
         assert_eq!(checked_host, fast_host);
         assert!(fast_host.validate().is_ok());
         assert!(fast_host.process_by_name("v1_p1").is_some());
+    }
+
+    #[test]
+    fn merge_disjoint_shifted_matches_merge_disjoint() {
+        let (mut slow_host, _, _, _) = chain();
+        let mut fast_host = slow_host.clone();
+        let (guest, _, _, _) = chain();
+        let mut renamed = SpiGraph::new("renamed");
+        renamed.merge(&guest, "v1_").unwrap();
+        let before = fast_host.watermark();
+        let map = slow_host.merge_disjoint(&renamed);
+        let (p_off, c_off) = fast_host.merge_disjoint_shifted(&renamed);
+        assert_eq!((p_off, c_off), (before.processes, before.channels));
+        assert_eq!(slow_host, fast_host);
+        // The offset-shift is exactly the map merge_disjoint built.
+        for old in renamed.process_ids() {
+            assert_eq!(map.processes[&old], ProcessId::new(p_off + old.index()));
+        }
+        for old in renamed.channel_ids() {
+            assert_eq!(map.channels[&old], ChannelId::new(c_off + old.index()));
+        }
+        assert!(fast_host.validate().is_ok());
+        assert_eq!(
+            fast_host.process_by_name("v1_p1").unwrap().id(),
+            ProcessId::new(p_off + renamed.process_by_name("v1_p1").unwrap().id().index())
+        );
+    }
+
+    #[test]
+    fn truncate_to_undoes_a_splice() {
+        let (mut host, _, _, c1) = chain();
+        let pristine = host.clone();
+        let (guest, _, _, _) = chain();
+        let mut renamed = SpiGraph::new("renamed");
+        renamed.merge(&guest, "v1_").unwrap();
+
+        let mark = host.watermark();
+        let (p_off, _) = host.merge_disjoint_shifted(&renamed);
+        // Wire a spliced process onto a skeleton channel the way the
+        // flattener does, then detach it again before rolling back.
+        host.clear_writer(c1);
+        host.set_writer(c1, ProcessId::new(p_off)).unwrap();
+        assert_ne!(host, pristine);
+
+        host.clear_writer(c1);
+        host.set_writer(c1, pristine.writer_of(c1).unwrap())
+            .unwrap();
+        host.truncate_to(mark);
+        assert_eq!(host, pristine);
+        assert!(host.is_dense());
+        // Name index rolled back too: the spliced names resolve to nothing...
+        assert!(host.process_by_name("v1_p1").is_none());
+        assert!(host.channel_by_name("v1_c1").is_none());
+        // ...and a re-splice lands on the same ids.
+        let offsets = host.merge_disjoint_shifted(&renamed);
+        assert_eq!(offsets, (mark.processes, mark.channels));
+    }
+
+    #[test]
+    #[should_panic(expected = "truncate_to: watermark")]
+    fn truncate_to_rejects_foreign_watermark() {
+        let (big, _, _, _) = chain();
+        let mark = big.watermark();
+        let mut small = SpiGraph::new("empty");
+        small.truncate_to(mark);
+    }
+
+    #[test]
+    fn density_tracks_tombstones() {
+        let (mut g, p1, _, _) = chain();
+        assert!(g.is_dense());
+        g.remove_process(p1).unwrap();
+        assert!(!g.is_dense());
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use builder::{GraphBuilder, ModeSpec, ProcessBuilder};
 pub use channel::{Channel, ChannelKind};
 pub use digest::{digest_bytes, digest_json, Digest};
 pub use error::ModelError;
-pub use graph::{Edge, EdgeDirection, NodeRef, SpiGraph};
+pub use graph::{Edge, EdgeDirection, GraphWatermark, NodeRef, SpiGraph};
 pub use ids::{
     BuildSymHasher, ChannelId, IdRemap, Interner, ModeId, PortId, ProcessId, Sym, SymHasher,
 };

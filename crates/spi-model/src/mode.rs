@@ -192,6 +192,17 @@ impl ProcessMode {
         self.rates.sort_by_key(|e| e.channel);
     }
 
+    /// Internal: the offset-shift special case of
+    /// [`remap_channels`](Self::remap_channels). Adding a uniform offset
+    /// preserves the ascending-id order of the rate table, so no re-sort is
+    /// needed — this is the whole-table rewrite the delta-flattening splice
+    /// pays per mode, with no remap-table probe per entry.
+    pub(crate) fn shift_channels(&mut self, offset: u32) {
+        for entry in &mut self.rates {
+            entry.channel = ChannelId::new(entry.channel.index() + offset);
+        }
+    }
+
     /// Internal: relabel the mode id (used when merging mode sets into configurations).
     pub(crate) fn with_id(mut self, id: ModeId) -> Self {
         self.id = id;

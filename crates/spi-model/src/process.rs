@@ -241,6 +241,16 @@ impl Process {
         self.activation.remap_channels(map);
     }
 
+    /// Internal: offset-shift every channel reference — the dense-guest merge
+    /// path, where `new id = old id + offset` for every channel without a
+    /// remap-table probe.
+    pub(crate) fn shift_channels(&mut self, offset: u32) {
+        for mode in &mut self.modes {
+            mode.shift_channels(offset);
+        }
+        self.activation.shift_channels(offset);
+    }
+
     /// Internal mutable access to stored modes (used by extraction to qualify names).
     pub(crate) fn modes_mut(&mut self) -> &mut Vec<ProcessMode> {
         &mut self.modes

@@ -8,45 +8,150 @@
 //! re-optimized many times under changing constraints, so repeat jobs are
 //! the common case, not the exception.
 //!
-//! The cache itself is a dumb, deterministic map — durability comes from the
-//! owning registry, which rebuilds it during WAL replay (every completed job
-//! with a digest reinserts its committed result) and carries it inside
-//! snapshots via [`ResultCache::to_snapshot`] / [`ResultCache::from_snapshot`].
+//! The cache is bounded by an optional [`CacheLimit`] (entry count and/or
+//! total payload bytes); past the limit the least-recently-used entry is
+//! evicted, deterministically (ties broken by digest order). Durability
+//! comes from the owning registry, which rebuilds it during WAL replay
+//! (every completed job with a digest reinserts its committed result) and
+//! carries it inside snapshots via [`ResultCache::to_snapshot`] /
+//! [`ResultCache::from_snapshot`].
 
 use std::collections::BTreeMap;
 
 use spi_model::digest::Digest;
 use spi_model::json::{JsonError, JsonResult, JsonValue};
 
+/// An optional bound on a [`ResultCache`]. `None` fields are unbounded; the
+/// default is fully unbounded, preserving the historical behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLimit {
+    /// Maximum number of cached results.
+    pub max_entries: Option<usize>,
+    /// Maximum total payload size, measured as the serialized
+    /// (`JsonValue::to_line`) byte length of the cached values.
+    pub max_bytes: Option<usize>,
+}
+
+impl CacheLimit {
+    /// No bound at all.
+    pub const UNBOUNDED: CacheLimit = CacheLimit {
+        max_entries: None,
+        max_bytes: None,
+    };
+
+    /// Bound by entry count only.
+    pub fn entries(max_entries: usize) -> CacheLimit {
+        CacheLimit {
+            max_entries: Some(max_entries),
+            max_bytes: None,
+        }
+    }
+
+    /// Bound by total payload bytes only.
+    pub fn bytes(max_bytes: usize) -> CacheLimit {
+        CacheLimit {
+            max_entries: None,
+            max_bytes: Some(max_bytes),
+        }
+    }
+
+    /// True when neither bound is set.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_entries.is_none() && self.max_bytes.is_none()
+    }
+}
+
+/// One cached payload plus the bookkeeping the LRU policy needs.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    value: JsonValue,
+    bytes: usize,
+    last_used: u64,
+}
+
 /// A content-addressed map from digest to an opaque result payload.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct ResultCache {
     // BTreeMap: deterministic snapshot order, so equal caches serialize
     // byte-identically and snapshots diff cleanly.
-    entries: BTreeMap<Digest, JsonValue>,
+    entries: BTreeMap<Digest, CacheEntry>,
+    limit: CacheLimit,
+    // Logical recency clock: bumped on insert and lookup. Not persisted —
+    // a restore starts with recency in digest order, which is deterministic.
+    clock: u64,
+    total_bytes: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+// Cache identity is its contents, not its access history: two caches holding
+// the same payloads are equal even if their recency clocks and counters
+// differ (e.g. one was restored from a snapshot).
+impl PartialEq for ResultCache {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(other.entries.iter())
+                .all(|((da, ea), (db, eb))| da == db && ea.value == eb.value)
+    }
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         ResultCache::default()
     }
 
-    /// Stores `result` under `digest`, replacing any previous entry (the
-    /// digest is a content address, so a replacement is byte-identical
-    /// anyway unless the evaluator is nondeterministic).
-    pub fn insert(&mut self, digest: Digest, result: JsonValue) {
-        self.entries.insert(digest, result);
+    /// An empty cache with the given bound.
+    pub fn with_limit(limit: CacheLimit) -> Self {
+        ResultCache {
+            limit,
+            ..ResultCache::default()
+        }
     }
 
-    /// Looks up `digest`, counting the hit/miss.
+    /// The active bound.
+    pub fn limit(&self) -> CacheLimit {
+        self.limit
+    }
+
+    /// Replaces the bound and immediately evicts down to it.
+    pub fn set_limit(&mut self, limit: CacheLimit) {
+        self.limit = limit;
+        self.evict_to_limit();
+    }
+
+    /// Stores `result` under `digest`, replacing any previous entry (the
+    /// digest is a content address, so a replacement is byte-identical
+    /// anyway unless the evaluator is nondeterministic), then evicts
+    /// least-recently-used entries until the cache is within its limit.
+    pub fn insert(&mut self, digest: Digest, result: JsonValue) {
+        let bytes = result.to_line().len();
+        self.clock += 1;
+        let entry = CacheEntry {
+            value: result,
+            bytes,
+            last_used: self.clock,
+        };
+        self.total_bytes += bytes;
+        if let Some(old) = self.entries.insert(digest, entry) {
+            self.total_bytes -= old.bytes;
+        }
+        self.evict_to_limit();
+    }
+
+    /// Looks up `digest`, counting the hit/miss and refreshing the entry's
+    /// recency on a hit.
     pub fn lookup(&mut self, digest: Digest) -> Option<&JsonValue> {
-        match self.entries.get(&digest) {
-            Some(result) => {
+        match self.entries.get_mut(&digest) {
+            Some(entry) => {
                 self.hits += 1;
-                Some(result)
+                self.clock += 1;
+                entry.last_used = self.clock;
+                Some(&entry.value)
             }
             None => {
                 self.misses += 1;
@@ -55,9 +160,9 @@ impl ResultCache {
         }
     }
 
-    /// Peeks without touching the hit/miss counters.
+    /// Peeks without touching the hit/miss counters or the entry's recency.
     pub fn peek(&self, digest: Digest) -> Option<&JsonValue> {
-        self.entries.get(&digest)
+        self.entries.get(&digest).map(|entry| &entry.value)
     }
 
     /// Number of cached results.
@@ -70,6 +175,11 @@ impl ResultCache {
         self.entries.is_empty()
     }
 
+    /// Total serialized payload size of the cached results.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
     /// Lifetime lookup hits (this process; counters are not persisted).
     pub fn hits(&self) -> u64 {
         self.hits
@@ -80,18 +190,57 @@ impl ResultCache {
         self.misses
     }
 
+    /// Lifetime evictions (this process; not persisted).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Evicts least-recently-used entries (digest order breaks ties) until
+    /// both bounds hold.
+    fn evict_to_limit(&mut self) {
+        loop {
+            let over_entries = self
+                .limit
+                .max_entries
+                .is_some_and(|max| self.entries.len() > max);
+            let over_bytes = self
+                .limit
+                .max_bytes
+                .is_some_and(|max| self.total_bytes > max);
+            if !over_entries && !over_bytes {
+                return;
+            }
+            // O(n) scan per eviction: the cache holds at most a few thousand
+            // job results, and evictions are rare next to lookups.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(digest, entry)| (entry.last_used, **digest))
+                .map(|(digest, _)| *digest)
+                .expect("over a limit implies at least one entry");
+            let evicted = self
+                .entries
+                .remove(&victim)
+                .expect("victim digest was just found in the map");
+            self.total_bytes -= evicted.bytes;
+            self.evictions += 1;
+        }
+    }
+
     /// The snapshot form: an object of `digest-hex → result` members in
-    /// digest order.
+    /// digest order. Recency and counters are not persisted.
     pub fn to_snapshot(&self) -> JsonValue {
         JsonValue::Object(
             self.entries
                 .iter()
-                .map(|(digest, result)| (digest.to_string(), result.clone()))
+                .map(|(digest, entry)| (digest.to_string(), entry.value.clone()))
                 .collect(),
         )
     }
 
-    /// Rebuilds a cache from its snapshot form.
+    /// Rebuilds an unbounded cache from its snapshot form (apply a bound
+    /// afterwards with [`ResultCache::set_limit`]). Restored entries start
+    /// with recency in digest order.
     ///
     /// # Errors
     ///
@@ -124,6 +273,7 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+        assert_eq!(cache.total_bytes(), JsonValue::Int(42).to_line().len());
     }
 
     #[test]
@@ -139,7 +289,58 @@ mod tests {
         );
         assert_eq!(back.peek(digest_bytes(b"y")), Some(&JsonValue::Int(7)));
         assert_eq!(back.to_snapshot().to_line(), snapshot.to_line());
+        assert_eq!(back, cache, "restored cache must equal the original");
         assert!(ResultCache::from_snapshot(&JsonValue::Int(1)).is_err());
         assert!(ResultCache::from_snapshot(&JsonValue::object([("zz", JsonValue::Null)])).is_err());
+    }
+
+    #[test]
+    fn entry_limit_evicts_least_recently_used() {
+        let (a, b, c) = (digest_bytes(b"a"), digest_bytes(b"b"), digest_bytes(b"c"));
+        let mut cache = ResultCache::with_limit(CacheLimit::entries(2));
+        cache.insert(a, JsonValue::Int(1));
+        cache.insert(b, JsonValue::Int(2));
+        // Touch `a` so `b` is the LRU entry when `c` arrives.
+        assert!(cache.lookup(a).is_some());
+        cache.insert(c, JsonValue::Int(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(a).is_some());
+        assert!(cache.peek(b).is_none(), "LRU entry must be evicted");
+        assert!(cache.peek(c).is_some());
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn byte_limit_evicts_until_within_budget() {
+        let payload = JsonValue::string("0123456789");
+        let one = payload.to_line().len();
+        let mut cache = ResultCache::with_limit(CacheLimit::bytes(2 * one));
+        cache.insert(digest_bytes(b"a"), payload.clone());
+        cache.insert(digest_bytes(b"b"), payload.clone());
+        assert_eq!(cache.len(), 2);
+        cache.insert(digest_bytes(b"c"), payload.clone());
+        assert_eq!(cache.len(), 2, "third insert must evict one entry");
+        assert!(cache.total_bytes() <= 2 * one);
+        // A payload bigger than the whole budget empties the cache but still
+        // terminates deterministically.
+        cache.insert(digest_bytes(b"big"), JsonValue::string("x".repeat(64)));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn tightening_the_limit_evicts_immediately_and_reinsert_updates_bytes() {
+        let mut cache = ResultCache::new();
+        for i in 0..5u8 {
+            cache.insert(digest_bytes(&[i]), JsonValue::Int(i as i128));
+        }
+        cache.set_limit(CacheLimit::entries(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 3);
+        // Replacing an entry accounts bytes for the new payload only.
+        let key = digest_bytes(b"replace");
+        let mut solo = ResultCache::new();
+        solo.insert(key, JsonValue::string("a".repeat(100)));
+        solo.insert(key, JsonValue::Int(1));
+        assert_eq!(solo.total_bytes(), JsonValue::Int(1).to_line().len());
     }
 }

@@ -48,7 +48,7 @@ pub mod error;
 pub mod sched;
 pub mod wal;
 
-pub use cache::ResultCache;
+pub use cache::{CacheLimit, ResultCache};
 pub use error::{Result, StoreError};
 pub use sched::{Entry, FairScheduler, HedgeConfig, LatencyTracker};
 pub use wal::{Recovered, Wal};

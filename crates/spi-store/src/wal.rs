@@ -67,6 +67,9 @@ pub struct Wal {
     snapshot_path: PathBuf,
     writer: BufWriter<File>,
     next_seq: u64,
+    /// Size of `wal.log` in bytes (after torn-tail truncation); lets owners
+    /// trigger compaction once the log outgrows a budget.
+    log_bytes: u64,
     /// Held for the Wal's lifetime; the OS releases it when the process dies
     /// (including `kill -9`), so a crashed daemon never wedges its store.
     _lock: File,
@@ -206,6 +209,7 @@ impl Wal {
                 snapshot_path,
                 writer: BufWriter::new(file),
                 next_seq,
+                log_bytes: good_bytes,
                 _lock: lock,
             },
             Recovered {
@@ -229,6 +233,7 @@ impl Wal {
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         self.next_seq = seq + 1;
+        self.log_bytes += line.len() as u64 + 1;
         Ok(seq)
     }
 
@@ -273,7 +278,13 @@ impl Wal {
         let file = OpenOptions::new().append(true).open(&self.wal_path)?;
         self.writer = BufWriter::new(file);
         self.next_seq = seq + 1;
+        self.log_bytes = 0;
         Ok(())
+    }
+
+    /// Current size of the log file in bytes (0 right after a compaction).
+    pub fn log_bytes(&self) -> u64 {
+        self.log_bytes
     }
 
     /// Sequence number the next append will get.
@@ -407,6 +418,28 @@ mod tests {
         drop(wal);
         // The lock dies with the handle (and with the process, under kill -9).
         assert!(Wal::open(&dir).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_bytes_tracks_the_file_across_appends_compaction_and_reopen() {
+        let dir = temp_dir("logbytes");
+        {
+            let (mut wal, _) = Wal::open(&dir).unwrap();
+            assert_eq!(wal.log_bytes(), 0);
+            wal.append(&record(0)).unwrap();
+            wal.append(&record(1)).unwrap();
+            let on_disk = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+            assert_eq!(wal.log_bytes(), on_disk);
+            wal.compact(&record(0)).unwrap();
+            assert_eq!(wal.log_bytes(), 0);
+            wal.append(&record(2)).unwrap();
+            assert!(wal.log_bytes() > 0);
+        }
+        let (wal, recovered) = Wal::open(&dir).unwrap();
+        assert_eq!(recovered.records, vec![record(2)]);
+        let on_disk = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        assert_eq!(wal.log_bytes(), on_disk, "reopen resumes the byte count");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -56,8 +56,8 @@
 use std::collections::HashMap;
 
 use spi_model::{
-    BuildSymHasher, ChannelId, GraphWatermark, Interval, ProcessId, ProductionSpec, SpiGraph, Sym,
-    TagSet,
+    BuildSymHasher, ChannelId, GraphWatermark, Interval, ModelError, ProcessId, ProductionSpec,
+    SpiGraph, Sym, TagSet,
 };
 
 use crate::cluster::PortDirection;
@@ -342,6 +342,8 @@ pub struct DeltaFlattener<'a> {
     watermarks: Vec<GraphWatermark>,
     /// False until a combination is fully spliced (and after any error).
     primed: bool,
+    /// Patches abandoned for a full rebuild after a slab-integrity refusal.
+    rebuild_fallbacks: u64,
 }
 
 impl<'a> DeltaFlattener<'a> {
@@ -373,6 +375,7 @@ impl<'a> DeltaFlattener<'a> {
             target: Vec::new(),
             watermarks: Vec::new(),
             primed: false,
+            rebuild_fallbacks: 0,
         }
     }
 
@@ -390,6 +393,27 @@ impl<'a> DeltaFlattener<'a> {
     /// (The result is unaffected — this only forfeits the incremental credit.)
     pub fn reset(&mut self) {
         self.primed = false;
+    }
+
+    /// How many patches were abandoned for a full skeleton rebuild because a
+    /// slab operation refused (a [`ModelError::SlabIntegrity`] from
+    /// `truncate_to` / `merge_disjoint_shifted`). Nonzero means the
+    /// incremental state went bad and was safely discarded — results stayed
+    /// correct, only the incremental credit was forfeited.
+    pub fn rebuild_fallbacks(&self) -> u64 {
+        self.rebuild_fallbacks
+    }
+
+    /// Test hook: corrupts the recorded watermarks so the next patch attempt
+    /// trips the slab-integrity checks and must fall back to a full rebuild.
+    /// Exists so the fallback path is testable in *release* builds, where the
+    /// old `debug_assert!`-only preconditions silently corrupted the slabs.
+    #[doc(hidden)]
+    pub fn corrupt_watermarks_for_test(&mut self) {
+        for mark in &mut self.watermarks {
+            mark.processes = u32::MAX;
+            mark.channels = u32::MAX;
+        }
     }
 
     /// Flattens the combination at lexicographic `index` of the variant space
@@ -427,8 +451,26 @@ impl<'a> DeltaFlattener<'a> {
     }
 
     /// Patches `graph` from `digits` to `target`: truncate to the first
-    /// changed axis's watermark, re-splice the suffix.
+    /// changed axis's watermark, re-splice the suffix. A slab-integrity
+    /// refusal during an *incremental* patch self-invalidates the instance
+    /// and transparently retries as a full skeleton rebuild — the same
+    /// recovery `reset` offers, applied automatically, so a corrupted patch
+    /// state degrades to slower-but-correct instead of failing the variant.
     fn apply_target(&mut self) -> Result<()> {
+        let was_primed = self.primed;
+        match self.try_apply_target() {
+            Err(VariantError::Model(ModelError::SlabIntegrity(_))) if was_primed => {
+                // Discard the incremental state and retry down the
+                // full-rebuild path; a failure there is a real error.
+                self.primed = false;
+                self.rebuild_fallbacks += 1;
+                self.try_apply_target()
+            }
+            outcome => outcome,
+        }
+    }
+
+    fn try_apply_target(&mut self) -> Result<()> {
         let plans = &self.flattener.plans;
         debug_assert_eq!(self.target.len(), plans.len());
         let first_changed = if self.primed {
@@ -454,7 +496,7 @@ impl<'a> DeltaFlattener<'a> {
                     };
                 }
             }
-            self.graph.truncate_to(self.watermarks[first_changed]);
+            self.graph.truncate_to(self.watermarks[first_changed])?;
         } else {
             self.graph.clone_from(&self.flattener.skeleton);
             self.digits.clear();
@@ -471,7 +513,7 @@ impl<'a> DeltaFlattener<'a> {
             let digit = self.target[axis];
             let incoming = &plan.clusters[digit as usize];
             self.watermarks[axis] = self.graph.watermark();
-            let (process_offset, _) = self.graph.merge_disjoint_shifted(&incoming.renamed);
+            let (process_offset, _) = self.graph.merge_disjoint_shifted(&incoming.renamed)?;
             for port in &incoming.ports {
                 let process = ProcessId::new(process_offset + port.process.index());
                 match port.direction {

@@ -229,3 +229,35 @@ fn patched_graphs_always_validate() {
         patched.validate().unwrap();
     }
 }
+
+/// A slab-integrity refusal mid-walk must self-invalidate the patch state and
+/// transparently fall back to a full rebuild — in **every** build profile.
+/// Before the preconditions became real errors they were `debug_assert!`s, so
+/// a release build walked straight past a corrupted watermark and silently
+/// spliced a wrong graph; this test is meaningful precisely when run with
+/// `--release` (CI does), where it proves the refusal still fires.
+#[test]
+fn corrupted_patch_state_falls_back_to_a_full_rebuild() {
+    let system = random_system(7);
+    let flattener = Flattener::new(&system).unwrap();
+    let count = flattener.space().count();
+    assert!(count >= 3, "need a walk of at least 3 ranks");
+    let mut delta = DeltaFlattener::new(&flattener);
+
+    delta.flatten_gray_rank(0).unwrap();
+    assert_eq!(delta.rebuild_fallbacks(), 0);
+
+    // Corrupt the recorded watermarks: the next incremental patch must refuse
+    // (instead of corrupting the slabs) and rebuild from the skeleton.
+    delta.corrupt_watermarks_for_test();
+    for rank in 1..count {
+        let (index, patched) = delta.flatten_gray_rank(rank).unwrap();
+        let (_, full) = flattener.flatten_at(index).unwrap();
+        assert_identical(patched, &full, &format!("rank {rank} after corruption"));
+    }
+    assert_eq!(
+        delta.rebuild_fallbacks(),
+        1,
+        "exactly the first post-corruption patch falls back; later patches run incrementally again"
+    );
+}

@@ -16,8 +16,9 @@
 //! cache at N entries, LRU-evicted; default unbounded),
 //! `--compact-log-bytes N` (compact the WAL whenever the log outgrows N
 //! bytes, not only at quiesce), `--no-hedge` (disable speculative
-//! re-leases). Diagnostics go to stderr; stdout carries exactly one JSON
-//! response line per request.
+//! re-leases), `--trace-capacity N` (size of the scheduler-decision trace
+//! ring drained by the `trace` op; 0 disables capture). Diagnostics go to
+//! stderr; stdout carries exactly one JSON response line per request.
 //!
 //! Shutdown semantics: both the `shutdown` op and **EOF on stdin** end the
 //! session cleanly — in-flight shard drains run to completion and commit,
@@ -52,9 +53,9 @@ fn main() {
     if args.iter().any(|arg| arg == "--help" || arg == "-h") {
         eprintln!(
             "usage: spi-explored [--workers N] [--batch N] [--lease-ms N] [--store DIR]\n\
-                    [--cache-limit N] [--compact-log-bytes N] [--no-hedge]\n\
+                    [--cache-limit N] [--compact-log-bytes N] [--no-hedge] [--trace-capacity N]\n\
              ndjson requests on stdin, one JSON response per line on stdout;\n\
-             ops: submit | poll | wait | top | jobs | cancel | shutdown\n\
+             ops: submit | poll | wait | top | jobs | cancel | graph | trace | shutdown\n\
              EOF on stdin quiesces cleanly: in-flight shards commit, the store compacts."
         );
         return;
@@ -80,6 +81,9 @@ fn main() {
     }
     if args.iter().any(|arg| arg == "--no-hedge") {
         config.hedge = HedgeConfig::disabled();
+    }
+    if let Some(capacity) = parse_flag(&args, "--trace-capacity") {
+        config.trace_capacity = capacity as usize;
     }
 
     eprintln!(

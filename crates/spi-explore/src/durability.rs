@@ -31,12 +31,14 @@ pub trait DurabilitySink: Send {
     fn append(&mut self, record: &JsonValue) -> Result<(), String>;
 
     /// Replaces the record history with a compacted snapshot and forces
-    /// everything to stable storage.
+    /// everything to stable storage. Returns the bytes of record history the
+    /// compaction reclaimed (0 for sinks without a meaningful size), which
+    /// the registry records in its decision trace.
     ///
     /// # Errors
     ///
     /// A human-readable description of the failure.
-    fn compact(&mut self, snapshot: &JsonValue) -> Result<(), String>;
+    fn compact(&mut self, snapshot: &JsonValue) -> Result<u64, String>;
 
     /// Bytes of record history accumulated since the last compaction. The
     /// registry compares this against its `compact_log_bytes` budget to
@@ -58,7 +60,7 @@ impl DurabilitySink for WalSink {
             .map_err(|e| e.to_string())
     }
 
-    fn compact(&mut self, snapshot: &JsonValue) -> Result<(), String> {
+    fn compact(&mut self, snapshot: &JsonValue) -> Result<u64, String> {
         self.0.compact(snapshot).map_err(|e| e.to_string())
     }
 
@@ -87,11 +89,11 @@ pub(crate) mod test_sinks {
             Ok(())
         }
 
-        fn compact(&mut self, _snapshot: &JsonValue) -> Result<(), String> {
+        fn compact(&mut self, _snapshot: &JsonValue) -> Result<u64, String> {
             if self.fail {
                 return Err("sink scripted to fail".to_string());
             }
-            Ok(())
+            Ok(0)
         }
     }
 }

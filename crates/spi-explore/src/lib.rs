@@ -69,7 +69,9 @@ pub use registry::{
 };
 pub use report::{BestVariant, ShardReport};
 pub use service::{ExplorationService, ServiceConfig};
+pub use spi_model::introspect::{GraphEdge, GraphNode, GraphSnapshot};
 pub use spi_store::sched::HedgeConfig;
+pub use spi_store::trace::{ReplayReport, TraceDrain, TraceEvent, TraceReplay, TracedEvent};
 pub use wire::{
     handle_request, rebuild_from_recipe, run_session, serve, status_from_json, WireStatus,
 };

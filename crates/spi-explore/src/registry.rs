@@ -78,8 +78,10 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use spi_model::digest::{digest_json, Digest};
+use spi_model::introspect::{GraphEdge, GraphNode, GraphSnapshot};
 use spi_model::json::{FromJson, JsonValue, ToJson};
 use spi_store::sched::{FairScheduler, HedgeConfig, LatencyTracker};
+use spi_store::trace::{TraceCapture, TraceDrain, TraceEvent, DEFAULT_TRACE_CAPACITY};
 use spi_store::{CacheLimit, ResultCache};
 use spi_variants::{Flattener, VariantSystem};
 
@@ -223,6 +225,9 @@ pub struct RegistryConfig {
     /// Compact the WAL whenever its log grows past this many bytes (checked
     /// after each committed completion); `None` compacts only at quiesce.
     pub compact_log_bytes: Option<u64>,
+    /// Capacity of the scheduler-decision trace ring
+    /// ([`spi_store::trace::TraceCapture`]); `0` disables capture.
+    pub trace_capacity: usize,
 }
 
 impl Default for RegistryConfig {
@@ -232,6 +237,7 @@ impl Default for RegistryConfig {
             hedge: HedgeConfig::default(),
             cache_limit: CacheLimit::UNBOUNDED,
             compact_log_bytes: None,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -369,6 +375,9 @@ struct Holder {
     lease: LeaseId,
     deadline: Instant,
     started: Instant,
+    /// Identity of the worker the lease was granted to (thread name for the
+    /// in-process pool); surfaces in the waitgraph and the decision trace.
+    worker: String,
 }
 
 enum ShardSlot {
@@ -531,6 +540,8 @@ pub struct JobRegistry {
     cache: ResultCache,
     sink: Option<Box<dyn DurabilitySink>>,
     auto_compactions: u64,
+    /// Bounded ring of scheduler decisions; drained over the `trace` op.
+    trace: TraceCapture,
 }
 
 impl JobRegistry {
@@ -546,6 +557,7 @@ impl JobRegistry {
     /// Creates an empty registry with explicit scheduling configuration.
     pub fn with_config(config: RegistryConfig) -> Self {
         let cache = ResultCache::with_limit(config.cache_limit);
+        let trace = TraceCapture::new(config.trace_capacity);
         JobRegistry {
             config,
             next_job: 0,
@@ -556,6 +568,7 @@ impl JobRegistry {
             cache,
             sink: None,
             auto_compactions: 0,
+            trace,
         }
     }
 
@@ -706,10 +719,19 @@ impl JobRegistry {
         }
 
         self.next_job += 1;
+        if cache_hit {
+            self.trace.record(TraceEvent::CacheHit { job: id.raw() });
+        }
         if job.state == JobState::Running {
             for shard in 0..shard_count {
                 self.scheduler
                     .enqueue(&job.tenant, job.weight, (id.raw(), shard));
+                self.trace.record(TraceEvent::WfqEnqueue {
+                    tenant: job.tenant.clone(),
+                    weight: job.weight,
+                    job: id.raw(),
+                    shard,
+                });
             }
         }
         self.jobs.insert(id, job);
@@ -724,7 +746,25 @@ impl JobRegistry {
     /// [`Lease::hedged`] set and races the original holder under
     /// first-commit-wins.
     pub fn lease(&mut self, now: Instant) -> Option<Lease> {
-        while let Some((job_raw, shard)) = self.scheduler.dequeue() {
+        self.lease_as("anonymous", now)
+    }
+
+    /// [`lease`](Self::lease) with an explicit worker identity: the name the
+    /// lease's grant is attributed to in the waitgraph and the decision
+    /// trace (the worker pool passes its thread name).
+    pub fn lease_as(&mut self, worker: &str, now: Instant) -> Option<Lease> {
+        while let Some(dispatch) = self.scheduler.dequeue_dispatch() {
+            let (job_raw, shard) = dispatch.entry;
+            // Every dispatch is recorded — including ones skipped as stale
+            // below — because each one advances virtual time and debits the
+            // tenant's traced backlog; replay would underflow otherwise.
+            self.trace.record(TraceEvent::WfqDequeue {
+                tenant: dispatch.tenant,
+                weight: dispatch.weight,
+                job: job_raw,
+                shard,
+                vtime: dispatch.vtime,
+            });
             let job_id = JobId(job_raw);
             let Some(job) = self.jobs.get(&job_id) else {
                 continue;
@@ -735,10 +775,10 @@ impl JobRegistry {
             {
                 continue;
             }
-            return Some(self.grant(job_id, shard, now, false));
+            return Some(self.grant(job_id, shard, now, false, worker));
         }
         let (job_id, shard) = self.hedge_candidate(now)?;
-        Some(self.grant(job_id, shard, now, true))
+        Some(self.grant(job_id, shard, now, true, worker))
     }
 
     /// The most overdue straggler shard eligible for a duplicate lease.
@@ -775,15 +815,30 @@ impl JobRegistry {
         best.map(|(_, job_id, shard)| (job_id, shard))
     }
 
-    fn grant(&mut self, job_id: JobId, shard: usize, now: Instant, hedged: bool) -> Lease {
+    fn grant(
+        &mut self,
+        job_id: JobId,
+        shard: usize,
+        now: Instant,
+        hedged: bool,
+        worker: &str,
+    ) -> Lease {
         let lease = LeaseId(self.next_lease);
         self.next_lease += 1;
+        self.trace.record(TraceEvent::LeaseGrant {
+            job: job_id.raw(),
+            shard,
+            lease: lease.raw(),
+            worker: worker.to_string(),
+            hedged,
+        });
         let deadline = now + self.config.lease_timeout;
         let job = self.jobs.get_mut(&job_id).expect("candidate job exists");
         let holder = Holder {
             lease,
             deadline,
             started: now,
+            worker: worker.to_string(),
         };
         match &mut job.shards[shard] {
             slot @ ShardSlot::Pending => {
@@ -851,6 +906,11 @@ impl JobRegistry {
         if let ShardSlot::Leased { holders } = &mut job.shards[shard] {
             if let Some(holder) = holders.iter_mut().find(|holder| holder.lease == lease) {
                 holder.deadline = deadline;
+                self.trace.record(TraceEvent::LeaseRenew {
+                    job: job_id.raw(),
+                    shard,
+                    lease: lease.raw(),
+                });
             }
         }
         let top_k = job.top_k;
@@ -916,6 +976,7 @@ impl JobRegistry {
 
         let job = self.jobs.get_mut(&job_id).expect("lease resolves to job");
         let staged = job.staged.remove(&lease).unwrap_or_default();
+        let evaluated = staged.evaluated;
         let top_k = job.top_k;
         job.committed.merge(&staged, top_k);
 
@@ -937,12 +998,23 @@ impl JobRegistry {
         self.leases.remove(&lease);
         job.shards[shard] = ShardSlot::Done;
         job.shards_done += 1;
+        self.trace.record(TraceEvent::ShardCommit {
+            job: job_id.raw(),
+            shard,
+            lease: lease.raw(),
+            evaluated,
+        });
         if let Some(started) = winner_started {
             let duration = now.saturating_duration_since(started);
             job.latencies
                 .record_ns(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
             if earliest_started.is_some_and(|earliest| started > earliest) {
                 job.hedge_wins += 1;
+                self.trace.record(TraceEvent::HedgeWin {
+                    job: job_id.raw(),
+                    shard,
+                    lease: lease.raw(),
+                });
             }
         }
 
@@ -959,7 +1031,10 @@ impl JobRegistry {
             let status = job.status(job_id);
             job.emit(JobEvent::Finished { status });
             if let Some((digest, result)) = cache_entry {
-                self.cache.insert(digest, result);
+                let evicted = self.cache.insert(digest, result);
+                if evicted > 0 {
+                    self.trace.record(TraceEvent::CacheEvict { evicted });
+                }
             }
             self.maybe_compact_for_size();
             return Ok(true);
@@ -989,9 +1064,29 @@ impl JobRegistry {
     /// discarded and, if no other lease holds the shard, the shard re-queued.
     /// A stale lease is a no-op.
     pub fn abandon(&mut self, lease: LeaseId) {
+        self.release(lease, false);
+    }
+
+    /// Shared teardown of [`abandon`](Self::abandon) and
+    /// [`expire`](Self::expire); `expired` only decides which trace event the
+    /// release is recorded as.
+    fn release(&mut self, lease: LeaseId, expired: bool) {
         let Some((job_id, shard)) = self.leases.remove(&lease) else {
             return;
         };
+        self.trace.record(if expired {
+            TraceEvent::LeaseExpire {
+                job: job_id.raw(),
+                shard,
+                lease: lease.raw(),
+            }
+        } else {
+            TraceEvent::LeaseAbandon {
+                job: job_id.raw(),
+                shard,
+                lease: lease.raw(),
+            }
+        });
         let job = self.jobs.get_mut(&job_id).expect("lease resolves to job");
         job.staged.remove(&lease);
         if let ShardSlot::Leased { holders } = &mut job.shards[shard] {
@@ -1000,6 +1095,12 @@ impl JobRegistry {
                 job.shards[shard] = ShardSlot::Pending;
                 self.scheduler
                     .enqueue(&job.tenant, job.weight, (job_id.raw(), shard));
+                self.trace.record(TraceEvent::WfqEnqueue {
+                    tenant: job.tenant.clone(),
+                    weight: job.weight,
+                    job: job_id.raw(),
+                    shard,
+                });
             }
         }
     }
@@ -1021,7 +1122,7 @@ impl JobRegistry {
             .map(|holder| holder.lease)
             .collect();
         for lease in &expired {
-            self.abandon(*lease);
+            self.release(*lease, true);
         }
         expired.len()
     }
@@ -1055,14 +1156,19 @@ impl JobRegistry {
         job.state = JobState::Cancelled;
         job.cancelled.store(true, Ordering::Relaxed);
         job.staged.clear();
-        let stale: Vec<LeaseId> = self
+        let stale: Vec<(LeaseId, usize)> = self
             .leases
             .iter()
             .filter(|(_, (owner, _))| *owner == job_id)
-            .map(|(lease, _)| *lease)
+            .map(|(lease, (_, shard))| (*lease, *shard))
             .collect();
-        for lease in stale {
+        for (lease, shard) in stale {
             self.leases.remove(&lease);
+            self.trace.record(TraceEvent::LeaseAbandon {
+                job: job_id.raw(),
+                shard,
+                lease: lease.raw(),
+            });
         }
         let job = self.jobs.get_mut(&job_id).expect("job still present");
         for slot in &mut job.shards {
@@ -1116,6 +1222,121 @@ impl JobRegistry {
         self.jobs.keys().copied().collect()
     }
 
+    /// Takes every buffered scheduler-decision trace event (plus the count of
+    /// events the ring had to drop since the previous drain). Concatenated
+    /// drains of a never-full ring form one gap-free, replayable trace.
+    pub fn drain_trace(&mut self) -> TraceDrain {
+        self.trace.drain()
+    }
+
+    /// Assembles the current **waitgraph**: one [`GraphSnapshot`] over the
+    /// canonical node kinds (`job`, `shard`, `lease`, `worker`, `tenant`,
+    /// `store`) whose single `needs` edge kind states exactly what each
+    /// entity is waiting on right now. Built under the caller's registry
+    /// lock, so it is never torn; the result always passes
+    /// [`GraphSnapshot::validate`].
+    ///
+    /// Edges:
+    /// * running `job → tenant` — dispatches bill to the tenant's WFQ queue;
+    /// * running `job → store` — commits must clear the WAL first (durable
+    ///   registries only);
+    /// * running `job → shard` for every non-done shard;
+    /// * pending `shard → tenant` — waiting for a WFQ dispatch;
+    /// * leased `shard → lease` for every holder (several while hedged);
+    /// * `lease → worker` — the drain the lease is waiting on.
+    pub fn waitgraph(&self) -> GraphSnapshot {
+        let mut snapshot = GraphSnapshot::new();
+        let durable = self.sink.is_some();
+        if durable {
+            snapshot.nodes.push(
+                GraphNode::new("store:wal", "store", "write-ahead log").attr(
+                    "log_bytes",
+                    self.sink
+                        .as_ref()
+                        .map_or(0, |sink| sink.log_bytes())
+                        .to_string(),
+                ),
+            );
+        }
+        // One tenant node per distinct tenant; the last submission's weight
+        // wins, matching the scheduler's own rule.
+        let mut tenants: BTreeMap<&str, u32> = BTreeMap::new();
+        let mut workers: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for job in self.jobs.values() {
+            tenants.insert(&job.tenant, job.weight);
+            for slot in &job.shards {
+                if let ShardSlot::Leased { holders } = slot {
+                    for holder in holders {
+                        workers.insert(&holder.worker);
+                    }
+                }
+            }
+        }
+        for (tenant, weight) in &tenants {
+            snapshot.nodes.push(
+                GraphNode::new(format!("tenant:{tenant}"), "tenant", *tenant)
+                    .attr("weight", weight.to_string()),
+            );
+        }
+        for worker in &workers {
+            snapshot.nodes.push(GraphNode::new(
+                format!("worker:{worker}"),
+                "worker",
+                *worker,
+            ));
+        }
+        for (&id, job) in &self.jobs {
+            let job_node = format!("job:{}", id.raw());
+            snapshot.nodes.push(
+                GraphNode::new(&job_node, "job", &job.name)
+                    .attr("state", job.state.to_string())
+                    .attr("shards_done", job.shards_done.to_string())
+                    .attr("shards", job.shard_count.to_string()),
+            );
+            if job.state != JobState::Running {
+                continue;
+            }
+            let tenant_node = format!("tenant:{}", job.tenant);
+            snapshot.edges.push(GraphEdge::new(&job_node, &tenant_node));
+            if durable {
+                snapshot.edges.push(GraphEdge::new(&job_node, "store:wal"));
+            }
+            for (shard, slot) in job.shards.iter().enumerate() {
+                let (state, holders): (&str, &[Holder]) = match slot {
+                    ShardSlot::Pending => ("pending", &[]),
+                    ShardSlot::Leased { holders } => ("leased", holders),
+                    ShardSlot::Done => continue,
+                };
+                let shard_node = format!("shard:{}/{shard}", id.raw());
+                snapshot.nodes.push(
+                    GraphNode::new(&shard_node, "shard", format!("{}[{shard}]", job.name))
+                        .attr("state", state),
+                );
+                snapshot.edges.push(GraphEdge::new(&job_node, &shard_node));
+                if holders.is_empty() {
+                    snapshot
+                        .edges
+                        .push(GraphEdge::new(&shard_node, &tenant_node));
+                }
+                for holder in holders {
+                    let lease_node = format!("lease:{}", holder.lease.raw());
+                    snapshot.nodes.push(
+                        GraphNode::new(&lease_node, "lease", holder.lease.raw().to_string())
+                            .attr("worker", &holder.worker),
+                    );
+                    snapshot
+                        .edges
+                        .push(GraphEdge::new(&shard_node, &lease_node));
+                    snapshot.edges.push(GraphEdge::new(
+                        &lease_node,
+                        format!("worker:{}", holder.worker),
+                    ));
+                }
+            }
+        }
+        snapshot
+    }
+
     /// The full durable state as one snapshot value (jobs, cache, id
     /// counter): what [`restore`](Self::restore) consumes and the compaction
     /// path hands to [`DurabilitySink::compact`].
@@ -1144,7 +1365,8 @@ impl JobRegistry {
     pub fn compact_store(&mut self) -> Result<()> {
         let snapshot = self.durable_snapshot();
         if let Some(sink) = self.sink.as_mut() {
-            sink.compact(&snapshot).map_err(ExploreError::Store)?;
+            let log_bytes = sink.compact(&snapshot).map_err(ExploreError::Store)?;
+            self.trace.record(TraceEvent::WalCompact { log_bytes });
         }
         Ok(())
     }
@@ -1281,6 +1503,12 @@ impl JobRegistry {
                                 stats.requeued_shards += 1;
                                 self.scheduler
                                     .enqueue(&job.tenant, job.weight, (raw, shard));
+                                self.trace.record(TraceEvent::WfqEnqueue {
+                                    tenant: job.tenant.clone(),
+                                    weight: job.weight,
+                                    job: raw,
+                                    shard,
+                                });
                             }
                         }
                         engine = JobEngine::Live {
@@ -1423,6 +1651,14 @@ impl RecoveredJob {
                 .and_then(JsonValue::as_u64)
                 .ok_or_else(|| format!("job summary missing {name}"))
         };
+        // Checked narrowing: a WAL written on a 64-bit host must not be
+        // silently truncated when restored on a platform with a smaller
+        // `usize` — `as` would wrap the count and corrupt the census.
+        let field_usize = |name: &str| {
+            let raw = field_u64(name)?;
+            usize::try_from(raw)
+                .map_err(|_| format!("job summary field {name} ({raw}) overflows usize"))
+        };
         let field_str = |name: &str| {
             value
                 .get(name)
@@ -1461,9 +1697,9 @@ impl RecoveredJob {
                 .get("use_cache")
                 .and_then(JsonValue::as_bool)
                 .unwrap_or(true),
-            shard_count: field_u64("shards")? as usize,
-            top_k: (field_u64("top_k")? as usize).max(1),
-            combinations: field_u64("combinations")? as usize,
+            shard_count: field_usize("shards")?,
+            top_k: field_usize("top_k")?.max(1),
+            combinations: field_usize("combinations")?,
             digest,
             recipe,
             cache_hit: value
@@ -1490,6 +1726,7 @@ mod tests {
     use super::*;
     use crate::durability::test_sinks::MemorySink;
     use crate::evaluator::{Evaluation, FnEvaluator};
+    use spi_store::trace::TraceReplay;
     use spi_workloads::scaling_system;
     use std::sync::Mutex;
 
@@ -2085,10 +2322,11 @@ mod tests {
             Ok(())
         }
 
-        fn compact(&mut self, _snapshot: &JsonValue) -> std::result::Result<(), String> {
+        fn compact(&mut self, _snapshot: &JsonValue) -> std::result::Result<u64, String> {
+            let reclaimed = self.bytes;
             self.bytes = 0;
             self.compactions.fetch_add(1, Ordering::Relaxed);
-            Ok(())
+            Ok(reclaimed)
         }
 
         fn log_bytes(&self) -> u64 {
@@ -2349,5 +2587,151 @@ mod tests {
         assert_eq!(status.state, JobState::Cancelled);
         assert_eq!(status.report.evaluated, 1, "committed partials survive");
         assert!(recovered.lease(now).is_none());
+    }
+
+    /// A tenant whose weight is rewritten mid-backlog (the scheduler's
+    /// last-submission-wins rule) must still drain within the replay
+    /// checker's proportional-share slack — the finish tag computed under
+    /// the old weight is exactly what [`spi_store::trace::FAIRNESS_SLACK`]
+    /// budgets for.
+    #[test]
+    fn mid_backlog_weight_change_keeps_the_trace_replayable() {
+        let system = scaling_system(3, 2).unwrap(); // 8 variants
+        let mut registry = JobRegistry::new(Duration::from_secs(30));
+        let submit = |registry: &mut JobRegistry, tenant: &str, weight: u32| {
+            registry
+                .submit(
+                    &system,
+                    JobSpec {
+                        name: tenant.into(),
+                        shard_count: 8,
+                        top_k: 2,
+                        tenant: tenant.into(),
+                        weight,
+                        ..JobSpec::default()
+                    },
+                    test_evaluator(),
+                )
+                .unwrap()
+        };
+        submit(&mut registry, "steady", 1);
+        submit(&mut registry, "shifty", 1);
+        // Mid-backlog: shifty resubmits at weight 4 while its first job's
+        // shards are still queued, rewriting the live queue's weight.
+        submit(&mut registry, "shifty", 4);
+
+        let now = Instant::now();
+        while let Some(lease) = registry.lease(now) {
+            registry
+                .complete_shard(lease.lease, report_with(lease.shard, 1), now)
+                .unwrap();
+        }
+
+        let drained = registry.drain_trace();
+        assert_eq!(drained.dropped, 0, "default ring holds a small run");
+        let report = TraceReplay::check(&drained.events);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.dispatches, 24);
+        assert_eq!(report.commits, 24);
+        assert_eq!(report.committed_shards, 24);
+    }
+
+    #[test]
+    fn waitgraph_snapshot_matches_registry_state() {
+        let (mut registry, id) = registry_with_job(4);
+        let now = Instant::now();
+        let held = registry.lease_as("w-0", now).unwrap();
+        let finished = registry.lease_as("w-1", now).unwrap();
+        registry
+            .complete_shard(finished.lease, report_with(finished.shard, 3), now)
+            .unwrap();
+
+        let graph = registry.waitgraph();
+        graph.validate().unwrap();
+        assert_eq!(graph.nodes_of_kind("job").count(), 1);
+        // 4 shards, 1 done: done shards wait on nothing and are omitted.
+        assert_eq!(graph.nodes_of_kind("shard").count(), 3);
+        assert_eq!(graph.nodes_of_kind("lease").count(), 1);
+        assert_eq!(graph.nodes_of_kind("tenant").count(), 1);
+        // w-1's lease is spent, so only w-0 appears; no sink, no store node.
+        assert_eq!(graph.nodes_of_kind("worker").count(), 1);
+        assert_eq!(graph.nodes_of_kind("store").count(), 0);
+
+        let job_node = format!("job:{}", id.raw());
+        assert!(graph.needs_of(&job_node).any(|n| n == "tenant:default"));
+        let shard_node = format!("shard:{}/{}", id.raw(), held.shard);
+        let lease_node = format!("lease:{}", held.lease.raw());
+        assert!(graph.needs_of(&shard_node).any(|n| n == lease_node));
+        assert_eq!(
+            graph.needs_of(&lease_node).collect::<Vec<_>>(),
+            vec!["worker:w-0"]
+        );
+
+        let status = registry.poll(id).unwrap();
+        let attr = |key: &str| {
+            graph
+                .node(&job_node)
+                .unwrap()
+                .attrs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(attr("shards_done"), status.shards_done.to_string());
+        assert_eq!(attr("state"), status.state.to_string());
+    }
+
+    /// Voluntary returns and deadline expiries are distinct trace events, and
+    /// both leave a replay-clean trace (the requeue is recorded, so the
+    /// replayed backlog never underflows).
+    #[test]
+    fn expiry_and_abandon_are_distinguished_in_the_trace() {
+        let (mut registry, _id) = registry_with_job(2);
+        let t0 = Instant::now();
+        let _doomed = registry.lease(t0).unwrap();
+        let returned = registry.lease(t0).unwrap();
+        registry.abandon(returned.lease);
+        assert_eq!(registry.expire(t0 + Duration::from_secs(61)), 1);
+
+        let drained = registry.drain_trace();
+        let kinds: Vec<&str> = drained
+            .events
+            .iter()
+            .map(|traced| traced.event.kind())
+            .collect();
+        assert!(kinds.contains(&"lease_abandon"));
+        assert!(kinds.contains(&"lease_expire"));
+        let report = TraceReplay::check(&drained.events);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    /// Satellite of the WAL-restore fix: `shards`/`top_k`/`combinations` are
+    /// narrowed with `try_from`, not `as` — a count that fits `usize` round
+    /// trips exactly, and one that does not is a protocol error instead of a
+    /// silent truncation.
+    #[test]
+    fn recovered_job_narrows_counts_checked() {
+        let summary = JsonValue::object([
+            ("job", JsonValue::Int(1)),
+            ("name", JsonValue::string("big")),
+            ("tenant", JsonValue::string("default")),
+            ("weight", JsonValue::Int(1)),
+            ("shards", JsonValue::Int(1 << 40)),
+            ("top_k", JsonValue::Int(8)),
+            ("combinations", JsonValue::Int(1 << 40)),
+            ("state", JsonValue::string("running")),
+        ]);
+        #[cfg(target_pointer_width = "64")]
+        {
+            let job = RecoveredJob::from_summary(&summary).unwrap();
+            assert_eq!(job.shard_count, 1usize << 40);
+            assert_eq!(job.combinations, 1usize << 40);
+        }
+        #[cfg(target_pointer_width = "32")]
+        {
+            let err = RecoveredJob::from_summary(&summary).unwrap_err();
+            assert!(err.contains("overflows"), "got: {err}");
+        }
     }
 }

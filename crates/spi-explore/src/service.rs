@@ -59,6 +59,9 @@ pub struct ServiceConfig {
     /// Compact the WAL once its log exceeds this many bytes (checked after
     /// committed completions); `None` compacts only at quiesce.
     pub compact_log_bytes: Option<u64>,
+    /// Capacity of the scheduler-decision trace ring drained over the
+    /// `trace` op; `0` disables capture.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +74,7 @@ impl Default for ServiceConfig {
             store_dir: None,
             cache_limit: CacheLimit::UNBOUNDED,
             compact_log_bytes: None,
+            trace_capacity: spi_store::trace::DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -133,6 +137,7 @@ impl ExplorationService {
             hedge: config.hedge,
             cache_limit: config.cache_limit,
             compact_log_bytes: config.compact_log_bytes,
+            trace_capacity: config.trace_capacity,
         });
         let mut restored = RestoreStats::default();
         if let Some(dir) = &config.store_dir {
@@ -249,6 +254,19 @@ impl ExplorationService {
         self.registry().cache_stats()
     }
 
+    /// A point-in-time waitgraph snapshot (see [`JobRegistry::waitgraph`]):
+    /// what every job, shard and lease is waiting on right now. Assembled
+    /// under one registry lock acquisition, so it is never torn.
+    pub fn waitgraph(&self) -> spi_model::GraphSnapshot {
+        self.registry().waitgraph()
+    }
+
+    /// Drains the buffered scheduler-decision trace (see
+    /// [`JobRegistry::drain_trace`]).
+    pub fn drain_trace(&self) -> spi_store::TraceDrain {
+        self.registry().drain_trace()
+    }
+
     /// Subscribes to the job's event stream (improvements, shard completions,
     /// termination) over an `mpsc` channel.
     ///
@@ -341,7 +359,11 @@ fn worker_loop(inner: &Inner) {
                 registry.expire(Instant::now());
             }
             match (!draining)
-                .then(|| registry.lease(Instant::now()))
+                .then(|| {
+                    let name = std::thread::current();
+                    let worker = name.name().unwrap_or("anonymous");
+                    registry.lease_as(worker, Instant::now())
+                })
                 .flatten()
             {
                 Some(lease) => Some(lease),

@@ -13,7 +13,8 @@
 //! ← {"ok":true,"op":"shutdown"}
 //! ```
 //!
-//! Ops: `submit`, `poll`, `wait`, `top`, `jobs`, `cancel`, `shutdown`.
+//! Ops: `submit`, `poll`, `wait`, `top`, `jobs`, `cancel`, `graph`, `trace`,
+//! `shutdown`.
 //! `submit` also takes `tenant` (fair-queuing bucket), `weight` (its WFQ
 //! share) and `no_cache` (bypass the result cache); responses carry
 //! `cache_hit` so a client can tell a served-from-cache job (`evaluated` is
@@ -368,6 +369,26 @@ fn dispatch(service: &ExplorationService, request: &JsonValue) -> Result<JsonVal
                 ),
             ),
         ])),
+        "graph" => {
+            let snapshot = service.waitgraph();
+            Ok(JsonValue::object([
+                ("ok", JsonValue::Bool(true)),
+                ("op", JsonValue::string("graph")),
+                ("graph", snapshot.to_json()),
+            ]))
+        }
+        "trace" => {
+            let drained = service.drain_trace();
+            Ok(JsonValue::object([
+                ("ok", JsonValue::Bool(true)),
+                ("op", JsonValue::string("trace")),
+                ("dropped", drained.dropped.to_json()),
+                (
+                    "events",
+                    JsonValue::Array(drained.events.iter().map(ToJson::to_json).collect()),
+                ),
+            ]))
+        }
         "shutdown" => Ok(JsonValue::object([
             ("ok", JsonValue::Bool(true)),
             ("op", JsonValue::string("shutdown")),
@@ -598,6 +619,70 @@ mod tests {
             let max = latency.get("max").unwrap().as_u64().unwrap();
             assert!(p50 <= p95 && p95 <= max);
         }
+    }
+
+    /// The two introspection ops round-trip through their `spi-model` types:
+    /// the `graph` payload parses back into a validating [`GraphSnapshot`]
+    /// that agrees with the job listing, and the `trace` payload parses back
+    /// into [`TracedEvent`]s that replay clean through [`TraceReplay`].
+    #[test]
+    fn graph_and_trace_ops_round_trip_over_the_wire() {
+        use spi_model::introspect::GraphSnapshot;
+        use spi_store::trace::{TraceReplay, TracedEvent};
+
+        let service = ExplorationService::start(ServiceConfig::with_workers(2));
+        let responses = run_lines(
+            &service,
+            concat!(
+                "{\"op\":\"submit\",\"name\":\"traced\",\"tenant\":\"team-a\",\
+                 \"system\":{\"scaling\":{\"interfaces\":4,\"clusters\":2}},\"shards\":4}\n",
+                "{\"op\":\"wait\",\"job\":0}\n",
+                "{\"op\":\"graph\"}\n",
+                "{\"op\":\"trace\"}\n",
+            ),
+        );
+        assert_eq!(responses.len(), 4);
+
+        let graph_response = &responses[2];
+        assert_eq!(graph_response.get("ok").unwrap().as_bool(), Some(true));
+        let snapshot = GraphSnapshot::from_json(graph_response.get("graph").unwrap()).unwrap();
+        snapshot.validate().unwrap();
+        // The job completed before the snapshot: it appears as a terminal
+        // node with its tenant, waiting on nothing.
+        let job_node = snapshot.node("job:0").unwrap();
+        assert_eq!(job_node.kind, "job");
+        assert!(job_node
+            .attrs
+            .iter()
+            .any(|(key, value)| key == "state" && value == "completed"));
+        assert!(snapshot.node("tenant:team-a").is_some());
+        assert_eq!(snapshot.needs_of("job:0").count(), 0);
+
+        let trace_response = &responses[3];
+        assert_eq!(trace_response.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(trace_response.get("dropped").unwrap().as_u64(), Some(0));
+        let events: Vec<TracedEvent> = trace_response
+            .get("events")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|event| TracedEvent::from_json(event).unwrap())
+            .collect();
+        let report = TraceReplay::check(&events);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.committed_shards, 4);
+        // A second drain hands back an empty, still-ok window.
+        let responses = run_lines(&service, "{\"op\":\"trace\"}\n");
+        assert_eq!(
+            responses[0]
+                .get("events")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            0
+        );
     }
 
     #[test]

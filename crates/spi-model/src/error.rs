@@ -51,6 +51,12 @@ pub enum ModelError {
     RegisterCapacity(ChannelId),
     /// Generic validation failure with a human-readable explanation.
     Validation(String),
+    /// A slab-storage precondition was violated (tombstoned guest in an
+    /// offset-shift merge, foreign watermark, an edge left dangling across a
+    /// truncation). These indicate a caller bug, but release builds must
+    /// refuse loudly instead of corrupting the slabs silently — the delta
+    /// flattener treats this error as "rebuild from the skeleton".
+    SlabIntegrity(String),
 }
 
 impl fmt::Display for ModelError {
@@ -92,6 +98,7 @@ impl fmt::Display for ModelError {
                 write!(f, "register channel {id} must have capacity one")
             }
             ModelError::Validation(msg) => write!(f, "validation failed: {msg}"),
+            ModelError::SlabIntegrity(msg) => write!(f, "slab integrity violated: {msg}"),
         }
     }
 }

@@ -773,27 +773,45 @@ impl SpiGraph {
     /// undoing every splice performed since — O(removed nodes), including the
     /// name-index and edge rollback.
     ///
-    /// Edges *from surviving channels to removed processes* are **not**
-    /// searched for: the caller must detach them first (the delta flattener
-    /// clears the port wirings it made below the mark before truncating).
-    /// Debug builds assert that no surviving edge slot points at a removed
-    /// process.
+    /// The caller must detach edges *from surviving channels to removed
+    /// processes* first (the delta flattener clears the port wirings it made
+    /// below the mark before truncating); a surviving wiring that still
+    /// points above the mark is rejected.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the watermark lies above the current slab lengths (it was
-    /// taken from a different graph or the graph already shrank past it).
-    pub fn truncate_to(&mut self, mark: GraphWatermark) {
+    /// [`ModelError::SlabIntegrity`] if the watermark lies above the current
+    /// slab lengths (it was taken from a different graph or the graph
+    /// already shrank past it), or if a surviving edge slot still points at
+    /// a process the truncation would remove. Both checks run **before**
+    /// anything is mutated, so on `Err` the graph is untouched — release
+    /// builds refuse instead of silently corrupting the slabs, and the delta
+    /// flattener falls back to a full rebuild.
+    pub fn truncate_to(&mut self, mark: GraphWatermark) -> Result<(), ModelError> {
         let p_mark = mark.processes as usize;
         let c_mark = mark.channels as usize;
-        assert!(
-            p_mark <= self.processes.len() && c_mark <= self.channels.len(),
-            "truncate_to: watermark ({}, {}) above slab lengths ({}, {})",
-            mark.processes,
-            mark.channels,
-            self.processes.len(),
-            self.channels.len()
-        );
+        if p_mark > self.processes.len() || c_mark > self.channels.len() {
+            return Err(ModelError::SlabIntegrity(format!(
+                "truncate_to: watermark ({}, {}) above slab lengths ({}, {})",
+                mark.processes,
+                mark.channels,
+                self.processes.len(),
+                self.channels.len()
+            )));
+        }
+        if let Some(dangling) = self
+            .writers
+            .iter()
+            .take(c_mark)
+            .chain(self.readers.iter().take(c_mark))
+            .flatten()
+            .find(|p| p.index() >= mark.processes)
+        {
+            return Err(ModelError::SlabIntegrity(format!(
+                "truncate_to: surviving edge still points at process {dangling}, \
+                 which the truncation would remove (detach port wirings first)"
+            )));
+        }
         while self.processes.len() > p_mark {
             if let Some(process) = self.processes.pop().expect("len checked") {
                 self.live_processes -= 1;
@@ -808,15 +826,7 @@ impl SpiGraph {
         }
         self.writers.truncate(c_mark);
         self.readers.truncate(c_mark);
-        debug_assert!(
-            self.writers
-                .iter()
-                .chain(self.readers.iter())
-                .flatten()
-                .all(|p| p.index() < mark.processes),
-            "truncate_to: a surviving edge still points at a removed process \
-             (detach port wirings before truncating)"
-        );
+        Ok(())
     }
 
     /// The offset-shift fast path of [`merge_disjoint`](Self::merge_disjoint)
@@ -829,13 +839,22 @@ impl SpiGraph {
     ///
     /// Same contract as `merge_disjoint` otherwise: no duplicate-name
     /// detection (caller guarantees disjointness), names carried over
-    /// verbatim. Debug builds assert density and name disjointness.
-    pub fn merge_disjoint_shifted(&mut self, other: &SpiGraph) -> (u32, u32) {
-        debug_assert!(
-            other.is_dense(),
-            "merge_disjoint_shifted: guest `{}` has tombstones; use merge_disjoint",
-            other.name
-        );
+    /// verbatim. Debug builds additionally assert name disjointness.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::SlabIntegrity`] if `other` has tombstones — the
+    /// offset-shift arithmetic is only an isomorphism over dense slabs, so a
+    /// tombstoned guest would splice dangling ids. Checked (O(1)) before
+    /// anything is mutated; use [`merge_disjoint`](Self::merge_disjoint) for
+    /// sparse guests.
+    pub fn merge_disjoint_shifted(&mut self, other: &SpiGraph) -> Result<(u32, u32), ModelError> {
+        if !other.is_dense() {
+            return Err(ModelError::SlabIntegrity(format!(
+                "merge_disjoint_shifted: guest `{}` has tombstones; use merge_disjoint",
+                other.name
+            )));
+        }
         let process_offset = self.processes.len() as u32;
         let channel_offset = self.channels.len() as u32;
 
@@ -884,7 +903,7 @@ impl SpiGraph {
                 .insert(sym, ChannelId::new(channel_offset + old_id.index()));
         }
 
-        (process_offset, channel_offset)
+        Ok((process_offset, channel_offset))
     }
 }
 
@@ -1093,7 +1112,7 @@ mod tests {
         renamed.merge(&guest, "v1_").unwrap();
         let before = fast_host.watermark();
         let map = slow_host.merge_disjoint(&renamed);
-        let (p_off, c_off) = fast_host.merge_disjoint_shifted(&renamed);
+        let (p_off, c_off) = fast_host.merge_disjoint_shifted(&renamed).unwrap();
         assert_eq!((p_off, c_off), (before.processes, before.channels));
         assert_eq!(slow_host, fast_host);
         // The offset-shift is exactly the map merge_disjoint built.
@@ -1119,7 +1138,7 @@ mod tests {
         renamed.merge(&guest, "v1_").unwrap();
 
         let mark = host.watermark();
-        let (p_off, _) = host.merge_disjoint_shifted(&renamed);
+        let (p_off, _) = host.merge_disjoint_shifted(&renamed).unwrap();
         // Wire a spliced process onto a skeleton channel the way the
         // flattener does, then detach it again before rolling back.
         host.clear_writer(c1);
@@ -1129,24 +1148,61 @@ mod tests {
         host.clear_writer(c1);
         host.set_writer(c1, pristine.writer_of(c1).unwrap())
             .unwrap();
-        host.truncate_to(mark);
+        host.truncate_to(mark).unwrap();
         assert_eq!(host, pristine);
         assert!(host.is_dense());
         // Name index rolled back too: the spliced names resolve to nothing...
         assert!(host.process_by_name("v1_p1").is_none());
         assert!(host.channel_by_name("v1_c1").is_none());
         // ...and a re-splice lands on the same ids.
-        let offsets = host.merge_disjoint_shifted(&renamed);
+        let offsets = host.merge_disjoint_shifted(&renamed).unwrap();
         assert_eq!(offsets, (mark.processes, mark.channels));
     }
 
     #[test]
-    #[should_panic(expected = "truncate_to: watermark")]
     fn truncate_to_rejects_foreign_watermark() {
         let (big, _, _, _) = chain();
         let mark = big.watermark();
         let mut small = SpiGraph::new("empty");
-        small.truncate_to(mark);
+        let err = small.truncate_to(mark).unwrap_err();
+        assert!(matches!(err, ModelError::SlabIntegrity(_)), "{err}");
+        assert_eq!(small, SpiGraph::new("empty"), "graph untouched on error");
+    }
+
+    #[test]
+    fn truncate_to_rejects_a_dangling_wiring_without_mutating() {
+        let (mut host, _, _, c1) = chain();
+        let (guest, _, _, _) = chain();
+        let mut renamed = SpiGraph::new("renamed");
+        renamed.merge(&guest, "v1_").unwrap();
+
+        let mark = host.watermark();
+        let (p_off, _) = host.merge_disjoint_shifted(&renamed).unwrap();
+        // Wire a spliced process onto a skeleton channel and "forget" to
+        // detach it: rolling back now would leave c1's writer dangling.
+        host.clear_writer(c1);
+        host.set_writer(c1, ProcessId::new(p_off)).unwrap();
+        let spliced = host.clone();
+
+        let err = host.truncate_to(mark).unwrap_err();
+        assert!(matches!(err, ModelError::SlabIntegrity(_)), "{err}");
+        assert_eq!(host, spliced, "failed truncation must not mutate");
+    }
+
+    #[test]
+    fn shifted_merge_rejects_a_tombstoned_guest_without_mutating() {
+        let (mut host, _, _, _) = chain();
+        let mut renamed = SpiGraph::new("renamed");
+        let (guest, _, _, _) = chain();
+        renamed.merge(&guest, "v1_").unwrap();
+        let sparse_p = renamed.process_by_name("v1_p1").unwrap().id();
+        renamed.remove_process(sparse_p).unwrap();
+        assert!(!renamed.is_dense());
+
+        let pristine = host.clone();
+        let err = host.merge_disjoint_shifted(&renamed).unwrap_err();
+        assert!(matches!(err, ModelError::SlabIntegrity(_)), "{err}");
+        assert_eq!(host, pristine, "failed splice must not mutate");
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Canonical introspection-graph model: the service's **waitgraph**.
+//!
+//! One node model, one edge kind. Nodes are the six entities the exploration
+//! service schedules around — `job`, `shard`, `lease`, `worker`, `tenant`,
+//! `store` — and the only edge is `needs`: *source cannot progress until
+//! target does*. Nothing is inferred; the snapshot assembler states exactly
+//! the dependencies the registry knows, and a cycle in `needs` would be a
+//! deadlock by construction. Keeping the model this small is what makes
+//! "why is tenant B starved" one query instead of a log-diving session, and
+//! it is the shape every later fleet surface (multi-node fabric, dashboards)
+//! consumes.
+//!
+//! The model lives in `spi-model` because it is wire vocabulary, not service
+//! state: both ends of the `graph` op — and offline tools — share the JSON
+//! encoding defined here via [`ToJson`]/[`FromJson`].
+
+use crate::json::{FromJson, JsonError, JsonResult, JsonValue, ToJson};
+
+/// The closed set of node kinds a waitgraph may contain.
+pub const NODE_KINDS: [&str; 6] = ["job", "shard", "lease", "worker", "tenant", "store"];
+
+/// One entity in the waitgraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphNode {
+    /// Stable node id, conventionally `kind:discriminator` (`"job:3"`,
+    /// `"shard:3/7"`, `"worker:spi-explore-worker-0"`). Unique per snapshot.
+    pub id: String,
+    /// One of [`NODE_KINDS`].
+    pub kind: String,
+    /// Human-readable label (job name, tenant name, …).
+    pub label: String,
+    /// Ordered key→value details (state, counters); insertion order is kept
+    /// so snapshots serialize deterministically.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl GraphNode {
+    /// A node with no attributes.
+    pub fn new(
+        id: impl Into<String>,
+        kind: impl Into<String>,
+        label: impl Into<String>,
+    ) -> GraphNode {
+        GraphNode {
+            id: id.into(),
+            kind: kind.into(),
+            label: label.into(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Appends one attribute, returning `self` for chaining.
+    #[must_use]
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> GraphNode {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// The single edge kind: `source` **needs** `target` to progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphEdge {
+    /// The blocked node.
+    pub source: String,
+    /// The node it waits on.
+    pub needs: String,
+}
+
+impl GraphEdge {
+    /// An edge stating that `source` needs `needs`.
+    pub fn new(source: impl Into<String>, needs: impl Into<String>) -> GraphEdge {
+        GraphEdge {
+            source: source.into(),
+            needs: needs.into(),
+        }
+    }
+}
+
+/// A point-in-time waitgraph: every node and `needs` edge the assembler saw
+/// under one registry lock acquisition (snapshots are internally consistent,
+/// never torn).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphSnapshot {
+    /// All nodes, in assembly order (deterministic for a given state).
+    pub nodes: Vec<GraphNode>,
+    /// All `needs` edges.
+    pub edges: Vec<GraphEdge>,
+}
+
+impl GraphSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> GraphSnapshot {
+        GraphSnapshot::default()
+    }
+
+    /// The nodes of one kind, in snapshot order.
+    pub fn nodes_of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a GraphNode> {
+        self.nodes.iter().filter(move |node| node.kind == kind)
+    }
+
+    /// Looks a node up by id.
+    pub fn node(&self, id: &str) -> Option<&GraphNode> {
+        self.nodes.iter().find(|node| node.id == id)
+    }
+
+    /// Everything `id` directly needs (its outgoing edges).
+    pub fn needs_of<'a>(&'a self, id: &'a str) -> impl Iterator<Item = &'a str> {
+        self.edges
+            .iter()
+            .filter(move |edge| edge.source == id)
+            .map(|edge| edge.needs.as_str())
+    }
+
+    /// Structural validity: node ids unique, kinds drawn from [`NODE_KINDS`],
+    /// every edge endpoint present. Assemblers must produce snapshots that
+    /// pass; consumers may assume it after checking once.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::BTreeSet::new();
+        for node in &self.nodes {
+            if !NODE_KINDS.contains(&node.kind.as_str()) {
+                return Err(format!(
+                    "node `{}` has unknown kind `{}`",
+                    node.id, node.kind
+                ));
+            }
+            if !seen.insert(node.id.as_str()) {
+                return Err(format!("duplicate node id `{}`", node.id));
+            }
+        }
+        for edge in &self.edges {
+            if !seen.contains(edge.source.as_str()) {
+                return Err(format!("edge source `{}` is not a node", edge.source));
+            }
+            if !seen.contains(edge.needs.as_str()) {
+                return Err(format!("edge target `{}` is not a node", edge.needs));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for GraphNode {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("id", JsonValue::string(self.id.clone())),
+            ("kind", JsonValue::string(self.kind.clone())),
+            ("label", JsonValue::string(self.label.clone())),
+            (
+                "attrs",
+                JsonValue::Object(
+                    self.attrs
+                        .iter()
+                        .map(|(key, value)| (key.clone(), JsonValue::string(value.clone())))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for GraphNode {
+    fn from_json(value: &JsonValue) -> JsonResult<GraphNode> {
+        let field = |key: &str| -> JsonResult<String> {
+            Ok(value
+                .require(key)?
+                .as_str()
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be a string")))?
+                .to_string())
+        };
+        let attrs = match value.get("attrs") {
+            None => Vec::new(),
+            Some(JsonValue::Object(members)) => members
+                .iter()
+                .map(|(key, attr)| {
+                    attr.as_str()
+                        .map(|text| (key.clone(), text.to_string()))
+                        .ok_or_else(|| JsonError::new(format!("attr `{key}` must be a string")))
+                })
+                .collect::<JsonResult<Vec<_>>>()?,
+            Some(_) => return Err(JsonError::new("`attrs` must be an object")),
+        };
+        Ok(GraphNode {
+            id: field("id")?,
+            kind: field("kind")?,
+            label: field("label")?,
+            attrs,
+        })
+    }
+}
+
+impl ToJson for GraphEdge {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("source", JsonValue::string(self.source.clone())),
+            ("needs", JsonValue::string(self.needs.clone())),
+        ])
+    }
+}
+
+impl FromJson for GraphEdge {
+    fn from_json(value: &JsonValue) -> JsonResult<GraphEdge> {
+        let field = |key: &str| -> JsonResult<String> {
+            Ok(value
+                .require(key)?
+                .as_str()
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be a string")))?
+                .to_string())
+        };
+        Ok(GraphEdge {
+            source: field("source")?,
+            needs: field("needs")?,
+        })
+    }
+}
+
+impl ToJson for GraphSnapshot {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "nodes",
+                JsonValue::Array(self.nodes.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "edges",
+                JsonValue::Array(self.edges.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for GraphSnapshot {
+    fn from_json(value: &JsonValue) -> JsonResult<GraphSnapshot> {
+        let list = |key: &str| -> JsonResult<&[JsonValue]> {
+            value
+                .require(key)?
+                .as_array()
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be an array")))
+        };
+        Ok(GraphSnapshot {
+            nodes: list("nodes")?
+                .iter()
+                .map(GraphNode::from_json)
+                .collect::<JsonResult<Vec<_>>>()?,
+            edges: list("edges")?
+                .iter()
+                .map(GraphEdge::from_json)
+                .collect::<JsonResult<Vec<_>>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GraphSnapshot {
+        let mut snapshot = GraphSnapshot::new();
+        snapshot
+            .nodes
+            .push(GraphNode::new("tenant:team-a", "tenant", "team-a").attr("weight", "2"));
+        snapshot.nodes.push(
+            GraphNode::new("job:0", "job", "sweep")
+                .attr("state", "running")
+                .attr("shards_done", "3"),
+        );
+        snapshot
+            .nodes
+            .push(GraphNode::new("shard:0/4", "shard", "sweep[4]").attr("state", "leased"));
+        snapshot.nodes.push(GraphNode::new("lease:9", "lease", "9"));
+        snapshot.nodes.push(GraphNode::new(
+            "worker:spi-explore-worker-1",
+            "worker",
+            "spi-explore-worker-1",
+        ));
+        snapshot
+            .edges
+            .push(GraphEdge::new("job:0", "tenant:team-a"));
+        snapshot.edges.push(GraphEdge::new("job:0", "shard:0/4"));
+        snapshot.edges.push(GraphEdge::new("shard:0/4", "lease:9"));
+        snapshot
+            .edges
+            .push(GraphEdge::new("lease:9", "worker:spi-explore-worker-1"));
+        snapshot
+    }
+
+    #[test]
+    fn sample_snapshot_validates_and_queries() {
+        let snapshot = sample();
+        snapshot.validate().unwrap();
+        assert_eq!(snapshot.nodes_of_kind("job").count(), 1);
+        assert_eq!(
+            snapshot.needs_of("job:0").collect::<Vec<_>>(),
+            vec!["tenant:team-a", "shard:0/4"]
+        );
+        assert_eq!(snapshot.node("lease:9").unwrap().kind, "lease");
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let snapshot = sample();
+        let line = snapshot.to_json().to_line();
+        let parsed = GraphSnapshot::from_json(&JsonValue::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn validate_rejects_unknown_kind_duplicate_id_and_dangling_edge() {
+        let mut bad_kind = sample();
+        bad_kind.nodes[0].kind = "mystery".to_string();
+        assert!(bad_kind.validate().unwrap_err().contains("unknown kind"));
+
+        let mut duplicate = sample();
+        let clone = duplicate.nodes[0].clone();
+        duplicate.nodes.push(clone);
+        assert!(duplicate.validate().unwrap_err().contains("duplicate"));
+
+        let mut dangling = sample();
+        dangling.edges.push(GraphEdge::new("job:0", "shard:9/9"));
+        assert!(dangling.validate().unwrap_err().contains("not a node"));
+    }
+}

@@ -57,6 +57,7 @@ pub mod error;
 pub mod graph;
 pub mod ids;
 pub mod interval;
+pub mod introspect;
 pub mod json;
 pub mod mode;
 pub mod process;
@@ -75,6 +76,7 @@ pub use ids::{
     BuildSymHasher, ChannelId, IdRemap, Interner, ModeId, PortId, ProcessId, Sym, SymHasher,
 };
 pub use interval::Interval;
+pub use introspect::{GraphEdge, GraphNode, GraphSnapshot};
 pub use json::{FromJson, JsonError, JsonResult, JsonValue, ToJson};
 pub use mode::{ProcessMode, ProductionSpec};
 pub use process::Process;

@@ -128,7 +128,9 @@ impl ResultCache {
     /// digest is a content address, so a replacement is byte-identical
     /// anyway unless the evaluator is nondeterministic), then evicts
     /// least-recently-used entries until the cache is within its limit.
-    pub fn insert(&mut self, digest: Digest, result: JsonValue) {
+    /// Returns how many entries this insert evicted, so callers can trace
+    /// cache pressure without re-deriving it from the lifetime counter.
+    pub fn insert(&mut self, digest: Digest, result: JsonValue) -> u64 {
         let bytes = result.to_line().len();
         self.clock += 1;
         let entry = CacheEntry {
@@ -140,7 +142,9 @@ impl ResultCache {
         if let Some(old) = self.entries.insert(digest, entry) {
             self.total_bytes -= old.bytes;
         }
+        let before = self.evictions;
         self.evict_to_limit();
+        self.evictions - before
     }
 
     /// Looks up `digest`, counting the hit/miss and refreshing the entry's

@@ -15,6 +15,10 @@
 //! * [`sched`] — weighted-fair queuing across tenants
 //!   ([`FairScheduler`]) and the latency bookkeeping behind hedged
 //!   re-leases for straggler shards ([`LatencyTracker`], [`HedgeConfig`]).
+//! * [`trace`] — a bounded ring of every scheduler decision
+//!   ([`TraceCapture`]) plus an offline checker ([`TraceReplay`]) that
+//!   asserts WFQ's proportional-share bound and exactly-once lease
+//!   accounting over any captured run.
 //!
 //! The crate deliberately knows nothing about jobs, leases or evaluators:
 //! everything is expressed over raw ids and JSON payloads, so the store can
@@ -46,9 +50,11 @@
 pub mod cache;
 pub mod error;
 pub mod sched;
+pub mod trace;
 pub mod wal;
 
 pub use cache::{CacheLimit, ResultCache};
 pub use error::{Result, StoreError};
-pub use sched::{Entry, FairScheduler, HedgeConfig, LatencyTracker};
+pub use sched::{Dispatch, Entry, FairScheduler, HedgeConfig, LatencyTracker};
+pub use trace::{ReplayReport, TraceCapture, TraceDrain, TraceEvent, TraceReplay, TracedEvent};
 pub use wal::{Recovered, Wal};

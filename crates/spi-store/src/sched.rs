@@ -32,7 +32,9 @@
 use std::collections::{BTreeMap, VecDeque};
 
 /// Fixed-point scale for virtual time (so integer weights divide cleanly).
-const SCALE: u64 = 1 << 20;
+/// One dispatch advances a weight-`w` tenant's finish tag by `SCALE / w`, so
+/// `SCALE` is also the natural unit for fairness bounds over traces.
+pub const SCALE: u64 = 1 << 20;
 
 /// A schedulable unit: the raw job id and the shard index within it.
 pub type Entry = (u64, usize);
@@ -81,6 +83,15 @@ impl FairScheduler {
 
     /// Dispatches the next entry under the WFQ policy, if any.
     pub fn dequeue(&mut self) -> Option<Entry> {
+        self.dequeue_dispatch().map(|dispatch| dispatch.entry)
+    }
+
+    /// Dispatches the next entry together with the scheduler-truth metadata
+    /// the decision was made with — the tenant charged, the weight its finish
+    /// tag advanced by, and the virtual time of the dispatch. This is what
+    /// trace capture records: the *scheduler's* view, not the job's, which
+    /// matters when a later submission rewrote the tenant weight mid-backlog.
+    pub fn dequeue_dispatch(&mut self) -> Option<Dispatch> {
         let (name, _) = self
             .tenants
             .iter()
@@ -91,9 +102,20 @@ impl FairScheduler {
         let slot = self.tenants.get_mut(&name).expect("tenant exists");
         let entry = slot.queue.pop_front().expect("queue non-empty");
         self.virtual_now = slot.finish;
-        slot.finish += SCALE / u64::from(slot.weight.max(1));
+        let weight = slot.weight.max(1);
+        slot.finish += SCALE / u64::from(weight);
         self.len -= 1;
-        Some(entry)
+        Some(Dispatch {
+            tenant: name,
+            weight,
+            entry,
+            vtime: self.virtual_now,
+        })
+    }
+
+    /// The current virtual time (the finish tag of the last dispatch).
+    pub fn virtual_now(&self) -> u64 {
+        self.virtual_now
     }
 
     /// Entries currently queued (including ones the registry may later skip
@@ -114,6 +136,19 @@ impl FairScheduler {
             .filter(|(_, slot)| !slot.queue.is_empty())
             .map(|(name, _)| name.as_str())
     }
+}
+
+/// One WFQ dispatch with the metadata the decision was made under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dispatch {
+    /// Tenant whose queue the entry was taken from.
+    pub tenant: String,
+    /// Weight in force when the tenant's finish tag advanced (post-clamp).
+    pub weight: u32,
+    /// The dispatched `(job, shard)` entry.
+    pub entry: Entry,
+    /// Virtual time of the dispatch (the dispatching tenant's finish tag).
+    pub vtime: u64,
 }
 
 /// Tunables of the speculative re-leasing policy. Integer-valued so configs
@@ -157,11 +192,23 @@ impl HedgeConfig {
 }
 
 /// Completed-duration samples for one job's shards, bounded in memory.
+///
+/// Past the cap the tracker keeps a classic **reservoir** (Algorithm R): each
+/// of the `observed` durations survives with equal probability, so quantiles
+/// stay unbiased estimates of the full run instead of drifting toward the
+/// high tail as the old drop-the-smallest policy did. The exact maximum is
+/// tracked separately — `quantile_ns(100)` never under-reports the worst
+/// shard, which is what the hedging policy's tail honesty rests on.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyTracker {
     /// Sorted ascending; bounded to keep per-job state O(1)-ish.
     samples_ns: Vec<u64>,
     observed: u64,
+    /// Exact maximum over *all* observations, evicted or not.
+    max_ns: u64,
+    /// Deterministic LCG state for reservoir replacement (no RNG crate; the
+    /// tracker must behave identically on every platform and in replays).
+    rng: u64,
 }
 
 /// Sample cap: enough resolution for a p95 over any realistic shard count.
@@ -176,12 +223,27 @@ impl LatencyTracker {
     /// Records one completed-shard duration.
     pub fn record_ns(&mut self, duration_ns: u64) {
         self.observed += 1;
-        let at = self.samples_ns.partition_point(|&s| s <= duration_ns);
-        self.samples_ns.insert(at, duration_ns);
-        if self.samples_ns.len() > MAX_SAMPLES {
-            // Drop the smallest: stragglers (the high tail) are what the
-            // hedging quantile needs to stay honest about.
-            self.samples_ns.remove(0);
+        self.max_ns = self.max_ns.max(duration_ns);
+        if self.samples_ns.len() < MAX_SAMPLES {
+            let at = self.samples_ns.partition_point(|&s| s <= duration_ns);
+            self.samples_ns.insert(at, duration_ns);
+            return;
+        }
+        // Algorithm R: keep the newcomer with probability cap/observed by
+        // drawing a uniform slot in 0..observed; a slot under the cap evicts
+        // that reservoir element (the draw is independent of the values, so
+        // a sorted-rank index is still a uniformly chosen victim).
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let slot = (self.rng >> 33) % self.observed;
+        if let Ok(victim) = usize::try_from(slot) {
+            if victim < MAX_SAMPLES {
+                self.samples_ns.remove(victim);
+                let at = self.samples_ns.partition_point(|&s| s <= duration_ns);
+                self.samples_ns.insert(at, duration_ns);
+            }
         }
     }
 
@@ -190,21 +252,28 @@ impl LatencyTracker {
         self.observed
     }
 
-    /// The `pct`-th percentile (nearest-rank) of recorded durations, if any.
+    /// The `pct`-th percentile of recorded durations, if any: nearest-rank
+    /// over the reservoir, except `pct = 100` which reports the exact maximum
+    /// ever observed (the reservoir may have evicted it).
     pub fn quantile_ns(&self, pct: u8) -> Option<u64> {
         if self.samples_ns.is_empty() {
             return None;
         }
         let pct = u64::from(pct.clamp(1, 100));
+        if pct == 100 {
+            return Some(self.max_ns);
+        }
         let rank = ((pct * self.samples_ns.len() as u64).div_ceil(100)).max(1) as usize;
         Some(self.samples_ns[rank.min(self.samples_ns.len()) - 1])
     }
 
     /// The in-flight duration beyond which a shard counts as a straggler
     /// under `config`, or `None` while hedging is inactive (disabled or not
-    /// enough samples yet).
+    /// enough samples yet). The gate compares the *uncapped* observation
+    /// count — a `min_samples` above the reservoir cap must delay hedging,
+    /// not disable it forever.
     pub fn hedge_threshold_ns(&self, config: &HedgeConfig) -> Option<u64> {
-        if !config.enabled || (self.samples_ns.len() as u64) < config.min_samples as u64 {
+        if !config.enabled || self.observed < config.min_samples as u64 {
             return None;
         }
         let quantile = self.quantile_ns(config.quantile_pct)?;
@@ -313,12 +382,88 @@ mod tests {
         for ns in 0..((MAX_SAMPLES as u64) + 100) {
             tracker.record_ns(ns);
         }
-        // The smallest samples were evicted; the tail survived.
+        // Whatever the reservoir evicted, the exact maximum survives.
         assert_eq!(
             tracker.quantile_ns(100),
             Some(MAX_SAMPLES as u64 + 99),
             "max sample must survive eviction"
         );
         assert_eq!(tracker.count(), MAX_SAMPLES as u64 + 100);
+    }
+
+    #[test]
+    fn hedge_activates_past_the_sample_cap() {
+        // Regression: the activation gate once compared the *capped* reservoir
+        // length (≤ MAX_SAMPLES) against min_samples, so any min_samples above
+        // the cap silently disabled hedging forever.
+        let config = HedgeConfig {
+            min_samples: MAX_SAMPLES + 88,
+            quantile_pct: 50,
+            multiplier_pct: 200,
+            ..HedgeConfig::default()
+        };
+        let mut tracker = LatencyTracker::new();
+        for _ in 0..(MAX_SAMPLES + 87) {
+            tracker.record_ns(1_000);
+        }
+        assert_eq!(
+            tracker.hedge_threshold_ns(&config),
+            None,
+            "gate must still hold below min_samples"
+        );
+        tracker.record_ns(1_000);
+        assert_eq!(
+            tracker.hedge_threshold_ns(&config),
+            Some(2_000),
+            "min_samples > MAX_SAMPLES must delay hedging, not disable it"
+        );
+    }
+
+    #[test]
+    fn reservoir_keeps_quantiles_unbiased_over_skewed_samples() {
+        // 10k right-skewed samples: 90% near 1µs, 10% near 100µs. The old
+        // drop-the-smallest policy left only the top 512 — all stragglers —
+        // so p50 read ~100_000. An unbiased bounded sample keeps p50 in the
+        // bulk and p95 in the tail.
+        let mut tracker = LatencyTracker::new();
+        for i in 0u64..10_000 {
+            let ns = if i % 10 == 9 {
+                100_000 + i
+            } else {
+                1_000 + (i % 7)
+            };
+            tracker.record_ns(ns);
+        }
+        let p50 = tracker.quantile_ns(50).unwrap();
+        assert!(
+            (1_000..=1_006).contains(&p50),
+            "p50 {p50} must sit in the bulk of the distribution"
+        );
+        let p95 = tracker.quantile_ns(95).unwrap();
+        assert!(p95 >= 100_000, "p95 {p95} must sit in the straggler tail");
+        assert_eq!(tracker.quantile_ns(100), Some(109_999), "exact max");
+        assert_eq!(tracker.count(), 10_000);
+    }
+
+    #[test]
+    fn dispatch_carries_scheduler_truth() {
+        let mut scheduler = FairScheduler::new();
+        for shard in 0..4 {
+            scheduler.enqueue("heavy", 2, (0, shard));
+            scheduler.enqueue("light", 1, (1, shard));
+        }
+        let mut last_vtime = 0;
+        while let Some(dispatch) = scheduler.dequeue_dispatch() {
+            assert!(
+                dispatch.vtime >= last_vtime,
+                "WFQ virtual time must be non-decreasing"
+            );
+            last_vtime = dispatch.vtime;
+            let expected_weight = if dispatch.tenant == "heavy" { 2 } else { 1 };
+            assert_eq!(dispatch.weight, expected_weight);
+            assert_eq!(dispatch.entry.0, u64::from(dispatch.tenant == "light"));
+            assert_eq!(scheduler.virtual_now(), dispatch.vtime);
+        }
+        assert!(scheduler.is_empty());
     }
 }

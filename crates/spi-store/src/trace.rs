@@ -1,0 +1,967 @@
+//! Bounded capture and offline replay of scheduler decisions.
+//!
+//! Every decision the scheduling layer makes — WFQ enqueue/dequeue with its
+//! virtual-time tag, lease grant/renew/expiry, hedge issue/win, cache hit,
+//! WAL compaction — is recorded as a [`TraceEvent`] in a fixed-capacity ring
+//! ([`TraceCapture`]). The ring is cheap enough to leave on in production:
+//! recording is a `VecDeque` push under the registry lock the decision
+//! already holds, and a full ring drops the *oldest* events (counting them)
+//! instead of blocking the scheduler.
+//!
+//! Drained events are plain data with a stable JSON form, so a trace can
+//! cross the wire (`{"op":"trace"}` in `spi-explored`), land in a file, and
+//! be replayed offline by [`TraceReplay`] — a checker that re-derives what
+//! *must* have been true of any correct run:
+//!
+//! * **WFQ proportional share** — over every maximal window in which a set
+//!   of tenants stays continuously backlogged, their normalized service
+//!   (virtual-time quanta, `SCALE / weight` per dispatch at the weight the
+//!   scheduler actually charged) may differ only by a small constant slack.
+//!   Linear starvation — a whale draining while a backlogged minnow waits —
+//!   grows the gap without bound and trips the check.
+//! * **Exactly-once lease accounting** — lease ids are granted once, only
+//!   live leases renew or commit, every shard commits at most once, and a
+//!   commit retires every outstanding lease on its shard (hedge losers
+//!   included), so no retired lease can act again.
+//!
+//! The checker demands a *complete* trace (contiguous sequence numbers from
+//! zero): fairness over a window you only half-saw is not assertable. The
+//! capture reports how many events it dropped, so a caller knows when to
+//! raise `--trace-capacity` instead of trusting a truncated replay.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use spi_model::json::{FromJson, JsonError, JsonResult, JsonValue, ToJson};
+
+use crate::sched::SCALE;
+
+/// Default ring capacity: a few thousand shards' worth of decisions.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Pairwise normalized-service slack allowed by the fairness check, in
+/// virtual-time units. Two quanta cover the window-boundary offsets of the
+/// two tenants being compared, one covers a finish tag derived under an old
+/// weight that a mid-backlog resubmission rewrote, and one is headroom for
+/// the discretization of window edges. Starvation is linear in the backlog,
+/// so any systematic unfairness still overruns this constant immediately.
+pub const FAIRNESS_SLACK: u64 = 4 * SCALE;
+
+/// One scheduler decision, as recorded at the point the decision was made.
+///
+/// Fields are raw ids (`u64` job ids, lease ids) rather than the registry's
+/// typed ids: the trace layer lives below the registry and must stay
+/// replayable by tools that know nothing about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A `(job, shard)` entry joined `tenant`'s WFQ queue at `weight`.
+    WfqEnqueue {
+        /// Tenant whose queue received the entry.
+        tenant: String,
+        /// Weight in force at enqueue time.
+        weight: u32,
+        /// Raw job id.
+        job: u64,
+        /// Shard index within the job.
+        shard: usize,
+    },
+    /// The WFQ policy dispatched an entry (the registry may still skip it as
+    /// stale — a dispatch is a virtual-time advance either way).
+    WfqDequeue {
+        /// Tenant charged for the dispatch.
+        tenant: String,
+        /// Weight the finish tag advanced by (`SCALE / weight`).
+        weight: u32,
+        /// Raw job id.
+        job: u64,
+        /// Shard index within the job.
+        shard: usize,
+        /// Virtual time of the dispatch.
+        vtime: u64,
+    },
+    /// A lease was granted on a shard.
+    LeaseGrant {
+        /// Raw job id.
+        job: u64,
+        /// Shard index within the job.
+        shard: usize,
+        /// Raw lease id (unique per grant).
+        lease: u64,
+        /// Worker identity the lease went to.
+        worker: String,
+        /// True when this is a speculative duplicate lease (a hedge).
+        hedged: bool,
+    },
+    /// A lease's deadline was pushed out by a progress report.
+    LeaseRenew {
+        /// Raw job id.
+        job: u64,
+        /// Shard index within the job.
+        shard: usize,
+        /// Raw lease id.
+        lease: u64,
+    },
+    /// A lease hit its deadline and was revoked; staged work discarded.
+    LeaseExpire {
+        /// Raw job id.
+        job: u64,
+        /// Shard index within the job.
+        shard: usize,
+        /// Raw lease id.
+        lease: u64,
+    },
+    /// A lease was abandoned (cancel, shutdown drain); staged work discarded.
+    LeaseAbandon {
+        /// Raw job id.
+        job: u64,
+        /// Shard index within the job.
+        shard: usize,
+        /// Raw lease id.
+        lease: u64,
+    },
+    /// A hedged (duplicate) lease committed first and won its shard.
+    HedgeWin {
+        /// Raw job id.
+        job: u64,
+        /// Shard index within the job.
+        shard: usize,
+        /// The winning (hedged) lease id.
+        lease: u64,
+    },
+    /// A shard committed exactly once on a still-valid lease.
+    ShardCommit {
+        /// Raw job id.
+        job: u64,
+        /// Shard index within the job.
+        shard: usize,
+        /// The committing lease id.
+        lease: u64,
+        /// Variants evaluated by the committed shard.
+        evaluated: u64,
+    },
+    /// A submission was answered from the content-addressed result cache.
+    CacheHit {
+        /// Raw job id of the newborn (already-completed) job.
+        job: u64,
+    },
+    /// A cache insert evicted `evicted` least-recently-used results.
+    CacheEvict {
+        /// Number of entries evicted by one insert.
+        evicted: u64,
+    },
+    /// The WAL compacted to a snapshot.
+    WalCompact {
+        /// Log size in bytes *before* the compaction.
+        log_bytes: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The stable `kind` string used in the JSON form.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::WfqEnqueue { .. } => "wfq_enqueue",
+            TraceEvent::WfqDequeue { .. } => "wfq_dequeue",
+            TraceEvent::LeaseGrant { .. } => "lease_grant",
+            TraceEvent::LeaseRenew { .. } => "lease_renew",
+            TraceEvent::LeaseExpire { .. } => "lease_expire",
+            TraceEvent::LeaseAbandon { .. } => "lease_abandon",
+            TraceEvent::HedgeWin { .. } => "hedge_win",
+            TraceEvent::ShardCommit { .. } => "shard_commit",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheEvict { .. } => "cache_evict",
+            TraceEvent::WalCompact { .. } => "wal_compact",
+        }
+    }
+}
+
+/// A captured event with its position in the capture sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedEvent {
+    /// Monotone sequence number assigned at record time (gap-free unless the
+    /// ring dropped events).
+    pub seq: u64,
+    /// The decision itself.
+    pub event: TraceEvent,
+}
+
+fn num(value: u64) -> JsonValue {
+    JsonValue::Int(i128::from(value))
+}
+
+impl ToJson for TracedEvent {
+    fn to_json(&self) -> JsonValue {
+        let mut members: Vec<(String, JsonValue)> = vec![
+            ("seq".to_string(), num(self.seq)),
+            ("kind".to_string(), JsonValue::string(self.event.kind())),
+        ];
+        match &self.event {
+            TraceEvent::WfqEnqueue {
+                tenant,
+                weight,
+                job,
+                shard,
+            } => {
+                members.push(("tenant".to_string(), JsonValue::string(tenant.clone())));
+                members.push(("weight".to_string(), num(u64::from(*weight))));
+                members.push(("job".to_string(), num(*job)));
+                members.push(("shard".to_string(), num(*shard as u64)));
+            }
+            TraceEvent::WfqDequeue {
+                tenant,
+                weight,
+                job,
+                shard,
+                vtime,
+            } => {
+                members.push(("tenant".to_string(), JsonValue::string(tenant.clone())));
+                members.push(("weight".to_string(), num(u64::from(*weight))));
+                members.push(("job".to_string(), num(*job)));
+                members.push(("shard".to_string(), num(*shard as u64)));
+                members.push(("vtime".to_string(), num(*vtime)));
+            }
+            TraceEvent::LeaseGrant {
+                job,
+                shard,
+                lease,
+                worker,
+                hedged,
+            } => {
+                members.push(("job".to_string(), num(*job)));
+                members.push(("shard".to_string(), num(*shard as u64)));
+                members.push(("lease".to_string(), num(*lease)));
+                members.push(("worker".to_string(), JsonValue::string(worker.clone())));
+                members.push(("hedged".to_string(), JsonValue::Bool(*hedged)));
+            }
+            TraceEvent::LeaseRenew { job, shard, lease }
+            | TraceEvent::LeaseExpire { job, shard, lease }
+            | TraceEvent::LeaseAbandon { job, shard, lease }
+            | TraceEvent::HedgeWin { job, shard, lease } => {
+                members.push(("job".to_string(), num(*job)));
+                members.push(("shard".to_string(), num(*shard as u64)));
+                members.push(("lease".to_string(), num(*lease)));
+            }
+            TraceEvent::ShardCommit {
+                job,
+                shard,
+                lease,
+                evaluated,
+            } => {
+                members.push(("job".to_string(), num(*job)));
+                members.push(("shard".to_string(), num(*shard as u64)));
+                members.push(("lease".to_string(), num(*lease)));
+                members.push(("evaluated".to_string(), num(*evaluated)));
+            }
+            TraceEvent::CacheHit { job } => {
+                members.push(("job".to_string(), num(*job)));
+            }
+            TraceEvent::CacheEvict { evicted } => {
+                members.push(("evicted".to_string(), num(*evicted)));
+            }
+            TraceEvent::WalCompact { log_bytes } => {
+                members.push(("log_bytes".to_string(), num(*log_bytes)));
+            }
+        }
+        JsonValue::Object(members)
+    }
+}
+
+impl FromJson for TracedEvent {
+    fn from_json(value: &JsonValue) -> JsonResult<TracedEvent> {
+        let field_u64 = |key: &str| -> JsonResult<u64> {
+            value
+                .require(key)?
+                .as_u64()
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be a u64")))
+        };
+        let field_usize = |key: &str| -> JsonResult<usize> {
+            value
+                .require(key)?
+                .as_usize()
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be a usize")))
+        };
+        let field_str = |key: &str| -> JsonResult<String> {
+            Ok(value
+                .require(key)?
+                .as_str()
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be a string")))?
+                .to_string())
+        };
+        let field_weight = |key: &str| -> JsonResult<u32> {
+            u32::try_from(field_u64(key)?)
+                .map_err(|_| JsonError::new(format!("`{key}` out of range for a weight")))
+        };
+        let seq = field_u64("seq")?;
+        let kind = field_str("kind")?;
+        let event = match kind.as_str() {
+            "wfq_enqueue" => TraceEvent::WfqEnqueue {
+                tenant: field_str("tenant")?,
+                weight: field_weight("weight")?,
+                job: field_u64("job")?,
+                shard: field_usize("shard")?,
+            },
+            "wfq_dequeue" => TraceEvent::WfqDequeue {
+                tenant: field_str("tenant")?,
+                weight: field_weight("weight")?,
+                job: field_u64("job")?,
+                shard: field_usize("shard")?,
+                vtime: field_u64("vtime")?,
+            },
+            "lease_grant" => TraceEvent::LeaseGrant {
+                job: field_u64("job")?,
+                shard: field_usize("shard")?,
+                lease: field_u64("lease")?,
+                worker: field_str("worker")?,
+                hedged: value
+                    .require("hedged")?
+                    .as_bool()
+                    .ok_or_else(|| JsonError::new("`hedged` must be a bool"))?,
+            },
+            "lease_renew" => TraceEvent::LeaseRenew {
+                job: field_u64("job")?,
+                shard: field_usize("shard")?,
+                lease: field_u64("lease")?,
+            },
+            "lease_expire" => TraceEvent::LeaseExpire {
+                job: field_u64("job")?,
+                shard: field_usize("shard")?,
+                lease: field_u64("lease")?,
+            },
+            "lease_abandon" => TraceEvent::LeaseAbandon {
+                job: field_u64("job")?,
+                shard: field_usize("shard")?,
+                lease: field_u64("lease")?,
+            },
+            "hedge_win" => TraceEvent::HedgeWin {
+                job: field_u64("job")?,
+                shard: field_usize("shard")?,
+                lease: field_u64("lease")?,
+            },
+            "shard_commit" => TraceEvent::ShardCommit {
+                job: field_u64("job")?,
+                shard: field_usize("shard")?,
+                lease: field_u64("lease")?,
+                evaluated: field_u64("evaluated")?,
+            },
+            "cache_hit" => TraceEvent::CacheHit {
+                job: field_u64("job")?,
+            },
+            "cache_evict" => TraceEvent::CacheEvict {
+                evicted: field_u64("evicted")?,
+            },
+            "wal_compact" => TraceEvent::WalCompact {
+                log_bytes: field_u64("log_bytes")?,
+            },
+            other => return Err(JsonError::new(format!("unknown trace kind `{other}`"))),
+        };
+        Ok(TracedEvent { seq, event })
+    }
+}
+
+/// What one [`TraceCapture::drain`] handed back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDrain {
+    /// The captured events, oldest first.
+    pub events: Vec<TracedEvent>,
+    /// Events the ring dropped (overwrote) since the previous drain. A
+    /// nonzero count means the drained slice is *not* replay-complete.
+    pub dropped: u64,
+}
+
+/// Fixed-capacity ring of scheduler decisions.
+///
+/// Capacity `0` disables capture entirely (recording becomes a no-op); any
+/// other capacity keeps the newest events and counts what it had to drop.
+#[derive(Debug, Default)]
+pub struct TraceCapture {
+    ring: VecDeque<TracedEvent>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl TraceCapture {
+    /// A capture ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceCapture {
+            ring: VecDeque::with_capacity(capacity.min(DEFAULT_TRACE_CAPACITY)),
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A capture ring at [`DEFAULT_TRACE_CAPACITY`].
+    pub fn with_default_capacity() -> Self {
+        TraceCapture::new(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// True when recording is enabled (capacity > 0).
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events dropped (overwritten) since the last [`drain`](Self::drain).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records one decision, assigning it the next sequence number.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(TracedEvent {
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Takes every buffered event (oldest first) plus the drop count since
+    /// the previous drain, and resets both. Sequence numbers keep counting
+    /// across drains, so concatenated drains of a never-full ring form one
+    /// gap-free trace.
+    pub fn drain(&mut self) -> TraceDrain {
+        TraceDrain {
+            events: self.ring.drain(..).collect(),
+            dropped: std::mem::take(&mut self.dropped),
+        }
+    }
+}
+
+/// Outcome of replaying a captured trace through the correctness checks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Events replayed.
+    pub events: usize,
+    /// WFQ dispatches seen (including ones the registry skipped as stale).
+    pub dispatches: u64,
+    /// Leases granted.
+    pub grants: u64,
+    /// Of those, speculative (hedged) grants.
+    pub hedged_grants: u64,
+    /// Shards won by a hedged lease.
+    pub hedge_wins: u64,
+    /// Shard commits seen.
+    pub commits: u64,
+    /// Distinct `(job, shard)` pairs that committed.
+    pub committed_shards: usize,
+    /// Every invariant violation found, in trace order. Empty ⇔ the run was
+    /// provably fair and exactly-once over the captured window.
+    pub violations: Vec<String>,
+}
+
+impl ReplayReport {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeaseState {
+    Live,
+    Retired,
+}
+
+struct LeaseRecord {
+    job: u64,
+    shard: usize,
+    state: LeaseState,
+}
+
+/// Offline checker for captured traces: WFQ proportional share and
+/// exactly-once lease accounting (see the [module docs](self) for the exact
+/// properties).
+#[derive(Default)]
+pub struct TraceReplay {
+    report: ReplayReport,
+    // Fairness state.
+    last_vtime: u64,
+    backlog: BTreeMap<String, u64>,
+    members: BTreeSet<String>,
+    service: BTreeMap<String, u64>,
+    // Lease census state.
+    leases: HashMap<u64, LeaseRecord>,
+    committed: HashSet<(u64, usize)>,
+}
+
+impl TraceReplay {
+    /// Replays `events` (as drained: oldest first) and reports every
+    /// violation of the scheduler's contracts. The trace must be complete —
+    /// sequence numbers contiguous from 0 — or the incompleteness itself is
+    /// reported as a violation, because neither fairness nor a lease census
+    /// is assertable over a window with holes.
+    pub fn check(events: &[TracedEvent]) -> ReplayReport {
+        let mut replay = TraceReplay::default();
+        replay.report.events = events.len();
+        for (index, traced) in events.iter().enumerate() {
+            if traced.seq != index as u64 {
+                replay.report.violations.push(format!(
+                    "trace incomplete: expected seq {index}, found {} (events were dropped \
+                     or reordered; raise --trace-capacity)",
+                    traced.seq
+                ));
+                return replay.report;
+            }
+            replay.step(traced);
+        }
+        replay.close_window();
+        replay.report
+    }
+
+    fn step(&mut self, traced: &TracedEvent) {
+        let seq = traced.seq;
+        match &traced.event {
+            TraceEvent::WfqEnqueue { tenant, .. } => {
+                let backlog = self.backlog.entry(tenant.clone()).or_insert(0);
+                let was_idle = *backlog == 0;
+                *backlog += 1;
+                if was_idle {
+                    // The busy set changed: fairness windows are defined by
+                    // "continuously backlogged", so close the current one.
+                    self.close_window();
+                }
+            }
+            TraceEvent::WfqDequeue {
+                tenant,
+                weight,
+                vtime,
+                ..
+            } => {
+                self.report.dispatches += 1;
+                if *vtime < self.last_vtime {
+                    self.report.violations.push(format!(
+                        "seq {seq}: WFQ virtual time went backwards ({} -> {vtime})",
+                        self.last_vtime
+                    ));
+                }
+                self.last_vtime = (*vtime).max(self.last_vtime);
+                let backlog = self.backlog.entry(tenant.clone()).or_insert(0);
+                if *backlog == 0 {
+                    self.report.violations.push(format!(
+                        "seq {seq}: dequeue for tenant `{tenant}` with no traced backlog"
+                    ));
+                    return;
+                }
+                *backlog -= 1;
+                let emptied = *backlog == 0;
+                if self.members.contains(tenant) {
+                    *self.service.entry(tenant.clone()).or_insert(0) +=
+                        SCALE / u64::from((*weight).max(1));
+                }
+                if emptied {
+                    self.close_window();
+                }
+            }
+            TraceEvent::LeaseGrant {
+                job,
+                shard,
+                lease,
+                hedged,
+                ..
+            } => {
+                self.report.grants += 1;
+                if *hedged {
+                    self.report.hedged_grants += 1;
+                }
+                if self.leases.contains_key(lease) {
+                    self.report
+                        .violations
+                        .push(format!("seq {seq}: lease id {lease} granted twice"));
+                    return;
+                }
+                if self.committed.contains(&(*job, *shard)) {
+                    self.report.violations.push(format!(
+                        "seq {seq}: lease {lease} granted on already-committed shard \
+                         (job {job}, shard {shard})"
+                    ));
+                    return;
+                }
+                self.leases.insert(
+                    *lease,
+                    LeaseRecord {
+                        job: *job,
+                        shard: *shard,
+                        state: LeaseState::Live,
+                    },
+                );
+            }
+            TraceEvent::LeaseRenew { job, shard, lease } => {
+                self.require_live("renewed", seq, *job, *shard, *lease);
+            }
+            TraceEvent::LeaseExpire { job, shard, lease } => {
+                if self.require_live("expired", seq, *job, *shard, *lease) {
+                    self.leases
+                        .get_mut(lease)
+                        .expect("lease was just checked live")
+                        .state = LeaseState::Retired;
+                }
+            }
+            TraceEvent::LeaseAbandon { job, shard, lease } => {
+                if self.require_live("abandoned", seq, *job, *shard, *lease) {
+                    self.leases
+                        .get_mut(lease)
+                        .expect("lease was just checked live")
+                        .state = LeaseState::Retired;
+                }
+            }
+            TraceEvent::HedgeWin { job, shard, lease } => {
+                self.report.hedge_wins += 1;
+                // The winner was just retired by its own commit, so only the
+                // identity is checked, not liveness.
+                match self.leases.get(lease) {
+                    None => self
+                        .report
+                        .violations
+                        .push(format!("seq {seq}: hedge win cites unknown lease {lease}")),
+                    Some(record) if (record.job, record.shard) != (*job, *shard) => {
+                        self.report.violations.push(format!(
+                            "seq {seq}: hedge win cites lease {lease} of another shard"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            TraceEvent::ShardCommit {
+                job, shard, lease, ..
+            } => {
+                self.report.commits += 1;
+                if !self.require_live("committed", seq, *job, *shard, *lease) {
+                    return;
+                }
+                if !self.committed.insert((*job, *shard)) {
+                    self.report.violations.push(format!(
+                        "seq {seq}: shard committed twice (job {job}, shard {shard})"
+                    ));
+                    return;
+                }
+                self.report.committed_shards = self.committed.len();
+                // Exactly-once: a commit retires every lease on the shard —
+                // the winner and any hedge losers alike.
+                for record in self.leases.values_mut() {
+                    if (record.job, record.shard) == (*job, *shard) {
+                        record.state = LeaseState::Retired;
+                    }
+                }
+            }
+            TraceEvent::CacheHit { .. }
+            | TraceEvent::CacheEvict { .. }
+            | TraceEvent::WalCompact { .. } => {}
+        }
+    }
+
+    /// Checks that `lease` exists, is live, and belongs to `(job, shard)`;
+    /// records a violation and returns false otherwise.
+    fn require_live(&mut self, verb: &str, seq: u64, job: u64, shard: usize, lease: u64) -> bool {
+        match self.leases.get(&lease) {
+            None => {
+                self.report
+                    .violations
+                    .push(format!("seq {seq}: {verb} unknown lease {lease}"));
+                false
+            }
+            Some(record) if (record.job, record.shard) != (job, shard) => {
+                self.report.violations.push(format!(
+                    "seq {seq}: lease {lease} {verb} against the wrong shard \
+                     (granted for job {}, shard {}; cited job {job}, shard {shard})",
+                    record.job, record.shard
+                ));
+                false
+            }
+            Some(record) if record.state == LeaseState::Retired => {
+                self.report.violations.push(format!(
+                    "seq {seq}: retired lease {lease} {verb} (job {job}, shard {shard}) — \
+                     exactly-once accounting violated"
+                ));
+                false
+            }
+            Some(_) => true,
+        }
+    }
+
+    /// Closes the current fairness window: tenants that stayed backlogged
+    /// through the whole window must have received proportional service, and
+    /// a new window opens over the currently-backlogged set.
+    fn close_window(&mut self) {
+        if self.members.len() >= 2 {
+            let services: Vec<(&str, u64)> = self
+                .members
+                .iter()
+                .map(|tenant| {
+                    (
+                        tenant.as_str(),
+                        self.service.get(tenant).copied().unwrap_or(0),
+                    )
+                })
+                .collect();
+            let (min_tenant, min) = services
+                .iter()
+                .min_by_key(|(_, service)| *service)
+                .copied()
+                .expect("members is non-empty");
+            let (max_tenant, max) = services
+                .iter()
+                .max_by_key(|(_, service)| *service)
+                .copied()
+                .expect("members is non-empty");
+            if max - min > FAIRNESS_SLACK {
+                self.report.violations.push(format!(
+                    "WFQ proportional-share bound violated: over a joint-backlog window \
+                     `{max_tenant}` received {max} normalized virtual-time units while \
+                     `{min_tenant}` received {min} (slack {FAIRNESS_SLACK})"
+                ));
+            }
+        }
+        self.service.clear();
+        self.members = self
+            .backlog
+            .iter()
+            .filter(|(_, backlog)| **backlog > 0)
+            .map(|(tenant, _)| tenant.clone())
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::FairScheduler;
+
+    fn enqueue(tenant: &str, weight: u32, job: u64, shard: usize) -> TraceEvent {
+        TraceEvent::WfqEnqueue {
+            tenant: tenant.to_string(),
+            weight,
+            job,
+            shard,
+        }
+    }
+
+    fn grant(job: u64, shard: usize, lease: u64) -> TraceEvent {
+        TraceEvent::LeaseGrant {
+            job,
+            shard,
+            lease,
+            worker: "w0".to_string(),
+            hedged: false,
+        }
+    }
+
+    fn commit(job: u64, shard: usize, lease: u64) -> TraceEvent {
+        TraceEvent::ShardCommit {
+            job,
+            shard,
+            lease,
+            evaluated: 1,
+        }
+    }
+
+    fn sequenced(events: Vec<TraceEvent>) -> Vec<TracedEvent> {
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(seq, event)| TracedEvent {
+                seq: seq as u64,
+                event,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut capture = TraceCapture::new(2);
+        for job in 0..5 {
+            capture.record(TraceEvent::CacheHit { job });
+        }
+        assert_eq!(capture.len(), 2);
+        let drained = capture.drain();
+        assert_eq!(drained.dropped, 3);
+        assert_eq!(drained.events[0].seq, 3);
+        assert_eq!(drained.events[1].seq, 4);
+        assert_eq!(capture.drain().dropped, 0, "drain resets the drop count");
+    }
+
+    #[test]
+    fn zero_capacity_disables_capture() {
+        let mut capture = TraceCapture::new(0);
+        assert!(!capture.enabled());
+        capture.record(TraceEvent::CacheHit { job: 0 });
+        assert!(capture.is_empty());
+        assert_eq!(capture.drain().dropped, 0);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_json() {
+        let events = vec![
+            enqueue("a", 2, 0, 1),
+            TraceEvent::WfqDequeue {
+                tenant: "a".to_string(),
+                weight: 2,
+                job: 0,
+                shard: 1,
+                vtime: 524_288,
+            },
+            TraceEvent::LeaseGrant {
+                job: 0,
+                shard: 1,
+                lease: 7,
+                worker: "spi-explore-worker-3".to_string(),
+                hedged: true,
+            },
+            TraceEvent::LeaseRenew {
+                job: 0,
+                shard: 1,
+                lease: 7,
+            },
+            TraceEvent::LeaseExpire {
+                job: 0,
+                shard: 1,
+                lease: 7,
+            },
+            TraceEvent::LeaseAbandon {
+                job: 0,
+                shard: 1,
+                lease: 7,
+            },
+            TraceEvent::HedgeWin {
+                job: 0,
+                shard: 1,
+                lease: 7,
+            },
+            TraceEvent::ShardCommit {
+                job: 0,
+                shard: 1,
+                lease: 7,
+                evaluated: 64,
+            },
+            TraceEvent::CacheHit { job: 9 },
+            TraceEvent::CacheEvict { evicted: 2 },
+            TraceEvent::WalCompact { log_bytes: 4096 },
+        ];
+        for traced in sequenced(events) {
+            let line = traced.to_json().to_line();
+            let parsed = TracedEvent::from_json(&JsonValue::parse(&line).unwrap()).unwrap();
+            assert_eq!(parsed, traced, "round trip of {line}");
+        }
+    }
+
+    /// Drives a real scheduler and checks the captured trace replays clean.
+    #[test]
+    fn replay_accepts_a_real_wfq_run() {
+        let mut scheduler = FairScheduler::new();
+        let mut capture = TraceCapture::with_default_capacity();
+        for shard in 0..60 {
+            scheduler.enqueue("heavy", 3, (0, shard));
+            capture.record(enqueue("heavy", 3, 0, shard));
+            scheduler.enqueue("light", 1, (1, shard));
+            capture.record(enqueue("light", 1, 1, shard));
+        }
+        let mut lease = 0u64;
+        while let Some(dispatch) = scheduler.dequeue_dispatch() {
+            capture.record(TraceEvent::WfqDequeue {
+                tenant: dispatch.tenant.clone(),
+                weight: dispatch.weight,
+                job: dispatch.entry.0,
+                shard: dispatch.entry.1,
+                vtime: dispatch.vtime,
+            });
+            capture.record(grant(dispatch.entry.0, dispatch.entry.1, lease));
+            capture.record(commit(dispatch.entry.0, dispatch.entry.1, lease));
+            lease += 1;
+        }
+        let drained = capture.drain();
+        assert_eq!(drained.dropped, 0);
+        let report = TraceReplay::check(&drained.events);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.dispatches, 120);
+        assert_eq!(report.commits, 120);
+        assert_eq!(report.committed_shards, 120);
+    }
+
+    /// A FIFO over the same backlog starves the second tenant; the
+    /// proportional-share check must notice.
+    #[test]
+    fn replay_rejects_fifo_starvation() {
+        let mut events = Vec::new();
+        for shard in 0..40 {
+            events.push(enqueue("whale", 1, 0, shard));
+            events.push(enqueue("minnow", 1, 1, shard));
+        }
+        // The whale drains completely first — what the pre-WFQ FIFO did.
+        for (job, tenant) in [(0u64, "whale"), (1u64, "minnow")] {
+            for shard in 0..40 {
+                events.push(TraceEvent::WfqDequeue {
+                    tenant: tenant.to_string(),
+                    weight: 1,
+                    job,
+                    shard,
+                    vtime: 0,
+                });
+            }
+        }
+        let report = TraceReplay::check(&sequenced(events));
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|violation| violation.contains("proportional-share")),
+            "expected a fairness violation, got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn replay_rejects_double_commit_and_stale_lease_action() {
+        let events = sequenced(vec![
+            grant(0, 0, 1),
+            grant(0, 0, 2),
+            commit(0, 0, 1),
+            // Loser was retired by the commit: both of these must trip.
+            commit(0, 0, 2),
+            TraceEvent::LeaseRenew {
+                job: 0,
+                shard: 0,
+                lease: 2,
+            },
+        ]);
+        let report = TraceReplay::check(&events);
+        assert_eq!(report.committed_shards, 1);
+        assert_eq!(
+            report.violations.len(),
+            2,
+            "violations: {:?}",
+            report.violations
+        );
+        assert!(report.violations.iter().all(|v| v.contains("retired")));
+    }
+
+    #[test]
+    fn replay_rejects_reused_lease_ids_and_gaps() {
+        let report = TraceReplay::check(&sequenced(vec![grant(0, 0, 1), grant(0, 1, 1)]));
+        assert!(report.violations.iter().any(|v| v.contains("twice")));
+
+        let mut gappy = sequenced(vec![grant(0, 0, 1), commit(0, 0, 1)]);
+        gappy[1].seq = 5;
+        let report = TraceReplay::check(&gappy);
+        assert!(report.violations.iter().any(|v| v.contains("incomplete")));
+    }
+}

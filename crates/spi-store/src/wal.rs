@@ -254,10 +254,14 @@ impl Wal {
     /// into place, and only then is the log truncated, so every instant in
     /// between recovers to the same state.
     ///
+    /// Returns the log size in bytes that the compaction reclaimed, which is
+    /// what trace capture records for a `wal_compact` decision.
+    ///
     /// # Errors
     ///
     /// I/O errors.
-    pub fn compact(&mut self, state: &JsonValue) -> Result<()> {
+    pub fn compact(&mut self, state: &JsonValue) -> Result<u64> {
+        let reclaimed = self.log_bytes;
         self.sync()?;
         let seq = self.next_seq.saturating_sub(1);
         let line = frame(seq, "state", state).to_line();
@@ -279,7 +283,7 @@ impl Wal {
         self.writer = BufWriter::new(file);
         self.next_seq = seq + 1;
         self.log_bytes = 0;
-        Ok(())
+        Ok(reclaimed)
     }
 
     /// Current size of the log file in bytes (0 right after a compaction).

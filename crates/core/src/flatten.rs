@@ -342,8 +342,30 @@ pub struct DeltaFlattener<'a> {
     watermarks: Vec<GraphWatermark>,
     /// False until a combination is fully spliced (and after any error).
     primed: bool,
-    /// Patches abandoned for a full rebuild after a slab-integrity refusal.
-    rebuild_fallbacks: u64,
+    /// Patch/rebuild accounting (see [`FlattenStats`]).
+    stats: FlattenStats,
+}
+
+/// Cumulative patch-vs-rebuild accounting of one [`DeltaFlattener`] — the
+/// observability counters behind the `flatten.*` metrics: how often the
+/// incremental path actually patched, how often it paid a full skeleton
+/// rebuild, and how large the last splice was.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlattenStats {
+    /// Incremental applies: the previous graph was truncated to a watermark
+    /// and only the changed suffix re-spliced (includes no-op applies where
+    /// the requested combination was already primed).
+    pub patches: u64,
+    /// Full applies: the graph was rebuilt from the skeleton (the first
+    /// flatten, and every recovery after an error or [`DeltaFlattener::reset`]).
+    pub rebuilds: u64,
+    /// The subset of `rebuilds` forced by a slab-integrity refusal mid-patch
+    /// (see [`DeltaFlattener::rebuild_fallbacks`]).
+    pub rebuild_fallbacks: u64,
+    /// Processes spliced by the most recent apply — the per-apply sample for
+    /// the patched-nodes histogram (0 for a no-op apply, the whole variant's
+    /// cluster processes for a rebuild).
+    pub last_patched_processes: u64,
 }
 
 impl<'a> DeltaFlattener<'a> {
@@ -375,7 +397,7 @@ impl<'a> DeltaFlattener<'a> {
             target: Vec::new(),
             watermarks: Vec::new(),
             primed: false,
-            rebuild_fallbacks: 0,
+            stats: FlattenStats::default(),
         }
     }
 
@@ -401,7 +423,12 @@ impl<'a> DeltaFlattener<'a> {
     /// incremental state went bad and was safely discarded — results stayed
     /// correct, only the incremental credit was forfeited.
     pub fn rebuild_fallbacks(&self) -> u64 {
-        self.rebuild_fallbacks
+        self.stats.rebuild_fallbacks
+    }
+
+    /// Cumulative patch-vs-rebuild accounting since construction.
+    pub fn stats(&self) -> FlattenStats {
+        self.stats
     }
 
     /// Test hook: corrupts the recorded watermarks so the next patch attempt
@@ -463,7 +490,7 @@ impl<'a> DeltaFlattener<'a> {
                 // Discard the incremental state and retry down the
                 // full-rebuild path; a failure there is a real error.
                 self.primed = false;
-                self.rebuild_fallbacks += 1;
+                self.stats.rebuild_fallbacks += 1;
                 self.try_apply_target()
             }
             outcome => outcome,
@@ -473,10 +500,15 @@ impl<'a> DeltaFlattener<'a> {
     fn try_apply_target(&mut self) -> Result<()> {
         let plans = &self.flattener.plans;
         debug_assert_eq!(self.target.len(), plans.len());
+        let was_patch = self.primed;
         let first_changed = if self.primed {
             match (0..plans.len()).find(|&axis| self.digits[axis] != self.target[axis]) {
                 // The combination is already spliced.
-                None => return Ok(()),
+                None => {
+                    self.stats.patches += 1;
+                    self.stats.last_patched_processes = 0;
+                    return Ok(());
+                }
                 Some(axis) => axis,
             }
         } else {
@@ -509,9 +541,11 @@ impl<'a> DeltaFlattener<'a> {
         // Unprimed while splicing: a wiring error must not leave a
         // half-spliced graph claiming to be a combination.
         self.primed = false;
+        let mut spliced_processes = 0u64;
         for (axis, plan) in plans.iter().enumerate().skip(first_changed) {
             let digit = self.target[axis];
             let incoming = &plan.clusters[digit as usize];
+            spliced_processes += incoming.renamed.process_count() as u64;
             self.watermarks[axis] = self.graph.watermark();
             let (process_offset, _) = self.graph.merge_disjoint_shifted(&incoming.renamed)?;
             for port in &incoming.ports {
@@ -539,6 +573,12 @@ impl<'a> DeltaFlattener<'a> {
             self.digits[axis] = digit;
         }
         self.primed = true;
+        if was_patch {
+            self.stats.patches += 1;
+        } else {
+            self.stats.rebuilds += 1;
+        }
+        self.stats.last_patched_processes = spliced_processes;
         Ok(())
     }
 }

@@ -102,7 +102,7 @@ pub use cluster::{Cluster, Port, PortDirection};
 pub use configuration::{Configuration, ConfigurationMap, ConfigurationSet};
 pub use error::VariantError;
 pub use extraction::{AbstractedSystem, ExtractionPolicy};
-pub use flatten::{DeltaFlattener, Flattener};
+pub use flatten::{DeltaFlattener, FlattenStats, Flattener};
 pub use interface::Interface;
 pub use reconfiguration::{ReconfigurationEvent, ReconfigurationTracker};
 pub use selection::{ClusterSelection, SelectionRule};

@@ -30,6 +30,10 @@
 //!   (WAL open + replay + registry rebuild). The warm optimum is asserted
 //!   bit-equal to the cold one before anything is recorded; CI gates warm
 //!   being ≥10× faster than cold.
+//! * **observability overhead** — the same 4-worker service run with the
+//!   metrics plane enabled vs compiled to its disabled stub, interleaved
+//!   pairwise so machine drift hits both sides equally; the reported
+//!   `overhead_pct` is the median paired ratio. CI gates it at ≤5%.
 //!
 //! Run with `cargo run --release -p spi-bench --bin variant_space_baseline`; CI runs
 //! it as a regression gate and fails when keys go missing, when branch-and-bound
@@ -681,6 +685,79 @@ fn measure_store(interfaces: usize) -> StoreSection {
     }
 }
 
+struct ObsSection {
+    interfaces: usize,
+    variants: usize,
+    rounds: usize,
+    instrumented_ns: u128,
+    stubbed_ns: u128,
+    overhead_pct: f64,
+}
+
+/// Times identical 4-worker service runs with the metrics plane enabled vs
+/// its disabled stub (every counter write behind a single `false` branch).
+/// Rounds are paired and interleaved so frequency scaling and cache state
+/// drift hit both sides equally; the overhead is the ratio of the two
+/// **medians** (robust against per-round noise), clamped at zero.
+fn measure_obs(interfaces: usize) -> ObsSection {
+    let system = scaling_system(interfaces, 2).expect("scaling system builds");
+    let variants = system.variant_space().count();
+    let evaluator = PartitionEvaluator::default();
+    const ROUNDS: usize = 7;
+
+    let run = |metrics_enabled: bool| -> u128 {
+        let service = ExplorationService::start(ServiceConfig {
+            workers: 4,
+            metrics_enabled,
+            watchdog_interval: None,
+            ..ServiceConfig::default()
+        });
+        let started = Instant::now();
+        let job = service
+            .submit(
+                &system,
+                JobSpec {
+                    name: "obs-overhead".to_string(),
+                    shard_count: 16,
+                    top_k: 8,
+                    use_cache: false,
+                    ..JobSpec::default()
+                },
+                Arc::new(evaluator.clone()),
+            )
+            .expect("job submits");
+        let status = service.wait(job).expect("job completes");
+        assert_eq!(
+            status.report.accounted(),
+            variants as u64,
+            "both sides must do identical work"
+        );
+        started.elapsed().as_nanos()
+    };
+
+    // One unrecorded warm-up pair populates caches and spawns threads once.
+    run(true);
+    run(false);
+    let mut instrumented = Vec::new();
+    let mut stubbed = Vec::new();
+    for _ in 0..ROUNDS {
+        instrumented.push(run(true));
+        stubbed.push(run(false));
+    }
+    instrumented.sort_unstable();
+    stubbed.sort_unstable();
+    let median_on = instrumented[ROUNDS / 2];
+    let median_off = stubbed[ROUNDS / 2];
+    ObsSection {
+        interfaces,
+        variants,
+        rounds: ROUNDS,
+        instrumented_ns: median_on,
+        stubbed_ns: median_off,
+        overhead_pct: (median_on as f64 / median_off.max(1) as f64 - 1.0).max(0.0) * 100.0,
+    }
+}
+
 fn main() {
     let output = std::env::args()
         .nth(1)
@@ -710,6 +787,9 @@ fn main() {
 
     eprintln!("measuring durable store: cold vs warm-cache submit, recovery...");
     let store = measure_store(8);
+
+    eprintln!("measuring observability overhead: metrics plane on vs off...");
+    let obs = measure_obs(12);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -903,6 +983,19 @@ fn main() {
         store.cache_entries
     ));
     json.push_str(&format!("    \"restored_jobs\": {}\n", store.restored_jobs));
+    json.push_str("  },\n");
+    json.push_str("  \"obs\": {\n");
+    json.push_str(&format!(
+        "    \"scenario\": \"scaling_system({}, 2), 4 workers: metrics plane enabled vs disabled, median of {} paired rounds\",\n",
+        obs.interfaces, obs.rounds
+    ));
+    json.push_str(&format!("    \"variants\": {},\n", obs.variants));
+    json.push_str(&format!(
+        "    \"instrumented_ns\": {},\n",
+        obs.instrumented_ns
+    ));
+    json.push_str(&format!("    \"stubbed_ns\": {},\n", obs.stubbed_ns));
+    json.push_str(&format!("    \"overhead_pct\": {:.2}\n", obs.overhead_pct));
     json.push_str("  }\n}\n");
 
     std::fs::write(&output, &json).expect("baseline file is writable");

@@ -17,8 +17,13 @@
 //! `--compact-log-bytes N` (compact the WAL whenever the log outgrows N
 //! bytes, not only at quiesce), `--no-hedge` (disable speculative
 //! re-leases), `--trace-capacity N` (size of the scheduler-decision trace
-//! ring drained by the `trace` op; 0 disables capture). Diagnostics go to
-//! stderr; stdout carries exactly one JSON response line per request.
+//! ring drained by the `trace` op; 0 disables capture), `--no-metrics`
+//! (disable the metrics plane: counters, histograms, the `metrics` op and
+//! the watchdog), `--watchdog-interval MS` (background stall-sweep period
+//! for the `health` op; 0 disables the sweeper thread, default 1000).
+//! Diagnostics go to stderr; stdout carries exactly one JSON response line
+//! per request — except `watch`, which streams frames until the service
+//! goes idle.
 //!
 //! Shutdown semantics: both the `shutdown` op and **EOF on stdin** end the
 //! session cleanly — in-flight shard drains run to completion and commit,
@@ -54,8 +59,10 @@ fn main() {
         eprintln!(
             "usage: spi-explored [--workers N] [--batch N] [--lease-ms N] [--store DIR]\n\
                     [--cache-limit N] [--compact-log-bytes N] [--no-hedge] [--trace-capacity N]\n\
+                    [--no-metrics] [--watchdog-interval MS]\n\
              ndjson requests on stdin, one JSON response per line on stdout;\n\
-             ops: submit | poll | wait | top | jobs | cancel | graph | trace | shutdown\n\
+             ops: submit | poll | wait | top | jobs | cancel | graph | trace |\n\
+                  metrics | health | watch | shutdown\n\
              EOF on stdin quiesces cleanly: in-flight shards commit, the store compacts."
         );
         return;
@@ -84,6 +91,16 @@ fn main() {
     }
     if let Some(capacity) = parse_flag(&args, "--trace-capacity") {
         config.trace_capacity = capacity as usize;
+    }
+    if args.iter().any(|arg| arg == "--no-metrics") {
+        config.metrics_enabled = false;
+    }
+    if let Some(interval_ms) = parse_flag(&args, "--watchdog-interval") {
+        config.watchdog_interval = if interval_ms == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(interval_ms))
+        };
     }
 
     eprintln!(

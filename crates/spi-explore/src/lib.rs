@@ -54,6 +54,7 @@
 pub mod durability;
 pub mod error;
 pub mod evaluator;
+pub mod health;
 pub mod registry;
 pub mod report;
 pub mod service;
@@ -63,6 +64,9 @@ pub mod worker;
 pub use durability::{DurabilitySink, WalSink};
 pub use error::ExploreError;
 pub use evaluator::{Evaluation, Evaluator, FnEvaluator, PartitionEvaluator, TaskParamsSpec};
+pub use health::{
+    HealthFinding, HealthObservation, HealthReport, LeaseHealth, TenantHealth, Watchdog,
+};
 pub use registry::{
     JobEvent, JobId, JobRegistry, JobSpec, JobState, JobStatus, LatencyQuantiles, Lease, LeaseId,
     RegistryConfig, RestoreStats,
@@ -71,11 +75,14 @@ pub use report::{BestVariant, ShardReport};
 pub use service::{ExplorationService, ServiceConfig};
 pub use spi_model::introspect::{GraphEdge, GraphNode, GraphSnapshot};
 pub use spi_store::sched::HedgeConfig;
-pub use spi_store::trace::{ReplayReport, TraceDrain, TraceEvent, TraceReplay, TracedEvent};
+pub use spi_store::trace::{
+    ReplayReport, TraceDrain, TraceEvent, TraceReplay, TraceSubscription, TracedEvent,
+};
+pub use spi_store::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 pub use wire::{
     handle_request, rebuild_from_recipe, run_session, serve, status_from_json, WireStatus,
 };
-pub use worker::{drain_lease, DrainOutcome, FlushResponse};
+pub use worker::{drain_lease, drain_lease_instrumented, DrainOutcome, FlushResponse};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ExploreError>;

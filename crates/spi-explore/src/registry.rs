@@ -80,8 +80,11 @@ use std::time::{Duration, Instant};
 use spi_model::digest::{digest_json, Digest};
 use spi_model::introspect::{GraphEdge, GraphNode, GraphSnapshot};
 use spi_model::json::{FromJson, JsonValue, ToJson};
+use spi_store::metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 use spi_store::sched::{FairScheduler, HedgeConfig, LatencyTracker};
-use spi_store::trace::{TraceCapture, TraceDrain, TraceEvent, DEFAULT_TRACE_CAPACITY};
+use spi_store::trace::{
+    TraceCapture, TraceDrain, TraceEvent, TraceSubscription, DEFAULT_TRACE_CAPACITY,
+};
 use spi_store::{CacheLimit, ResultCache};
 use spi_variants::{Flattener, VariantSystem};
 
@@ -542,6 +545,10 @@ pub struct JobRegistry {
     auto_compactions: u64,
     /// Bounded ring of scheduler decisions; drained over the `trace` op.
     trace: TraceCapture,
+    /// Aggregate counters/gauges/histograms next to the event-level trace;
+    /// shared with the service layer (and with benches, which may hand in a
+    /// [`MetricsRegistry::disabled`] stub to measure instrumentation cost).
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl JobRegistry {
@@ -569,7 +576,21 @@ impl JobRegistry {
             sink: None,
             auto_compactions: 0,
             trace,
+            metrics: Arc::new(MetricsRegistry::new()),
         }
+    }
+
+    /// Replaces the metrics registry every subsequent transition is counted
+    /// into. The service layer calls this once at startup so the registry,
+    /// the worker pool and the wire surface all share one instance; benches
+    /// pass [`MetricsRegistry::disabled`] to measure instrumentation cost.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = metrics;
+    }
+
+    /// The metrics registry transitions are counted into.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
     }
 
     /// Attaches the durability sink every subsequent transition is
@@ -593,6 +614,14 @@ impl JobRegistry {
     /// Number of currently live leases (across all jobs and hedges).
     pub fn live_lease_count(&self) -> usize {
         self.leases.len()
+    }
+
+    /// Number of jobs currently in the `Running` state.
+    pub fn running_jobs(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|job| job.state == JobState::Running)
+            .count()
     }
 
     /// Registers a job over `system`'s variant space; see
@@ -646,12 +675,23 @@ impl JobRegistry {
             evaluator.spec(),
         );
         let cached = match digest {
-            Some(digest) if spec.use_cache => self
-                .cache
-                .lookup(digest)
-                .map(ShardReport::from_json)
-                .transpose()
-                .map_err(|e| ExploreError::Store(format!("corrupt cache entry: {e}")))?,
+            Some(digest) if spec.use_cache => {
+                let hit = self
+                    .cache
+                    .lookup(digest)
+                    .map(ShardReport::from_json)
+                    .transpose()
+                    .map_err(|e| ExploreError::Store(format!("corrupt cache entry: {e}")))?;
+                self.metrics.add(
+                    if hit.is_some() {
+                        CounterId::CacheHits
+                    } else {
+                        CounterId::CacheMisses
+                    },
+                    1,
+                );
+                hit
+            }
             _ => None,
         };
 
@@ -733,6 +773,17 @@ impl JobRegistry {
                     shard,
                 });
             }
+            self.metrics.add(CounterId::WfqEnqueues, shard_count as u64);
+            if self.metrics.is_enabled() {
+                let tenant = self.metrics.tenant(&job.tenant);
+                for _ in 0..shard_count {
+                    tenant.add_enqueue();
+                }
+                tenant.observe_queue(
+                    self.scheduler.tenant_backlog(&job.tenant) as u64,
+                    self.scheduler.tenant_vtime_lag(&job.tenant),
+                );
+            }
         }
         self.jobs.insert(id, job);
         Ok(id)
@@ -765,6 +816,7 @@ impl JobRegistry {
                 shard,
                 vtime: dispatch.vtime,
             });
+            self.metrics.add(CounterId::WfqDequeues, 1);
             let job_id = JobId(job_raw);
             let Some(job) = self.jobs.get(&job_id) else {
                 continue;
@@ -774,6 +826,14 @@ impl JobRegistry {
                 || !job.is_live()
             {
                 continue;
+            }
+            if self.metrics.is_enabled() {
+                let tenant = self.metrics.tenant(&job.tenant);
+                tenant.add_service();
+                tenant.observe_queue(
+                    self.scheduler.tenant_backlog(&job.tenant) as u64,
+                    self.scheduler.tenant_vtime_lag(&job.tenant),
+                );
             }
             return Some(self.grant(job_id, shard, now, false, worker));
         }
@@ -832,6 +892,10 @@ impl JobRegistry {
             worker: worker.to_string(),
             hedged,
         });
+        self.metrics.add(CounterId::LeaseGrants, 1);
+        if hedged {
+            self.metrics.add(CounterId::HedgesIssued, 1);
+        }
         let deadline = now + self.config.lease_timeout;
         let job = self.jobs.get_mut(&job_id).expect("candidate job exists");
         let holder = Holder {
@@ -886,6 +950,13 @@ impl JobRegistry {
     fn append_record(&mut self, record: &JsonValue) -> Result<()> {
         if let Some(sink) = self.sink.as_mut() {
             sink.append(record).map_err(ExploreError::Store)?;
+            if self.metrics.is_enabled() {
+                self.metrics.add(CounterId::WalAppends, 1);
+                self.metrics
+                    .add(CounterId::WalAppendBytes, record.to_line().len() as u64);
+                self.metrics
+                    .set_gauge(GaugeId::WalLogBytes, sink.log_bytes());
+            }
         }
         Ok(())
     }
@@ -911,7 +982,14 @@ impl JobRegistry {
                     shard,
                     lease: lease.raw(),
                 });
+                self.metrics.add(CounterId::LeaseRenews, 1);
             }
+        }
+        if delta.eval_ns > 0 {
+            self.metrics.record(
+                HistogramId::BatchEvalNs,
+                u64::try_from(delta.eval_ns).unwrap_or(u64::MAX),
+            );
         }
         let top_k = job.top_k;
         let staged = job.staged.entry(lease).or_default();
@@ -1004,10 +1082,13 @@ impl JobRegistry {
             lease: lease.raw(),
             evaluated,
         });
+        self.metrics.add(CounterId::ShardCommits, 1);
+        self.metrics.add(CounterId::EvalVariants, evaluated);
         if let Some(started) = winner_started {
             let duration = now.saturating_duration_since(started);
-            job.latencies
-                .record_ns(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+            let duration_ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+            job.latencies.record_ns(duration_ns);
+            self.metrics.record(HistogramId::ShardEvalNs, duration_ns);
             if earliest_started.is_some_and(|earliest| started > earliest) {
                 job.hedge_wins += 1;
                 self.trace.record(TraceEvent::HedgeWin {
@@ -1015,6 +1096,7 @@ impl JobRegistry {
                     shard,
                     lease: lease.raw(),
                 });
+                self.metrics.add(CounterId::HedgeWins, 1);
             }
         }
 
@@ -1034,7 +1116,12 @@ impl JobRegistry {
                 let evicted = self.cache.insert(digest, result);
                 if evicted > 0 {
                     self.trace.record(TraceEvent::CacheEvict { evicted });
+                    self.metrics.add(CounterId::CacheEvictions, evicted);
                 }
+                self.metrics
+                    .set_gauge(GaugeId::CacheEntries, self.cache.len() as u64);
+                self.metrics
+                    .set_gauge(GaugeId::CacheBytes, self.cache.total_bytes() as u64);
             }
             self.maybe_compact_for_size();
             return Ok(true);
@@ -1087,6 +1174,14 @@ impl JobRegistry {
                 lease: lease.raw(),
             }
         });
+        self.metrics.add(
+            if expired {
+                CounterId::LeaseExpiries
+            } else {
+                CounterId::LeaseAbandons
+            },
+            1,
+        );
         let job = self.jobs.get_mut(&job_id).expect("lease resolves to job");
         job.staged.remove(&lease);
         if let ShardSlot::Leased { holders } = &mut job.shards[shard] {
@@ -1101,6 +1196,15 @@ impl JobRegistry {
                     job: job_id.raw(),
                     shard,
                 });
+                self.metrics.add(CounterId::WfqEnqueues, 1);
+                if self.metrics.is_enabled() {
+                    let tenant = self.metrics.tenant(&job.tenant);
+                    tenant.add_enqueue();
+                    tenant.observe_queue(
+                        self.scheduler.tenant_backlog(&job.tenant) as u64,
+                        self.scheduler.tenant_vtime_lag(&job.tenant),
+                    );
+                }
             }
         }
     }
@@ -1169,6 +1273,7 @@ impl JobRegistry {
                 shard,
                 lease: lease.raw(),
             });
+            self.metrics.add(CounterId::LeaseAbandons, 1);
         }
         let job = self.jobs.get_mut(&job_id).expect("job still present");
         for slot in &mut job.shards {
@@ -1227,6 +1332,70 @@ impl JobRegistry {
     /// drains of a never-full ring form one gap-free, replayable trace.
     pub fn drain_trace(&mut self) -> TraceDrain {
         self.trace.drain()
+    }
+
+    /// Reads trace events at or after the `since` cursor **without**
+    /// consuming them — the cursor-style counterpart of
+    /// [`drain_trace`](Self::drain_trace); see [`TraceCapture::read_since`].
+    pub fn read_trace_since(&self, since: u64) -> TraceDrain {
+        self.trace.read_since(since)
+    }
+
+    /// The sequence number the next recorded trace event will get — the
+    /// natural starting cursor for [`read_trace_since`](Self::read_trace_since).
+    pub fn trace_next_seq(&self) -> u64 {
+        self.trace.next_seq()
+    }
+
+    /// Registers a bounded live subscription fed every subsequent trace
+    /// event; see [`TraceCapture::subscribe`].
+    pub fn subscribe_trace(&mut self, queue: usize) -> TraceSubscription {
+        self.trace.subscribe(queue)
+    }
+
+    /// A point-in-time health observation for the stall watchdog: every live
+    /// lease holder with its age and the owning job's completed-shard p95,
+    /// every backlogged tenant with its cumulative WFQ service count, and the
+    /// WAL's size against its compaction budget. Pure data — the watchdog
+    /// ([`crate::health::Watchdog`]) compares consecutive observations
+    /// outside the registry lock.
+    pub fn observe_health(&self, now: Instant) -> crate::health::HealthObservation {
+        let mut leases = Vec::new();
+        for (&job_id, job) in &self.jobs {
+            let p95_ns = job.latencies.quantile_ns(95);
+            for (shard, slot) in job.shards.iter().enumerate() {
+                let ShardSlot::Leased { holders } = slot else {
+                    continue;
+                };
+                for holder in holders {
+                    leases.push(crate::health::LeaseHealth {
+                        lease: holder.lease.raw(),
+                        job: job_id.raw(),
+                        shard,
+                        worker: holder.worker.clone(),
+                        elapsed: now.saturating_duration_since(holder.started),
+                        overdue: holder.deadline <= now,
+                        p95_ns,
+                    });
+                }
+            }
+        }
+        let tenants = self
+            .scheduler
+            .busy_tenants()
+            .map(|tenant| crate::health::TenantHealth {
+                tenant: tenant.to_string(),
+                backlog: self.scheduler.tenant_backlog(tenant) as u64,
+                service: self.metrics.tenant_service(tenant),
+            })
+            .collect();
+        crate::health::HealthObservation {
+            leases,
+            tenants,
+            log_bytes: self.sink.as_ref().map_or(0, |sink| sink.log_bytes()),
+            compact_budget: self.config.compact_log_bytes,
+            compactions: self.metrics.counter(CounterId::WalCompactions),
+        }
     }
 
     /// Assembles the current **waitgraph**: one [`GraphSnapshot`] over the
@@ -1367,6 +1536,8 @@ impl JobRegistry {
         if let Some(sink) = self.sink.as_mut() {
             let log_bytes = sink.compact(&snapshot).map_err(ExploreError::Store)?;
             self.trace.record(TraceEvent::WalCompact { log_bytes });
+            self.metrics.add(CounterId::WalCompactions, 1);
+            self.metrics.set_gauge(GaugeId::WalLogBytes, log_bytes);
         }
         Ok(())
     }
@@ -1509,6 +1680,10 @@ impl JobRegistry {
                                     job: raw,
                                     shard,
                                 });
+                                self.metrics.add(CounterId::WfqEnqueues, 1);
+                                if self.metrics.is_enabled() {
+                                    self.metrics.tenant(&job.tenant).add_enqueue();
+                                }
                             }
                         }
                         engine = JobEngine::Live {

@@ -26,16 +26,18 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use spi_store::sched::HedgeConfig;
-use spi_store::{CacheLimit, Wal};
+use spi_store::trace::TraceSubscription;
+use spi_store::{CacheLimit, MetricsRegistry, Wal};
 use spi_variants::VariantSystem;
 
 use crate::durability::WalSink;
 use crate::evaluator::Evaluator;
+use crate::health::{HealthReport, Watchdog};
 use crate::registry::{
     JobEvent, JobId, JobRegistry, JobSpec, JobStatus, Lease, RegistryConfig, RestoreStats,
 };
 use crate::wire::rebuild_from_recipe;
-use crate::worker::{drain_lease, DrainOutcome, FlushResponse};
+use crate::worker::{drain_lease_instrumented, DrainOutcome, FlushResponse};
 use crate::{ExploreError, Result};
 use spi_model::json::JsonValue;
 
@@ -62,6 +64,15 @@ pub struct ServiceConfig {
     /// Capacity of the scheduler-decision trace ring drained over the
     /// `trace` op; `0` disables capture.
     pub trace_capacity: usize,
+    /// Whether the metrics plane records anything. `false` swaps in
+    /// [`MetricsRegistry::disabled`] — every instrumentation site collapses
+    /// to one branch — and also disables the stall watchdog (its progress
+    /// signals are metrics).
+    pub metrics_enabled: bool,
+    /// How often the background stall watchdog sweeps the registry for stuck
+    /// leases, starved tenants and a stalled WAL; `None` disables the thread
+    /// (the `health` op still sweeps inline on demand).
+    pub watchdog_interval: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +86,8 @@ impl Default for ServiceConfig {
             cache_limit: CacheLimit::UNBOUNDED,
             compact_log_bytes: None,
             trace_capacity: spi_store::trace::DEFAULT_TRACE_CAPACITY,
+            metrics_enabled: true,
+            watchdog_interval: Some(Duration::from_secs(1)),
         }
     }
 }
@@ -100,6 +113,13 @@ struct Inner {
     /// hold but take no new ones.
     draining: AtomicBool,
     batch_size: usize,
+    /// Shared with the registry (and thus every instrumentation site).
+    metrics: Arc<MetricsRegistry>,
+    /// Shared stall detector: the background sweeper and on-demand `health`
+    /// calls compare against the same progress baselines.
+    watchdog: Mutex<Watchdog>,
+    /// Where quiesce writes its final `metrics.json`, when durable.
+    store_dir: Option<PathBuf>,
 }
 
 /// A running exploration service; dropping it stops the worker pool (workers
@@ -108,6 +128,8 @@ struct Inner {
 pub struct ExplorationService {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    /// The background watchdog sweeper, when one is configured.
+    sweeper: Option<JoinHandle<()>>,
     restored: RestoreStats,
 }
 
@@ -150,6 +172,12 @@ impl ExplorationService {
             )?;
             registry.set_sink(Box::new(WalSink(wal)));
         }
+        let metrics = Arc::new(if config.metrics_enabled {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        });
+        registry.set_metrics(Arc::clone(&metrics));
         let inner = Arc::new(Inner {
             registry: Mutex::new(registry),
             work_available: Condvar::new(),
@@ -157,6 +185,9 @@ impl ExplorationService {
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             batch_size: config.batch_size.max(1),
+            metrics,
+            watchdog: Mutex::new(Watchdog::new()),
+            store_dir: config.store_dir.clone(),
         });
         let workers = (0..config.workers.max(1))
             .map(|index| {
@@ -167,9 +198,20 @@ impl ExplorationService {
                     .expect("worker thread spawns")
             })
             .collect();
+        let sweeper = config
+            .watchdog_interval
+            .filter(|_| config.metrics_enabled)
+            .map(|interval| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name("spi-explore-watchdog".to_string())
+                    .spawn(move || watchdog_loop(&inner, interval))
+                    .expect("watchdog thread spawns")
+            });
         Ok(ExplorationService {
             inner,
             workers,
+            sweeper,
             restored,
         })
     }
@@ -267,6 +309,59 @@ impl ExplorationService {
         self.registry().drain_trace()
     }
 
+    /// Reads trace events at or after `since` without consuming them (see
+    /// [`JobRegistry::read_trace_since`]).
+    pub fn read_trace_since(&self, since: u64) -> spi_store::TraceDrain {
+        self.registry().read_trace_since(since)
+    }
+
+    /// The sequence number the next trace event will get.
+    pub fn trace_next_seq(&self) -> u64 {
+        self.registry().trace_next_seq()
+    }
+
+    /// Registers a bounded live trace subscription (see
+    /// [`JobRegistry::subscribe_trace`]): every subsequent scheduler decision
+    /// streams to the returned handle, slow consumers lag instead of ever
+    /// blocking the scheduler.
+    pub fn subscribe_trace(&self, queue: usize) -> TraceSubscription {
+        self.registry().subscribe_trace(queue)
+    }
+
+    /// The service-wide metrics registry (counters, gauges, histograms,
+    /// per-tenant rows). Shared with the registry and the worker pool; cheap
+    /// to clone and safe to read without any service lock.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// The full metrics plane as one canonical JSON value — what the
+    /// `metrics` op returns and quiesce writes to `metrics.json`.
+    pub fn metrics_snapshot(&self) -> JsonValue {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Sweeps the stall watchdog **now** against a fresh health observation
+    /// and returns its report. Shares progress baselines with the background
+    /// sweeper, so back-to-back calls inside the watchdog's minimum window
+    /// still compare against a meaningful prior sweep.
+    pub fn health(&self) -> HealthReport {
+        let now = Instant::now();
+        let observation = self.registry().observe_health(now);
+        self.inner
+            .watchdog
+            .lock()
+            .expect("watchdog lock")
+            .sweep(&observation, now)
+    }
+
+    /// `true` when nothing is running or leased — the condition the `watch`
+    /// op ends on.
+    pub fn is_idle(&self) -> bool {
+        let registry = self.registry();
+        registry.running_jobs() == 0 && registry.live_lease_count() == 0
+    }
+
     /// Subscribes to the job's event stream (improvements, shard completions,
     /// termination) over an `mpsc` channel.
     ///
@@ -321,7 +416,18 @@ impl ExplorationService {
             // flushes and are unaffected).
             registry.expire(Instant::now());
             if registry.live_lease_count() == 0 {
-                return registry.compact_store();
+                registry.compact_store()?;
+                drop(registry);
+                // The final metrics snapshot lands next to the WAL — a
+                // post-mortem of the run that survives the process.
+                if let Some(dir) = &self.inner.store_dir {
+                    if self.inner.metrics.is_enabled() {
+                        let line = self.inner.metrics.snapshot().to_line();
+                        std::fs::write(dir.join("metrics.json"), line + "\n")
+                            .map_err(|e| ExploreError::Store(e.to_string()))?;
+                    }
+                }
+                return Ok(());
             }
             let (guard, _) = self
                 .inner
@@ -343,6 +449,9 @@ impl Drop for ExplorationService {
         self.inner.work_available.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(sweeper) = self.sweeper.take() {
+            let _ = sweeper.join();
         }
     }
 }
@@ -384,10 +493,38 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
+/// Periodic stall sweeps; exits with the worker pool. Sleeps in short slices
+/// so a service drop joins promptly even under a long interval.
+fn watchdog_loop(inner: &Inner, interval: Duration) {
+    let slice = Duration::from_millis(25).min(interval);
+    let mut next_sweep = Instant::now() + interval;
+    loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = Instant::now();
+        if now < next_sweep {
+            std::thread::sleep(slice.min(next_sweep - now));
+            continue;
+        }
+        next_sweep = now + interval;
+        let observation = {
+            let registry = inner.registry.lock().expect("registry lock");
+            registry.observe_health(now)
+        };
+        let _ = inner
+            .watchdog
+            .lock()
+            .expect("watchdog lock")
+            .sweep(&observation, now);
+    }
+}
+
 fn process_lease(inner: &Inner, lease: &Lease) {
-    let outcome = drain_lease(
+    let outcome = drain_lease_instrumented(
         lease,
         inner.batch_size,
+        &inner.metrics,
         || inner.shutdown.load(Ordering::Relaxed),
         |delta, is_final| {
             let mut registry = inner.registry.lock().expect("registry lock");

@@ -14,15 +14,21 @@
 //! ```
 //!
 //! Ops: `submit`, `poll`, `wait`, `top`, `jobs`, `cancel`, `graph`, `trace`,
-//! `shutdown`.
+//! `metrics`, `health`, `watch`, `shutdown`.
 //! `submit` also takes `tenant` (fair-queuing bucket), `weight` (its WFQ
 //! share) and `no_cache` (bypass the result cache); responses carry
 //! `cache_hit` so a client can tell a served-from-cache job (`evaluated` is
-//! then 0 and `top` is the cached optimum). Malformed requests answer
-//! `{"ok":false,"error":...}` and the stream continues; only `shutdown` (or
-//! EOF) ends [`serve`] — [`run_session`] then quiesces the service, so a
-//! closed stdin is a clean shutdown (in-flight shards commit, the store
-//! compacts), not an exit mid-drain.
+//! then 0 and `top` is the cached optimum). `trace` with a `since` cursor
+//! reads non-destructively from that sequence number (without `since` it
+//! drains, as before). `metrics` returns the full
+//! [`MetricsRegistry`](spi_store::MetricsRegistry) snapshot, `health` runs a
+//! stall-watchdog sweep, and `watch` upgrades the session to a **streaming
+//! subscription** — multiple response lines (`frame`: `trace` / `metrics` /
+//! `lagged` / `end`) until the service goes idle; see [`serve`]. Malformed
+//! requests answer `{"ok":false,"error":...}` and the stream continues; only
+//! `shutdown` (or EOF) ends [`serve`] — [`run_session`] then quiesces the
+//! service, so a closed stdin is a clean shutdown (in-flight shards commit,
+//! the store compacts), not an exit mid-drain.
 //!
 //! Systems are specified by **construction recipe** — `{"scaling":
 //! {"interfaces":k,"clusters":m}}`, a full `{"synthetic":{...}}` parameter
@@ -34,8 +40,10 @@
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use spi_model::json::{FromJson, JsonValue, ToJson};
+use spi_store::metrics::CounterId;
 use spi_synth::{FeasibilityMode, SearchStrategy, TaskParams};
 use spi_variants::VariantSystem;
 use spi_workloads::{automotive_system, figure2_system, synthetic_system, SyntheticParams};
@@ -325,50 +333,53 @@ fn dispatch(service: &ExplorationService, request: &JsonValue) -> Result<JsonVal
                 ),
             ]))
         }
-        "jobs" => Ok(JsonValue::object([
-            ("ok", JsonValue::Bool(true)),
-            ("op", JsonValue::string("jobs")),
-            ("cache", {
-                let (entries, hits, misses) = service.cache_stats();
-                JsonValue::object([
-                    ("entries", entries.to_json()),
-                    ("hits", hits.to_json()),
-                    ("misses", misses.to_json()),
-                ])
-            }),
-            (
-                "jobs",
-                JsonValue::Array(
-                    service
-                        .jobs()
-                        .iter()
-                        .map(|status| {
-                            JsonValue::object([
-                                ("job", status.job.raw().to_json()),
-                                ("name", status.name.to_json()),
-                                ("state", JsonValue::string(status.state.to_string())),
-                                ("shards_done", status.shards_done.to_json()),
-                                ("shards", status.shard_count.to_json()),
-                                ("evaluated", status.report.evaluated.to_json()),
-                                ("hedges_issued", status.hedges_issued.to_json()),
-                                ("hedge_wins", status.hedge_wins.to_json()),
-                                // Completed-shard latency quantiles: null until
-                                // the first shard of the job commits.
-                                (
-                                    "latency_ns",
-                                    JsonValue::object([
-                                        ("samples", status.latency.samples.to_json()),
-                                        ("p50", status.latency.p50_ns.to_json()),
-                                        ("p95", status.latency.p95_ns.to_json()),
-                                        ("max", status.latency.max_ns.to_json()),
-                                    ]),
-                                ),
-                            ])
-                        })
-                        .collect(),
+        "jobs" => {
+            let statuses = service.jobs();
+            Ok(JsonValue::object([
+                ("ok", JsonValue::Bool(true)),
+                ("op", JsonValue::string("jobs")),
+                ("cache", {
+                    let (entries, hits, misses) = service.cache_stats();
+                    JsonValue::object([
+                        ("entries", entries.to_json()),
+                        ("hits", hits.to_json()),
+                        ("misses", misses.to_json()),
+                    ])
+                }),
+                ("tenants", tenant_rollups(&statuses)),
+                (
+                    "jobs",
+                    JsonValue::Array(
+                        statuses
+                            .iter()
+                            .map(|status| {
+                                JsonValue::object([
+                                    ("job", status.job.raw().to_json()),
+                                    ("name", status.name.to_json()),
+                                    ("state", JsonValue::string(status.state.to_string())),
+                                    ("shards_done", status.shards_done.to_json()),
+                                    ("shards", status.shard_count.to_json()),
+                                    ("evaluated", status.report.evaluated.to_json()),
+                                    ("hedges_issued", status.hedges_issued.to_json()),
+                                    ("hedge_wins", status.hedge_wins.to_json()),
+                                    // Completed-shard latency quantiles: null until
+                                    // the first shard of the job commits.
+                                    (
+                                        "latency_ns",
+                                        JsonValue::object([
+                                            ("samples", status.latency.samples.to_json()),
+                                            ("p50", status.latency.p50_ns.to_json()),
+                                            ("p95", status.latency.p95_ns.to_json()),
+                                            ("max", status.latency.max_ns.to_json()),
+                                        ]),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
-            ),
-        ])),
+            ]))
+        }
         "graph" => {
             let snapshot = service.waitgraph();
             Ok(JsonValue::object([
@@ -378,22 +389,253 @@ fn dispatch(service: &ExplorationService, request: &JsonValue) -> Result<JsonVal
             ]))
         }
         "trace" => {
-            let drained = service.drain_trace();
+            // With a `since` cursor the read is non-destructive: the same
+            // window can be re-read, and `next` is the cursor to pass for the
+            // following window. Without one the ring is drained, as before.
+            let drained = match request.get("since").and_then(JsonValue::as_u64) {
+                Some(since) => service.read_trace_since(since),
+                None => service.drain_trace(),
+            };
             Ok(JsonValue::object([
                 ("ok", JsonValue::Bool(true)),
                 ("op", JsonValue::string("trace")),
                 ("dropped", drained.dropped.to_json()),
+                ("next", service.trace_next_seq().to_json()),
                 (
                     "events",
                     JsonValue::Array(drained.events.iter().map(ToJson::to_json).collect()),
                 ),
             ]))
         }
+        "metrics" => Ok(JsonValue::object([
+            ("ok", JsonValue::Bool(true)),
+            ("op", JsonValue::string("metrics")),
+            ("metrics", service.metrics_snapshot()),
+        ])),
+        "health" => {
+            let report = service.health();
+            Ok(JsonValue::object([
+                ("ok", JsonValue::Bool(true)),
+                ("op", JsonValue::string("health")),
+                ("status", JsonValue::string(report.status())),
+                ("sweeps", report.sweeps.to_json()),
+                ("findings", report.findings.to_json()),
+            ]))
+        }
         "shutdown" => Ok(JsonValue::object([
             ("ok", JsonValue::Bool(true)),
             ("op", JsonValue::string("shutdown")),
         ])),
+        "watch" => Err(ExploreError::Protocol(
+            "`watch` is a streaming op; drive it through `serve` (it answers \
+             with multiple lines)"
+                .into(),
+        )),
         other => Err(ExploreError::Protocol(format!("unknown op `{other}`"))),
+    }
+}
+
+/// Per-tenant aggregates over every submitted job — the `tenants` array of
+/// the `jobs` op, sorted by tenant name.
+fn tenant_rollups(statuses: &[JobStatus]) -> JsonValue {
+    #[derive(Default)]
+    struct Rollup {
+        jobs: u64,
+        shards_pending: u64,
+        shards_leased: u64,
+        shards_done: u64,
+        hedges_issued: u64,
+        hedge_wins: u64,
+        cache_hits: u64,
+    }
+    let mut rollups: std::collections::BTreeMap<&str, Rollup> = std::collections::BTreeMap::new();
+    for status in statuses {
+        let rollup = rollups.entry(&status.tenant).or_default();
+        rollup.jobs += 1;
+        rollup.shards_done += status.shards_done as u64;
+        rollup.shards_leased += status.shards_in_flight as u64;
+        rollup.shards_pending += status
+            .shard_count
+            .saturating_sub(status.shards_done)
+            .saturating_sub(status.shards_in_flight) as u64;
+        rollup.hedges_issued += status.hedges_issued;
+        rollup.hedge_wins += status.hedge_wins;
+        rollup.cache_hits += u64::from(status.cache_hit);
+    }
+    JsonValue::Array(
+        rollups
+            .into_iter()
+            .map(|(tenant, rollup)| {
+                JsonValue::object([
+                    ("tenant", JsonValue::string(tenant)),
+                    ("jobs", rollup.jobs.to_json()),
+                    ("shards_pending", rollup.shards_pending.to_json()),
+                    ("shards_leased", rollup.shards_leased.to_json()),
+                    ("shards_done", rollup.shards_done.to_json()),
+                    ("hedges_issued", rollup.hedges_issued.to_json()),
+                    ("hedge_wins", rollup.hedge_wins.to_json()),
+                    ("cache_hits", rollup.cache_hits.to_json()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Writes one `watch` frame: `{"ok":true,"op":"watch","frame":kind,"seq":N,
+/// ...extras}`, flushed immediately. `seq` is per-subscription and strictly
+/// monotone across frame kinds — the client's ordering check.
+fn write_frame<W: Write>(
+    output: &mut W,
+    kind: &str,
+    seq: &mut u64,
+    extras: Vec<(String, JsonValue)>,
+) -> std::io::Result<()> {
+    let mut members = vec![
+        ("ok".to_string(), JsonValue::Bool(true)),
+        ("op".to_string(), JsonValue::string("watch")),
+        ("frame".to_string(), JsonValue::string(kind)),
+        ("seq".to_string(), (*seq).to_json()),
+    ];
+    members.extend(extras);
+    *seq += 1;
+    writeln!(output, "{}", JsonValue::Object(members).to_line())?;
+    output.flush()
+}
+
+/// The `watch` op: upgrades the session to a live subscription that streams
+/// until the service goes **idle** (no running job, no live lease), then
+/// yields a final `end` frame and hands the line loop back to [`serve`].
+///
+/// Frames, one JSON object per line, all carrying `ok`, `op:"watch"` and a
+/// strictly monotone `seq`:
+///
+/// * `trace` — one scheduler decision (`event`), as it happened;
+/// * `metrics` — periodic counter **deltas** since the previous metrics
+///   frame (`counters`, zero-delta entries omitted), every `metrics_ms`
+///   (default 500);
+/// * `lagged` — the subscriber fell behind its bounded queue and `missed`
+///   events were dropped rather than blocking the scheduler; a fresh
+///   `metrics` frame follows immediately as the resync point;
+/// * `end` — the service is idle, the subscription is closed.
+///
+/// The stream opens with a **backfill**: every event still buffered in the
+/// trace ring with `seq >= since` (default 0) is replayed as `trace` frames
+/// before live events follow, `tail -f` style. The subscription is opened
+/// *before* the backfill is read and live events already replayed are
+/// deduplicated by `seq`, so the hand-off is gap-free.
+///
+/// Request knobs: `since` sets the backfill cursor, `queue` bounds the
+/// subscription (default 1024), and `slow_ms` injects a per-iteration
+/// consumer delay — a test knob that makes lag deterministic in CI.
+fn run_watch<W: Write>(
+    service: &ExplorationService,
+    request: &JsonValue,
+    output: &mut W,
+) -> std::io::Result<()> {
+    let queue = request
+        .get("queue")
+        .and_then(JsonValue::as_usize)
+        .unwrap_or(1024)
+        .max(1);
+    let metrics_interval = Duration::from_millis(
+        request
+            .get("metrics_ms")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(500)
+            .max(1),
+    );
+    let slow = Duration::from_millis(
+        request
+            .get("slow_ms")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
+    );
+    let metrics = service.metrics();
+    // Subscribe before reading the backfill so nothing falls in between;
+    // events present in both are deduplicated by their trace `seq` below.
+    let subscription = service.subscribe_trace(queue);
+    let since = request
+        .get("since")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    let mut seq = 0u64;
+    let mut last_traced: Option<u64> = None;
+    for traced in service.read_trace_since(since).events {
+        last_traced = Some(traced.seq);
+        write_frame(
+            output,
+            "trace",
+            &mut seq,
+            vec![("event".to_string(), traced.to_json())],
+        )?;
+    }
+    // Deltas start from zero, so the first metrics frame is the cumulative
+    // baseline — the counter analogue of the trace backfill above.
+    let mut prev = [0u64; CounterId::ALL.len()];
+    let counter_deltas = |prev: &mut [u64; CounterId::ALL.len()]| {
+        let deltas: Vec<(String, JsonValue)> = CounterId::ALL
+            .iter()
+            .enumerate()
+            .filter_map(|(at, id)| {
+                let now = metrics.counter(*id);
+                let delta = now.saturating_sub(prev[at]);
+                prev[at] = now;
+                (delta > 0).then(|| (id.name().to_string(), JsonValue::Int(delta as i128)))
+            })
+            .collect();
+        vec![("counters".to_string(), JsonValue::Object(deltas))]
+    };
+    let mut last_metrics = Instant::now();
+    loop {
+        if !slow.is_zero() {
+            std::thread::sleep(slow);
+        }
+        let mut saw_event = false;
+        if let Some(event) = subscription.next_timeout(Duration::from_millis(10)) {
+            saw_event = true;
+            if last_traced.is_none_or(|last| event.seq > last) {
+                last_traced = Some(event.seq);
+                write_frame(
+                    output,
+                    "trace",
+                    &mut seq,
+                    vec![("event".to_string(), event.to_json())],
+                )?;
+            }
+        }
+        let missed = subscription.take_lagged();
+        if missed > 0 {
+            write_frame(
+                output,
+                "lagged",
+                &mut seq,
+                vec![("missed".to_string(), missed.to_json())],
+            )?;
+        }
+        if missed > 0 || last_metrics.elapsed() >= metrics_interval {
+            let deltas = counter_deltas(&mut prev);
+            write_frame(output, "metrics", &mut seq, deltas)?;
+            last_metrics = Instant::now();
+        }
+        if !saw_event && service.is_idle() {
+            // Flush whatever raced in between the last read and the idle
+            // check, then close the stream.
+            while let Some(event) = subscription.try_next() {
+                if last_traced.is_none_or(|last| event.seq > last) {
+                    last_traced = Some(event.seq);
+                    write_frame(
+                        output,
+                        "trace",
+                        &mut seq,
+                        vec![("event".to_string(), event.to_json())],
+                    )?;
+                }
+            }
+            let deltas = counter_deltas(&mut prev);
+            write_frame(output, "metrics", &mut seq, deltas)?;
+            write_frame(output, "end", &mut seq, Vec::new())?;
+            return Ok(());
+        }
     }
 }
 
@@ -416,7 +658,13 @@ pub fn serve<R: BufRead, W: Write>(
             continue;
         }
         let response = match JsonValue::parse(trimmed) {
-            Ok(request) => handle_request(service, &request),
+            Ok(request) => {
+                if request.get("op").and_then(JsonValue::as_str) == Some("watch") {
+                    run_watch(service, &request, output)?;
+                    continue;
+                }
+                handle_request(service, &request)
+            }
             Err(error) => error_response(&ExploreError::Protocol(error.to_string())),
         };
         writeln!(output, "{}", response.to_line())?;
@@ -682,6 +930,246 @@ mod tests {
                 .unwrap()
                 .len(),
             0
+        );
+    }
+
+    /// `trace` with a `since` cursor is non-destructive: the same window can
+    /// be re-read, and the advertised `next` cursor resumes past it.
+    #[test]
+    fn trace_since_cursor_re_reads_without_draining() {
+        let service = ExplorationService::start(ServiceConfig::with_workers(2));
+        let responses = run_lines(
+            &service,
+            concat!(
+                "{\"op\":\"submit\",\"system\":{\"scaling\":{\"interfaces\":3,\"clusters\":2}},\
+                 \"shards\":4}\n",
+                "{\"op\":\"wait\",\"job\":0}\n",
+                "{\"op\":\"trace\",\"since\":0}\n",
+                "{\"op\":\"trace\",\"since\":0}\n",
+            ),
+        );
+        let first = &responses[2];
+        let second = &responses[3];
+        assert_eq!(first.get("ok").unwrap().as_bool(), Some(true));
+        let first_events = first.get("events").unwrap().as_array().unwrap();
+        let second_events = second.get("events").unwrap().as_array().unwrap();
+        assert!(!first_events.is_empty());
+        // Cursor reads do not consume: the identical window comes back.
+        assert_eq!(first_events.len(), second_events.len());
+        assert_eq!(first.get("next").unwrap().as_u64().unwrap(), {
+            second.get("next").unwrap().as_u64().unwrap()
+        });
+        // Resuming from `next` finds nothing new on an idle service.
+        let next = first.get("next").unwrap().as_u64().unwrap();
+        let resumed = run_lines(
+            &service,
+            &format!("{{\"op\":\"trace\",\"since\":{next}}}\n"),
+        );
+        assert_eq!(
+            resumed[0].get("events").unwrap().as_array().unwrap().len(),
+            0
+        );
+        // And the destructive drain still works afterwards.
+        let drained = run_lines(&service, "{\"op\":\"trace\"}\n{\"op\":\"trace\"}\n");
+        assert!(!drained[0]
+            .get("events")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        assert!(drained[1]
+            .get("events")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+
+    /// The `jobs` listing carries per-tenant rollups whose shard totals agree
+    /// with the per-job entries.
+    #[test]
+    fn jobs_op_rolls_up_tenants() {
+        let service = ExplorationService::start(ServiceConfig::with_workers(2));
+        let responses = run_lines(
+            &service,
+            concat!(
+                "{\"op\":\"submit\",\"name\":\"a1\",\"tenant\":\"team-a\",\
+                 \"system\":{\"scaling\":{\"interfaces\":3,\"clusters\":2}},\"shards\":4}\n",
+                "{\"op\":\"submit\",\"name\":\"a2\",\"tenant\":\"team-a\",\
+                 \"system\":{\"scaling\":{\"interfaces\":2,\"clusters\":2}},\"shards\":2}\n",
+                "{\"op\":\"submit\",\"name\":\"b1\",\"tenant\":\"team-b\",\
+                 \"system\":{\"scenario\":\"figure2\"}}\n",
+                "{\"op\":\"wait\",\"job\":0}\n",
+                "{\"op\":\"wait\",\"job\":1}\n",
+                "{\"op\":\"wait\",\"job\":2}\n",
+                "{\"op\":\"jobs\"}\n",
+            ),
+        );
+        let listing = responses.last().unwrap();
+        assert_eq!(listing.get("ok").unwrap().as_bool(), Some(true));
+        let tenants = listing.get("tenants").unwrap().as_array().unwrap();
+        assert_eq!(tenants.len(), 2);
+        // Sorted by tenant name.
+        assert_eq!(tenants[0].get("tenant").unwrap().as_str(), Some("team-a"));
+        assert_eq!(tenants[1].get("tenant").unwrap().as_str(), Some("team-b"));
+        assert_eq!(tenants[0].get("jobs").unwrap().as_u64(), Some(2));
+        assert_eq!(tenants[1].get("jobs").unwrap().as_u64(), Some(1));
+        assert_eq!(tenants[0].get("shards_done").unwrap().as_u64(), Some(6));
+        assert_eq!(tenants[0].get("shards_pending").unwrap().as_u64(), Some(0));
+        assert_eq!(tenants[0].get("shards_leased").unwrap().as_u64(), Some(0));
+        for tenant in tenants {
+            assert!(tenant.get("hedges_issued").unwrap().as_u64().is_some());
+            assert!(tenant.get("hedge_wins").unwrap().as_u64().is_some());
+            assert!(tenant.get("cache_hits").unwrap().as_u64().is_some());
+        }
+    }
+
+    /// `metrics` and `health` answer on the wire: the snapshot's counters
+    /// reflect the completed job and the watchdog reports a healthy service.
+    #[test]
+    fn metrics_and_health_ops_round_trip() {
+        let service = ExplorationService::start(ServiceConfig::with_workers(2));
+        let responses = run_lines(
+            &service,
+            concat!(
+                "{\"op\":\"submit\",\"system\":{\"scaling\":{\"interfaces\":3,\"clusters\":2}},\
+                 \"shards\":4,\"tenant\":\"team-a\"}\n",
+                "{\"op\":\"wait\",\"job\":0}\n",
+                "{\"op\":\"metrics\"}\n",
+                "{\"op\":\"health\"}\n",
+            ),
+        );
+        let metrics = &responses[2];
+        assert_eq!(metrics.get("ok").unwrap().as_bool(), Some(true));
+        let snapshot = metrics.get("metrics").unwrap();
+        let counters = snapshot.get("counters").unwrap();
+        assert_eq!(counters.get("wfq.enqueues").unwrap().as_u64(), Some(4));
+        assert_eq!(counters.get("shard.commits").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            counters.get("eval.variants").unwrap().as_u64(),
+            Some(8),
+            "every variant of the 2^3 space was evaluated exactly once"
+        );
+        let histograms = snapshot.get("histograms").unwrap();
+        let eval = histograms.get("shard.eval_ns").unwrap();
+        assert_eq!(eval.get("count").unwrap().as_u64(), Some(4));
+        let tenants = snapshot.get("tenants").unwrap();
+        let team = tenants.get("team-a").unwrap();
+        assert_eq!(team.get("service").unwrap().as_u64(), Some(4));
+
+        let health = &responses[3];
+        assert_eq!(health.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+        assert!(health.get("sweeps").unwrap().as_u64().unwrap() >= 1);
+        assert_eq!(health.get("findings").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    /// A `watch` session streams frames for a live job: strictly monotone
+    /// `seq`, trace frames replaying the run, at least one metrics delta, and
+    /// a clean `end` frame once the service goes idle — then the line loop
+    /// resumes for ordinary requests.
+    #[test]
+    fn watch_streams_frames_until_idle_then_resumes_the_loop() {
+        let service = ExplorationService::start(ServiceConfig::with_workers(2));
+        let responses = run_lines(
+            &service,
+            concat!(
+                "{\"op\":\"submit\",\"system\":{\"scaling\":{\"interfaces\":4,\"clusters\":2}},\
+                 \"shards\":8}\n",
+                "{\"op\":\"watch\",\"metrics_ms\":20}\n",
+                "{\"op\":\"poll\",\"job\":0}\n",
+            ),
+        );
+        // submit ack, then the frames, then the post-watch poll.
+        assert!(responses.len() >= 4);
+        let poll = responses.last().unwrap();
+        assert_eq!(poll.get("op").unwrap().as_str(), Some("poll"));
+        assert_eq!(poll.get("state").unwrap().as_str(), Some("completed"));
+
+        let frames: Vec<&JsonValue> = responses
+            .iter()
+            .filter(|r| r.get("op").and_then(JsonValue::as_str) == Some("watch"))
+            .collect();
+        assert!(frames.len() >= 2, "at least one metrics frame plus end");
+        for (at, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.get("ok").unwrap().as_bool(), Some(true));
+            assert_eq!(frame.get("seq").unwrap().as_u64(), Some(at as u64));
+        }
+        assert_eq!(
+            frames.last().unwrap().get("frame").unwrap().as_str(),
+            Some("end")
+        );
+        let kinds: Vec<&str> = frames
+            .iter()
+            .map(|f| f.get("frame").unwrap().as_str().unwrap())
+            .collect();
+        assert!(kinds.contains(&"trace"), "job activity streamed: {kinds:?}");
+        assert!(kinds.contains(&"metrics"));
+        // The final pre-end metrics frame accounts for all 8 commits across
+        // the deltas.
+        let commits: u64 = frames
+            .iter()
+            .filter(|f| f.get("frame").unwrap().as_str() == Some("metrics"))
+            .filter_map(|f| f.get("counters").unwrap().get("shard.commits"))
+            .filter_map(JsonValue::as_u64)
+            .sum();
+        assert_eq!(commits, 8);
+    }
+
+    /// A deliberately slow watcher on a tiny queue observes `lagged` frames
+    /// instead of stalling the scheduler, and still terminates cleanly. The
+    /// job is slowed through the in-process API (a sleeping evaluator) so
+    /// its events provably race the 5ms/frame consumer.
+    #[test]
+    fn slow_watcher_lags_without_blocking() {
+        use crate::evaluator::{Evaluation, FnEvaluator};
+        use crate::registry::JobSpec;
+        use std::sync::Arc;
+
+        let service = ExplorationService::start(ServiceConfig::with_workers(2));
+        let system = spi_workloads::scaling_system(5, 2).expect("system builds");
+        let evaluator = Arc::new(FnEvaluator::new(|index, _choice, _graph| {
+            std::thread::sleep(Duration::from_millis(1));
+            Ok(Evaluation {
+                cost: index as u64,
+                feasible: true,
+                detail: String::new(),
+            })
+        }));
+        service
+            .submit(
+                &system,
+                JobSpec {
+                    name: "slow".into(),
+                    shard_count: 32,
+                    ..JobSpec::default()
+                },
+                evaluator,
+            )
+            .expect("submit");
+        let responses = run_lines(
+            &service,
+            "{\"op\":\"watch\",\"queue\":1,\"slow_ms\":5,\"metrics_ms\":50}\n",
+        );
+        let frames: Vec<&JsonValue> = responses
+            .iter()
+            .filter(|r| r.get("op").and_then(JsonValue::as_str) == Some("watch"))
+            .collect();
+        assert_eq!(
+            frames.last().unwrap().get("frame").unwrap().as_str(),
+            Some("end")
+        );
+        for (at, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.get("seq").unwrap().as_u64(), Some(at as u64));
+        }
+        let lagged: u64 = frames
+            .iter()
+            .filter(|f| f.get("frame").unwrap().as_str() == Some("lagged"))
+            .filter_map(|f| f.get("missed").unwrap().as_u64())
+            .sum();
+        assert!(
+            lagged > 0,
+            "a queue of 1 with a 5ms/frame consumer must drop events"
         );
     }
 

@@ -6,8 +6,10 @@
 //! deterministic simulated workers of the property tests.
 
 use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
 use std::time::Instant;
 
+use spi_store::metrics::{CounterId, HistogramId, MetricsRegistry};
 use spi_variants::DeltaFlattener;
 
 use crate::evaluator::Evaluation;
@@ -70,6 +72,32 @@ pub fn drain_lease(
     lease: &Lease,
     batch_size: usize,
     stop: impl Fn() -> bool,
+    flush: impl FnMut(ShardReport, bool) -> FlushResponse,
+) -> DrainOutcome {
+    static STUB: OnceLock<MetricsRegistry> = OnceLock::new();
+    let metrics = STUB.get_or_init(MetricsRegistry::disabled);
+    drain_lease_instrumented(lease, batch_size, metrics, stop, flush)
+}
+
+/// Sums the drain's scratch-graph reuse into the flatten counters — called
+/// once per drain, on every exit path.
+fn record_flatten(metrics: &MetricsRegistry, flattener: &DeltaFlattener<'_>) {
+    let stats = flattener.stats();
+    metrics.add(CounterId::FlattenPatches, stats.patches);
+    metrics.add(CounterId::FlattenRebuilds, stats.rebuilds);
+    metrics.add(CounterId::FlattenFallbacks, stats.rebuild_fallbacks);
+}
+
+/// [`drain_lease`] with a live [`MetricsRegistry`]: the worker pool's entry
+/// point. On top of the plain drain it records, per successful patch, how
+/// many processes the splice touched
+/// ([`HistogramId::FlattenPatchedProcesses`]) and, once per drain, the
+/// patch/rebuild/fallback totals of its scratch graph.
+pub fn drain_lease_instrumented(
+    lease: &Lease,
+    batch_size: usize,
+    metrics: &MetricsRegistry,
+    stop: impl Fn() -> bool,
     mut flush: impl FnMut(ShardReport, bool) -> FlushResponse,
 ) -> DrainOutcome {
     let space = lease.flattener.space();
@@ -80,10 +108,12 @@ pub fn drain_lease(
     let mut flattener = DeltaFlattener::new(&lease.flattener);
     let mut batch_started = Instant::now();
     let mut since_flush = 0usize;
+    let mut patches_seen = 0u64;
 
     let mut rank = lease.shard;
     while rank < combinations {
         if lease.cancelled.load(Ordering::Relaxed) || stop() {
+            record_flatten(metrics, &flattener);
             return DrainOutcome::Stopped;
         }
 
@@ -129,6 +159,17 @@ pub fn drain_lease(
             }
         }
 
+        if metrics.is_enabled() {
+            let stats = flattener.stats();
+            if stats.patches > patches_seen {
+                metrics.record(
+                    HistogramId::FlattenPatchedProcesses,
+                    stats.last_patched_processes,
+                );
+            }
+            patches_seen = stats.patches;
+        }
+
         since_flush += 1;
         rank += lease.shard_count;
 
@@ -137,6 +178,7 @@ pub fn drain_lease(
             delta.eval_ns = batch_started.elapsed().as_nanos();
             let batch = std::mem::take(&mut delta);
             if flush(batch, false) == FlushResponse::Stop {
+                record_flatten(metrics, &flattener);
                 return DrainOutcome::Stale;
             }
             since_flush = 0;
@@ -144,6 +186,7 @@ pub fn drain_lease(
         }
     }
 
+    record_flatten(metrics, &flattener);
     delta.eval_ns = batch_started.elapsed().as_nanos();
     match flush(delta, true) {
         FlushResponse::Continue => DrainOutcome::Completed,

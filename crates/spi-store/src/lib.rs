@@ -18,7 +18,13 @@
 //! * [`trace`] — a bounded ring of every scheduler decision
 //!   ([`TraceCapture`]) plus an offline checker ([`TraceReplay`]) that
 //!   asserts WFQ's proportional-share bound and exactly-once lease
-//!   accounting over any captured run.
+//!   accounting over any captured run, and bounded live subscriptions
+//!   ([`TraceSubscription`]) that stream decisions as they happen without
+//!   ever blocking the scheduler.
+//! * [`metrics`] — lock-free counters, gauges and log-linear bounded-error
+//!   histograms ([`Histogram`]), organized in a [`MetricsRegistry`] with
+//!   static metric ids and per-tenant label handles; the continuous
+//!   aggregate layer next to the event-level trace.
 //!
 //! The crate deliberately knows nothing about jobs, leases or evaluators:
 //! everything is expressed over raw ids and JSON payloads, so the store can
@@ -49,12 +55,18 @@
 
 pub mod cache;
 pub mod error;
+pub mod metrics;
 pub mod sched;
 pub mod trace;
 pub mod wal;
 
 pub use cache::{CacheLimit, ResultCache};
 pub use error::{Result, StoreError};
+pub use metrics::{
+    Counter, CounterId, Gauge, GaugeId, Histogram, HistogramId, MetricsRegistry, TenantMetrics,
+};
 pub use sched::{Dispatch, Entry, FairScheduler, HedgeConfig, LatencyTracker};
-pub use trace::{ReplayReport, TraceCapture, TraceDrain, TraceEvent, TraceReplay, TracedEvent};
+pub use trace::{
+    ReplayReport, TraceCapture, TraceDrain, TraceEvent, TraceReplay, TraceSubscription, TracedEvent,
+};
 pub use wal::{Recovered, Wal};

@@ -136,6 +136,21 @@ impl FairScheduler {
             .filter(|(_, slot)| !slot.queue.is_empty())
             .map(|(name, _)| name.as_str())
     }
+
+    /// Entries currently queued for `tenant` (0 for unknown tenants).
+    pub fn tenant_backlog(&self, tenant: &str) -> usize {
+        self.tenants.get(tenant).map_or(0, |slot| slot.queue.len())
+    }
+
+    /// How far `tenant`'s finish tag trails the scheduler's virtual time, in
+    /// virtual-time units (0 for unknown or up-to-date tenants). A growing
+    /// lag on a tenant with backlog means the tenant is owed service — the
+    /// metric the starvation watchdog watches.
+    pub fn tenant_vtime_lag(&self, tenant: &str) -> u64 {
+        self.tenants
+            .get(tenant)
+            .map_or(0, |slot| self.virtual_now.saturating_sub(slot.finish))
+    }
 }
 
 /// One WFQ dispatch with the metadata the decision was made under.

@@ -30,6 +30,10 @@
 //! raise `--trace-capacity` instead of trusting a truncated replay.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
 
 use spi_model::json::{FromJson, JsonError, JsonResult, JsonValue, ToJson};
 
@@ -367,6 +371,52 @@ pub struct TraceDrain {
     pub dropped: u64,
 }
 
+/// One live subscriber's sending side: a bounded channel plus a shared lag
+/// counter the recorder bumps instead of ever blocking on a full queue.
+#[derive(Debug)]
+struct TraceFanout {
+    tx: SyncSender<TracedEvent>,
+    lagged: Arc<AtomicU64>,
+}
+
+/// The receiving side of a live trace subscription
+/// ([`TraceCapture::subscribe`]).
+///
+/// Events arrive through a **bounded** queue: when the subscriber falls
+/// behind, the recorder drops the event for this subscriber and increments a
+/// lag counter instead of blocking the scheduler. [`take_lagged`] reads and
+/// resets that counter, so a consumer can emit a `lagged` marker and resync
+/// from the capture ring. Dropping the subscription unregisters it on the
+/// next recorded event.
+///
+/// [`take_lagged`]: TraceSubscription::take_lagged
+#[derive(Debug)]
+pub struct TraceSubscription {
+    rx: Receiver<TracedEvent>,
+    lagged: Arc<AtomicU64>,
+}
+
+impl TraceSubscription {
+    /// The next queued event, or `None` when the queue is currently empty
+    /// or the capture side has gone away.
+    pub fn try_next(&self) -> Option<TracedEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Waits up to `timeout` for the next event; `None` on timeout or when
+    /// the capture side has gone away.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<TracedEvent> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Events dropped for this subscriber since the last call, resetting
+    /// the counter. Nonzero means the consumer lagged and the stream has a
+    /// gap; resync via [`TraceCapture::read_since`].
+    pub fn take_lagged(&self) -> u64 {
+        self.lagged.swap(0, Ordering::Relaxed)
+    }
+}
+
 /// Fixed-capacity ring of scheduler decisions.
 ///
 /// Capacity `0` disables capture entirely (recording becomes a no-op); any
@@ -377,6 +427,7 @@ pub struct TraceCapture {
     capacity: usize,
     next_seq: u64,
     dropped: u64,
+    subscribers: Vec<TraceFanout>,
 }
 
 impl TraceCapture {
@@ -387,6 +438,7 @@ impl TraceCapture {
             capacity,
             next_seq: 0,
             dropped: 0,
+            subscribers: Vec::new(),
         }
     }
 
@@ -420,8 +472,28 @@ impl TraceCapture {
         self.dropped
     }
 
-    /// Records one decision, assigning it the next sequence number.
+    /// Records one decision, assigning it the next sequence number, and
+    /// fans it out to every live subscriber. Fan-out never blocks: a full
+    /// subscriber queue counts one lagged event for that subscriber and the
+    /// recorder moves on; a hung-up subscriber is unregistered.
     pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 && self.subscribers.is_empty() {
+            return;
+        }
+        let traced = TracedEvent {
+            seq: self.next_seq,
+            event,
+        };
+        self.next_seq += 1;
+        self.subscribers
+            .retain(|sub| match sub.tx.try_send(traced.clone()) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_)) => {
+                    sub.lagged.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            });
         if self.capacity == 0 {
             return;
         }
@@ -429,11 +501,41 @@ impl TraceCapture {
             self.ring.pop_front();
             self.dropped += 1;
         }
-        self.ring.push_back(TracedEvent {
-            seq: self.next_seq,
-            event,
+        self.ring.push_back(traced);
+    }
+
+    /// The sequence number the *next* recorded event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Registers a live subscriber with a bounded queue of `queue` events
+    /// (clamped to ≥ 1) and returns its receiving side. Subscriptions see
+    /// every event recorded after this call — even when the ring itself is
+    /// disabled (`capacity == 0`) — subject to the queue bound.
+    pub fn subscribe(&mut self, queue: usize) -> TraceSubscription {
+        let (tx, rx) = std::sync::mpsc::sync_channel(queue.max(1));
+        let lagged = Arc::new(AtomicU64::new(0));
+        self.subscribers.push(TraceFanout {
+            tx,
+            lagged: Arc::clone(&lagged),
         });
-        self.next_seq += 1;
+        TraceSubscription { rx, lagged }
+    }
+
+    /// Non-destructive read of every buffered event with `seq >= since`,
+    /// oldest first. Unlike [`drain`](Self::drain) this leaves the ring (and
+    /// the drain-side drop counter) untouched, so multiple pollers can each
+    /// keep their own cursor. `dropped` here counts the events **this
+    /// cursor** can no longer see — those with sequence numbers at or past
+    /// `since` that the ring has already overwritten.
+    pub fn read_since(&self, since: u64) -> TraceDrain {
+        let front_seq = self.next_seq - self.ring.len() as u64;
+        let skip = since.saturating_sub(front_seq) as usize;
+        TraceDrain {
+            events: self.ring.iter().skip(skip).cloned().collect(),
+            dropped: front_seq.saturating_sub(since),
+        }
     }
 
     /// Takes every buffered event (oldest first) plus the drop count since
@@ -807,6 +909,80 @@ mod tests {
         capture.record(TraceEvent::CacheHit { job: 0 });
         assert!(capture.is_empty());
         assert_eq!(capture.drain().dropped, 0);
+    }
+
+    #[test]
+    fn read_since_is_non_destructive_and_cursor_aware() {
+        let mut capture = TraceCapture::new(8);
+        for job in 0..5 {
+            capture.record(TraceEvent::CacheHit { job });
+        }
+        let tail = capture.read_since(3);
+        assert_eq!(tail.dropped, 0);
+        assert_eq!(
+            tail.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            [3, 4]
+        );
+        // Nothing was consumed: a second cursor still sees everything.
+        let all = capture.read_since(0);
+        assert_eq!(all.events.len(), 5);
+        assert_eq!(all.dropped, 0);
+        // A cursor past the end sees nothing and missed nothing.
+        let future = capture.read_since(99);
+        assert!(future.events.is_empty());
+        assert_eq!(future.dropped, 0);
+        // The destructive drain still works afterwards and is unaffected.
+        assert_eq!(capture.drain().events.len(), 5);
+    }
+
+    #[test]
+    fn read_since_counts_what_the_ring_overwrote() {
+        let mut capture = TraceCapture::new(2);
+        for job in 0..5 {
+            capture.record(TraceEvent::CacheHit { job });
+        }
+        // Ring holds seqs 3..=4; a cursor at 1 lost seqs 1 and 2.
+        let read = capture.read_since(1);
+        assert_eq!(read.dropped, 2);
+        assert_eq!(
+            read.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            [3, 4]
+        );
+    }
+
+    #[test]
+    fn subscription_streams_lags_and_unregisters() {
+        let mut capture = TraceCapture::new(8);
+        let subscription = capture.subscribe(2);
+        capture.record(TraceEvent::CacheHit { job: 0 });
+        capture.record(TraceEvent::CacheHit { job: 1 });
+        // Queue is full (bound 2): the next records lag, never block.
+        capture.record(TraceEvent::CacheHit { job: 2 });
+        capture.record(TraceEvent::CacheHit { job: 3 });
+        assert_eq!(subscription.try_next().unwrap().seq, 0);
+        assert_eq!(subscription.try_next().unwrap().seq, 1);
+        assert!(subscription.try_next().is_none());
+        assert_eq!(subscription.take_lagged(), 2);
+        assert_eq!(subscription.take_lagged(), 0, "take resets the lag count");
+        // After the lag, the subscriber resyncs from the ring by cursor.
+        let resync = capture.read_since(2);
+        assert_eq!(resync.events.len(), 2);
+        // Events keep flowing after a lag episode.
+        capture.record(TraceEvent::CacheHit { job: 4 });
+        assert_eq!(subscription.try_next().unwrap().seq, 4);
+        // Dropping the receiver unregisters the subscriber on next record.
+        drop(subscription);
+        capture.record(TraceEvent::CacheHit { job: 5 });
+        assert!(capture.subscribers.is_empty());
+    }
+
+    #[test]
+    fn subscription_works_with_capture_ring_disabled() {
+        let mut capture = TraceCapture::new(0);
+        let subscription = capture.subscribe(4);
+        capture.record(TraceEvent::CacheHit { job: 0 });
+        assert!(capture.is_empty(), "ring stays disabled");
+        assert_eq!(subscription.try_next().unwrap().seq, 0);
     }
 
     #[test]

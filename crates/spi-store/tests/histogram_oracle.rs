@@ -1,0 +1,179 @@
+//! Randomized differential suite: the log-linear [`Histogram`] against an
+//! exact sorted-sample oracle.
+//!
+//! Three properties, over LCG-generated sample sets spanning the linear
+//! region, several octaves and the saturation bound:
+//!
+//! * **Quantile error bound** — for every checked percentile, the histogram
+//!   quantile is never below the exact nearest-rank quantile and never more
+//!   than `exact / 32` (one log-linear bucket width) above it; exact in the
+//!   linear region (< 32) and at p100.
+//! * **Merge associativity** — splitting a sample set into parts and merging
+//!   the parts' histograms in any grouping yields bit-identical summaries to
+//!   recording everything into one histogram.
+//! * **Saturation** — values past the bounded range land in the overflow
+//!   bucket without panicking, and quantiles falling there report the exact
+//!   tracked maximum.
+
+use spi_store::metrics::{Histogram, GROUPS, HISTOGRAM_BOUND};
+
+/// Deterministic LCG (same constants as the other randomized suites).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// Exact nearest-rank percentile of a sorted sample set.
+fn exact_quantile(sorted: &[u64], pct: u32) -> u64 {
+    assert!(!sorted.is_empty());
+    if pct >= 100 {
+        return *sorted.last().unwrap();
+    }
+    let rank = ((sorted.len() as u128 * pct as u128).div_ceil(100) as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Asserts the log-linear error bound for every checked percentile.
+fn assert_quantiles_within_bound(histogram: &Histogram, sorted: &[u64], label: &str) {
+    for pct in [1, 5, 10, 25, 50, 75, 90, 95, 99, 100] {
+        let exact = exact_quantile(sorted, pct);
+        let approx = histogram.quantile(pct);
+        assert!(
+            approx >= exact,
+            "{label}: p{pct} approx {approx} below exact {exact}"
+        );
+        if exact >= HISTOGRAM_BOUND {
+            // Past the bounded range the only guarantee is the clamp to the
+            // exact tracked maximum.
+            assert!(
+                approx <= histogram.max(),
+                "{label}: p{pct} saturated approx {approx} above max"
+            );
+            continue;
+        }
+        let slack = exact / GROUPS;
+        assert!(
+            approx <= exact + slack,
+            "{label}: p{pct} approx {approx} exceeds exact {exact} + bound {slack}"
+        );
+        if exact < GROUPS || pct == 100 {
+            assert_eq!(approx, exact, "{label}: p{pct} must be exact");
+        }
+    }
+}
+
+#[test]
+fn randomized_quantiles_match_the_exact_oracle_within_bucket_bound() {
+    let mut lcg = Lcg(42);
+    for round in 0..200 {
+        let len = (lcg.next() % 300 + 1) as usize;
+        // Spread samples across magnitudes: small linear-region values,
+        // mid-range, and wide 40-bit values, mixed per round.
+        let spread = lcg.next() % 3;
+        let samples: Vec<u64> = (0..len)
+            .map(|_| match spread {
+                0 => lcg.next() % 64,
+                1 => lcg.next() % 1_000_000,
+                _ => lcg.next() % (1 << 40),
+            })
+            .collect();
+        let histogram = Histogram::new();
+        for &v in &samples {
+            histogram.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        assert_eq!(histogram.count(), sorted.len() as u64);
+        assert_eq!(histogram.sum(), sorted.iter().sum::<u64>());
+        assert_eq!(histogram.max(), *sorted.last().unwrap());
+        assert_quantiles_within_bound(&histogram, &sorted, &format!("round {round}"));
+    }
+}
+
+#[test]
+fn merge_is_associative_and_matches_single_recording() {
+    let mut lcg = Lcg(7);
+    for round in 0..50 {
+        let parts: Vec<Vec<u64>> = (0..3)
+            .map(|_| {
+                (0..(lcg.next() % 100 + 1))
+                    .map(|_| lcg.next() % (1 << 36))
+                    .collect()
+            })
+            .collect();
+
+        let record_all = |sets: &[&Vec<u64>]| {
+            let h = Histogram::new();
+            for set in sets {
+                for &v in set.iter() {
+                    h.record(v);
+                }
+            }
+            h
+        };
+        let single = record_all(&[&parts[0], &parts[1], &parts[2]]);
+
+        // (a ⊔ b) ⊔ c
+        let left = record_all(&[&parts[0]]);
+        left.merge(&record_all(&[&parts[1]]));
+        left.merge(&record_all(&[&parts[2]]));
+        // a ⊔ (b ⊔ c)
+        let right = record_all(&[&parts[0]]);
+        let bc = record_all(&[&parts[1]]);
+        bc.merge(&record_all(&[&parts[2]]));
+        right.merge(&bc);
+
+        for histogram in [&left, &right] {
+            assert_eq!(histogram.count(), single.count(), "round {round}");
+            assert_eq!(histogram.sum(), single.sum(), "round {round}");
+            assert_eq!(histogram.max(), single.max(), "round {round}");
+            for pct in [1, 25, 50, 75, 90, 99, 100] {
+                assert_eq!(
+                    histogram.quantile(pct),
+                    single.quantile(pct),
+                    "round {round} p{pct}"
+                );
+            }
+        }
+        assert_eq!(
+            left.summary().to_line(),
+            right.summary().to_line(),
+            "round {round}: merge grouping must not be observable"
+        );
+    }
+}
+
+#[test]
+fn saturation_at_the_bounded_range_reports_the_tracked_max() {
+    let mut lcg = Lcg(99);
+    let histogram = Histogram::new();
+    let mut samples: Vec<u64> = (0..64)
+        .map(|_| HISTOGRAM_BOUND + lcg.next() % (1 << 30))
+        .collect();
+    samples.push(u64::MAX);
+    for &v in &samples {
+        histogram.record(v);
+    }
+    samples.sort_unstable();
+    assert_eq!(histogram.count(), samples.len() as u64);
+    // Every quantile falls in the overflow bucket; all report the exact max.
+    for pct in [1, 50, 100] {
+        assert_eq!(histogram.quantile(pct), u64::MAX, "p{pct}");
+    }
+    // Mixed in-range + saturated samples: in-range quantiles stay bounded.
+    let mixed = Histogram::new();
+    let mut mixed_samples: Vec<u64> = (0..100).map(|_| lcg.next() % 1_000_000).collect();
+    mixed_samples.extend([HISTOGRAM_BOUND, HISTOGRAM_BOUND * 2]);
+    for &v in &mixed_samples {
+        mixed.record(v);
+    }
+    mixed_samples.sort_unstable();
+    assert_quantiles_within_bound(&mixed, &mixed_samples, "mixed in-range + saturated samples");
+}

@@ -30,10 +30,12 @@
 //!   (WAL open + replay + registry rebuild). The warm optimum is asserted
 //!   bit-equal to the cold one before anything is recorded; CI gates warm
 //!   being ≥10× faster than cold.
-//! * **observability overhead** — the same 4-worker service run with the
-//!   metrics plane enabled vs compiled to its disabled stub, interleaved
-//!   pairwise so machine drift hits both sides equally; the reported
-//!   `overhead_pct` is the median paired ratio. CI gates it at ≤5%.
+//! * **observability overhead** — the same 4-worker service run with an
+//!   observability plane enabled vs compiled to its disabled stub,
+//!   interleaved pairwise so machine drift hits both sides equally: one
+//!   pair toggles the metrics plane (`overhead_pct`), one toggles the span
+//!   recorder (`span_overhead_pct`); each reported number is the median
+//!   paired ratio. CI gates both at ≤5%.
 //!
 //! Run with `cargo run --release -p spi-bench --bin variant_space_baseline`; CI runs
 //! it as a regression gate and fails when keys go missing, when branch-and-bound
@@ -692,23 +694,30 @@ struct ObsSection {
     instrumented_ns: u128,
     stubbed_ns: u128,
     overhead_pct: f64,
+    span_instrumented_ns: u128,
+    span_stubbed_ns: u128,
+    span_overhead_pct: f64,
 }
 
-/// Times identical 4-worker service runs with the metrics plane enabled vs
-/// its disabled stub (every counter write behind a single `false` branch).
-/// Rounds are paired and interleaved so frequency scaling and cache state
-/// drift hit both sides equally; the overhead is the ratio of the two
-/// **medians** (robust against per-round noise), clamped at zero.
+/// Times identical 4-worker service runs with an observability plane
+/// enabled vs its disabled stub (every record site behind a single `false`
+/// branch): the metrics pair toggles `metrics_enabled` with spans off on
+/// both sides, the span pair toggles `spans_enabled` with metrics on, so
+/// each overhead is attributed to exactly one plane. Rounds are paired and
+/// interleaved so frequency scaling and cache state drift hit both sides
+/// equally; each overhead is the ratio of the two **medians** (robust
+/// against per-round noise), clamped at zero.
 fn measure_obs(interfaces: usize) -> ObsSection {
     let system = scaling_system(interfaces, 2).expect("scaling system builds");
     let variants = system.variant_space().count();
     let evaluator = PartitionEvaluator::default();
     const ROUNDS: usize = 7;
 
-    let run = |metrics_enabled: bool| -> u128 {
+    let run = |metrics_enabled: bool, spans_enabled: bool| -> u128 {
         let service = ExplorationService::start(ServiceConfig {
             workers: 4,
             metrics_enabled,
+            spans_enabled,
             watchdog_interval: None,
             ..ServiceConfig::default()
         });
@@ -735,26 +744,38 @@ fn measure_obs(interfaces: usize) -> ObsSection {
         started.elapsed().as_nanos()
     };
 
-    // One unrecorded warm-up pair populates caches and spawns threads once.
-    run(true);
-    run(false);
-    let mut instrumented = Vec::new();
-    let mut stubbed = Vec::new();
-    for _ in 0..ROUNDS {
-        instrumented.push(run(true));
-        stubbed.push(run(false));
-    }
-    instrumented.sort_unstable();
-    stubbed.sort_unstable();
-    let median_on = instrumented[ROUNDS / 2];
-    let median_off = stubbed[ROUNDS / 2];
+    let paired = |on: &dyn Fn() -> u128, off: &dyn Fn() -> u128| -> (u128, u128, f64) {
+        // One unrecorded warm-up pair populates caches and spawns threads.
+        on();
+        off();
+        let mut instrumented = Vec::new();
+        let mut stubbed = Vec::new();
+        for _ in 0..ROUNDS {
+            instrumented.push(on());
+            stubbed.push(off());
+        }
+        instrumented.sort_unstable();
+        stubbed.sort_unstable();
+        let median_on = instrumented[ROUNDS / 2];
+        let median_off = stubbed[ROUNDS / 2];
+        let pct = (median_on as f64 / median_off.max(1) as f64 - 1.0).max(0.0) * 100.0;
+        (median_on, median_off, pct)
+    };
+
+    let (instrumented_ns, stubbed_ns, overhead_pct) =
+        paired(&|| run(true, false), &|| run(false, false));
+    let (span_instrumented_ns, span_stubbed_ns, span_overhead_pct) =
+        paired(&|| run(true, true), &|| run(true, false));
     ObsSection {
         interfaces,
         variants,
         rounds: ROUNDS,
-        instrumented_ns: median_on,
-        stubbed_ns: median_off,
-        overhead_pct: (median_on as f64 / median_off.max(1) as f64 - 1.0).max(0.0) * 100.0,
+        instrumented_ns,
+        stubbed_ns,
+        overhead_pct,
+        span_instrumented_ns,
+        span_stubbed_ns,
+        span_overhead_pct,
     }
 }
 
@@ -788,7 +809,7 @@ fn main() {
     eprintln!("measuring durable store: cold vs warm-cache submit, recovery...");
     let store = measure_store(8);
 
-    eprintln!("measuring observability overhead: metrics plane on vs off...");
+    eprintln!("measuring observability overhead: metrics plane, then span recorder, on vs off...");
     let obs = measure_obs(12);
 
     let mut json = String::new();
@@ -986,7 +1007,7 @@ fn main() {
     json.push_str("  },\n");
     json.push_str("  \"obs\": {\n");
     json.push_str(&format!(
-        "    \"scenario\": \"scaling_system({}, 2), 4 workers: metrics plane enabled vs disabled, median of {} paired rounds\",\n",
+        "    \"scenario\": \"scaling_system({}, 2), 4 workers: metrics plane then span recorder enabled vs disabled, median of {} paired rounds each\",\n",
         obs.interfaces, obs.rounds
     ));
     json.push_str(&format!("    \"variants\": {},\n", obs.variants));
@@ -995,7 +1016,19 @@ fn main() {
         obs.instrumented_ns
     ));
     json.push_str(&format!("    \"stubbed_ns\": {},\n", obs.stubbed_ns));
-    json.push_str(&format!("    \"overhead_pct\": {:.2}\n", obs.overhead_pct));
+    json.push_str(&format!("    \"overhead_pct\": {:.2},\n", obs.overhead_pct));
+    json.push_str(&format!(
+        "    \"span_instrumented_ns\": {},\n",
+        obs.span_instrumented_ns
+    ));
+    json.push_str(&format!(
+        "    \"span_stubbed_ns\": {},\n",
+        obs.span_stubbed_ns
+    ));
+    json.push_str(&format!(
+        "    \"span_overhead_pct\": {:.2}\n",
+        obs.span_overhead_pct
+    ));
     json.push_str("  }\n}\n");
 
     std::fs::write(&output, &json).expect("baseline file is writable");

@@ -19,8 +19,12 @@
 //! re-leases), `--trace-capacity N` (size of the scheduler-decision trace
 //! ring drained by the `trace` op; 0 disables capture), `--no-metrics`
 //! (disable the metrics plane: counters, histograms, the `metrics` op and
-//! the watchdog), `--watchdog-interval MS` (background stall-sweep period
-//! for the `health` op; 0 disables the sweeper thread, default 1000).
+//! the watchdog), `--no-spans` (disable the profiling plane: phase spans,
+//! the `profile`/`spans` ops, span watch frames and the quiesce
+//! `profile.json`), `--span-capacity N` (per-worker span ring capacity,
+//! default 65536; 0 disables recording), `--watchdog-interval MS`
+//! (background stall-sweep period for the `health` op; 0 disables the
+//! sweeper thread, default 1000).
 //! Diagnostics go to stderr; stdout carries exactly one JSON response line
 //! per request — except `watch`, which streams frames until the service
 //! goes idle.
@@ -59,10 +63,10 @@ fn main() {
         eprintln!(
             "usage: spi-explored [--workers N] [--batch N] [--lease-ms N] [--store DIR]\n\
                     [--cache-limit N] [--compact-log-bytes N] [--no-hedge] [--trace-capacity N]\n\
-                    [--no-metrics] [--watchdog-interval MS]\n\
+                    [--no-metrics] [--no-spans] [--span-capacity N] [--watchdog-interval MS]\n\
              ndjson requests on stdin, one JSON response per line on stdout;\n\
              ops: submit | poll | wait | top | jobs | cancel | graph | trace |\n\
-                  metrics | health | watch | shutdown\n\
+                  metrics | profile | spans | health | watch | shutdown\n\
              EOF on stdin quiesces cleanly: in-flight shards commit, the store compacts."
         );
         return;
@@ -94,6 +98,12 @@ fn main() {
     }
     if args.iter().any(|arg| arg == "--no-metrics") {
         config.metrics_enabled = false;
+    }
+    if args.iter().any(|arg| arg == "--no-spans") {
+        config.spans_enabled = false;
+    }
+    if let Some(capacity) = parse_flag(&args, "--span-capacity") {
+        config.span_capacity = capacity as usize;
     }
     if let Some(interval_ms) = parse_flag(&args, "--watchdog-interval") {
         config.watchdog_interval = if interval_ms == 0 {

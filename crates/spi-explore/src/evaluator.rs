@@ -17,6 +17,7 @@
 
 use spi_model::json::{JsonValue, ToJson};
 use spi_model::SpiGraph;
+use spi_store::span::{PhaseId, SpanSink};
 use spi_synth::partition::optimize_compiled;
 use spi_synth::{
     compiled_from_flat_graph, FeasibilityMode, SearchStrategy, SynthError, TaskParams,
@@ -74,6 +75,23 @@ pub trait Evaluator: Send + Sync {
         graph: &SpiGraph,
         incumbent: u64,
     ) -> Result<Evaluation>;
+
+    /// As [`evaluate`](Self::evaluate), with a [`SpanSink`] the evaluator
+    /// may record its internal stages into (the default [`PartitionEvaluator`]
+    /// times its compile lowering and branch-and-bound search separately).
+    /// The default implementation ignores the sink and delegates, so plain
+    /// evaluators need not care that the profiling plane exists.
+    fn evaluate_spanned(
+        &self,
+        index: usize,
+        choice: &VariantChoice,
+        graph: &SpiGraph,
+        incumbent: u64,
+        spans: &SpanSink,
+    ) -> Result<Evaluation> {
+        let _ = spans;
+        self.evaluate(index, choice, graph, incumbent)
+    }
 }
 
 // --- task parameters -------------------------------------------------------------------
@@ -232,18 +250,44 @@ impl Evaluator for PartitionEvaluator {
 
     fn evaluate(
         &self,
+        index: usize,
+        choice: &VariantChoice,
+        graph: &SpiGraph,
+        incumbent: u64,
+    ) -> Result<Evaluation> {
+        self.evaluate_spanned(index, choice, graph, incumbent, &SpanSink::disabled())
+    }
+
+    fn evaluate_spanned(
+        &self,
         _index: usize,
         _choice: &VariantChoice,
         graph: &SpiGraph,
         _incumbent: u64,
+        spans: &SpanSink,
     ) -> Result<Evaluation> {
+        let spanning = spans.is_enabled();
         // The direct slab → CompiledProblem path: one pass over the flattened
         // graph's node slab, no string-keyed SynthesisProblem in between
         // (bit-identical to the two-step path, pinned in spi-synth's tests).
+        if spanning {
+            spans.enter(PhaseId::CompileLower);
+        }
         let compiled = compiled_from_flat_graph(graph, self.processor_cost, |name| {
             Some(self.params.params_for(name))
-        })?;
-        match optimize_compiled(&compiled, self.mode, self.strategy) {
+        });
+        if spanning {
+            spans.exit();
+        }
+        let compiled = compiled?;
+        if spanning {
+            spans.enter(PhaseId::PartitionSearch);
+        }
+        let searched = optimize_compiled(&compiled, self.mode, self.strategy);
+        if spanning {
+            spans.exit();
+        }
+        match searched {
             Ok(result) => Ok(Evaluation {
                 cost: result.cost.total(),
                 feasible: true,

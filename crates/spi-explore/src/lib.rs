@@ -75,6 +75,9 @@ pub use report::{BestVariant, ShardReport};
 pub use service::{ExplorationService, ServiceConfig};
 pub use spi_model::introspect::{GraphEdge, GraphNode, GraphSnapshot};
 pub use spi_store::sched::HedgeConfig;
+pub use spi_store::span::{
+    CriticalPath, PhaseId, Profile, Span, SpanDrain, SpanIds, SpanRecorder, SpanSink,
+};
 pub use spi_store::trace::{
     ReplayReport, TraceDrain, TraceEvent, TraceReplay, TraceSubscription, TracedEvent,
 };
@@ -82,7 +85,9 @@ pub use spi_store::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 pub use wire::{
     handle_request, rebuild_from_recipe, run_session, serve, status_from_json, WireStatus,
 };
-pub use worker::{drain_lease, drain_lease_instrumented, DrainOutcome, FlushResponse};
+pub use worker::{
+    drain_lease, drain_lease_instrumented, drain_lease_spanned, DrainOutcome, FlushResponse,
+};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ExploreError>;

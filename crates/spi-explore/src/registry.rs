@@ -82,6 +82,7 @@ use spi_model::introspect::{GraphEdge, GraphNode, GraphSnapshot};
 use spi_model::json::{FromJson, JsonValue, ToJson};
 use spi_store::metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 use spi_store::sched::{FairScheduler, HedgeConfig, LatencyTracker};
+use spi_store::span::{PhaseId, SpanIds, SpanSink};
 use spi_store::trace::{
     TraceCapture, TraceDrain, TraceEvent, TraceSubscription, DEFAULT_TRACE_CAPACITY,
 };
@@ -258,6 +259,9 @@ pub struct Lease {
     pub shard: usize,
     /// Total shard count of the job (the stride).
     pub shard_count: usize,
+    /// The job's fair-queuing tenant — span attribution uses it, so a worker
+    /// never has to re-ask the registry who it is working for.
+    pub tenant: String,
     /// Top-K cap for the shard's report.
     pub top_k: usize,
     /// The job's shared flattening machine.
@@ -549,6 +553,9 @@ pub struct JobRegistry {
     /// shared with the service layer (and with benches, which may hand in a
     /// [`MetricsRegistry::disabled`] stub to measure instrumentation cost).
     metrics: Arc<MetricsRegistry>,
+    /// The registry's own span sink (commit/renew/WAL phases run under the
+    /// registry lock, so one sink suffices); a disabled no-op by default.
+    spans: SpanSink,
 }
 
 impl JobRegistry {
@@ -577,6 +584,7 @@ impl JobRegistry {
             auto_compactions: 0,
             trace,
             metrics: Arc::new(MetricsRegistry::new()),
+            spans: SpanSink::disabled(),
         }
     }
 
@@ -591,6 +599,23 @@ impl JobRegistry {
     /// The metrics registry transitions are counted into.
     pub fn metrics(&self) -> Arc<MetricsRegistry> {
         Arc::clone(&self.metrics)
+    }
+
+    /// Replaces the span sink the registry's own phases (lease renew, shard
+    /// commit, WAL append) are recorded into. The service layer hands in a
+    /// sink of its shared [`SpanRecorder`](spi_store::SpanRecorder) at
+    /// startup; the default is the disabled no-op.
+    pub fn set_spans(&mut self, spans: SpanSink) {
+        self.spans = spans;
+    }
+
+    /// A lock-free live mirror of the scheduler trace's next sequence
+    /// number, for [`SpanRecorder::link_trace_seq`]
+    /// (spans bracket themselves with the decisions they overlapped).
+    ///
+    /// [`SpanRecorder::link_trace_seq`]: spi_store::SpanRecorder::link_trace_seq
+    pub fn trace_seq_mirror(&self) -> Arc<AtomicU64> {
+        self.trace.seq_mirror()
     }
 
     /// Attaches the durability sink every subsequent transition is
@@ -929,6 +954,7 @@ impl JobRegistry {
             lease,
             shard,
             shard_count: job.shard_count,
+            tenant: job.tenant.clone(),
             top_k: job.top_k,
             flattener: Arc::clone(flattener),
             evaluator: Arc::clone(evaluator),
@@ -947,9 +973,42 @@ impl JobRegistry {
             .ok_or(ExploreError::StaleLease(lease))
     }
 
+    /// The attribution ids of `lease` right now, for span context: the same
+    /// job/shard/lease/tenant/worker ids the waitgraph nodes carry.
+    fn span_context(&self, job_id: JobId, shard: usize, lease: LeaseId) -> SpanIds {
+        let job = self.jobs.get(&job_id);
+        let worker = job.and_then(|job| match &job.shards[shard] {
+            ShardSlot::Leased { holders } => holders
+                .iter()
+                .find(|holder| holder.lease == lease)
+                .map(|holder| Arc::<str>::from(holder.worker.as_str())),
+            _ => None,
+        });
+        SpanIds {
+            job: Some(job_id.raw()),
+            shard: Some(shard as u64),
+            lease: Some(lease.raw()),
+            tenant: job.map(|job| Arc::<str>::from(job.tenant.as_str())),
+            worker,
+        }
+    }
+
     fn append_record(&mut self, record: &JsonValue) -> Result<()> {
         if let Some(sink) = self.sink.as_mut() {
-            sink.append(record).map_err(ExploreError::Store)?;
+            let spanning = self.spans.is_enabled();
+            if spanning {
+                // A standalone append (submit, cancel) is not attributable
+                // to any lease; only nested appends inherit commit context.
+                if self.spans.depth() == 0 {
+                    self.spans.clear_context();
+                }
+                self.spans.enter(PhaseId::WalAppend);
+            }
+            let appended = sink.append(record).map_err(ExploreError::Store);
+            if spanning {
+                self.spans.exit();
+            }
+            appended?;
             if self.metrics.is_enabled() {
                 self.metrics.add(CounterId::WalAppends, 1);
                 self.metrics
@@ -972,6 +1031,12 @@ impl JobRegistry {
     /// working on the shard.
     pub fn report_batch(&mut self, lease: LeaseId, delta: ShardReport, now: Instant) -> Result<()> {
         let (job_id, shard) = self.resolve_lease(lease)?;
+        let spanning = self.spans.is_enabled();
+        if spanning {
+            let ids = self.span_context(job_id, shard, lease);
+            self.spans.set_context(ids);
+            self.spans.enter(PhaseId::LeaseRenew);
+        }
         let deadline = now + self.config.lease_timeout;
         let job = self.jobs.get_mut(&job_id).expect("lease resolves to job");
         if let ShardSlot::Leased { holders } = &mut job.shards[shard] {
@@ -1005,6 +1070,9 @@ impl JobRegistry {
                 job.emit(JobEvent::Improved { best });
             }
         }
+        if spanning {
+            self.spans.exit();
+        }
         Ok(())
     }
 
@@ -1031,6 +1099,12 @@ impl JobRegistry {
         now: Instant,
     ) -> Result<bool> {
         let (job_id, shard) = self.resolve_lease(lease)?;
+        let spanning = self.spans.is_enabled();
+        if spanning {
+            let ids = self.span_context(job_id, shard, lease);
+            self.spans.set_context(ids);
+            self.spans.enter(PhaseId::ShardCommit);
+        }
 
         // Write-ahead: the commit record goes to the sink before any in-memory
         // state changes, so a crash on either side of the append replays to a
@@ -1047,7 +1121,12 @@ impl JobRegistry {
                 ("shard", shard.to_json()),
                 ("report", full.to_json()),
             ]);
-            self.append_record(&record)?;
+            if let Err(rejected) = self.append_record(&record) {
+                if spanning {
+                    self.spans.exit();
+                }
+                return Err(rejected);
+            }
         }
         self.report_batch(lease, delta, now)
             .expect("lease resolved above and nothing in between can invalidate it");
@@ -1124,9 +1203,15 @@ impl JobRegistry {
                     .set_gauge(GaugeId::CacheBytes, self.cache.total_bytes() as u64);
             }
             self.maybe_compact_for_size();
+            if spanning {
+                self.spans.exit();
+            }
             return Ok(true);
         }
         self.maybe_compact_for_size();
+        if spanning {
+            self.spans.exit();
+        }
         Ok(false)
     }
 

@@ -26,6 +26,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use spi_store::sched::HedgeConfig;
+use spi_store::span::{self, Profile, SpanDrain, SpanIds, SpanRecorder, SpanSink};
 use spi_store::trace::TraceSubscription;
 use spi_store::{CacheLimit, MetricsRegistry, Wal};
 use spi_variants::VariantSystem;
@@ -37,7 +38,7 @@ use crate::registry::{
     JobEvent, JobId, JobRegistry, JobSpec, JobStatus, Lease, RegistryConfig, RestoreStats,
 };
 use crate::wire::rebuild_from_recipe;
-use crate::worker::{drain_lease_instrumented, DrainOutcome, FlushResponse};
+use crate::worker::{drain_lease_spanned, DrainOutcome, FlushResponse};
 use crate::{ExploreError, Result};
 use spi_model::json::JsonValue;
 
@@ -73,6 +74,12 @@ pub struct ServiceConfig {
     /// leases, starved tenants and a stalled WAL; `None` disables the thread
     /// (the `health` op still sweeps inline on demand).
     pub watchdog_interval: Option<Duration>,
+    /// Whether the span recorder captures anything. `false` swaps in
+    /// [`SpanRecorder::disabled`] — every instrumentation site collapses to
+    /// one branch, same discipline as `metrics_enabled`.
+    pub spans_enabled: bool,
+    /// Per-worker span ring capacity; `0` disables recording outright.
+    pub span_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -88,6 +95,8 @@ impl Default for ServiceConfig {
             trace_capacity: spi_store::trace::DEFAULT_TRACE_CAPACITY,
             metrics_enabled: true,
             watchdog_interval: Some(Duration::from_secs(1)),
+            spans_enabled: true,
+            span_capacity: span::DEFAULT_SPAN_CAPACITY,
         }
     }
 }
@@ -120,6 +129,11 @@ struct Inner {
     watchdog: Mutex<Watchdog>,
     /// Where quiesce writes its final `metrics.json`, when durable.
     store_dir: Option<PathBuf>,
+    /// The span recorder behind the profiling plane; every worker sink and
+    /// the registry's own sink feed it.
+    spans: Arc<SpanRecorder>,
+    /// When the service came up — the zero point of `uptime_ns` stamps.
+    started: Instant,
 }
 
 /// A running exploration service; dropping it stops the worker pool (workers
@@ -178,6 +192,15 @@ impl ExplorationService {
             MetricsRegistry::disabled()
         });
         registry.set_metrics(Arc::clone(&metrics));
+        let spans = Arc::new(if config.spans_enabled && config.span_capacity > 0 {
+            SpanRecorder::new(config.span_capacity)
+        } else {
+            SpanRecorder::disabled()
+        });
+        // Trace-seq correlation: every span brackets the scheduler-decision
+        // sequence numbers it overlapped.
+        spans.link_trace_seq(registry.trace_seq_mirror());
+        registry.set_spans(spans.sink("registry"));
         let inner = Arc::new(Inner {
             registry: Mutex::new(registry),
             work_available: Condvar::new(),
@@ -188,6 +211,8 @@ impl ExplorationService {
             metrics,
             watchdog: Mutex::new(Watchdog::new()),
             store_dir: config.store_dir.clone(),
+            spans,
+            started: Instant::now(),
         });
         let workers = (0..config.workers.max(1))
             .map(|index| {
@@ -341,6 +366,66 @@ impl ExplorationService {
         self.inner.metrics.snapshot()
     }
 
+    /// [`metrics_snapshot`](Self::metrics_snapshot) with a capture header
+    /// prepended: `captured_unix_ms` (wall clock) and `uptime_ns` (since
+    /// service start). What the `metrics` op and `metrics.json` actually
+    /// carry — the raw snapshot stays deliberately time-free so identical
+    /// runs stay byte-identical.
+    pub fn metrics_snapshot_stamped(&self) -> JsonValue {
+        self.stamp(self.inner.metrics.snapshot())
+    }
+
+    /// The span recorder behind the profiling plane; cheap to clone, safe to
+    /// read without any service lock.
+    pub fn span_recorder(&self) -> Arc<SpanRecorder> {
+        Arc::clone(&self.inner.spans)
+    }
+
+    /// Completed spans with sequence `>= since`, merged across every worker
+    /// ring in completion order — the cursor feed behind `spans` watch
+    /// frames.
+    pub fn spans_since(&self, since: u64) -> SpanDrain {
+        self.inner.spans.read_since(since)
+    }
+
+    /// Aggregates every recorded span into the per-phase profile: counts,
+    /// total/self time, latency histograms, folded flamegraph stacks and
+    /// per-job critical paths. What the `profile` op returns and quiesce
+    /// writes to `profile.json`.
+    pub fn profile(&self) -> Profile {
+        let drain = self.inner.spans.read_since(0);
+        Profile::from_spans(&drain.spans, drain.dropped)
+    }
+
+    /// [`profile`](Self::profile) as stamped canonical JSON.
+    pub fn profile_snapshot(&self) -> JsonValue {
+        self.stamp(self.profile().to_json())
+    }
+
+    /// Every recorded span as Chrome trace-event JSON (`ph:"X"` complete
+    /// events, one process per tenant, one thread per worker) — load it at
+    /// `ui.perfetto.dev` or `chrome://tracing`.
+    pub fn chrome_trace(&self) -> JsonValue {
+        let drain = self.inner.spans.read_since(0);
+        span::chrome_trace(&drain.spans)
+    }
+
+    /// Prepends the capture header to a snapshot object.
+    fn stamp(&self, value: JsonValue) -> JsonValue {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |since| since.as_millis() as i128);
+        let uptime = self.inner.started.elapsed().as_nanos() as i128;
+        let JsonValue::Object(fields) = value else {
+            return value;
+        };
+        let mut stamped = Vec::with_capacity(fields.len() + 2);
+        stamped.push(("captured_unix_ms".to_string(), JsonValue::Int(unix_ms)));
+        stamped.push(("uptime_ns".to_string(), JsonValue::Int(uptime)));
+        stamped.extend(fields);
+        JsonValue::Object(stamped)
+    }
+
     /// Sweeps the stall watchdog **now** against a fresh health observation
     /// and returns its report. Shares progress baselines with the background
     /// sweeper, so back-to-back calls inside the watchdog's minimum window
@@ -418,12 +503,17 @@ impl ExplorationService {
             if registry.live_lease_count() == 0 {
                 registry.compact_store()?;
                 drop(registry);
-                // The final metrics snapshot lands next to the WAL — a
-                // post-mortem of the run that survives the process.
+                // The final metrics and profile snapshots land next to the
+                // WAL — a post-mortem of the run that survives the process.
                 if let Some(dir) = &self.inner.store_dir {
                     if self.inner.metrics.is_enabled() {
-                        let line = self.inner.metrics.snapshot().to_line();
+                        let line = self.metrics_snapshot_stamped().to_line();
                         std::fs::write(dir.join("metrics.json"), line + "\n")
+                            .map_err(|e| ExploreError::Store(e.to_string()))?;
+                    }
+                    if self.inner.spans.is_enabled() {
+                        let line = self.profile_snapshot().to_line();
+                        std::fs::write(dir.join("profile.json"), line + "\n")
                             .map_err(|e| ExploreError::Store(e.to_string()))?;
                     }
                 }
@@ -457,6 +547,11 @@ impl Drop for ExplorationService {
 }
 
 fn worker_loop(inner: &Inner) {
+    let thread = std::thread::current();
+    let worker: Arc<str> = thread.name().unwrap_or("anonymous").into();
+    // One sink per worker thread: lock-free enter/exit into this worker's
+    // ring, flushed on exit. Lives for the whole loop.
+    let spans = inner.spans.sink(&worker);
     loop {
         if inner.shutdown.load(Ordering::Relaxed) {
             return;
@@ -468,11 +563,7 @@ fn worker_loop(inner: &Inner) {
                 registry.expire(Instant::now());
             }
             match (!draining)
-                .then(|| {
-                    let name = std::thread::current();
-                    let worker = name.name().unwrap_or("anonymous");
-                    registry.lease_as(worker, Instant::now())
-                })
+                .then(|| registry.lease_as(&worker, Instant::now()))
                 .flatten()
             {
                 Some(lease) => Some(lease),
@@ -488,7 +579,7 @@ fn worker_loop(inner: &Inner) {
             }
         };
         if let Some(lease) = lease {
-            process_lease(inner, &lease);
+            process_lease(inner, &lease, &spans, &worker);
         }
     }
 }
@@ -520,11 +611,23 @@ fn watchdog_loop(inner: &Inner, interval: Duration) {
     }
 }
 
-fn process_lease(inner: &Inner, lease: &Lease) {
-    let outcome = drain_lease_instrumented(
+fn process_lease(inner: &Inner, lease: &Lease, spans: &SpanSink, worker: &Arc<str>) {
+    if spans.is_enabled() {
+        // Every span recorded during this drain carries the lease's full
+        // waitgraph attribution.
+        spans.set_context(SpanIds {
+            job: Some(lease.job.raw()),
+            shard: Some(lease.shard as u64),
+            lease: Some(lease.lease.raw()),
+            tenant: Some(lease.tenant.as_str().into()),
+            worker: Some(Arc::clone(worker)),
+        });
+    }
+    let outcome = drain_lease_spanned(
         lease,
         inner.batch_size,
         &inner.metrics,
+        spans,
         || inner.shutdown.load(Ordering::Relaxed),
         |delta, is_final| {
             let mut registry = inner.registry.lock().expect("registry lock");

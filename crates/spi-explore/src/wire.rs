@@ -14,17 +14,22 @@
 //! ```
 //!
 //! Ops: `submit`, `poll`, `wait`, `top`, `jobs`, `cancel`, `graph`, `trace`,
-//! `metrics`, `health`, `watch`, `shutdown`.
+//! `metrics`, `profile`, `spans`, `health`, `watch`, `shutdown`.
 //! `submit` also takes `tenant` (fair-queuing bucket), `weight` (its WFQ
 //! share) and `no_cache` (bypass the result cache); responses carry
 //! `cache_hit` so a client can tell a served-from-cache job (`evaluated` is
 //! then 0 and `top` is the cached optimum). `trace` with a `since` cursor
 //! reads non-destructively from that sequence number (without `since` it
 //! drains, as before). `metrics` returns the full
-//! [`MetricsRegistry`](spi_store::MetricsRegistry) snapshot, `health` runs a
-//! stall-watchdog sweep, and `watch` upgrades the session to a **streaming
-//! subscription** — multiple response lines (`frame`: `trace` / `metrics` /
-//! `lagged` / `end`) until the service goes idle; see [`serve`]. Malformed
+//! [`MetricsRegistry`](spi_store::MetricsRegistry) snapshot under a
+//! `captured_unix_ms`/`uptime_ns` capture header, `profile` returns the
+//! span-derived per-phase profile (counts, total/self time, latency
+//! histograms, folded flamegraph stacks, per-job critical paths), `spans`
+//! exports every recorded span as Chrome trace-event JSON (load it in
+//! Perfetto), `health` runs a stall-watchdog sweep, and `watch` upgrades the
+//! session to a **streaming subscription** — multiple response lines
+//! (`frame`: `trace` / `metrics` / `spans` / `lagged` / `end`) until the
+//! service goes idle; see [`serve`]. Malformed
 //! requests answer `{"ok":false,"error":...}` and the stream continues; only
 //! `shutdown` (or EOF) ends [`serve`] — [`run_session`] then quiesces the
 //! service, so a closed stdin is a clean shutdown (in-flight shards commit,
@@ -410,7 +415,17 @@ fn dispatch(service: &ExplorationService, request: &JsonValue) -> Result<JsonVal
         "metrics" => Ok(JsonValue::object([
             ("ok", JsonValue::Bool(true)),
             ("op", JsonValue::string("metrics")),
-            ("metrics", service.metrics_snapshot()),
+            ("metrics", service.metrics_snapshot_stamped()),
+        ])),
+        "profile" => Ok(JsonValue::object([
+            ("ok", JsonValue::Bool(true)),
+            ("op", JsonValue::string("profile")),
+            ("profile", service.profile_snapshot()),
+        ])),
+        "spans" => Ok(JsonValue::object([
+            ("ok", JsonValue::Bool(true)),
+            ("op", JsonValue::string("spans")),
+            ("trace", service.chrome_trace()),
         ])),
         "health" => {
             let report = service.health();
@@ -513,6 +528,10 @@ fn write_frame<W: Write>(
 /// * `metrics` — periodic counter **deltas** since the previous metrics
 ///   frame (`counters`, zero-delta entries omitted), every `metrics_ms`
 ///   (default 500);
+/// * `spans` — one completed phase span (`span`), opt-in via `"spans":true`
+///   in the request; spans ride the same per-subscription `seq` and the
+///   stream's bounded-queue/lagged semantics are unchanged (spans are read
+///   by cursor from the recorder's rings, never queued);
 /// * `lagged` — the subscriber fell behind its bounded queue and `missed`
 ///   events were dropped rather than blocking the scheduler; a fresh
 ///   `metrics` frame follows immediately as the resync point;
@@ -525,8 +544,9 @@ fn write_frame<W: Write>(
 /// deduplicated by `seq`, so the hand-off is gap-free.
 ///
 /// Request knobs: `since` sets the backfill cursor, `queue` bounds the
-/// subscription (default 1024), and `slow_ms` injects a per-iteration
-/// consumer delay — a test knob that makes lag deterministic in CI.
+/// subscription (default 1024), `spans` turns on span frames, and `slow_ms`
+/// injects a per-iteration consumer delay — a test knob that makes lag
+/// deterministic in CI.
 fn run_watch<W: Write>(
     service: &ExplorationService,
     request: &JsonValue,
@@ -550,10 +570,33 @@ fn run_watch<W: Write>(
             .and_then(JsonValue::as_u64)
             .unwrap_or(0),
     );
+    let want_spans = request
+        .get("spans")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
     let metrics = service.metrics();
     // Subscribe before reading the backfill so nothing falls in between;
     // events present in both are deduplicated by their trace `seq` below.
     let subscription = service.subscribe_trace(queue);
+    // Span frames poll the recorder's rings by completion-order cursor, so
+    // they can never lag the subscription queue; the cursor starts at zero
+    // and backfills every span still ringed, mirroring the trace backfill.
+    let mut span_cursor = 0u64;
+    let span_frames = |output: &mut W, seq: &mut u64, cursor: &mut u64| -> std::io::Result<()> {
+        if !want_spans {
+            return Ok(());
+        }
+        for span in service.spans_since(*cursor).spans {
+            *cursor = span.seq + 1;
+            write_frame(
+                output,
+                "spans",
+                seq,
+                vec![("span".to_string(), span.to_json())],
+            )?;
+        }
+        Ok(())
+    };
     let since = request
         .get("since")
         .and_then(JsonValue::as_u64)
@@ -617,6 +660,7 @@ fn run_watch<W: Write>(
             write_frame(output, "metrics", &mut seq, deltas)?;
             last_metrics = Instant::now();
         }
+        span_frames(output, &mut seq, &mut span_cursor)?;
         if !saw_event && service.is_idle() {
             // Flush whatever raced in between the last read and the idle
             // check, then close the stream.
@@ -631,6 +675,7 @@ fn run_watch<W: Write>(
                     )?;
                 }
             }
+            span_frames(output, &mut seq, &mut span_cursor)?;
             let deltas = counter_deltas(&mut prev);
             write_frame(output, "metrics", &mut seq, deltas)?;
             write_frame(output, "end", &mut seq, Vec::new())?;
@@ -1170,6 +1215,184 @@ mod tests {
         assert!(
             lagged > 0,
             "a queue of 1 with a 5ms/frame consumer must drop events"
+        );
+    }
+
+    /// The profiling ops round-trip through the strict parser: `profile`
+    /// answers a stamped per-phase profile with folded stacks and a critical
+    /// path, `spans` answers Chrome trace-event JSON whose `X` events carry
+    /// valid phase names, integer pid/tid/ts/dur and waitgraph-formatted id
+    /// args, and `metrics` now leads with the capture header.
+    #[test]
+    fn profile_and_spans_ops_round_trip() {
+        use spi_store::span::PhaseId;
+
+        let service = ExplorationService::start(ServiceConfig::with_workers(2));
+        let responses = run_lines(
+            &service,
+            concat!(
+                "{\"op\":\"submit\",\"name\":\"profiled\",\"tenant\":\"team-a\",\
+                 \"system\":{\"scaling\":{\"interfaces\":4,\"clusters\":2}},\"shards\":4,\
+                 \"no_cache\":true}\n",
+                "{\"op\":\"wait\",\"job\":0}\n",
+            ),
+        );
+        assert_eq!(responses.len(), 2);
+        // `wait` wakes on the final shard *commit*, which lands inside the
+        // drain — the enclosing drain span exits moments later. Poll until
+        // every shard's drain span has been recorded.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let profile = loop {
+            let response =
+                handle_request(&service, &JsonValue::parse("{\"op\":\"profile\"}").unwrap());
+            let drains = response
+                .get("profile")
+                .and_then(|body| body.get("phases"))
+                .and_then(JsonValue::as_array)
+                .into_iter()
+                .flatten()
+                .find(|entry| entry.get("phase").unwrap().as_str() == Some("drain_shard"))
+                .and_then(|entry| entry.get("count").unwrap().as_u64())
+                .unwrap_or(0);
+            if drains >= 4 {
+                break response;
+            }
+            assert!(Instant::now() < deadline, "drain spans never landed");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let responses = run_lines(&service, "{\"op\":\"spans\"}\n{\"op\":\"metrics\"}\n");
+        assert_eq!(responses.len(), 2);
+
+        assert_eq!(profile.get("ok").unwrap().as_bool(), Some(true));
+        let body = profile.get("profile").unwrap();
+        assert!(body.get("captured_unix_ms").unwrap().as_u64().unwrap() > 0);
+        assert!(body.get("uptime_ns").unwrap().as_u64().is_some());
+        assert_eq!(body.get("dropped").unwrap().as_u64(), Some(0));
+        let phases = body.get("phases").unwrap().as_array().unwrap();
+        let drain = phases
+            .iter()
+            .find(|entry| entry.get("phase").unwrap().as_str() == Some("drain_shard"))
+            .expect("drain_shard profiled");
+        // At least one drain per shard; hedged or re-leased shards may add
+        // more under load, so the bound is one-sided.
+        let count = drain.get("count").unwrap().as_u64().unwrap();
+        assert!(count >= 4, "4 shards drained, saw {count}");
+        let total = drain.get("total_ns").unwrap().as_u64().unwrap();
+        let self_ns = drain.get("self_ns").unwrap().as_u64().unwrap();
+        assert!(self_ns <= total && total > 0);
+        assert_eq!(
+            drain
+                .get("duration_ns")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(count)
+        );
+        let folded = body.get("folded").unwrap().as_array().unwrap();
+        assert!(folded
+            .iter()
+            .any(|line| line.as_str().unwrap().starts_with("drain_shard;")));
+        let paths = body.get("critical_paths").unwrap().as_array().unwrap();
+        assert_eq!(paths.len(), 1, "one completed job, one critical path");
+        let path = &paths[0];
+        assert!(path.get("wall_ns").unwrap().as_u64().unwrap() > 0);
+        assert!(!path.get("steps").unwrap().as_array().unwrap().is_empty());
+        assert!(path.get("straggler").unwrap().get("lease").is_some());
+
+        let spans_response = &responses[0];
+        assert_eq!(spans_response.get("ok").unwrap().as_bool(), Some(true));
+        let trace = spans_response.get("trace").unwrap();
+        assert_eq!(trace.get("displayTimeUnit").unwrap().as_str(), Some("ns"));
+        let events = trace.get("traceEvents").unwrap().as_array().unwrap();
+        let mut complete_events = 0usize;
+        for event in events {
+            match event.get("ph").unwrap().as_str().unwrap() {
+                "M" => {
+                    assert!(event.get("name").unwrap().as_str().is_some());
+                    assert!(event.get("pid").unwrap().as_u64().is_some());
+                }
+                "X" => {
+                    complete_events += 1;
+                    let name = event.get("name").unwrap().as_str().unwrap();
+                    assert!(PhaseId::from_name(name).is_some(), "phase `{name}`");
+                    assert!(event.get("pid").unwrap().as_u64().is_some());
+                    assert!(event.get("tid").unwrap().as_u64().is_some());
+                    assert!(event.get("ts").unwrap().as_u64().is_some());
+                    assert!(event.get("dur").unwrap().as_u64().is_some());
+                    let args = event.get("args").unwrap();
+                    if let Some(job) = args.get("job").and_then(JsonValue::as_str) {
+                        assert!(job.starts_with("job:"), "waitgraph id format: {job}");
+                    }
+                    if let Some(lease) = args.get("lease").and_then(JsonValue::as_str) {
+                        assert!(lease.starts_with("lease:"));
+                    }
+                }
+                other => panic!("unexpected event kind `{other}`"),
+            }
+        }
+        assert!(complete_events >= 4, "at least one span per shard");
+
+        let metrics = responses[1].get("metrics").unwrap();
+        assert!(metrics.get("captured_unix_ms").unwrap().as_u64().unwrap() > 0);
+        assert!(metrics.get("uptime_ns").unwrap().as_u64().is_some());
+        assert!(metrics.get("counters").is_some(), "snapshot body intact");
+    }
+
+    /// `"spans":true` upgrades a watch session with span frames: completed
+    /// spans stream under the same strictly monotone per-subscription `seq`,
+    /// and sessions without the opt-in never see the frame kind.
+    #[test]
+    fn watch_streams_span_frames_when_opted_in() {
+        let service = ExplorationService::start(ServiceConfig::with_workers(2));
+        let responses = run_lines(
+            &service,
+            concat!(
+                "{\"op\":\"submit\",\"system\":{\"scaling\":{\"interfaces\":4,\"clusters\":2}},\
+                 \"shards\":8}\n",
+                "{\"op\":\"watch\",\"metrics_ms\":20,\"spans\":true}\n",
+                "{\"op\":\"watch\",\"metrics_ms\":20}\n",
+            ),
+        );
+        let frames: Vec<&JsonValue> = responses
+            .iter()
+            .filter(|r| r.get("op").and_then(JsonValue::as_str) == Some("watch"))
+            .collect();
+        // Both watch sessions restart seq at 0; split at the second zero.
+        let second_start = frames
+            .iter()
+            .skip(1)
+            .position(|frame| frame.get("seq").unwrap().as_u64() == Some(0))
+            .unwrap()
+            + 1;
+        let (with_spans, without) = frames.split_at(second_start);
+        for (at, frame) in with_spans.iter().enumerate() {
+            assert_eq!(frame.get("seq").unwrap().as_u64(), Some(at as u64));
+        }
+        let span_frames: Vec<&&JsonValue> = with_spans
+            .iter()
+            .filter(|f| f.get("frame").unwrap().as_str() == Some("spans"))
+            .collect();
+        // ≥1, not ≥shards: the last drain span exits moments *after* the
+        // commit that makes the service idle, so the closing flush may
+        // legitimately miss it — the client resumes from its span `seq`.
+        assert!(!span_frames.is_empty(), "spans streamed: {span_frames:?}");
+        // Span payloads carry their recorder seq (strictly increasing across
+        // frames — the client's resume cursor) and full attribution.
+        let mut last_span_seq = None;
+        for frame in &span_frames {
+            let span = frame.get("span").unwrap();
+            let seq = span.get("seq").unwrap().as_u64().unwrap();
+            assert!(last_span_seq.is_none_or(|last| seq > last));
+            last_span_seq = Some(seq);
+            assert!(span.get("phase").unwrap().as_str().is_some());
+            assert!(span.get("end_ns").unwrap().as_u64() >= span.get("start_ns").unwrap().as_u64());
+        }
+        assert!(
+            without
+                .iter()
+                .all(|f| f.get("frame").unwrap().as_str() != Some("spans")),
+            "span frames are opt-in"
         );
     }
 

@@ -10,6 +10,7 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 use spi_store::metrics::{CounterId, HistogramId, MetricsRegistry};
+use spi_store::span::{PhaseId, SpanSink};
 use spi_variants::DeltaFlattener;
 
 use crate::evaluator::Evaluation;
@@ -98,30 +99,71 @@ pub fn drain_lease_instrumented(
     batch_size: usize,
     metrics: &MetricsRegistry,
     stop: impl Fn() -> bool,
+    flush: impl FnMut(ShardReport, bool) -> FlushResponse,
+) -> DrainOutcome {
+    drain_lease_spanned(
+        lease,
+        batch_size,
+        metrics,
+        &SpanSink::disabled(),
+        stop,
+        flush,
+    )
+}
+
+/// [`drain_lease_instrumented`] plus the profiling plane: the whole drain
+/// becomes one [`PhaseId::DrainShard`] root span on `spans`, each variant's
+/// flatten is recorded as [`PhaseId::FlattenPatch`] or
+/// [`PhaseId::FlattenRebuild`] (classified by the delta flattener's own
+/// stats — a rebuild is exactly the one-shot `flatten_at` path), and the
+/// evaluator gets the sink via [`Evaluator::evaluate_spanned`] to time its
+/// internal stages. A disabled sink reduces every site to one branch.
+///
+/// [`Evaluator::evaluate_spanned`]: crate::evaluator::Evaluator::evaluate_spanned
+pub fn drain_lease_spanned(
+    lease: &Lease,
+    batch_size: usize,
+    metrics: &MetricsRegistry,
+    spans: &SpanSink,
+    stop: impl Fn() -> bool,
     mut flush: impl FnMut(ShardReport, bool) -> FlushResponse,
 ) -> DrainOutcome {
     let space = lease.flattener.space();
     let combinations = space.count();
     let batch_size = batch_size.max(1);
+    let spanning = spans.is_enabled();
 
     let mut delta = ShardReport::default();
     let mut flattener = DeltaFlattener::new(&lease.flattener);
     let mut batch_started = Instant::now();
     let mut since_flush = 0usize;
     let mut patches_seen = 0u64;
+    let mut span_patches = 0u64;
+    if spanning {
+        spans.enter(PhaseId::DrainShard);
+    }
 
     let mut rank = lease.shard;
     while rank < combinations {
         if lease.cancelled.load(Ordering::Relaxed) || stop() {
             record_flatten(metrics, &flattener);
+            if spanning {
+                spans.exit();
+            }
             return DrainOutcome::Stopped;
         }
 
+        let flatten_start = spanning.then(|| spans.stamp());
+        let flatten_end;
         match flattener.flatten_gray_rank(rank) {
             // A failed flatten also reset the patcher, so the next rank
             // rebuilds from the skeleton instead of a poisoned graph.
-            Err(_) => delta.errors += 1,
+            Err(_) => {
+                flatten_end = flatten_start.map(|_| spans.stamp());
+                delta.errors += 1;
+            }
             Ok((index, graph)) => {
+                flatten_end = flatten_start.map(|_| spans.stamp());
                 let choice = space
                     .choice_at(index)
                     .expect("gray rank maps into the space by construction");
@@ -132,7 +174,10 @@ pub fn drain_lease_instrumented(
                 if lease.evaluator.lower_bound(&choice, graph) > incumbent {
                     delta.pruned += 1;
                 } else {
-                    match lease.evaluator.evaluate(index, &choice, graph, incumbent) {
+                    match lease
+                        .evaluator
+                        .evaluate_spanned(index, &choice, graph, incumbent, spans)
+                    {
                         Err(_) => delta.errors += 1,
                         Ok(Evaluation {
                             cost,
@@ -159,6 +204,20 @@ pub fn drain_lease_instrumented(
             }
         }
 
+        // The flattened graph's borrow is over, so the flattener's stats are
+        // readable again: classify the flatten span patch-vs-rebuild the same
+        // way the metrics plane classifies its counters.
+        if let (Some(start), Some(end)) = (flatten_start, flatten_end) {
+            let stats = flattener.stats();
+            let phase = if stats.patches > span_patches {
+                PhaseId::FlattenPatch
+            } else {
+                PhaseId::FlattenRebuild
+            };
+            span_patches = stats.patches;
+            spans.record_complete(phase, start, end);
+        }
+
         if metrics.is_enabled() {
             let stats = flattener.stats();
             if stats.patches > patches_seen {
@@ -179,6 +238,9 @@ pub fn drain_lease_instrumented(
             let batch = std::mem::take(&mut delta);
             if flush(batch, false) == FlushResponse::Stop {
                 record_flatten(metrics, &flattener);
+                if spanning {
+                    spans.exit();
+                }
                 return DrainOutcome::Stale;
             }
             since_flush = 0;
@@ -188,10 +250,14 @@ pub fn drain_lease_instrumented(
 
     record_flatten(metrics, &flattener);
     delta.eval_ns = batch_started.elapsed().as_nanos();
-    match flush(delta, true) {
+    let outcome = match flush(delta, true) {
         FlushResponse::Continue => DrainOutcome::Completed,
         FlushResponse::Stop => DrainOutcome::Stale,
+    };
+    if spanning {
+        spans.exit();
     }
+    outcome
 }
 
 #[cfg(test)]

@@ -25,6 +25,12 @@
 //!   histograms ([`Histogram`]), organized in a [`MetricsRegistry`] with
 //!   static metric ids and per-tenant label handles; the continuous
 //!   aggregate layer next to the event-level trace.
+//! * [`span`] — hierarchical phase spans ([`SpanRecorder`], [`SpanSink`]):
+//!   monotonic enter/exit pairs in bounded per-worker rings, carrying
+//!   parent ids, static [`PhaseId`]s, waitgraph-compatible attribution and
+//!   the trace-seq window they overlapped; aggregated into per-phase
+//!   [`Profile`]s with folded flamegraph stacks and critical paths, or
+//!   exported as Chrome trace-event JSON ([`span::chrome_trace`]).
 //!
 //! The crate deliberately knows nothing about jobs, leases or evaluators:
 //! everything is expressed over raw ids and JSON payloads, so the store can
@@ -57,6 +63,7 @@ pub mod cache;
 pub mod error;
 pub mod metrics;
 pub mod sched;
+pub mod span;
 pub mod trace;
 pub mod wal;
 
@@ -66,6 +73,10 @@ pub use metrics::{
     Counter, CounterId, Gauge, GaugeId, Histogram, HistogramId, MetricsRegistry, TenantMetrics,
 };
 pub use sched::{Dispatch, Entry, FairScheduler, HedgeConfig, LatencyTracker};
+pub use span::{
+    CriticalPath, PhaseId, Profile, Span, SpanDrain, SpanIds, SpanRecorder, SpanSink, SpanStamp,
+    DEFAULT_SPAN_CAPACITY,
+};
 pub use trace::{
     ReplayReport, TraceCapture, TraceDrain, TraceEvent, TraceReplay, TraceSubscription, TracedEvent,
 };

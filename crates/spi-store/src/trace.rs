@@ -428,6 +428,9 @@ pub struct TraceCapture {
     next_seq: u64,
     dropped: u64,
     subscribers: Vec<TraceFanout>,
+    /// Live mirror of `next_seq`, shared lock-free with readers that must
+    /// not take the capture's lock (span recording on worker hot paths).
+    seq_mirror: Arc<AtomicU64>,
 }
 
 impl TraceCapture {
@@ -439,6 +442,7 @@ impl TraceCapture {
             next_seq: 0,
             dropped: 0,
             subscribers: Vec::new(),
+            seq_mirror: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -485,6 +489,7 @@ impl TraceCapture {
             event,
         };
         self.next_seq += 1;
+        self.seq_mirror.store(self.next_seq, Ordering::Relaxed);
         self.subscribers
             .retain(|sub| match sub.tx.try_send(traced.clone()) {
                 Ok(()) => true,
@@ -507,6 +512,14 @@ impl TraceCapture {
     /// The sequence number the *next* recorded event will get.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// A lock-free live mirror of [`next_seq`](Self::next_seq), updated on
+    /// every record. The span recorder reads it at span enter/exit to
+    /// bracket each span with the scheduler decisions it overlapped, without
+    /// touching whatever lock guards the capture itself.
+    pub fn seq_mirror(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.seq_mirror)
     }
 
     /// Registers a live subscriber with a bounded queue of `queue` events

@@ -10,24 +10,9 @@
 use spi_model::{digest_bytes, ChannelKind, Digest, GraphBuilder, Interval, SpiGraph};
 use spi_variants::{Cluster, DeltaFlattener, Flattener, Interface, VariantSystem, VariantType};
 
-/// Minimal deterministic LCG (Numerical Recipes constants) — no external
-/// dependency, reproducible across platforms.
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 33
-    }
-
-    /// Uniform in `lo..=hi`.
-    fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.next() % (hi - lo + 1)
-    }
-}
+/// Minimal deterministic LCG — the shared workspace generator, reproducible
+/// across platforms with no external dependency.
+use spi_testutil::Lcg;
 
 /// The graph digest the suite pins: the canonical `Display` listing, which
 /// walks both slabs in id order and prints every edge endpoint — equal bytes
@@ -40,7 +25,7 @@ fn graph_digest(graph: &SpiGraph) -> Digest {
 /// clusters of 1–3 chained processes, every interface spliced between a
 /// common source and sink.
 fn random_system(seed: u64) -> VariantSystem {
-    let mut rng = Lcg(seed.wrapping_mul(2).wrapping_add(1));
+    let mut rng = Lcg::from_state(seed.wrapping_mul(2).wrapping_add(1));
     let interfaces = rng.range(2, 4);
 
     let mut b = GraphBuilder::new(format!("rand{seed}"));
@@ -154,7 +139,7 @@ fn random_index_jumps_are_bit_identical() {
         let flattener = Flattener::new(&system).unwrap();
         let count = flattener.space().count();
         let mut delta = DeltaFlattener::new(&flattener);
-        let mut rng = Lcg(seed);
+        let mut rng = Lcg::from_state(seed);
         for step in 0..4 * count {
             let index = (rng.next() as usize) % count;
             let patched = delta.flatten_index(index).unwrap();
@@ -207,7 +192,7 @@ fn mid_walk_resets_do_not_change_results() {
         let flattener = Flattener::new(&system).unwrap();
         let count = flattener.space().count();
         let mut delta = DeltaFlattener::new(&flattener);
-        let mut rng = Lcg(seed ^ 0x5eed);
+        let mut rng = Lcg::from_state(seed ^ 0x5eed);
         for rank in 0..count {
             if rng.next().is_multiple_of(3) {
                 delta.reset();

@@ -1,0 +1,153 @@
+//! The chaos harness CLI.
+//!
+//! ```text
+//! spi-chaos corpus [--seeds N] [--start S] [--bug]
+//!     Run the seeded corpus. On the first failing seed, shrink it to a
+//!     minimal reproducer, print the replayable JSON line to stdout and
+//!     exit 1.
+//!
+//! spi-chaos replay [LINE]
+//!     Replay a reproducer line (argument, or first line of stdin). Exits 1
+//!     when the failure still reproduces — replaying a reproducer is
+//!     *supposed* to fail; exit 0 means it no longer does.
+//!
+//! spi-chaos check-census [--combinations N]
+//!     Read ndjson status lines from stdin (as printed by the wire `poll` /
+//!     `wait` ops) and apply the exactly-once census oracle to each line
+//!     that carries a census. Exit 1 on any violation. CI pipes the kill -9
+//!     smoke test's output through this.
+//! ```
+
+use std::io::{BufRead, Read};
+use std::process::ExitCode;
+
+use spi_chaos::sim::{run_seed, SimConfig};
+use spi_chaos::{oracle, FaultPlan, Reproducer};
+use spi_model::json::JsonValue;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("corpus") => corpus(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        Some("check-census") => check_census(&args[1..]),
+        _ => {
+            eprintln!("usage: spi-chaos <corpus|replay|check-census> [options]");
+            eprintln!("  corpus [--seeds N] [--start S] [--bug]");
+            eprintln!("  replay [LINE]            (or the first line of stdin)");
+            eprintln!("  check-census [--combinations N]   (ndjson on stdin)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|arg| arg == flag)
+        .and_then(|at| args.get(at + 1))
+        .and_then(|value| value.parse().ok())
+}
+
+fn corpus(args: &[String]) -> ExitCode {
+    let seeds = flag_value(args, "--seeds").unwrap_or(256);
+    let start = flag_value(args, "--start").unwrap_or(0);
+    let config = SimConfig {
+        commit_veto_bug: args.iter().any(|arg| arg == "--bug"),
+        ..SimConfig::default()
+    };
+    let oracle_best = config.serial_oracle();
+    let mut kills = 0u64;
+    let mut completed = 0u64;
+    for seed in start..start + seeds {
+        match run_seed(&config, seed, oracle_best) {
+            Ok(stats) => {
+                kills += u64::from(stats.kills);
+                completed += u64::from(stats.state == spi_explore::JobState::Completed);
+            }
+            Err(failure) => {
+                eprintln!("chaos: {failure}");
+                eprintln!("chaos: shrinking seed {seed}…");
+                let plan = FaultPlan::for_seed(seed);
+                let reproducer = Reproducer::minimize(&config, &plan, oracle_best);
+                eprintln!(
+                    "chaos: minimized {} events -> {}; reproducer line follows",
+                    plan.events.len(),
+                    reproducer.events.len()
+                );
+                println!("{}", reproducer.to_line());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "chaos: {seeds} seeds passed every oracle ({completed} completed jobs, {kills} kills survived)"
+    );
+    ExitCode::SUCCESS
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let line = match args.first() {
+        Some(line) => line.clone(),
+        None => {
+            let mut input = String::new();
+            if std::io::stdin().read_to_string(&mut input).is_err() || input.trim().is_empty() {
+                eprintln!("replay: no reproducer line on argv or stdin");
+                return ExitCode::from(2);
+            }
+            input.lines().next().unwrap_or_default().to_string()
+        }
+    };
+    let reproducer = match Reproducer::parse(&line) {
+        Ok(reproducer) => reproducer,
+        Err(error) => {
+            eprintln!("replay: unparsable reproducer: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    match reproducer.replay() {
+        Err(failure) => {
+            eprintln!("replay: failure reproduces: {failure}");
+            ExitCode::FAILURE
+        }
+        Ok(stats) => {
+            eprintln!(
+                "replay: plan no longer fails (state {:?}, {} accounted, {} kills)",
+                stats.state, stats.accounted, stats.kills
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn check_census(args: &[String]) -> ExitCode {
+    let combinations = flag_value(args, "--combinations");
+    let stdin = std::io::stdin();
+    let mut checked = 0u64;
+    let mut violations = 0u64;
+    for (number, line) in stdin.lock().lines().enumerate() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(value) = JsonValue::parse(&line) else {
+            eprintln!("check-census: line {}: not JSON", number + 1);
+            violations += 1;
+            continue;
+        };
+        // Only status-shaped lines carry a census; skip acks and errors.
+        if value.get("state").is_none() || value.get("combinations").is_none() {
+            continue;
+        }
+        checked += 1;
+        for violation in oracle::check_wire_census(&value, combinations) {
+            eprintln!("check-census: line {}: {violation}", number + 1);
+            violations += 1;
+        }
+    }
+    if violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("check-census: {checked} status lines clean");
+        ExitCode::SUCCESS
+    }
+}

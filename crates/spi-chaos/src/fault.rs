@@ -1,0 +1,292 @@
+//! Fault plans: the seeded schedule of worker and storage faults one
+//! simulation run executes.
+//!
+//! A [`FaultPlan`] is derived deterministically from a seed through the
+//! workspace LCG ([`spi_testutil::Lcg`]), executed by
+//! [`run_plan`](crate::sim::run_plan), and — on failure — shrunk by
+//! [`shrink`](crate::shrink::shrink) to a minimal reproducer. Every event is
+//! JSON round-trippable so a failing plan prints as one replayable line.
+
+use spi_model::json::{JsonError, JsonValue};
+use spi_testutil::Lcg;
+
+/// One step of a simulated fault schedule.
+///
+/// `pick` fields select among the leases currently held by simulated
+/// workers (reduced modulo the holder count at execution time, so shrinking
+/// a plan never invalidates a pick).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A simulated worker takes one lease and holds it.
+    Lease,
+    /// A held (or fresh) lease is drained to completion and committed in
+    /// `batch`-variant flushes, with the production retry discipline: a
+    /// store error on a flush is retried once with the same delta, then the
+    /// lease is abandoned.
+    DrainCommit {
+        /// Which held lease drains (modulo the holder count).
+        pick: u8,
+        /// Variants per flush.
+        batch: u8,
+    },
+    /// Crash **after stage**: the worker reports up to `batches` partial
+    /// batches, then goes silent forever — its staged state is
+    /// observational until the lease expires.
+    DrainCrash {
+        /// Which held lease crashes (modulo the holder count).
+        pick: u8,
+        /// Partial batches staged before the silence.
+        batches: u8,
+    },
+    /// Crash **before commit**: the worker evaluates its whole shard but
+    /// dies before any flush reaches the registry.
+    CrashBeforeCommit {
+        /// Which held lease crashes (modulo the holder count).
+        pick: u8,
+    },
+    /// Simulated time jumps forward by `ms` milliseconds (this is how lease
+    /// expiry and hedge deadlines are reached — the simulation never
+    /// sleeps).
+    Advance {
+        /// Milliseconds of skew.
+        ms: u32,
+    },
+    /// An expiry sweep at the current simulated time.
+    Expire,
+    /// A held lease is abandoned explicitly (worker-side give-up).
+    Abandon {
+        /// Which held lease is abandoned (modulo the holder count).
+        pick: u8,
+    },
+    /// The job is cancelled (through the sink — a scripted sink fault can
+    /// veto it, which the oracles must tolerate).
+    Cancel,
+    /// Arms the sink: the next append returns an error and the record is
+    /// lost.
+    FailNextAppend,
+    /// Arms the sink: the next append returns an error but the record
+    /// **lands anyway** — the ack was lost, not the write. Recovery must
+    /// deduplicate the retried record.
+    TornNextAppend,
+    /// Arms the sink: the next compaction fails.
+    FailNextCompact,
+    /// A compaction attempt at the current state.
+    Compact,
+    /// `kill -9`: the registry (with all held leases and staged state) is
+    /// dropped and a fresh one restores from the durable store, minus up to
+    /// `lose_tail` record-tail entries (a torn tail — writes that never
+    /// reached the platter).
+    Kill {
+        /// Records chopped off the durable tail before recovery.
+        lose_tail: u8,
+    },
+}
+
+impl FaultEvent {
+    /// Canonical JSON encoding (one compact object per event).
+    pub fn to_json(&self) -> JsonValue {
+        let obj = |fields: Vec<(&str, JsonValue)>| {
+            JsonValue::Object(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        };
+        let num = |n: u64| JsonValue::Int(i128::from(n));
+        let tag = |t: &str| ("e", JsonValue::Str(t.to_string()));
+        match self {
+            FaultEvent::Lease => obj(vec![tag("lease")]),
+            FaultEvent::DrainCommit { pick, batch } => obj(vec![
+                tag("drain_commit"),
+                ("pick", num(u64::from(*pick))),
+                ("batch", num(u64::from(*batch))),
+            ]),
+            FaultEvent::DrainCrash { pick, batches } => obj(vec![
+                tag("drain_crash"),
+                ("pick", num(u64::from(*pick))),
+                ("batches", num(u64::from(*batches))),
+            ]),
+            FaultEvent::CrashBeforeCommit { pick } => obj(vec![
+                tag("crash_before_commit"),
+                ("pick", num(u64::from(*pick))),
+            ]),
+            FaultEvent::Advance { ms } => obj(vec![tag("advance"), ("ms", num(u64::from(*ms)))]),
+            FaultEvent::Expire => obj(vec![tag("expire")]),
+            FaultEvent::Abandon { pick } => {
+                obj(vec![tag("abandon"), ("pick", num(u64::from(*pick)))])
+            }
+            FaultEvent::Cancel => obj(vec![tag("cancel")]),
+            FaultEvent::FailNextAppend => obj(vec![tag("fail_append")]),
+            FaultEvent::TornNextAppend => obj(vec![tag("torn_append")]),
+            FaultEvent::FailNextCompact => obj(vec![tag("fail_compact")]),
+            FaultEvent::Compact => obj(vec![tag("compact")]),
+            FaultEvent::Kill { lose_tail } => {
+                obj(vec![tag("kill"), ("lose_tail", num(u64::from(*lose_tail)))])
+            }
+        }
+    }
+
+    /// Decodes one event from its canonical JSON encoding.
+    ///
+    /// # Errors
+    ///
+    /// When the object has no `e` tag, an unknown tag, or a missing field.
+    pub fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let err = |message: &str| JsonError::new(message.to_string());
+        let tag = value
+            .get("e")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| err("fault event without an `e` tag"))?;
+        let byte = |key: &str| -> Result<u8, JsonError> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .map(|n| (n & 0xff) as u8)
+                .ok_or_else(|| err(&format!("fault event `{tag}` missing `{key}`")))
+        };
+        Ok(match tag {
+            "lease" => FaultEvent::Lease,
+            "drain_commit" => FaultEvent::DrainCommit {
+                pick: byte("pick")?,
+                batch: byte("batch")?,
+            },
+            "drain_crash" => FaultEvent::DrainCrash {
+                pick: byte("pick")?,
+                batches: byte("batches")?,
+            },
+            "crash_before_commit" => FaultEvent::CrashBeforeCommit {
+                pick: byte("pick")?,
+            },
+            "advance" => FaultEvent::Advance {
+                ms: value
+                    .get("ms")
+                    .and_then(JsonValue::as_u64)
+                    .map(|n| n.min(u64::from(u32::MAX)) as u32)
+                    .ok_or_else(|| err("advance without `ms`"))?,
+            },
+            "expire" => FaultEvent::Expire,
+            "abandon" => FaultEvent::Abandon {
+                pick: byte("pick")?,
+            },
+            "cancel" => FaultEvent::Cancel,
+            "fail_append" => FaultEvent::FailNextAppend,
+            "torn_append" => FaultEvent::TornNextAppend,
+            "fail_compact" => FaultEvent::FailNextCompact,
+            "compact" => FaultEvent::Compact,
+            "kill" => FaultEvent::Kill {
+                lose_tail: byte("lose_tail")?,
+            },
+            other => return Err(err(&format!("unknown fault event `{other}`"))),
+        })
+    }
+}
+
+/// A seeded fault schedule: the events plus the seed they came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed the plan was derived from (`None` for hand-built or shrunk
+    /// plans).
+    pub seed: Option<u64>,
+    /// The schedule, executed in order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Derives the schedule for `seed`: 8–31 events drawn from every fault
+    /// class, weighted toward lease/drain traffic so most schedules make
+    /// forward progress between faults.
+    pub fn for_seed(seed: u64) -> Self {
+        let mut lcg = Lcg::new(seed);
+        let len = 8 + lcg.below(24) as usize;
+        let mut events = Vec::with_capacity(len);
+        for _ in 0..len {
+            let pick = lcg.below(4) as u8;
+            events.push(match lcg.below(24) {
+                0..=4 => FaultEvent::Lease,
+                5..=9 => FaultEvent::DrainCommit {
+                    pick,
+                    batch: 1 + lcg.below(3) as u8,
+                },
+                10..=11 => FaultEvent::DrainCrash {
+                    pick,
+                    batches: 1 + lcg.below(2) as u8,
+                },
+                12 => FaultEvent::CrashBeforeCommit { pick },
+                13..=14 => FaultEvent::Advance {
+                    // Around the simulation's 10 s lease timeout: small skews
+                    // that renewals absorb, and past-deadline jumps.
+                    ms: [100, 5_000, 11_000, 30_000][lcg.below(4) as usize],
+                },
+                15 => FaultEvent::Expire,
+                16 => FaultEvent::Abandon { pick },
+                17 => FaultEvent::FailNextAppend,
+                18 => FaultEvent::TornNextAppend,
+                19 => FaultEvent::FailNextCompact,
+                20 => FaultEvent::Compact,
+                21..=22 => FaultEvent::Kill {
+                    lose_tail: lcg.below(3) as u8,
+                },
+                _ => {
+                    // Cancel ends the job, so keep it rare enough that most
+                    // schedules exercise the full completion path.
+                    if lcg.below(4) == 0 {
+                        FaultEvent::Cancel
+                    } else {
+                        FaultEvent::Lease
+                    }
+                }
+            });
+        }
+        FaultPlan {
+            seed: Some(seed),
+            events,
+        }
+    }
+
+    /// The plan's events as a canonical JSON array.
+    pub fn events_json(&self) -> JsonValue {
+        Self::events_json_of(&self.events)
+    }
+
+    /// Encodes any event slice as a canonical JSON array (the reproducer
+    /// uses this for minimized plans that no longer belong to a seed).
+    pub fn events_json_of(events: &[FaultEvent]) -> JsonValue {
+        JsonValue::Array(events.iter().map(FaultEvent::to_json).collect())
+    }
+
+    /// Decodes events from a JSON array (the inverse of
+    /// [`events_json`](Self::events_json)).
+    ///
+    /// # Errors
+    ///
+    /// When the value is not an array or any element fails to decode.
+    pub fn events_from_json(value: &JsonValue) -> Result<Vec<FaultEvent>, JsonError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| JsonError::new("fault plan events must be an array".to_string()))?;
+        items.iter().map(FaultEvent::from_json).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        assert_eq!(FaultPlan::for_seed(7), FaultPlan::for_seed(7));
+        assert_ne!(FaultPlan::for_seed(7).events, FaultPlan::for_seed(8).events);
+    }
+
+    #[test]
+    fn every_event_round_trips_through_json() {
+        for seed in 0..64 {
+            let plan = FaultPlan::for_seed(seed);
+            let encoded = plan.events_json();
+            let line = encoded.to_line();
+            let parsed = JsonValue::parse(&line).unwrap();
+            assert_eq!(FaultPlan::events_from_json(&parsed).unwrap(), plan.events);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Delta-debugging shrinker: bisects a failing fault plan down to a minimal
+//! reproducer and packages it as one replayable JSON line.
+//!
+//! The shrinker is greedy ddmin over the event list: starting with chunks of
+//! half the plan, it removes each chunk whose removal still fails the
+//! oracles, halving the chunk size whenever a full pass removes nothing,
+//! until even single-event removals all pass. Because `pick` fields select
+//! modulo the *current* holder count, removing unrelated events never
+//! invalidates the survivors.
+
+use spi_model::json::{JsonError, JsonValue};
+
+use crate::fault::{FaultEvent, FaultPlan};
+use crate::sim::{run_plan, SimConfig, SimFailure, SimStats};
+
+/// Greedily removes events from `events` while the plan keeps failing the
+/// oracles under `config`; returns the (locally) minimal failing plan.
+/// A plan that does not fail to begin with is returned unchanged.
+pub fn shrink(
+    config: &SimConfig,
+    events: &[FaultEvent],
+    oracle_best: (usize, u64),
+) -> Vec<FaultEvent> {
+    let fails = |candidate: &[FaultEvent]| run_plan(config, candidate, oracle_best).is_err();
+    let mut current = events.to_vec();
+    if !fails(&current) {
+        return current;
+    }
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let mut candidate = current.clone();
+            let end = (start + chunk).min(candidate.len());
+            candidate.drain(start..end);
+            if fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                // Same offset again: the next chunk shifted into place.
+            } else {
+                start += chunk;
+            }
+        }
+        if !reduced {
+            if chunk == 1 {
+                return current;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+/// A self-contained failing case: seed (if any), world config and the
+/// (minimized) event list — everything needed to replay the failure, as one
+/// JSON line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reproducer {
+    /// The seed the original plan came from.
+    pub seed: Option<u64>,
+    /// The simulated world.
+    pub config: SimConfig,
+    /// The minimized failing schedule.
+    pub events: Vec<FaultEvent>,
+}
+
+impl Reproducer {
+    /// Shrinks a failing `plan` and packages the result.
+    pub fn minimize(config: &SimConfig, plan: &FaultPlan, oracle_best: (usize, u64)) -> Reproducer {
+        Reproducer {
+            seed: plan.seed,
+            config: config.clone(),
+            events: shrink(config, &plan.events, oracle_best),
+        }
+    }
+
+    /// The one-line replayable form:
+    /// `{"chaos":1,"seed":…,"config":{…},"events":[…]}`.
+    pub fn to_line(&self) -> String {
+        JsonValue::object([
+            ("chaos", JsonValue::Int(1)),
+            (
+                "seed",
+                match self.seed {
+                    Some(seed) => JsonValue::Int(i128::from(seed)),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("config", self.config.to_json()),
+            ("events", FaultPlan::events_json_of(&self.events)),
+        ])
+        .to_line()
+    }
+
+    /// Parses a reproducer line produced by [`to_line`](Self::to_line).
+    ///
+    /// # Errors
+    ///
+    /// When the line is not a `{"chaos":1,…}` object or any part fails to
+    /// decode.
+    pub fn parse(line: &str) -> Result<Reproducer, JsonError> {
+        let value = JsonValue::parse(line.trim())?;
+        if value.get("chaos").and_then(JsonValue::as_u64) != Some(1) {
+            return Err(JsonError::new(
+                "not a chaos reproducer line (missing \"chaos\":1)".to_string(),
+            ));
+        }
+        let config = SimConfig::from_json(
+            value
+                .get("config")
+                .ok_or_else(|| JsonError::new("reproducer missing `config`".to_string()))?,
+        )?;
+        let events = FaultPlan::events_from_json(
+            value
+                .get("events")
+                .ok_or_else(|| JsonError::new("reproducer missing `events`".to_string()))?,
+        )?;
+        Ok(Reproducer {
+            seed: value.get("seed").and_then(JsonValue::as_u64),
+            config,
+            events,
+        })
+    }
+
+    /// Replays the reproducer from scratch (recomputing the serial oracle).
+    ///
+    /// # Errors
+    ///
+    /// The same [`SimFailure`] the original run died with, if the failure
+    /// still reproduces.
+    pub fn replay(&self) -> Result<SimStats, SimFailure> {
+        let oracle_best = self.config.serial_oracle();
+        run_plan(&self.config, &self.events, oracle_best).map_err(|mut failure| {
+            failure.seed = self.seed;
+            failure
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducer_lines_round_trip() {
+        let reproducer = Reproducer {
+            seed: Some(99),
+            config: SimConfig {
+                commit_veto_bug: true,
+                ..SimConfig::default()
+            },
+            events: vec![
+                FaultEvent::FailNextAppend,
+                FaultEvent::DrainCommit { pick: 0, batch: 4 },
+            ],
+        };
+        let line = reproducer.to_line();
+        assert_eq!(Reproducer::parse(&line).unwrap(), reproducer);
+    }
+
+    #[test]
+    fn a_passing_plan_is_returned_unchanged() {
+        let config = SimConfig::default();
+        let oracle_best = config.serial_oracle();
+        let events = vec![FaultEvent::Lease, FaultEvent::Expire];
+        assert_eq!(shrink(&config, &events, oracle_best), events);
+    }
+}

@@ -1,0 +1,98 @@
+//! Acceptance tests for the chaos harness itself:
+//!
+//! 1. A seeded corpus passes every oracle (the count is overridable via
+//!    `CHAOS_SEEDS` — CI runs 256 in release; the default keeps debug test
+//!    runs snappy).
+//! 2. An intentionally re-introduced commit-veto bug (`commit_veto_bug`) is
+//!    caught by the oracles and the shrinker minimizes the failing plan to a
+//!    tiny (≤ 5 events) reproducer whose JSON line round-trips and still
+//!    fails on replay.
+//! 3. Schedules genuinely exercise the fault space: across the corpus some
+//!    runs kill, complete, hedge and cancel.
+
+use spi_chaos::sim::{run_seed, SimConfig};
+use spi_chaos::{FaultPlan, Reproducer};
+use spi_explore::JobState;
+
+fn corpus_size() -> u64 {
+    std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(64)
+}
+
+#[test]
+fn the_seed_corpus_passes_every_oracle() {
+    let config = SimConfig::default();
+    let oracle_best = config.serial_oracle();
+    let seeds = corpus_size();
+    let mut kills = 0u64;
+    let mut completed = 0u64;
+    let mut cancelled = 0u64;
+    for seed in 0..seeds {
+        let stats = run_seed(&config, seed, oracle_best)
+            .unwrap_or_else(|failure| panic!("corpus must be clean, but: {failure}"));
+        kills += u64::from(stats.kills);
+        match stats.state {
+            JobState::Completed => completed += 1,
+            JobState::Cancelled => cancelled += 1,
+            JobState::Running => unreachable!("runs always end terminal"),
+        }
+    }
+    // The corpus must actually explore the space, not trivially no-op.
+    assert!(kills >= seeds / 2, "only {kills} kills over {seeds} seeds");
+    assert!(completed > 0, "no schedule completed its job");
+    assert!(cancelled > 0, "no schedule exercised cancellation");
+}
+
+#[test]
+fn the_commit_veto_bug_is_caught_and_minimized_to_a_tiny_reproducer() {
+    let config = SimConfig {
+        commit_veto_bug: true,
+        ..SimConfig::default()
+    };
+    let oracle_best = config.serial_oracle();
+    let failing_seed = (0..256)
+        .find(|&seed| run_seed(&config, seed, oracle_best).is_err())
+        .expect("256 seeds must surface the re-introduced commit-veto bug");
+    let failure = run_seed(&config, failing_seed, oracle_best).unwrap_err();
+    assert!(
+        failure.violations.iter().any(|v| v.starts_with("census:")),
+        "the bug must be caught by the census oracle, got: {failure}"
+    );
+
+    let plan = FaultPlan::for_seed(failing_seed);
+    let reproducer = Reproducer::minimize(&config, &plan, oracle_best);
+    assert!(
+        reproducer.events.len() <= 5,
+        "shrinker left {} events (plan had {}): {:?}",
+        reproducer.events.len(),
+        plan.events.len(),
+        reproducer.events
+    );
+
+    // The printed line is self-contained: parse it back and the failure
+    // still reproduces.
+    let line = reproducer.to_line();
+    let parsed = Reproducer::parse(&line).expect("reproducer line parses");
+    assert_eq!(parsed, reproducer);
+    let replayed = parsed.replay().expect_err("minimized plan must still fail");
+    assert!(
+        replayed.violations.iter().any(|v| v.starts_with("census:")),
+        "replay must fail the same oracle, got: {replayed}"
+    );
+}
+
+#[test]
+fn the_same_seed_yields_the_same_verdict_and_plan() {
+    let config = SimConfig::default();
+    let oracle_best = config.serial_oracle();
+    assert_eq!(FaultPlan::for_seed(17), FaultPlan::for_seed(17));
+    let first = run_seed(&config, 17, oracle_best);
+    let second = run_seed(&config, 17, oracle_best);
+    match (&first, &second) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b),
+        (Err(a), Err(b)) => assert_eq!(a, b),
+        _ => panic!("same seed diverged: {first:?} vs {second:?}"),
+    }
+}

@@ -1,0 +1,120 @@
+//! The service's time source, as a seam.
+//!
+//! [`JobRegistry`](crate::JobRegistry) is already `Instant`-injected — every
+//! deadline-bearing entry point (`lease`, `expire`, `complete_shard`, the
+//! watchdog's `observe`) takes `now` as an argument. This module lifts the
+//! same injection one layer up: [`ExplorationService`](crate::ExplorationService)
+//! worker loops, watchdog sweeps and hedging deadlines read time through a
+//! [`Clock`] carried in the [`ServiceConfig`](crate::ServiceConfig), so a
+//! deterministic harness (`spi-chaos`) can substitute a [`SimClock`] and jump
+//! simulated time — expiring leases, firing hedges and starving tenants
+//! without ever sleeping.
+//!
+//! Production code pays one virtual call per read; the default
+//! [`SystemClock`] simply forwards to [`Instant::now`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source.
+///
+/// Implementations must be monotone (never step backwards) and cheap: worker
+/// loops read the clock once per lease/flush cycle.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current instant.
+    fn now(&self) -> Instant;
+}
+
+/// The production clock: [`Instant::now`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A simulated clock: a fixed base instant plus an atomically-advanced
+/// offset. Time only moves when [`advance`](SimClock::advance) is called, so
+/// a single-threaded simulation controls exactly when leases expire and
+/// hedges fire.
+///
+/// Clone-shares the offset: all clones (and the service holding one behind
+/// `Arc<dyn Clock>`) observe every advance.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    base: Instant,
+    offset_ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A simulated clock starting at the real "now" with zero offset.
+    pub fn new() -> Self {
+        SimClock {
+            base: Instant::now(),
+            offset_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Advances simulated time by `delta`. Saturates at `u64::MAX`
+    /// nanoseconds of total offset (~584 years of simulated run).
+    pub fn advance(&self, delta: Duration) {
+        let ns = u64::try_from(delta.as_nanos()).unwrap_or(u64::MAX);
+        self.offset_ns
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                Some(cur.saturating_add(ns))
+            })
+            .ok();
+    }
+
+    /// Total simulated time elapsed since construction.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.offset_ns.load(Ordering::SeqCst))
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Instant {
+        self.base + self.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let clock = SystemClock;
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sim_clock_only_moves_on_advance() {
+        let clock = SimClock::new();
+        let start = clock.now();
+        assert_eq!(clock.now(), start);
+        clock.advance(Duration::from_secs(5));
+        assert_eq!(clock.now(), start + Duration::from_secs(5));
+        assert_eq!(clock.elapsed(), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn sim_clock_clones_share_the_offset() {
+        let clock = SimClock::new();
+        let shared: Arc<dyn Clock> = Arc::new(clock.clone());
+        let before = shared.now();
+        clock.advance(Duration::from_millis(250));
+        assert_eq!(shared.now(), before + Duration::from_millis(250));
+    }
+}

@@ -69,31 +69,74 @@ impl DurabilitySink for WalSink {
     }
 }
 
-#[cfg(test)]
-pub(crate) mod test_sinks {
-    use super::*;
-    use std::sync::{Arc, Mutex};
+/// The durable state an in-memory sink accumulates: a snapshot plus the
+/// record tail appended since — exactly what [`JobRegistry::restore`]
+/// consumes. Shared behind `Arc<Mutex<…>>` so it survives the registry (and
+/// sink) it was attached to, the way a WAL directory survives a process: a
+/// simulated crash drops the registry and restores a fresh one from the
+/// store's contents.
+///
+/// [`JobRegistry::restore`]: crate::JobRegistry::restore
+#[derive(Debug, Default, Clone)]
+pub struct MemoryStore {
+    /// The latest compacted snapshot, if any compaction ran.
+    pub snapshot: Option<JsonValue>,
+    /// Transition records appended since the latest compaction.
+    pub records: Vec<JsonValue>,
+    /// Serialized bytes of `records` — what [`DurabilitySink::log_bytes`]
+    /// reports, so size-triggered compaction is testable in memory.
+    pub log_bytes: u64,
+}
 
-    /// Records appends in memory; optionally fails every append.
-    pub struct MemorySink {
-        pub records: Arc<Mutex<Vec<JsonValue>>>,
-        pub fail: bool,
+/// In-memory [`DurabilitySink`] over a shared [`MemoryStore`]; optionally
+/// fails every operation (`fail: true`), modeling a sink outage.
+///
+/// Production uses [`WalSink`]; tests and the `spi-chaos` simulation use
+/// this to script failures and inspect (or corrupt) the record stream.
+pub struct MemorySink {
+    /// The store appends land in; shared so inspection outlives the sink.
+    pub store: std::sync::Arc<std::sync::Mutex<MemoryStore>>,
+    /// When `true`, every append and compact returns an error without
+    /// touching the store.
+    pub fail: bool,
+}
+
+impl MemorySink {
+    /// A working sink over `store`.
+    pub fn new(store: std::sync::Arc<std::sync::Mutex<MemoryStore>>) -> Self {
+        MemorySink { store, fail: false }
     }
 
-    impl DurabilitySink for MemorySink {
-        fn append(&mut self, record: &JsonValue) -> Result<(), String> {
-            if self.fail {
-                return Err("sink scripted to fail".to_string());
-            }
-            self.records.lock().unwrap().push(record.clone());
-            Ok(())
-        }
+    /// A sink that fails every operation, leaving `store` untouched.
+    pub fn failing(store: std::sync::Arc<std::sync::Mutex<MemoryStore>>) -> Self {
+        MemorySink { store, fail: true }
+    }
+}
 
-        fn compact(&mut self, _snapshot: &JsonValue) -> Result<u64, String> {
-            if self.fail {
-                return Err("sink scripted to fail".to_string());
-            }
-            Ok(0)
+impl DurabilitySink for MemorySink {
+    fn append(&mut self, record: &JsonValue) -> Result<(), String> {
+        if self.fail {
+            return Err("sink scripted to fail".to_string());
         }
+        let mut store = self.store.lock().expect("store lock");
+        store.log_bytes += record.to_line().len() as u64 + 1;
+        store.records.push(record.clone());
+        Ok(())
+    }
+
+    fn compact(&mut self, snapshot: &JsonValue) -> Result<u64, String> {
+        if self.fail {
+            return Err("sink scripted to fail".to_string());
+        }
+        let mut store = self.store.lock().expect("store lock");
+        let reclaimed = store.log_bytes;
+        store.snapshot = Some(snapshot.clone());
+        store.records.clear();
+        store.log_bytes = 0;
+        Ok(reclaimed)
+    }
+
+    fn log_bytes(&self) -> u64 {
+        self.store.lock().expect("store lock").log_bytes
     }
 }

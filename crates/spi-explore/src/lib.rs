@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod durability;
 pub mod error;
 pub mod evaluator;
@@ -61,7 +62,8 @@ pub mod service;
 pub mod wire;
 pub mod worker;
 
-pub use durability::{DurabilitySink, WalSink};
+pub use clock::{Clock, SimClock, SystemClock};
+pub use durability::{DurabilitySink, MemorySink, MemoryStore, WalSink};
 pub use error::ExploreError;
 pub use evaluator::{Evaluation, Evaluator, FnEvaluator, PartitionEvaluator, TaskParamsSpec};
 pub use health::{

@@ -1984,7 +1984,7 @@ impl RecoveredJob {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::durability::test_sinks::MemorySink;
+    use crate::durability::{MemorySink, MemoryStore};
     use crate::evaluator::{Evaluation, FnEvaluator};
     use spi_store::trace::TraceReplay;
     use spi_workloads::scaling_system;
@@ -2660,12 +2660,9 @@ mod tests {
     #[test]
     fn commits_are_write_ahead_and_sink_failures_abort_them() {
         let system = scaling_system(3, 2).unwrap();
-        let records = Arc::new(Mutex::new(Vec::new()));
+        let store = Arc::new(Mutex::new(MemoryStore::default()));
         let mut registry = JobRegistry::new(Duration::from_secs(30));
-        registry.set_sink(Box::new(MemorySink {
-            records: Arc::clone(&records),
-            fail: false,
-        }));
+        registry.set_sink(Box::new(MemorySink::new(Arc::clone(&store))));
         let id = registry
             .submit(
                 &system,
@@ -2682,7 +2679,7 @@ mod tests {
             .complete_shard(lease.lease, report_with(lease.shard, 5), now)
             .unwrap();
         {
-            let seen = records.lock().unwrap();
+            let seen = store.lock().unwrap().records.clone();
             assert_eq!(seen.len(), 2, "submit + shard commit recorded");
             assert_eq!(seen[0].get("t").unwrap().as_str(), Some("submit"));
             assert_eq!(seen[1].get("t").unwrap().as_str(), Some("shard"));
@@ -2691,10 +2688,7 @@ mod tests {
         // A failing sink vetoes the commit: the lease stays live, nothing
         // merges (not even staged state), and retrying with the *same* delta
         // once the sink heals neither loses nor double-counts it.
-        registry.set_sink(Box::new(MemorySink {
-            records: Arc::clone(&records),
-            fail: true,
-        }));
+        registry.set_sink(Box::new(MemorySink::failing(Arc::clone(&store))));
         let lease = registry.lease(now).unwrap();
         let delta = report_with(lease.shard, 5);
         assert!(matches!(
@@ -2707,20 +2701,14 @@ mod tests {
             1,
             "a vetoed commit must not stage its delta"
         );
-        registry.set_sink(Box::new(MemorySink {
-            records: Arc::clone(&records),
-            fail: false,
-        }));
+        registry.set_sink(Box::new(MemorySink::new(Arc::clone(&store))));
         assert!(registry.complete_shard(lease.lease, delta, now).unwrap());
         let status = registry.poll(id).unwrap();
         assert_eq!(status.state, JobState::Completed);
         assert_eq!(status.report.evaluated, 2, "same-delta retry counts once");
 
         // Cancel on a failing sink is refused too.
-        registry.set_sink(Box::new(MemorySink {
-            records: Arc::clone(&records),
-            fail: true,
-        }));
+        registry.set_sink(Box::new(MemorySink::failing(Arc::clone(&store))));
         let running = registry
             .submit(&system, JobSpec::default(), test_evaluator())
             .err();
@@ -2730,12 +2718,9 @@ mod tests {
     #[test]
     fn snapshot_and_records_restore_to_the_same_census() {
         let system = scaling_system(3, 2).unwrap(); // 8 combinations
-        let records = Arc::new(Mutex::new(Vec::new()));
+        let store = Arc::new(Mutex::new(MemoryStore::default()));
         let mut registry = JobRegistry::new(Duration::from_secs(30));
-        registry.set_sink(Box::new(MemorySink {
-            records: Arc::clone(&records),
-            fail: false,
-        }));
+        registry.set_sink(Box::new(MemorySink::new(Arc::clone(&store))));
         let evaluator = cacheable_evaluator(Arc::new(AtomicU64::new(0)));
         let id = registry
             .submit_with_recipe(
@@ -2784,7 +2769,7 @@ mod tests {
         assert_eq!(recovered.poll(id).unwrap().report, committed_before);
 
         // Restore from raw records only (no snapshot) agrees.
-        let raw = records.lock().unwrap().clone();
+        let raw = store.lock().unwrap().records.clone();
         let mut replayed = JobRegistry::new(Duration::from_secs(30));
         let stats = replayed.restore(None, &raw, rebuild).unwrap();
         assert_eq!(stats.resumed, 1);
@@ -2815,12 +2800,9 @@ mod tests {
     #[test]
     fn running_job_without_a_recipe_restores_as_cancelled_with_its_results() {
         let system = scaling_system(3, 2).unwrap();
-        let records = Arc::new(Mutex::new(Vec::new()));
+        let store = Arc::new(Mutex::new(MemoryStore::default()));
         let mut registry = JobRegistry::new(Duration::from_secs(30));
-        registry.set_sink(Box::new(MemorySink {
-            records: Arc::clone(&records),
-            fail: false,
-        }));
+        registry.set_sink(Box::new(MemorySink::new(Arc::clone(&store))));
         let id = registry
             .submit(
                 &system,
@@ -2837,7 +2819,7 @@ mod tests {
             .complete_shard(lease.lease, report_with(lease.shard, 5), now)
             .unwrap();
 
-        let raw = records.lock().unwrap().clone();
+        let raw = store.lock().unwrap().records.clone();
         let mut recovered = JobRegistry::new(Duration::from_secs(30));
         let rebuild: &RebuildFn<'_> =
             &|_recipe: &JsonValue| Err(ExploreError::Workload("no rebuild".into()));

@@ -31,6 +31,7 @@ use spi_store::trace::TraceSubscription;
 use spi_store::{CacheLimit, MetricsRegistry, Wal};
 use spi_variants::VariantSystem;
 
+use crate::clock::{Clock, SystemClock};
 use crate::durability::WalSink;
 use crate::evaluator::Evaluator;
 use crate::health::{HealthReport, Watchdog};
@@ -43,10 +44,16 @@ use crate::{ExploreError, Result};
 use spi_model::json::JsonValue;
 
 /// Tunables of an [`ExplorationService`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads in the pool.
     pub workers: usize,
+    /// The time source every deadline in the service reads: worker-loop
+    /// expiry sweeps, lease grants (and thus hedging deadlines), flush
+    /// stamps, watchdog sweeps and quiesce. The default [`SystemClock`]
+    /// forwards to [`Instant::now`]; a simulation substitutes
+    /// [`SimClock`](crate::SimClock) to jump time deterministically.
+    pub clock: Arc<dyn Clock>,
     /// How long a lease survives without a batch or completion before its
     /// shard is re-queued.
     pub lease_timeout: Duration,
@@ -86,6 +93,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            clock: Arc::new(SystemClock),
             lease_timeout: Duration::from_secs(30),
             batch_size: 256,
             hedge: HedgeConfig::default(),
@@ -134,6 +142,8 @@ struct Inner {
     spans: Arc<SpanRecorder>,
     /// When the service came up — the zero point of `uptime_ns` stamps.
     started: Instant,
+    /// The deadline time source (see [`ServiceConfig::clock`]).
+    clock: Arc<dyn Clock>,
 }
 
 /// A running exploration service; dropping it stops the worker pool (workers
@@ -213,6 +223,7 @@ impl ExplorationService {
             store_dir: config.store_dir.clone(),
             spans,
             started: Instant::now(),
+            clock: Arc::clone(&config.clock),
         });
         let workers = (0..config.workers.max(1))
             .map(|index| {
@@ -431,7 +442,7 @@ impl ExplorationService {
     /// sweeper, so back-to-back calls inside the watchdog's minimum window
     /// still compare against a meaningful prior sweep.
     pub fn health(&self) -> HealthReport {
-        let now = Instant::now();
+        let now = self.inner.clock.now();
         let observation = self.registry().observe_health(now);
         self.inner
             .watchdog
@@ -499,7 +510,7 @@ impl ExplorationService {
             // it over — a lease orphaned by a dead or wedged worker must not
             // hold the shutdown hostage (live drains keep renewing via their
             // flushes and are unaffected).
-            registry.expire(Instant::now());
+            registry.expire(self.inner.clock.now());
             if registry.live_lease_count() == 0 {
                 registry.compact_store()?;
                 drop(registry);
@@ -560,10 +571,10 @@ fn worker_loop(inner: &Inner) {
             let mut registry = inner.registry.lock().expect("registry lock");
             let draining = inner.draining.load(Ordering::Relaxed);
             if !draining {
-                registry.expire(Instant::now());
+                registry.expire(inner.clock.now());
             }
             match (!draining)
-                .then(|| registry.lease_as(&worker, Instant::now()))
+                .then(|| registry.lease_as(&worker, inner.clock.now()))
                 .flatten()
             {
                 Some(lease) => Some(lease),
@@ -599,15 +610,19 @@ fn watchdog_loop(inner: &Inner, interval: Duration) {
             continue;
         }
         next_sweep = now + interval;
+        // Sweep pacing runs on wall time (the sleeps above), but the
+        // observation itself reads the service clock so simulated-time
+        // jumps are visible to stall detection.
+        let sweep_now = inner.clock.now();
         let observation = {
             let registry = inner.registry.lock().expect("registry lock");
-            registry.observe_health(now)
+            registry.observe_health(sweep_now)
         };
         let _ = inner
             .watchdog
             .lock()
             .expect("watchdog lock")
-            .sweep(&observation, now);
+            .sweep(&observation, sweep_now);
     }
 }
 
@@ -632,10 +647,10 @@ fn process_lease(inner: &Inner, lease: &Lease, spans: &SpanSink, worker: &Arc<st
         |delta, is_final| {
             let mut registry = inner.registry.lock().expect("registry lock");
             let result = if is_final {
-                registry.complete_shard(lease.lease, delta, Instant::now())
+                registry.complete_shard(lease.lease, delta, inner.clock.now())
             } else {
                 registry
-                    .report_batch(lease.lease, delta, Instant::now())
+                    .report_batch(lease.lease, delta, inner.clock.now())
                     .map(|()| false)
             };
             drop(registry);

@@ -36,27 +36,7 @@ const PROCESSOR_COST: u64 = 15;
 const SEED: u64 = 42;
 
 /// Deterministic pseudo-random case generator (the repo's usual 64-bit LCG).
-struct Cases {
-    state: u64,
-}
-
-impl Cases {
-    fn new(seed: u64) -> Self {
-        Cases {
-            state: seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407),
-        }
-    }
-
-    fn next(&mut self, range: u64) -> u64 {
-        self.state = self
-            .state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        (self.state >> 33) % range.max(1)
-    }
-}
+use spi_testutil::Lcg as Cases;
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir =
@@ -228,16 +208,16 @@ fn randomized_kill_points_recover_to_the_exact_census_and_optimum() {
         let mut kills = 0u32;
         let mut steps = 0u32;
         // At least one kill lands at a pseudo-random committed-shard count.
-        let forced_kill_after = cases.next(4);
+        let forced_kill_after = cases.below(4);
 
         while !registry.poll(job).unwrap().state.is_terminal() {
             steps += 1;
             assert!(steps < 10_000, "seed {seed}: schedule failed to converge");
             let done = registry.poll(job).unwrap().shards_done as u64;
             let force_kill = kills == 0 && done >= forced_kill_after;
-            match if force_kill { 4 } else { cases.next(6) } {
+            match if force_kill { 4 } else { cases.below(6) } {
                 0 | 1 => {
-                    let batch = 1 + cases.next(3) as usize;
+                    let batch = 1 + cases.below(3) as usize;
                     if let Some(lease) = registry.lease(clock) {
                         drain_fully(&mut registry, &lease, batch, clock);
                     }
@@ -281,6 +261,8 @@ fn randomized_kill_points_recover_to_the_exact_census_and_optimum() {
             COMBINATIONS as u64,
             "seed {seed}: census must be exact"
         );
+        let violations = spi_chaos::oracle::check_census(&status, COMBINATIONS);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
         let best = status.best().expect("a feasible optimum exists");
         assert_eq!(
             (best.index, best.cost, best.detail.as_str()),
@@ -460,5 +442,7 @@ fn byte_budgeted_registry_compacts_its_real_wal_mid_flight() {
     let status = registry.poll(JobId::from_raw(job_raw)).unwrap();
     assert_eq!(status.state, JobState::Completed);
     assert_eq!(status.report.accounted(), COMBINATIONS as u64);
+    let violations = spi_chaos::oracle::check_census(&status, COMBINATIONS);
+    assert!(violations.is_empty(), "{violations:?}");
     let _ = std::fs::remove_dir_all(&dir);
 }

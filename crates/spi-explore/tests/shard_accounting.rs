@@ -27,27 +27,7 @@ use spi_workloads::scaling_system;
 
 /// Deterministic pseudo-random case generator (64-bit LCG, same constants as
 /// the in-tree generator used by `tests/properties.rs`).
-struct Cases {
-    state: u64,
-}
-
-impl Cases {
-    fn new(seed: u64) -> Self {
-        Cases {
-            state: seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407),
-        }
-    }
-
-    fn next(&mut self, range: u64) -> u64 {
-        self.state = self
-            .state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        (self.state >> 33) % range.max(1)
-    }
-}
+use spi_testutil::Lcg as Cases;
 
 /// Distinct, index-derived cost: no two variants tie, so the census and the
 /// serial optimum are unambiguous.
@@ -96,8 +76,8 @@ fn every_index_evaluated_exactly_once_across_worker_counts() {
     let mut cases = Cases::new(11);
     for workers in [1usize, 2, 4, 8] {
         // Vary the shard geometry and batch size per worker count.
-        let shard_count = [1, 3, 8, 64][cases.next(4) as usize];
-        let batch_size = 1 + cases.next(16) as usize;
+        let shard_count = [1, 3, 8, 64][cases.below(4) as usize];
+        let batch_size = 1 + cases.below(16) as usize;
         let counters: Arc<Vec<AtomicU64>> =
             Arc::new((0..combinations).map(|_| AtomicU64::new(0)).collect());
         // Hedging is off: this property asserts every *evaluator invocation*
@@ -127,6 +107,8 @@ fn every_index_evaluated_exactly_once_across_worker_counts() {
         assert_eq!(status.state, JobState::Completed);
         assert_eq!(status.report.evaluated, combinations as u64);
         assert_eq!(status.report.accounted(), combinations as u64);
+        let violations = spi_chaos::oracle::check_census(&status, combinations);
+        assert!(violations.is_empty(), "{workers} workers: {violations:?}");
         for (index, counter) in counters.iter().enumerate() {
             assert_eq!(
                 counter.load(Ordering::Relaxed),
@@ -202,7 +184,7 @@ fn lease_expiry_chaos_never_loses_or_double_counts_a_shard() {
     for seed in 0..24u64 {
         let mut cases = Cases::new(seed);
         let mut registry = JobRegistry::new(timeout);
-        let shard_count = 1 + cases.next(8) as usize;
+        let shard_count = 1 + cases.below(8) as usize;
         let job = registry
             .submit(
                 &system,
@@ -222,8 +204,8 @@ fn lease_expiry_chaos_never_loses_or_double_counts_a_shard() {
         while !registry.poll(job).unwrap().state.is_terminal() {
             steps += 1;
             assert!(steps < 10_000, "chaos schedule failed to converge");
-            let batch = 1 + cases.next(5) as usize;
-            match cases.next(4) {
+            let batch = 1 + cases.below(5) as usize;
+            match cases.below(4) {
                 // Healthy worker: drain a shard to completion.
                 0 | 1 => {
                     if let Some(lease) = registry.lease(clock) {
@@ -251,6 +233,8 @@ fn lease_expiry_chaos_never_loses_or_double_counts_a_shard() {
             combinations as u64,
             "seed {seed}"
         );
+        let violations = spi_chaos::oracle::check_census(&status, combinations);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
         assert_census(&status.report.top, (0..combinations).collect());
     }
 }
@@ -262,7 +246,7 @@ fn cancel_mid_drain_keeps_exactly_the_completed_shards() {
     for seed in 0..16u64 {
         let mut cases = Cases::new(seed.wrapping_add(1000));
         let mut registry = JobRegistry::new(Duration::from_secs(10));
-        let shard_count = 2 + cases.next(7) as usize;
+        let shard_count = 2 + cases.below(7) as usize;
         let job = registry
             .submit(
                 &system,
@@ -281,7 +265,7 @@ fn cancel_mid_drain_keeps_exactly_the_completed_shards() {
 
         // Complete a random prefix of shards, stage a partial on one more,
         // then cancel.
-        let complete = cases.next(shard_count as u64) as usize;
+        let complete = cases.below(shard_count as u64) as usize;
         let mut completed_shards = Vec::new();
         for _ in 0..complete {
             let lease = registry.lease(clock).unwrap();

@@ -1,0 +1,95 @@
+//! The injected clock seam at service level: a [`SimClock`] jump must be
+//! enough to expire a stuck worker's lease and let the pool re-run its shard
+//! — without waiting a single wall-clock lease timeout — and the resulting
+//! census must still be exactly-once.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spi_explore::{
+    Evaluation, ExplorationService, FnEvaluator, HedgeConfig, JobSpec, JobState, ServiceConfig,
+    SimClock,
+};
+use spi_store::CounterId;
+use spi_workloads::scaling_system;
+
+const COMBINATIONS: u64 = 16;
+
+#[test]
+fn a_sim_clock_jump_expires_a_stuck_lease_without_wall_time() {
+    let clock = Arc::new(SimClock::new());
+    let service = ExplorationService::start(ServiceConfig {
+        workers: 2,
+        clock: Arc::clone(&clock) as Arc<dyn spi_explore::Clock>,
+        lease_timeout: Duration::from_secs(10),
+        hedge: HedgeConfig::disabled(),
+        ..ServiceConfig::default()
+    });
+
+    // Variant 0 — the first index of shard 0, the first shard dispatched —
+    // wedges its worker for 300 ms of *wall* time per visit; every other
+    // variant is instant.
+    let system = scaling_system(4, 2).unwrap(); // 16 variants over 4 shards
+    let evaluator = Arc::new(FnEvaluator::new(|index, _choice, _graph| {
+        if index == 0 {
+            std::thread::sleep(Duration::from_millis(300));
+        }
+        Ok(Evaluation {
+            cost: ((index as u64) * 131) % 251,
+            feasible: true,
+            detail: String::new(),
+        })
+    }));
+    let started = Instant::now();
+    let job = service
+        .submit_with_recipe(
+            &system,
+            JobSpec {
+                name: "sim-clock".into(),
+                shard_count: 4,
+                top_k: 4,
+                use_cache: false,
+                ..JobSpec::default()
+            },
+            evaluator,
+            None,
+        )
+        .unwrap();
+
+    // Wait (in wall time) until the healthy worker has made progress — by
+    // then the other worker is wedged inside variant 0 holding shard 0's
+    // lease, which it will not flush (and thus not renew) for ~300 ms.
+    while service.poll(job).unwrap().report.accounted() < 4 {
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "healthy worker made no progress"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Jump simulated time past the lease deadline. No wall-clock second ever
+    // elapses: the idle worker's next sweep (≤ 20 ms away) reads the
+    // advanced clock, expires the wedged lease and re-runs shard 0.
+    clock.advance(Duration::from_secs(11));
+
+    let status = service.wait(job).unwrap();
+    assert_eq!(status.state, JobState::Completed);
+    assert_eq!(
+        status.report.accounted(),
+        COMBINATIONS,
+        "the re-run shard must count exactly once — the wedged worker's \
+         late flushes are stale and discarded"
+    );
+    assert_eq!(status.shards_done, 4);
+    assert!(
+        service.metrics().counter(CounterId::LeaseExpiries) >= 1,
+        "the jump must have expired at least the wedged lease"
+    );
+    // The whole point of the clock seam: the 10 s lease timeout was crossed
+    // in simulated time only.
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "test must not wait wall-clock lease timeouts (took {:?})",
+        started.elapsed()
+    );
+}

@@ -1,0 +1,134 @@
+//! Wire-protocol error paths of [`run_session`]: malformed and truncated
+//! ndjson, unknown ops, duplicate keys and mid-frame EOF must each produce
+//! one structured `{"ok":false,"error":…}` line, leave the stream usable for
+//! the *next* request, and never prevent the session from quiescing cleanly.
+
+use spi_explore::wire::{run_session, status_from_json};
+use spi_explore::{ExplorationService, HedgeConfig, JobId, ServiceConfig};
+use spi_model::json::JsonValue;
+
+const SUBMIT: &str = r#"{"op":"submit","name":"wire-errors","system":{"scaling":{"interfaces":4,"clusters":2}},"shards":4,"top_k":4,"evaluator":{"kind":"partition","strategy":"exhaustive","params":{"kind":"hashed","seed":42}}}"#;
+
+fn service() -> ExplorationService {
+    ExplorationService::start(ServiceConfig {
+        hedge: HedgeConfig::disabled(),
+        ..ServiceConfig::with_workers(2)
+    })
+}
+
+/// Runs one session over `input` and returns the parsed response lines.
+fn session(input: &str) -> Vec<JsonValue> {
+    let service = service();
+    let mut output = Vec::new();
+    run_session(&service, input.as_bytes(), &mut output).expect("session I/O is in-memory");
+    String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(|line| JsonValue::parse(line).expect("every response line is valid JSON"))
+        .collect()
+}
+
+fn is_error(line: &JsonValue) -> bool {
+    line.get("ok").and_then(JsonValue::as_bool) == Some(false)
+        && line
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .is_some_and(|message| !message.is_empty())
+}
+
+#[test]
+fn malformed_json_yields_a_structured_error_and_the_stream_continues() {
+    let input = format!("this is not json\n{SUBMIT}\n{{\"op\":\"wait\",\"job\":0}}\n");
+    let lines = session(&input);
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    assert!(is_error(&lines[0]), "{:?}", lines[0]);
+    assert_eq!(lines[1].get("ok").and_then(JsonValue::as_bool), Some(true));
+    let status = status_from_json(&lines[2]).unwrap();
+    assert_eq!(status.state, "completed");
+    assert_eq!(
+        status.evaluated + status.pruned + status.errors,
+        16,
+        "a garbage line must not disturb the job that follows it"
+    );
+}
+
+#[test]
+fn unknown_ops_and_missing_ops_are_rejected_individually() {
+    let lines = session("{\"op\":\"frobnicate\"}\n{\"noop\":true}\n{\"op\":\"poll\",\"job\":99}\n");
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    for line in &lines {
+        assert!(is_error(line), "{line:?}");
+    }
+    assert!(
+        lines[0]
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .contains("unknown op"),
+        "{:?}",
+        lines[0]
+    );
+}
+
+#[test]
+fn duplicate_object_keys_are_a_parse_error_not_a_silent_override() {
+    // A duplicated `shards` key could silently shrink or inflate a job; the
+    // parser must refuse the frame outright.
+    let input = format!(
+        "{}\n",
+        r#"{"op":"submit","system":{"scaling":{"interfaces":4,"clusters":2}},"shards":4,"shards":1,"evaluator":{"kind":"partition","strategy":"exhaustive","params":{"kind":"hashed","seed":42}}}"#
+    );
+    let lines = session(&input);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(is_error(&lines[0]), "{:?}", lines[0]);
+    assert!(
+        lines[0]
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .contains("duplicate"),
+        "{:?}",
+        lines[0]
+    );
+}
+
+#[test]
+fn mid_frame_eof_is_an_error_line_then_a_clean_quiesce() {
+    // The stream dies mid-frame: the final line is a truncated submit with no
+    // trailing newline. The torn frame gets a structured error, the earlier
+    // submit still quiesces to a whole-shard census.
+    let truncated = &SUBMIT[..SUBMIT.len() / 2];
+    let service = service();
+    let mut output = Vec::new();
+    let input = format!("{SUBMIT}\n{truncated}");
+    run_session(&service, input.as_bytes(), &mut output).expect("EOF is a clean shutdown");
+    let lines: Vec<JsonValue> = String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(|line| JsonValue::parse(line).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    assert_eq!(lines[0].get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert!(is_error(&lines[1]), "{:?}", lines[1]);
+
+    // Post-quiesce: nothing in flight and no shard torn — the census is
+    // exactly the committed whole shards (4 variants per shard).
+    let status = service.poll(JobId::from_raw(0)).unwrap();
+    assert_eq!(status.shards_in_flight, 0);
+    assert_eq!(
+        status.report.accounted(),
+        4 * status.shards_done as u64,
+        "quiesce must commit whole shards, never tear one"
+    );
+}
+
+#[test]
+fn blank_lines_are_ignored_and_shutdown_still_answers() {
+    let lines = session("\n\n{\"op\":\"shutdown\"}\n{\"op\":\"poll\",\"job\":0}\n");
+    assert_eq!(lines.len(), 1, "shutdown ends the session: {lines:?}");
+    assert_eq!(lines[0].get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(
+        lines[0].get("op").and_then(JsonValue::as_str),
+        Some("shutdown")
+    );
+}

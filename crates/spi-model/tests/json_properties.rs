@@ -12,27 +12,7 @@ use spi_model::json::JsonValue;
 
 /// Deterministic pseudo-random case generator (64-bit LCG, same constants as
 //  the other in-tree property harnesses).
-struct Cases {
-    state: u64,
-}
-
-impl Cases {
-    fn new(seed: u64) -> Self {
-        Cases {
-            state: seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407),
-        }
-    }
-
-    fn next(&mut self, range: u64) -> u64 {
-        self.state = self
-            .state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        (self.state >> 33) % range.max(1)
-    }
-}
+use spi_testutil::Lcg as Cases;
 
 /// A pseudo-random string drawing from characters that exercise every escape
 /// class the writer knows: quotes, backslashes, control bytes, multi-byte
@@ -41,9 +21,9 @@ fn random_string(cases: &mut Cases) -> String {
     const ALPHABET: [char; 14] = [
         'a', 'Z', '9', '"', '\\', '\n', '\t', '\r', '\u{08}', '\u{0c}', '\u{01}', 'é', '℞', '😀',
     ];
-    let length = cases.next(9) as usize;
+    let length = cases.below(9) as usize;
     (0..length)
-        .map(|_| ALPHABET[cases.next(ALPHABET.len() as u64) as usize])
+        .map(|_| ALPHABET[cases.below(ALPHABET.len() as u64) as usize])
         .collect()
 }
 
@@ -52,31 +32,31 @@ fn random_string(cases: &mut Cases) -> String {
 /// excluded from the round-trip property by construction.
 fn random_tree(cases: &mut Cases, depth: usize) -> JsonValue {
     let leaf_only = depth == 0;
-    match cases.next(if leaf_only { 5 } else { 7 }) {
+    match cases.below(if leaf_only { 5 } else { 7 }) {
         0 => JsonValue::Null,
-        1 => JsonValue::Bool(cases.next(2) == 0),
+        1 => JsonValue::Bool(cases.below(2) == 0),
         2 => {
             // Integers across the full i128-visible range the tree keeps
             // exact, including u64::MAX and negatives.
-            let magnitude = match cases.next(4) {
-                0 => i128::from(cases.next(1000)),
+            let magnitude = match cases.below(4) {
+                0 => i128::from(cases.below(1000)),
                 1 => i128::from(u64::MAX),
                 2 => i128::from(i64::MIN),
-                _ => i128::from(cases.next(u64::MAX)) * if cases.next(2) == 0 { -1 } else { 1 },
+                _ => i128::from(cases.below(u64::MAX)) * if cases.below(2) == 0 { -1 } else { 1 },
             };
             JsonValue::Int(magnitude)
         }
         3 => {
             const FLOATS: [f64; 6] = [0.0, -0.5, 1.5, 1e300, -2.25e-8, 123456.789];
-            JsonValue::Float(FLOATS[cases.next(FLOATS.len() as u64) as usize])
+            JsonValue::Float(FLOATS[cases.below(FLOATS.len() as u64) as usize])
         }
         4 => JsonValue::Str(random_string(cases)),
         5 => {
-            let length = cases.next(4) as usize;
+            let length = cases.below(4) as usize;
             JsonValue::Array((0..length).map(|_| random_tree(cases, depth - 1)).collect())
         }
         _ => {
-            let length = cases.next(4) as usize;
+            let length = cases.below(4) as usize;
             let mut members: Vec<(String, JsonValue)> = Vec::new();
             for index in 0..length {
                 // Unique keys by construction (the parser rejects duplicates).

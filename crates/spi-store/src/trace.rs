@@ -580,6 +580,22 @@ pub struct ReplayReport {
     pub commits: u64,
     /// Distinct `(job, shard)` pairs that committed.
     pub committed_shards: usize,
+    /// Valid lease renewals seen.
+    pub renews: u64,
+    /// Valid lease expiries seen.
+    pub expiries: u64,
+    /// Valid lease abandons seen.
+    pub abandons: u64,
+    /// Live leases retired as a side effect of another lease committing
+    /// their shard (hedge losers). Commits retire these silently — no
+    /// expire/abandon event — so conservation laws over grants need this
+    /// derived count: grants = commits + expiries + abandons +
+    /// retired_by_commit + still-live.
+    pub retired_by_commit: u64,
+    /// Leases still live when the trace window closed.
+    pub live_leases: u64,
+    /// Total variants evaluated across every shard commit.
+    pub evaluated: u64,
     /// Every invariant violation found, in trace order. Empty ⇔ the run was
     /// provably fair and exactly-once over the captured window.
     pub violations: Vec<String>,
@@ -641,6 +657,11 @@ impl TraceReplay {
             replay.step(traced);
         }
         replay.close_window();
+        replay.report.live_leases = replay
+            .leases
+            .values()
+            .filter(|record| record.state == LeaseState::Live)
+            .count() as u64;
         replay.report
     }
 
@@ -722,10 +743,13 @@ impl TraceReplay {
                 );
             }
             TraceEvent::LeaseRenew { job, shard, lease } => {
-                self.require_live("renewed", seq, *job, *shard, *lease);
+                if self.require_live("renewed", seq, *job, *shard, *lease) {
+                    self.report.renews += 1;
+                }
             }
             TraceEvent::LeaseExpire { job, shard, lease } => {
                 if self.require_live("expired", seq, *job, *shard, *lease) {
+                    self.report.expiries += 1;
                     self.leases
                         .get_mut(lease)
                         .expect("lease was just checked live")
@@ -734,6 +758,7 @@ impl TraceReplay {
             }
             TraceEvent::LeaseAbandon { job, shard, lease } => {
                 if self.require_live("abandoned", seq, *job, *shard, *lease) {
+                    self.report.abandons += 1;
                     self.leases
                         .get_mut(lease)
                         .expect("lease was just checked live")
@@ -758,9 +783,13 @@ impl TraceReplay {
                 }
             }
             TraceEvent::ShardCommit {
-                job, shard, lease, ..
+                job,
+                shard,
+                lease,
+                evaluated,
             } => {
                 self.report.commits += 1;
+                self.report.evaluated += *evaluated;
                 if !self.require_live("committed", seq, *job, *shard, *lease) {
                     return;
                 }
@@ -772,9 +801,14 @@ impl TraceReplay {
                 }
                 self.report.committed_shards = self.committed.len();
                 // Exactly-once: a commit retires every lease on the shard —
-                // the winner and any hedge losers alike.
-                for record in self.leases.values_mut() {
+                // the winner and any hedge losers alike. Losers retire with
+                // no event of their own; the derived count keeps the
+                // grant-side conservation law closable.
+                for (id, record) in self.leases.iter_mut() {
                     if (record.job, record.shard) == (*job, *shard) {
+                        if record.state == LeaseState::Live && id != lease {
+                            self.report.retired_by_commit += 1;
+                        }
                         record.state = LeaseState::Retired;
                     }
                 }

@@ -17,18 +17,10 @@
 
 use spi_store::metrics::{Histogram, GROUPS, HISTOGRAM_BOUND};
 
-/// Deterministic LCG (same constants as the other randomized suites).
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 11
-    }
-}
+/// Deterministic LCG (same constants as the other randomized suites); this
+/// suite draws via `next_wide` — 53-bit values, wide enough to span every
+/// histogram octave up to the saturation bound.
+use spi_testutil::Lcg;
 
 /// Exact nearest-rank percentile of a sorted sample set.
 fn exact_quantile(sorted: &[u64], pct: u32) -> u64 {
@@ -71,17 +63,17 @@ fn assert_quantiles_within_bound(histogram: &Histogram, sorted: &[u64], label: &
 
 #[test]
 fn randomized_quantiles_match_the_exact_oracle_within_bucket_bound() {
-    let mut lcg = Lcg(42);
+    let mut lcg = Lcg::from_state(42);
     for round in 0..200 {
-        let len = (lcg.next() % 300 + 1) as usize;
+        let len = (lcg.next_wide() % 300 + 1) as usize;
         // Spread samples across magnitudes: small linear-region values,
         // mid-range, and wide 40-bit values, mixed per round.
-        let spread = lcg.next() % 3;
+        let spread = lcg.next_wide() % 3;
         let samples: Vec<u64> = (0..len)
             .map(|_| match spread {
-                0 => lcg.next() % 64,
-                1 => lcg.next() % 1_000_000,
-                _ => lcg.next() % (1 << 40),
+                0 => lcg.next_wide() % 64,
+                1 => lcg.next_wide() % 1_000_000,
+                _ => lcg.next_wide() % (1 << 40),
             })
             .collect();
         let histogram = Histogram::new();
@@ -99,12 +91,12 @@ fn randomized_quantiles_match_the_exact_oracle_within_bucket_bound() {
 
 #[test]
 fn merge_is_associative_and_matches_single_recording() {
-    let mut lcg = Lcg(7);
+    let mut lcg = Lcg::from_state(7);
     for round in 0..50 {
         let parts: Vec<Vec<u64>> = (0..3)
             .map(|_| {
-                (0..(lcg.next() % 100 + 1))
-                    .map(|_| lcg.next() % (1 << 36))
+                (0..(lcg.next_wide() % 100 + 1))
+                    .map(|_| lcg.next_wide() % (1 << 36))
                     .collect()
             })
             .collect();
@@ -152,10 +144,10 @@ fn merge_is_associative_and_matches_single_recording() {
 
 #[test]
 fn saturation_at_the_bounded_range_reports_the_tracked_max() {
-    let mut lcg = Lcg(99);
+    let mut lcg = Lcg::from_state(99);
     let histogram = Histogram::new();
     let mut samples: Vec<u64> = (0..64)
-        .map(|_| HISTOGRAM_BOUND + lcg.next() % (1 << 30))
+        .map(|_| HISTOGRAM_BOUND + lcg.next_wide() % (1 << 30))
         .collect();
     samples.push(u64::MAX);
     for &v in &samples {
@@ -169,7 +161,7 @@ fn saturation_at_the_bounded_range_reports_the_tracked_max() {
     }
     // Mixed in-range + saturated samples: in-range quantiles stay bounded.
     let mixed = Histogram::new();
-    let mut mixed_samples: Vec<u64> = (0..100).map(|_| lcg.next() % 1_000_000).collect();
+    let mut mixed_samples: Vec<u64> = (0..100).map(|_| lcg.next_wide() % 1_000_000).collect();
     mixed_samples.extend([HISTOGRAM_BOUND, HISTOGRAM_BOUND * 2]);
     for &v in &mixed_samples {
         mixed.record(v);

@@ -1,0 +1,171 @@
+//! Shared deterministic test utilities for the spi-repro workspace.
+//!
+//! Every property suite in the workspace drives its cases off the same
+//! 64-bit LCG (the build environment has no crates.io access, so there is no
+//! `proptest`; a seeded generator keeps failures reproducible with zero
+//! dependencies). Historically each suite carried its own copy of the
+//! generator; this crate is the single shared definition, used as a
+//! dev-dependency everywhere and re-exported by `spi-chaos` so the chaos
+//! harness and the unit suites share one seed discipline.
+//!
+//! The constants are Knuth's MMIX multiplier/increment, the same pair the
+//! in-tree copies always used:
+//!
+//! ```text
+//! state' = state * 6364136223846793005 + 1442695040888963407
+//! ```
+//!
+//! Two entry points cover the two historical idioms without perturbing any
+//! pinned sequence:
+//!
+//! * [`Lcg::new`] pre-mixes the seed through one LCG step (the `Cases::new`
+//!   idiom) so small consecutive seeds diverge immediately;
+//! * [`Lcg::from_state`] adopts a raw state verbatim (the `Lcg(seed)` tuple
+//!   idiom of `delta_flatten.rs` / `histogram_oracle.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The multiplier of the shared 64-bit LCG (Knuth MMIX).
+pub const LCG_MUL: u64 = 6364136223846793005;
+/// The increment of the shared 64-bit LCG (Knuth MMIX).
+pub const LCG_INC: u64 = 1442695040888963407;
+
+/// Deterministic pseudo-random case generator: a 64-bit LCG with the
+/// workspace-standard constants.
+///
+/// All draws advance the state exactly once, so sequences are reproducible
+/// from the seed alone and independent of which width accessor is used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// A generator whose seed is pre-mixed through one LCG step, so that
+    /// consecutive small seeds (0, 1, 2, …) start from well-separated states.
+    /// This is the `Cases::new(seed)` idiom of the property suites.
+    pub fn new(seed: u64) -> Self {
+        Lcg {
+            state: seed.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC),
+        }
+    }
+
+    /// A generator adopting `state` verbatim, matching the historical
+    /// `Lcg(raw)` tuple-struct idiom. The first draw advances once before
+    /// yielding, exactly like the in-tree copies did.
+    pub fn from_state(state: u64) -> Self {
+        Lcg { state }
+    }
+
+    /// Advances the state one step and returns the top 31 bits
+    /// (`state >> 33`) — the draw every suite except the histogram oracle
+    /// uses.
+    // Not `Iterator::next`: draws are infallible (no `Option`) and the name
+    // is pinned by every historical call site.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.step();
+        self.state >> 33
+    }
+
+    /// Advances the state one step and returns the top 53 bits
+    /// (`state >> 11`), for suites that need draws wider than 31 bits
+    /// (the histogram oracle's value distribution).
+    pub fn next_wide(&mut self) -> u64 {
+        self.step();
+        self.state >> 11
+    }
+
+    /// One draw reduced modulo `range` (`range == 0` is treated as 1, so the
+    /// result is always in bounds). This is the `Cases::next(range)` idiom.
+    pub fn below(&mut self, range: u64) -> u64 {
+        self.next() % range.max(1)
+    }
+
+    /// One draw mapped uniformly-by-modulo into `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.next() % (hi - lo + 1)
+    }
+
+    /// One draw as a coin flip: true with probability `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `den` is zero.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        assert!(den > 0, "zero denominator");
+        self.below(den) < num
+    }
+
+    /// The raw internal state, for logging a reproducer mid-sequence.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    fn step(&mut self) {
+        self.state = self.state.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shared generator must be bit-identical to the historical in-tree
+    /// copies, or every pinned property sequence in the workspace shifts.
+    #[test]
+    fn matches_historical_cases_idiom() {
+        // Reference: Cases::new(7) then next(1000) three times, transcribed
+        // from the pre-extraction helper.
+        let mut state: u64 = 7u64.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC);
+        let mut reference = Vec::new();
+        for _ in 0..3 {
+            state = state.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC);
+            reference.push((state >> 33) % 1000);
+        }
+
+        let mut lcg = Lcg::new(7);
+        let got: Vec<u64> = (0..3).map(|_| lcg.below(1000)).collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn matches_historical_raw_idiom() {
+        let mut state: u64 = 42;
+        state = state.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC);
+        let narrow = state >> 33;
+        state = state.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC);
+        let wide = state >> 11;
+
+        let mut lcg = Lcg::from_state(42);
+        assert_eq!(lcg.next(), narrow);
+        assert_eq!(lcg.next_wide(), wide);
+    }
+
+    #[test]
+    fn range_is_inclusive_and_in_bounds() {
+        let mut lcg = Lcg::new(3);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..512 {
+            let v = lcg.range(2, 5);
+            assert!((2..=5).contains(&v));
+            saw_lo |= v == 2;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi, "range(2, 5) never hit an endpoint");
+    }
+
+    #[test]
+    fn below_zero_range_is_safe() {
+        let mut lcg = Lcg::new(9);
+        assert_eq!(lcg.below(0), 0);
+        assert_eq!(lcg.below(1), 0);
+    }
+}

@@ -19,32 +19,18 @@ use spi_repro::variants::{
     Cluster, Flattener, Interface, VariantChoice, VariantSpace, VariantSystem, VariantType,
 };
 
-/// Deterministic pseudo-random case generator (64-bit LCG, same constants as the
-/// historical in-tree generator).
-struct Cases {
-    state: u64,
+/// Deterministic pseudo-random case generator — the shared workspace LCG.
+use spi_testutil::Lcg as Cases;
+
+/// Domain-specific draws layered over the shared generator.
+trait CaseExt {
+    fn interval(&mut self) -> Interval;
 }
 
-impl Cases {
-    fn new(seed: u64) -> Self {
-        Cases {
-            state: seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407),
-        }
-    }
-
-    fn next(&mut self, range: u64) -> u64 {
-        self.state = self
-            .state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        (self.state >> 33) % range.max(1)
-    }
-
+impl CaseExt for Cases {
     fn interval(&mut self) -> Interval {
-        let a = self.next(1_000);
-        let b = self.next(1_000);
+        let a = self.below(1_000);
+        let b = self.below(1_000);
         Interval::new(a.min(b), a.max(b)).unwrap()
     }
 }
@@ -104,9 +90,9 @@ fn space_with_axes(tag: &str, clusters_per_axis: &[usize]) -> VariantSpace {
 fn choices_iter_agrees_with_eager_choices_in_count_order_and_content() {
     let mut cases = Cases::new(3);
     for round in 0..64 {
-        let axis_count = 1 + cases.next(4) as usize;
+        let axis_count = 1 + cases.below(4) as usize;
         let clusters: Vec<usize> = (0..axis_count)
-            .map(|_| 1 + cases.next(4) as usize)
+            .map(|_| 1 + cases.below(4) as usize)
             .collect();
         let space = space_with_axes(&format!("agree{round}"), &clusters);
 
@@ -138,11 +124,11 @@ fn nth_matches_indexing_into_the_eager_enumeration() {
 fn strided_shards_cover_the_space_exactly_once() {
     let mut cases = Cases::new(4);
     for round in 0..32 {
-        let clusters: Vec<usize> = (0..1 + cases.next(3) as usize)
-            .map(|_| 1 + cases.next(4) as usize)
+        let clusters: Vec<usize> = (0..1 + cases.below(3) as usize)
+            .map(|_| 1 + cases.below(4) as usize)
             .collect();
         let space = space_with_axes(&format!("shard{round}"), &clusters);
-        let shard_count = 1 + cases.next(5) as usize;
+        let shard_count = 1 + cases.below(5) as usize;
 
         let mut recombined: Vec<VariantChoice> = Vec::new();
         for shard in 0..shard_count {
@@ -180,11 +166,11 @@ fn empty_and_collapsed_spaces_enumerate_nothing() {
 fn variant_space_and_flattening_are_consistent() {
     let mut cases = Cases::new(5);
     for round in 0..24 {
-        let interface_count = 1 + cases.next(2) as usize;
+        let interface_count = 1 + cases.below(2) as usize;
         let clusters_per_interface: Vec<usize> = (0..interface_count)
-            .map(|_| 1 + cases.next(3) as usize)
+            .map(|_| 1 + cases.below(3) as usize)
             .collect();
-        let cluster_size = 1 + cases.next(3) as usize;
+        let cluster_size = 1 + cases.below(3) as usize;
         let system = build_synthetic_system(round, &clusters_per_interface, cluster_size).unwrap();
         let expected: usize = clusters_per_interface.iter().product();
         assert_eq!(system.variant_space().count(), expected);
@@ -206,10 +192,10 @@ fn variant_space_and_flattening_are_consistent() {
 fn flattener_agrees_with_legacy_flatten_everywhere() {
     let mut cases = Cases::new(6);
     for round in 0..16 {
-        let clusters_per_interface: Vec<usize> = (0..1 + cases.next(2) as usize)
-            .map(|_| 1 + cases.next(3) as usize)
+        let clusters_per_interface: Vec<usize> = (0..1 + cases.below(2) as usize)
+            .map(|_| 1 + cases.below(3) as usize)
             .collect();
-        let cluster_size = 1 + cases.next(2) as usize;
+        let cluster_size = 1 + cases.below(2) as usize;
         let system =
             build_synthetic_system(100 + round, &clusters_per_interface, cluster_size).unwrap();
 
@@ -234,9 +220,9 @@ fn flattener_agrees_with_legacy_flatten_everywhere() {
 fn variant_aware_never_loses_to_superposition() {
     let mut cases = Cases::new(7);
     for _ in 0..48 {
-        let common = 1 + cases.next(3) as usize;
-        let variants = 2 + cases.next(2) as usize;
-        let seed = cases.next(50);
+        let common = 1 + cases.below(3) as usize;
+        let variants = 2 + cases.below(2) as usize;
+        let seed = cases.below(50);
         let problem = random_problem(common, variants, seed);
         let superposition = strategy::superposition(&problem).unwrap();
         let joint = strategy::variant_aware(&problem).unwrap();
@@ -262,17 +248,17 @@ fn exact_searches_match_the_serial_oracle_on_random_problems() {
         let problem = if round % 2 == 0 {
             // Single variant set: few tasks, many ties.
             random_problem(
-                1 + cases.next(3) as usize,
-                2 + cases.next(2) as usize,
-                cases.next(50),
+                1 + cases.below(3) as usize,
+                2 + cases.below(2) as usize,
+                cases.below(50),
             )
         } else {
             // Two variant sets with cross-product applications: richer sharing
             // structure, up to ~10 tasks.
             random_multi_problem(
-                1 + cases.next(3) as usize,
-                2 + cases.next(2) as usize,
-                1000 + cases.next(50),
+                1 + cases.below(3) as usize,
+                2 + cases.below(2) as usize,
+                1000 + cases.below(50),
             )
         };
         for mode in [FeasibilityMode::PerApplication, FeasibilityMode::Serialized] {
@@ -304,9 +290,9 @@ fn branch_and_bound_accounting_stays_within_the_decision_tree() {
     let mut cases = Cases::new(12);
     for _ in 0..16 {
         let problem = random_multi_problem(
-            1 + cases.next(2) as usize,
-            2 + cases.next(2) as usize,
-            2000 + cases.next(50),
+            1 + cases.below(2) as usize,
+            2 + cases.below(2) as usize,
+            2000 + cases.below(50),
         );
         let n = problem.task_count() as u64;
         let result = optimize(
@@ -332,9 +318,9 @@ fn incremental_evaluator_matches_scratch_evaluation_on_a_random_walk() {
     let mut cases = Cases::new(13);
     for round in 0..8 {
         let problem = random_multi_problem(
-            1 + cases.next(3) as usize,
-            2 + cases.next(2) as usize,
-            3000 + cases.next(50),
+            1 + cases.below(3) as usize,
+            2 + cases.below(2) as usize,
+            3000 + cases.below(50),
         );
         let compiled = CompiledProblem::compile(&problem).unwrap();
         let n = compiled.task_count();
@@ -374,13 +360,13 @@ fn incremental_evaluator_matches_scratch_evaluation_on_a_random_walk() {
         assert_matches_scratch(&evaluator, 0);
         let mut applied = 0usize;
         for step in 1..=200 {
-            if applied > 0 && cases.next(4) == 0 {
+            if applied > 0 && cases.below(4) == 0 {
                 // Exercise the undo path as part of the walk, not only at the end.
                 assert!(evaluator.undo());
                 applied -= 1;
             } else {
-                let task = TaskId(cases.next(n as u64) as u32);
-                let implementation = if cases.next(2) == 0 {
+                let task = TaskId(cases.below(n as u64) as u32);
+                let implementation = if cases.below(2) == 0 {
                     Implementation::Software
                 } else {
                     Implementation::Hardware
@@ -469,16 +455,16 @@ fn build_synthetic_system(
 /// Builds a small random-but-deterministic synthesis problem with one variant set.
 fn random_problem(common: usize, variants: usize, seed: u64) -> SynthesisProblem {
     let mut cases = Cases::new(seed);
-    let mut problem = SynthesisProblem::new(format!("random{seed}"), 10 + cases.next(10));
+    let mut problem = SynthesisProblem::new(format!("random{seed}"), 10 + cases.below(10));
     let mut common_names = Vec::new();
     for index in 0..common {
         let name = format!("common{index}");
         problem.add_task(TaskSpec::new(
             &name,
-            5 + cases.next(15),
+            5 + cases.below(15),
             100,
-            15 + cases.next(30),
-            3 + cases.next(9),
+            15 + cases.below(30),
+            3 + cases.below(9),
         ));
         common_names.push(name);
     }
@@ -487,10 +473,10 @@ fn random_problem(common: usize, variants: usize, seed: u64) -> SynthesisProblem
         let name = format!("variant{index}");
         problem.add_task(TaskSpec::new(
             &name,
-            30 + cases.next(45),
+            30 + cases.below(45),
             100,
-            15 + cases.next(20),
-            20 + cases.next(30),
+            15 + cases.below(20),
+            20 + cases.below(30),
         ));
         cluster_names.push(name);
     }
@@ -510,16 +496,16 @@ fn random_problem(common: usize, variants: usize, seed: u64) -> SynthesisProblem
 /// evaluator's `task → applications` fan-out.
 fn random_multi_problem(common: usize, variants_per_set: usize, seed: u64) -> SynthesisProblem {
     let mut cases = Cases::new(seed);
-    let mut problem = SynthesisProblem::new(format!("multi{seed}"), 10 + cases.next(10));
+    let mut problem = SynthesisProblem::new(format!("multi{seed}"), 10 + cases.below(10));
     let mut common_names = Vec::new();
     for index in 0..common {
         let name = format!("common{index}");
         problem.add_task(TaskSpec::new(
             &name,
-            5 + cases.next(15),
+            5 + cases.below(15),
             100,
-            15 + cases.next(30),
-            3 + cases.next(9),
+            15 + cases.below(30),
+            3 + cases.below(9),
         ));
         common_names.push(name);
     }
@@ -530,10 +516,10 @@ fn random_multi_problem(common: usize, variants_per_set: usize, seed: u64) -> Sy
             let name = format!("if{set}/v{index}");
             problem.add_task(TaskSpec::new(
                 &name,
-                25 + cases.next(40),
+                25 + cases.below(40),
                 100,
-                15 + cases.next(20),
-                20 + cases.next(30),
+                15 + cases.below(20),
+                20 + cases.below(30),
             ));
             clusters.push(name);
         }
